@@ -1,0 +1,62 @@
+//! Criterion ablation A2: hash vs sort group-by strategies and the
+//! few-groups contention regime (Figure 5's group-by analysis: string keys
+//! force libcudf's sort-based strategy; Q1's few groups contend).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sirius_columnar::Array;
+use sirius_cudf::groupby::{group_by, AggRequest};
+use sirius_cudf::sort::{radix_sort_indices_i64, sort_indices, SortKey};
+use sirius_cudf::{AggKind, GpuContext};
+use sirius_hw::{catalog, CostCategory, Device};
+
+fn ctx() -> GpuContext {
+    GpuContext::new(Device::new(catalog::gh200_gpu()), CostCategory::GroupBy)
+}
+
+fn bench_groupby(c: &mut Criterion) {
+    let n = 100_000usize;
+    let int_keys = Array::from_i64((0..n as i64).map(|i| i % 1000).collect::<Vec<_>>());
+    let str_keys =
+        Array::from_strs((0..n).map(|i| format!("key{:03}", i % 1000)).collect::<Vec<_>>());
+    let few_keys = Array::from_i64((0..n as i64).map(|i| i % 4).collect::<Vec<_>>());
+    let values = Array::from_f64((0..n).map(|i| i as f64).collect::<Vec<_>>());
+
+    let mut group = c.benchmark_group("groupby_strategies");
+    for (label, keys) in [
+        ("hash_int_1000_groups", &int_keys),
+        ("sort_string_1000_groups", &str_keys),
+        ("hash_int_4_groups", &few_keys),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), keys, |b, keys| {
+            let g = ctx();
+            b.iter(|| {
+                group_by(
+                    &g,
+                    &[keys],
+                    &[AggRequest { kind: AggKind::Sum, input: Some(&values) }],
+                    n,
+                )
+                .expect("group_by")
+            })
+        });
+    }
+    group.finish();
+
+    let mut sorts = c.benchmark_group("sort_strategies");
+    let col = Array::from_i64((0..n as i64).rev().collect::<Vec<_>>());
+    sorts.bench_function("radix_i64", |b| {
+        let g = ctx();
+        b.iter(|| radix_sort_indices_i64(&g, &col).expect("radix"))
+    });
+    sorts.bench_function("comparison_i64", |b| {
+        let g = ctx();
+        b.iter(|| {
+            sort_indices(&g, &[SortKey { column: &col, ascending: true }], n)
+                .expect("sort")
+        })
+    });
+    sorts.finish();
+}
+
+criterion_group!(benches, bench_groupby);
+criterion_main!(benches);

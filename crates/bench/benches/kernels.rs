@@ -1,0 +1,69 @@
+//! Criterion: microbenchmarks of the GPU kernel library against the CPU
+//! operator implementations — the raw building blocks under Figure 4.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sirius_columnar::{Array, Bitmap, DataType, Field, Scalar, Schema, Table};
+use sirius_cudf::binary::{binary_op, BinaryOp, Datum};
+use sirius_cudf::join::{hash_join_pairs, resolve_join, JoinType};
+use sirius_cudf::GpuContext;
+use sirius_hw::{catalog, CostCategory, Device};
+
+fn ctx() -> GpuContext {
+    GpuContext::new(Device::new(catalog::gh200_gpu()), CostCategory::Other)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let n = 100_000usize;
+    let a = Array::from_f64((0..n).map(|i| i as f64).collect::<Vec<_>>());
+
+    let mut group = c.benchmark_group("kernels");
+    group.bench_function("cudf_binary_mul", |b| {
+        let g = ctx();
+        b.iter(|| {
+            binary_op(
+                &g,
+                BinaryOp::Mul,
+                &Datum::Column(&a),
+                &Datum::Scalar(Scalar::Float64(0.99)),
+                n,
+            )
+            .expect("mul")
+        })
+    });
+
+    let mask = Bitmap::from_iter((0..n).map(|i| i % 3 == 0));
+    let table = Table::new(
+        Schema::new(vec![Field::new("v", DataType::Float64)]),
+        vec![a.clone()],
+    );
+    group.bench_function("filter_gather", |b| b.iter(|| table.filter(&mask)));
+
+    let build_keys = Array::from_i64((0..10_000i64).collect::<Vec<_>>());
+    let probe_keys = Array::from_i64((0..n as i64).map(|i| i % 10_000).collect::<Vec<_>>());
+    group.bench_function("cudf_hash_join_100k_x_10k", |b| {
+        let g = ctx();
+        b.iter(|| {
+            let pairs =
+                hash_join_pairs(&g, &[&probe_keys], &[&build_keys], n, 10_000).expect("pairs");
+            resolve_join(&g, JoinType::Inner, &pairs, None).expect("resolve")
+        })
+    });
+
+    let lk = vec![probe_keys.clone()];
+    let rk = vec![build_keys.clone()];
+    group.bench_function("cpu_hash_join_100k_x_10k", |b| {
+        b.iter(|| {
+            let pairs = sirius_exec_cpu::ops::find_pairs(&lk, &rk, n, 10_000);
+            sirius_exec_cpu::ops::resolve_pairs(
+                sirius_plan::JoinKind::Inner,
+                &pairs,
+                None,
+            )
+            .expect("resolve")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

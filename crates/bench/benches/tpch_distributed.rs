@@ -1,0 +1,37 @@
+//! Criterion: wall time of the distributed path (Table 2's workload) —
+//! coordinator planning, fragment dispatch, NCCL exchange, node execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sirius_doris::{DorisCluster, NodeEngineKind};
+use sirius_tpch::{queries, TpchGenerator};
+
+fn bench_distributed(c: &mut Criterion) {
+    let data = TpchGenerator::new(0.005).generate();
+    let mut clusters = Vec::new();
+    for kind in [NodeEngineKind::DorisCpu, NodeEngineKind::SiriusGpu] {
+        let mut cluster = DorisCluster::new(4, kind);
+        for (name, table) in data.tables() {
+            cluster.create_table(name.clone(), table.clone());
+        }
+        cluster.reset_ledgers();
+        clusters.push((kind, cluster));
+    }
+    let mut group = c.benchmark_group("tpch_distributed");
+    group.sample_size(10);
+    for (id, sql) in queries::distributed_subset() {
+        for (kind, cluster) in &clusters {
+            let label = match kind {
+                NodeEngineKind::DorisCpu => "doris",
+                NodeEngineKind::ClickHouseCpu => "clickhouse",
+                NodeEngineKind::SiriusGpu => "sirius",
+            };
+            group.bench_with_input(BenchmarkId::new(label, id), &sql, |b, sql| {
+                b.iter(|| cluster.sql(sql).expect("query"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distributed);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 1: recent hardware trends — the four panels as printed series.
+
+use sirius_hw::trends;
+
+fn main() {
+    println!("Figure 1: Recent hardware trends\n");
+    for series in trends::figure1_series() {
+        println!("{} ({})", series.title, series.unit);
+        let max = series.points.iter().map(|p| p.value).fold(0.0f64, f64::max);
+        for p in &series.points {
+            let bar = "#".repeat(((p.value / max) * 40.0).ceil() as usize);
+            println!("  {:>4}  {:<28} {:>8.1}  {}", p.year, p.label, p.value, bar);
+        }
+        println!(
+            "  growth: {:.0}x overall, {:.0}% CAGR\n",
+            series.growth_factor(),
+            series.cagr() * 100.0
+        );
+    }
+    let price = trends::h100_rental_price();
+    println!("{} ({})", price.title, price.unit);
+    for p in &price.points {
+        println!("  {:>4}  {:<28} {:>8.2}", p.year, p.label, p.value);
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 4: TPC-H end-to-end query performance, single node.
+//!
+//! DuckDB and ClickHouse on the cost-normalized CPU instance
+//! (m7i.16xlarge, $3.2/h) vs Sirius on the GH200 ($3.2/h) — simulated hot
+//! runs, per the paper's measurement setup. Run with `--sf <f>` to change
+//! the generated scale factor (times also shown SF100-extrapolated).
+
+use sirius_bench::{extrapolate, geomean_speedup, sf_from_args, SingleNodeHarness};
+
+fn main() {
+    let sf = sf_from_args();
+    eprintln!("generating TPC-H at SF {sf} and loading engines...");
+    let h = SingleNodeHarness::new(sf);
+    println!("Figure 4: TPC-H end-to-end query performance (single node)");
+    println!(
+        "simulated ms at SF {sf}; bracketed = extrapolated to SF100; hot runs, data cached in GPU memory"
+    );
+    println!(
+        "{:>4} {:>10} {:>10} {:>10}   {:>12} {:>10} {:>10}",
+        "Q", "DuckDB", "ClickHse", "Sirius", "[SF100 ms]", "vs Duck", "vs CH"
+    );
+    let rows = h.run_all();
+    for r in &rows {
+        let sirius_ms = r.sirius.ms().unwrap_or(f64::NAN);
+        let vs_duck = r
+            .duckdb
+            .ms()
+            .map(|d| format!("{:>9.1}x", d / sirius_ms))
+            .unwrap_or_else(|| format!("{:>10}", "-"));
+        let vs_ch = r
+            .clickhouse
+            .ms()
+            .map(|c| format!("{:>9.1}x", c / sirius_ms))
+            .unwrap_or_else(|| format!("{:>10}", "-"));
+        println!(
+            "{:>4} {} {} {}   {:>12.0} {} {}",
+            format!("Q{}", r.id),
+            r.duckdb.cell(),
+            r.clickhouse.cell(),
+            r.sirius.cell(),
+            extrapolate(sirius_ms, sf, 100.0),
+            vs_duck,
+            vs_ch,
+        );
+    }
+    println!(
+        "\ngeomean speedup: Sirius vs DuckDB {:.1}x (paper: 7x), vs ClickHouse {:.1}x (paper: 20x)",
+        geomean_speedup(&rows, |r| &r.duckdb),
+        geomean_speedup(&rows, |r| &r.clickhouse),
+    );
+    println!("ClickHouse annotations — DNF: did not finish (time budget); n/s: not supported");
+}

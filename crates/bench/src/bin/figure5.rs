@@ -1,0 +1,40 @@
+//! Figure 5: per-query operator-time breakdown inside Sirius.
+//!
+//! Prints each TPC-H query's share of simulated GPU time spent in joins,
+//! group-by, filter, aggregation, order-by, and other — the paper's
+//! stacked-bar figure as rows.
+
+use sirius_bench::{figure5_share, sf_from_args, SingleNodeHarness};
+use sirius_tpch::queries;
+
+const CATEGORIES: [&str; 6] =
+    ["join", "group-by", "filter", "aggregate", "order-by", "other"];
+
+fn main() {
+    let sf = sf_from_args();
+    eprintln!("generating TPC-H at SF {sf} and loading engines...");
+    let h = SingleNodeHarness::new(sf);
+    println!("Figure 5: performance breakdown in Sirius (share of simulated GPU time)");
+    print!("{:>4}", "Q");
+    for c in CATEGORIES {
+        print!(" {c:>9}");
+    }
+    println!("   dominant");
+    for (id, sql) in queries::all() {
+        let row = h.run_query(id, sql);
+        print!("{:>4}", format!("Q{id}"));
+        let mut dominant = ("other", 0.0f64);
+        for c in CATEGORIES {
+            let share = figure5_share(&row.sirius_breakdown, c);
+            if share > dominant.1 {
+                dominant = (c, share);
+            }
+            print!(" {:>8.1}%", share * 100.0);
+        }
+        println!("   {}", dominant.0);
+    }
+    println!(
+        "\npaper expectations: joins dominate Q2-Q5/Q7-Q9/Q20-Q22; group-by visible in \
+         Q1/Q10/Q16/Q18; filter dominates Q6/Q19 and is large in Q13"
+    );
+}

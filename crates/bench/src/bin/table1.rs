@@ -1,0 +1,40 @@
+//! Table 1: comparison of CPU and GPU instances.
+
+use sirius_hw::catalog;
+
+fn main() {
+    let cpu = catalog::c6a_metal();
+    let gpu = catalog::gh200_gpu();
+    println!("Table 1: Comparison of CPU and GPU Instances");
+    println!("{:<16} {:>26} {:>26}", "", "Amazon c6a.metal", "GH200");
+    println!("{:<16} {:>26} {:>26}", "", "(AMD EPYC CPU)", "(NVIDIA GPU)");
+    println!(
+        "{:<16} {:>26} {:>26}",
+        "Core Count",
+        format!("{} (vCPUs)", cpu.cores),
+        format!("{}+ (CUDA cores)", gpu.cores / 1000 * 1000)
+    );
+    println!(
+        "{:<16} {:>26} {:>26}",
+        "Memory BW",
+        format!("~{:.0} GB/s", cpu.memory_bandwidth / 1e9),
+        format!("{:.0} GB/s (HBM)", gpu.memory_bandwidth / 1e9)
+    );
+    println!(
+        "{:<16} {:>26} {:>26}",
+        "Memory Size",
+        format!("{:.0} GB", cpu.memory_gib()),
+        format!("{:.0} GB (HBM)", gpu.memory_gib())
+    );
+    println!(
+        "{:<16} {:>26} {:>26}",
+        "Rental Cost",
+        format!("${}/h (AWS)", cpu.cost_per_hour_usd),
+        format!("${}/h (Lambda Labs)", gpu.cost_per_hour_usd)
+    );
+    println!(
+        "\npunchline: the GPU instance streams memory {:.1}x faster at {:.0}% of the hourly cost",
+        gpu.memory_bandwidth / cpu.memory_bandwidth,
+        100.0 * gpu.cost_per_hour_usd / cpu.cost_per_hour_usd
+    );
+}

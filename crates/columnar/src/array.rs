@@ -1,0 +1,636 @@
+//! Typed arrays and the dynamically-typed [`Array`] enum.
+
+use crate::bitmap::Bitmap;
+use crate::scalar::Scalar;
+use crate::schema::DataType;
+use crate::string_array::StringArray;
+use crate::{ColumnarError, Result};
+use std::sync::Arc;
+
+/// Immutable fixed-width array over a shared buffer.
+#[derive(Debug, Clone)]
+pub struct PrimitiveArray<T: Copy> {
+    values: Arc<Vec<T>>,
+    validity: Option<Bitmap>,
+}
+
+impl<T: Copy> PrimitiveArray<T> {
+    /// Build from values, all valid.
+    pub fn from_values(values: Vec<T>) -> Self {
+        Self { values: Arc::new(values), validity: None }
+    }
+
+    /// Build from optional values (None ⇒ null); null slots hold `fill`.
+    pub fn from_options(values: impl IntoIterator<Item = Option<T>>, fill: T) -> Self {
+        let mut vals = Vec::new();
+        let mut bits = Vec::new();
+        for v in values {
+            match v {
+                Some(v) => {
+                    vals.push(v);
+                    bits.push(true);
+                }
+                None => {
+                    vals.push(fill);
+                    bits.push(false);
+                }
+            }
+        }
+        let validity =
+            if bits.iter().all(|b| *b) { None } else { Some(Bitmap::from_iter(bits)) };
+        Self { values: Arc::new(vals), validity }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// True if element `i` is non-null.
+    pub fn is_valid(&self, i: usize) -> bool {
+        self.validity.as_ref().map(|v| v.get(i)).unwrap_or(true)
+    }
+
+    /// Element `i`, `None` if null.
+    pub fn value(&self, i: usize) -> Option<T> {
+        if self.is_valid(i) {
+            Some(self.values[i])
+        } else {
+            None
+        }
+    }
+
+    /// Raw value slice (null slots contain fill values; check validity).
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// The validity bitmap, if any nulls.
+    pub fn validity(&self) -> Option<&Bitmap> {
+        self.validity.as_ref()
+    }
+
+    /// Gather elements at `indices`.
+    pub fn gather(&self, indices: &[usize]) -> PrimitiveArray<T> {
+        let values: Vec<T> = indices.iter().map(|&i| self.values[i]).collect();
+        let validity = self
+            .validity
+            .as_ref()
+            .map(|v| v.gather(indices))
+            .filter(|v| v.count_set() < v.len());
+        PrimitiveArray { values: Arc::new(values), validity }
+    }
+
+    /// Iterate as `Option<T>`.
+    pub fn iter(&self) -> impl Iterator<Item = Option<T>> + '_ {
+        (0..self.len()).map(move |i| self.value(i))
+    }
+
+    /// Heap bytes held.
+    pub fn byte_size(&self) -> usize {
+        self.values.len() * std::mem::size_of::<T>()
+            + self.validity.as_ref().map(|v| v.byte_size()).unwrap_or(0)
+    }
+
+    /// Concatenate arrays.
+    pub fn concat(arrays: &[&PrimitiveArray<T>]) -> PrimitiveArray<T> {
+        let mut values = Vec::with_capacity(arrays.iter().map(|a| a.len()).sum());
+        let any_null = arrays.iter().any(|a| a.validity.is_some());
+        let mut bits = Vec::new();
+        for a in arrays {
+            values.extend_from_slice(&a.values);
+            if any_null {
+                bits.extend((0..a.len()).map(|i| a.is_valid(i)));
+            }
+        }
+        PrimitiveArray {
+            values: Arc::new(values),
+            validity: if any_null { Some(Bitmap::from_iter(bits)) } else { None },
+        }
+    }
+}
+
+/// Immutable boolean array (byte-per-value storage plus validity bitmap;
+/// selection vectors use [`Bitmap`] directly, this type is for column data).
+#[derive(Debug, Clone)]
+pub struct BoolArray {
+    values: Bitmap,
+    validity: Option<Bitmap>,
+}
+
+impl BoolArray {
+    /// Build from booleans, all valid.
+    pub fn from_values(values: impl IntoIterator<Item = bool>) -> Self {
+        Self { values: Bitmap::from_iter(values), validity: None }
+    }
+
+    /// Build from optional booleans.
+    pub fn from_options(values: impl IntoIterator<Item = Option<bool>>) -> Self {
+        let mut vals = Vec::new();
+        let mut bits = Vec::new();
+        for v in values {
+            vals.push(v.unwrap_or(false));
+            bits.push(v.is_some());
+        }
+        let validity =
+            if bits.iter().all(|b| *b) { None } else { Some(Bitmap::from_iter(bits)) };
+        Self { values: Bitmap::from_iter(vals), validity }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// True if element `i` is non-null.
+    pub fn is_valid(&self, i: usize) -> bool {
+        self.validity.as_ref().map(|v| v.get(i)).unwrap_or(true)
+    }
+
+    /// Element `i`, `None` if null.
+    pub fn value(&self, i: usize) -> Option<bool> {
+        if self.is_valid(i) {
+            Some(self.values.get(i))
+        } else {
+            None
+        }
+    }
+
+    /// Selection view: true where value is true AND valid (SQL WHERE
+    /// semantics: null predicate results do not select).
+    pub fn to_selection(&self) -> Bitmap {
+        match &self.validity {
+            Some(v) => self.values.and(v),
+            None => self.values.clone(),
+        }
+    }
+
+    /// Gather elements at `indices`.
+    pub fn gather(&self, indices: &[usize]) -> BoolArray {
+        BoolArray::from_options(indices.iter().map(|&i| self.value(i)))
+    }
+
+    /// Heap bytes held.
+    pub fn byte_size(&self) -> usize {
+        self.values.byte_size() + self.validity.as_ref().map(|v| v.byte_size()).unwrap_or(0)
+    }
+
+    /// Concatenate arrays.
+    pub fn concat(arrays: &[&BoolArray]) -> BoolArray {
+        BoolArray::from_options(
+            arrays.iter().flat_map(|a| (0..a.len()).map(move |i| a.value(i))),
+        )
+    }
+}
+
+/// A dynamically-typed immutable column. Cloning shares buffers (zero-copy).
+#[derive(Debug, Clone)]
+pub enum Array {
+    /// Boolean column.
+    Bool(BoolArray),
+    /// 32-bit integer column.
+    Int32(PrimitiveArray<i32>),
+    /// 64-bit integer column.
+    Int64(PrimitiveArray<i64>),
+    /// 64-bit float column.
+    Float64(PrimitiveArray<f64>),
+    /// UTF-8 string column.
+    Utf8(StringArray),
+    /// Date column (days since epoch).
+    Date32(PrimitiveArray<i32>),
+}
+
+impl Array {
+    // -- constructors -------------------------------------------------------
+
+    /// Int32 column from values.
+    pub fn from_i32(values: impl IntoIterator<Item = i32>) -> Array {
+        Array::Int32(PrimitiveArray::from_values(values.into_iter().collect()))
+    }
+
+    /// Int64 column from values.
+    pub fn from_i64(values: impl IntoIterator<Item = i64>) -> Array {
+        Array::Int64(PrimitiveArray::from_values(values.into_iter().collect()))
+    }
+
+    /// Float64 column from values.
+    pub fn from_f64(values: impl IntoIterator<Item = f64>) -> Array {
+        Array::Float64(PrimitiveArray::from_values(values.into_iter().collect()))
+    }
+
+    /// Bool column from values.
+    pub fn from_bool(values: impl IntoIterator<Item = bool>) -> Array {
+        Array::Bool(BoolArray::from_values(values))
+    }
+
+    /// String column from values.
+    pub fn from_strs<I, S>(values: I) -> Array
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        Array::Utf8(StringArray::from_strings(values))
+    }
+
+    /// Date column from day counts.
+    pub fn from_date32(values: impl IntoIterator<Item = i32>) -> Array {
+        Array::Date32(PrimitiveArray::from_values(values.into_iter().collect()))
+    }
+
+    /// Build a column of `len` copies of `scalar` with the given type
+    /// (used for literal columns and null padding in outer joins).
+    pub fn from_scalar(scalar: &Scalar, data_type: DataType, len: usize) -> Array {
+        match data_type {
+            DataType::Bool => Array::Bool(BoolArray::from_options(
+                std::iter::repeat(scalar.as_bool()).take(len),
+            )),
+            DataType::Int32 => Array::Int32(PrimitiveArray::from_options(
+                std::iter::repeat(scalar.as_i64().map(|v| v as i32)).take(len),
+                0,
+            )),
+            DataType::Int64 => Array::Int64(PrimitiveArray::from_options(
+                std::iter::repeat(scalar.as_i64()).take(len),
+                0,
+            )),
+            DataType::Float64 => Array::Float64(PrimitiveArray::from_options(
+                std::iter::repeat(scalar.as_f64()).take(len),
+                0.0,
+            )),
+            DataType::Utf8 => Array::Utf8(StringArray::from_options(
+                std::iter::repeat(scalar.as_str()).take(len),
+            )),
+            DataType::Date32 => Array::Date32(PrimitiveArray::from_options(
+                std::iter::repeat(scalar.as_i64().map(|v| v as i32)).take(len),
+                0,
+            )),
+        }
+    }
+
+    /// Build a column from scalars of uniform type.
+    pub fn from_scalars(scalars: &[Scalar], data_type: DataType) -> Array {
+        match data_type {
+            DataType::Bool => {
+                Array::Bool(BoolArray::from_options(scalars.iter().map(|s| s.as_bool())))
+            }
+            DataType::Int32 => Array::Int32(PrimitiveArray::from_options(
+                scalars.iter().map(|s| s.as_i64().map(|v| v as i32)),
+                0,
+            )),
+            DataType::Int64 => Array::Int64(PrimitiveArray::from_options(
+                scalars.iter().map(|s| s.as_i64()),
+                0,
+            )),
+            DataType::Float64 => Array::Float64(PrimitiveArray::from_options(
+                scalars.iter().map(|s| s.as_f64()),
+                0.0,
+            )),
+            DataType::Utf8 => {
+                Array::Utf8(StringArray::from_options(scalars.iter().map(|s| s.as_str())))
+            }
+            DataType::Date32 => Array::Date32(PrimitiveArray::from_options(
+                scalars.iter().map(|s| s.as_i64().map(|v| v as i32)),
+                0,
+            )),
+        }
+    }
+
+    // -- metadata ------------------------------------------------------------
+
+    /// Logical type of the column.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Array::Bool(_) => DataType::Bool,
+            Array::Int32(_) => DataType::Int32,
+            Array::Int64(_) => DataType::Int64,
+            Array::Float64(_) => DataType::Float64,
+            Array::Utf8(_) => DataType::Utf8,
+            Array::Date32(_) => DataType::Date32,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            Array::Bool(a) => a.len(),
+            Array::Int32(a) | Array::Date32(a) => a.len(),
+            Array::Int64(a) => a.len(),
+            Array::Float64(a) => a.len(),
+            Array::Utf8(a) => a.len(),
+        }
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if element `i` is non-null.
+    pub fn is_valid(&self, i: usize) -> bool {
+        match self {
+            Array::Bool(a) => a.is_valid(i),
+            Array::Int32(a) | Array::Date32(a) => a.is_valid(i),
+            Array::Int64(a) => a.is_valid(i),
+            Array::Float64(a) => a.is_valid(i),
+            Array::Utf8(a) => a.is_valid(i),
+        }
+    }
+
+    /// Number of null elements.
+    pub fn null_count(&self) -> usize {
+        (0..self.len()).filter(|&i| !self.is_valid(i)).count()
+    }
+
+    /// Heap bytes held by this column's buffers.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Array::Bool(a) => a.byte_size(),
+            Array::Int32(a) | Array::Date32(a) => a.byte_size(),
+            Array::Int64(a) => a.byte_size(),
+            Array::Float64(a) => a.byte_size(),
+            Array::Utf8(a) => a.byte_size(),
+        }
+    }
+
+    // -- element access ------------------------------------------------------
+
+    /// Element `i` as a [`Scalar`] (`Scalar::Null` for nulls).
+    pub fn scalar(&self, i: usize) -> Scalar {
+        match self {
+            Array::Bool(a) => a.value(i).map(Scalar::Bool).unwrap_or(Scalar::Null),
+            Array::Int32(a) => a.value(i).map(Scalar::Int32).unwrap_or(Scalar::Null),
+            Array::Int64(a) => a.value(i).map(Scalar::Int64).unwrap_or(Scalar::Null),
+            Array::Float64(a) => a.value(i).map(Scalar::Float64).unwrap_or(Scalar::Null),
+            Array::Utf8(a) => {
+                a.value(i).map(|s| Scalar::Utf8(s.to_string())).unwrap_or(Scalar::Null)
+            }
+            Array::Date32(a) => a.value(i).map(Scalar::Date32).unwrap_or(Scalar::Null),
+        }
+    }
+
+    /// String value at `i` (convenience for tests), `None` if not a string
+    /// column or null.
+    pub fn utf8_value(&self, i: usize) -> Option<&str> {
+        match self {
+            Array::Utf8(a) => a.value(i),
+            _ => None,
+        }
+    }
+
+    /// i64 view of element `i` for integer/date columns.
+    pub fn i64_value(&self, i: usize) -> Option<i64> {
+        match self {
+            Array::Int32(a) | Array::Date32(a) => a.value(i).map(|v| v as i64),
+            Array::Int64(a) => a.value(i),
+            _ => None,
+        }
+    }
+
+    /// f64 view of element `i` for numeric columns.
+    pub fn f64_value(&self, i: usize) -> Option<f64> {
+        match self {
+            Array::Int32(a) | Array::Date32(a) => a.value(i).map(|v| v as f64),
+            Array::Int64(a) => a.value(i).map(|v| v as f64),
+            Array::Float64(a) => a.value(i),
+            _ => None,
+        }
+    }
+
+    // -- typed views ---------------------------------------------------------
+
+    /// Borrow as i64 array.
+    pub fn as_i64(&self) -> Result<&PrimitiveArray<i64>> {
+        match self {
+            Array::Int64(a) => Ok(a),
+            other => Err(ColumnarError::TypeMismatch {
+                expected: "i64".into(),
+                actual: other.data_type().to_string(),
+            }),
+        }
+    }
+
+    /// Borrow as i32/date32 array.
+    pub fn as_i32(&self) -> Result<&PrimitiveArray<i32>> {
+        match self {
+            Array::Int32(a) | Array::Date32(a) => Ok(a),
+            other => Err(ColumnarError::TypeMismatch {
+                expected: "i32".into(),
+                actual: other.data_type().to_string(),
+            }),
+        }
+    }
+
+    /// Borrow as f64 array.
+    pub fn as_f64(&self) -> Result<&PrimitiveArray<f64>> {
+        match self {
+            Array::Float64(a) => Ok(a),
+            other => Err(ColumnarError::TypeMismatch {
+                expected: "f64".into(),
+                actual: other.data_type().to_string(),
+            }),
+        }
+    }
+
+    /// Borrow as string array.
+    pub fn as_utf8(&self) -> Result<&StringArray> {
+        match self {
+            Array::Utf8(a) => Ok(a),
+            other => Err(ColumnarError::TypeMismatch {
+                expected: "utf8".into(),
+                actual: other.data_type().to_string(),
+            }),
+        }
+    }
+
+    /// Borrow as bool array.
+    pub fn as_bool(&self) -> Result<&BoolArray> {
+        match self {
+            Array::Bool(a) => Ok(a),
+            other => Err(ColumnarError::TypeMismatch {
+                expected: "bool".into(),
+                actual: other.data_type().to_string(),
+            }),
+        }
+    }
+
+    // -- data movement -------------------------------------------------------
+
+    /// Gather elements at `indices` into a new column.
+    pub fn gather(&self, indices: &[usize]) -> Array {
+        match self {
+            Array::Bool(a) => Array::Bool(a.gather(indices)),
+            Array::Int32(a) => Array::Int32(a.gather(indices)),
+            Array::Int64(a) => Array::Int64(a.gather(indices)),
+            Array::Float64(a) => Array::Float64(a.gather(indices)),
+            Array::Utf8(a) => Array::Utf8(a.gather(indices)),
+            Array::Date32(a) => Array::Date32(a.gather(indices)),
+        }
+    }
+
+    /// Gather with optional indices: `None` produces a null (outer joins).
+    pub fn gather_opt(&self, indices: &[Option<usize>]) -> Array {
+        let scalars: Vec<Scalar> = indices
+            .iter()
+            .map(|ix| ix.map(|i| self.scalar(i)).unwrap_or(Scalar::Null))
+            .collect();
+        Array::from_scalars(&scalars, self.data_type())
+    }
+
+    /// Keep elements where `selection` is set.
+    pub fn filter(&self, selection: &Bitmap) -> Array {
+        assert_eq!(selection.len(), self.len(), "selection length mismatch");
+        self.gather(&selection.set_indices())
+    }
+
+    /// Concatenate same-typed columns. Panics on type mismatch.
+    pub fn concat(arrays: &[&Array]) -> Array {
+        assert!(!arrays.is_empty(), "concat of zero arrays");
+        match arrays[0] {
+            Array::Bool(_) => Array::Bool(BoolArray::concat(
+                &arrays.iter().map(|a| a.as_bool().expect("bool")).collect::<Vec<_>>(),
+            )),
+            Array::Int32(_) => Array::Int32(PrimitiveArray::concat(
+                &arrays.iter().map(|a| a.as_i32().expect("i32")).collect::<Vec<_>>(),
+            )),
+            Array::Date32(_) => Array::Date32(PrimitiveArray::concat(
+                &arrays.iter().map(|a| a.as_i32().expect("date32")).collect::<Vec<_>>(),
+            )),
+            Array::Int64(_) => Array::Int64(PrimitiveArray::concat(
+                &arrays.iter().map(|a| a.as_i64().expect("i64")).collect::<Vec<_>>(),
+            )),
+            Array::Float64(_) => Array::Float64(PrimitiveArray::concat(
+                &arrays.iter().map(|a| a.as_f64().expect("f64")).collect::<Vec<_>>(),
+            )),
+            Array::Utf8(_) => Array::Utf8(StringArray::concat(
+                &arrays.iter().map(|a| a.as_utf8().expect("utf8")).collect::<Vec<_>>(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constructors_and_access() {
+        let a = Array::from_i64([10, 20, 30]);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.data_type(), DataType::Int64);
+        assert_eq!(a.scalar(1), Scalar::Int64(20));
+        assert_eq!(a.i64_value(2), Some(30));
+        assert_eq!(a.f64_value(0), Some(10.0));
+        assert_eq!(a.null_count(), 0);
+    }
+
+    #[test]
+    fn nullable_primitive() {
+        let a = Array::Int64(PrimitiveArray::from_options([Some(1), None, Some(3)], 0));
+        assert_eq!(a.null_count(), 1);
+        assert_eq!(a.scalar(1), Scalar::Null);
+        assert!(!a.is_valid(1));
+    }
+
+    #[test]
+    fn gather_and_filter() {
+        let a = Array::from_i32([5, 6, 7, 8]);
+        let g = a.gather(&[3, 0]);
+        assert_eq!(g.i64_value(0), Some(8));
+        assert_eq!(g.i64_value(1), Some(5));
+        let sel = Bitmap::from_iter([true, false, true, false]);
+        let f = a.filter(&sel);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.i64_value(1), Some(7));
+    }
+
+    #[test]
+    fn gather_opt_produces_nulls() {
+        let a = Array::from_strs(["x", "y"]);
+        let g = a.gather_opt(&[Some(1), None, Some(0)]);
+        assert_eq!(g.utf8_value(0), Some("y"));
+        assert_eq!(g.scalar(1), Scalar::Null);
+        assert_eq!(g.utf8_value(2), Some("x"));
+        assert_eq!(g.null_count(), 1);
+    }
+
+    #[test]
+    fn from_scalar_null_padding() {
+        let a = Array::from_scalar(&Scalar::Null, DataType::Int64, 4);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.null_count(), 4);
+        let b = Array::from_scalar(&Scalar::Int64(9), DataType::Int64, 2);
+        assert_eq!(b.i64_value(1), Some(9));
+    }
+
+    #[test]
+    fn concat_mixed_nullability() {
+        let a = Array::from_i64([1]);
+        let b = Array::Int64(PrimitiveArray::from_options([None, Some(2)], 0));
+        let c = Array::concat(&[&a, &b]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.scalar(1), Scalar::Null);
+        assert_eq!(c.i64_value(2), Some(2));
+    }
+
+    #[test]
+    fn typed_view_errors() {
+        let a = Array::from_bool([true]);
+        assert!(a.as_i64().is_err());
+        assert!(a.as_bool().is_ok());
+    }
+
+    #[test]
+    fn bool_selection_treats_null_as_false() {
+        let a = BoolArray::from_options([Some(true), None, Some(false), Some(true)]);
+        let sel = a.to_selection();
+        assert_eq!(sel.set_indices(), vec![0, 3]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_gather_matches_scalar_access(
+            values in proptest::collection::vec(any::<i64>(), 1..80),
+            idx_seed in proptest::collection::vec(any::<usize>(), 0..80),
+        ) {
+            let a = Array::from_i64(values.clone());
+            let indices: Vec<usize> = idx_seed.iter().map(|i| i % values.len()).collect();
+            let g = a.gather(&indices);
+            prop_assert_eq!(g.len(), indices.len());
+            for (out_i, &src_i) in indices.iter().enumerate() {
+                prop_assert_eq!(g.i64_value(out_i), Some(values[src_i]));
+            }
+        }
+
+        #[test]
+        fn prop_filter_preserves_order(
+            values in proptest::collection::vec(any::<i32>(), 0..100),
+            mask_seed in any::<u64>(),
+        ) {
+            let mask: Vec<bool> = (0..values.len())
+                .map(|i| (mask_seed >> (i % 64)) & 1 == 1)
+                .collect();
+            let a = Array::from_i32(values.clone());
+            let f = a.filter(&Bitmap::from_iter(mask.iter().copied()));
+            let expected: Vec<i32> = values
+                .iter()
+                .zip(mask.iter())
+                .filter(|(_, m)| **m)
+                .map(|(v, _)| *v)
+                .collect();
+            prop_assert_eq!(f.len(), expected.len());
+            for (i, e) in expected.iter().enumerate() {
+                prop_assert_eq!(f.i64_value(i), Some(*e as i64));
+            }
+        }
+    }
+}

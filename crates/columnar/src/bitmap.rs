@@ -1,0 +1,213 @@
+//! Validity bitmaps and selection masks, packed 64 bits to a word.
+
+use std::sync::Arc;
+
+/// An immutable packed bitmap. Bit `i` set means "valid" (or "selected").
+///
+/// Cloning is cheap: the word buffer is shared.
+#[derive(Debug, Clone)]
+pub struct Bitmap {
+    words: Arc<Vec<u64>>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// A bitmap of `len` bits, all set.
+    pub fn all_set(len: usize) -> Self {
+        let mut words = vec![u64::MAX; len.div_ceil(64)];
+        Self::mask_tail(&mut words, len);
+        Self { words: Arc::new(words), len }
+    }
+
+    /// A bitmap of `len` bits, all clear.
+    pub fn all_clear(len: usize) -> Self {
+        Self { words: Arc::new(vec![0; len.div_ceil(64)]), len }
+    }
+
+    /// Build from an iterator of booleans.
+    pub fn from_iter(iter: impl IntoIterator<Item = bool>) -> Self {
+        let mut words: Vec<u64> = Vec::new();
+        let mut len = 0usize;
+        for b in iter {
+            if len % 64 == 0 {
+                words.push(0);
+            }
+            if b {
+                *words.last_mut().expect("word pushed") |= 1u64 << (len % 64);
+            }
+            len += 1;
+        }
+        Self { words: Arc::new(words), len }
+    }
+
+    fn mask_tail(words: &mut [u64], len: usize) {
+        if len % 64 != 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << (len % 64)) - 1;
+            }
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitmap has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Value of bit `i`. Panics if out of bounds.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of bounds ({})", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_set(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Bitwise AND of two equal-length bitmaps.
+    pub fn and(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        let words =
+            self.words.iter().zip(other.words.iter()).map(|(a, b)| a & b).collect();
+        Bitmap { words: Arc::new(words), len: self.len }
+    }
+
+    /// Bitwise OR of two equal-length bitmaps.
+    pub fn or(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        let words =
+            self.words.iter().zip(other.words.iter()).map(|(a, b)| a | b).collect();
+        Bitmap { words: Arc::new(words), len: self.len }
+    }
+
+    /// Bitwise NOT (within `len` bits).
+    pub fn not(&self) -> Bitmap {
+        let mut words: Vec<u64> = self.words.iter().map(|w| !w).collect();
+        Self::mask_tail(&mut words, self.len);
+        Bitmap { words: Arc::new(words), len: self.len }
+    }
+
+    /// Indices of set bits, ascending.
+    pub fn set_indices(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.count_set());
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                out.push(wi * 64 + bit);
+                w &= w - 1;
+            }
+        }
+        out
+    }
+
+    /// Iterate bits as booleans.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Gather bits at `indices` into a new bitmap.
+    pub fn gather(&self, indices: &[usize]) -> Bitmap {
+        Bitmap::from_iter(indices.iter().map(|&i| self.get(i)))
+    }
+
+    /// Approximate heap size in bytes (the word buffer).
+    pub fn byte_size(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+impl PartialEq for Bitmap {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.words == other.words
+    }
+}
+impl Eq for Bitmap {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn all_set_and_clear() {
+        let s = Bitmap::all_set(70);
+        assert_eq!(s.len(), 70);
+        assert_eq!(s.count_set(), 70);
+        assert!(s.get(69));
+        let c = Bitmap::all_clear(70);
+        assert_eq!(c.count_set(), 0);
+        assert!(!c.get(0));
+    }
+
+    #[test]
+    fn from_iter_round_trip() {
+        let bits = [true, false, true, true, false];
+        let b = Bitmap::from_iter(bits);
+        assert_eq!(b.len(), 5);
+        for (i, &expect) in bits.iter().enumerate() {
+            assert_eq!(b.get(i), expect);
+        }
+        assert_eq!(b.set_indices(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn tail_bits_are_masked_after_not() {
+        let b = Bitmap::all_clear(3).not();
+        assert_eq!(b.count_set(), 3);
+        // A second not returns to all-clear, proving the tail stayed clean.
+        assert_eq!(b.not().count_set(), 0);
+    }
+
+    #[test]
+    fn gather_reorders() {
+        let b = Bitmap::from_iter([true, false, true]);
+        let g = b.gather(&[2, 2, 1, 0]);
+        assert_eq!(
+            g.iter().collect::<Vec<_>>(),
+            vec![true, true, false, true]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        Bitmap::all_set(8).get(8);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_and_or_not_algebra(bits in proptest::collection::vec(any::<bool>(), 0..300)) {
+            let b = Bitmap::from_iter(bits.iter().copied());
+            // Involution: !!b == b
+            prop_assert_eq!(b.not().not(), b.clone());
+            // b & b == b, b | b == b
+            prop_assert_eq!(b.and(&b), b.clone());
+            prop_assert_eq!(b.or(&b), b.clone());
+            // b & !b == 0, b | !b == all-set
+            prop_assert_eq!(b.and(&b.not()).count_set(), 0);
+            prop_assert_eq!(b.or(&b.not()).count_set(), bits.len());
+            // popcount consistency
+            prop_assert_eq!(b.count_set(), bits.iter().filter(|x| **x).count());
+            prop_assert_eq!(b.set_indices().len(), b.count_set());
+        }
+
+        #[test]
+        fn prop_de_morgan(
+            a in proptest::collection::vec(any::<bool>(), 0..200),
+        ) {
+            let n = a.len();
+            let b: Vec<bool> = a.iter().map(|x| !x).collect();
+            let ba = Bitmap::from_iter(a);
+            let bb = Bitmap::from_iter(b);
+            prop_assert_eq!(ba.and(&bb).not(), ba.not().or(&bb.not()));
+            prop_assert_eq!(ba.or(&bb).not(), ba.not().and(&bb.not()));
+            prop_assert_eq!(ba.len(), n);
+        }
+    }
+}

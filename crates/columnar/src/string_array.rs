@@ -1,0 +1,172 @@
+//! Arrow-layout UTF-8 string arrays: an `i32` offset buffer plus a byte
+//! buffer, both reference-counted for zero-copy sharing.
+
+use crate::bitmap::Bitmap;
+use std::sync::Arc;
+
+/// Immutable UTF-8 string array.
+#[derive(Debug, Clone)]
+pub struct StringArray {
+    offsets: Arc<Vec<i32>>,
+    data: Arc<Vec<u8>>,
+    validity: Option<Bitmap>,
+}
+
+impl StringArray {
+    /// Build from owned strings (all valid).
+    pub fn from_strings<I, S>(iter: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut offsets = vec![0i32];
+        let mut data = Vec::new();
+        for s in iter {
+            data.extend_from_slice(s.as_ref().as_bytes());
+            offsets.push(i32::try_from(data.len()).expect("string buffer < 2 GiB"));
+        }
+        Self { offsets: Arc::new(offsets), data: Arc::new(data), validity: None }
+    }
+
+    /// Build from optional strings (None ⇒ null).
+    pub fn from_options<I, S>(iter: I) -> Self
+    where
+        I: IntoIterator<Item = Option<S>>,
+        S: AsRef<str>,
+    {
+        let mut offsets = vec![0i32];
+        let mut data = Vec::new();
+        let mut bits = Vec::new();
+        for s in iter {
+            match s {
+                Some(s) => {
+                    data.extend_from_slice(s.as_ref().as_bytes());
+                    bits.push(true);
+                }
+                None => bits.push(false),
+            }
+            offsets.push(i32::try_from(data.len()).expect("string buffer < 2 GiB"));
+        }
+        let validity =
+            if bits.iter().all(|b| *b) { None } else { Some(Bitmap::from_iter(bits)) };
+        Self { offsets: Arc::new(offsets), data: Arc::new(data), validity }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if element `i` is non-null.
+    pub fn is_valid(&self, i: usize) -> bool {
+        self.validity.as_ref().map(|v| v.get(i)).unwrap_or(true)
+    }
+
+    /// Element `i` as `&str`, `None` if null.
+    pub fn value(&self, i: usize) -> Option<&str> {
+        if !self.is_valid(i) {
+            return None;
+        }
+        let start = self.offsets[i] as usize;
+        let end = self.offsets[i + 1] as usize;
+        // SAFETY-free: buffers were built from &str, so always valid UTF-8.
+        Some(std::str::from_utf8(&self.data[start..end]).expect("valid utf8"))
+    }
+
+    /// The validity bitmap, if any element is null.
+    pub fn validity(&self) -> Option<&Bitmap> {
+        self.validity.as_ref()
+    }
+
+    /// Gather elements at `indices` into a new array.
+    pub fn gather(&self, indices: &[usize]) -> StringArray {
+        StringArray::from_options(indices.iter().map(|&i| self.value(i)))
+    }
+
+    /// Iterate elements as `Option<&str>`.
+    pub fn iter(&self) -> impl Iterator<Item = Option<&str>> + '_ {
+        (0..self.len()).map(move |i| self.value(i))
+    }
+
+    /// Heap bytes held (offsets + payload + validity).
+    pub fn byte_size(&self) -> usize {
+        self.offsets.len() * 4
+            + self.data.len()
+            + self.validity.as_ref().map(|v| v.byte_size()).unwrap_or(0)
+    }
+
+    /// Concatenate several arrays.
+    pub fn concat(arrays: &[&StringArray]) -> StringArray {
+        StringArray::from_options(arrays.iter().flat_map(|a| a.iter()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip() {
+        let a = StringArray::from_strings(["a", "", "hello", "naïve"]);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.value(0), Some("a"));
+        assert_eq!(a.value(1), Some(""));
+        assert_eq!(a.value(3), Some("naïve"));
+        assert!(a.validity().is_none());
+    }
+
+    #[test]
+    fn nulls() {
+        let a = StringArray::from_options([Some("x"), None, Some("y")]);
+        assert!(a.is_valid(0));
+        assert!(!a.is_valid(1));
+        assert_eq!(a.value(1), None);
+        assert_eq!(a.value(2), Some("y"));
+        assert!(a.validity().is_some());
+    }
+
+    #[test]
+    fn gather_with_nulls() {
+        let a = StringArray::from_options([Some("x"), None, Some("y")]);
+        let g = a.gather(&[2, 1, 0, 0]);
+        assert_eq!(
+            g.iter().collect::<Vec<_>>(),
+            vec![Some("y"), None, Some("x"), Some("x")]
+        );
+    }
+
+    #[test]
+    fn concat_preserves_order_and_nulls() {
+        let a = StringArray::from_strings(["a"]);
+        let b = StringArray::from_options([None, Some("b")]);
+        let c = StringArray::concat(&[&a, &b]);
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![Some("a"), None, Some("b")]);
+    }
+
+    #[test]
+    fn clone_is_zero_copy() {
+        let a = StringArray::from_strings(vec!["payload"; 1000]);
+        let before = a.byte_size();
+        let b = a.clone();
+        // Shared buffers: same reported size, same pointers.
+        assert_eq!(b.byte_size(), before);
+        assert!(Arc::ptr_eq(&a.data, &b.data));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(strings in proptest::collection::vec(".{0,12}", 0..50)) {
+            let a = StringArray::from_strings(&strings);
+            prop_assert_eq!(a.len(), strings.len());
+            for (i, s) in strings.iter().enumerate() {
+                prop_assert_eq!(a.value(i), Some(s.as_str()));
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! The Sirius exchange service layer (§3.2.4).
+//!
+//! Owns a node's NCCL communicator, implements the four exchange patterns
+//! as physical operations over tables, charges wire time to the node's
+//! device under `CostCategory::Exchange`, and keeps the runtime registry of
+//! exchanged intermediates as temporary tables (deregistered when their
+//! consuming fragments finish).
+
+use crate::{Result, SiriusError};
+use sirius_columnar::{Array, Table};
+use sirius_cudf::hash::{FxBuildHasher, Key};
+use sirius_hw::{CostCategory, Device};
+use sirius_nccl::Communicator;
+use sirius_plan::ExchangeKind;
+use std::collections::HashMap;
+use std::hash::BuildHasher;
+use std::sync::Arc;
+
+/// Per-node exchange service.
+pub struct ExchangeService {
+    comm: Communicator,
+    device: Device,
+    registry: HashMap<String, Arc<Table>>,
+}
+
+impl ExchangeService {
+    /// Wrap a communicator for the node running on `device`.
+    pub fn new(comm: Communicator, device: Device) -> Self {
+        Self { comm, device, registry: HashMap::new() }
+    }
+
+    /// This node's rank.
+    pub fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    /// Cluster size.
+    pub fn world(&self) -> usize {
+        self.comm.world()
+    }
+
+    /// Execute one exchange pattern over `local`, returning this node's
+    /// share of the result. Key expressions for shuffles must already be
+    /// evaluated into columns by the caller (engine-owned state, stateless
+    /// operators).
+    pub fn exchange(
+        &mut self,
+        kind: &ExchangeKind,
+        local: Table,
+        shuffle_keys: &[Array],
+    ) -> Result<Table> {
+        let (out, wire) = match kind {
+            ExchangeKind::Shuffle { .. } => {
+                let parts = partition_by_hash(&local, shuffle_keys, self.comm.world());
+                self.comm
+                    .shuffle(parts)
+                    .map_err(|e| SiriusError::Exchange(e.to_string()))?
+            }
+            ExchangeKind::Broadcast => {
+                // Replicate every node's partition to every node: an
+                // all-gather built from per-rank sends.
+                let parts = vec![local; self.comm.world()];
+                self.comm
+                    .shuffle(parts)
+                    .map_err(|e| SiriusError::Exchange(e.to_string()))?
+            }
+            ExchangeKind::Merge => self
+                .comm
+                .merge(0, local)
+                .map_err(|e| SiriusError::Exchange(e.to_string()))?,
+            ExchangeKind::MultiCast { targets } => {
+                let world = self.comm.world();
+                let mut parts: Vec<Table> =
+                    (0..world).map(|_| Table::empty(local.schema().clone())).collect();
+                for &t in targets {
+                    if t < world {
+                        parts[t] = local.clone();
+                    }
+                }
+                self.comm
+                    .shuffle(parts)
+                    .map_err(|e| SiriusError::Exchange(e.to_string()))?
+            }
+        };
+        self.device.charge_duration(CostCategory::Exchange, wire);
+        Ok(out)
+    }
+
+    /// Register exchanged intermediate data as a temporary table.
+    pub fn register_temp(&mut self, name: impl Into<String>, table: Table) {
+        self.registry.insert(name.into(), Arc::new(table));
+    }
+
+    /// Fetch a registered temporary table.
+    pub fn temp(&self, name: &str) -> Result<Arc<Table>> {
+        self.registry
+            .get(name)
+            .cloned()
+            .ok_or_else(|| SiriusError::Exchange(format!("no temp table {name}")))
+    }
+
+    /// Deregister a temporary table once its consuming fragment finished.
+    pub fn deregister_temp(&mut self, name: &str) -> bool {
+        self.registry.remove(name).is_some()
+    }
+
+    /// Number of live temporary tables.
+    pub fn temp_count(&self) -> usize {
+        self.registry.len()
+    }
+}
+
+/// Hash-partition rows across `world` nodes by the key columns. All engines
+/// and the distributed planner use this same function, so co-partitioning
+/// assumptions hold across the system.
+pub fn partition_by_hash(table: &Table, keys: &[Array], world: usize) -> Vec<Table> {
+    let hasher = FxBuildHasher::default();
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); world];
+    for row in 0..table.num_rows() {
+        let key: Key = keys.iter().map(|k| k.scalar(row)).collect();
+        let h = hasher.hash_one(&key);
+        buckets[(h % world as u64) as usize].push(row);
+    }
+    buckets.into_iter().map(|rows| table.gather(&rows)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirius_columnar::{DataType, Field, Schema};
+    use sirius_hw::catalog;
+    use sirius_nccl::NcclCluster;
+
+    fn t(values: Vec<i64>) -> Table {
+        Table::new(
+            Schema::new(vec![Field::new("k", DataType::Int64)]),
+            vec![Array::from_i64(values)],
+        )
+    }
+
+    #[test]
+    fn partition_is_deterministic_and_complete() {
+        let table = t((0..100).collect());
+        let keys = vec![table.column(0).clone()];
+        let parts = partition_by_hash(&table, &keys, 4);
+        assert_eq!(parts.len(), 4);
+        let total: usize = parts.iter().map(|p| p.num_rows()).sum();
+        assert_eq!(total, 100);
+        // Same key always lands on the same node.
+        let parts2 = partition_by_hash(&table, &keys, 4);
+        for (a, b) in parts.iter().zip(parts2.iter()) {
+            assert_eq!(a.canonical_rows(), b.canonical_rows());
+        }
+    }
+
+    #[test]
+    fn shuffle_exchange_across_nodes() {
+        let comms = NcclCluster::new(2, catalog::infiniband_4xndr());
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|c| {
+                std::thread::spawn(move || {
+                    let device = Device::new(catalog::a100_40gb());
+                    let mut svc = ExchangeService::new(c, device.clone());
+                    let rank = svc.rank();
+                    let local = t(vec![rank as i64 * 10, rank as i64 * 10 + 1]);
+                    let keys = vec![local.column(0).clone()];
+                    let kind = ExchangeKind::Shuffle {
+                        keys: vec![sirius_plan::expr::col(0)],
+                    };
+                    let out = svc.exchange(&kind, local, &keys).unwrap();
+                    (out.num_rows(), device.breakdown().get(CostCategory::Exchange))
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let total: usize = results.iter().map(|(n, _)| n).sum();
+        assert_eq!(total, 4, "shuffle conserves rows");
+    }
+
+    #[test]
+    fn broadcast_replicates_everything_everywhere() {
+        let comms = NcclCluster::new(3, catalog::infiniband_4xndr());
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|c| {
+                std::thread::spawn(move || {
+                    let device = Device::new(catalog::a100_40gb());
+                    let mut svc = ExchangeService::new(c, device);
+                    let local = t(vec![svc.rank() as i64]);
+                    let out =
+                        svc.exchange(&ExchangeKind::Broadcast, local, &[]).unwrap();
+                    out.num_rows()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 3, "every node holds the full table");
+        }
+    }
+
+    #[test]
+    fn temp_registry_lifecycle() {
+        let comms = NcclCluster::new(1, catalog::infiniband_4xndr());
+        let mut svc = ExchangeService::new(
+            comms.into_iter().next().unwrap(),
+            Device::new(catalog::a100_40gb()),
+        );
+        svc.register_temp("frag1.out", t(vec![1]));
+        assert_eq!(svc.temp_count(), 1);
+        assert_eq!(svc.temp("frag1.out").unwrap().num_rows(), 1);
+        assert!(svc.deregister_temp("frag1.out"));
+        assert!(!svc.deregister_temp("frag1.out"));
+        assert!(svc.temp("frag1.out").is_err());
+    }
+}

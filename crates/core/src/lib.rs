@@ -1,0 +1,91 @@
+//! # sirius-core — the Sirius GPU-native SQL engine
+//!
+//! The paper's primary contribution (§3): a SQL execution engine that treats
+//! the GPU as the *primary* execution device, consumes Substrait-style plans
+//! from host databases, and executes them end-to-end on device — scan to
+//! result — falling back to the host only for unsupported features.
+//!
+//! Architecture (Figure 2):
+//!
+//! * **Query execution engine** ([`engine`]) — compiles the plan into
+//!   pipelines ([`pipeline`]), enqueues pipeline tasks into a global task
+//!   queue drained by CPU worker threads, and executes each pipeline
+//!   push-based over the GPU kernel library (`sirius-cudf`). Operators stay
+//!   stateless; the executor owns all state.
+//! * **Buffer manager** ([`buffer`]) — the two-region memory layout of
+//!   §3.2.3: a pre-allocated caching region (with pinned-host overflow) and
+//!   an RMM-pooled processing region, plus the columnar format conversions,
+//!   including the `u64` ↔ `i32` row-index conversion at the libcudf
+//!   boundary.
+//! * **Exchange service layer** ([`exchange`]) — broadcast / shuffle /
+//!   merge / multicast over the NCCL layer, with the temp-table registry of
+//!   §3.2.4. Bypassed entirely in single-node deployments.
+//! * **Drop-in acceleration** ([`context`]) — the host-facing API: plans
+//!   arrive as Substrait JSON, results return as shared columnar tables,
+//!   and a [`context::HostEngine`] hook provides the graceful CPU fallback
+//!   of §3.2.2.
+
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod context;
+pub mod engine;
+pub mod exchange;
+pub mod exprs;
+pub mod metrics;
+pub mod pipeline;
+
+pub use buffer::BufferManager;
+pub use context::{HostEngine, SiriusContext};
+pub use engine::SiriusEngine;
+pub use metrics::QueryReport;
+
+/// Errors from the GPU engine. `Fallback`-class errors route the query back
+/// to the host database (§3.2.2's graceful fallback).
+#[derive(Debug, Clone)]
+pub enum SiriusError {
+    /// The plan failed validation.
+    Plan(sirius_plan::PlanError),
+    /// A kernel rejected its inputs.
+    Kernel(String),
+    /// A referenced table is not cached and no host loader was provided.
+    TableNotCached(String),
+    /// The plan uses a feature this engine build does not support
+    /// (triggers host fallback).
+    Unsupported(String),
+    /// Device memory exhausted (triggers host fallback until out-of-core
+    /// execution lands, §3.4).
+    OutOfMemory(String),
+    /// Exchange-layer failure.
+    Exchange(String),
+}
+
+impl From<sirius_plan::PlanError> for SiriusError {
+    fn from(e: sirius_plan::PlanError) -> Self {
+        SiriusError::Plan(e)
+    }
+}
+
+impl From<sirius_cudf::KernelError> for SiriusError {
+    fn from(e: sirius_cudf::KernelError) -> Self {
+        SiriusError::Kernel(e.to_string())
+    }
+}
+
+impl std::fmt::Display for SiriusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SiriusError::Plan(e) => write!(f, "plan error: {e}"),
+            SiriusError::Kernel(m) => write!(f, "kernel error: {m}"),
+            SiriusError::TableNotCached(t) => write!(f, "table not cached: {t}"),
+            SiriusError::Unsupported(m) => write!(f, "unsupported on GPU: {m}"),
+            SiriusError::OutOfMemory(m) => write!(f, "device out of memory: {m}"),
+            SiriusError::Exchange(m) => write!(f, "exchange error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SiriusError {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, SiriusError>;

@@ -1,0 +1,111 @@
+//! Per-query execution reports: the data behind Figure 5 and Table 2.
+
+use sirius_hw::{CostCategory, TimeBreakdown};
+use std::time::Duration;
+
+/// What happened during one query execution.
+#[derive(Debug, Clone)]
+pub struct QueryReport {
+    /// Engine that produced the result (`"sirius"` or the fallback host).
+    pub engine: String,
+    /// Rows in the result.
+    pub rows: usize,
+    /// Total simulated time.
+    pub elapsed: Duration,
+    /// Per-operator-category attribution.
+    pub breakdown: TimeBreakdown,
+    /// Pipelines the plan decomposed into.
+    pub pipelines: usize,
+    /// Reason the query fell back to the host, if it did.
+    pub fallback_reason: Option<String>,
+}
+
+impl QueryReport {
+    /// Fraction of total time in `category`, in `[0, 1]`.
+    pub fn share(&self, category: CostCategory) -> f64 {
+        let total = self.breakdown.total().as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.breakdown.get(category).as_secs_f64() / total
+        }
+    }
+
+    /// The category consuming the most time.
+    pub fn dominant_category(&self) -> Option<CostCategory> {
+        CostCategory::ALL
+            .iter()
+            .copied()
+            .max_by(|a, b| {
+                self.breakdown.get(*a).cmp(&self.breakdown.get(*b))
+            })
+            .filter(|c| self.breakdown.get(*c) > Duration::ZERO)
+    }
+
+    /// One-line rendering for harness output.
+    pub fn summary(&self) -> String {
+        let mut parts: Vec<String> = self
+            .breakdown
+            .entries()
+            .iter()
+            .map(|(c, d)| format!("{}={:.2}ms", c.label(), d.as_secs_f64() * 1e3))
+            .collect();
+        if let Some(r) = &self.fallback_reason {
+            parts.push(format!("fallback={r}"));
+        }
+        format!(
+            "{}: {} rows in {:.2}ms [{}]",
+            self.engine,
+            self.rows,
+            self.elapsed.as_secs_f64() * 1e3,
+            parts.join(" ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> QueryReport {
+        let mut b = TimeBreakdown::default();
+        b.add(CostCategory::Join, Duration::from_millis(6));
+        b.add(CostCategory::Filter, Duration::from_millis(2));
+        QueryReport {
+            engine: "sirius".into(),
+            rows: 10,
+            elapsed: Duration::from_millis(8),
+            breakdown: b,
+            pipelines: 3,
+            fallback_reason: None,
+        }
+    }
+
+    #[test]
+    fn shares_and_dominance() {
+        let r = report();
+        assert!((r.share(CostCategory::Join) - 0.75).abs() < 1e-9);
+        assert_eq!(r.dominant_category(), Some(CostCategory::Join));
+    }
+
+    #[test]
+    fn summary_renders() {
+        let s = report().summary();
+        assert!(s.contains("sirius: 10 rows"));
+        assert!(s.contains("join=6.00ms"));
+    }
+
+    #[test]
+    fn empty_breakdown_has_no_dominant() {
+        let r = QueryReport {
+            engine: "x".into(),
+            rows: 0,
+            elapsed: Duration::ZERO,
+            breakdown: TimeBreakdown::default(),
+            pipelines: 1,
+            fallback_reason: None,
+        };
+        assert_eq!(r.dominant_category(), None);
+        assert_eq!(r.share(CostCategory::Join), 0.0);
+    }
+}

@@ -1,0 +1,292 @@
+//! Pipeline decomposition and the global task queue (§3.2.2).
+//!
+//! The plan is divided into pipelines at pipeline breakers (hash-join
+//! builds, aggregations, sorts, distinct, exchanges). Each pipeline becomes
+//! a task in a global queue drained by idle CPU worker threads, which
+//! launch the actual GPU kernels — the execution model the paper shares
+//! with DuckDB, Hyper, and Velox.
+
+use parking_lot::{Condvar, Mutex};
+use sirius_plan::Rel;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// What terminates a pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerKind {
+    /// Final result materialization (the root pipeline).
+    Result,
+    /// Hash-join build side.
+    JoinBuild,
+    /// Aggregation (grouped or global).
+    Aggregate,
+    /// Sort.
+    Sort,
+    /// Duplicate elimination.
+    Distinct,
+    /// Distributed exchange.
+    Exchange,
+}
+
+/// Static description of one pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineInfo {
+    /// Pipeline id (topological: deps have smaller ids).
+    pub id: usize,
+    /// Pipelines whose results this one consumes.
+    pub deps: Vec<usize>,
+    /// The breaker terminating this pipeline.
+    pub breaker: BreakerKind,
+    /// Number of operators in the pipeline.
+    pub operators: usize,
+}
+
+/// Decompose a plan into its pipeline DAG.
+pub fn decompose(plan: &Rel) -> Vec<PipelineInfo> {
+    fn walk(rel: &Rel, out: &mut Vec<PipelineInfo>) -> usize {
+        match rel {
+            Rel::Read { .. } => {
+                let id = out.len();
+                out.push(PipelineInfo {
+                    id,
+                    deps: vec![],
+                    breaker: BreakerKind::Result,
+                    operators: 1,
+                });
+                id
+            }
+            // Streaming operators extend the input's pipeline.
+            Rel::Filter { input, .. } | Rel::Project { input, .. } | Rel::Limit { input, .. } => {
+                let p = walk(input, out);
+                out[p].operators += 1;
+                p
+            }
+            Rel::Join { left, right, .. } => {
+                // The build side ends in a JoinBuild breaker; the probe side
+                // streams through this join.
+                let build = walk(right, out);
+                out[build].breaker = BreakerKind::JoinBuild;
+                let probe = walk(left, out);
+                out[probe].operators += 1;
+                out[probe].deps.push(build);
+                probe
+            }
+            Rel::Aggregate { input, .. }
+            | Rel::Sort { input, .. }
+            | Rel::Distinct { input }
+            | Rel::Exchange { input, .. } => {
+                let p = walk(input, out);
+                out[p].breaker = match rel {
+                    Rel::Aggregate { .. } => BreakerKind::Aggregate,
+                    Rel::Sort { .. } => BreakerKind::Sort,
+                    Rel::Distinct { .. } => BreakerKind::Distinct,
+                    _ => BreakerKind::Exchange,
+                };
+                let id = out.len();
+                out.push(PipelineInfo {
+                    id,
+                    deps: vec![p],
+                    breaker: BreakerKind::Result,
+                    operators: 1,
+                });
+                id
+            }
+        }
+    }
+    let mut out = Vec::new();
+    let root = walk(plan, &mut out);
+    out[root].breaker = BreakerKind::Result;
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Global task queue
+// ---------------------------------------------------------------------------
+
+type Task = Box<dyn FnOnce() + Send>;
+
+struct QueueInner {
+    tasks: Mutex<VecDeque<Task>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// The global task queue: idle CPU threads pull pipeline tasks and execute
+/// them (launching GPU kernels). Blocking on a sub-task *helps* — the
+/// waiter drains other queued tasks inline — so arbitrarily nested plans
+/// can never deadlock the pool.
+pub struct TaskQueue {
+    inner: Arc<QueueInner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl TaskQueue {
+    /// Start a queue drained by `workers` CPU threads.
+    pub fn new(workers: usize) -> Self {
+        let inner = Arc::new(QueueInner {
+            tasks: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || loop {
+                    let task = {
+                        let mut q = inner.tasks.lock();
+                        loop {
+                            if let Some(t) = q.pop_front() {
+                                break Some(t);
+                            }
+                            if inner.shutdown.load(Ordering::Acquire) {
+                                break None;
+                            }
+                            inner.available.wait(&mut q);
+                        }
+                    };
+                    match task {
+                        Some(t) => t(),
+                        None => return,
+                    }
+                })
+            })
+            .collect();
+        Self { inner, workers: handles }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueue a task (fire and forget).
+    pub fn submit(&self, task: Task) {
+        self.inner.tasks.lock().push_back(task);
+        self.inner.available.notify_one();
+    }
+
+    /// Run `f` as a queued task and wait for its result, helping drain the
+    /// queue while waiting.
+    pub fn run<R: Send + 'static>(&self, f: impl FnOnce() -> R + Send + 'static) -> R {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        self.submit(Box::new(move || {
+            let _ = tx.send(f());
+        }));
+        loop {
+            if let Ok(r) = rx.try_recv() {
+                return r;
+            }
+            // Help: execute someone else's task instead of idling.
+            let stolen = self.inner.tasks.lock().pop_front();
+            match stolen {
+                Some(t) => t(),
+                None => {
+                    if let Ok(r) = rx.recv_timeout(std::time::Duration::from_micros(100))
+                    {
+                        return r;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Drop for TaskQueue {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirius_columnar::{DataType, Field, Schema};
+    use sirius_plan::builder::PlanBuilder;
+    use sirius_plan::expr::{col, gt, lit_i64, AggExpr};
+    use sirius_plan::{AggFunc, JoinKind};
+
+    fn scan() -> PlanBuilder {
+        PlanBuilder::scan(
+            "t",
+            Schema::new(vec![Field::new("k", DataType::Int64)]),
+        )
+    }
+
+    #[test]
+    fn scan_filter_is_one_pipeline() {
+        let plan = scan().filter(gt(col(0), lit_i64(0))).build();
+        let p = decompose(&plan);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].operators, 2);
+        assert_eq!(p[0].breaker, BreakerKind::Result);
+    }
+
+    #[test]
+    fn join_splits_build_and_probe() {
+        let plan = scan()
+            .join(scan(), JoinKind::Inner, vec![col(0)], vec![col(0)], None)
+            .build();
+        let p = decompose(&plan);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].breaker, BreakerKind::JoinBuild);
+        assert_eq!(p[1].breaker, BreakerKind::Result);
+        assert_eq!(p[1].deps, vec![0]);
+    }
+
+    #[test]
+    fn aggregate_and_sort_break() {
+        let plan = scan()
+            .aggregate(
+                vec![col(0)],
+                vec![AggExpr { func: AggFunc::CountStar, input: None, name: "n".into() }],
+            )
+            .sort(vec![sirius_plan::expr::SortExpr { expr: col(0), ascending: true }])
+            .build();
+        let p = decompose(&plan);
+        // scan→agg | agg-out→sort | sort-out→result
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[0].breaker, BreakerKind::Aggregate);
+        assert_eq!(p[1].breaker, BreakerKind::Sort);
+        assert_eq!(p[2].breaker, BreakerKind::Result);
+    }
+
+    #[test]
+    fn queue_executes_tasks() {
+        let q = TaskQueue::new(2);
+        let sum: i64 = (0..64).map(|i| q.run(move || i)).sum();
+        assert_eq!(sum, (0..64).sum::<i64>());
+    }
+
+    #[test]
+    fn nested_runs_do_not_deadlock() {
+        // Depth greater than the worker count forces waiters to help.
+        let q = Arc::new(TaskQueue::new(1));
+        fn nest(q: &Arc<TaskQueue>, depth: usize) -> usize {
+            if depth == 0 {
+                return 0;
+            }
+            let q2 = Arc::clone(q);
+            q.run(move || 1 + nest(&q2, depth - 1))
+        }
+        assert_eq!(nest(&q, 8), 8);
+    }
+
+    #[test]
+    fn parallel_throughput() {
+        let q = TaskQueue::new(4);
+        let results: Vec<u64> = (0..32u64)
+            .map(|i| {
+                q.run(move || {
+                    // A little CPU work per task.
+                    (0..1000).fold(i, |a, b| a.wrapping_add(b))
+                })
+            })
+            .collect();
+        assert_eq!(results.len(), 32);
+    }
+}

@@ -1,0 +1,498 @@
+//! Element-wise binary kernels with scalar broadcasting.
+//!
+//! Mirrors libcudf's `binary_operation(column_view|scalar, ...)`: either
+//! operand may be a column or a broadcast scalar. Null handling follows SQL:
+//! arithmetic and comparisons propagate null; AND/OR use Kleene logic.
+
+use crate::{GpuContext, KernelError, Result};
+use sirius_columnar::{Array, DataType, Scalar};
+use sirius_hw::WorkProfile;
+
+/// Binary operator kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (always produces `Float64`).
+    Div,
+    /// Integer modulo.
+    Mod,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// Logical AND (Kleene).
+    And,
+    /// Logical OR (Kleene).
+    Or,
+}
+
+impl BinaryOp {
+    /// True for comparison operators (result type `Bool`).
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
+        )
+    }
+
+    /// True for AND/OR.
+    pub fn is_logical(&self) -> bool {
+        matches!(self, BinaryOp::And | BinaryOp::Or)
+    }
+
+    /// Result type given operand types; `None` if unsupported.
+    pub fn result_type(&self, l: DataType, r: DataType) -> Option<DataType> {
+        use DataType::*;
+        if self.is_comparison() {
+            let comparable = l == r
+                || (l.is_numeric() && r.is_numeric())
+                || matches!((l, r), (Date32, Date32));
+            return comparable.then_some(Bool);
+        }
+        if self.is_logical() {
+            return (l == Bool && r == Bool).then_some(Bool);
+        }
+        match self {
+            BinaryOp::Div => (l.is_numeric() && r.is_numeric()).then_some(Float64),
+            BinaryOp::Mod => match (l, r) {
+                (Int32 | Int64, Int32 | Int64) => Some(Int64),
+                _ => None,
+            },
+            _ => match (l, r) {
+                (Float64, _) | (_, Float64) if l.is_numeric() && r.is_numeric() => {
+                    Some(Float64)
+                }
+                (Int32 | Int64, Int32 | Int64) => Some(Int64),
+                // date +/- integer days
+                (Date32, Int32 | Int64) if matches!(self, BinaryOp::Add | BinaryOp::Sub) => {
+                    Some(Date32)
+                }
+                (Date32, Date32) if matches!(self, BinaryOp::Sub) => Some(Int64),
+                _ => None,
+            },
+        }
+    }
+}
+
+/// A kernel operand: a column or a broadcast scalar.
+#[derive(Debug, Clone)]
+pub enum Datum<'a> {
+    /// Column operand.
+    Column(&'a Array),
+    /// Broadcast scalar operand.
+    Scalar(Scalar),
+}
+
+impl<'a> Datum<'a> {
+    /// Element `i` (the scalar for broadcast operands).
+    pub fn value(&self, i: usize) -> Scalar {
+        match self {
+            Datum::Column(a) => a.scalar(i),
+            Datum::Scalar(s) => s.clone(),
+        }
+    }
+
+    /// The operand's logical type, `None` for a NULL literal.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Datum::Column(a) => Some(a.data_type()),
+            Datum::Scalar(s) => s.data_type(),
+        }
+    }
+
+    /// Bytes this operand contributes to the kernel's memory traffic.
+    pub fn byte_size(&self) -> u64 {
+        match self {
+            Datum::Column(a) => a.byte_size() as u64,
+            Datum::Scalar(_) => 0,
+        }
+    }
+}
+
+fn arith(op: BinaryOp, out: DataType, l: &Scalar, r: &Scalar) -> Scalar {
+    if l.is_null() || r.is_null() {
+        return Scalar::Null;
+    }
+    match op {
+        BinaryOp::Div => {
+            let (a, b) = (l.as_f64().expect("numeric"), r.as_f64().expect("numeric"));
+            if b == 0.0 {
+                Scalar::Null
+            } else {
+                Scalar::Float64(a / b)
+            }
+        }
+        BinaryOp::Mod => {
+            let (a, b) = (l.as_i64().expect("int"), r.as_i64().expect("int"));
+            if b == 0 {
+                Scalar::Null
+            } else {
+                Scalar::Int64(a % b)
+            }
+        }
+        _ => match out {
+            DataType::Float64 => {
+                let (a, b) = (l.as_f64().expect("numeric"), r.as_f64().expect("numeric"));
+                Scalar::Float64(match op {
+                    BinaryOp::Add => a + b,
+                    BinaryOp::Sub => a - b,
+                    BinaryOp::Mul => a * b,
+                    _ => unreachable!("arith op"),
+                })
+            }
+            DataType::Int64 => {
+                let (a, b) = (l.as_i64().expect("int"), r.as_i64().expect("int"));
+                Scalar::Int64(match op {
+                    BinaryOp::Add => a.wrapping_add(b),
+                    BinaryOp::Sub => a.wrapping_sub(b),
+                    BinaryOp::Mul => a.wrapping_mul(b),
+                    _ => unreachable!("arith op"),
+                })
+            }
+            DataType::Date32 => {
+                let (a, b) = (l.as_i64().expect("date"), r.as_i64().expect("int"));
+                let v = match op {
+                    BinaryOp::Add => a + b,
+                    BinaryOp::Sub => a - b,
+                    _ => unreachable!("date arith"),
+                };
+                Scalar::Date32(v as i32)
+            }
+            _ => unreachable!("arith result type"),
+        },
+    }
+}
+
+fn compare(op: BinaryOp, l: &Scalar, r: &Scalar) -> Scalar {
+    if l.is_null() || r.is_null() {
+        return Scalar::Null;
+    }
+    let ord = l.cmp(r);
+    let b = match op {
+        BinaryOp::Eq => ord.is_eq(),
+        BinaryOp::Ne => ord.is_ne(),
+        BinaryOp::Lt => ord.is_lt(),
+        BinaryOp::Le => ord.is_le(),
+        BinaryOp::Gt => ord.is_gt(),
+        BinaryOp::Ge => ord.is_ge(),
+        _ => unreachable!("comparison op"),
+    };
+    Scalar::Bool(b)
+}
+
+fn kleene(op: BinaryOp, l: &Scalar, r: &Scalar) -> Scalar {
+    let (a, b) = (l.as_bool(), r.as_bool());
+    match op {
+        BinaryOp::And => match (a, b) {
+            (Some(false), _) | (_, Some(false)) => Scalar::Bool(false),
+            (Some(true), Some(true)) => Scalar::Bool(true),
+            _ => Scalar::Null,
+        },
+        BinaryOp::Or => match (a, b) {
+            (Some(true), _) | (_, Some(true)) => Scalar::Bool(true),
+            (Some(false), Some(false)) => Scalar::Bool(false),
+            _ => Scalar::Null,
+        },
+        _ => unreachable!("logical op"),
+    }
+}
+
+/// Element-wise binary kernel over `num_rows` rows.
+pub fn binary_op(
+    ctx: &GpuContext,
+    op: BinaryOp,
+    left: &Datum<'_>,
+    right: &Datum<'_>,
+    num_rows: usize,
+) -> Result<Array> {
+    // A NULL literal operand adopts the other side's type for typing.
+    let lt = left.data_type().or(right.data_type()).unwrap_or(DataType::Bool);
+    let rt = right.data_type().unwrap_or(lt);
+    let out_type = op.result_type(lt, rt).ok_or_else(|| {
+        KernelError::UnsupportedTypes(format!("{op:?} on ({lt}, {rt})"))
+    })?;
+
+    let mut out = Vec::with_capacity(num_rows);
+    for i in 0..num_rows {
+        let (l, r) = (left.value(i), right.value(i));
+        out.push(if op.is_comparison() {
+            compare(op, &l, &r)
+        } else if op.is_logical() {
+            kleene(op, &l, &r)
+        } else {
+            arith(op, out_type, &l, &r)
+        });
+    }
+    let result = Array::from_scalars(&out, out_type);
+
+    ctx.charge(
+        &WorkProfile::scan(left.byte_size() + right.byte_size())
+            .with_streamed(result.byte_size() as u64)
+            .with_flops(num_rows as u64)
+            .with_rows(num_rows as u64),
+    );
+    Ok(result)
+}
+
+/// SQL `LIKE` pattern match (`%` any run, `_` any single char). Returns a
+/// `Bool` column; nulls propagate.
+pub fn like(
+    ctx: &GpuContext,
+    input: &Datum<'_>,
+    pattern: &str,
+    negated: bool,
+    num_rows: usize,
+) -> Result<Array> {
+    let pat: Vec<char> = pattern.chars().collect();
+    let mut out = Vec::with_capacity(num_rows);
+    for i in 0..num_rows {
+        let v = input.value(i);
+        out.push(match v.as_str() {
+            Some(s) => {
+                let m = like_match(&s.chars().collect::<Vec<_>>(), &pat);
+                Scalar::Bool(m != negated)
+            }
+            None => Scalar::Null,
+        });
+    }
+    ctx.charge(
+        &WorkProfile::scan(input.byte_size())
+            .with_flops((num_rows * pattern.len().max(1)) as u64)
+            .with_rows(num_rows as u64),
+    );
+    Ok(Array::from_scalars(&out, DataType::Bool))
+}
+
+/// Greedy-with-backtracking LIKE matcher (iterative, linear in practice).
+fn like_match(s: &[char], p: &[char]) -> bool {
+    let (mut si, mut pi) = (0usize, 0usize);
+    let (mut star_p, mut star_s): (Option<usize>, usize) = (None, 0);
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == s[si]) {
+            si += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star_p = Some(pi);
+            star_s = si;
+            pi += 1;
+        } else if let Some(sp) = star_p {
+            pi = sp + 1;
+            star_s += 1;
+            si = star_s;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+/// `expr IN (literal, ...)` kernel.
+pub fn in_list(
+    ctx: &GpuContext,
+    input: &Datum<'_>,
+    list: &[Scalar],
+    negated: bool,
+    num_rows: usize,
+) -> Result<Array> {
+    let mut out = Vec::with_capacity(num_rows);
+    for i in 0..num_rows {
+        let v = input.value(i);
+        out.push(if v.is_null() {
+            Scalar::Null
+        } else {
+            let found = list.iter().any(|s| *s == v);
+            Scalar::Bool(found != negated)
+        });
+    }
+    ctx.charge(
+        &WorkProfile::scan(input.byte_size())
+            .with_flops((num_rows * list.len().max(1)) as u64)
+            .with_rows(num_rows as u64),
+    );
+    Ok(Array::from_scalars(&out, DataType::Bool))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_ctx;
+
+    fn col(a: &Array) -> Datum<'_> {
+        Datum::Column(a)
+    }
+
+    #[test]
+    fn integer_arithmetic_promotes_to_i64() {
+        let ctx = test_ctx();
+        let a = Array::from_i32([1, 2, 3]);
+        let b = Array::from_i64([10, 20, 30]);
+        let r = binary_op(&ctx, BinaryOp::Add, &col(&a), &col(&b), 3).unwrap();
+        assert_eq!(r.data_type(), DataType::Int64);
+        assert_eq!(r.i64_value(2), Some(33));
+    }
+
+    #[test]
+    fn float_arithmetic() {
+        let ctx = test_ctx();
+        let a = Array::from_f64([1.5, 2.5]);
+        let r = binary_op(
+            &ctx,
+            BinaryOp::Mul,
+            &col(&a),
+            &Datum::Scalar(Scalar::Float64(2.0)),
+            2,
+        )
+        .unwrap();
+        assert_eq!(r.f64_value(1), Some(5.0));
+    }
+
+    #[test]
+    fn division_always_float_and_null_on_zero() {
+        let ctx = test_ctx();
+        let a = Array::from_i64([6, 7]);
+        let b = Array::from_i64([3, 0]);
+        let r = binary_op(&ctx, BinaryOp::Div, &col(&a), &col(&b), 2).unwrap();
+        assert_eq!(r.data_type(), DataType::Float64);
+        assert_eq!(r.f64_value(0), Some(2.0));
+        assert_eq!(r.scalar(1), Scalar::Null);
+    }
+
+    #[test]
+    fn comparisons_across_numeric_widths() {
+        let ctx = test_ctx();
+        let a = Array::from_i32([1, 5]);
+        let r = binary_op(
+            &ctx,
+            BinaryOp::Lt,
+            &col(&a),
+            &Datum::Scalar(Scalar::Int64(3)),
+            2,
+        )
+        .unwrap();
+        assert_eq!(r.scalar(0), Scalar::Bool(true));
+        assert_eq!(r.scalar(1), Scalar::Bool(false));
+    }
+
+    #[test]
+    fn date_compare_and_arith() {
+        let ctx = test_ctx();
+        let d = Array::from_date32([100, 200]);
+        let r = binary_op(
+            &ctx,
+            BinaryOp::Ge,
+            &col(&d),
+            &Datum::Scalar(Scalar::Date32(150)),
+            2,
+        )
+        .unwrap();
+        assert_eq!(r.scalar(0), Scalar::Bool(false));
+        assert_eq!(r.scalar(1), Scalar::Bool(true));
+        let plus = binary_op(
+            &ctx,
+            BinaryOp::Add,
+            &col(&d),
+            &Datum::Scalar(Scalar::Int64(7)),
+            2,
+        )
+        .unwrap();
+        assert_eq!(plus.data_type(), DataType::Date32);
+        assert_eq!(plus.i64_value(0), Some(107));
+    }
+
+    #[test]
+    fn kleene_logic() {
+        let ctx = test_ctx();
+        let t = Array::from_bool([true, false]);
+        let n = Array::from_scalar(&Scalar::Null, DataType::Bool, 2);
+        let and = binary_op(&ctx, BinaryOp::And, &col(&t), &col(&n), 2).unwrap();
+        assert_eq!(and.scalar(0), Scalar::Null); // true AND null
+        assert_eq!(and.scalar(1), Scalar::Bool(false)); // false AND null
+        let or = binary_op(&ctx, BinaryOp::Or, &col(&t), &col(&n), 2).unwrap();
+        assert_eq!(or.scalar(0), Scalar::Bool(true)); // true OR null
+        assert_eq!(or.scalar(1), Scalar::Null); // false OR null
+    }
+
+    #[test]
+    fn null_propagation_in_comparison() {
+        let ctx = test_ctx();
+        let a = Array::from_i64([1]);
+        let r = binary_op(&ctx, BinaryOp::Eq, &col(&a), &Datum::Scalar(Scalar::Null), 1)
+            .unwrap();
+        assert_eq!(r.scalar(0), Scalar::Null);
+    }
+
+    #[test]
+    fn unsupported_types_error() {
+        let ctx = test_ctx();
+        let a = Array::from_strs(["x"]);
+        let err =
+            binary_op(&ctx, BinaryOp::Add, &col(&a), &Datum::Scalar(Scalar::Int64(1)), 1);
+        assert!(matches!(err, Err(KernelError::UnsupportedTypes(_))));
+    }
+
+    #[test]
+    fn like_patterns() {
+        let ctx = test_ctx();
+        let s = Array::from_strs(["PROMO BURNISHED", "STANDARD", "forest green tin"]);
+        let r = like(&ctx, &col(&s), "PROMO%", false, 3).unwrap();
+        assert_eq!(r.scalar(0), Scalar::Bool(true));
+        assert_eq!(r.scalar(1), Scalar::Bool(false));
+        let mid = like(&ctx, &col(&s), "%green%", false, 3).unwrap();
+        assert_eq!(mid.scalar(2), Scalar::Bool(true));
+        let under = like(&ctx, &col(&s), "STAND_RD", false, 3).unwrap();
+        assert_eq!(under.scalar(1), Scalar::Bool(true));
+        let neg = like(&ctx, &col(&s), "%BURNISHED", true, 3).unwrap();
+        assert_eq!(neg.scalar(0), Scalar::Bool(false));
+    }
+
+    #[test]
+    fn like_multiple_wildcards() {
+        let ctx = test_ctx();
+        let s = Array::from_strs(["wake special packages requests", "plain"]);
+        let r = like(&ctx, &col(&s), "%special%requests%", false, 2).unwrap();
+        assert_eq!(r.scalar(0), Scalar::Bool(true));
+        assert_eq!(r.scalar(1), Scalar::Bool(false));
+    }
+
+    #[test]
+    fn in_list_kernel() {
+        let ctx = test_ctx();
+        let s = Array::from_strs(["a", "b", "c"]);
+        let r = in_list(
+            &ctx,
+            &col(&s),
+            &[Scalar::Utf8("a".into()), Scalar::Utf8("c".into())],
+            false,
+            3,
+        )
+        .unwrap();
+        assert_eq!(r.scalar(0), Scalar::Bool(true));
+        assert_eq!(r.scalar(1), Scalar::Bool(false));
+        assert_eq!(r.scalar(2), Scalar::Bool(true));
+    }
+
+    #[test]
+    fn charges_device_time() {
+        let ctx = test_ctx();
+        let before = ctx.device().elapsed();
+        let a = Array::from_i64(0..1000);
+        binary_op(&ctx, BinaryOp::Add, &col(&a), &col(&a), 1000).unwrap();
+        assert!(ctx.device().elapsed() > before);
+    }
+}

@@ -1,0 +1,103 @@
+//! Selection application: keep table rows where a boolean column is true.
+
+use crate::{GpuContext, Result};
+use sirius_columnar::{Array, Table};
+use sirius_hw::WorkProfile;
+
+/// Apply a boolean selection column to a table (SQL WHERE semantics: null
+/// predicate results do not select).
+pub fn apply_filter(ctx: &GpuContext, table: &Table, mask: &Array) -> Result<Table> {
+    let selection = mask.as_bool()?.to_selection();
+    let out = table.filter(&selection);
+    ctx.charge(
+        &WorkProfile::scan(table.byte_size() as u64)
+            .with_streamed(out.byte_size() as u64)
+            .with_flops(table.num_rows() as u64)
+            .with_rows(table.num_rows() as u64),
+    );
+    Ok(out)
+}
+
+/// Gather table rows at libcudf-style `i32` indices (materialization after
+/// a join or sort).
+pub fn gather(ctx: &GpuContext, table: &Table, indices: &[i32]) -> Table {
+    let idx: Vec<usize> = indices.iter().map(|&i| i as usize).collect();
+    let out = table.gather(&idx);
+    ctx.charge(
+        &WorkProfile::random(out.byte_size() as u64)
+            .with_streamed((indices.len() * 4) as u64)
+            .with_rows(indices.len() as u64),
+    );
+    out
+}
+
+/// Gather with null introduction (`None` index ⇒ null row), for outer joins.
+pub fn gather_opt(ctx: &GpuContext, table: &Table, indices: &[Option<i32>]) -> Table {
+    let idx: Vec<Option<usize>> = indices.iter().map(|o| o.map(|i| i as usize)).collect();
+    let columns: Vec<Array> =
+        table.columns().iter().map(|c| c.gather_opt(&idx)).collect();
+    let mut schema = table.schema().clone();
+    for f in &mut schema.fields {
+        f.nullable = true;
+    }
+    let out = Table::new(schema, columns);
+    ctx.charge(
+        &WorkProfile::random(out.byte_size() as u64)
+            .with_streamed((indices.len() * 4) as u64)
+            .with_rows(indices.len() as u64),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_ctx;
+    use sirius_columnar::{DataType, Field, Scalar, Schema};
+
+    fn t() -> Table {
+        Table::new(
+            Schema::new(vec![
+                Field::new("k", DataType::Int64),
+                Field::new("s", DataType::Utf8),
+            ]),
+            vec![Array::from_i64([1, 2, 3]), Array::from_strs(["a", "b", "c"])],
+        )
+    }
+
+    #[test]
+    fn filter_drops_false_and_null() {
+        let ctx = test_ctx();
+        let mask = Array::from_scalars(
+            &[Scalar::Bool(true), Scalar::Null, Scalar::Bool(false)],
+            DataType::Bool,
+        );
+        let out = apply_filter(&ctx, &t(), &mask).unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.column(0).i64_value(0), Some(1));
+    }
+
+    #[test]
+    fn filter_requires_bool() {
+        let ctx = test_ctx();
+        assert!(apply_filter(&ctx, &t(), &Array::from_i64([1, 2, 3])).is_err());
+    }
+
+    #[test]
+    fn gather_i32_indices() {
+        let ctx = test_ctx();
+        let out = gather(&ctx, &t(), &[2, 0, 2]);
+        assert_eq!(out.num_rows(), 3);
+        assert_eq!(out.column(1).utf8_value(0), Some("c"));
+        assert_eq!(out.column(1).utf8_value(1), Some("a"));
+    }
+
+    #[test]
+    fn gather_opt_nulls() {
+        let ctx = test_ctx();
+        let out = gather_opt(&ctx, &t(), &[Some(1), None]);
+        assert_eq!(out.column(0).i64_value(0), Some(2));
+        assert_eq!(out.column(0).scalar(1), Scalar::Null);
+        assert!(out.schema().fields[0].nullable);
+    }
+}

@@ -1,0 +1,456 @@
+//! Group-by kernels: hash-based for fixed-width keys, sort-based for string
+//! keys (libcudf's behaviour, which the paper identifies as the source of
+//! the Q10/Q18 group-by overhead in Figure 5).
+
+use crate::hash::{key_bytes, row_keys, FxHashMap, FxHashSet, Key};
+use crate::{GpuContext, KernelError, Result};
+use sirius_columnar::{Array, DataType, Scalar};
+use sirius_hw::WorkProfile;
+
+/// Aggregate function kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggKind {
+    /// `COUNT(*)` — counts rows.
+    CountStar,
+    /// `COUNT(expr)` — counts non-null values.
+    Count,
+    /// `COUNT(DISTINCT expr)`.
+    CountDistinct,
+    /// `SUM(expr)` — Int64 for integer input, Float64 for float.
+    Sum,
+    /// `MIN(expr)`.
+    Min,
+    /// `MAX(expr)`.
+    Max,
+    /// `AVG(expr)` — always Float64.
+    Avg,
+}
+
+impl AggKind {
+    /// Output type given the input type (`None` input for `CountStar`).
+    pub fn result_type(&self, input: Option<DataType>) -> Result<DataType> {
+        Ok(match self {
+            AggKind::CountStar | AggKind::Count | AggKind::CountDistinct => DataType::Int64,
+            AggKind::Avg => DataType::Float64,
+            AggKind::Sum => match input {
+                Some(DataType::Float64) => DataType::Float64,
+                Some(DataType::Int32 | DataType::Int64) => DataType::Int64,
+                other => {
+                    return Err(KernelError::UnsupportedTypes(format!("SUM on {other:?}")))
+                }
+            },
+            AggKind::Min | AggKind::Max => input.ok_or_else(|| {
+                KernelError::UnsupportedTypes("MIN/MAX need an input".into())
+            })?,
+        })
+    }
+}
+
+/// One aggregation over an optional input column (`None` for `COUNT(*)`).
+pub struct AggRequest<'a> {
+    /// The aggregate function.
+    pub kind: AggKind,
+    /// Input column (`None` only for `CountStar`).
+    pub input: Option<&'a Array>,
+}
+
+/// Accumulating state for one aggregate within one group.
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(i64),
+    Distinct(FxHashSet<Scalar>),
+    SumI(i64, bool),
+    SumF(f64, bool),
+    MinMax(Option<Scalar>),
+    Avg(f64, i64),
+}
+
+impl AggState {
+    fn new(kind: AggKind, input_type: Option<DataType>) -> AggState {
+        match kind {
+            AggKind::CountStar | AggKind::Count => AggState::Count(0),
+            AggKind::CountDistinct => AggState::Distinct(FxHashSet::default()),
+            AggKind::Sum => match input_type {
+                Some(DataType::Float64) => AggState::SumF(0.0, false),
+                _ => AggState::SumI(0, false),
+            },
+            AggKind::Min | AggKind::Max => AggState::MinMax(None),
+            AggKind::Avg => AggState::Avg(0.0, 0),
+        }
+    }
+
+    fn update(&mut self, kind: AggKind, value: Option<Scalar>) {
+        match self {
+            AggState::Count(c) => {
+                let counts = match kind {
+                    AggKind::CountStar => true,
+                    _ => value.map(|v| !v.is_null()).unwrap_or(false),
+                };
+                if counts {
+                    *c += 1;
+                }
+            }
+            AggState::Distinct(set) => {
+                if let Some(v) = value {
+                    if !v.is_null() {
+                        set.insert(v);
+                    }
+                }
+            }
+            AggState::SumI(s, seen) => {
+                if let Some(v) = value.and_then(|v| v.as_i64()) {
+                    *s += v;
+                    *seen = true;
+                }
+            }
+            AggState::SumF(s, seen) => {
+                if let Some(v) = value.and_then(|v| v.as_f64()) {
+                    *s += v;
+                    *seen = true;
+                }
+            }
+            AggState::MinMax(cur) => {
+                if let Some(v) = value {
+                    if !v.is_null() {
+                        let replace = match cur {
+                            None => true,
+                            Some(c) => {
+                                if kind == AggKind::Min {
+                                    v < *c
+                                } else {
+                                    v > *c
+                                }
+                            }
+                        };
+                        if replace {
+                            *cur = Some(v);
+                        }
+                    }
+                }
+            }
+            AggState::Avg(s, n) => {
+                if let Some(v) = value.and_then(|v| v.as_f64()) {
+                    *s += v;
+                    *n += 1;
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> Scalar {
+        match self {
+            AggState::Count(c) => Scalar::Int64(c),
+            AggState::Distinct(set) => Scalar::Int64(set.len() as i64),
+            AggState::SumI(s, seen) => {
+                if seen {
+                    Scalar::Int64(s)
+                } else {
+                    Scalar::Null
+                }
+            }
+            AggState::SumF(s, seen) => {
+                if seen {
+                    Scalar::Float64(s)
+                } else {
+                    Scalar::Null
+                }
+            }
+            AggState::MinMax(cur) => cur.unwrap_or(Scalar::Null),
+            AggState::Avg(s, n) => {
+                if n > 0 {
+                    Scalar::Float64(s / n as f64)
+                } else {
+                    Scalar::Null
+                }
+            }
+        }
+    }
+}
+
+/// Group-by output: key columns followed by one column per aggregate, with
+/// one row per group.
+pub struct GroupByResult {
+    /// One column per grouping key.
+    pub key_columns: Vec<Array>,
+    /// One column per aggregate request.
+    pub agg_columns: Vec<Array>,
+    /// Number of groups.
+    pub num_groups: usize,
+    /// True if the sort-based strategy was used (string keys).
+    pub sort_based: bool,
+}
+
+/// Keyed aggregation. Strategy selection mirrors libcudf: sort-based when
+/// any key column is a string, hash-based otherwise. Group output order is
+/// deterministic: first-appearance order for the hash path, key order for
+/// the sort path.
+pub fn group_by(
+    ctx: &GpuContext,
+    keys: &[&Array],
+    aggs: &[AggRequest<'_>],
+    num_rows: usize,
+) -> Result<GroupByResult> {
+    let sort_based = keys.iter().any(|k| k.data_type() == DataType::Utf8);
+    let (row_keys, _nulls) = row_keys(keys, num_rows);
+
+    // Assign each row a dense group id.
+    let mut group_of_key: FxHashMap<Key, usize> = FxHashMap::default();
+    let mut group_order: Vec<Key> = Vec::new();
+    let mut group_ids = Vec::with_capacity(num_rows);
+    for k in row_keys {
+        let next = group_order.len();
+        let id = *group_of_key.entry(k.clone()).or_insert_with(|| {
+            group_order.push(k);
+            next
+        });
+        group_ids.push(id);
+    }
+    let num_groups = group_order.len();
+
+    // Sort-based strategy orders groups by key.
+    let mut output_order: Vec<usize> = (0..num_groups).collect();
+    if sort_based {
+        output_order.sort_by(|&a, &b| group_order[a].cmp(&group_order[b]));
+    }
+
+    // Accumulate.
+    let mut states: Vec<Vec<AggState>> = (0..num_groups)
+        .map(|_| {
+            aggs.iter()
+                .map(|a| AggState::new(a.kind, a.input.map(|c| c.data_type())))
+                .collect()
+        })
+        .collect();
+    for (row, &g) in group_ids.iter().enumerate() {
+        for (ai, a) in aggs.iter().enumerate() {
+            states[g][ai].update(a.kind, a.input.map(|c| c.scalar(row)));
+        }
+    }
+
+    // Materialize output columns in output order.
+    let key_columns: Vec<Array> = (0..keys.len())
+        .map(|ki| {
+            let scalars: Vec<Scalar> = output_order
+                .iter()
+                .map(|&g| group_order[g][ki].clone())
+                .collect();
+            Array::from_scalars(&scalars, keys[ki].data_type())
+        })
+        .collect();
+
+    let mut finished: Vec<Vec<Scalar>> = (0..aggs.len()).map(|_| Vec::new()).collect();
+    let mut states_by_group: Vec<Option<Vec<AggState>>> =
+        states.into_iter().map(Some).collect();
+    for &g in &output_order {
+        let group_states = states_by_group[g].take().expect("each group emitted once");
+        for (ai, st) in group_states.into_iter().enumerate() {
+            finished[ai].push(st.finish());
+        }
+    }
+    let agg_columns: Vec<Array> = finished
+        .iter()
+        .zip(aggs.iter())
+        .map(|(scalars, a)| {
+            let t = a.kind.result_type(a.input.map(|c| c.data_type()))?;
+            Ok(Array::from_scalars(scalars, t))
+        })
+        .collect::<Result<_>>()?;
+
+    // Cost model. Hash path: one streamed pass over keys + agg inputs plus
+    // random accumulator traffic; with few groups, GPU atomics contend on
+    // the same accumulators — surcharge mirrors the paper's Q1 observation.
+    // Sort path: n log n key-exchange passes (the paper's Q10/Q18 penalty).
+    let input_bytes = key_bytes(keys)
+        + aggs.iter().filter_map(|a| a.input).map(|c| c.byte_size() as u64).sum::<u64>();
+    let mut work = WorkProfile::scan(input_bytes)
+        .with_random((num_rows * 4 * aggs.len().max(1)) as u64)
+        .with_flops((num_rows * (aggs.len() + keys.len())) as u64)
+        .with_rows(num_rows as u64);
+    if sort_based {
+        let log_n = (num_rows.max(2) as f64).log2().ceil() as u64;
+        work = work.with_streamed(key_bytes(keys) * log_n / 2).with_launches(4);
+    } else if num_groups > 0 && num_groups < 256 {
+        // Atomic contention surcharge: the fewer the groups, the hotter the
+        // accumulator cache lines.
+        let contention = (256 / num_groups.max(1)).min(6) as u64;
+        work = work.with_random((num_rows as u64) * 4 * contention);
+    }
+    ctx.charge(&work);
+
+    Ok(GroupByResult { key_columns, agg_columns, num_groups, sort_based })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_ctx;
+
+    #[test]
+    fn hash_groupby_sums() {
+        let ctx = test_ctx();
+        let k = Array::from_i64([1, 2, 1, 2, 1]);
+        let v = Array::from_i64([10, 20, 30, 40, 50]);
+        let r = group_by(
+            &ctx,
+            &[&k],
+            &[
+                AggRequest { kind: AggKind::Sum, input: Some(&v) },
+                AggRequest { kind: AggKind::CountStar, input: None },
+            ],
+            5,
+        )
+        .unwrap();
+        assert!(!r.sort_based);
+        assert_eq!(r.num_groups, 2);
+        // First-appearance order: group 1 then group 2.
+        assert_eq!(r.key_columns[0].i64_value(0), Some(1));
+        assert_eq!(r.agg_columns[0].i64_value(0), Some(90));
+        assert_eq!(r.agg_columns[0].i64_value(1), Some(60));
+        assert_eq!(r.agg_columns[1].i64_value(0), Some(3));
+    }
+
+    #[test]
+    fn string_keys_use_sort_strategy_and_key_order() {
+        let ctx = test_ctx();
+        let k = Array::from_strs(["b", "a", "b"]);
+        let v = Array::from_f64([1.0, 2.0, 3.0]);
+        let r = group_by(
+            &ctx,
+            &[&k],
+            &[AggRequest { kind: AggKind::Sum, input: Some(&v) }],
+            3,
+        )
+        .unwrap();
+        assert!(r.sort_based);
+        assert_eq!(r.key_columns[0].utf8_value(0), Some("a"));
+        assert_eq!(r.key_columns[0].utf8_value(1), Some("b"));
+        assert_eq!(r.agg_columns[0].f64_value(1), Some(4.0));
+    }
+
+    #[test]
+    fn avg_min_max_count() {
+        let ctx = test_ctx();
+        let k = Array::from_i64([7, 7, 7]);
+        let v = Array::from_i64([3, 1, 2]);
+        let r = group_by(
+            &ctx,
+            &[&k],
+            &[
+                AggRequest { kind: AggKind::Avg, input: Some(&v) },
+                AggRequest { kind: AggKind::Min, input: Some(&v) },
+                AggRequest { kind: AggKind::Max, input: Some(&v) },
+                AggRequest { kind: AggKind::Count, input: Some(&v) },
+            ],
+            3,
+        )
+        .unwrap();
+        assert_eq!(r.agg_columns[0].f64_value(0), Some(2.0));
+        assert_eq!(r.agg_columns[1].i64_value(0), Some(1));
+        assert_eq!(r.agg_columns[2].i64_value(0), Some(3));
+        assert_eq!(r.agg_columns[3].i64_value(0), Some(3));
+    }
+
+    #[test]
+    fn count_distinct_and_null_handling() {
+        let ctx = test_ctx();
+        let k = Array::from_i64([1, 1, 1, 1]);
+        let v = Array::from_scalars(
+            &[
+                Scalar::Int64(5),
+                Scalar::Int64(5),
+                Scalar::Null,
+                Scalar::Int64(6),
+            ],
+            DataType::Int64,
+        );
+        let r = group_by(
+            &ctx,
+            &[&k],
+            &[
+                AggRequest { kind: AggKind::CountDistinct, input: Some(&v) },
+                AggRequest { kind: AggKind::Count, input: Some(&v) },
+                AggRequest { kind: AggKind::CountStar, input: None },
+            ],
+            4,
+        )
+        .unwrap();
+        assert_eq!(r.agg_columns[0].i64_value(0), Some(2)); // 5, 6
+        assert_eq!(r.agg_columns[1].i64_value(0), Some(3)); // non-null
+        assert_eq!(r.agg_columns[2].i64_value(0), Some(4)); // rows
+    }
+
+    #[test]
+    fn multi_key_groups() {
+        let ctx = test_ctx();
+        let k1 = Array::from_i64([1, 1, 2]);
+        let k2 = Array::from_bool([true, false, true]);
+        let r = group_by(
+            &ctx,
+            &[&k1, &k2],
+            &[AggRequest { kind: AggKind::CountStar, input: None }],
+            3,
+        )
+        .unwrap();
+        assert_eq!(r.num_groups, 3);
+    }
+
+    #[test]
+    fn null_keys_form_a_group() {
+        let ctx = test_ctx();
+        let k = Array::from_scalars(
+            &[Scalar::Null, Scalar::Int64(1), Scalar::Null],
+            DataType::Int64,
+        );
+        let r = group_by(
+            &ctx,
+            &[&k],
+            &[AggRequest { kind: AggKind::CountStar, input: None }],
+            3,
+        )
+        .unwrap();
+        assert_eq!(r.num_groups, 2);
+        // Null group appeared first.
+        assert_eq!(r.key_columns[0].scalar(0), Scalar::Null);
+        assert_eq!(r.agg_columns[0].i64_value(0), Some(2));
+    }
+
+    #[test]
+    fn few_groups_cost_more_per_row_than_many() {
+        // The contention surcharge: same row count, fewer groups ⇒ more time.
+        let ctx1 = test_ctx();
+        let n = 10_000usize;
+        let few = Array::from_i64((0..n as i64).map(|i| i % 4));
+        group_by(
+            &ctx1,
+            &[&few],
+            &[AggRequest { kind: AggKind::CountStar, input: None }],
+            n,
+        )
+        .unwrap();
+        let ctx2 = test_ctx();
+        let many = Array::from_i64((0..n as i64).map(|i| i % 100_000));
+        group_by(
+            &ctx2,
+            &[&many],
+            &[AggRequest { kind: AggKind::CountStar, input: None }],
+            n,
+        )
+        .unwrap();
+        assert!(ctx1.device().elapsed() > ctx2.device().elapsed());
+    }
+
+    #[test]
+    fn zero_rows() {
+        let ctx = test_ctx();
+        let k = Array::from_i64([]);
+        let r = group_by(
+            &ctx,
+            &[&k],
+            &[AggRequest { kind: AggKind::CountStar, input: None }],
+            0,
+        )
+        .unwrap();
+        assert_eq!(r.num_groups, 0);
+        assert_eq!(r.key_columns[0].len(), 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! FxHash-style hashing and multi-column key extraction.
+//!
+//! The perf-book guidance is to avoid SipHash for hot integer keys; rather
+//! than pull in a dependency, this is the classic Fx multiply-rotate hasher
+//! (the one rustc uses), plus helpers that turn a set of key columns into
+//! per-row [`Key`] values usable in hash maps.
+
+use sirius_columnar::{Array, Scalar};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The Fx hash constant (64-bit golden-ratio multiplier).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic hasher for in-process hash tables.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+/// A multi-column row key. `None` marks a row whose key contains SQL NULL:
+/// such rows never match in joins (but do form groups in GROUP BY).
+pub type Key = Vec<Scalar>;
+
+/// Extract per-row keys from key columns. Returns `(keys, has_null)` where
+/// `has_null[i]` is true when any key column is null at row `i`.
+pub fn row_keys(columns: &[&Array], num_rows: usize) -> (Vec<Key>, Vec<bool>) {
+    let mut keys = Vec::with_capacity(num_rows);
+    let mut has_null = Vec::with_capacity(num_rows);
+    for i in 0..num_rows {
+        let mut k = Vec::with_capacity(columns.len());
+        let mut null = false;
+        for c in columns {
+            let s = c.scalar(i);
+            null |= s.is_null();
+            k.push(s);
+        }
+        keys.push(k);
+        has_null.push(null);
+    }
+    (keys, has_null)
+}
+
+/// Total key bytes across the key columns (for cost accounting).
+pub fn key_bytes(columns: &[&Array]) -> u64 {
+    columns.iter().map(|c| c.byte_size() as u64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn fx(v: impl Hash) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_and_distinguishing() {
+        assert_eq!(fx(42u64), fx(42u64));
+        assert_ne!(fx(42u64), fx(43u64));
+        assert_ne!(fx("a"), fx("b"));
+    }
+
+    #[test]
+    fn row_keys_multi_column() {
+        let a = Array::from_i64([1, 2, 1]);
+        let b = Array::from_strs(["x", "y", "x"]);
+        let (keys, nulls) = row_keys(&[&a, &b], 3);
+        assert_eq!(keys[0], keys[2]);
+        assert_ne!(keys[0], keys[1]);
+        assert!(nulls.iter().all(|n| !n));
+    }
+
+    #[test]
+    fn row_keys_flags_nulls() {
+        let a = Array::from_scalars(
+            &[Scalar::Int64(1), Scalar::Null],
+            sirius_columnar::DataType::Int64,
+        );
+        let (keys, nulls) = row_keys(&[&a], 2);
+        assert_eq!(nulls, vec![false, true]);
+        assert_eq!(keys[1][0], Scalar::Null);
+    }
+
+    #[test]
+    fn fx_map_works() {
+        let mut m: FxHashMap<Key, usize> = FxHashMap::default();
+        m.insert(vec![Scalar::Int64(1), Scalar::Utf8("k".into())], 7);
+        assert_eq!(
+            m.get(&vec![Scalar::Int64(1), Scalar::Utf8("k".into())]),
+            Some(&7)
+        );
+    }
+}

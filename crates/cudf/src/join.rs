@@ -1,0 +1,344 @@
+//! Hash join kernels.
+//!
+//! Following libcudf, the join is split into two phases: a *pair-finding*
+//! kernel that hashes the build side and probes it to produce candidate
+//! `(left, right)` index pairs for the equality keys, and a *resolution*
+//! step that applies the join type (and any residual non-equi predicate the
+//! engine evaluated on the candidate pairs) to produce the final gather
+//! indices. Indices are `i32`, libcudf's row-index type (§3.2.3).
+
+use crate::hash::{key_bytes, row_keys, FxHashMap, Key};
+use crate::{GpuContext, KernelError, Result};
+use sirius_columnar::{Array, Bitmap};
+use sirius_hw::WorkProfile;
+
+/// Supported join types. `Single` is a left join that requires at most one
+/// match per left row (scalar correlated subqueries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinType {
+    /// Inner equi-join.
+    Inner,
+    /// Left outer join.
+    Left,
+    /// Left semi join (EXISTS / IN).
+    Semi,
+    /// Left anti join (NOT EXISTS / NOT IN).
+    Anti,
+    /// Left single join (scalar subquery; errors on duplicate matches).
+    Single,
+}
+
+/// Final join output: parallel index vectors into the left and right input
+/// tables. `right[i] == None` produces a null-padded right row (Left/Single
+/// unmatched rows); for Semi/Anti the right vector is all `None` and only
+/// `left` is meaningful.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinIndices {
+    /// Row indices into the left table.
+    pub left: Vec<i32>,
+    /// Row indices into the right table (`None` ⇒ null padding).
+    pub right: Vec<Option<i32>>,
+}
+
+impl JoinIndices {
+    /// Number of output rows.
+    pub fn len(&self) -> usize {
+        self.left.len()
+    }
+
+    /// True if no rows joined.
+    pub fn is_empty(&self) -> bool {
+        self.left.is_empty()
+    }
+}
+
+/// Candidate equality matches in inner form: every `(left, right)` pair
+/// whose keys compare equal (SQL semantics: null keys never match).
+#[derive(Debug, Clone, Default)]
+pub struct JoinPairs {
+    /// Left row of each candidate pair.
+    pub left: Vec<i32>,
+    /// Right row of each candidate pair.
+    pub right: Vec<i32>,
+    left_rows: usize,
+}
+
+impl JoinPairs {
+    /// Number of candidate pairs.
+    pub fn len(&self) -> usize {
+        self.left.len()
+    }
+
+    /// True if no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.left.is_empty()
+    }
+}
+
+/// Phase 1: find all equality-key candidate pairs. The hash table is built
+/// over the **right** side; engines put the smaller input on the right.
+pub fn hash_join_pairs(
+    ctx: &GpuContext,
+    left_keys: &[&Array],
+    right_keys: &[&Array],
+    left_rows: usize,
+    right_rows: usize,
+) -> Result<JoinPairs> {
+    if left_keys.len() != right_keys.len() || left_keys.is_empty() {
+        return Err(KernelError::UnsupportedTypes(
+            "join requires equal, non-zero key column counts (use cross_join_pairs)".into(),
+        ));
+    }
+    // Build phase over the right side.
+    let (rkeys, rnull) = row_keys(right_keys, right_rows);
+    let mut table: FxHashMap<Key, Vec<i32>> = FxHashMap::default();
+    for (i, key) in rkeys.into_iter().enumerate() {
+        if !rnull[i] {
+            table.entry(key).or_default().push(i as i32);
+        }
+    }
+    ctx.charge(
+        &WorkProfile::scan(key_bytes(right_keys))
+            .with_random((right_rows * 16) as u64)
+            .with_flops(right_rows as u64)
+            .with_rows(right_rows as u64),
+    );
+
+    // Probe phase over the left side.
+    let (lkeys, lnull) = row_keys(left_keys, left_rows);
+    let mut pairs = JoinPairs { left: Vec::new(), right: Vec::new(), left_rows };
+    for (i, key) in lkeys.into_iter().enumerate() {
+        if lnull[i] {
+            continue;
+        }
+        if let Some(matches) = table.get(&key) {
+            for &r in matches {
+                pairs.left.push(i as i32);
+                pairs.right.push(r);
+            }
+        }
+    }
+    ctx.charge(
+        &WorkProfile::scan(key_bytes(left_keys))
+            .with_random((left_rows * 16) as u64)
+            .with_streamed((pairs.len() * 8) as u64)
+            .with_flops(left_rows as u64)
+            .with_rows(left_rows as u64),
+    );
+    Ok(pairs)
+}
+
+/// Phase 1 alternative: all-pairs cross join (used when there are no
+/// equality keys, e.g. joining against a one-row scalar subquery result).
+pub fn cross_join_pairs(
+    ctx: &GpuContext,
+    left_rows: usize,
+    right_rows: usize,
+) -> JoinPairs {
+    let n = left_rows * right_rows;
+    let mut pairs = JoinPairs {
+        left: Vec::with_capacity(n),
+        right: Vec::with_capacity(n),
+        left_rows,
+    };
+    for l in 0..left_rows {
+        for r in 0..right_rows {
+            pairs.left.push(l as i32);
+            pairs.right.push(r as i32);
+        }
+    }
+    ctx.charge(&WorkProfile::scan((n * 8) as u64).with_rows(n as u64));
+    pairs
+}
+
+/// Phase 2: apply the join type and an optional residual-predicate mask
+/// (one bit per candidate pair) to produce final gather indices.
+pub fn resolve_join(
+    ctx: &GpuContext,
+    join_type: JoinType,
+    pairs: &JoinPairs,
+    residual: Option<&Bitmap>,
+) -> Result<JoinIndices> {
+    if let Some(m) = residual {
+        assert_eq!(m.len(), pairs.len(), "residual mask length mismatch");
+    }
+    let pass = |i: usize| residual.map(|m| m.get(i)).unwrap_or(true);
+    let mut out = JoinIndices { left: Vec::new(), right: Vec::new() };
+
+    match join_type {
+        JoinType::Inner => {
+            for i in 0..pairs.len() {
+                if pass(i) {
+                    out.left.push(pairs.left[i]);
+                    out.right.push(Some(pairs.right[i]));
+                }
+            }
+        }
+        JoinType::Semi | JoinType::Anti => {
+            let mut matched = vec![false; pairs.left_rows];
+            for i in 0..pairs.len() {
+                if pass(i) {
+                    matched[pairs.left[i] as usize] = true;
+                }
+            }
+            let want = join_type == JoinType::Semi;
+            for (l, &m) in matched.iter().enumerate() {
+                if m == want {
+                    out.left.push(l as i32);
+                    out.right.push(None);
+                }
+            }
+        }
+        JoinType::Left | JoinType::Single => {
+            let mut match_count = vec![0u32; pairs.left_rows];
+            for i in 0..pairs.len() {
+                if pass(i) {
+                    match_count[pairs.left[i] as usize] += 1;
+                }
+            }
+            if join_type == JoinType::Single {
+                if let Some(l) = match_count.iter().position(|&c| c > 1) {
+                    return Err(KernelError::NonScalarSubquery {
+                        left_row: l,
+                        matches: match_count[l] as usize,
+                    });
+                }
+            }
+            // Emit matches in pair order, then unmatched lefts null-padded.
+            for i in 0..pairs.len() {
+                if pass(i) {
+                    out.left.push(pairs.left[i]);
+                    out.right.push(Some(pairs.right[i]));
+                }
+            }
+            for (l, &c) in match_count.iter().enumerate() {
+                if c == 0 {
+                    out.left.push(l as i32);
+                    out.right.push(None);
+                }
+            }
+        }
+    }
+    ctx.charge(
+        &WorkProfile::scan((pairs.len() * 8 + out.len() * 8) as u64)
+            .with_rows(out.len() as u64),
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_ctx;
+    use sirius_columnar::Scalar;
+
+    fn pairs_for(l: &[i64], r: &[i64]) -> JoinPairs {
+        let ctx = test_ctx();
+        let la = Array::from_i64(l.iter().copied());
+        let ra = Array::from_i64(r.iter().copied());
+        hash_join_pairs(&ctx, &[&la], &[&ra], l.len(), r.len()).unwrap()
+    }
+
+    #[test]
+    fn inner_join_basics() {
+        let ctx = test_ctx();
+        let p = pairs_for(&[1, 2, 3, 2], &[2, 4, 2]);
+        let j = resolve_join(&ctx, JoinType::Inner, &p, None).unwrap();
+        // left rows 1 and 3 (value 2) each match right rows 0 and 2.
+        assert_eq!(j.len(), 4);
+        for (l, r) in j.left.iter().zip(j.right.iter()) {
+            assert!([1, 3].contains(l));
+            assert!([Some(0), Some(2)].contains(r));
+        }
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let ctx = test_ctx();
+        let l = Array::from_scalars(
+            &[Scalar::Int64(1), Scalar::Null],
+            sirius_columnar::DataType::Int64,
+        );
+        let r = Array::from_scalars(
+            &[Scalar::Null, Scalar::Int64(1)],
+            sirius_columnar::DataType::Int64,
+        );
+        let p = hash_join_pairs(&ctx, &[&l], &[&r], 2, 2).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!((p.left[0], p.right[0]), (0, 1));
+    }
+
+    #[test]
+    fn multi_column_keys() {
+        let ctx = test_ctx();
+        let l1 = Array::from_i64([1, 1]);
+        let l2 = Array::from_strs(["a", "b"]);
+        let r1 = Array::from_i64([1]);
+        let r2 = Array::from_strs(["b"]);
+        let p = hash_join_pairs(&ctx, &[&l1, &l2], &[&r1, &r2], 2, 1).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.left[0], 1);
+    }
+
+    #[test]
+    fn semi_and_anti_partition_left() {
+        let ctx = test_ctx();
+        let p = pairs_for(&[1, 2, 3], &[2, 2]);
+        let semi = resolve_join(&ctx, JoinType::Semi, &p, None).unwrap();
+        assert_eq!(semi.left, vec![1]); // deduplicated despite two matches
+        let anti = resolve_join(&ctx, JoinType::Anti, &p, None).unwrap();
+        assert_eq!(anti.left, vec![0, 2]);
+        assert_eq!(semi.len() + anti.len(), 3);
+    }
+
+    #[test]
+    fn left_join_pads_unmatched() {
+        let ctx = test_ctx();
+        let p = pairs_for(&[1, 9], &[1]);
+        let j = resolve_join(&ctx, JoinType::Left, &p, None).unwrap();
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.right[0], Some(0));
+        assert_eq!((j.left[1], j.right[1]), (1, None));
+    }
+
+    #[test]
+    fn single_join_rejects_duplicates() {
+        let ctx = test_ctx();
+        let ok = pairs_for(&[1, 2], &[1]);
+        assert!(resolve_join(&ctx, JoinType::Single, &ok, None).is_ok());
+        let dup = pairs_for(&[1], &[1, 1]);
+        let err = resolve_join(&ctx, JoinType::Single, &dup, None).unwrap_err();
+        assert!(matches!(err, KernelError::NonScalarSubquery { matches: 2, .. }));
+    }
+
+    #[test]
+    fn residual_mask_filters_pairs() {
+        let ctx = test_ctx();
+        let p = pairs_for(&[1, 2], &[1, 2]);
+        assert_eq!(p.len(), 2);
+        let mask = Bitmap::from_iter((0..p.len()).map(|i| p.left[i] == 1));
+        let inner = resolve_join(&ctx, JoinType::Inner, &p, Some(&mask)).unwrap();
+        assert_eq!(inner.len(), 1);
+        assert_eq!(inner.left[0], 1);
+        // Anti join with residual: row whose only match fails the residual
+        // counts as unmatched.
+        let anti = resolve_join(&ctx, JoinType::Anti, &p, Some(&mask)).unwrap();
+        assert_eq!(anti.left, vec![0]);
+    }
+
+    #[test]
+    fn cross_join_pairs_enumerates_all() {
+        let ctx = test_ctx();
+        let p = cross_join_pairs(&ctx, 2, 3);
+        assert_eq!(p.len(), 6);
+        let j = resolve_join(&ctx, JoinType::Inner, &p, None).unwrap();
+        assert_eq!(j.len(), 6);
+    }
+
+    #[test]
+    fn empty_key_error() {
+        let ctx = test_ctx();
+        let err = hash_join_pairs(&ctx, &[], &[], 1, 1);
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,216 @@
+//! Sort kernels: multi-key order-by producing gather indices, and top-k.
+
+use crate::{GpuContext, Result};
+use sirius_columnar::Array;
+#[cfg(test)]
+use sirius_columnar::Scalar;
+use sirius_hw::WorkProfile;
+use std::cmp::Ordering;
+
+/// One sort key: a column plus direction. Nulls sort first on ascending
+/// keys and last on descending keys (the engines' default).
+pub struct SortKey<'a> {
+    /// The key column.
+    pub column: &'a Array,
+    /// True for ascending order.
+    pub ascending: bool,
+}
+
+fn compare_row(keys: &[SortKey<'_>], a: usize, b: usize) -> Ordering {
+    for k in keys {
+        let (va, vb) = (k.column.scalar(a), k.column.scalar(b));
+        let ord = va.cmp(&vb);
+        let ord = if k.ascending { ord } else { ord.reverse() };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Stable multi-key sort returning libcudf-style `i32` gather indices.
+pub fn sort_indices(
+    ctx: &GpuContext,
+    keys: &[SortKey<'_>],
+    num_rows: usize,
+) -> Result<Vec<i32>> {
+    let mut idx: Vec<i32> = (0..num_rows as i32).collect();
+    idx.sort_by(|&a, &b| compare_row(keys, a as usize, b as usize));
+
+    let key_bytes: u64 = keys.iter().map(|k| k.column.byte_size() as u64).sum();
+    let log_n = (num_rows.max(2) as f64).log2().ceil() as u64;
+    ctx.charge(
+        &WorkProfile::scan(key_bytes * log_n / 2)
+            .with_random((num_rows * 8) as u64)
+            .with_flops(num_rows as u64 * log_n)
+            .with_rows(num_rows as u64),
+    );
+    Ok(idx)
+}
+
+/// Top-k selection: indices of the first `k` rows in sort order, costed as
+/// a single heap-select pass rather than a full sort.
+pub fn top_k_indices(
+    ctx: &GpuContext,
+    keys: &[SortKey<'_>],
+    num_rows: usize,
+    k: usize,
+) -> Result<Vec<i32>> {
+    let mut idx: Vec<i32> = (0..num_rows as i32).collect();
+    let k = k.min(num_rows);
+    idx.sort_by(|&a, &b| compare_row(keys, a as usize, b as usize));
+    idx.truncate(k);
+
+    let key_bytes: u64 = keys.iter().map(|kc| kc.column.byte_size() as u64).sum();
+    let log_k = (k.max(2) as f64).log2().ceil() as u64;
+    ctx.charge(
+        &WorkProfile::scan(key_bytes)
+            .with_flops(num_rows as u64 * log_k)
+            .with_rows(num_rows as u64),
+    );
+    Ok(idx)
+}
+
+/// Radix sort for a single non-null `Int64` key column (ascending). Used by
+/// the ablation bench to contrast with comparison sort; results equal
+/// [`sort_indices`] on the same input.
+pub fn radix_sort_indices_i64(ctx: &GpuContext, column: &Array) -> Result<Vec<i32>> {
+    let prim = column.as_i64()?;
+    let n = prim.len();
+    // 8 passes of 8 bits over sign-flipped keys.
+    let mut idx: Vec<i32> = (0..n as i32).collect();
+    let mut scratch = vec![0i32; n];
+    let key = |i: i32| (prim.values()[i as usize] as u64) ^ (1u64 << 63);
+    for pass in 0..8 {
+        let shift = pass * 8;
+        let mut counts = [0usize; 256];
+        for &i in &idx {
+            counts[((key(i) >> shift) & 0xFF) as usize] += 1;
+        }
+        let mut offsets = [0usize; 256];
+        let mut acc = 0;
+        for (o, c) in offsets.iter_mut().zip(counts.iter()) {
+            *o = acc;
+            acc += c;
+        }
+        for &i in &idx {
+            let bucket = ((key(i) >> shift) & 0xFF) as usize;
+            scratch[offsets[bucket]] = i;
+            offsets[bucket] += 1;
+        }
+        std::mem::swap(&mut idx, &mut scratch);
+    }
+    ctx.charge(
+        &WorkProfile::scan(column.byte_size() as u64 * 8)
+            .with_random((n * 4 * 8) as u64)
+            .with_flops((n * 8) as u64)
+            .with_launches(8)
+            .with_rows(n as u64),
+    );
+    Ok(idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_ctx;
+    use proptest::prelude::*;
+    use sirius_columnar::DataType;
+
+    #[test]
+    fn single_key_ascending_descending() {
+        let ctx = test_ctx();
+        let c = Array::from_i64([3, 1, 2]);
+        let asc =
+            sort_indices(&ctx, &[SortKey { column: &c, ascending: true }], 3).unwrap();
+        assert_eq!(asc, vec![1, 2, 0]);
+        let desc =
+            sort_indices(&ctx, &[SortKey { column: &c, ascending: false }], 3).unwrap();
+        assert_eq!(desc, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn multi_key_tiebreak() {
+        let ctx = test_ctx();
+        let k1 = Array::from_strs(["b", "a", "b", "a"]);
+        let k2 = Array::from_i64([1, 2, 0, 1]);
+        let idx = sort_indices(
+            &ctx,
+            &[
+                SortKey { column: &k1, ascending: true },
+                SortKey { column: &k2, ascending: false },
+            ],
+            4,
+        )
+        .unwrap();
+        assert_eq!(idx, vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn stability_on_equal_keys() {
+        let ctx = test_ctx();
+        let c = Array::from_i64([5, 5, 5]);
+        let idx =
+            sort_indices(&ctx, &[SortKey { column: &c, ascending: true }], 3).unwrap();
+        assert_eq!(idx, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn nulls_first_ascending() {
+        let ctx = test_ctx();
+        let c = Array::from_scalars(
+            &[Scalar::Int64(1), Scalar::Null, Scalar::Int64(0)],
+            DataType::Int64,
+        );
+        let idx =
+            sort_indices(&ctx, &[SortKey { column: &c, ascending: true }], 3).unwrap();
+        assert_eq!(idx, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn top_k_matches_sort_prefix() {
+        let ctx = test_ctx();
+        let c = Array::from_i64([9, 3, 7, 1, 5]);
+        let keys = [SortKey { column: &c, ascending: true }];
+        let full = sort_indices(&ctx, &keys, 5).unwrap();
+        let keys = [SortKey { column: &c, ascending: true }];
+        let top = top_k_indices(&ctx, &keys, 5, 3).unwrap();
+        assert_eq!(top, full[..3]);
+        let keys = [SortKey { column: &c, ascending: true }];
+        let over = top_k_indices(&ctx, &keys, 5, 50).unwrap();
+        assert_eq!(over.len(), 5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_radix_matches_comparison_sort(
+            values in proptest::collection::vec(any::<i64>(), 0..200)
+        ) {
+            let ctx = test_ctx();
+            let c = Array::from_i64(values.clone());
+            let radix = radix_sort_indices_i64(&ctx, &c).unwrap();
+            let sorted: Vec<i64> =
+                radix.iter().map(|&i| values[i as usize]).collect();
+            let mut expected = values.clone();
+            expected.sort_unstable();
+            prop_assert_eq!(sorted, expected);
+        }
+
+        #[test]
+        fn prop_sort_produces_permutation(
+            values in proptest::collection::vec(any::<i64>(), 0..100)
+        ) {
+            let ctx = test_ctx();
+            let c = Array::from_i64(values.clone());
+            let idx = sort_indices(
+                &ctx,
+                &[SortKey { column: &c, ascending: true }],
+                values.len(),
+            ).unwrap();
+            let mut seen = idx.clone();
+            seen.sort_unstable();
+            let expect: Vec<i32> = (0..values.len() as i32).collect();
+            prop_assert_eq!(seen, expect);
+        }
+    }
+}

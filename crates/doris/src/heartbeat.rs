@@ -1,0 +1,79 @@
+//! Node liveness tracking (§3.2.1: the coordinator identifies active nodes
+//! via heartbeat).
+
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// Tracks the last heartbeat from each compute node.
+pub struct HeartbeatMonitor {
+    last_seen: Mutex<Vec<Option<Instant>>>,
+    timeout: Duration,
+}
+
+impl HeartbeatMonitor {
+    /// Monitor for `nodes` compute nodes with the given liveness timeout.
+    pub fn new(nodes: usize, timeout: Duration) -> Self {
+        Self {
+            last_seen: Mutex::new(vec![Some(Instant::now()); nodes]),
+            timeout,
+        }
+    }
+
+    /// Record a heartbeat from `node`.
+    pub fn beat(&self, node: usize) {
+        if let Some(slot) = self.last_seen.lock().get_mut(node) {
+            *slot = Some(Instant::now());
+        }
+    }
+
+    /// Mark a node as permanently down (simulating failure in tests).
+    pub fn mark_down(&self, node: usize) {
+        if let Some(slot) = self.last_seen.lock().get_mut(node) {
+            *slot = None;
+        }
+    }
+
+    /// True if `node` heartbeated within the timeout.
+    pub fn is_alive(&self, node: usize) -> bool {
+        self.last_seen
+            .lock()
+            .get(node)
+            .and_then(|s| *s)
+            .map(|t| t.elapsed() <= self.timeout)
+            .unwrap_or(false)
+    }
+
+    /// First dead node, if any.
+    pub fn first_dead(&self) -> Option<usize> {
+        let n = self.last_seen.lock().len();
+        (0..n).find(|&i| !self.is_alive(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_alive_initially() {
+        let m = HeartbeatMonitor::new(3, Duration::from_secs(10));
+        assert!(m.is_alive(0));
+        assert_eq!(m.first_dead(), None);
+    }
+
+    #[test]
+    fn marked_down_node_detected() {
+        let m = HeartbeatMonitor::new(3, Duration::from_secs(10));
+        m.mark_down(1);
+        assert!(!m.is_alive(1));
+        assert_eq!(m.first_dead(), Some(1));
+        m.beat(1);
+        assert!(m.is_alive(1));
+    }
+
+    #[test]
+    fn out_of_range_is_dead() {
+        let m = HeartbeatMonitor::new(2, Duration::from_secs(10));
+        assert!(!m.is_alive(9));
+    }
+}

@@ -1,0 +1,57 @@
+//! # sirius-doris — the distributed host data warehouse (Apache Doris
+//! stand-in)
+//!
+//! The paper's distributed experiment (§3.3, Figure 3, §4.3): a coordinator
+//! parses and optimizes SQL, produces a distributed plan, checks node
+//! liveness via heartbeats, and dispatches plan fragments to compute nodes.
+//! In vanilla mode the nodes execute fragments on their CPU engines and
+//! exchange data through the host's native exchange; in **Sirius mode**
+//! (Figure 3b) each node hands its fragments to a local Sirius GPU engine
+//! and intermediate data moves through Sirius' NCCL-backed exchange
+//! service, with exchanged intermediates registered as temporary tables and
+//! deregistered when their fragments complete.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod heartbeat;
+pub mod planner;
+
+pub use cluster::{DorisCluster, NodeEngineKind, QueryOutcome};
+pub use planner::{distribute, PartitionScheme, Partitioning};
+
+/// Errors surfaced by the distributed host.
+#[derive(Debug)]
+pub enum DorisError {
+    /// SQL frontend failure.
+    Sql(sirius_sql::SqlError),
+    /// A compute node failed executing its fragment.
+    Node {
+        /// The failing node.
+        node: usize,
+        /// Its error message.
+        message: String,
+    },
+    /// A node missed its heartbeat; the query was not dispatched.
+    NodeDown(usize),
+    /// Distributed planning failure.
+    Plan(String),
+}
+
+impl std::fmt::Display for DorisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DorisError::Sql(e) => write!(f, "sql error: {e}"),
+            DorisError::Node { node, message } => {
+                write!(f, "node {node} failed: {message}")
+            }
+            DorisError::NodeDown(n) => write!(f, "node {n} missed heartbeat"),
+            DorisError::Plan(m) => write!(f, "distributed planning error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DorisError {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, DorisError>;

@@ -1,0 +1,567 @@
+//! The distributed planner: turns a single-node plan into an
+//! exchange-annotated SPMD plan every node executes over its partition.
+//!
+//! Partitioning is tracked bottom-up; exchanges are inserted where an
+//! operator's co-location requirement is not met:
+//!
+//! * joins shuffle un-co-partitioned sides by their join keys (replicated
+//!   dimension tables join locally);
+//! * grouped aggregation runs a local **partial** aggregate, shuffles the
+//!   partials by group key, and finalizes (sum-of-sums, min-of-mins,
+//!   avg = sum/count) — the reason Q1's exchange traffic is tiny in
+//!   Table 2; `COUNT(DISTINCT)` can't be decomposed and shuffles raw rows;
+//! * global aggregates partial-aggregate locally and merge one row per
+//!   node to the coordinator's node;
+//! * sorts and limits gather to node 0.
+
+use crate::{DorisError, Result};
+use sirius_plan::expr::{self, AggExpr};
+use sirius_plan::{AggFunc, ExchangeKind, Expr, JoinKind, Rel};
+#[cfg(test)]
+use sirius_plan::expr::SortExpr;
+use std::collections::HashMap;
+
+/// How each base table is distributed across the cluster.
+#[derive(Debug, Clone, Default)]
+pub struct PartitionScheme {
+    by: HashMap<String, Option<String>>,
+}
+
+impl PartitionScheme {
+    /// Empty scheme (everything `Arbitrary`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hash-partition `table` by `column`.
+    pub fn hash(&mut self, table: impl Into<String>, column: impl Into<String>) {
+        self.by.insert(table.into(), Some(column.into()));
+    }
+
+    /// Replicate `table` to every node (small dimension tables).
+    pub fn replicate(&mut self, table: impl Into<String>) {
+        self.by.insert(table.into(), None);
+    }
+
+    /// The scheme used by the TPC-H experiments: fact tables hash-partition
+    /// on their primary keys (lineitem on `l_partkey`, matching the Doris
+    /// plan the paper describes for Q3, which must shuffle both `orders`
+    /// and `lineitem`); `nation` and `region` replicate.
+    pub fn tpch_default() -> Self {
+        let mut s = Self::new();
+        s.hash("customer", "c_custkey");
+        s.hash("orders", "o_orderkey");
+        s.hash("lineitem", "l_partkey");
+        s.hash("part", "p_partkey");
+        s.hash("partsupp", "ps_partkey");
+        s.hash("supplier", "s_suppkey");
+        s.replicate("nation");
+        s.replicate("region");
+        s
+    }
+
+    /// Partition column for `table` (`None` = replicated, missing =
+    /// arbitrary).
+    pub fn partition_column(&self, table: &str) -> Option<&Option<String>> {
+        self.by.get(table)
+    }
+}
+
+/// Data placement of a relation's output across nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Partitioning {
+    /// Hash-partitioned by these output expressions.
+    Hash(Vec<Expr>),
+    /// Full copy on every node.
+    Replicated,
+    /// Entirely on node 0; empty elsewhere.
+    Singleton,
+    /// Split across nodes with no known key.
+    Arbitrary,
+}
+
+/// Planner options capturing host-specific distributed behaviour.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DistributeOptions {
+    /// Replicate every join's build side to all nodes instead of
+    /// co-partitioning — how ClickHouse's distributed JOIN works, and the
+    /// reason it collapses on Q3 in the paper's Table 2.
+    pub broadcast_join_build_sides: bool,
+}
+
+/// Distribute a single-node plan. The result is an SPMD plan: every node
+/// executes it against its local partitions, exchanges where annotated,
+/// and the full result lands on node 0 (the plan always ends `Singleton`).
+pub fn distribute(plan: &Rel, scheme: &PartitionScheme) -> Result<Rel> {
+    distribute_with(plan, scheme, DistributeOptions::default())
+}
+
+/// [`distribute`] with explicit options.
+pub fn distribute_with(
+    plan: &Rel,
+    scheme: &PartitionScheme,
+    opts: DistributeOptions,
+) -> Result<Rel> {
+    let (mut rel, part) = walk(plan, scheme, opts)?;
+    if part != Partitioning::Singleton && part != Partitioning::Replicated {
+        rel = Rel::Exchange { input: Box::new(rel), kind: ExchangeKind::Merge };
+    }
+    Ok(rel)
+}
+
+fn shuffle(rel: Rel, keys: Vec<Expr>) -> Rel {
+    Rel::Exchange { input: Box::new(rel), kind: ExchangeKind::Shuffle { keys } }
+}
+
+fn merge(rel: Rel) -> Rel {
+    Rel::Exchange { input: Box::new(rel), kind: ExchangeKind::Merge }
+}
+
+fn walk(plan: &Rel, scheme: &PartitionScheme, opts: DistributeOptions) -> Result<(Rel, Partitioning)> {
+    match plan {
+        Rel::Read { table, schema, projection } => {
+            let part = match scheme.partition_column(table) {
+                Some(Some(col)) => {
+                    // Where does the partition column land after projection?
+                    let base_idx = schema.index_of(col);
+                    let out_idx = match (base_idx, projection) {
+                        (Some(b), Some(p)) => p.iter().position(|&i| i == b),
+                        (Some(b), None) => Some(b),
+                        (None, _) => None,
+                    };
+                    match out_idx {
+                        Some(i) => Partitioning::Hash(vec![expr::col(i)]),
+                        None => Partitioning::Arbitrary,
+                    }
+                }
+                Some(None) => Partitioning::Replicated,
+                None => Partitioning::Arbitrary,
+            };
+            Ok((plan.clone(), part))
+        }
+        Rel::Filter { input, predicate } => {
+            let (child, part) = walk(input, scheme, opts)?;
+            Ok((
+                Rel::Filter { input: Box::new(child), predicate: predicate.clone() },
+                part,
+            ))
+        }
+        Rel::Project { input, exprs } => {
+            let (child, part) = walk(input, scheme, opts)?;
+            let part = match part {
+                Partitioning::Hash(keys) => {
+                    // Keys survive only if each is re-exported as a plain
+                    // column.
+                    let remapped: Option<Vec<Expr>> = keys
+                        .iter()
+                        .map(|k| {
+                            exprs
+                                .iter()
+                                .position(|(e, _)| e == k)
+                                .map(expr::col)
+                        })
+                        .collect();
+                    remapped.map(Partitioning::Hash).unwrap_or(Partitioning::Arbitrary)
+                }
+                other => other,
+            };
+            Ok((
+                Rel::Project { input: Box::new(child), exprs: exprs.clone() },
+                part,
+            ))
+        }
+        Rel::Join { left, right, kind, left_keys, right_keys, residual } => {
+            let (mut l, lpart) = walk(left, scheme, opts)?;
+            let (mut r, rpart) = walk(right, scheme, opts)?;
+            // Keyless joins (scalar subqueries): replicate the right side.
+            if left_keys.is_empty() {
+                if rpart != Partitioning::Replicated && rpart != Partitioning::Singleton {
+                    r = Rel::Exchange {
+                        input: Box::new(r),
+                        kind: ExchangeKind::Broadcast,
+                    };
+                }
+                // A Singleton right against distributed left must also be
+                // replicated to reach every node's rows.
+                if rpart == Partitioning::Singleton {
+                    r = Rel::Exchange {
+                        input: Box::new(r),
+                        kind: ExchangeKind::Broadcast,
+                    };
+                }
+                let out = Rel::Join {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    kind: *kind,
+                    left_keys: vec![],
+                    right_keys: vec![],
+                    residual: residual.clone(),
+                };
+                return Ok((out, lpart));
+            }
+            // Keyed joins. A replicated right side joins locally under any
+            // join kind (each left row lives on exactly one node and sees
+            // the full right input). A replicated *left* side joins locally
+            // only for Inner joins — Semi/Anti/Left would emit each left
+            // row once per node. Otherwise both sides must be
+            // hash-partitioned on exactly the join keys.
+            let rebuild = |l: Rel, r: Rel| Rel::Join {
+                left: Box::new(l),
+                right: Box::new(r),
+                kind: *kind,
+                left_keys: left_keys.clone(),
+                right_keys: right_keys.clone(),
+                residual: residual.clone(),
+            };
+            if rpart == Partitioning::Replicated {
+                let out_part = if lpart == Partitioning::Replicated {
+                    Partitioning::Replicated
+                } else {
+                    lpart
+                };
+                return Ok((rebuild(l, r), out_part));
+            }
+            if opts.broadcast_join_build_sides {
+                // ClickHouse-style distributed join: ship the whole build
+                // side everywhere and keep the probe side in place.
+                let r = Rel::Exchange {
+                    input: Box::new(r),
+                    kind: ExchangeKind::Broadcast,
+                };
+                return Ok((rebuild(l, r), lpart));
+            }
+            if lpart == Partitioning::Replicated && *kind == JoinKind::Inner {
+                // Row multiplicity comes from the distributed right side.
+                return Ok((rebuild(l, r), Partitioning::Arbitrary));
+            }
+            if lpart != Partitioning::Hash(left_keys.clone()) {
+                l = shuffle(l, left_keys.clone());
+            }
+            if rpart != Partitioning::Hash(right_keys.clone()) {
+                r = shuffle(r, right_keys.clone());
+            }
+            Ok((rebuild(l, r), Partitioning::Hash(left_keys.clone())))
+        }
+        Rel::Aggregate { input, group_by, aggregates } => {
+            let (child, part) = walk(input, scheme, opts)?;
+            distribute_aggregate(child, part, group_by, aggregates)
+        }
+        Rel::Sort { input, keys } => {
+            let (child, part) = walk(input, scheme, opts)?;
+            let child = if part == Partitioning::Singleton { child } else { merge(child) };
+            Ok((
+                Rel::Sort { input: Box::new(child), keys: keys.clone() },
+                Partitioning::Singleton,
+            ))
+        }
+        Rel::Limit { input, offset, fetch } => {
+            let (child, part) = walk(input, scheme, opts)?;
+            let child = if part == Partitioning::Singleton { child } else { merge(child) };
+            Ok((
+                Rel::Limit { input: Box::new(child), offset: *offset, fetch: *fetch },
+                Partitioning::Singleton,
+            ))
+        }
+        Rel::Distinct { input } => {
+            let (child, part) = walk(input, scheme, opts)?;
+            let width = input.schema().map_err(|e| DorisError::Plan(e.to_string()))?.len();
+            let keys: Vec<Expr> = (0..width).map(expr::col).collect();
+            let child = match part {
+                Partitioning::Singleton | Partitioning::Replicated => child,
+                _ => shuffle(child, keys.clone()),
+            };
+            Ok((Rel::Distinct { input: Box::new(child) }, Partitioning::Arbitrary))
+        }
+        Rel::Exchange { .. } => {
+            Err(DorisError::Plan("plan is already distributed".into()))
+        }
+    }
+}
+
+/// Two-phase aggregation with partial-aggregate decomposition.
+fn distribute_aggregate(
+    child: Rel,
+    part: Partitioning,
+    group_by: &[Expr],
+    aggregates: &[AggExpr],
+) -> Result<(Rel, Partitioning)> {
+    // Already local: everything on one node or replicated inputs.
+    if part == Partitioning::Singleton {
+        let out = Rel::Aggregate {
+            input: Box::new(child),
+            group_by: group_by.to_vec(),
+            aggregates: aggregates.to_vec(),
+        };
+        return Ok((out, Partitioning::Singleton));
+    }
+    // Grouped, already co-partitioned on the keys: aggregate locally.
+    if !group_by.is_empty() && part == Partitioning::Hash(group_by.to_vec()) {
+        let out = Rel::Aggregate {
+            input: Box::new(child),
+            group_by: group_by.to_vec(),
+            aggregates: aggregates.to_vec(),
+        };
+        return Ok((out, Partitioning::Hash((0..group_by.len()).map(expr::col).collect())));
+    }
+
+    let decomposable =
+        aggregates.iter().all(|a| a.func != AggFunc::CountDistinct);
+    if !decomposable {
+        // Shuffle raw rows by group key (or merge for global) + full agg.
+        let moved = if group_by.is_empty() {
+            merge(child)
+        } else {
+            shuffle(child, group_by.to_vec())
+        };
+        let out = Rel::Aggregate {
+            input: Box::new(moved),
+            group_by: group_by.to_vec(),
+            aggregates: aggregates.to_vec(),
+        };
+        let part = if group_by.is_empty() {
+            Partitioning::Singleton
+        } else {
+            Partitioning::Hash((0..group_by.len()).map(expr::col).collect())
+        };
+        return Ok((out, part));
+    }
+
+    // Phase 1: local partials. avg decomposes into (sum, count); count
+    // variants become counts summed later.
+    let mut partials: Vec<AggExpr> = Vec::new();
+    // For each original aggregate: the partial column indices feeding it.
+    let mut feeds: Vec<(AggFunc, Vec<usize>)> = Vec::new();
+    for a in aggregates {
+        match a.func {
+            AggFunc::Avg => {
+                let s = partials.len();
+                partials.push(AggExpr {
+                    func: AggFunc::Sum,
+                    input: a.input.clone(),
+                    name: format!("{}_psum", a.name),
+                });
+                partials.push(AggExpr {
+                    func: AggFunc::Count,
+                    input: a.input.clone(),
+                    name: format!("{}_pcnt", a.name),
+                });
+                feeds.push((AggFunc::Avg, vec![s, s + 1]));
+            }
+            AggFunc::Count | AggFunc::CountStar => {
+                let s = partials.len();
+                partials.push(AggExpr {
+                    func: a.func,
+                    input: a.input.clone(),
+                    name: format!("{}_pcnt", a.name),
+                });
+                feeds.push((AggFunc::Count, vec![s]));
+            }
+            AggFunc::Sum | AggFunc::Min | AggFunc::Max => {
+                let s = partials.len();
+                partials.push(AggExpr {
+                    func: a.func,
+                    input: a.input.clone(),
+                    name: format!("{}_p", a.name),
+                });
+                feeds.push((a.func, vec![s]));
+            }
+            AggFunc::CountDistinct => unreachable!("checked above"),
+        }
+    }
+    let partial = Rel::Aggregate {
+        input: Box::new(child),
+        group_by: group_by.to_vec(),
+        aggregates: partials.clone(),
+    };
+
+    // Phase 2: move partials, re-aggregate with merge functions.
+    let k = group_by.len();
+    let moved = if group_by.is_empty() {
+        merge(partial)
+    } else {
+        shuffle(partial, (0..k).map(expr::col).collect())
+    };
+    let merge_aggs: Vec<AggExpr> = partials
+        .iter()
+        .enumerate()
+        .map(|(i, p)| AggExpr {
+            func: match p.func {
+                AggFunc::Min => AggFunc::Min,
+                AggFunc::Max => AggFunc::Max,
+                // Sums and counts both merge by summation.
+                _ => AggFunc::Sum,
+            },
+            input: Some(expr::col(k + i)),
+            name: p.name.clone(),
+        })
+        .collect();
+    let finalized = Rel::Aggregate {
+        input: Box::new(moved),
+        group_by: (0..k).map(expr::col).collect(),
+        aggregates: merge_aggs,
+    };
+
+    // Phase 3: project back to the original output shape (avg = sum/count).
+    let mut out_exprs: Vec<(Expr, String)> = (0..k)
+        .map(|i| (expr::col(i), format!("key{i}")))
+        .collect();
+    for ((func, cols), a) in feeds.iter().zip(aggregates.iter()) {
+        let e = match func {
+            AggFunc::Avg => Expr::Binary {
+                op: sirius_plan::BinOp::Div,
+                left: Box::new(expr::col(k + cols[0])),
+                right: Box::new(expr::col(k + cols[1])),
+            },
+            _ => expr::col(k + cols[0]),
+        };
+        out_exprs.push((e, a.name.clone()));
+    }
+    let out = Rel::Project { input: Box::new(finalized), exprs: out_exprs };
+    let part = if group_by.is_empty() {
+        Partitioning::Singleton
+    } else {
+        Partitioning::Hash((0..k).map(expr::col).collect())
+    };
+    Ok((out, part))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirius_columnar::{DataType, Field, Schema};
+    use sirius_plan::builder::PlanBuilder;
+    use sirius_plan::expr::{col, gt, lit_i64};
+
+    fn scheme() -> PartitionScheme {
+        PartitionScheme::tpch_default()
+    }
+
+    fn scan(table: &str, cols: &[(&str, DataType)]) -> PlanBuilder {
+        PlanBuilder::scan(
+            table,
+            Schema::new(cols.iter().map(|(n, t)| Field::new(*n, *t)).collect()),
+        )
+    }
+
+    fn count_exchanges(rel: &Rel) -> usize {
+        let here = usize::from(matches!(rel, Rel::Exchange { .. }));
+        here + rel.children().iter().map(|c| count_exchanges(c)).sum::<usize>()
+    }
+
+    #[test]
+    fn global_aggregate_merges_partials_only() {
+        // Q6-like: filter + global sum. Only one tiny merge exchange.
+        let plan = scan("lineitem", &[("l_partkey", DataType::Int64), ("v", DataType::Float64)])
+            .filter(gt(col(1), sirius_plan::expr::lit(sirius_columnar::Scalar::Float64(0.0))))
+            .aggregate(
+                vec![],
+                vec![AggExpr { func: AggFunc::Sum, input: Some(col(1)), name: "revenue".into() }],
+            )
+            .build();
+        let d = distribute(&plan, &scheme()).unwrap();
+        assert_eq!(count_exchanges(&d), 1);
+        // Output schema preserved.
+        assert_eq!(d.schema().unwrap().len(), plan.schema().unwrap().len());
+        sirius_plan::validate::validate(&d).unwrap();
+    }
+
+    #[test]
+    fn avg_decomposes_into_sum_and_count() {
+        let plan = scan("lineitem", &[("l_partkey", DataType::Int64), ("q", DataType::Float64)])
+            .aggregate(
+                vec![col(0)],
+                vec![AggExpr { func: AggFunc::Avg, input: Some(col(1)), name: "a".into() }],
+            )
+            .build();
+        let d = distribute(&plan, &scheme()).unwrap();
+        sirius_plan::validate::validate(&d).unwrap();
+        let s = d.schema().unwrap();
+        assert_eq!(s.fields.last().unwrap().data_type, DataType::Float64);
+        let txt = d.explain();
+        assert!(txt.contains("Exchange"), "{txt}");
+    }
+
+    #[test]
+    fn join_shuffles_unpartitioned_sides() {
+        // customer ⋈ orders on custkey: customer is already hashed on
+        // c_custkey, orders is hashed on o_orderkey → shuffle orders only.
+        let plan = scan("customer", &[("c_custkey", DataType::Int64)])
+            .join(
+                scan("orders", &[("o_orderkey", DataType::Int64), ("o_custkey", DataType::Int64)]),
+                JoinKind::Inner,
+                vec![col(0)],
+                vec![col(1)],
+                None,
+            )
+            .build();
+        let d = distribute(&plan, &scheme()).unwrap();
+        // One shuffle (orders) + the final merge.
+        assert_eq!(count_exchanges(&d), 2, "{}", d.explain());
+    }
+
+    #[test]
+    fn replicated_dimensions_join_locally() {
+        let plan = scan("supplier", &[("s_suppkey", DataType::Int64), ("s_nationkey", DataType::Int64)])
+            .join(
+                scan("nation", &[("n_nationkey", DataType::Int64)]),
+                JoinKind::Inner,
+                vec![col(1)],
+                vec![col(0)],
+                None,
+            )
+            .build();
+        let d = distribute(&plan, &scheme()).unwrap();
+        // No shuffle for nation; just the final merge.
+        assert_eq!(count_exchanges(&d), 1, "{}", d.explain());
+    }
+
+    #[test]
+    fn count_distinct_shuffles_raw_rows() {
+        let plan = scan("partsupp", &[("ps_partkey", DataType::Int64), ("ps_suppkey", DataType::Int64)])
+            .aggregate(
+                vec![col(0)],
+                vec![AggExpr {
+                    func: AggFunc::CountDistinct,
+                    input: Some(col(1)),
+                    name: "n".into(),
+                }],
+            )
+            .build();
+        let d = distribute(&plan, &scheme()).unwrap();
+        sirius_plan::validate::validate(&d).unwrap();
+        // Already partitioned on ps_partkey ⇒ local. Re-key to force a
+        // shuffle instead.
+        let plan2 = scan("partsupp", &[("ps_partkey", DataType::Int64), ("ps_suppkey", DataType::Int64)])
+            .aggregate(
+                vec![col(1)],
+                vec![AggExpr {
+                    func: AggFunc::CountDistinct,
+                    input: Some(col(0)),
+                    name: "n".into(),
+                }],
+            )
+            .build();
+        let d2 = distribute(&plan2, &scheme()).unwrap();
+        assert!(count_exchanges(&d2) > count_exchanges(&d));
+    }
+
+    #[test]
+    fn sort_and_limit_gather_to_node_zero() {
+        let plan = scan("customer", &[("c_custkey", DataType::Int64)])
+            .sort(vec![SortExpr { expr: col(0), ascending: true }])
+            .limit(0, Some(5))
+            .build();
+        let d = distribute(&plan, &scheme()).unwrap();
+        // Merged once before the sort; limit stays singleton; no extra
+        // merge at the root.
+        assert_eq!(count_exchanges(&d), 1, "{}", d.explain());
+    }
+
+    #[test]
+    fn already_distributed_plan_rejected() {
+        let plan = scan("customer", &[("c_custkey", DataType::Int64)])
+            .exchange(ExchangeKind::Merge)
+            .build();
+        assert!(distribute(&plan, &scheme()).is_err());
+    }
+}

@@ -1,0 +1,447 @@
+//! The recursive plan interpreter with cost accounting.
+
+use crate::catalog::Catalog;
+use crate::eval::evaluate;
+use crate::ops;
+use crate::profile::EngineProfile;
+use crate::{ExecError, Result};
+use sirius_columnar::{Array, Table};
+use sirius_hw::{CostCategory, Device, DeviceSpec, WorkProfile};
+use sirius_plan::{JoinKind, Rel};
+
+/// A CPU query engine: a simulated device plus an engine personality.
+pub struct CpuEngine {
+    device: Device,
+    profile: EngineProfile,
+    /// Ledger value at the start of the current statement — the time
+    /// budget applies per statement, not cumulatively.
+    budget_base: parking_lot::Mutex<std::time::Duration>,
+}
+
+impl CpuEngine {
+    /// Build an engine on a device spec with a personality profile.
+    pub fn new(spec: DeviceSpec, profile: EngineProfile) -> Self {
+        Self {
+            device: Device::new(spec),
+            profile,
+            budget_base: parking_lot::Mutex::new(std::time::Duration::ZERO),
+        }
+    }
+
+    /// The underlying simulated device (ledger access).
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The engine profile.
+    pub fn profile(&self) -> &EngineProfile {
+        &self.profile
+    }
+
+    /// Execute a plan against a catalog, charging simulated time.
+    pub fn execute(&self, plan: &Rel, catalog: &Catalog) -> Result<Table> {
+        sirius_plan::validate::validate(plan)?;
+        if self.profile.reject_residual_semi_joins {
+            check_no_residual_semi(plan)?;
+        }
+        *self.budget_base.lock() = self.device.elapsed();
+        self.device.charge_duration(CostCategory::Other, self.profile.per_query_overhead);
+        let out = self.run(plan, catalog)?;
+        Ok(out)
+    }
+
+    fn charge(&self, category: CostCategory, work: WorkProfile) -> Result<()> {
+        let scaled = work.scaled(self.profile.multiplier(category));
+        self.device.charge(category, &scaled);
+        if let Some(budget) = self.profile.time_budget {
+            let elapsed = self.device.elapsed().saturating_sub(*self.budget_base.lock());
+            if elapsed > budget {
+                return Err(ExecError::TimeBudgetExceeded { elapsed, budget });
+            }
+        }
+        Ok(())
+    }
+
+    fn run(&self, plan: &Rel, catalog: &Catalog) -> Result<Table> {
+        match plan {
+            Rel::Read { table, projection, .. } => {
+                let t = catalog
+                    .get(table)
+                    .ok_or_else(|| ExecError::TableNotFound(table.clone()))?;
+                let t = match projection {
+                    Some(p) => t.project(p),
+                    None => (*t).clone(),
+                };
+                self.charge(
+                    CostCategory::Filter,
+                    WorkProfile::scan(t.byte_size() as u64).with_rows(t.num_rows() as u64),
+                )?;
+                Ok(t)
+            }
+            Rel::Filter { input, predicate } => {
+                // Scan+filter fusion (mirrors the GPU engine): the filter
+                // over a base scan charges a single pass.
+                let t = match &**input {
+                    Rel::Read { table, projection, .. } => {
+                        let t = catalog
+                            .get(table)
+                            .ok_or_else(|| ExecError::TableNotFound(table.clone()))?;
+                        match projection {
+                            Some(p) => t.project(p),
+                            None => (*t).clone(),
+                        }
+                    }
+                    _ => self.run(input, catalog)?,
+                };
+                let mask = evaluate(predicate, &t)?;
+                let sel = mask.as_bool()?.to_selection();
+                let out = t.filter(&sel);
+                self.charge(
+                    CostCategory::Filter,
+                    WorkProfile::scan(t.byte_size() as u64)
+                        .with_streamed(out.byte_size() as u64)
+                        .with_flops(t.num_rows() as u64)
+                        .with_rows(t.num_rows() as u64),
+                )?;
+                Ok(out)
+            }
+            Rel::Project { input, exprs } => {
+                let t = self.run(input, catalog)?;
+                let schema = plan.schema()?;
+                let mut cols = Vec::with_capacity(exprs.len());
+                for (e, _) in exprs {
+                    cols.push(evaluate(e, &t)?);
+                }
+                let out = Table::new(schema, cols);
+                self.charge(
+                    CostCategory::Project,
+                    WorkProfile::scan(t.byte_size() as u64)
+                        .with_streamed(out.byte_size() as u64)
+                        .with_flops((t.num_rows() * exprs.len()) as u64)
+                        .with_rows(t.num_rows() as u64),
+                )?;
+                Ok(out)
+            }
+            Rel::Aggregate { input, group_by, aggregates } => {
+                let t = self.run(input, catalog)?;
+                let key_cols: Vec<Array> = group_by
+                    .iter()
+                    .map(|g| evaluate(g, &t))
+                    .collect::<Result<_>>()?;
+                let agg_inputs: Vec<(sirius_plan::AggFunc, Option<Array>)> = aggregates
+                    .iter()
+                    .map(|a| {
+                        Ok((
+                            a.func,
+                            a.input.as_ref().map(|e| evaluate(e, &t)).transpose()?,
+                        ))
+                    })
+                    .collect::<Result<_>>()?;
+                let (keys, aggs) = ops::aggregate(&t, &key_cols, &agg_inputs)?;
+                let schema = plan.schema()?;
+                let out = Table::new(schema, keys.into_iter().chain(aggs).collect());
+                let category = if group_by.is_empty() {
+                    CostCategory::Aggregate
+                } else {
+                    CostCategory::GroupBy
+                };
+                self.charge(
+                    category,
+                    WorkProfile::scan(t.byte_size() as u64)
+                        .with_random((t.num_rows() * 8 * aggregates.len().max(1)) as u64)
+                        .with_flops(
+                            (t.num_rows() * (group_by.len() + aggregates.len())) as u64,
+                        )
+                        .with_rows(t.num_rows() as u64),
+                )?;
+                Ok(out)
+            }
+            Rel::Join { left, right, kind, left_keys, right_keys, residual } => {
+                let lt = self.run(left, catalog)?;
+                let rt = self.run(right, catalog)?;
+                let lk: Vec<Array> =
+                    left_keys.iter().map(|e| evaluate(e, &lt)).collect::<Result<_>>()?;
+                let rk: Vec<Array> =
+                    right_keys.iter().map(|e| evaluate(e, &rt)).collect::<Result<_>>()?;
+                let pairs = ops::find_pairs(&lk, &rk, lt.num_rows(), rt.num_rows());
+                // Residual predicate: evaluated vectorized over the
+                // candidate-pair tables.
+                let mask = match residual {
+                    None => None,
+                    Some(res) => {
+                        let lp = lt.gather(&pairs.left);
+                        let rp = rt.gather(&pairs.right);
+                        let combined = lp.hstack(&rp);
+                        let col = evaluate(res, &combined)?;
+                        Some(col.as_bool()?.to_selection())
+                    }
+                };
+                let out_idx = ops::resolve_pairs(*kind, &pairs, mask.as_ref())?;
+                // Materialize output table.
+                let out = match kind {
+                    JoinKind::Semi | JoinKind::Anti => lt.gather(&out_idx.left),
+                    _ => {
+                        let l = lt.gather(&out_idx.left);
+                        let rcols: Vec<Array> = rt
+                            .columns()
+                            .iter()
+                            .map(|c| c.gather_opt(&out_idx.right))
+                            .collect();
+                        let r = Table::new(
+                            plan.schema()?.project(
+                                &(lt.num_columns()
+                                    ..lt.num_columns() + rt.num_columns())
+                                    .collect::<Vec<_>>(),
+                            ),
+                            rcols,
+                        );
+                        l.hstack(&r)
+                    }
+                };
+                let key_bytes: u64 = lk.iter().chain(rk.iter()).map(|a| a.byte_size() as u64).sum();
+                // CPU hash joins materialize the whole build side (keys +
+                // payload) into the hash table; engines that leave large
+                // inputs on the build side (ClickHouse's FROM-order plans)
+                // pay for it.
+                self.charge(
+                    CostCategory::Join,
+                    WorkProfile::scan(key_bytes)
+                        .with_random(((lt.num_rows() + rt.num_rows()) * 16) as u64)
+                        .with_random(rt.byte_size() as u64)
+                        .with_random(out.byte_size() as u64)
+                        .with_flops(pairs.len() as u64)
+                        .with_rows(out.num_rows() as u64),
+                )?;
+                Ok(out)
+            }
+            Rel::Sort { input, keys } => {
+                let t = self.run(input, catalog)?;
+                let key_cols: Vec<(Array, bool)> = keys
+                    .iter()
+                    .map(|k| Ok((evaluate(&k.expr, &t)?, k.ascending)))
+                    .collect::<Result<_>>()?;
+                let order = ops::sort_order(&key_cols, t.num_rows());
+                let out = t.gather(&order);
+                let n = t.num_rows().max(2) as u64;
+                let log_n = (n as f64).log2().ceil() as u64;
+                self.charge(
+                    CostCategory::OrderBy,
+                    WorkProfile::scan(t.byte_size() as u64)
+                        .with_flops(n * log_n)
+                        .with_random(out.byte_size() as u64)
+                        .with_rows(t.num_rows() as u64),
+                )?;
+                Ok(out)
+            }
+            Rel::Limit { input, offset, fetch } => {
+                let t = self.run(input, catalog)?;
+                let start = (*offset).min(t.num_rows());
+                let end = match fetch {
+                    Some(f) => (start + f).min(t.num_rows()),
+                    None => t.num_rows(),
+                };
+                let idx: Vec<usize> = (start..end).collect();
+                let out = t.gather(&idx);
+                self.charge(
+                    CostCategory::Other,
+                    WorkProfile::scan(out.byte_size() as u64).with_rows(out.num_rows() as u64),
+                )?;
+                Ok(out)
+            }
+            Rel::Distinct { input } => {
+                let t = self.run(input, catalog)?;
+                let key_cols: Vec<Array> = t.columns().to_vec();
+                let (keys, _aggs) = ops::aggregate(&t, &key_cols, &[])?;
+                let out = Table::new(t.schema().clone(), keys);
+                self.charge(
+                    CostCategory::GroupBy,
+                    WorkProfile::scan(t.byte_size() as u64)
+                        .with_random((t.num_rows() * 16) as u64)
+                        .with_rows(t.num_rows() as u64),
+                )?;
+                Ok(out)
+            }
+            // Single-node interpretation: exchange is the identity.
+            Rel::Exchange { input, .. } => self.run(input, catalog),
+        }
+    }
+}
+
+fn check_no_residual_semi(plan: &Rel) -> Result<()> {
+    if let Rel::Join {
+        kind: JoinKind::Semi | JoinKind::Anti,
+        residual: Some(_),
+        ..
+    } = plan
+    {
+        return Err(ExecError::Unsupported(
+            "correlated EXISTS with non-equi conditions (residual semi/anti join)".into(),
+        ));
+    }
+    for c in plan.children() {
+        check_no_residual_semi(c)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirius_columnar::{DataType, Field, Scalar, Schema};
+    use sirius_hw::catalog as hw;
+    use sirius_plan::builder::PlanBuilder;
+    use sirius_plan::expr::{self, AggExpr, AggFunc, SortExpr};
+
+    fn setup() -> (CpuEngine, Catalog, Schema) {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("grp", DataType::Utf8),
+            Field::new("v", DataType::Float64),
+        ]);
+        let t = Table::new(
+            schema.clone(),
+            vec![
+                Array::from_i64([1, 2, 3, 4]),
+                Array::from_strs(["a", "b", "a", "b"]),
+                Array::from_f64([10.0, 20.0, 30.0, 40.0]),
+            ],
+        );
+        let mut cat = Catalog::new();
+        cat.register("t", t);
+        (
+            CpuEngine::new(hw::m7i_16xlarge(), EngineProfile::duckdb()),
+            cat,
+            schema,
+        )
+    }
+
+    #[test]
+    fn scan_filter_project() {
+        let (eng, cat, schema) = setup();
+        let plan = PlanBuilder::scan("t", schema)
+            .filter(expr::gt(expr::col(2), expr::lit(Scalar::Float64(15.0))))
+            .project(vec![(expr::col(0), "k".into())])
+            .build();
+        let out = eng.execute(&plan, &cat).unwrap();
+        assert_eq!(out.num_rows(), 3);
+        assert_eq!(out.num_columns(), 1);
+        assert!(eng.device().elapsed().as_nanos() > 0);
+    }
+
+    #[test]
+    fn group_by_and_sort() {
+        let (eng, cat, schema) = setup();
+        let plan = PlanBuilder::scan("t", schema)
+            .aggregate(
+                vec![expr::col(1)],
+                vec![AggExpr {
+                    func: AggFunc::Sum,
+                    input: Some(expr::col(2)),
+                    name: "s".into(),
+                }],
+            )
+            .sort(vec![SortExpr { expr: expr::col(1), ascending: false }])
+            .build();
+        let out = eng.execute(&plan, &cat).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        // Sorted by sum desc: b (60) then a (40).
+        assert_eq!(out.column(0).utf8_value(0), Some("b"));
+        assert_eq!(out.column(1).f64_value(0), Some(60.0));
+    }
+
+    #[test]
+    fn join_and_limit() {
+        let (eng, cat, schema) = setup();
+        let plan = PlanBuilder::scan("t", schema.clone())
+            .join(
+                PlanBuilder::scan("t", schema),
+                JoinKind::Inner,
+                vec![expr::col(1)],
+                vec![expr::col(1)],
+                None,
+            )
+            .limit(0, Some(3))
+            .build();
+        let out = eng.execute(&plan, &cat).unwrap();
+        assert_eq!(out.num_rows(), 3);
+        assert_eq!(out.num_columns(), 6);
+    }
+
+    #[test]
+    fn missing_table() {
+        let (eng, cat, schema) = setup();
+        let plan = PlanBuilder::scan("nope", schema).build();
+        assert!(matches!(
+            eng.execute(&plan, &cat),
+            Err(ExecError::TableNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn clickhouse_rejects_residual_semi_joins() {
+        let (_eng, cat, schema) = setup();
+        let ch = CpuEngine::new(hw::m7i_16xlarge(), EngineProfile::clickhouse());
+        let plan = PlanBuilder::scan("t", schema.clone())
+            .join(
+                PlanBuilder::scan("t", schema),
+                JoinKind::Anti,
+                vec![expr::col(0)],
+                vec![expr::col(0)],
+                Some(expr::ne(expr::col(1), expr::col(4))),
+            )
+            .build();
+        assert!(matches!(
+            ch.execute(&plan, &cat),
+            Err(ExecError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn time_budget_trips() {
+        let (_e, cat, schema) = setup();
+        let mut profile = EngineProfile::duckdb();
+        profile.time_budget = Some(std::time::Duration::from_nanos(1));
+        let eng = CpuEngine::new(hw::m7i_16xlarge(), profile);
+        let plan = PlanBuilder::scan("t", schema).build();
+        assert!(matches!(
+            eng.execute(&plan, &cat),
+            Err(ExecError::TimeBudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn distinct_via_engine() {
+        let (eng, mut cat, _schema) = setup();
+        let s2 = Schema::new(vec![Field::new("x", DataType::Int64)]);
+        cat.register(
+            "dup",
+            Table::new(s2.clone(), vec![Array::from_i64([1, 1, 2])]),
+        );
+        let plan = PlanBuilder::scan("dup", s2).distinct().build();
+        let out = eng.execute(&plan, &cat).unwrap();
+        assert_eq!(out.num_rows(), 2);
+    }
+
+    #[test]
+    fn left_join_null_padding() {
+        let (eng, cat, schema) = setup();
+        let plan = PlanBuilder::scan("t", schema.clone())
+            .join(
+                PlanBuilder::from_rel(
+                    PlanBuilder::scan("t", schema)
+                        .filter(expr::eq(expr::col(0), expr::lit_i64(1)))
+                        .build(),
+                ),
+                JoinKind::Left,
+                vec![expr::col(0)],
+                vec![expr::col(0)],
+                None,
+            )
+            .build();
+        let out = eng.execute(&plan, &cat).unwrap();
+        assert_eq!(out.num_rows(), 4);
+        // Exactly one matched row, three null-padded.
+        let nulls = (0..4).filter(|&i| out.column(3).scalar(i) == Scalar::Null).count();
+        assert_eq!(nulls, 3);
+    }
+}

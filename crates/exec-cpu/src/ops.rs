@@ -1,0 +1,485 @@
+//! CPU operator implementations: hash join, group-by, sort, limit.
+//!
+//! These are deliberately independent of the `sirius-cudf` kernels — same
+//! semantics, different code — so the integration suite's cross-engine
+//! result comparison is a meaningful oracle.
+//!
+//! Joins follow the same two-phase shape as the GPU path: a pair-finding
+//! phase over the equality keys, then (after the engine evaluates any
+//! residual predicate *vectorized* over the candidate pairs) a resolution
+//! phase that applies the join type.
+
+use crate::{ExecError, Result};
+use sirius_columnar::{Array, Bitmap, Scalar, Table};
+use sirius_plan::{AggFunc, JoinKind};
+use std::cmp::Ordering;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+
+type Key = Vec<Scalar>;
+
+fn keys_of(key_cols: &[Array], n: usize) -> (Vec<Key>, Vec<bool>) {
+    let mut keys = Vec::with_capacity(n);
+    let mut nulls = Vec::with_capacity(n);
+    for i in 0..n {
+        let k: Key = key_cols.iter().map(|c| c.scalar(i)).collect();
+        nulls.push(k.iter().any(|s| s.is_null()));
+        keys.push(k);
+    }
+    (keys, nulls)
+}
+
+/// Equality-key candidate pairs in inner form.
+pub struct CandidatePairs {
+    /// Left row of each pair.
+    pub left: Vec<usize>,
+    /// Right row of each pair.
+    pub right: Vec<usize>,
+    /// Number of left input rows (for semi/anti/left resolution).
+    pub left_rows: usize,
+}
+
+impl CandidatePairs {
+    /// Number of candidate pairs.
+    pub fn len(&self) -> usize {
+        self.left.len()
+    }
+
+    /// True if no candidates matched.
+    pub fn is_empty(&self) -> bool {
+        self.left.is_empty()
+    }
+}
+
+/// Phase 1: all equality matches (hash table built over the right input),
+/// or the full cross product when `key`less.
+pub fn find_pairs(
+    left_keys: &[Array],
+    right_keys: &[Array],
+    left_rows: usize,
+    right_rows: usize,
+) -> CandidatePairs {
+    let mut pairs =
+        CandidatePairs { left: Vec::new(), right: Vec::new(), left_rows };
+    if left_keys.is_empty() {
+        for l in 0..left_rows {
+            for r in 0..right_rows {
+                pairs.left.push(l);
+                pairs.right.push(r);
+            }
+        }
+        return pairs;
+    }
+    let (rk, rn) = keys_of(right_keys, right_rows);
+    let mut table: HashMap<Key, Vec<usize>> = HashMap::new();
+    for (i, k) in rk.into_iter().enumerate() {
+        if !rn[i] {
+            table.entry(k).or_default().push(i);
+        }
+    }
+    let (lk, ln) = keys_of(left_keys, left_rows);
+    for (l, k) in lk.iter().enumerate() {
+        if ln[l] {
+            continue;
+        }
+        if let Some(rs) = table.get(k) {
+            for &r in rs {
+                pairs.left.push(l);
+                pairs.right.push(r);
+            }
+        }
+    }
+    pairs
+}
+
+/// Final join output indices.
+pub struct CpuJoinOut {
+    /// Left input row per output row.
+    pub left: Vec<usize>,
+    /// Right input row per output row (`None` ⇒ null padding).
+    pub right: Vec<Option<usize>>,
+}
+
+/// Phase 2: apply the join type given an optional per-pair residual mask.
+pub fn resolve_pairs(
+    kind: JoinKind,
+    pairs: &CandidatePairs,
+    mask: Option<&Bitmap>,
+) -> Result<CpuJoinOut> {
+    if let Some(m) = mask {
+        assert_eq!(m.len(), pairs.len(), "residual mask length mismatch");
+    }
+    let pass = |i: usize| mask.map(|m| m.get(i)).unwrap_or(true);
+    let mut out = CpuJoinOut { left: Vec::new(), right: Vec::new() };
+    match kind {
+        JoinKind::Inner | JoinKind::Cross => {
+            for i in 0..pairs.len() {
+                if pass(i) {
+                    out.left.push(pairs.left[i]);
+                    out.right.push(Some(pairs.right[i]));
+                }
+            }
+        }
+        JoinKind::Semi | JoinKind::Anti => {
+            let mut matched = vec![false; pairs.left_rows];
+            for i in 0..pairs.len() {
+                if pass(i) {
+                    matched[pairs.left[i]] = true;
+                }
+            }
+            let want = kind == JoinKind::Semi;
+            for (l, &m) in matched.iter().enumerate() {
+                if m == want {
+                    out.left.push(l);
+                    out.right.push(None);
+                }
+            }
+        }
+        JoinKind::Left | JoinKind::Single => {
+            let mut count = vec![0u32; pairs.left_rows];
+            for i in 0..pairs.len() {
+                if pass(i) {
+                    count[pairs.left[i]] += 1;
+                }
+            }
+            if kind == JoinKind::Single {
+                if let Some(l) = count.iter().position(|&c| c > 1) {
+                    return Err(ExecError::Eval(format!(
+                        "scalar subquery returned {} rows for outer row {l}",
+                        count[l]
+                    )));
+                }
+            }
+            for i in 0..pairs.len() {
+                if pass(i) {
+                    out.left.push(pairs.left[i]);
+                    out.right.push(Some(pairs.right[i]));
+                }
+            }
+            for (l, &c) in count.iter().enumerate() {
+                if c == 0 {
+                    out.left.push(l);
+                    out.right.push(None);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Grouped / global aggregation. Group output order: first appearance.
+pub fn aggregate(
+    input: &Table,
+    key_cols: &[Array],
+    aggs: &[(AggFunc, Option<Array>)],
+) -> Result<(Vec<Array>, Vec<Array>)> {
+    struct Acc {
+        sum_f: f64,
+        sum_i: i64,
+        seen: bool,
+        count: i64,
+        distinct: HashSet<Scalar>,
+        min: Option<Scalar>,
+        max: Option<Scalar>,
+    }
+    impl Acc {
+        fn new() -> Self {
+            Self {
+                sum_f: 0.0,
+                sum_i: 0,
+                seen: false,
+                count: 0,
+                distinct: HashSet::new(),
+                min: None,
+                max: None,
+            }
+        }
+    }
+
+    let n = input.num_rows();
+    let global = key_cols.is_empty();
+    let (keys, _nulls) = keys_of(key_cols, n);
+
+    let mut group_ids: HashMap<Key, usize> = HashMap::new();
+    let mut order: Vec<Key> = Vec::new();
+    let mut accs: Vec<Vec<Acc>> = Vec::new();
+    if global {
+        order.push(vec![]);
+        accs.push(aggs.iter().map(|_| Acc::new()).collect());
+    }
+
+    for row in 0..n {
+        let gid = if global {
+            0
+        } else {
+            match group_ids.entry(keys[row].clone()) {
+                Entry::Occupied(e) => *e.get(),
+                Entry::Vacant(e) => {
+                    let id = order.len();
+                    e.insert(id);
+                    order.push(keys[row].clone());
+                    accs.push(aggs.iter().map(|_| Acc::new()).collect());
+                    id
+                }
+            }
+        };
+        for (ai, (func, col)) in aggs.iter().enumerate() {
+            let acc = &mut accs[gid][ai];
+            let v = col.as_ref().map(|c| c.scalar(row));
+            match func {
+                AggFunc::CountStar => acc.count += 1,
+                AggFunc::Count => {
+                    if v.as_ref().map(|s| !s.is_null()).unwrap_or(false) {
+                        acc.count += 1;
+                    }
+                }
+                AggFunc::CountDistinct => {
+                    if let Some(s) = v {
+                        if !s.is_null() {
+                            acc.distinct.insert(s);
+                        }
+                    }
+                }
+                AggFunc::Sum | AggFunc::Avg => {
+                    if let Some(s) = v {
+                        if !s.is_null() {
+                            if let Some(f) = s.as_f64() {
+                                acc.sum_f += f;
+                            }
+                            if let Some(i) = s.as_i64() {
+                                acc.sum_i += i;
+                            }
+                            acc.count += 1;
+                            acc.seen = true;
+                        }
+                    }
+                }
+                AggFunc::Min | AggFunc::Max => {
+                    if let Some(s) = v {
+                        if !s.is_null() {
+                            let slot = if *func == AggFunc::Min {
+                                &mut acc.min
+                            } else {
+                                &mut acc.max
+                            };
+                            let replace = match slot {
+                                None => true,
+                                Some(cur) => {
+                                    if *func == AggFunc::Min {
+                                        s < *cur
+                                    } else {
+                                        s > *cur
+                                    }
+                                }
+                            };
+                            if replace {
+                                *slot = Some(s);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let key_arrays: Vec<Array> = (0..key_cols.len())
+        .map(|ki| {
+            let scalars: Vec<Scalar> = order.iter().map(|k| k[ki].clone()).collect();
+            Array::from_scalars(&scalars, key_cols[ki].data_type())
+        })
+        .collect();
+
+    let agg_arrays: Vec<Array> = aggs
+        .iter()
+        .enumerate()
+        .map(|(ai, (func, col))| {
+            let in_type = col.as_ref().map(|c| c.data_type());
+            let out_type = func.result_type(in_type).map_err(ExecError::Plan)?;
+            let scalars: Vec<Scalar> = accs
+                .iter()
+                .map(|g| {
+                    let a = &g[ai];
+                    match func {
+                        AggFunc::CountStar | AggFunc::Count => Scalar::Int64(a.count),
+                        AggFunc::CountDistinct => Scalar::Int64(a.distinct.len() as i64),
+                        AggFunc::Sum => {
+                            if !a.seen {
+                                Scalar::Null
+                            } else if out_type == sirius_columnar::DataType::Float64 {
+                                Scalar::Float64(a.sum_f)
+                            } else {
+                                Scalar::Int64(a.sum_i)
+                            }
+                        }
+                        AggFunc::Avg => {
+                            if a.count == 0 {
+                                Scalar::Null
+                            } else {
+                                Scalar::Float64(a.sum_f / a.count as f64)
+                            }
+                        }
+                        AggFunc::Min => a.min.clone().unwrap_or(Scalar::Null),
+                        AggFunc::Max => a.max.clone().unwrap_or(Scalar::Null),
+                    }
+                })
+                .collect();
+            Ok(Array::from_scalars(&scalars, out_type))
+        })
+        .collect::<Result<_>>()?;
+
+    Ok((key_arrays, agg_arrays))
+}
+
+/// Stable multi-key sort; returns row order.
+pub fn sort_order(key_cols: &[(Array, bool)], num_rows: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..num_rows).collect();
+    idx.sort_by(|&a, &b| {
+        for (col, asc) in key_cols {
+            let ord = col.scalar(a).cmp(&col.scalar(b));
+            let ord = if *asc { ord } else { ord.reverse() };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirius_columnar::{DataType, Field, Schema};
+
+    fn tbl(keys: &[i64], vals: &[&str]) -> Table {
+        Table::new(
+            Schema::new(vec![
+                Field::new("k", DataType::Int64),
+                Field::new("v", DataType::Utf8),
+            ]),
+            vec![
+                Array::from_i64(keys.iter().copied()),
+                Array::from_strs(vals.iter().copied()),
+            ],
+        )
+    }
+
+    fn pairs(l: &Table, r: &Table) -> CandidatePairs {
+        find_pairs(
+            &[l.column(0).clone()],
+            &[r.column(0).clone()],
+            l.num_rows(),
+            r.num_rows(),
+        )
+    }
+
+    #[test]
+    fn inner_join_pairs() {
+        let l = tbl(&[1, 2, 3], &["a", "b", "c"]);
+        let r = tbl(&[2, 3, 3], &["x", "y", "z"]);
+        let p = pairs(&l, &r);
+        let out = resolve_pairs(JoinKind::Inner, &p, None).unwrap();
+        assert_eq!(out.left.len(), 3);
+    }
+
+    #[test]
+    fn residual_mask_resolution() {
+        let l = tbl(&[1, 1], &["a", "b"]);
+        let r = tbl(&[1, 1], &["b", "c"]);
+        let p = pairs(&l, &r);
+        assert_eq!(p.len(), 4);
+        // Keep pairs where left value != right value.
+        let mask = Bitmap::from_iter((0..p.len()).map(|i| {
+            l.column(1).utf8_value(p.left[i]) != r.column(1).utf8_value(p.right[i])
+        }));
+        let inner = resolve_pairs(JoinKind::Inner, &p, Some(&mask)).unwrap();
+        assert_eq!(inner.left.len(), 3);
+        let anti = resolve_pairs(JoinKind::Anti, &p, Some(&mask)).unwrap();
+        assert!(anti.left.is_empty());
+    }
+
+    #[test]
+    fn semi_anti_left_single() {
+        let l = tbl(&[1, 2], &["a", "b"]);
+        let r = tbl(&[2], &["x"]);
+        let p = pairs(&l, &r);
+        let semi = resolve_pairs(JoinKind::Semi, &p, None).unwrap();
+        assert_eq!(semi.left, vec![1]);
+        let anti = resolve_pairs(JoinKind::Anti, &p, None).unwrap();
+        assert_eq!(anti.left, vec![0]);
+        let left = resolve_pairs(JoinKind::Left, &p, None).unwrap();
+        assert_eq!(left.left.len(), 2);
+        assert!(left.right.contains(&None));
+        let single = resolve_pairs(JoinKind::Single, &p, None).unwrap();
+        assert_eq!(single.left.len(), 2);
+        // Duplicate matches break Single.
+        let r2 = tbl(&[2, 2], &["x", "y"]);
+        let p2 = pairs(&l, &r2);
+        assert!(resolve_pairs(JoinKind::Single, &p2, None).is_err());
+    }
+
+    #[test]
+    fn cross_pairs() {
+        let p = find_pairs(&[], &[], 2, 3);
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let l = Array::from_scalars(
+            &[Scalar::Int64(1), Scalar::Null],
+            DataType::Int64,
+        );
+        let r = Array::from_scalars(
+            &[Scalar::Null, Scalar::Int64(1)],
+            DataType::Int64,
+        );
+        let p = find_pairs(&[l], &[r], 2, 2);
+        assert_eq!(p.len(), 1);
+        assert_eq!((p.left[0], p.right[0]), (0, 1));
+    }
+
+    #[test]
+    fn grouped_aggregation() {
+        let t = tbl(&[1, 2, 1], &["a", "b", "c"]);
+        let (keys, aggs) = aggregate(
+            &t,
+            &[t.column(0).clone()],
+            &[
+                (AggFunc::CountStar, None),
+                (AggFunc::Min, Some(t.column(1).clone())),
+            ],
+        )
+        .unwrap();
+        assert_eq!(keys[0].len(), 2);
+        assert_eq!(aggs[0].i64_value(0), Some(2));
+        assert_eq!(aggs[1].utf8_value(0), Some("a"));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let t = tbl(&[], &[]);
+        let (keys, aggs) = aggregate(
+            &t,
+            &[],
+            &[
+                (AggFunc::Sum, Some(t.column(0).clone())),
+                (AggFunc::CountStar, None),
+            ],
+        )
+        .unwrap();
+        assert!(keys.is_empty());
+        assert_eq!(aggs[0].scalar(0), Scalar::Null);
+        assert_eq!(aggs[1].i64_value(0), Some(0));
+    }
+
+    #[test]
+    fn sort_order_multi_key() {
+        let t = tbl(&[2, 1, 2], &["b", "z", "a"]);
+        let order = sort_order(
+            &[(t.column(0).clone(), true), (t.column(1).clone(), true)],
+            3,
+        );
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+}

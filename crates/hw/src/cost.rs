@@ -1,0 +1,181 @@
+//! Analytical kernel cost model.
+//!
+//! Operators describe their work as a [`WorkProfile`] — bytes streamed
+//! sequentially, bytes touched with random access, scalar operations, and
+//! kernel launches — and [`CostModel::kernel_time`] converts the profile into
+//! simulated time against a [`DeviceSpec`]. The model is the classic
+//! roofline: time = launch overhead + max(memory time, compute time), with
+//! separate effective bandwidths for sequential and random traffic.
+
+use crate::spec::DeviceSpec;
+use std::time::Duration;
+
+/// A description of the work performed by one operator invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WorkProfile {
+    /// Bytes read or written with sequential, coalesced access.
+    pub bytes_streamed: u64,
+    /// Bytes read or written with data-dependent (random) access — hash
+    /// probes, gathers, scatters.
+    pub bytes_random: u64,
+    /// Scalar operations executed (comparisons, arithmetic, hashes).
+    pub flops: u64,
+    /// Number of kernel launches / operator dispatches (≥ 1 for real work).
+    pub launches: u32,
+    /// Rows flowing through, for diagnostics only.
+    pub rows: u64,
+}
+
+impl WorkProfile {
+    /// A pure sequential scan of `bytes`.
+    pub fn scan(bytes: u64) -> Self {
+        Self { bytes_streamed: bytes, launches: 1, ..Self::default() }
+    }
+
+    /// A pure random-access pass over `bytes`.
+    pub fn random(bytes: u64) -> Self {
+        Self { bytes_random: bytes, launches: 1, ..Self::default() }
+    }
+
+    /// Builder: set the row count.
+    pub fn with_rows(mut self, rows: u64) -> Self {
+        self.rows = rows;
+        self
+    }
+
+    /// Builder: add sequential bytes.
+    pub fn with_streamed(mut self, bytes: u64) -> Self {
+        self.bytes_streamed += bytes;
+        self
+    }
+
+    /// Builder: add random-access bytes.
+    pub fn with_random(mut self, bytes: u64) -> Self {
+        self.bytes_random += bytes;
+        self
+    }
+
+    /// Builder: add scalar operations.
+    pub fn with_flops(mut self, flops: u64) -> Self {
+        self.flops += flops;
+        self
+    }
+
+    /// Builder: set the launch count.
+    pub fn with_launches(mut self, launches: u32) -> Self {
+        self.launches = launches;
+        self
+    }
+
+    /// Combine two profiles executed back-to-back.
+    pub fn merge(mut self, other: WorkProfile) -> Self {
+        self.bytes_streamed += other.bytes_streamed;
+        self.bytes_random += other.bytes_random;
+        self.flops += other.flops;
+        self.launches += other.launches;
+        self.rows = self.rows.max(other.rows);
+        self
+    }
+
+    /// Scale every volume component by `factor` (used by engine-level
+    /// inefficiency modeling, e.g. a baseline that re-materializes
+    /// intermediates).
+    pub fn scaled(self, factor: f64) -> Self {
+        let s = |v: u64| ((v as f64) * factor).round() as u64;
+        Self {
+            bytes_streamed: s(self.bytes_streamed),
+            bytes_random: s(self.bytes_random),
+            flops: s(self.flops),
+            launches: self.launches,
+            rows: self.rows,
+        }
+    }
+}
+
+/// Converts [`WorkProfile`]s into simulated durations.
+pub struct CostModel;
+
+impl CostModel {
+    /// Roofline time for one profile on one device.
+    pub fn kernel_time(spec: &DeviceSpec, work: &WorkProfile) -> Duration {
+        let mem_s = work.bytes_streamed as f64 / spec.effective_bandwidth()
+            + work.bytes_random as f64 / spec.effective_random_bandwidth();
+        let compute_s = work.flops as f64 / spec.compute_throughput;
+        let overhead_s = work.launches as f64 * spec.launch_overhead_ns as f64 * 1e-9;
+        Duration::from_secs_f64(overhead_s + mem_s.max(compute_s))
+    }
+
+    /// Time for a host↔device or node↔node transfer of `bytes` over a link
+    /// with the given per-direction bandwidth and latency. Convenience
+    /// wrapper re-exported through [`crate::link::Link`].
+    pub fn transfer_time(bytes: u64, bandwidth: f64, latency_ns: u64) -> Duration {
+        Duration::from_secs_f64(latency_ns as f64 * 1e-9 + bytes as f64 / bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn scan_time_matches_bandwidth() {
+        let spec = catalog::gh200_gpu();
+        let one_gib = WorkProfile::scan(1 << 30);
+        let t = CostModel::kernel_time(&spec, &one_gib);
+        let expected = (1u64 << 30) as f64 / spec.effective_bandwidth()
+            + spec.launch_overhead_ns as f64 * 1e-9;
+        assert!((t.as_secs_f64() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_access_is_slower_than_streaming() {
+        let spec = catalog::m7i_16xlarge();
+        let seq = CostModel::kernel_time(&spec, &WorkProfile::scan(1 << 28));
+        let rnd = CostModel::kernel_time(&spec, &WorkProfile::random(1 << 28));
+        assert!(rnd > seq);
+    }
+
+    #[test]
+    fn compute_bound_kernels_hit_the_compute_roof() {
+        let spec = catalog::gh200_gpu();
+        let w = WorkProfile::scan(1024).with_flops(10u64.pow(12));
+        let t = CostModel::kernel_time(&spec, &w);
+        let compute_floor = 1e12 / spec.compute_throughput;
+        assert!(t.as_secs_f64() >= compute_floor);
+    }
+
+    #[test]
+    fn launch_overhead_dominates_tiny_kernels() {
+        let spec = catalog::gh200_gpu();
+        let tiny = CostModel::kernel_time(&spec, &WorkProfile::scan(64));
+        assert!(tiny.as_nanos() as u64 >= spec.launch_overhead_ns);
+        // 1000 tiny launches cost ~1000x the overhead.
+        let many = CostModel::kernel_time(&spec, &WorkProfile::scan(64).with_launches(1000));
+        assert!(many.as_nanos() > 500 * tiny.as_nanos());
+    }
+
+    #[test]
+    fn merge_and_scale() {
+        let a = WorkProfile::scan(100).with_flops(10);
+        let b = WorkProfile::random(50).with_rows(7);
+        let m = a.merge(b);
+        assert_eq!(m.bytes_streamed, 100);
+        assert_eq!(m.bytes_random, 50);
+        assert_eq!(m.launches, 2);
+        assert_eq!(m.rows, 7);
+        let s = m.scaled(2.0);
+        assert_eq!(s.bytes_streamed, 200);
+        assert_eq!(s.bytes_random, 100);
+        assert_eq!(s.flops, 20);
+        assert_eq!(s.launches, 2);
+    }
+
+    #[test]
+    fn transfer_time_includes_latency() {
+        let t = CostModel::transfer_time(0, 1e9, 5_000);
+        assert_eq!(t, Duration::from_nanos(5_000));
+        let t2 = CostModel::transfer_time(1_000_000_000, 1e9, 5_000);
+        assert!(t2 > Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,193 @@
+//! Per-device simulated-time accounting with operator-category attribution.
+//!
+//! The paper's Figure 5 breaks Sirius query time into join / group-by /
+//! filter / aggregation / order-by / other, and Table 2 breaks distributed
+//! time into compute / exchange / other. The ledger records exactly those
+//! attributions as work is charged.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Operator categories matching the paper's breakdown figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CostCategory {
+    /// Table scans and predicate evaluation.
+    Filter,
+    /// Hash/sort joins (build + probe).
+    Join,
+    /// Group-by (keyed aggregation).
+    GroupBy,
+    /// Ungrouped aggregation.
+    Aggregate,
+    /// Sorting / order-by / top-k.
+    OrderBy,
+    /// Projection and scalar expression evaluation.
+    Project,
+    /// Host↔device and node↔node data movement.
+    Exchange,
+    /// Planning, coordination, dispatch, result return.
+    Other,
+}
+
+impl CostCategory {
+    /// All categories, in display order.
+    pub const ALL: [CostCategory; 8] = [
+        CostCategory::Filter,
+        CostCategory::Join,
+        CostCategory::GroupBy,
+        CostCategory::Aggregate,
+        CostCategory::OrderBy,
+        CostCategory::Project,
+        CostCategory::Exchange,
+        CostCategory::Other,
+    ];
+
+    /// Short label used by the harness output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CostCategory::Filter => "filter",
+            CostCategory::Join => "join",
+            CostCategory::GroupBy => "group-by",
+            CostCategory::Aggregate => "aggregate",
+            CostCategory::OrderBy => "order-by",
+            CostCategory::Project => "project",
+            CostCategory::Exchange => "exchange",
+            CostCategory::Other => "other",
+        }
+    }
+}
+
+fn index_of(c: CostCategory) -> usize {
+    CostCategory::ALL.iter().position(|x| *x == c).expect("category in ALL")
+}
+
+/// A snapshot of accumulated time per category.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeBreakdown {
+    nanos: [u64; 8],
+}
+
+impl TimeBreakdown {
+    /// Time attributed to one category.
+    pub fn get(&self, c: CostCategory) -> Duration {
+        Duration::from_nanos(self.nanos[index_of(c)])
+    }
+
+    /// Total time across all categories.
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.nanos.iter().sum())
+    }
+
+    /// Non-zero `(category, duration)` entries in display order.
+    pub fn entries(&self) -> Vec<(CostCategory, Duration)> {
+        CostCategory::ALL
+            .iter()
+            .zip(self.nanos.iter())
+            .filter(|(_, n)| **n > 0)
+            .map(|(c, n)| (*c, Duration::from_nanos(*n)))
+            .collect()
+    }
+
+    /// Add a duration to a category.
+    pub fn add(&mut self, c: CostCategory, d: Duration) {
+        self.nanos[index_of(c)] += d.as_nanos() as u64;
+    }
+
+    /// Element-wise sum of two breakdowns.
+    pub fn merge(&self, other: &TimeBreakdown) -> TimeBreakdown {
+        let mut out = self.clone();
+        for (a, b) in out.nanos.iter_mut().zip(other.nanos.iter()) {
+            *a += *b;
+        }
+        out
+    }
+
+    /// Difference `self - earlier` (for scoped measurement). Saturates at 0.
+    pub fn since(&self, earlier: &TimeBreakdown) -> TimeBreakdown {
+        let mut out = TimeBreakdown::default();
+        for (i, o) in out.nanos.iter_mut().enumerate() {
+            *o = self.nanos[i].saturating_sub(earlier.nanos[i]);
+        }
+        out
+    }
+}
+
+/// Thread-safe accumulating ledger; cheap to clone (shared state).
+#[derive(Clone, Default)]
+pub struct CostLedger {
+    inner: Arc<Mutex<TimeBreakdown>>,
+}
+
+impl CostLedger {
+    /// Record `d` under `category`.
+    pub fn add(&self, category: CostCategory, d: Duration) {
+        self.inner.lock().add(category, d);
+    }
+
+    /// Total accumulated time.
+    pub fn total(&self) -> Duration {
+        self.inner.lock().total()
+    }
+
+    /// Copy of the current breakdown.
+    pub fn snapshot(&self) -> TimeBreakdown {
+        self.inner.lock().clone()
+    }
+
+    /// Clear all accumulated time.
+    pub fn reset(&self) {
+        *self.inner.lock() = TimeBreakdown::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_accumulates_per_category() {
+        let l = CostLedger::default();
+        l.add(CostCategory::Join, Duration::from_millis(5));
+        l.add(CostCategory::Join, Duration::from_millis(3));
+        l.add(CostCategory::Filter, Duration::from_millis(2));
+        let b = l.snapshot();
+        assert_eq!(b.get(CostCategory::Join), Duration::from_millis(8));
+        assert_eq!(b.get(CostCategory::Filter), Duration::from_millis(2));
+        assert_eq!(b.total(), Duration::from_millis(10));
+        assert_eq!(b.entries().len(), 2);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let l = CostLedger::default();
+        l.add(CostCategory::Exchange, Duration::from_millis(4));
+        let t0 = l.snapshot();
+        l.add(CostCategory::Exchange, Duration::from_millis(6));
+        l.add(CostCategory::Other, Duration::from_millis(1));
+        let delta = l.snapshot().since(&t0);
+        assert_eq!(delta.get(CostCategory::Exchange), Duration::from_millis(6));
+        assert_eq!(delta.get(CostCategory::Other), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn merge_adds_elementwise() {
+        let mut a = TimeBreakdown::default();
+        a.add(CostCategory::GroupBy, Duration::from_millis(1));
+        let mut b = TimeBreakdown::default();
+        b.add(CostCategory::GroupBy, Duration::from_millis(2));
+        b.add(CostCategory::OrderBy, Duration::from_millis(3));
+        let m = a.merge(&b);
+        assert_eq!(m.get(CostCategory::GroupBy), Duration::from_millis(3));
+        assert_eq!(m.get(CostCategory::OrderBy), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn all_labels_unique() {
+        let mut labels: Vec<_> = CostCategory::ALL.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), CostCategory::ALL.len());
+    }
+}

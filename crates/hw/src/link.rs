@@ -1,0 +1,115 @@
+//! Interconnect links: PCIe, NVLink-C2C, InfiniBand, Ethernet.
+//!
+//! A [`Link`] pairs a static [`LinkSpec`] with a transfer-byte counter so the
+//! harness can report both simulated wire time and traffic volume.
+
+use crate::cost::CostModel;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Static description of an interconnect.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Human-readable name, e.g. `"NVLink-C2C"`.
+    pub name: String,
+    /// Per-direction bandwidth in bytes per second.
+    pub bandwidth: f64,
+    /// One-way message latency in nanoseconds.
+    pub latency_ns: u64,
+}
+
+impl LinkSpec {
+    /// Construct a spec.
+    pub fn new(name: impl Into<String>, bandwidth: f64, latency_ns: u64) -> Self {
+        Self { name: name.into(), bandwidth, latency_ns }
+    }
+
+    /// Wire time for a single transfer of `bytes`.
+    pub fn transfer_time(&self, bytes: u64) -> Duration {
+        CostModel::transfer_time(bytes, self.bandwidth, self.latency_ns)
+    }
+}
+
+/// A live link with traffic accounting. Cloning shares the counters.
+#[derive(Clone)]
+pub struct Link {
+    spec: Arc<LinkSpec>,
+    bytes_moved: Arc<AtomicU64>,
+    transfers: Arc<AtomicU64>,
+}
+
+impl Link {
+    /// Create a link from a spec.
+    pub fn new(spec: LinkSpec) -> Self {
+        Self {
+            spec: Arc::new(spec),
+            bytes_moved: Arc::new(AtomicU64::new(0)),
+            transfers: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The link specification.
+    pub fn spec(&self) -> &LinkSpec {
+        &self.spec
+    }
+
+    /// Record a transfer of `bytes` and return its simulated wire time.
+    pub fn transfer(&self, bytes: u64) -> Duration {
+        self.bytes_moved.fetch_add(bytes, Ordering::Relaxed);
+        self.transfers.fetch_add(1, Ordering::Relaxed);
+        self.spec.transfer_time(bytes)
+    }
+
+    /// Total bytes moved over this link.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved.load(Ordering::Relaxed)
+    }
+
+    /// Number of transfers recorded.
+    pub fn transfers(&self) -> u64 {
+        self.transfers.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Link {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Link")
+            .field("spec", &self.spec.name)
+            .field("bytes_moved", &self.bytes_moved())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn transfer_accumulates_traffic() {
+        let l = Link::new(catalog::infiniband_4xndr());
+        let t = l.transfer(50_000_000_000);
+        // 50 GB over 50 GB/s ≈ 1 s.
+        assert!((t.as_secs_f64() - 1.0).abs() < 0.01);
+        assert_eq!(l.bytes_moved(), 50_000_000_000);
+        assert_eq!(l.transfers(), 1);
+    }
+
+    #[test]
+    fn cloned_link_shares_counters() {
+        let l = Link::new(catalog::pcie4_x16());
+        let l2 = l.clone();
+        l2.transfer(1024);
+        assert_eq!(l.bytes_moved(), 1024);
+    }
+
+    #[test]
+    fn faster_link_faster_transfer() {
+        let nv = Link::new(catalog::nvlink_c2c());
+        let pcie = Link::new(catalog::pcie4_x16());
+        let b = 1u64 << 30;
+        assert!(nv.transfer(b) < pcie.transfer(b));
+    }
+}

@@ -1,0 +1,106 @@
+//! Device specifications: the published numbers the cost model consumes.
+
+use serde::{Deserialize, Serialize};
+
+/// Whether a device is a GPU or a CPU socket/instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// A discrete GPU (CUDA-style SIMT device with HBM).
+    Gpu,
+    /// A CPU instance (cores + DDR memory).
+    Cpu,
+}
+
+/// Static description of an execution device.
+///
+/// Bandwidths are in bytes/second, capacities in bytes, and throughput in
+/// scalar operations/second. `efficiency` captures how close a well-written
+/// analytical engine gets to peak streaming bandwidth on that device class
+/// (GPUs with coalesced loads come close to peak; CPU engines typically
+/// achieve a noticeably smaller fraction of STREAM bandwidth on real query
+/// plans).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Human-readable name, e.g. `"NVIDIA GH200 (Hopper)"`.
+    pub name: String,
+    /// GPU or CPU.
+    pub kind: DeviceKind,
+    /// Number of hardware lanes: CUDA cores for GPUs, vCPUs for CPUs.
+    pub cores: u32,
+    /// Device memory capacity in bytes (HBM for GPUs, DRAM for CPUs).
+    pub memory_bytes: u64,
+    /// Peak memory read/write bandwidth in bytes per second.
+    pub memory_bandwidth: f64,
+    /// Fraction of peak bandwidth achieved on sequential streaming kernels.
+    pub efficiency: f64,
+    /// Fraction of peak bandwidth achieved on random-access patterns
+    /// (hash-table probes, gathers). SIMT latency hiding makes this much
+    /// higher on GPUs than on CPUs.
+    pub random_access_efficiency: f64,
+    /// Aggregate scalar-operation throughput in ops/second (all lanes).
+    pub compute_throughput: f64,
+    /// Fixed overhead per kernel launch / operator dispatch, in nanoseconds.
+    /// This is what makes many tiny kernels slower than one fused kernel and
+    /// why group-by with few groups still pays a floor cost.
+    pub launch_overhead_ns: u64,
+    /// On-demand rental cost in USD per hour (Table 1 of the paper).
+    pub cost_per_hour_usd: f64,
+}
+
+impl DeviceSpec {
+    /// Effective sequential streaming bandwidth (peak × efficiency).
+    pub fn effective_bandwidth(&self) -> f64 {
+        self.memory_bandwidth * self.efficiency
+    }
+
+    /// Effective random-access bandwidth.
+    pub fn effective_random_bandwidth(&self) -> f64 {
+        self.memory_bandwidth * self.random_access_efficiency
+    }
+
+    /// Memory capacity in GiB, for display.
+    pub fn memory_gib(&self) -> f64 {
+        self.memory_bytes as f64 / (1u64 << 30) as f64
+    }
+
+    /// USD cost of `seconds` of rental time.
+    pub fn rental_cost(&self, seconds: f64) -> f64 {
+        self.cost_per_hour_usd * seconds / 3600.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn effective_bandwidth_is_scaled() {
+        let s = catalog::gh200_gpu();
+        assert!(s.effective_bandwidth() < s.memory_bandwidth);
+        assert!(s.effective_bandwidth() > 0.5 * s.memory_bandwidth);
+    }
+
+    #[test]
+    fn gpu_random_access_beats_cpu_random_access_relative() {
+        let g = catalog::gh200_gpu();
+        let c = catalog::m7i_16xlarge();
+        assert!(g.random_access_efficiency > c.random_access_efficiency);
+    }
+
+    #[test]
+    fn rental_cost_scales_linearly() {
+        let s = catalog::gh200_gpu();
+        let one = s.rental_cost(3600.0);
+        assert!((one - s.cost_per_hour_usd).abs() < 1e-9);
+        assert!((s.rental_cost(1800.0) - one / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = catalog::a100_40gb();
+        let j = serde_json::to_string(&s).unwrap();
+        let back: DeviceSpec = serde_json::from_str(&j).unwrap();
+        assert_eq!(s, back);
+    }
+}

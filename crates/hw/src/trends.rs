@@ -1,0 +1,192 @@
+//! Hardware-trend time series behind the paper's Figure 1 and Table 1.
+//!
+//! Figure 1 of the paper plots four trends that motivate GPU-native
+//! analytics: (a) GPU device-memory capacity per generation, (b) CPU↔GPU
+//! interconnect bandwidth, (c) network bandwidth, and (d) storage bandwidth.
+//! The series here carry the public figures; the `figure1` harness binary
+//! renders them as the rows of the plot.
+
+use serde::{Deserialize, Serialize};
+
+/// One point of a hardware trend: a year, a product/standard label, and a
+/// value in the series' unit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrendPoint {
+    /// Calendar year of introduction.
+    pub year: u32,
+    /// Product or standard name.
+    pub label: &'static str,
+    /// Value in the series unit (GB for capacity, GB/s for bandwidth).
+    pub value: f64,
+}
+
+/// A named trend series with a unit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrendSeries {
+    /// Series title (matches a Figure 1 panel).
+    pub title: &'static str,
+    /// Unit of `TrendPoint::value`.
+    pub unit: &'static str,
+    /// The points, in chronological order.
+    pub points: Vec<TrendPoint>,
+}
+
+impl TrendSeries {
+    /// Growth factor between the first and last point.
+    pub fn growth_factor(&self) -> f64 {
+        match (self.points.first(), self.points.last()) {
+            (Some(a), Some(b)) if a.value > 0.0 => b.value / a.value,
+            _ => 0.0,
+        }
+    }
+
+    /// Compound annual growth rate across the series.
+    pub fn cagr(&self) -> f64 {
+        match (self.points.first(), self.points.last()) {
+            (Some(a), Some(b)) if b.year > a.year && a.value > 0.0 => {
+                (b.value / a.value).powf(1.0 / (b.year - a.year) as f64) - 1.0
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+fn pt(year: u32, label: &'static str, value: f64) -> TrendPoint {
+    TrendPoint { year, label, value }
+}
+
+/// Figure 1(a): GPU device memory per generation (GB). §2.1: "the largest GPU
+/// memory was merely 16 GB ten years ago… a modern B300 Ultra has 288 GB".
+pub fn gpu_memory_capacity() -> TrendSeries {
+    TrendSeries {
+        title: "GPU device memory capacity",
+        unit: "GB",
+        points: vec![
+            pt(2016, "P100 (Pascal)", 16.0),
+            pt(2017, "V100 (Volta)", 32.0),
+            pt(2020, "A100 (Ampere)", 80.0),
+            pt(2022, "H100 (Hopper)", 96.0),
+            pt(2023, "H200 (Hopper)", 141.0),
+            pt(2024, "B200 (Blackwell)", 192.0),
+            pt(2025, "B300 Ultra (Blackwell)", 288.0),
+        ],
+    }
+}
+
+/// Figure 1(b): CPU↔GPU interconnect bandwidth (GB/s, per direction).
+pub fn interconnect_bandwidth() -> TrendSeries {
+    TrendSeries {
+        title: "CPU-GPU interconnect bandwidth",
+        unit: "GB/s",
+        points: vec![
+            pt(2012, "PCIe Gen3 x16", 16.0),
+            pt(2017, "PCIe Gen4 x16", 32.0),
+            pt(2019, "PCIe Gen5 x16", 63.0),
+            pt(2022, "PCIe Gen6 x16", 128.0),
+            pt(2023, "NVLink-C2C", 450.0),
+        ],
+    }
+}
+
+/// Figure 1(c): datacenter network bandwidth (GB/s per port).
+pub fn network_bandwidth() -> TrendSeries {
+    TrendSeries {
+        title: "Network bandwidth",
+        unit: "GB/s",
+        points: vec![
+            pt(2010, "10 GbE", 1.25),
+            pt(2015, "40 GbE", 5.0),
+            pt(2018, "100 GbE", 12.5),
+            pt(2021, "200 Gb HDR", 25.0),
+            pt(2023, "400 Gb NDR", 50.0),
+            pt(2025, "800 Gb XDR", 100.0),
+        ],
+    }
+}
+
+/// Figure 1(d): storage bandwidth (GB/s per device/path). The 2025 point is
+/// the S3-over-RDMA object-store figure the paper cites (200 GB/s).
+pub fn storage_bandwidth() -> TrendSeries {
+    TrendSeries {
+        title: "Storage bandwidth",
+        unit: "GB/s",
+        points: vec![
+            pt(2014, "NVMe Gen3", 3.5),
+            pt(2019, "NVMe Gen4", 7.0),
+            pt(2023, "NVMe Gen5", 14.0),
+            pt(2024, "GPUDirect Storage (8x Gen5)", 100.0),
+            pt(2025, "S3 over RDMA", 200.0),
+        ],
+    }
+}
+
+/// GPU on-demand rental price trend ($/h) for §2.1's "declining GPU cost":
+/// H100 from ~$8/h (March 2023) to ~$3/h (2025).
+pub fn h100_rental_price() -> TrendSeries {
+    TrendSeries {
+        title: "H100 on-demand rental price",
+        unit: "$/h",
+        points: vec![
+            pt(2023, "H100 launch pricing", 8.0),
+            pt(2024, "H100 mid-2024", 4.5),
+            pt(2025, "H100 2025", 3.0),
+        ],
+    }
+}
+
+/// All Figure 1 panels, in paper order.
+pub fn figure1_series() -> Vec<TrendSeries> {
+    vec![
+        gpu_memory_capacity(),
+        interconnect_bandwidth(),
+        network_bandwidth(),
+        storage_bandwidth(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_are_chronological_and_monotonic() {
+        for s in figure1_series() {
+            for w in s.points.windows(2) {
+                assert!(w[0].year <= w[1].year, "{}: years out of order", s.title);
+                assert!(w[0].value <= w[1].value, "{}: values not monotone", s.title);
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_memory_grew_18x_in_a_decade() {
+        let s = gpu_memory_capacity();
+        assert!(s.growth_factor() >= 18.0 - 1e-9);
+        assert_eq!(s.points.first().unwrap().value, 16.0);
+        assert_eq!(s.points.last().unwrap().value, 288.0);
+    }
+
+    #[test]
+    fn pcie_doubles_roughly_every_two_years() {
+        let s = interconnect_bandwidth();
+        // PCIe3 (16) -> PCIe6 (128) is 8x over 10 years: CAGR ~23%.
+        let pcie_only: Vec<_> =
+            s.points.iter().filter(|p| p.label.starts_with("PCIe")).collect();
+        let first = pcie_only.first().unwrap();
+        let last = pcie_only.last().unwrap();
+        assert!(last.value / first.value >= 8.0 - 1e-9);
+    }
+
+    #[test]
+    fn h100_price_halved_or_better() {
+        let s = h100_rental_price();
+        assert!(s.points.last().unwrap().value <= s.points.first().unwrap().value / 2.0);
+    }
+
+    #[test]
+    fn cagr_positive_for_all_panels() {
+        for s in figure1_series() {
+            assert!(s.cagr() > 0.0, "{}", s.title);
+        }
+    }
+}

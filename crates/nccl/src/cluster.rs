@@ -1,0 +1,175 @@
+//! Communicator construction and point-to-point transport.
+
+use crate::{NcclError, Result};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use sirius_columnar::Table;
+use sirius_hw::{Link, LinkSpec};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Receive timeout: generous enough for debug-mode tests, small enough to
+/// turn deadlocks into diagnosable errors.
+const RECV_TIMEOUT: Duration = Duration::from_secs(30);
+
+pub(crate) struct Message {
+    pub src: usize,
+    pub seq: u64,
+    pub table: Table,
+}
+
+/// A per-rank handle into the cluster. Each rank is owned by one thread.
+pub struct Communicator {
+    rank: usize,
+    world: usize,
+    senders: Vec<Sender<Message>>,
+    receiver: Receiver<Message>,
+    /// Out-of-order messages buffered until requested.
+    pending: HashMap<(usize, u64), Table>,
+    /// Collective sequence counter (must advance identically on all ranks).
+    seq: u64,
+    link: Link,
+}
+
+/// Factory for a set of connected communicators.
+pub struct NcclCluster;
+
+impl NcclCluster {
+    /// Create `world` communicators joined by an interconnect of `spec`.
+    /// The returned vector is indexed by rank; hand each element to its
+    /// node's thread.
+    pub fn new(world: usize, spec: LinkSpec) -> Vec<Communicator> {
+        let link = Link::new(spec);
+        let (senders, receivers): (Vec<_>, Vec<_>) =
+            (0..world).map(|_| unbounded::<Message>()).unzip();
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, receiver)| Communicator {
+                rank,
+                world,
+                senders: senders.clone(),
+                receiver,
+                pending: HashMap::new(),
+                seq: 0,
+                link: link.clone(),
+            })
+            .collect()
+    }
+}
+
+impl Communicator {
+    /// This communicator's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the cluster.
+    pub fn world(&self) -> usize {
+        self.world
+    }
+
+    /// The shared interconnect (traffic counters).
+    pub fn link(&self) -> &Link {
+        &self.link
+    }
+
+    /// Advance and return the collective sequence number.
+    pub(crate) fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// Send `table` to `peer` under sequence `seq`; returns simulated wire
+    /// time (zero for self-sends — device-local data never hits the wire).
+    pub(crate) fn send(&self, peer: usize, seq: u64, table: Table) -> Result<Duration> {
+        if peer >= self.world {
+            return Err(NcclError::InvalidRank(peer));
+        }
+        let bytes = table.byte_size() as u64;
+        self.senders[peer]
+            .send(Message { src: self.rank, seq, table })
+            .map_err(|_| NcclError::Disconnected { peer })?;
+        Ok(if peer == self.rank {
+            Duration::ZERO
+        } else {
+            self.link.transfer(bytes)
+        })
+    }
+
+    /// Receive the message from `peer` with sequence `seq`, buffering any
+    /// other traffic that arrives first.
+    pub(crate) fn recv(&mut self, peer: usize, seq: u64) -> Result<Table> {
+        if let Some(t) = self.pending.remove(&(peer, seq)) {
+            return Ok(t);
+        }
+        loop {
+            let msg = self
+                .receiver
+                .recv_timeout(RECV_TIMEOUT)
+                .map_err(|_| NcclError::Timeout { peer, seq })?;
+            if msg.src == peer && msg.seq == seq {
+                return Ok(msg.table);
+            }
+            self.pending.insert((msg.src, msg.seq), msg.table);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirius_columnar::{Array, DataType, Field, Schema};
+    use sirius_hw::catalog;
+
+    fn t(v: i64) -> Table {
+        Table::new(
+            Schema::new(vec![Field::new("x", DataType::Int64)]),
+            vec![Array::from_i64([v])],
+        )
+    }
+
+    #[test]
+    fn point_to_point() {
+        let mut comms = NcclCluster::new(2, catalog::infiniband_4xndr());
+        let c1 = comms.pop().unwrap();
+        let mut c0 = comms.pop().unwrap();
+        let h = std::thread::spawn(move || {
+            c1.send(0, 1, t(42)).unwrap();
+        });
+        let got = c0.recv(1, 1).unwrap();
+        assert_eq!(got.column(0).i64_value(0), Some(42));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn out_of_order_buffering() {
+        let mut comms = NcclCluster::new(2, catalog::infiniband_4xndr());
+        let c1 = comms.pop().unwrap();
+        let mut c0 = comms.pop().unwrap();
+        let h = std::thread::spawn(move || {
+            c1.send(0, 2, t(2)).unwrap();
+            c1.send(0, 1, t(1)).unwrap();
+        });
+        h.join().unwrap();
+        // Ask for seq 1 first even though seq 2 arrived first.
+        assert_eq!(c0.recv(1, 1).unwrap().column(0).i64_value(0), Some(1));
+        assert_eq!(c0.recv(1, 2).unwrap().column(0).i64_value(0), Some(2));
+    }
+
+    #[test]
+    fn self_send_is_free() {
+        let mut comms = NcclCluster::new(1, catalog::infiniband_4xndr());
+        let mut c = comms.pop().unwrap();
+        let d = c.send(0, 1, t(7)).unwrap();
+        assert_eq!(d, Duration::ZERO);
+        assert_eq!(c.recv(0, 1).unwrap().column(0).i64_value(0), Some(7));
+        assert_eq!(c.link().bytes_moved(), 0);
+    }
+
+    #[test]
+    fn invalid_rank() {
+        let mut comms = NcclCluster::new(1, catalog::infiniband_4xndr());
+        let c = comms.pop().unwrap();
+        assert!(matches!(c.send(5, 1, t(0)), Err(NcclError::InvalidRank(5))));
+    }
+}

@@ -1,0 +1,188 @@
+//! Keyed data cache over the caching region, with tiered overflow.
+//!
+//! §3.2.3: "the buffer manager automatically caches [data read by the host]
+//! into the pre-allocated caching region for future reuse", in either device
+//! memory or pinned host memory. §3.4 plans spilling to pinned memory and
+//! disk for out-of-core execution — implemented here as overflow tiers so
+//! the `out_of_core` example can demonstrate the extension.
+
+use crate::pool::{Allocation, PoolAllocator};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Where a cached entry physically resides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheTier {
+    /// GPU device memory (HBM) — full-bandwidth access.
+    Device,
+    /// Pinned host memory — access at interconnect bandwidth.
+    PinnedHost,
+    /// Disk (out-of-core extension) — access at storage bandwidth.
+    Disk,
+}
+
+struct Entry<T> {
+    value: Arc<T>,
+    bytes: u64,
+    tier: CacheTier,
+    // RAII region reservation; `None` for the unbounded disk tier.
+    _alloc: Option<Allocation>,
+    hits: u64,
+}
+
+struct CacheInner<T> {
+    entries: HashMap<String, Entry<T>>,
+    hits: u64,
+    misses: u64,
+}
+
+/// A keyed cache of `T` values (tables, in practice), accounted against a
+/// device caching region with pinned-host and disk overflow.
+pub struct DataCache<T> {
+    device_region: PoolAllocator,
+    pinned_region: PoolAllocator,
+    inner: Mutex<CacheInner<T>>,
+}
+
+impl<T> DataCache<T> {
+    /// Build a cache over a device caching region of `device_region`
+    /// capacity with `pinned_bytes` of pinned host memory as overflow.
+    pub fn new(device_region: PoolAllocator, pinned_bytes: u64) -> Self {
+        Self {
+            device_region,
+            pinned_region: PoolAllocator::new("pinned host", pinned_bytes),
+            inner: Mutex::new(CacheInner {
+                entries: HashMap::new(),
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// Insert `value` of `bytes` under `key`, choosing the highest tier with
+    /// room: device → pinned host → disk. Returns the tier chosen.
+    pub fn insert(&self, key: impl Into<String>, value: T, bytes: u64) -> CacheTier {
+        let key = key.into();
+        let (alloc, tier) = match self.device_region.alloc(bytes) {
+            Ok(a) => (Some(a), CacheTier::Device),
+            Err(_) => match self.pinned_region.alloc(bytes) {
+                Ok(a) => (Some(a), CacheTier::PinnedHost),
+                Err(_) => (None, CacheTier::Disk),
+            },
+        };
+        self.inner.lock().entries.insert(
+            key,
+            Entry { value: Arc::new(value), bytes, tier, _alloc: alloc, hits: 0 },
+        );
+        tier
+    }
+
+    /// Look up `key`; a hit returns the value and its tier.
+    pub fn get(&self, key: &str) -> Option<(Arc<T>, CacheTier)> {
+        let mut g = self.inner.lock();
+        if let Some(e) = g.entries.get_mut(key) {
+            e.hits += 1;
+            let out = (Arc::clone(&e.value), e.tier);
+            g.hits += 1;
+            Some(out)
+        } else {
+            g.misses += 1;
+            None
+        }
+    }
+
+    /// True if `key` is cached (does not count as a hit).
+    pub fn contains(&self, key: &str) -> bool {
+        self.inner.lock().entries.contains_key(key)
+    }
+
+    /// Remove `key`, releasing its region reservation.
+    pub fn evict(&self, key: &str) -> bool {
+        self.inner.lock().entries.remove(key).is_some()
+    }
+
+    /// Bytes cached on each tier: `(device, pinned, disk)`.
+    pub fn tier_usage(&self) -> (u64, u64, u64) {
+        let g = self.inner.lock();
+        let mut t = (0, 0, 0);
+        for e in g.entries.values() {
+            match e.tier {
+                CacheTier::Device => t.0 += e.bytes,
+                CacheTier::PinnedHost => t.1 += e.bytes,
+                CacheTier::Disk => t.2 += e.bytes,
+            }
+        }
+        t
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn hit_stats(&self) -> (u64, u64) {
+        let g = self.inner.lock();
+        (g.hits, g.misses)
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(device: u64, pinned: u64) -> DataCache<String> {
+        DataCache::new(PoolAllocator::new("dev", device), pinned)
+    }
+
+    #[test]
+    fn hot_path_is_device_tier() {
+        let c = cache(1 << 20, 1 << 20);
+        assert_eq!(c.insert("t1", "data".into(), 4096), CacheTier::Device);
+        let (v, tier) = c.get("t1").unwrap();
+        assert_eq!(*v, "data");
+        assert_eq!(tier, CacheTier::Device);
+        assert_eq!(c.hit_stats(), (1, 0));
+    }
+
+    #[test]
+    fn overflow_cascades_to_pinned_then_disk() {
+        let c = cache(1024, 1024);
+        assert_eq!(c.insert("a", "x".into(), 1024), CacheTier::Device);
+        assert_eq!(c.insert("b", "y".into(), 1024), CacheTier::PinnedHost);
+        assert_eq!(c.insert("c", "z".into(), 1024), CacheTier::Disk);
+        assert_eq!(c.tier_usage(), (1024, 1024, 1024));
+    }
+
+    #[test]
+    fn evict_frees_region_for_reuse() {
+        let c = cache(1024, 0);
+        assert_eq!(c.insert("a", "x".into(), 1024), CacheTier::Device);
+        assert!(c.evict("a"));
+        assert!(!c.evict("a"));
+        assert_eq!(c.insert("b", "y".into(), 1024), CacheTier::Device);
+    }
+
+    #[test]
+    fn miss_counting() {
+        let c = cache(1024, 0);
+        assert!(c.get("nope").is_none());
+        assert_eq!(c.hit_stats(), (0, 1));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn contains_does_not_bump_hits() {
+        let c = cache(1 << 16, 0);
+        c.insert("k", "v".into(), 10);
+        assert!(c.contains("k"));
+        assert_eq!(c.hit_stats(), (0, 0));
+        assert_eq!(c.len(), 1);
+    }
+}

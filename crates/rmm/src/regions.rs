@@ -1,0 +1,88 @@
+//! The two-region device memory split of §3.2.3.
+
+use crate::pool::PoolAllocator;
+use sirius_hw::DeviceSpec;
+
+/// Device memory divided into a data-caching region and a data-processing
+/// region. The paper's evaluation dedicates 50% of GPU memory to each
+/// (§4.1); the fraction is configurable here for ablations.
+#[derive(Debug, Clone)]
+pub struct BufferRegions {
+    caching: PoolAllocator,
+    processing: PoolAllocator,
+}
+
+impl BufferRegions {
+    /// Split `spec.memory_bytes` with `caching_fraction` going to the cache.
+    pub fn from_spec(spec: &DeviceSpec, caching_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&caching_fraction),
+            "caching fraction must be in [0,1]"
+        );
+        let cache_bytes = (spec.memory_bytes as f64 * caching_fraction) as u64;
+        Self {
+            caching: PoolAllocator::new(
+                format!("{} caching", spec.name),
+                cache_bytes,
+            ),
+            processing: PoolAllocator::new(
+                format!("{} processing", spec.name),
+                spec.memory_bytes - cache_bytes,
+            ),
+        }
+    }
+
+    /// The paper's evaluation configuration: a 50/50 split.
+    pub fn paper_default(spec: &DeviceSpec) -> Self {
+        Self::from_spec(spec, 0.5)
+    }
+
+    /// The pre-allocated data-caching region.
+    pub fn caching(&self) -> &PoolAllocator {
+        &self.caching
+    }
+
+    /// The RMM-pooled data-processing region.
+    pub fn processing(&self) -> &PoolAllocator {
+        &self.processing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirius_hw::catalog;
+
+    #[test]
+    fn fifty_fifty_split() {
+        let spec = catalog::gh200_gpu();
+        let r = BufferRegions::paper_default(&spec);
+        assert_eq!(r.caching().capacity(), spec.memory_bytes / 2);
+        assert_eq!(
+            r.caching().capacity() + r.processing().capacity(),
+            spec.memory_bytes
+        );
+    }
+
+    #[test]
+    fn regions_are_independent() {
+        let spec = catalog::a100_40gb();
+        let r = BufferRegions::paper_default(&spec);
+        let _a = r.processing().alloc(1 << 20).unwrap();
+        assert_eq!(r.caching().used(), 0);
+        assert!(r.processing().used() >= 1 << 20);
+    }
+
+    #[test]
+    fn custom_fraction() {
+        let spec = catalog::a100_40gb();
+        let r = BufferRegions::from_spec(&spec, 0.75);
+        assert!(r.caching().capacity() > r.processing().capacity());
+    }
+
+    #[test]
+    #[should_panic(expected = "caching fraction")]
+    fn invalid_fraction_panics() {
+        BufferRegions::from_spec(&catalog::a100_40gb(), 1.5);
+    }
+}

@@ -1,0 +1,77 @@
+//! Allocator statistics snapshots.
+
+/// Point-in-time statistics for a [`crate::PoolAllocator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Total pool capacity in bytes.
+    pub capacity: u64,
+    /// Bytes currently allocated.
+    pub used: u64,
+    /// Peak bytes ever allocated simultaneously.
+    pub high_watermark: u64,
+    /// Number of successful allocations.
+    pub alloc_count: u64,
+    /// Number of allocation failures (OOM).
+    pub failed_allocs: u64,
+    /// Number of blocks on the free list (fragmentation indicator).
+    pub free_blocks: u64,
+    /// Largest contiguous free block in bytes.
+    pub largest_free_block: u64,
+}
+
+impl PoolStats {
+    /// Fraction of capacity in use, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.used as f64 / self.capacity as f64
+        }
+    }
+
+    /// External fragmentation indicator: 1 − largest_free/total_free.
+    /// Zero when free space is one contiguous block.
+    pub fn fragmentation(&self) -> f64 {
+        let free = self.capacity - self.used;
+        if free == 0 {
+            0.0
+        } else {
+            1.0 - self.largest_free_block as f64 / free as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_and_fragmentation() {
+        let s = PoolStats {
+            capacity: 100,
+            used: 40,
+            high_watermark: 60,
+            alloc_count: 3,
+            failed_allocs: 0,
+            free_blocks: 2,
+            largest_free_block: 30,
+        };
+        assert!((s.utilization() - 0.4).abs() < 1e-12);
+        assert!((s.fragmentation() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let s = PoolStats {
+            capacity: 0,
+            used: 0,
+            high_watermark: 0,
+            alloc_count: 0,
+            failed_allocs: 0,
+            free_blocks: 0,
+            largest_free_block: 0,
+        };
+        assert_eq!(s.utilization(), 0.0);
+        assert_eq!(s.fragmentation(), 0.0);
+    }
+}

@@ -1,0 +1,328 @@
+//! Abstract syntax tree for the supported SQL dialect.
+
+/// A full query: optional CTEs, a SELECT body, ordering, and limit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// `WITH name AS (query)` items, in order (later CTEs may use earlier).
+    pub ctes: Vec<(String, Query)>,
+    /// The SELECT body.
+    pub select: Select,
+    /// ORDER BY items.
+    pub order_by: Vec<OrderItem>,
+    /// LIMIT n.
+    pub limit: Option<usize>,
+}
+
+/// The SELECT body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// SELECT DISTINCT.
+    pub distinct: bool,
+    /// Output items.
+    pub items: Vec<SelectItem>,
+    /// FROM items (comma-joined); each may carry explicit JOINs.
+    pub from: Vec<FromItem>,
+    /// WHERE predicate.
+    pub where_clause: Option<ExprAst>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<ExprAst>,
+    /// HAVING predicate.
+    pub having: Option<ExprAst>,
+}
+
+/// One SELECT output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// The expression.
+    pub expr: ExprAst,
+    /// Optional `AS alias`.
+    pub alias: Option<String>,
+}
+
+/// A FROM item: a base relation possibly followed by explicit JOIN clauses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromItem {
+    /// The leading relation.
+    pub base: TableRef,
+    /// Explicit `JOIN ... ON ...` chain applied to `base`.
+    pub joins: Vec<ExplicitJoin>,
+}
+
+/// An explicit JOIN clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplicitJoin {
+    /// Joined relation.
+    pub relation: TableRef,
+    /// Join kind.
+    pub kind: AstJoinKind,
+    /// ON condition.
+    pub on: ExprAst,
+}
+
+/// Explicit join kinds supported by the dialect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstJoinKind {
+    /// INNER JOIN.
+    Inner,
+    /// LEFT [OUTER] JOIN.
+    Left,
+}
+
+/// A base relation in FROM.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// Base table (or CTE) with optional alias.
+    Table {
+        /// Table or CTE name.
+        name: String,
+        /// Alias (`nation n1`).
+        alias: Option<String>,
+    },
+    /// Parenthesized subquery with mandatory alias.
+    Derived {
+        /// The subquery.
+        query: Box<Query>,
+        /// Alias.
+        alias: String,
+    },
+}
+
+impl TableRef {
+    /// The name this relation binds in scope.
+    pub fn binding_name(&self) -> &str {
+        match self {
+            TableRef::Table { name, alias } => alias.as_deref().unwrap_or(name),
+            TableRef::Derived { alias, .. } => alias,
+        }
+    }
+}
+
+/// One ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    /// Key expression (usually an output column or alias).
+    pub expr: ExprAst,
+    /// Ascending (default) or descending.
+    pub ascending: bool,
+}
+
+/// Binary operators at the AST level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum AstBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+/// Aggregate function names recognized by the binder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum AstAggFunc {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+/// Date interval units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum IntervalUnit {
+    Day,
+    Month,
+    Year,
+}
+
+/// Scalar expressions at the AST level.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprAst {
+    /// Possibly-qualified identifier (`l_orderkey`, `n1.n_name`).
+    Ident(Vec<String>),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// `DATE 'yyyy-mm-dd'`.
+    Date(String),
+    /// `INTERVAL 'n' unit`.
+    Interval {
+        /// Count of units.
+        value: i64,
+        /// Unit.
+        unit: IntervalUnit,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: AstBinOp,
+        /// Left operand.
+        left: Box<ExprAst>,
+        /// Right operand.
+        right: Box<ExprAst>,
+    },
+    /// Logical NOT.
+    Not(Box<ExprAst>),
+    /// Unary minus.
+    Neg(Box<ExprAst>),
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<ExprAst>,
+        /// `IS NOT NULL` when true.
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN low AND high`.
+    Between {
+        /// Tested expression.
+        expr: Box<ExprAst>,
+        /// Lower bound (inclusive).
+        low: Box<ExprAst>,
+        /// Upper bound (inclusive).
+        high: Box<ExprAst>,
+        /// NOT BETWEEN when true.
+        negated: bool,
+    },
+    /// `expr [NOT] LIKE 'pattern'`.
+    Like {
+        /// Tested string expression.
+        expr: Box<ExprAst>,
+        /// Pattern literal.
+        pattern: String,
+        /// NOT LIKE when true.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (literal, ...)`.
+    InList {
+        /// Tested expression.
+        expr: Box<ExprAst>,
+        /// Literal list.
+        list: Vec<ExprAst>,
+        /// NOT IN when true.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (subquery)`.
+    InSubquery {
+        /// Tested expression.
+        expr: Box<ExprAst>,
+        /// The subquery.
+        query: Box<Query>,
+        /// NOT IN when true.
+        negated: bool,
+    },
+    /// `[NOT] EXISTS (subquery)`.
+    Exists {
+        /// The subquery.
+        query: Box<Query>,
+        /// NOT EXISTS when true.
+        negated: bool,
+    },
+    /// `(subquery)` used as a scalar value.
+    ScalarSubquery(Box<Query>),
+    /// Aggregate call.
+    Agg {
+        /// Function.
+        func: AstAggFunc,
+        /// Argument (`None` for `COUNT(*)`).
+        arg: Option<Box<ExprAst>>,
+        /// `DISTINCT` argument.
+        distinct: bool,
+    },
+    /// Searched CASE.
+    Case {
+        /// `(WHEN cond, THEN value)` branches.
+        branches: Vec<(ExprAst, ExprAst)>,
+        /// ELSE value.
+        otherwise: Option<Box<ExprAst>>,
+    },
+    /// `EXTRACT(YEAR FROM expr)`.
+    ExtractYear(Box<ExprAst>),
+    /// `SUBSTRING(expr FROM start FOR len)` (also comma form).
+    Substring {
+        /// String operand.
+        expr: Box<ExprAst>,
+        /// 1-based start.
+        start: usize,
+        /// Length.
+        len: usize,
+    },
+}
+
+impl ExprAst {
+    /// True if any aggregate call appears in this expression.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            ExprAst::Agg { .. } => true,
+            ExprAst::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            ExprAst::Not(e) | ExprAst::Neg(e) | ExprAst::ExtractYear(e) => {
+                e.contains_aggregate()
+            }
+            ExprAst::IsNull { expr, .. }
+            | ExprAst::Like { expr, .. }
+            | ExprAst::Substring { expr, .. } => expr.contains_aggregate(),
+            ExprAst::Between { expr, low, high, .. } => {
+                expr.contains_aggregate()
+                    || low.contains_aggregate()
+                    || high.contains_aggregate()
+            }
+            ExprAst::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(|e| e.contains_aggregate())
+            }
+            ExprAst::InSubquery { expr, .. } => expr.contains_aggregate(),
+            ExprAst::Case { branches, otherwise } => {
+                branches
+                    .iter()
+                    .any(|(c, v)| c.contains_aggregate() || v.contains_aggregate())
+                    || otherwise
+                        .as_ref()
+                        .map(|o| o.contains_aggregate())
+                        .unwrap_or(false)
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_aggregate_walks_tree() {
+        let agg = ExprAst::Agg {
+            func: AstAggFunc::Sum,
+            arg: Some(Box::new(ExprAst::Ident(vec!["x".into()]))),
+            distinct: false,
+        };
+        let e = ExprAst::Binary {
+            op: AstBinOp::Gt,
+            left: Box::new(agg),
+            right: Box::new(ExprAst::Int(1)),
+        };
+        assert!(e.contains_aggregate());
+        assert!(!ExprAst::Int(1).contains_aggregate());
+    }
+
+    #[test]
+    fn binding_names() {
+        let t = TableRef::Table { name: "nation".into(), alias: Some("n1".into()) };
+        assert_eq!(t.binding_name(), "n1");
+        let t2 = TableRef::Table { name: "nation".into(), alias: None };
+        assert_eq!(t2.binding_name(), "nation");
+    }
+}

@@ -1,0 +1,322 @@
+//! Logical optimization passes.
+//!
+//! The binder already pushes single-table predicates into their scans and
+//! orders joins, so the main pass here is **projection pruning**: computing
+//! the columns each operator actually needs and pushing column selections
+//! into `Read` nodes. This is what keeps simulated scan traffic honest —
+//! TPC-H tables are wide, and the paper's filter-vs-join time split
+//! (Figure 5) depends on engines reading only the referenced columns.
+
+use crate::{Result, SqlError};
+use sirius_plan::expr::{self, SortExpr};
+use sirius_plan::{ExchangeKind, JoinKind, Rel};
+use std::collections::{BTreeSet, HashMap};
+
+/// Run all optimization passes.
+pub fn optimize(plan: Rel) -> Result<Rel> {
+    let width = plan.schema().map_err(SqlError::Plan)?.len();
+    let required: BTreeSet<usize> = (0..width).collect();
+    let (pruned, mapping) = prune(plan, &required)?;
+    // The contract allows the pruned tree to expose extra columns; restore
+    // the exact original output if anything moved.
+    let identity = (0..width).all(|i| mapping.get(&i) == Some(&i));
+    let out_width = pruned.schema().map_err(SqlError::Plan)?.len();
+    if identity && out_width == width {
+        Ok(pruned)
+    } else {
+        let schema = pruned.schema().map_err(SqlError::Plan)?;
+        let exprs = (0..width)
+            .map(|i| {
+                let ni = *mapping.get(&i).expect("required column mapped");
+                (expr::col(ni), schema.fields[ni].name.clone())
+            })
+            .collect();
+        Ok(Rel::Project { input: Box::new(pruned), exprs })
+    }
+}
+
+type Mapping = HashMap<usize, usize>;
+
+fn refs_of(e: &sirius_plan::Expr) -> Vec<usize> {
+    let mut v = Vec::new();
+    e.referenced_columns(&mut v);
+    v
+}
+
+/// Prune `rel` so that at least the columns in `required` survive. Returns
+/// the new relation and a mapping old-ordinal → new-ordinal covering (at
+/// least) every required column.
+fn prune(rel: Rel, required: &BTreeSet<usize>) -> Result<(Rel, Mapping)> {
+    match rel {
+        Rel::Read { table, schema, projection } => {
+            // Binder emits projection=None; compose defensively regardless.
+            let base: Vec<usize> = match &projection {
+                Some(p) => p.clone(),
+                None => (0..schema.len()).collect(),
+            };
+            let keep: Vec<usize> = required.iter().map(|&r| base[r]).collect();
+            let mapping: Mapping =
+                required.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+            Ok((
+                Rel::Read { table, schema, projection: Some(keep) },
+                mapping,
+            ))
+        }
+        Rel::Filter { input, predicate } => {
+            let mut child_req = required.clone();
+            child_req.extend(refs_of(&predicate));
+            let (child, map) = prune(*input, &child_req)?;
+            let predicate = predicate.remap_columns(&|i| map[&i]);
+            Ok((Rel::Filter { input: Box::new(child), predicate }, map))
+        }
+        Rel::Project { input, exprs } => {
+            let kept: Vec<usize> = required.iter().copied().collect();
+            let mut child_req = BTreeSet::new();
+            for &i in &kept {
+                child_req.extend(refs_of(&exprs[i].0));
+            }
+            let (child, cmap) = prune(*input, &child_req)?;
+            let new_exprs: Vec<_> = kept
+                .iter()
+                .map(|&i| {
+                    (exprs[i].0.remap_columns(&|c| cmap[&c]), exprs[i].1.clone())
+                })
+                .collect();
+            let mapping: Mapping =
+                kept.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+            Ok((Rel::Project { input: Box::new(child), exprs: new_exprs }, mapping))
+        }
+        Rel::Aggregate { input, group_by, aggregates } => {
+            let mut child_req = BTreeSet::new();
+            for g in &group_by {
+                child_req.extend(refs_of(g));
+            }
+            for a in &aggregates {
+                if let Some(e) = &a.input {
+                    child_req.extend(refs_of(e));
+                }
+            }
+            let (child, cmap) = prune(*input, &child_req)?;
+            let group_by: Vec<_> =
+                group_by.iter().map(|g| g.remap_columns(&|c| cmap[&c])).collect();
+            let aggregates: Vec<_> = aggregates
+                .iter()
+                .map(|a| sirius_plan::AggExpr {
+                    func: a.func,
+                    input: a.input.as_ref().map(|e| e.remap_columns(&|c| cmap[&c])),
+                    name: a.name.clone(),
+                })
+                .collect();
+            // Aggregate output (keys + aggs) is kept whole.
+            let width = group_by.len() + aggregates.len();
+            let mapping: Mapping = (0..width).map(|i| (i, i)).collect();
+            Ok((
+                Rel::Aggregate { input: Box::new(child), group_by, aggregates },
+                mapping,
+            ))
+        }
+        Rel::Join { left, right, kind, left_keys, right_keys, residual } => {
+            let lw = left.schema().map_err(SqlError::Plan)?.len();
+            let mut lreq = BTreeSet::new();
+            let mut rreq = BTreeSet::new();
+            for &r in required {
+                if r < lw {
+                    lreq.insert(r);
+                } else {
+                    rreq.insert(r - lw);
+                }
+            }
+            for k in &left_keys {
+                lreq.extend(refs_of(k));
+            }
+            for k in &right_keys {
+                rreq.extend(refs_of(k));
+            }
+            if let Some(res) = &residual {
+                for r in refs_of(res) {
+                    if r < lw {
+                        lreq.insert(r);
+                    } else {
+                        rreq.insert(r - lw);
+                    }
+                }
+            }
+            let (lchild, lmap) = prune(*left, &lreq)?;
+            let (rchild, rmap) = prune(*right, &rreq)?;
+            let new_lw = lchild.schema().map_err(SqlError::Plan)?.len();
+            let left_keys: Vec<_> =
+                left_keys.iter().map(|k| k.remap_columns(&|c| lmap[&c])).collect();
+            let right_keys: Vec<_> =
+                right_keys.iter().map(|k| k.remap_columns(&|c| rmap[&c])).collect();
+            let residual = residual.map(|res| {
+                res.remap_columns(&|c| {
+                    if c < lw {
+                        lmap[&c]
+                    } else {
+                        new_lw + rmap[&(c - lw)]
+                    }
+                })
+            });
+            let mut mapping: Mapping = Mapping::new();
+            for (&old, &new) in &lmap {
+                mapping.insert(old, new);
+            }
+            if !matches!(kind, JoinKind::Semi | JoinKind::Anti) {
+                for (&old, &new) in &rmap {
+                    mapping.insert(lw + old, new_lw + new);
+                }
+            }
+            Ok((
+                Rel::Join {
+                    left: Box::new(lchild),
+                    right: Box::new(rchild),
+                    kind,
+                    left_keys,
+                    right_keys,
+                    residual,
+                },
+                mapping,
+            ))
+        }
+        Rel::Sort { input, keys } => {
+            let mut child_req = required.clone();
+            for k in &keys {
+                child_req.extend(refs_of(&k.expr));
+            }
+            let (child, map) = prune(*input, &child_req)?;
+            let keys: Vec<_> = keys
+                .iter()
+                .map(|k| SortExpr {
+                    expr: k.expr.remap_columns(&|c| map[&c]),
+                    ascending: k.ascending,
+                })
+                .collect();
+            Ok((Rel::Sort { input: Box::new(child), keys }, map))
+        }
+        Rel::Limit { input, offset, fetch } => {
+            let (child, map) = prune(*input, required)?;
+            Ok((Rel::Limit { input: Box::new(child), offset, fetch }, map))
+        }
+        Rel::Distinct { input } => {
+            // Distinct semantics depend on every column: no pruning through.
+            let width = input.schema().map_err(SqlError::Plan)?.len();
+            let all: BTreeSet<usize> = (0..width).collect();
+            let (child, map) = prune(*input, &all)?;
+            Ok((Rel::Distinct { input: Box::new(child) }, map))
+        }
+        Rel::Exchange { input, kind } => {
+            let mut child_req = required.clone();
+            if let ExchangeKind::Shuffle { keys } = &kind {
+                for k in keys {
+                    child_req.extend(refs_of(k));
+                }
+            }
+            let (child, map) = prune(*input, &child_req)?;
+            let kind = match kind {
+                ExchangeKind::Shuffle { keys } => ExchangeKind::Shuffle {
+                    keys: keys.iter().map(|k| k.remap_columns(&|c| map[&c])).collect(),
+                },
+                other => other,
+            };
+            Ok((Rel::Exchange { input: Box::new(child), kind }, map))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirius_columnar::{DataType, Field, Schema};
+    use sirius_plan::builder::PlanBuilder;
+    use sirius_plan::expr::{col, gt, lit_i64};
+
+    fn wide_scan() -> PlanBuilder {
+        PlanBuilder::scan(
+            "t",
+            Schema::new(vec![
+                Field::new("a", DataType::Int64),
+                Field::new("b", DataType::Int64),
+                Field::new("c", DataType::Int64),
+                Field::new("d", DataType::Int64),
+            ]),
+        )
+    }
+
+    fn find_read_projection(rel: &Rel) -> Option<Vec<usize>> {
+        match rel {
+            Rel::Read { projection, .. } => projection.clone(),
+            _ => rel.children().iter().find_map(|c| find_read_projection(c)),
+        }
+    }
+
+    #[test]
+    fn prunes_unused_scan_columns() {
+        let plan = wide_scan()
+            .filter(gt(col(1), lit_i64(0)))
+            .project(vec![(col(3), "d".into())])
+            .build();
+        let opt = optimize(plan.clone()).unwrap();
+        // Only b (filter) and d (projection) should be read.
+        assert_eq!(find_read_projection(&opt), Some(vec![1, 3]));
+        // Output schema is preserved.
+        assert_eq!(opt.schema().unwrap(), plan.schema().unwrap());
+        sirius_plan::validate::validate(&opt).unwrap();
+    }
+
+    #[test]
+    fn join_prunes_both_sides() {
+        let plan = wide_scan()
+            .join(
+                wide_scan(),
+                JoinKind::Inner,
+                vec![col(0)],
+                vec![col(2)],
+                None,
+            )
+            .project(vec![(col(1), "b".into()), (col(7), "d2".into())])
+            .build();
+        let opt = optimize(plan.clone()).unwrap();
+        sirius_plan::validate::validate(&opt).unwrap();
+        assert_eq!(opt.schema().unwrap(), plan.schema().unwrap());
+        // Left side reads a (key) and b; right side reads c (key) and d.
+        fn reads(rel: &Rel, out: &mut Vec<Vec<usize>>) {
+            if let Rel::Read { projection: Some(p), .. } = rel {
+                out.push(p.clone());
+            }
+            for c in rel.children() {
+                reads(c, out);
+            }
+        }
+        let mut r = Vec::new();
+        reads(&opt, &mut r);
+        assert_eq!(r, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn distinct_blocks_pruning() {
+        let plan = wide_scan().distinct().build();
+        let opt = optimize(plan).unwrap();
+        assert_eq!(
+            find_read_projection(&opt),
+            Some(vec![0, 1, 2, 3]),
+            "distinct needs all columns"
+        );
+    }
+
+    #[test]
+    fn aggregate_children_pruned() {
+        let plan = wide_scan()
+            .aggregate(
+                vec![col(2)],
+                vec![sirius_plan::AggExpr {
+                    func: sirius_plan::AggFunc::Sum,
+                    input: Some(col(0)),
+                    name: "s".into(),
+                }],
+            )
+            .build();
+        let opt = optimize(plan).unwrap();
+        assert_eq!(find_read_projection(&opt), Some(vec![0, 2]));
+        sirius_plan::validate::validate(&opt).unwrap();
+    }
+}

@@ -1,0 +1,146 @@
+//! TPC-H table schemas and base cardinalities.
+
+use sirius_columnar::{DataType, Field, Schema};
+
+fn f(name: &str, t: DataType) -> Field {
+    Field::new(name, t)
+}
+
+/// `region` schema (5 rows, fixed).
+pub fn region() -> Schema {
+    Schema::new(vec![
+        f("r_regionkey", DataType::Int64),
+        f("r_name", DataType::Utf8),
+        f("r_comment", DataType::Utf8),
+    ])
+}
+
+/// `nation` schema (25 rows, fixed).
+pub fn nation() -> Schema {
+    Schema::new(vec![
+        f("n_nationkey", DataType::Int64),
+        f("n_name", DataType::Utf8),
+        f("n_regionkey", DataType::Int64),
+        f("n_comment", DataType::Utf8),
+    ])
+}
+
+/// `supplier` schema (SF × 10 000 rows).
+pub fn supplier() -> Schema {
+    Schema::new(vec![
+        f("s_suppkey", DataType::Int64),
+        f("s_name", DataType::Utf8),
+        f("s_address", DataType::Utf8),
+        f("s_nationkey", DataType::Int64),
+        f("s_phone", DataType::Utf8),
+        f("s_acctbal", DataType::Float64),
+        f("s_comment", DataType::Utf8),
+    ])
+}
+
+/// `customer` schema (SF × 150 000 rows).
+pub fn customer() -> Schema {
+    Schema::new(vec![
+        f("c_custkey", DataType::Int64),
+        f("c_name", DataType::Utf8),
+        f("c_address", DataType::Utf8),
+        f("c_nationkey", DataType::Int64),
+        f("c_phone", DataType::Utf8),
+        f("c_acctbal", DataType::Float64),
+        f("c_mktsegment", DataType::Utf8),
+        f("c_comment", DataType::Utf8),
+    ])
+}
+
+/// `part` schema (SF × 200 000 rows).
+pub fn part() -> Schema {
+    Schema::new(vec![
+        f("p_partkey", DataType::Int64),
+        f("p_name", DataType::Utf8),
+        f("p_mfgr", DataType::Utf8),
+        f("p_brand", DataType::Utf8),
+        f("p_type", DataType::Utf8),
+        f("p_size", DataType::Int64),
+        f("p_container", DataType::Utf8),
+        f("p_retailprice", DataType::Float64),
+        f("p_comment", DataType::Utf8),
+    ])
+}
+
+/// `partsupp` schema (SF × 800 000 rows; 4 suppliers per part).
+pub fn partsupp() -> Schema {
+    Schema::new(vec![
+        f("ps_partkey", DataType::Int64),
+        f("ps_suppkey", DataType::Int64),
+        f("ps_availqty", DataType::Int64),
+        f("ps_supplycost", DataType::Float64),
+        f("ps_comment", DataType::Utf8),
+    ])
+}
+
+/// `orders` schema (SF × 1 500 000 rows).
+pub fn orders() -> Schema {
+    Schema::new(vec![
+        f("o_orderkey", DataType::Int64),
+        f("o_custkey", DataType::Int64),
+        f("o_orderstatus", DataType::Utf8),
+        f("o_totalprice", DataType::Float64),
+        f("o_orderdate", DataType::Date32),
+        f("o_orderpriority", DataType::Utf8),
+        f("o_clerk", DataType::Utf8),
+        f("o_shippriority", DataType::Int64),
+        f("o_comment", DataType::Utf8),
+    ])
+}
+
+/// `lineitem` schema (≈ SF × 6 000 000 rows).
+pub fn lineitem() -> Schema {
+    Schema::new(vec![
+        f("l_orderkey", DataType::Int64),
+        f("l_partkey", DataType::Int64),
+        f("l_suppkey", DataType::Int64),
+        f("l_linenumber", DataType::Int64),
+        f("l_quantity", DataType::Float64),
+        f("l_extendedprice", DataType::Float64),
+        f("l_discount", DataType::Float64),
+        f("l_tax", DataType::Float64),
+        f("l_returnflag", DataType::Utf8),
+        f("l_linestatus", DataType::Utf8),
+        f("l_shipdate", DataType::Date32),
+        f("l_commitdate", DataType::Date32),
+        f("l_receiptdate", DataType::Date32),
+        f("l_shipinstruct", DataType::Utf8),
+        f("l_shipmode", DataType::Utf8),
+        f("l_comment", DataType::Utf8),
+    ])
+}
+
+/// All `(name, schema, base_rows_at_sf1)` triples.
+pub fn all_tables() -> Vec<(&'static str, Schema, u64)> {
+    vec![
+        ("region", region(), 5),
+        ("nation", nation(), 25),
+        ("supplier", supplier(), 10_000),
+        ("customer", customer(), 150_000),
+        ("part", part(), 200_000),
+        ("partsupp", partsupp(), 800_000),
+        ("orders", orders(), 1_500_000),
+        ("lineitem", lineitem(), 6_000_000),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_inventory() {
+        let tables = all_tables();
+        assert_eq!(tables.len(), 8);
+        assert_eq!(tables.iter().map(|(_, s, _)| s.len()).sum::<usize>(), 61);
+        // lineitem is the widest and biggest.
+        let li = tables.iter().find(|(n, _, _)| *n == "lineitem").unwrap();
+        assert_eq!(li.1.len(), 16);
+        assert_eq!(li.2, 6_000_000);
+    }
+}

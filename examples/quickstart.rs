@@ -1,0 +1,56 @@
+//! Quickstart: create tables, run SQL on the host, then run the same plan
+//! on the Sirius GPU engine.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use sirius_columnar::pretty::format_table;
+use sirius_columnar::{Array, DataType, Field, Schema, Table};
+use sirius_core::SiriusEngine;
+use sirius_duckdb::DuckDb;
+use sirius_hw::catalog;
+
+fn main() {
+    // 1. A host database with a small sales table.
+    let mut db = DuckDb::new();
+    let sales = Table::new(
+        Schema::new(vec![
+            Field::new("region", DataType::Utf8),
+            Field::new("product", DataType::Utf8),
+            Field::new("amount", DataType::Float64),
+        ]),
+        vec![
+            Array::from_strs(["east", "west", "east", "west", "east"]),
+            Array::from_strs(["widget", "widget", "gadget", "gadget", "widget"]),
+            Array::from_f64([10.0, 20.0, 7.5, 12.5, 30.0]),
+        ],
+    );
+    db.create_table("sales", sales.clone());
+
+    // 2. SQL through the host's own CPU engine.
+    let query = "
+        select region, sum(amount) as total, count(*) as n
+        from sales
+        where product = 'widget'
+        group by region
+        order by total desc";
+    let cpu_result = db.sql(query).expect("query runs");
+    println!("host (CPU) result:\n{}", format_table(&cpu_result, 10));
+
+    // 3. The same optimized plan, executed by the Sirius GPU engine.
+    let sirius = SiriusEngine::new(catalog::gh200_gpu());
+    sirius.load_table("sales", &sales);
+    sirius.device().reset(); // measure the hot run
+    let plan = db.plan(query).expect("plan");
+    let gpu_result = sirius.execute(&plan).expect("GPU execution");
+    println!("Sirius (GPU) result:\n{}", format_table(&gpu_result, 10));
+
+    assert_eq!(cpu_result.canonical_rows(), gpu_result.canonical_rows());
+    println!(
+        "identical results; simulated GPU time {:.3} ms across {} pipelines",
+        sirius.device().elapsed().as_secs_f64() * 1e3,
+        sirius.pipeline_count(&plan),
+    );
+    println!("plan:\n{}", plan.explain());
+}

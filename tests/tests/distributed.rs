@@ -1,0 +1,111 @@
+//! Distributed execution must agree with single-node execution — on the
+//! paper's supported subset (Q1/Q3/Q6) and on extra aggregate shapes.
+
+use sirius_doris::{DorisCluster, NodeEngineKind};
+use sirius_duckdb::DuckDb;
+use sirius_integration::assert_tables_equivalent;
+use sirius_tpch::{queries, TpchGenerator};
+
+fn build(kind: NodeEngineKind, data: &sirius_tpch::TpchData, world: usize) -> DorisCluster {
+    let mut c = DorisCluster::new(world, kind);
+    for (name, table) in data.tables() {
+        c.create_table(name.clone(), table.clone());
+    }
+    c.reset_ledgers();
+    c
+}
+
+#[test]
+fn distributed_subset_matches_single_node() {
+    let data = TpchGenerator::new(0.01).generate();
+    let mut duck = DuckDb::new();
+    for (name, table) in data.tables() {
+        duck.create_table(name.clone(), table.clone());
+    }
+    let doris = build(NodeEngineKind::DorisCpu, &data, 4);
+    let sirius = build(NodeEngineKind::SiriusGpu, &data, 4);
+
+    for (id, sql) in queries::distributed_subset() {
+        let reference = duck.sql(sql).unwrap_or_else(|e| panic!("Q{id} single-node: {e}"));
+        let d = doris.sql(sql).unwrap_or_else(|e| panic!("Q{id} doris: {e}"));
+        let s = sirius.sql(sql).unwrap_or_else(|e| panic!("Q{id} sirius: {e}"));
+        assert_tables_equivalent(&format!("Q{id} doris"), &reference, &d.table);
+        assert_tables_equivalent(&format!("Q{id} sirius"), &reference, &s.table);
+    }
+}
+
+#[test]
+fn sirius_cluster_beats_doris_cluster() {
+    let data = TpchGenerator::new(0.02).generate();
+    let doris = build(NodeEngineKind::DorisCpu, &data, 4);
+    let sirius = build(NodeEngineKind::SiriusGpu, &data, 4);
+    for (id, sql) in queries::distributed_subset() {
+        let d = doris.sql(sql).unwrap();
+        let s = sirius.sql(sql).unwrap();
+        assert!(
+            d.total() > s.total(),
+            "Q{id}: Doris {:?} should exceed Sirius {:?}",
+            d.total(),
+            s.total()
+        );
+    }
+}
+
+#[test]
+fn works_at_different_cluster_sizes() {
+    let data = TpchGenerator::new(0.005).generate();
+    let mut duck = DuckDb::new();
+    for (name, table) in data.tables() {
+        duck.create_table(name.clone(), table.clone());
+    }
+    let reference = duck.sql(queries::Q6).unwrap();
+    for world in [1, 2, 4, 7] {
+        let c = build(NodeEngineKind::SiriusGpu, &data, world);
+        let out = c.sql(queries::Q6).unwrap();
+        assert_tables_equivalent(&format!("Q6 world={world}"), &reference, &out.table);
+    }
+}
+
+#[test]
+fn exchange_traffic_shapes_match_the_paper() {
+    // Table 2's analysis: Q3 shuffles both orders and lineitem (exchange-
+    // heavy); Q1/Q6 exchange only tiny partial aggregates.
+    let data = TpchGenerator::new(0.02).generate();
+    let sirius = build(NodeEngineKind::SiriusGpu, &data, 4);
+    let q1 = sirius.sql(queries::Q1).unwrap();
+    let q3 = sirius.sql(queries::Q3).unwrap();
+    let q6 = sirius.sql(queries::Q6).unwrap();
+    // At tiny scale factors per-message latency dominates, so the margin
+    // is modest here; it widens linearly with SF (paper: 78x at SF100).
+    assert!(
+        q3.exchange() > 3 * q1.exchange(),
+        "Q3 exchange {:?} should dwarf Q1 {:?}",
+        q3.exchange(),
+        q1.exchange()
+    );
+    assert!(q3.exchange() > 3 * q6.exchange());
+    // Q1/Q6: coordination dominates exchange (the paper's "Other").
+    assert!(q1.other() > q1.exchange());
+    assert!(q6.other() > q6.exchange());
+}
+
+#[test]
+fn grouped_queries_beyond_the_paper_subset() {
+    // The paper's distributed mode supports only a subset; ours covers
+    // more — verify a grouped join query agrees with single-node.
+    let data = TpchGenerator::new(0.005).generate();
+    let mut duck = DuckDb::new();
+    for (name, table) in data.tables() {
+        duck.create_table(name.clone(), table.clone());
+    }
+    let sql = "
+        select n_name, count(*) as suppliers
+        from supplier, nation
+        where s_nationkey = n_nationkey
+        group by n_name
+        order by suppliers desc, n_name";
+    let reference = duck.sql(sql).unwrap();
+    let c = build(NodeEngineKind::SiriusGpu, &data, 3);
+    let out = c.sql(sql).unwrap();
+    assert_tables_equivalent("grouped join", &reference, &out.table);
+}

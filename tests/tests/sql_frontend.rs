@@ -1,0 +1,163 @@
+//! SQL-frontend behavior: decorrelation shapes, policy differences,
+//! pruning effects, and error reporting — checked at the plan level.
+
+use sirius_integration::binder_catalog;
+use sirius_plan::{JoinKind, Rel};
+use sirius_sql::{plan_sql, JoinOrderPolicy, SqlError};
+use sirius_tpch::{queries, TpchGenerator};
+
+fn catalog() -> sirius_sql::BinderCatalog {
+    binder_catalog(&TpchGenerator::new(0.001).generate())
+}
+
+fn count_kind(rel: &Rel, kind: JoinKind) -> usize {
+    let here = usize::from(matches!(rel, Rel::Join { kind: k, .. } if *k == kind));
+    here + rel.children().iter().map(|c| count_kind(c, kind)).sum::<usize>()
+}
+
+#[test]
+fn q4_decorrelates_to_semi_join() {
+    let plan = plan_sql(queries::Q4, &catalog(), JoinOrderPolicy::Optimized).unwrap();
+    assert_eq!(count_kind(&plan, JoinKind::Semi), 1, "{}", plan.explain());
+}
+
+#[test]
+fn q21_has_semi_and_anti_with_residuals() {
+    let plan = plan_sql(queries::Q21, &catalog(), JoinOrderPolicy::Optimized).unwrap();
+    assert_eq!(count_kind(&plan, JoinKind::Semi), 1);
+    assert_eq!(count_kind(&plan, JoinKind::Anti), 1);
+    fn residual_semi(rel: &Rel) -> bool {
+        matches!(
+            rel,
+            Rel::Join {
+                kind: JoinKind::Semi | JoinKind::Anti,
+                residual: Some(_),
+                ..
+            }
+        ) || rel.children().iter().any(|c| residual_semi(c))
+    }
+    assert!(residual_semi(&plan), "Q21 needs the inequality residual");
+}
+
+#[test]
+fn q2_and_q17_use_single_joins() {
+    for (id, sql) in [(2, queries::Q2), (17, queries::Q17)] {
+        let plan = plan_sql(sql, &catalog(), JoinOrderPolicy::Optimized).unwrap();
+        assert!(
+            count_kind(&plan, JoinKind::Single) >= 1,
+            "Q{id} should contain a Single join:\n{}",
+            plan.explain()
+        );
+    }
+}
+
+#[test]
+fn q16_not_in_becomes_anti_join() {
+    let plan = plan_sql(queries::Q16, &catalog(), JoinOrderPolicy::Optimized).unwrap();
+    assert_eq!(count_kind(&plan, JoinKind::Anti), 1);
+}
+
+#[test]
+fn q13_left_join_survives() {
+    let plan = plan_sql(queries::Q13, &catalog(), JoinOrderPolicy::Optimized).unwrap();
+    assert_eq!(count_kind(&plan, JoinKind::Left), 1);
+}
+
+#[test]
+fn policies_produce_different_join_orders() {
+    let opt = plan_sql(queries::Q5, &catalog(), JoinOrderPolicy::Optimized).unwrap();
+    let from = plan_sql(queries::Q5, &catalog(), JoinOrderPolicy::FromOrder).unwrap();
+    assert_ne!(opt, from, "Q5 orders should differ between policies");
+    // Both remain valid and carry the same output schema.
+    assert_eq!(opt.schema().unwrap(), from.schema().unwrap());
+}
+
+#[test]
+fn projection_pruning_reaches_every_scan() {
+    // Every Read in every TPC-H plan must carry a projection narrower than
+    // or equal to its base schema — wide fact tables must never be read
+    // whole unless actually needed.
+    for (id, sql) in queries::all() {
+        let plan = plan_sql(sql, &catalog(), JoinOrderPolicy::Optimized).unwrap();
+        fn check(rel: &Rel, id: u32) {
+            if let Rel::Read { table, schema, projection } = rel {
+                let p = projection
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("Q{id}: scan of {table} unpruned"));
+                assert!(p.len() <= schema.len());
+                if table == "lineitem" {
+                    assert!(
+                        p.len() < schema.len(),
+                        "Q{id}: lineitem should never need all 16 columns"
+                    );
+                }
+            }
+            for c in rel.children() {
+                check(c, id);
+            }
+        }
+        check(&plan, id);
+    }
+}
+
+#[test]
+fn q19_or_factoring_produces_keyed_join() {
+    let plan = plan_sql(queries::Q19, &catalog(), JoinOrderPolicy::Optimized).unwrap();
+    fn no_cross(rel: &Rel) -> bool {
+        let ok = !matches!(rel, Rel::Join { kind: JoinKind::Cross, .. });
+        ok && rel.children().iter().all(|c| no_cross(c))
+    }
+    assert!(no_cross(&plan), "Q19 must not plan a cross join:\n{}", plan.explain());
+}
+
+#[test]
+fn error_paths_are_descriptive() {
+    let cat = catalog();
+    match plan_sql("select nope from lineitem", &cat, JoinOrderPolicy::Optimized) {
+        Err(SqlError::Bind(m)) => assert!(m.contains("nope"), "{m}"),
+        other => panic!("expected bind error, got {other:?}"),
+    }
+    match plan_sql("select l_orderkey from", &cat, JoinOrderPolicy::Optimized) {
+        Err(SqlError::Parse(_)) => {}
+        other => panic!("expected parse error, got {other:?}"),
+    }
+    match plan_sql(
+        "select l_orderkey from missing_table",
+        &cat,
+        JoinOrderPolicy::Optimized,
+    ) {
+        Err(SqlError::Bind(m)) => assert!(m.contains("missing_table")),
+        other => panic!("expected bind error, got {other:?}"),
+    }
+    // Ambiguous unqualified column across a self join.
+    match plan_sql(
+        "select l_orderkey from lineitem l1, lineitem l2 where l1.l_orderkey = l2.l_orderkey",
+        &cat,
+        JoinOrderPolicy::Optimized,
+    ) {
+        Err(SqlError::Bind(_)) => {}
+        other => panic!("ambiguity should fail to bind, got {other:?}"),
+    }
+}
+
+#[test]
+fn aggregates_must_be_grouped() {
+    let cat = catalog();
+    let err = plan_sql(
+        "select o_orderdate, sum(o_totalprice) from orders group by o_orderpriority",
+        &cat,
+        JoinOrderPolicy::Optimized,
+    );
+    assert!(err.is_err(), "naked column outside GROUP BY must fail");
+}
+
+#[test]
+fn explain_covers_all_tpch() {
+    let cat = catalog();
+    for (id, sql) in queries::all() {
+        let plan = plan_sql(sql, &cat, JoinOrderPolicy::Optimized).unwrap();
+        let text = plan.explain();
+        assert!(text.contains("Read"), "Q{id}");
+        assert!(plan.node_count() >= 3, "Q{id}");
+    }
+}
