@@ -16,8 +16,11 @@ fn ctx() -> GpuContext {
 fn bench_groupby(c: &mut Criterion) {
     let n = 100_000usize;
     let int_keys = Array::from_i64((0..n as i64).map(|i| i % 1000).collect::<Vec<_>>());
-    let str_keys =
-        Array::from_strs((0..n).map(|i| format!("key{:03}", i % 1000)).collect::<Vec<_>>());
+    let str_keys = Array::from_strs(
+        (0..n)
+            .map(|i| format!("key{:03}", i % 1000))
+            .collect::<Vec<_>>(),
+    );
     let few_keys = Array::from_i64((0..n as i64).map(|i| i % 4).collect::<Vec<_>>());
     let values = Array::from_f64((0..n).map(|i| i as f64).collect::<Vec<_>>());
 
@@ -33,7 +36,10 @@ fn bench_groupby(c: &mut Criterion) {
                 group_by(
                     &g,
                     &[keys],
-                    &[AggRequest { kind: AggKind::Sum, input: Some(&values) }],
+                    &[AggRequest {
+                        kind: AggKind::Sum,
+                        input: Some(&values),
+                    }],
                     n,
                 )
                 .expect("group_by")
@@ -51,8 +57,15 @@ fn bench_groupby(c: &mut Criterion) {
     sorts.bench_function("comparison_i64", |b| {
         let g = ctx();
         b.iter(|| {
-            sort_indices(&g, &[SortKey { column: &col, ascending: true }], n)
-                .expect("sort")
+            sort_indices(
+                &g,
+                &[SortKey {
+                    column: &col,
+                    ascending: true,
+                }],
+                n,
+            )
+            .expect("sort")
         })
     });
     sorts.finish();

@@ -54,12 +54,8 @@ fn bench_kernels(c: &mut Criterion) {
     group.bench_function("cpu_hash_join_100k_x_10k", |b| {
         b.iter(|| {
             let pairs = sirius_exec_cpu::ops::find_pairs(&lk, &rk, n, 10_000);
-            sirius_exec_cpu::ops::resolve_pairs(
-                sirius_plan::JoinKind::Inner,
-                &pairs,
-                None,
-            )
-            .expect("resolve")
+            sirius_exec_cpu::ops::resolve_pairs(sirius_plan::JoinKind::Inner, &pairs, None)
+                .expect("resolve")
         })
     });
     group.finish();

@@ -10,8 +10,12 @@ fn bench_tpch(c: &mut Criterion) {
     let h = SingleNodeHarness::new(0.01);
     let mut group = c.benchmark_group("tpch_single_node");
     group.sample_size(10);
-    for (id, sql) in [(1, queries::Q1), (3, queries::Q3), (6, queries::Q6), (9, queries::Q9)]
-    {
+    for (id, sql) in [
+        (1, queries::Q1),
+        (3, queries::Q3),
+        (6, queries::Q6),
+        (9, queries::Q9),
+    ] {
         let plan = h.duck.plan(sql).expect("plan");
         group.bench_with_input(BenchmarkId::new("duckdb", id), &plan, |b, plan| {
             b.iter(|| h.duck.execute_plan(plan).expect("duckdb"))

@@ -25,8 +25,7 @@ fn sirius_time(link: LinkSpec, fit_in_hbm: bool, data: &sirius_tpch::TpchData) -
     // A vanishingly small caching region forces every table onto the
     // pinned-host tier while the processing pool keeps its capacity.
     let caching_fraction = if fit_in_hbm { 0.5 } else { 1e-7 };
-    let engine =
-        SiriusEngine::with_caching_fraction(spec, Link::new(link), 2, caching_fraction);
+    let engine = SiriusEngine::with_caching_fraction(spec, Link::new(link), 2, caching_fraction);
     for (name, table) in data.tables() {
         engine.load_table(name.clone(), table);
     }
@@ -53,9 +52,19 @@ fn main() {
     duck.sql(QUERY).expect("duckdb");
     let cpu_ms = duck.device().elapsed().as_secs_f64() * 1e3;
 
-    println!("Ablation: GPU-native vs interconnect-bound (Q3-like pipeline, simulated ms at SF {sf})");
-    println!("{:<18} {:>14} {:>16} {:>12}", "host link", "HBM-resident", "pinned-resident", "vs CPU");
-    for link in [hw::pcie3_x16(), hw::pcie4_x16(), hw::pcie6_x16(), hw::nvlink_c2c()] {
+    println!(
+        "Ablation: GPU-native vs interconnect-bound (Q3-like pipeline, simulated ms at SF {sf})"
+    );
+    println!(
+        "{:<18} {:>14} {:>16} {:>12}",
+        "host link", "HBM-resident", "pinned-resident", "vs CPU"
+    );
+    for link in [
+        hw::pcie3_x16(),
+        hw::pcie4_x16(),
+        hw::pcie6_x16(),
+        hw::nvlink_c2c(),
+    ] {
         let hot = sirius_time(link.clone(), true, &data);
         let cold = sirius_time(link.clone(), false, &data);
         println!(

@@ -2,13 +2,20 @@
 //!
 //! Prints each TPC-H query's share of simulated GPU time spent in joins,
 //! group-by, filter, aggregation, order-by, and other — the paper's
-//! stacked-bar figure as rows.
+//! stacked-bar figure as rows — plus the morsel-scheduler counters for the
+//! run (morsels, tasks, stream utilization).
 
 use sirius_bench::{figure5_share, sf_from_args, SingleNodeHarness};
 use sirius_tpch::queries;
 
-const CATEGORIES: [&str; 6] =
-    ["join", "group-by", "filter", "aggregate", "order-by", "other"];
+const CATEGORIES: [&str; 6] = [
+    "join",
+    "group-by",
+    "filter",
+    "aggregate",
+    "order-by",
+    "other",
+];
 
 fn main() {
     let sf = sf_from_args();
@@ -19,7 +26,7 @@ fn main() {
     for c in CATEGORIES {
         print!(" {c:>9}");
     }
-    println!("   dominant");
+    println!(" {:>8} {:>6} {:>5}   dominant", "morsels", "tasks", "util");
     for (id, sql) in queries::all() {
         let row = h.run_query(id, sql);
         print!("{:>4}", format!("Q{id}"));
@@ -31,7 +38,13 @@ fn main() {
             }
             print!(" {:>8.1}%", share * 100.0);
         }
-        println!("   {}", dominant.0);
+        println!(
+            " {:>8} {:>6} {:>4.0}%   {}",
+            row.sirius_morsels.morsels,
+            row.sirius_morsels.tasks,
+            row.sirius_morsels.worker_utilization() * 100.0,
+            dominant.0
+        );
     }
     println!(
         "\npaper expectations: joins dominate Q2-Q5/Q7-Q9/Q20-Q22; group-by visible in \

@@ -45,9 +45,15 @@ fn main() {
         (compute, exchange, other, compute + exchange + other)
     };
     for (id, sql) in queries::distributed_subset() {
-        let d = doris.sql(sql).unwrap_or_else(|e| panic!("Q{id} doris: {e}"));
-        let c = clickhouse.sql(sql).unwrap_or_else(|e| panic!("Q{id} clickhouse: {e}"));
-        let s = sirius.sql(sql).unwrap_or_else(|e| panic!("Q{id} sirius: {e}"));
+        let d = doris
+            .sql(sql)
+            .unwrap_or_else(|e| panic!("Q{id} doris: {e}"));
+        let c = clickhouse
+            .sql(sql)
+            .unwrap_or_else(|e| panic!("Q{id} clickhouse: {e}"));
+        let s = sirius
+            .sql(sql)
+            .unwrap_or_else(|e| panic!("Q{id} sirius: {e}"));
         // The engines must agree before we compare times.
         assert_eq!(
             d.table.canonical_rows().len(),

@@ -14,16 +14,22 @@
 #![warn(missing_docs)]
 
 use sirius_clickhouse::{ClickHouse, ClickHouseError};
-use sirius_core::SiriusEngine;
+use sirius_core::{MorselStats, SiriusEngine};
 use sirius_duckdb::DuckDb;
 use sirius_exec_cpu::ExecError;
-use sirius_hw::{catalog as hw, CostCategory, TimeBreakdown};
+use sirius_hw::{catalog as hw, CostCategory, Link, TimeBreakdown};
 use sirius_tpch::{queries, TpchData, TpchGenerator};
 use std::time::Duration;
 
 /// Default scale factor for harness binaries (fast enough for a laptop,
 /// large enough that per-kernel launch overhead is realistic noise).
 pub const DEFAULT_SF: f64 = 0.05;
+
+/// Scale factor the morsel-parallelism ablation benches run at: large
+/// enough that per-morsel memory time dominates kernel-launch overhead, so
+/// stream overlap — not fixed dispatch cost — decides the measurement
+/// (lineitem ≈ 3M rows → four ~750k-row morsels at the default size).
+pub const MORSEL_SF: f64 = 0.5;
 
 /// Outcome of one engine on one query.
 #[derive(Debug, Clone)]
@@ -75,6 +81,10 @@ pub struct QueryRow {
     pub sirius: EngineResult,
     /// Sirius per-operator breakdown (Figure 5).
     pub sirius_breakdown: TimeBreakdown,
+    /// Sirius morsel-scheduler counters for this query.
+    pub sirius_morsels: MorselStats,
+    /// Worker threads (= device streams) the Sirius engine ran with.
+    pub sirius_workers: usize,
 }
 
 /// All three single-node engines loaded with the same TPC-H data.
@@ -109,7 +119,12 @@ impl SingleNodeHarness {
         duck.device().reset();
         clickhouse.device().reset();
         sirius.device().reset();
-        Self { duck, clickhouse, sirius, data }
+        Self {
+            duck,
+            clickhouse,
+            sirius,
+            data,
+        }
     }
 
     /// Run one query on all three engines, returning the Figure 4/5 row.
@@ -134,17 +149,19 @@ impl SingleNodeHarness {
             Err(ClickHouseError::Exec(ExecError::TimeBudgetExceeded { .. })) => {
                 EngineResult::DidNotFinish
             }
-            Err(ClickHouseError::Exec(ExecError::Unsupported(_))) => {
-                EngineResult::Unsupported
-            }
+            Err(ClickHouseError::Exec(ExecError::Unsupported(_))) => EngineResult::Unsupported,
             Err(e) => panic!("Q{id} clickhouse: {e}"),
         };
 
         // Sirius — executed from the same optimized plan DuckDB produced
         // (§4.2: "Sirius leverages DuckDB's optimized logical plans but
         // replaces its backend with GPUs").
-        let plan = self.duck.plan(sql).unwrap_or_else(|e| panic!("Q{id} plan: {e}"));
+        let plan = self
+            .duck
+            .plan(sql)
+            .unwrap_or_else(|e| panic!("Q{id} plan: {e}"));
         let before = self.sirius.device().breakdown();
+        let stats_before = self.sirius.morsel_stats();
         let sirius = match self.sirius.execute(&plan) {
             Ok(t) => EngineResult::Time {
                 elapsed: self.sirius.device().breakdown().since(&before).total(),
@@ -153,13 +170,88 @@ impl SingleNodeHarness {
             Err(e) => panic!("Q{id} sirius: {e}"),
         };
         let sirius_breakdown = self.sirius.device().breakdown().since(&before);
+        let sirius_morsels = self.sirius.morsel_stats().since(&stats_before);
 
-        QueryRow { id, duckdb, clickhouse, sirius, sirius_breakdown }
+        QueryRow {
+            id,
+            duckdb,
+            clickhouse,
+            sirius,
+            sirius_breakdown,
+            sirius_morsels,
+            sirius_workers: self.sirius.workers(),
+        }
     }
 
     /// Run all 22 queries.
     pub fn run_all(&self) -> Vec<QueryRow> {
-        queries::all().into_iter().map(|(id, sql)| self.run_query(id, sql)).collect()
+        queries::all()
+            .into_iter()
+            .map(|(id, sql)| self.run_query(id, sql))
+            .collect()
+    }
+}
+
+/// Outcome of one query under one morsel configuration.
+#[derive(Debug, Clone)]
+pub struct MorselRun {
+    /// Simulated device time.
+    pub elapsed: Duration,
+    /// Morsel-scheduler counters for the run.
+    pub stats: MorselStats,
+}
+
+impl MorselRun {
+    /// Simulated milliseconds.
+    pub fn ms(&self) -> f64 {
+        self.elapsed.as_secs_f64() * 1e3
+    }
+}
+
+/// The morsel-parallelism ablation rig: one TPC-H data set plus a planner,
+/// from which engines at any (workers × morsel size) point are stamped out.
+/// Backs the `morsel_scaling` Criterion bench and the `ablation_morsel`
+/// binary.
+pub struct MorselLab {
+    /// The planner (DuckDB front end, §4.2).
+    pub duck: DuckDb,
+    /// The generated data.
+    pub data: TpchData,
+}
+
+impl MorselLab {
+    /// Generate TPC-H at `sf` and load the planner.
+    pub fn new(sf: f64) -> Self {
+        let data = TpchGenerator::new(sf).generate();
+        let mut duck = DuckDb::new();
+        for (name, table) in data.tables() {
+            duck.create_table(name.clone(), table.clone());
+        }
+        Self { duck, data }
+    }
+
+    /// A Sirius engine at one configuration point, hot-loaded with the lab
+    /// data and its ledger reset.
+    pub fn engine(&self, workers: usize, morsel_rows: usize) -> SiriusEngine {
+        let e = SiriusEngine::with_link(hw::gh200_gpu(), Link::new(hw::nvlink_c2c()), workers)
+            .with_morsel_rows(morsel_rows);
+        for (name, table) in self.data.tables() {
+            e.load_table(name.clone(), table);
+        }
+        e.device().reset();
+        e
+    }
+
+    /// Execute one query and report its simulated time and morsel counters.
+    pub fn run(&self, engine: &SiriusEngine, sql: &str) -> MorselRun {
+        let plan = self.duck.plan(sql).expect("plan");
+        let before = engine.device().breakdown();
+        let stats_before = engine.morsel_stats();
+        engine.execute(&plan).expect("sirius");
+        MorselRun {
+            elapsed: engine.device().breakdown().since(&before).total(),
+            stats: engine.morsel_stats().since(&stats_before),
+        }
     }
 }
 
@@ -232,6 +324,49 @@ mod tests {
             assert!(
                 duck / sirius > 2.0,
                 "Q{id}: GPU should clearly win ({duck:.3}ms vs {sirius:.3}ms)"
+            );
+        }
+    }
+
+    #[test]
+    fn morsel_parallelism_speeds_up_q1_q6() {
+        // The PR's acceptance bar: at the morsel-bench SF, 4 workers over 4
+        // morsels must cut simulated device time at least 2× vs the
+        // single-walk executor on Q1 and Q6.
+        let lab = MorselLab::new(MORSEL_SF);
+        let morsel_rows = 800_000; // lineitem at SF 0.5 ≈ 3M rows → 4 morsels
+        let parallel = lab.engine(4, morsel_rows);
+        let single = lab.engine(4, usize::MAX);
+        for (id, sql) in [(1, queries::Q1), (6, queries::Q6)] {
+            let p = lab.run(&parallel, sql);
+            let s = lab.run(&single, sql);
+            assert!(p.stats.morsels >= 4, "Q{id}: expected a real fan-out");
+            assert!(
+                s.stats.morsels < p.stats.morsels,
+                "Q{id}: single walk should run one morsel per pipeline"
+            );
+            assert!(
+                s.ms() / p.ms() >= 2.0,
+                "Q{id}: morsel executor should be ≥2× faster ({:.3}ms vs {:.3}ms)",
+                s.ms(),
+                p.ms()
+            );
+        }
+    }
+
+    #[test]
+    fn morsel_scaling_is_monotone() {
+        // More workers must never make simulated device time worse: the
+        // serial dispatch charge is identical, only stream overlap grows.
+        let lab = MorselLab::new(0.02);
+        for sql in [queries::Q1, queries::Q6] {
+            let times: Vec<f64> = [1, 2, 4]
+                .iter()
+                .map(|&w| lab.run(&lab.engine(w, 15_000), sql).ms())
+                .collect();
+            assert!(
+                times[0] >= times[1] && times[1] >= times[2],
+                "speedup should be monotone 1→2→4 workers: {times:?}"
             );
         }
     }

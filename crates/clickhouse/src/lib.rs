@@ -80,15 +80,17 @@ impl ClickHouse {
     /// Register a table.
     pub fn create_table(&mut self, name: impl Into<String>, table: Table) {
         let name = name.into();
-        self.binder
-            .add_table(name.clone(), table.schema().clone(), table.num_rows() as u64);
+        self.binder.add_table(
+            name.clone(),
+            table.schema().clone(),
+            table.num_rows() as u64,
+        );
         self.tables.register(name, table);
     }
 
     /// Plan a query — joins stay in FROM order (no reordering).
     pub fn plan(&self, sql: &str) -> Result<Rel, ClickHouseError> {
-        plan_sql(sql, &self.binder, JoinOrderPolicy::FromOrder)
-            .map_err(ClickHouseError::Sql)
+        plan_sql(sql, &self.binder, JoinOrderPolicy::FromOrder).map_err(ClickHouseError::Sql)
     }
 
     /// Run a SQL query on the baseline engine.
@@ -99,7 +101,9 @@ impl ClickHouse {
 
     /// Execute an already-planned query.
     pub fn execute_plan(&self, plan: &Rel) -> Result<Table, ClickHouseError> {
-        self.engine.execute(plan, &self.tables).map_err(ClickHouseError::Exec)
+        self.engine
+            .execute(plan, &self.tables)
+            .map_err(ClickHouseError::Exec)
     }
 
     /// The CPU device (simulated-time ledger).
@@ -170,18 +174,12 @@ mod tests {
         let mut ch = ClickHouse::new();
         ch.create_table("t", big());
         ch.sql(q).unwrap();
-        let ch_join = ch
-            .device()
-            .breakdown()
-            .get(sirius_hw::CostCategory::Join);
+        let ch_join = ch.device().breakdown().get(sirius_hw::CostCategory::Join);
 
         let mut duck = sirius_duckdb::DuckDb::new();
         duck.create_table("t", big());
         duck.sql(q).unwrap();
-        let duck_join = duck
-            .device()
-            .breakdown()
-            .get(sirius_hw::CostCategory::Join);
+        let duck_join = duck.device().breakdown().get(sirius_hw::CostCategory::Join);
         assert!(ch_join > duck_join * 3);
     }
 }

@@ -17,7 +17,10 @@ pub struct PrimitiveArray<T: Copy> {
 impl<T: Copy> PrimitiveArray<T> {
     /// Build from values, all valid.
     pub fn from_values(values: Vec<T>) -> Self {
-        Self { values: Arc::new(values), validity: None }
+        Self {
+            values: Arc::new(values),
+            validity: None,
+        }
     }
 
     /// Build from optional values (None ⇒ null); null slots hold `fill`.
@@ -36,9 +39,15 @@ impl<T: Copy> PrimitiveArray<T> {
                 }
             }
         }
-        let validity =
-            if bits.iter().all(|b| *b) { None } else { Some(Bitmap::from_iter(bits)) };
-        Self { values: Arc::new(vals), validity }
+        let validity = if bits.iter().all(|b| *b) {
+            None
+        } else {
+            Some(Bitmap::from_iter(bits))
+        };
+        Self {
+            values: Arc::new(vals),
+            validity,
+        }
     }
 
     /// Number of elements.
@@ -83,7 +92,10 @@ impl<T: Copy> PrimitiveArray<T> {
             .as_ref()
             .map(|v| v.gather(indices))
             .filter(|v| v.count_set() < v.len());
-        PrimitiveArray { values: Arc::new(values), validity }
+        PrimitiveArray {
+            values: Arc::new(values),
+            validity,
+        }
     }
 
     /// Iterate as `Option<T>`.
@@ -110,7 +122,11 @@ impl<T: Copy> PrimitiveArray<T> {
         }
         PrimitiveArray {
             values: Arc::new(values),
-            validity: if any_null { Some(Bitmap::from_iter(bits)) } else { None },
+            validity: if any_null {
+                Some(Bitmap::from_iter(bits))
+            } else {
+                None
+            },
         }
     }
 }
@@ -126,7 +142,10 @@ pub struct BoolArray {
 impl BoolArray {
     /// Build from booleans, all valid.
     pub fn from_values(values: impl IntoIterator<Item = bool>) -> Self {
-        Self { values: Bitmap::from_iter(values), validity: None }
+        Self {
+            values: Bitmap::from_iter(values),
+            validity: None,
+        }
     }
 
     /// Build from optional booleans.
@@ -137,9 +156,15 @@ impl BoolArray {
             vals.push(v.unwrap_or(false));
             bits.push(v.is_some());
         }
-        let validity =
-            if bits.iter().all(|b| *b) { None } else { Some(Bitmap::from_iter(bits)) };
-        Self { values: Bitmap::from_iter(vals), validity }
+        let validity = if bits.iter().all(|b| *b) {
+            None
+        } else {
+            Some(Bitmap::from_iter(bits))
+        };
+        Self {
+            values: Bitmap::from_iter(vals),
+            validity,
+        }
     }
 
     /// Number of elements.
@@ -188,7 +213,9 @@ impl BoolArray {
     /// Concatenate arrays.
     pub fn concat(arrays: &[&BoolArray]) -> BoolArray {
         BoolArray::from_options(
-            arrays.iter().flat_map(|a| (0..a.len()).map(move |i| a.value(i))),
+            arrays
+                .iter()
+                .flat_map(|a| (0..a.len()).map(move |i| a.value(i))),
         )
     }
 }
@@ -251,26 +278,28 @@ impl Array {
     /// (used for literal columns and null padding in outer joins).
     pub fn from_scalar(scalar: &Scalar, data_type: DataType, len: usize) -> Array {
         match data_type {
-            DataType::Bool => Array::Bool(BoolArray::from_options(
-                std::iter::repeat(scalar.as_bool()).take(len),
-            )),
+            DataType::Bool => Array::Bool(BoolArray::from_options(std::iter::repeat_n(
+                scalar.as_bool(),
+                len,
+            ))),
             DataType::Int32 => Array::Int32(PrimitiveArray::from_options(
-                std::iter::repeat(scalar.as_i64().map(|v| v as i32)).take(len),
+                std::iter::repeat_n(scalar.as_i64().map(|v| v as i32), len),
                 0,
             )),
             DataType::Int64 => Array::Int64(PrimitiveArray::from_options(
-                std::iter::repeat(scalar.as_i64()).take(len),
+                std::iter::repeat_n(scalar.as_i64(), len),
                 0,
             )),
             DataType::Float64 => Array::Float64(PrimitiveArray::from_options(
-                std::iter::repeat(scalar.as_f64()).take(len),
+                std::iter::repeat_n(scalar.as_f64(), len),
                 0.0,
             )),
-            DataType::Utf8 => Array::Utf8(StringArray::from_options(
-                std::iter::repeat(scalar.as_str()).take(len),
-            )),
+            DataType::Utf8 => Array::Utf8(StringArray::from_options(std::iter::repeat_n(
+                scalar.as_str(),
+                len,
+            ))),
             DataType::Date32 => Array::Date32(PrimitiveArray::from_options(
-                std::iter::repeat(scalar.as_i64().map(|v| v as i32)).take(len),
+                std::iter::repeat_n(scalar.as_i64().map(|v| v as i32), len),
                 0,
             )),
         }
@@ -294,9 +323,9 @@ impl Array {
                 scalars.iter().map(|s| s.as_f64()),
                 0.0,
             )),
-            DataType::Utf8 => {
-                Array::Utf8(StringArray::from_options(scalars.iter().map(|s| s.as_str())))
-            }
+            DataType::Utf8 => Array::Utf8(StringArray::from_options(
+                scalars.iter().map(|s| s.as_str()),
+            )),
             DataType::Date32 => Array::Date32(PrimitiveArray::from_options(
                 scalars.iter().map(|s| s.as_i64().map(|v| v as i32)),
                 0,
@@ -370,9 +399,10 @@ impl Array {
             Array::Int32(a) => a.value(i).map(Scalar::Int32).unwrap_or(Scalar::Null),
             Array::Int64(a) => a.value(i).map(Scalar::Int64).unwrap_or(Scalar::Null),
             Array::Float64(a) => a.value(i).map(Scalar::Float64).unwrap_or(Scalar::Null),
-            Array::Utf8(a) => {
-                a.value(i).map(|s| Scalar::Utf8(s.to_string())).unwrap_or(Scalar::Null)
-            }
+            Array::Utf8(a) => a
+                .value(i)
+                .map(|s| Scalar::Utf8(s.to_string()))
+                .unwrap_or(Scalar::Null),
             Array::Date32(a) => a.value(i).map(Scalar::Date32).unwrap_or(Scalar::Null),
         }
     }
@@ -496,22 +526,40 @@ impl Array {
         assert!(!arrays.is_empty(), "concat of zero arrays");
         match arrays[0] {
             Array::Bool(_) => Array::Bool(BoolArray::concat(
-                &arrays.iter().map(|a| a.as_bool().expect("bool")).collect::<Vec<_>>(),
+                &arrays
+                    .iter()
+                    .map(|a| a.as_bool().expect("bool"))
+                    .collect::<Vec<_>>(),
             )),
             Array::Int32(_) => Array::Int32(PrimitiveArray::concat(
-                &arrays.iter().map(|a| a.as_i32().expect("i32")).collect::<Vec<_>>(),
+                &arrays
+                    .iter()
+                    .map(|a| a.as_i32().expect("i32"))
+                    .collect::<Vec<_>>(),
             )),
             Array::Date32(_) => Array::Date32(PrimitiveArray::concat(
-                &arrays.iter().map(|a| a.as_i32().expect("date32")).collect::<Vec<_>>(),
+                &arrays
+                    .iter()
+                    .map(|a| a.as_i32().expect("date32"))
+                    .collect::<Vec<_>>(),
             )),
             Array::Int64(_) => Array::Int64(PrimitiveArray::concat(
-                &arrays.iter().map(|a| a.as_i64().expect("i64")).collect::<Vec<_>>(),
+                &arrays
+                    .iter()
+                    .map(|a| a.as_i64().expect("i64"))
+                    .collect::<Vec<_>>(),
             )),
             Array::Float64(_) => Array::Float64(PrimitiveArray::concat(
-                &arrays.iter().map(|a| a.as_f64().expect("f64")).collect::<Vec<_>>(),
+                &arrays
+                    .iter()
+                    .map(|a| a.as_f64().expect("f64"))
+                    .collect::<Vec<_>>(),
             )),
             Array::Utf8(_) => Array::Utf8(StringArray::concat(
-                &arrays.iter().map(|a| a.as_utf8().expect("utf8")).collect::<Vec<_>>(),
+                &arrays
+                    .iter()
+                    .map(|a| a.as_utf8().expect("utf8"))
+                    .collect::<Vec<_>>(),
             )),
         }
     }

@@ -16,20 +16,27 @@ impl Bitmap {
     pub fn all_set(len: usize) -> Self {
         let mut words = vec![u64::MAX; len.div_ceil(64)];
         Self::mask_tail(&mut words, len);
-        Self { words: Arc::new(words), len }
+        Self {
+            words: Arc::new(words),
+            len,
+        }
     }
 
     /// A bitmap of `len` bits, all clear.
     pub fn all_clear(len: usize) -> Self {
-        Self { words: Arc::new(vec![0; len.div_ceil(64)]), len }
+        Self {
+            words: Arc::new(vec![0; len.div_ceil(64)]),
+            len,
+        }
     }
 
     /// Build from an iterator of booleans.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter(iter: impl IntoIterator<Item = bool>) -> Self {
         let mut words: Vec<u64> = Vec::new();
         let mut len = 0usize;
         for b in iter {
-            if len % 64 == 0 {
+            if len.is_multiple_of(64) {
                 words.push(0);
             }
             if b {
@@ -37,11 +44,14 @@ impl Bitmap {
             }
             len += 1;
         }
-        Self { words: Arc::new(words), len }
+        Self {
+            words: Arc::new(words),
+            len,
+        }
     }
 
     fn mask_tail(words: &mut [u64], len: usize) {
-        if len % 64 != 0 {
+        if !len.is_multiple_of(64) {
             if let Some(last) = words.last_mut() {
                 *last &= (1u64 << (len % 64)) - 1;
             }
@@ -72,24 +82,41 @@ impl Bitmap {
     /// Bitwise AND of two equal-length bitmaps.
     pub fn and(&self, other: &Bitmap) -> Bitmap {
         assert_eq!(self.len, other.len, "bitmap length mismatch");
-        let words =
-            self.words.iter().zip(other.words.iter()).map(|(a, b)| a & b).collect();
-        Bitmap { words: Arc::new(words), len: self.len }
+        let words = self
+            .words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| a & b)
+            .collect();
+        Bitmap {
+            words: Arc::new(words),
+            len: self.len,
+        }
     }
 
     /// Bitwise OR of two equal-length bitmaps.
     pub fn or(&self, other: &Bitmap) -> Bitmap {
         assert_eq!(self.len, other.len, "bitmap length mismatch");
-        let words =
-            self.words.iter().zip(other.words.iter()).map(|(a, b)| a | b).collect();
-        Bitmap { words: Arc::new(words), len: self.len }
+        let words = self
+            .words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| a | b)
+            .collect();
+        Bitmap {
+            words: Arc::new(words),
+            len: self.len,
+        }
     }
 
     /// Bitwise NOT (within `len` bits).
     pub fn not(&self) -> Bitmap {
         let mut words: Vec<u64> = self.words.iter().map(|w| !w).collect();
         Self::mask_tail(&mut words, self.len);
-        Bitmap { words: Arc::new(words), len: self.len }
+        Bitmap {
+            words: Arc::new(words),
+            len: self.len,
+        }
     }
 
     /// Indices of set bits, ascending.
@@ -168,10 +195,7 @@ mod tests {
     fn gather_reorders() {
         let b = Bitmap::from_iter([true, false, true]);
         let g = b.gather(&[2, 2, 1, 0]);
-        assert_eq!(
-            g.iter().collect::<Vec<_>>(),
-            vec![true, true, false, true]
-        );
+        assert_eq!(g.iter().collect::<Vec<_>>(), vec![true, true, false, true]);
     }
 
     #[test]

@@ -5,8 +5,12 @@ use crate::table::Table;
 /// Render a table as an aligned ASCII grid, truncated to `max_rows` data
 /// rows (a trailing ellipsis row indicates truncation).
 pub fn format_table(table: &Table, max_rows: usize) -> String {
-    let headers: Vec<String> =
-        table.schema().fields.iter().map(|f| f.name.clone()).collect();
+    let headers: Vec<String> = table
+        .schema()
+        .fields
+        .iter()
+        .map(|f| f.name.clone())
+        .collect();
     let shown = table.num_rows().min(max_rows);
     let mut cells: Vec<Vec<String>> = Vec::with_capacity(shown);
     for r in 0..shown {

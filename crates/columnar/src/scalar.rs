@@ -273,8 +273,7 @@ pub fn parse_date32(s: &str) -> Option<i32> {
     let y: i32 = parts.next()?.parse().ok()?;
     let m: u32 = parts.next()?.parse().ok()?;
     let d: u32 = parts.next()?.parse().ok()?;
-    if parts.next().is_some() || !(1..=12).contains(&m) || d < 1 || d > days_in_month(y, m)
-    {
+    if parts.next().is_some() || !(1..=12).contains(&m) || d < 1 || d > days_in_month(y, m) {
         return None;
     }
     Some(ymd_to_date32(y, m, d))

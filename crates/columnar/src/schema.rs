@@ -66,17 +66,29 @@ pub struct Field {
 impl Field {
     /// A non-nullable field.
     pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
-        Self { name: name.into(), data_type, nullable: false }
+        Self {
+            name: name.into(),
+            data_type,
+            nullable: false,
+        }
     }
 
     /// A nullable field.
     pub fn nullable(name: impl Into<String>, data_type: DataType) -> Self {
-        Self { name: name.into(), data_type, nullable: true }
+        Self {
+            name: name.into(),
+            data_type,
+            nullable: true,
+        }
     }
 
     /// Copy of this field with a new name.
     pub fn renamed(&self, name: impl Into<String>) -> Self {
-        Self { name: name.into(), data_type: self.data_type, nullable: self.nullable }
+        Self {
+            name: name.into(),
+            data_type: self.data_type,
+            nullable: self.nullable,
+        }
     }
 }
 
@@ -120,7 +132,11 @@ impl Schema {
             .iter()
             .enumerate()
             .filter(|(_, f)| {
-                f.name.rsplit('.').next().map(|suffix| suffix == name).unwrap_or(false)
+                f.name
+                    .rsplit('.')
+                    .next()
+                    .map(|suffix| suffix == name)
+                    .unwrap_or(false)
             })
             .map(|(i, _)| i)
             .collect();

@@ -25,7 +25,11 @@ impl StringArray {
             data.extend_from_slice(s.as_ref().as_bytes());
             offsets.push(i32::try_from(data.len()).expect("string buffer < 2 GiB"));
         }
-        Self { offsets: Arc::new(offsets), data: Arc::new(data), validity: None }
+        Self {
+            offsets: Arc::new(offsets),
+            data: Arc::new(data),
+            validity: None,
+        }
     }
 
     /// Build from optional strings (None ⇒ null).
@@ -47,9 +51,16 @@ impl StringArray {
             }
             offsets.push(i32::try_from(data.len()).expect("string buffer < 2 GiB"));
         }
-        let validity =
-            if bits.iter().all(|b| *b) { None } else { Some(Bitmap::from_iter(bits)) };
-        Self { offsets: Arc::new(offsets), data: Arc::new(data), validity }
+        let validity = if bits.iter().all(|b| *b) {
+            None
+        } else {
+            Some(Bitmap::from_iter(bits))
+        };
+        Self {
+            offsets: Arc::new(offsets),
+            data: Arc::new(data),
+            validity,
+        }
     }
 
     /// Number of elements.
@@ -146,7 +157,10 @@ mod tests {
         let a = StringArray::from_strings(["a"]);
         let b = StringArray::from_options([None, Some("b")]);
         let c = StringArray::concat(&[&a, &b]);
-        assert_eq!(c.iter().collect::<Vec<_>>(), vec![Some("a"), None, Some("b")]);
+        assert_eq!(
+            c.iter().collect::<Vec<_>>(),
+            vec![Some("a"), None, Some("b")]
+        );
     }
 
     #[test]

@@ -38,7 +38,11 @@ impl Table {
                 });
             }
         }
-        Ok(Self { schema: Arc::new(schema), columns, num_rows })
+        Ok(Self {
+            schema: Arc::new(schema),
+            columns,
+            num_rows,
+        })
     }
 
     /// A zero-row table with the given schema.
@@ -48,7 +52,11 @@ impl Table {
             .iter()
             .map(|f| Array::from_scalars(&[], f.data_type))
             .collect();
-        Self { schema: Arc::new(schema), columns, num_rows: 0 }
+        Self {
+            schema: Arc::new(schema),
+            columns,
+            num_rows: 0,
+        }
     }
 
     /// Rows in the table.
@@ -116,6 +124,16 @@ impl Table {
         self.gather(&selection.set_indices())
     }
 
+    /// Contiguous row range `[offset, offset + len)`, clamped to the table.
+    /// Morsel-driven executors chop cached tables into fixed-size chunks
+    /// with this.
+    pub fn slice(&self, offset: usize, len: usize) -> Table {
+        let start = offset.min(self.num_rows);
+        let end = start.saturating_add(len).min(self.num_rows);
+        let indices: Vec<usize> = (start..end).collect();
+        self.gather(&indices)
+    }
+
     /// Project columns at `indices` (with the schema following).
     pub fn project(&self, indices: &[usize]) -> Table {
         let columns = indices.iter().map(|&i| self.columns[i].clone()).collect();
@@ -139,7 +157,11 @@ impl Table {
             })
             .collect();
         let num_rows = tables.iter().map(|t| t.num_rows()).sum();
-        Table { schema, columns, num_rows }
+        Table {
+            schema,
+            columns,
+            num_rows,
+        }
     }
 
     /// Horizontally stitch two equal-row-count tables (join output).
@@ -197,7 +219,10 @@ mod tests {
                 Field::new("id", DataType::Int64),
                 Field::new("name", DataType::Utf8),
             ]),
-            vec![Array::from_i64([1, 2, 3]), Array::from_strs(["a", "b", "c"])],
+            vec![
+                Array::from_i64([1, 2, 3]),
+                Array::from_strs(["a", "b", "c"]),
+            ],
         )
     }
 
@@ -211,10 +236,8 @@ mod tests {
             vec![Array::from_i64([1]), Array::from_i64([1, 2])],
         );
         assert!(bad.is_err());
-        let wrong_count = Table::try_new(
-            Schema::new(vec![Field::new("x", DataType::Int64)]),
-            vec![],
-        );
+        let wrong_count =
+            Table::try_new(Schema::new(vec![Field::new("x", DataType::Int64)]), vec![]);
         assert!(wrong_count.is_err());
     }
 
@@ -229,6 +252,22 @@ mod tests {
         let p = t.project(&[1]);
         assert_eq!(p.num_columns(), 1);
         assert_eq!(p.schema().fields[0].name, "name");
+    }
+
+    #[test]
+    fn slice_clamps_and_chunks() {
+        let t = sample();
+        let s = t.slice(1, 2);
+        assert_eq!(s.num_rows(), 2);
+        assert_eq!(s.row(0), t.row(1));
+        // Over-long and out-of-range slices clamp instead of panicking.
+        assert_eq!(t.slice(2, 100).num_rows(), 1);
+        assert_eq!(t.slice(5, 1).num_rows(), 0);
+        assert_eq!(t.slice(0, usize::MAX).num_rows(), 3);
+        // Slices of equal size reassemble into the original.
+        let chunks: Vec<Table> = (0..3).map(|i| t.slice(i, 1)).collect();
+        let refs: Vec<&Table> = chunks.iter().collect();
+        assert_eq!(Table::concat(&refs), t);
     }
 
     #[test]
@@ -259,7 +298,10 @@ mod tests {
         assert_eq!(a, b);
         let c = Table::new(
             a.schema().clone(),
-            vec![Array::from_i64([1, 2, 4]), Array::from_strs(["a", "b", "c"])],
+            vec![
+                Array::from_i64([1, 2, 4]),
+                Array::from_strs(["a", "b", "c"]),
+            ],
         );
         assert_ne!(a, c);
     }

@@ -35,7 +35,12 @@ impl BufferManager {
     ) -> Self {
         let regions = BufferRegions::from_spec(device.spec(), caching_fraction);
         let cache = DataCache::new(regions.caching().clone(), pinned_bytes);
-        Self { device, regions, cache, host_link }
+        Self {
+            device,
+            regions,
+            cache,
+            host_link,
+        }
     }
 
     /// The memory regions (capacity introspection).
@@ -69,7 +74,8 @@ impl BufferManager {
     /// intermediates delivered by NCCL land directly in GPU memory, so no
     /// host transfer is charged (§3.2.4's temporary tables).
     pub fn cache_resident(&self, name: impl Into<String>, table: &Table) -> CacheTier {
-        self.cache.insert(name.into(), table.clone(), table.byte_size() as u64)
+        self.cache
+            .insert(name.into(), table.clone(), table.byte_size() as u64)
     }
 
     /// Drop a cached table (fragment-completion deregistration).
@@ -132,12 +138,9 @@ impl BufferManager {
             indices.iter().map(|&i| i32::try_from(i)).collect();
         self.device.charge(
             CostCategory::Other,
-            &WorkProfile::scan((indices.len() * 12) as u64)
-                .with_rows(indices.len() as u64),
+            &WorkProfile::scan((indices.len() * 12) as u64).with_rows(indices.len() as u64),
         );
-        out.map_err(|_| {
-            SiriusError::Kernel("row index exceeds libcudf's i32 range".into())
-        })
+        out.map_err(|_| SiriusError::Kernel("row index exceeds libcudf's i32 range".into()))
     }
 }
 
@@ -156,11 +159,7 @@ mod tests {
 
     fn bufmgr() -> (Device, BufferManager) {
         let device = Device::new(catalog::gh200_gpu());
-        let bm = BufferManager::new(
-            device.clone(),
-            1 << 30,
-            Link::new(catalog::nvlink_c2c()),
-        );
+        let bm = BufferManager::new(device.clone(), 1 << 30, Link::new(catalog::nvlink_c2c()));
         (device, bm)
     }
 
@@ -215,11 +214,7 @@ mod tests {
         let mut spec = catalog::gh200_gpu();
         spec.memory_bytes = 4096; // 2 KiB caching region
         let device = Device::new(spec);
-        let bm = BufferManager::new(
-            device.clone(),
-            1 << 30,
-            Link::new(catalog::pcie4_x16()),
-        );
+        let bm = BufferManager::new(device.clone(), 1 << 30, Link::new(catalog::pcie4_x16()));
         let t = table(10_000);
         assert_eq!(bm.load_table("big", &t), CacheTier::PinnedHost);
         device.reset();

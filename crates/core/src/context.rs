@@ -48,31 +48,39 @@ impl SiriusContext {
     /// `Unsupported` / `OutOfMemory` / kernel / missing-cache errors.
     pub fn execute_plan(&self, plan: &Rel) -> Result<(Table, QueryReport)> {
         let before = self.engine.device().breakdown();
+        let stats_before = self.engine.morsel_stats();
         match self.engine.execute(plan) {
             Ok(table) => {
                 let after = self.engine.device().breakdown();
                 let delta = after.since(&before);
+                let stats = self.engine.morsel_stats().since(&stats_before);
                 let report = QueryReport {
                     engine: "sirius".into(),
                     rows: table.num_rows(),
                     elapsed: delta.total(),
                     breakdown: delta,
                     pipelines: self.engine.pipeline_count(plan),
+                    morsels: stats.morsels,
+                    tasks: stats.tasks,
+                    workers: self.engine.workers(),
+                    worker_utilization: stats.worker_utilization(),
                     fallback_reason: None,
                 };
                 Ok((table, report))
             }
             Err(e) if fallback_worthy(&e) => {
                 let host = self.host.as_ref().ok_or_else(|| e.clone())?;
-                let table = host
-                    .execute_host(plan)
-                    .map_err(SiriusError::Kernel)?;
+                let table = host.execute_host(plan).map_err(SiriusError::Kernel)?;
                 let report = QueryReport {
                     engine: host.name().to_string(),
                     rows: table.num_rows(),
                     elapsed: std::time::Duration::ZERO,
                     breakdown: Default::default(),
                     pipelines: self.engine.pipeline_count(plan),
+                    morsels: 0,
+                    tasks: 0,
+                    workers: self.engine.workers(),
+                    worker_utilization: 0.0,
                     fallback_reason: Some(e.to_string()),
                 };
                 Ok((table, report))
@@ -131,15 +139,16 @@ mod tests {
     }
 
     fn avg_plan() -> Rel {
-        PlanBuilder::scan(
-            "t",
-            Schema::new(vec![Field::new("v", DataType::Float64)]),
-        )
-        .aggregate(
-            vec![],
-            vec![AggExpr { func: AggFunc::Avg, input: Some(expr::col(0)), name: "a".into() }],
-        )
-        .build()
+        PlanBuilder::scan("t", Schema::new(vec![Field::new("v", DataType::Float64)]))
+            .aggregate(
+                vec![],
+                vec![AggExpr {
+                    func: AggFunc::Avg,
+                    input: Some(expr::col(0)),
+                    name: "a".into(),
+                }],
+            )
+            .build()
     }
 
     #[test]
@@ -158,8 +167,7 @@ mod tests {
     fn unsupported_falls_back_to_host() {
         let mut features = FeatureSet::full();
         features.avg = false;
-        let engine =
-            SiriusEngine::new(catalog::gh200_gpu()).with_features(features);
+        let engine = SiriusEngine::new(catalog::gh200_gpu()).with_features(features);
         engine.load_table("t", &data());
         let ctx = SiriusContext::new(engine).with_host(Arc::new(FakeHost));
         let (out, report) = ctx.execute_plan(&avg_plan()).unwrap();
@@ -172,8 +180,7 @@ mod tests {
     fn no_host_surfaces_the_error() {
         let mut features = FeatureSet::full();
         features.avg = false;
-        let engine =
-            SiriusEngine::new(catalog::gh200_gpu()).with_features(features);
+        let engine = SiriusEngine::new(catalog::gh200_gpu()).with_features(features);
         engine.load_table("t", &data());
         let ctx = SiriusContext::new(engine);
         assert!(matches!(

@@ -1,27 +1,72 @@
 //! The GPU-native query executor (§3.2.2).
 //!
-//! Executes Substrait-style plans entirely on the (simulated) GPU: the plan
-//! is decomposed into pipelines, pipeline tasks go through the global task
-//! queue (join build sides run concurrently with other work), and within a
-//! pipeline the executor pushes data through stateless operator kernels
-//! from `sirius-cudf`, holding all operator state itself.
+//! Executes Substrait-style plans entirely on the (simulated) GPU with
+//! morsel-driven pipeline parallelism: each pipeline's source is partitioned
+//! into fixed-size morsels ([`MorselConfig`]), one task per morsel goes
+//! through the global [`TaskQueue`], and every task charges its kernels onto
+//! a device stream chosen round-robin by morsel index, so independent
+//! morsels overlap in the stream-aware time ledger. Filter / project /
+//! join-probe morsels run independently and concatenate in morsel order;
+//! group-by builds per-morsel partials merged at the pipeline breaker;
+//! ungrouped reductions combine partial accumulators. Pipeline breakers
+//! synchronize the streams (the simulated `cudaDeviceSynchronize()`),
+//! folding overlapped stream time back into the serial lane.
 
 use crate::buffer::BufferManager;
 use crate::exprs::evaluate;
+use crate::metrics::MorselStats;
 use crate::pipeline::{decompose, TaskQueue};
 use crate::{Result, SiriusError};
-use sirius_columnar::{Array, Bitmap, Table};
+use parking_lot::Mutex;
+use sirius_columnar::{Array, Bitmap, DataType, Scalar, Schema, Table};
 use sirius_cudf::filter::{apply_filter, gather, gather_opt};
-use sirius_cudf::groupby::{group_by, AggKind, AggRequest};
-use sirius_cudf::join::{cross_join_pairs, hash_join_pairs, resolve_join, JoinType};
+use sirius_cudf::groupby::{group_by, AggKind, AggRequest, PartialAggPlan};
+use sirius_cudf::join::{
+    build_hash_table, cross_join_pairs, probe_hash_table, resolve_join, JoinHashTable, JoinType,
+};
 use sirius_cudf::reduce::reduce;
 use sirius_cudf::sort::{sort_indices, SortKey};
 use sirius_cudf::unique::distinct;
 use sirius_cudf::GpuContext;
-use sirius_hw::{catalog, CostCategory, Device, DeviceSpec, Link};
+use sirius_hw::{catalog, CostCategory, Device, DeviceSpec, Link, WorkProfile};
+use sirius_plan::expr::{AggExpr, Expr};
 use sirius_plan::validate::FeatureSet;
 use sirius_plan::{AggFunc, JoinKind, Rel};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// A morsel task in the fused aggregation sink: runs the streaming ops and
+/// the partial group-by, returning the morsel's (key columns, partial
+/// aggregate columns).
+type PartialGroupTask = Box<dyn FnOnce() -> Result<(Vec<Array>, Vec<Array>)> + Send>;
+
+/// How pipeline sources are partitioned into morsels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MorselConfig {
+    /// Rows per morsel. Sources at most this large run as a single morsel.
+    pub rows: usize,
+}
+
+impl MorselConfig {
+    /// Default morsel size: 1 Mi rows — large enough that per-task launch
+    /// overhead stays noise, small enough that TPC-H fact tables split into
+    /// enough morsels to feed several streams.
+    pub const DEFAULT_ROWS: usize = 1 << 20;
+
+    /// Disable partitioning: every source is one morsel on one stream (the
+    /// pre-morsel "single-walk" executor, used as the ablation baseline).
+    pub fn whole_column() -> Self {
+        Self { rows: usize::MAX }
+    }
+}
+
+impl Default for MorselConfig {
+    fn default() -> Self {
+        Self {
+            rows: Self::DEFAULT_ROWS,
+        }
+    }
+}
 
 /// The Sirius GPU engine for one device.
 pub struct SiriusEngine {
@@ -29,6 +74,8 @@ pub struct SiriusEngine {
     bufmgr: Arc<BufferManager>,
     queue: Arc<TaskQueue>,
     features: FeatureSet,
+    morsel: MorselConfig,
+    stats: Arc<Mutex<MorselStats>>,
 }
 
 impl SiriusEngine {
@@ -64,6 +111,8 @@ impl SiriusEngine {
             device,
             queue: Arc::new(TaskQueue::new(workers.max(1))),
             features: FeatureSet::full(),
+            morsel: MorselConfig::default(),
+            stats: Arc::new(Mutex::new(MorselStats::default())),
         }
     }
 
@@ -72,6 +121,28 @@ impl SiriusEngine {
     pub fn with_features(mut self, features: FeatureSet) -> Self {
         self.features = features;
         self
+    }
+
+    /// Override the morsel size (rows per morsel, clamped to ≥ 1).
+    pub fn with_morsel_rows(mut self, rows: usize) -> Self {
+        self.morsel.rows = rows.max(1);
+        self
+    }
+
+    /// The active morsel configuration.
+    pub fn morsel_config(&self) -> MorselConfig {
+        self.morsel
+    }
+
+    /// Worker threads draining the task queue (= device streams used).
+    pub fn workers(&self) -> usize {
+        self.queue.workers()
+    }
+
+    /// Snapshot of the monotonic morsel-scheduler counters (pair snapshots
+    /// with [`MorselStats::since`] for per-query numbers).
+    pub fn morsel_stats(&self) -> MorselStats {
+        self.stats.lock().clone()
     }
 
     /// The simulated device (time ledger).
@@ -102,12 +173,18 @@ impl SiriusEngine {
         if let Some(feature) = self.features.first_unsupported(plan) {
             return Err(SiriusError::Unsupported(feature));
         }
-        // Decompose into pipelines; the count feeds kernel-launch overhead
-        // attribution (each pipeline dispatch costs a task round trip).
+        // Each pipeline costs one dispatch round trip at the device's own
+        // launch overhead on the serial lane; per-morsel task dispatches
+        // are charged on the tasks' streams as the pipelines run.
         let pipelines = decompose(plan);
         self.device.charge_duration(
             CostCategory::Other,
-            std::time::Duration::from_micros(5 * pipelines.len() as u64),
+            Duration::from_nanos(
+                self.device
+                    .spec()
+                    .launch_overhead_ns
+                    .saturating_mul(pipelines.len() as u64),
+            ),
         );
         self.run(plan)
     }
@@ -123,157 +200,15 @@ impl SiriusEngine {
 
     fn run(&self, plan: &Rel) -> Result<Table> {
         match plan {
-            Rel::Read { table, projection, .. } => {
-                let t = self.bufmgr.get_table(table)?;
-                let t = match projection {
-                    Some(p) => t.project(p),
-                    None => (*t).clone(),
-                };
-                // Scan pass over the cached columns.
-                self.ctx(CostCategory::Filter).charge(
-                    &sirius_hw::WorkProfile::scan(t.byte_size() as u64)
-                        .with_rows(t.num_rows() as u64),
-                );
-                Ok(t)
+            Rel::Read { .. } | Rel::Filter { .. } | Rel::Project { .. } | Rel::Join { .. } => {
+                let morsels = self.run_pipeline(plan)?;
+                Ok(concat_morsels(plan.schema()?, &morsels))
             }
-            Rel::Filter { input, predicate } => {
-                // Scan+filter fusion: a filter directly over a cached scan
-                // evaluates the predicate during the scan pass instead of
-                // re-reading the materialized input.
-                let (t, fused) = match &**input {
-                    Rel::Read { table, projection, .. } => {
-                        let t = self.bufmgr.get_table(table)?;
-                        let t = match projection {
-                            Some(p) => t.project(p),
-                            None => (*t).clone(),
-                        };
-                        (t, true)
-                    }
-                    _ => (self.run(input)?, false),
-                };
-                let _ = fused;
-                let ctx = self.ctx(CostCategory::Filter);
-                let mask = evaluate(&ctx, predicate, &t)?;
-                Ok(apply_filter(&ctx, &t, &mask)?)
-            }
-            Rel::Project { input, exprs } => {
-                let t = self.run(input)?;
-                let ctx = self.ctx(CostCategory::Project);
-                let schema = plan.schema()?;
-                let mut cols = Vec::with_capacity(exprs.len());
-                for (e, _) in exprs {
-                    cols.push(evaluate(&ctx, e, &t)?);
-                }
-                Ok(Table::new(schema, cols))
-            }
-            Rel::Aggregate { input, group_by: keys, aggregates } => {
-                let t = self.run(input)?;
-                let category = if keys.is_empty() {
-                    CostCategory::Aggregate
-                } else {
-                    CostCategory::GroupBy
-                };
-                let ctx = self.ctx(category);
-                // Processing-region reservation for accumulator state.
-                let _state = self
-                    .bufmgr
-                    .alloc_processing((t.byte_size() as u64 / 2).max(1024))?;
-                let agg_inputs: Vec<Option<Array>> = aggregates
-                    .iter()
-                    .map(|a| a.input.as_ref().map(|e| evaluate(&ctx, e, &t)).transpose())
-                    .collect::<Result<_>>()?;
-                let schema = plan.schema()?;
-                if keys.is_empty() {
-                    let scalars: Vec<sirius_columnar::Scalar> = aggregates
-                        .iter()
-                        .zip(agg_inputs.iter())
-                        .map(|(a, input)| {
-                            Ok(reduce(&ctx, lower_agg(a.func), input.as_ref(), t.num_rows())?)
-                        })
-                        .collect::<Result<_>>()?;
-                    let cols = scalars
-                        .iter()
-                        .zip(schema.fields.iter())
-                        .map(|(s, f)| Array::from_scalars(std::slice::from_ref(s), f.data_type))
-                        .collect();
-                    Ok(Table::new(schema, cols))
-                } else {
-                    let key_cols: Vec<Array> = keys
-                        .iter()
-                        .map(|k| evaluate(&ctx, k, &t))
-                        .collect::<Result<_>>()?;
-                    let key_refs: Vec<&Array> = key_cols.iter().collect();
-                    let requests: Vec<AggRequest<'_>> = aggregates
-                        .iter()
-                        .zip(agg_inputs.iter())
-                        .map(|(a, input)| AggRequest {
-                            kind: lower_agg(a.func),
-                            input: input.as_ref(),
-                        })
-                        .collect();
-                    let result = group_by(&ctx, &key_refs, &requests, t.num_rows())?;
-                    let cols: Vec<Array> =
-                        result.key_columns.into_iter().chain(result.agg_columns).collect();
-                    Ok(Table::new(schema, cols))
-                }
-            }
-            Rel::Join { left, right, kind, left_keys, right_keys, residual } => {
-                // Build side (right) runs as its own pipeline task on the
-                // global queue, concurrent with the probe-side pipeline.
-                let (lt, rt) = {
-                    let engine = self.share();
-                    let right = (**right).clone();
-                    let build = self.queue.run(move || engine.run(&right));
-                    let lt = self.run(left)?;
-                    (lt, build?)
-                };
-                let ctx = self.ctx(CostCategory::Join);
-                // Hash table lives in the processing region.
-                let _ht = self
-                    .bufmgr
-                    .alloc_processing((rt.byte_size() as u64).max(1024))?;
-
-                let pairs = if left_keys.is_empty() {
-                    cross_join_pairs(&ctx, lt.num_rows(), rt.num_rows())
-                } else {
-                    let lk: Vec<Array> = left_keys
-                        .iter()
-                        .map(|e| evaluate(&ctx, e, &lt))
-                        .collect::<Result<_>>()?;
-                    let rk: Vec<Array> = right_keys
-                        .iter()
-                        .map(|e| evaluate(&ctx, e, &rt))
-                        .collect::<Result<_>>()?;
-                    let lrefs: Vec<&Array> = lk.iter().collect();
-                    let rrefs: Vec<&Array> = rk.iter().collect();
-                    hash_join_pairs(&ctx, &lrefs, &rrefs, lt.num_rows(), rt.num_rows())?
-                };
-
-                // Residual predicate, vectorized over the candidate pairs.
-                let mask: Option<Bitmap> = match residual {
-                    None => None,
-                    Some(res) => {
-                        let lp = gather(&ctx, &lt, &pairs.left);
-                        let rp = gather(&ctx, &rt, &pairs.right);
-                        let combined = lp.hstack(&rp);
-                        let col = evaluate(&ctx, res, &combined)?;
-                        Some(col.as_bool().map_err(sirius_cudf::KernelError::from)?.to_selection())
-                    }
-                };
-                let idx = resolve_join(&ctx, lower_join(*kind), &pairs, mask.as_ref())?;
-
-                // Materialize.
-                match kind {
-                    JoinKind::Semi | JoinKind::Anti => Ok(gather(&ctx, &lt, &idx.left)),
-                    _ => {
-                        let l = gather(&ctx, &lt, &idx.left);
-                        let r = gather_opt(&ctx, &rt, &idx.right);
-                        let out = l.hstack(&r);
-                        // Adopt the plan schema (nullability from join kind).
-                        Ok(Table::new(plan.schema()?, out.columns().to_vec()))
-                    }
-                }
-            }
+            Rel::Aggregate {
+                input,
+                group_by: keys,
+                aggregates,
+            } => self.run_aggregate(plan, input, keys, aggregates),
             Rel::Sort { input, keys } => {
                 let t = self.run(input)?;
                 let ctx = self.ctx(CostCategory::OrderBy);
@@ -286,12 +221,19 @@ impl SiriusEngine {
                     .collect::<Result<_>>()?;
                 let sort_keys: Vec<SortKey<'_>> = key_cols
                     .iter()
-                    .map(|(c, asc)| SortKey { column: c, ascending: *asc })
+                    .map(|(c, asc)| SortKey {
+                        column: c,
+                        ascending: *asc,
+                    })
                     .collect();
                 let idx = sort_indices(&ctx, &sort_keys, t.num_rows())?;
                 Ok(gather(&ctx, &t, &idx))
             }
-            Rel::Limit { input, offset, fetch } => {
+            Rel::Limit {
+                input,
+                offset,
+                fetch,
+            } => {
                 let t = self.run(input)?;
                 let ctx = self.ctx(CostCategory::Other);
                 let start = (*offset).min(t.num_rows());
@@ -314,16 +256,606 @@ impl SiriusEngine {
         }
     }
 
-    /// Cheap shareable handle (same device/buffers/queue) for build-side
-    /// tasks.
+    /// Execute one streaming pipeline morsel-wise: collect the streaming
+    /// operator chain down to its source (running pipeline breakers and
+    /// join build sides on the way), partition the source, and push each
+    /// morsel through the chain as its own task. Results come back in
+    /// morsel order; the streams are synchronized before returning (every
+    /// pipeline ends at a breaker or the result).
+    fn run_pipeline(&self, plan: &Rel) -> Result<Vec<Table>> {
+        let mut ops: Vec<MorselOp> = Vec::new();
+        let mut holds: Vec<sirius_rmm::Allocation> = Vec::new();
+        let source = self.collect_pipeline(plan, &mut ops, &mut holds)?;
+        let chunks = self.chunk_and_count(&source);
+        let results = self.run_ops_wave(&Arc::new(ops), chunks);
+        drop(holds);
+        results
+    }
+
+    /// Partition a pipeline source and record the morsel count.
+    fn chunk_and_count(&self, source: &Table) -> Vec<Table> {
+        let chunks = chunk_morsels(source, self.morsel.rows);
+        self.stats.lock().morsels += chunks.len() as u64;
+        chunks
+    }
+
+    /// Push every morsel through the streaming operator chain as its own
+    /// task and synchronize the streams.
+    fn run_ops_wave(&self, ops: &Arc<Vec<MorselOp>>, chunks: Vec<Table>) -> Result<Vec<Table>> {
+        let streams = self.workers().max(1);
+        let overhead = self.task_overhead();
+        let tasks: Vec<Box<dyn FnOnce() -> Result<Table> + Send>> = chunks
+            .into_iter()
+            .enumerate()
+            .map(|(i, morsel)| {
+                let device = self.device.on_stream(i % streams);
+                let ops = Arc::clone(ops);
+                let f: Box<dyn FnOnce() -> Result<Table> + Send> = Box::new(move || {
+                    device.charge_duration(CostCategory::Other, overhead);
+                    let mut t = morsel;
+                    for op in ops.iter() {
+                        t = op.apply(&device, t)?;
+                    }
+                    Ok(t)
+                });
+                f
+            })
+            .collect();
+        let results = self.dispatch(tasks);
+        self.device.sync_streams();
+        results.into_iter().collect()
+    }
+
+    /// Gather the streaming operator chain feeding `rel` and return the
+    /// source table it pulls morsels from. Join build sides and anything
+    /// below a pipeline breaker execute here, before the morsel tasks are
+    /// dispatched.
+    fn collect_pipeline(
+        &self,
+        rel: &Rel,
+        ops: &mut Vec<MorselOp>,
+        holds: &mut Vec<sirius_rmm::Allocation>,
+    ) -> Result<Table> {
+        match rel {
+            Rel::Read {
+                table, projection, ..
+            } => {
+                let t = self.bufmgr.get_table(table)?;
+                let t = match projection {
+                    Some(p) => t.project(p),
+                    None => (*t).clone(),
+                };
+                // The scan pass over the cached columns is charged
+                // per-morsel, on the morsel's stream.
+                ops.push(MorselOp::Scan);
+                Ok(t)
+            }
+            Rel::Filter { input, predicate } => {
+                let t = self.collect_pipeline(input, ops, holds)?;
+                // Scan+filter fusion: a filter directly over a cached scan
+                // evaluates the predicate during the scan pass instead of
+                // re-reading the materialized input.
+                if matches!(ops.last(), Some(MorselOp::Scan)) {
+                    ops.pop();
+                }
+                // Conjunction coalescing: planners emit one Filter node per
+                // conjunct. Folding a filter chain into a single AND tree
+                // evaluates the whole predicate in one fused kernel and
+                // selects the passing rows once, instead of materializing a
+                // shrinking intermediate per conjunct.
+                let predicate = match ops.pop() {
+                    Some(MorselOp::Filter { predicate: prev }) => {
+                        sirius_plan::expr::and(prev, predicate.clone())
+                    }
+                    Some(other) => {
+                        ops.push(other);
+                        predicate.clone()
+                    }
+                    None => predicate.clone(),
+                };
+                ops.push(MorselOp::Filter { predicate });
+                Ok(t)
+            }
+            Rel::Project { input, exprs } => {
+                let t = self.collect_pipeline(input, ops, holds)?;
+                ops.push(MorselOp::Project {
+                    exprs: exprs.iter().map(|(e, _)| e.clone()).collect(),
+                    schema: rel.schema()?,
+                });
+                Ok(t)
+            }
+            Rel::Join {
+                left,
+                right,
+                kind,
+                left_keys,
+                right_keys,
+                residual,
+            } => {
+                // Build side (right) runs as its own pipeline task on the
+                // global queue; the hash table is built once and shared
+                // read-only by every probe morsel.
+                let engine = self.share();
+                let right_plan = (**right).clone();
+                let rt = self.queue.run(move || engine.run(&right_plan))?;
+                let ctx = self.ctx(CostCategory::Join);
+                // Hash table lives in the processing region until the last
+                // probe morsel is done.
+                holds.push(
+                    self.bufmgr
+                        .alloc_processing((rt.byte_size() as u64).max(1024))?,
+                );
+                let ht = if left_keys.is_empty() {
+                    None
+                } else {
+                    let rk: Vec<Array> = right_keys
+                        .iter()
+                        .map(|e| evaluate(&ctx, e, &rt))
+                        .collect::<Result<_>>()?;
+                    let rrefs: Vec<&Array> = rk.iter().collect();
+                    Some(Arc::new(build_hash_table(&ctx, &rrefs, rt.num_rows())?))
+                };
+                let source = self.collect_pipeline(left, ops, holds)?;
+                ops.push(MorselOp::Probe {
+                    ht,
+                    rt,
+                    kind: *kind,
+                    left_keys: left_keys.clone(),
+                    residual: residual.clone(),
+                    schema: rel.schema()?,
+                });
+                Ok(source)
+            }
+            // A pipeline breaker below: run it to completion; its
+            // materialized output is this pipeline's source.
+            _ => self.run(rel),
+        }
+    }
+
+    /// Grouped and ungrouped aggregation at a pipeline breaker. With more
+    /// than one input morsel and a decomposable aggregate set, the partial
+    /// aggregation is the pipeline *sink*: each morsel task runs the
+    /// streaming operator chain and its partial accumulators back-to-back
+    /// on its stream — no intermediate materialization, no second dispatch
+    /// wave — and the partials merge serially after the stream sync.
+    /// Otherwise (single morsel, or `COUNT(DISTINCT)`) the whole-column
+    /// single pass runs.
+    fn run_aggregate(
+        &self,
+        plan: &Rel,
+        input: &Rel,
+        keys: &[Expr],
+        aggregates: &[AggExpr],
+    ) -> Result<Table> {
+        let mut raw_ops: Vec<MorselOp> = Vec::new();
+        let mut holds: Vec<sirius_rmm::Allocation> = Vec::new();
+        let source = self.collect_pipeline(input, &mut raw_ops, &mut holds)?;
+        let chunks = self.chunk_and_count(&source);
+        let ops = Arc::new(raw_ops);
+        let category = if keys.is_empty() {
+            CostCategory::Aggregate
+        } else {
+            CostCategory::GroupBy
+        };
+        let schema = plan.schema()?;
+        let kinds: Vec<AggKind> = aggregates.iter().map(|a| lower_agg(a.func)).collect();
+        let pplan = match PartialAggPlan::new(&kinds) {
+            Some(p) if chunks.len() > 1 => Arc::new(p),
+            // COUNT(DISTINCT) cannot merge partials; a single morsel gains
+            // nothing from the two-phase plan. Materialize the input, then
+            // reserve accumulator state and aggregate in one pass.
+            _ => {
+                let morsels = self.run_ops_wave(&ops, chunks)?;
+                drop(holds);
+                let total_bytes: u64 = morsels.iter().map(|m| m.byte_size() as u64).sum();
+                let _state = self.bufmgr.alloc_processing((total_bytes / 2).max(1024))?;
+                let t = concat_morsels(input.schema()?, &morsels);
+                return self.aggregate_single_pass(&t, keys, aggregates, schema, category);
+            }
+        };
+        // The aggregated input never materializes, so the accumulator-state
+        // reservation is sized by the pipeline source (the input is at most
+        // that big), before the tasks run.
+        let _state = self
+            .bufmgr
+            .alloc_processing((source.byte_size() as u64 / 2).max(1024))?;
+        let streams = self.workers().max(1);
+        let overhead = self.task_overhead();
+        let aggs: Arc<Vec<AggExpr>> = Arc::new(aggregates.to_vec());
+
+        if keys.is_empty() {
+            // Per-morsel pipeline + partial reductions.
+            let tasks: Vec<Box<dyn FnOnce() -> Result<Vec<Scalar>> + Send>> = chunks
+                .into_iter()
+                .enumerate()
+                .map(|(i, m)| {
+                    let device = self.device.on_stream(i % streams);
+                    let ops = Arc::clone(&ops);
+                    let aggs = Arc::clone(&aggs);
+                    let pplan = Arc::clone(&pplan);
+                    let f: Box<dyn FnOnce() -> Result<Vec<Scalar>> + Send> = Box::new(move || {
+                        device.charge_duration(CostCategory::Other, overhead);
+                        let mut m = m;
+                        for op in ops.iter() {
+                            m = op.apply(&device, m)?;
+                        }
+                        let ctx = GpuContext::new(device, category);
+                        let inputs = agg_inputs(&ctx, &aggs, &m)?;
+                        pplan
+                            .partials()
+                            .iter()
+                            .map(|s| {
+                                Ok(reduce(
+                                    &ctx,
+                                    s.kind,
+                                    inputs[s.source].as_ref(),
+                                    m.num_rows(),
+                                )?)
+                            })
+                            .collect()
+                    });
+                    f
+                })
+                .collect();
+            let partials: Vec<Vec<Scalar>> =
+                self.dispatch(tasks).into_iter().collect::<Result<_>>()?;
+            self.device.sync_streams();
+
+            // Merge the partial accumulators (serial: the breaker).
+            let ctx = self.ctx(category);
+            let merged: Vec<Scalar> = (0..pplan.partials().len())
+                .map(|p| {
+                    let col: Vec<Scalar> = partials.iter().map(|row| row[p].clone()).collect();
+                    let dt = col
+                        .iter()
+                        .find_map(|s| s.data_type())
+                        .unwrap_or(DataType::Int64);
+                    let arr = Array::from_scalars(&col, dt);
+                    Ok(reduce(&ctx, pplan.merge_kind(p), Some(&arr), arr.len())?)
+                })
+                .collect::<Result<_>>()?;
+            Ok(scalar_table(&pplan.finalize_scalars(&merged), &schema))
+        } else {
+            // Per-morsel pipeline + partial group-by.
+            let keys_arc: Arc<Vec<Expr>> = Arc::new(keys.to_vec());
+            let tasks: Vec<PartialGroupTask> = chunks
+                .into_iter()
+                .enumerate()
+                .map(|(i, m)| {
+                    let device = self.device.on_stream(i % streams);
+                    let ops = Arc::clone(&ops);
+                    let aggs = Arc::clone(&aggs);
+                    let keys = Arc::clone(&keys_arc);
+                    let pplan = Arc::clone(&pplan);
+                    let f: PartialGroupTask = Box::new(move || {
+                        device.charge_duration(CostCategory::Other, overhead);
+                        let mut m = m;
+                        for op in ops.iter() {
+                            m = op.apply(&device, m)?;
+                        }
+                        let ctx = GpuContext::new(device, category);
+                        let key_cols: Vec<Array> = keys
+                            .iter()
+                            .map(|k| evaluate(&ctx, k, &m))
+                            .collect::<Result<_>>()?;
+                        let key_refs: Vec<&Array> = key_cols.iter().collect();
+                        let inputs = agg_inputs(&ctx, &aggs, &m)?;
+                        let requests: Vec<AggRequest<'_>> = pplan
+                            .partials()
+                            .iter()
+                            .map(|s| AggRequest {
+                                kind: s.kind,
+                                input: inputs[s.source].as_ref(),
+                            })
+                            .collect();
+                        let r = group_by(&ctx, &key_refs, &requests, m.num_rows())?;
+                        Ok((r.key_columns, r.agg_columns))
+                    });
+                    f
+                })
+                .collect();
+            let parts: Vec<(Vec<Array>, Vec<Array>)> =
+                self.dispatch(tasks).into_iter().collect::<Result<_>>()?;
+            self.device.sync_streams();
+
+            // Merge at the breaker: concatenate the per-morsel partial
+            // tables and re-aggregate with the merge kinds. Concatenation
+            // order is morsel order, so first-appearance (and sorted) group
+            // order matches the whole-column pass.
+            let ctx = self.ctx(CostCategory::GroupBy);
+            let merged_keys: Vec<Array> = (0..keys.len())
+                .map(|k| {
+                    let cols: Vec<&Array> = parts.iter().map(|(kc, _)| &kc[k]).collect();
+                    Array::concat(&cols)
+                })
+                .collect();
+            let merged_parts: Vec<Array> = (0..pplan.partials().len())
+                .map(|p| {
+                    let cols: Vec<&Array> = parts.iter().map(|(_, ac)| &ac[p]).collect();
+                    Array::concat(&cols)
+                })
+                .collect();
+            let total = merged_keys.first().map(|a| a.len()).unwrap_or(0);
+            let key_refs: Vec<&Array> = merged_keys.iter().collect();
+            let requests: Vec<AggRequest<'_>> = merged_parts
+                .iter()
+                .enumerate()
+                .map(|(p, col)| AggRequest {
+                    kind: pplan.merge_kind(p),
+                    input: Some(col),
+                })
+                .collect();
+            let r = group_by(&ctx, &key_refs, &requests, total)?;
+            let finals = pplan.finalize(&ctx, &r.agg_columns)?;
+            let cols: Vec<Array> = r.key_columns.into_iter().chain(finals).collect();
+            Ok(Table::new(schema, cols))
+        }
+    }
+
+    /// The pre-morsel whole-column aggregation pass.
+    fn aggregate_single_pass(
+        &self,
+        t: &Table,
+        keys: &[Expr],
+        aggregates: &[AggExpr],
+        schema: Schema,
+        category: CostCategory,
+    ) -> Result<Table> {
+        let ctx = self.ctx(category);
+        let inputs = agg_inputs(&ctx, aggregates, t)?;
+        if keys.is_empty() {
+            let scalars: Vec<Scalar> = aggregates
+                .iter()
+                .zip(inputs.iter())
+                .map(|(a, input)| {
+                    Ok(reduce(
+                        &ctx,
+                        lower_agg(a.func),
+                        input.as_ref(),
+                        t.num_rows(),
+                    )?)
+                })
+                .collect::<Result<_>>()?;
+            Ok(scalar_table(&scalars, &schema))
+        } else {
+            let key_cols: Vec<Array> = keys
+                .iter()
+                .map(|k| evaluate(&ctx, k, t))
+                .collect::<Result<_>>()?;
+            let key_refs: Vec<&Array> = key_cols.iter().collect();
+            let requests: Vec<AggRequest<'_>> = aggregates
+                .iter()
+                .zip(inputs.iter())
+                .map(|(a, input)| AggRequest {
+                    kind: lower_agg(a.func),
+                    input: input.as_ref(),
+                })
+                .collect();
+            let result = group_by(&ctx, &key_refs, &requests, t.num_rows())?;
+            let cols: Vec<Array> = result
+                .key_columns
+                .into_iter()
+                .chain(result.agg_columns)
+                .collect();
+            Ok(Table::new(schema, cols))
+        }
+    }
+
+    /// Dispatch overhead one morsel task pays on its own stream: each CPU
+    /// worker issues its task's launches independently, so the charge lands
+    /// on the task's lane and overlaps across streams like any other kernel
+    /// time (the launch overheads of the kernels themselves are in their
+    /// [`WorkProfile`]s).
+    fn task_overhead(&self) -> Duration {
+        Duration::from_nanos(self.device.spec().launch_overhead_ns)
+    }
+
+    /// Send a batch of tasks through the global queue, recording the
+    /// round-robin stream assignment in the scheduler counters. The tasks
+    /// themselves charge their dispatch overhead on their streams
+    /// ([`Self::task_overhead`]).
+    fn dispatch<R: Send + 'static>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() -> R + Send + 'static>>,
+    ) -> Vec<R> {
+        if tasks.is_empty() {
+            return Vec::new();
+        }
+        let n = tasks.len();
+        let streams = self.workers().max(1);
+        {
+            let mut s = self.stats.lock();
+            s.tasks += n as u64;
+            if s.tasks_per_stream.len() < streams {
+                s.tasks_per_stream.resize(streams, 0);
+            }
+            for i in 0..n {
+                s.tasks_per_stream[i % streams] += 1;
+            }
+        }
+        self.queue.run_all(tasks)
+    }
+
+    /// Cheap shareable handle (same device/buffers/queue/counters) for
+    /// build-side tasks.
     fn share(&self) -> SiriusEngine {
         SiriusEngine {
             device: self.device.clone(),
             bufmgr: Arc::clone(&self.bufmgr),
             queue: Arc::clone(&self.queue),
             features: self.features.clone(),
+            morsel: self.morsel,
+            stats: Arc::clone(&self.stats),
         }
     }
+}
+
+/// One streaming operator applied to each morsel inside a pipeline task.
+enum MorselOp {
+    /// The scan pass over the morsel's cached columns.
+    Scan,
+    /// Predicate evaluation + selection.
+    Filter {
+        /// The predicate expression.
+        predicate: Expr,
+    },
+    /// Expression projection.
+    Project {
+        /// Output expressions.
+        exprs: Vec<Expr>,
+        /// Output schema.
+        schema: Schema,
+    },
+    /// Hash-join probe (or cross-join expansion) against a pre-built build
+    /// side. Pair order within a morsel matches the whole-column probe, so
+    /// concatenating morsel outputs in morsel order reproduces it exactly.
+    Probe {
+        /// Hash table over the build side (`None` ⇒ cross join).
+        ht: Option<Arc<JoinHashTable>>,
+        /// Materialized build-side table.
+        rt: Table,
+        /// Join kind.
+        kind: JoinKind,
+        /// Probe-side key expressions.
+        left_keys: Vec<Expr>,
+        /// Residual predicate over candidate pairs.
+        residual: Option<Expr>,
+        /// Join output schema (nullability from the join kind).
+        schema: Schema,
+    },
+}
+
+impl MorselOp {
+    fn apply(&self, device: &Device, t: Table) -> Result<Table> {
+        match self {
+            MorselOp::Scan => {
+                let ctx = GpuContext::new(device.clone(), CostCategory::Filter);
+                ctx.charge(&WorkProfile::scan(t.byte_size() as u64).with_rows(t.num_rows() as u64));
+                Ok(t)
+            }
+            MorselOp::Filter { predicate } => {
+                let ctx = GpuContext::new(device.clone(), CostCategory::Filter);
+                let mask = evaluate(&ctx, predicate, &t)?;
+                Ok(apply_filter(&ctx, &t, &mask)?)
+            }
+            MorselOp::Project { exprs, schema } => {
+                let ctx = GpuContext::new(device.clone(), CostCategory::Project);
+                let cols: Vec<Array> = exprs
+                    .iter()
+                    .map(|e| evaluate(&ctx, e, &t))
+                    .collect::<Result<_>>()?;
+                Ok(Table::new(schema.clone(), cols))
+            }
+            MorselOp::Probe {
+                ht,
+                rt,
+                kind,
+                left_keys,
+                residual,
+                schema,
+            } => {
+                let ctx = GpuContext::new(device.clone(), CostCategory::Join);
+                let pairs = match ht {
+                    None => cross_join_pairs(&ctx, t.num_rows(), rt.num_rows()),
+                    Some(table) => {
+                        let lk: Vec<Array> = left_keys
+                            .iter()
+                            .map(|e| evaluate(&ctx, e, &t))
+                            .collect::<Result<_>>()?;
+                        let lrefs: Vec<&Array> = lk.iter().collect();
+                        probe_hash_table(&ctx, table, &lrefs, t.num_rows(), 0)?
+                    }
+                };
+
+                // Residual predicate, vectorized over the candidate pairs.
+                let mask: Option<Bitmap> = match residual {
+                    None => None,
+                    Some(res) => {
+                        let lp = gather(&ctx, &t, &pairs.left);
+                        let rp = gather(&ctx, rt, &pairs.right);
+                        let combined = lp.hstack(&rp);
+                        let col = evaluate(&ctx, res, &combined)?;
+                        Some(
+                            col.as_bool()
+                                .map_err(sirius_cudf::KernelError::from)?
+                                .to_selection(),
+                        )
+                    }
+                };
+                let idx = resolve_join(&ctx, lower_join(*kind), &pairs, mask.as_ref())?;
+
+                // Materialize.
+                match kind {
+                    JoinKind::Semi | JoinKind::Anti => Ok(gather(&ctx, &t, &idx.left)),
+                    _ => {
+                        let l = gather(&ctx, &t, &idx.left);
+                        let r = gather_opt(&ctx, rt, &idx.right);
+                        let out = l.hstack(&r);
+                        // Adopt the plan schema (nullability from join kind).
+                        Ok(Table::new(schema.clone(), out.columns().to_vec()))
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Partition a source into morsels of at most `rows` rows. A source that
+/// fits in one morsel is shared, not copied; an empty source yields no
+/// morsels. Larger sources split into `⌈n/rows⌉` near-equal morsels (within
+/// one row of each other) so no remainder straggler serializes behind a
+/// full morsel on its stream.
+fn chunk_morsels(t: &Table, rows: usize) -> Vec<Table> {
+    let rows = rows.max(1);
+    let n = t.num_rows();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n <= rows {
+        return vec![t.clone()];
+    }
+    let k = n.div_ceil(rows);
+    let base = n / k;
+    let extra = n % k; // the first `extra` morsels carry one more row
+    let mut out = Vec::with_capacity(k);
+    let mut offset = 0;
+    for i in 0..k {
+        let len = base + usize::from(i < extra);
+        out.push(t.slice(offset, len));
+        offset += len;
+    }
+    out
+}
+
+/// Reassemble morsel outputs in morsel order (`schema` covers the
+/// zero-morsel case, where there is no runtime table to take it from).
+fn concat_morsels(schema: Schema, morsels: &[Table]) -> Table {
+    match morsels.len() {
+        0 => Table::empty(schema),
+        1 => morsels[0].clone(),
+        _ => {
+            let refs: Vec<&Table> = morsels.iter().collect();
+            Table::concat(&refs)
+        }
+    }
+}
+
+/// Evaluate each aggregate's input expression over `t`.
+fn agg_inputs(ctx: &GpuContext, aggregates: &[AggExpr], t: &Table) -> Result<Vec<Option<Array>>> {
+    aggregates
+        .iter()
+        .map(|a| a.input.as_ref().map(|e| evaluate(ctx, e, t)).transpose())
+        .collect()
+}
+
+/// One-row table from final aggregate scalars.
+fn scalar_table(scalars: &[Scalar], schema: &Schema) -> Table {
+    let cols = scalars
+        .iter()
+        .zip(schema.fields.iter())
+        .map(|(s, f)| Array::from_scalars(std::slice::from_ref(s), f.data_type))
+        .collect();
+    Table::new(schema.clone(), cols)
 }
 
 fn lower_agg(f: AggFunc) -> AggKind {
@@ -411,7 +943,10 @@ mod tests {
                     name: "s".into(),
                 }],
             )
-            .sort(vec![SortExpr { expr: expr::col(1), ascending: true }])
+            .sort(vec![SortExpr {
+                expr: expr::col(1),
+                ascending: true,
+            }])
             .limit(0, Some(1))
             .build();
         let out = e.execute(&plan).unwrap();
@@ -445,8 +980,16 @@ mod tests {
             .aggregate(
                 vec![],
                 vec![
-                    AggExpr { func: AggFunc::Sum, input: Some(expr::col(2)), name: "s".into() },
-                    AggExpr { func: AggFunc::CountStar, input: None, name: "n".into() },
+                    AggExpr {
+                        func: AggFunc::Sum,
+                        input: Some(expr::col(2)),
+                        name: "s".into(),
+                    },
+                    AggExpr {
+                        func: AggFunc::CountStar,
+                        input: None,
+                        name: "n".into(),
+                    },
                 ],
             )
             .build();
@@ -464,7 +1007,11 @@ mod tests {
         let plan = scan()
             .aggregate(
                 vec![],
-                vec![AggExpr { func: AggFunc::Avg, input: Some(expr::col(2)), name: "a".into() }],
+                vec![AggExpr {
+                    func: AggFunc::Avg,
+                    input: Some(expr::col(2)),
+                    name: "a".into(),
+                }],
             )
             .build();
         assert!(matches!(e.execute(&plan), Err(SiriusError::Unsupported(_))));
@@ -474,7 +1021,10 @@ mod tests {
     fn missing_table_error() {
         let e = SiriusEngine::new(catalog::gh200_gpu());
         let plan = scan().build();
-        assert!(matches!(e.execute(&plan), Err(SiriusError::TableNotCached(_))));
+        assert!(matches!(
+            e.execute(&plan),
+            Err(SiriusError::TableNotCached(_))
+        ));
     }
 
     #[test]
@@ -487,15 +1037,161 @@ mod tests {
             vec![Array::from_i64((0..100_000).collect::<Vec<_>>())],
         );
         e.load_table("t", &t);
-        let plan = PlanBuilder::scan(
-            "t",
-            Schema::new(vec![Field::new("k", DataType::Int64)]),
-        )
-        .aggregate(
-            vec![expr::col(0)],
-            vec![AggExpr { func: AggFunc::CountStar, input: None, name: "n".into() }],
-        )
-        .build();
+        let plan = PlanBuilder::scan("t", Schema::new(vec![Field::new("k", DataType::Int64)]))
+            .aggregate(
+                vec![expr::col(0)],
+                vec![AggExpr {
+                    func: AggFunc::CountStar,
+                    input: None,
+                    name: "n".into(),
+                }],
+            )
+            .build();
         assert!(matches!(e.execute(&plan), Err(SiriusError::OutOfMemory(_))));
+    }
+
+    // -- morsel-driven execution ------------------------------------------
+
+    /// Morsel partitioning on vs. the whole-column single walk must produce
+    /// identical tables, for every streaming + breaker shape.
+    #[test]
+    fn morsel_execution_matches_whole_column() {
+        let plans = vec![
+            scan().build(),
+            scan()
+                .filter(expr::gt(expr::col(2), expr::lit(Scalar::Float64(15.0))))
+                .project(vec![(expr::col(0), "k".into()), (expr::col(2), "v".into())])
+                .build(),
+            scan()
+                .join(
+                    scan(),
+                    JoinKind::Inner,
+                    vec![expr::col(1)],
+                    vec![expr::col(1)],
+                    None,
+                )
+                .build(),
+            scan()
+                .join(
+                    scan(),
+                    JoinKind::Semi,
+                    vec![expr::col(0)],
+                    vec![expr::col(0)],
+                    None,
+                )
+                .build(),
+            scan()
+                .aggregate(
+                    vec![expr::col(1)],
+                    vec![
+                        AggExpr {
+                            func: AggFunc::Sum,
+                            input: Some(expr::col(2)),
+                            name: "s".into(),
+                        },
+                        AggExpr {
+                            func: AggFunc::Avg,
+                            input: Some(expr::col(2)),
+                            name: "a".into(),
+                        },
+                        AggExpr {
+                            func: AggFunc::CountStar,
+                            input: None,
+                            name: "n".into(),
+                        },
+                    ],
+                )
+                .build(),
+            scan()
+                .aggregate(
+                    vec![],
+                    vec![
+                        AggExpr {
+                            func: AggFunc::Min,
+                            input: Some(expr::col(2)),
+                            name: "lo".into(),
+                        },
+                        AggExpr {
+                            func: AggFunc::Avg,
+                            input: Some(expr::col(2)),
+                            name: "a".into(),
+                        },
+                    ],
+                )
+                .build(),
+        ];
+        for morsel_rows in [1, 3] {
+            let parallel = engine_with_data().with_morsel_rows(morsel_rows);
+            let whole = engine_with_data().with_morsel_rows(usize::MAX);
+            for plan in &plans {
+                let a = parallel.execute(plan).unwrap();
+                let b = whole.execute(plan).unwrap();
+                assert_eq!(a, b, "morsel_rows={morsel_rows} plan={plan:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn morsels_overlap_on_streams() {
+        // 4 equal morsels on 4 streams: the streamed portion of the
+        // pipeline overlaps, so device time lands under the single-walk
+        // time for the same query. Large enough that the memory-bound
+        // kernel time dwarfs per-task dispatch overhead.
+        let rows: usize = 1 << 22;
+        let make = |morsel_rows: usize| {
+            let e = SiriusEngine::new(catalog::gh200_gpu()).with_morsel_rows(morsel_rows);
+            let t = Table::new(
+                Schema::new(vec![Field::new("k", DataType::Int64)]),
+                vec![Array::from_i64((0..rows as i64).collect::<Vec<_>>())],
+            );
+            e.load_table("t", &t);
+            e.device().reset();
+            e
+        };
+        let plan = PlanBuilder::scan("t", Schema::new(vec![Field::new("k", DataType::Int64)]))
+            .filter(expr::gt(expr::col(0), expr::lit(Scalar::Int64(-1))))
+            .build();
+
+        let whole = make(usize::MAX);
+        whole.execute(&plan).unwrap();
+        let serial = whole.device().elapsed();
+
+        let parallel = make(rows / 4);
+        parallel.execute(&plan).unwrap();
+        let overlapped = parallel.device().elapsed();
+
+        assert!(
+            overlapped < serial,
+            "4-way morsels {overlapped:?} should beat single walk {serial:?}"
+        );
+        let stats = parallel.morsel_stats();
+        assert_eq!(stats.morsels, 4);
+        assert!(stats.tasks >= 4);
+        assert!((stats.worker_utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dispatch_charge_uses_device_launch_overhead() {
+        let e = engine_with_data().with_morsel_rows(1);
+        let overhead = e.device().spec().launch_overhead_ns;
+        let before = e.device().breakdown();
+        let stats_before = e.morsel_stats();
+        e.execute(&scan().build()).unwrap();
+        let other = e
+            .device()
+            .breakdown()
+            .since(&before)
+            .get(CostCategory::Other);
+        let delta = e.morsel_stats().since(&stats_before);
+        assert_eq!(delta.morsels, 4); // one per row
+        assert_eq!(delta.tasks, 4);
+        // The pipeline dispatch is serial at the device's launch overhead;
+        // the 4 task dispatches land one per stream and overlap, so the
+        // total stays well under the fully-serialized 5× accounting.
+        assert!(other >= Duration::from_nanos(overhead));
+        assert!(
+            other < Duration::from_nanos(overhead * 5),
+            "task dispatch should overlap across streams ({other:?})"
+        );
     }
 }

@@ -26,7 +26,11 @@ pub struct ExchangeService {
 impl ExchangeService {
     /// Wrap a communicator for the node running on `device`.
     pub fn new(comm: Communicator, device: Device) -> Self {
-        Self { comm, device, registry: HashMap::new() }
+        Self {
+            comm,
+            device,
+            registry: HashMap::new(),
+        }
     }
 
     /// This node's rank.
@@ -70,8 +74,9 @@ impl ExchangeService {
                 .map_err(|e| SiriusError::Exchange(e.to_string()))?,
             ExchangeKind::MultiCast { targets } => {
                 let world = self.comm.world();
-                let mut parts: Vec<Table> =
-                    (0..world).map(|_| Table::empty(local.schema().clone())).collect();
+                let mut parts: Vec<Table> = (0..world)
+                    .map(|_| Table::empty(local.schema().clone()))
+                    .collect();
                 for &t in targets {
                     if t < world {
                         parts[t] = local.clone();
@@ -121,7 +126,10 @@ pub fn partition_by_hash(table: &Table, keys: &[Array], world: usize) -> Vec<Tab
         let h = hasher.hash_one(&key);
         buckets[(h % world as u64) as usize].push(row);
     }
-    buckets.into_iter().map(|rows| table.gather(&rows)).collect()
+    buckets
+        .into_iter()
+        .map(|rows| table.gather(&rows))
+        .collect()
 }
 
 #[cfg(test)]
@@ -169,7 +177,10 @@ mod tests {
                         keys: vec![sirius_plan::expr::col(0)],
                     };
                     let out = svc.exchange(&kind, local, &keys).unwrap();
-                    (out.num_rows(), device.breakdown().get(CostCategory::Exchange))
+                    (
+                        out.num_rows(),
+                        device.breakdown().get(CostCategory::Exchange),
+                    )
                 })
             })
             .collect();
@@ -188,8 +199,7 @@ mod tests {
                     let device = Device::new(catalog::a100_40gb());
                     let mut svc = ExchangeService::new(c, device);
                     let local = t(vec![svc.rank() as i64]);
-                    let out =
-                        svc.exchange(&ExchangeKind::Broadcast, local, &[]).unwrap();
+                    let out = svc.exchange(&ExchangeKind::Broadcast, local, &[]).unwrap();
                     out.num_rows()
                 })
             })

@@ -6,11 +6,13 @@
 //! integration suite cross-validates the two.
 
 use crate::Result;
-use sirius_columnar::{Array, DataType, Table};
+use sirius_columnar::{Array, DataType, Scalar, Schema, Table};
 use sirius_cudf::binary::{binary_op, in_list, like, BinaryOp, Datum};
 use sirius_cudf::unary::{case_when, cast, substring, unary_op, UnaryOp};
 use sirius_cudf::GpuContext;
+use sirius_hw::WorkProfile;
 use sirius_plan::{BinOp, Expr, UnOp};
+use std::collections::BTreeSet;
 
 fn lower_binop(op: BinOp) -> BinaryOp {
     match op {
@@ -69,7 +71,94 @@ impl Datum2 {
     }
 }
 
+/// How many per-node kernel launches a fully element-wise subtree would
+/// take, or `None` if any node falls outside libcudf's AST operator set
+/// (string payloads, LIKE, IN-list, CASE, SUBSTRING).
+fn fusable_kernels(expr: &Expr, schema: &Schema) -> Option<u64> {
+    match expr {
+        Expr::Column(i) => (schema.field(*i).data_type != DataType::Utf8).then_some(0),
+        Expr::Literal(s) => (!matches!(s, Scalar::Utf8(_))).then_some(0),
+        Expr::Binary { left, right, .. } => {
+            Some(fusable_kernels(left, schema)? + fusable_kernels(right, schema)? + 1)
+        }
+        Expr::Unary { input, .. } => Some(fusable_kernels(input, schema)? + 1),
+        Expr::Cast { input, to } if *to != DataType::Utf8 => {
+            Some(fusable_kernels(input, schema)? + 1)
+        }
+        _ => None,
+    }
+}
+
+/// Column indices a subtree reads (each streamed once by the fused kernel).
+fn collect_columns(expr: &Expr, out: &mut BTreeSet<usize>) {
+    match expr {
+        Expr::Column(i) => {
+            out.insert(*i);
+        }
+        Expr::Literal(_) => {}
+        Expr::Binary { left, right, .. } => {
+            collect_columns(left, out);
+            collect_columns(right, out);
+        }
+        Expr::Unary { input, .. } | Expr::Cast { input, .. } => collect_columns(input, out),
+        Expr::Like { input, .. } | Expr::InList { input, .. } | Expr::Substring { input, .. } => {
+            collect_columns(input, out)
+        }
+        Expr::Case {
+            branches,
+            otherwise,
+        } => {
+            for (c, v) in branches {
+                collect_columns(c, out);
+                collect_columns(v, out);
+            }
+            if let Some(o) = otherwise {
+                collect_columns(o, out);
+            }
+        }
+    }
+}
+
+/// Execute an element-wise subtree as ONE fused kernel, libcudf's
+/// `cudf::ast::compute_column` model: the interpreter runs the whole tree
+/// per row in registers, so the device streams each referenced column once,
+/// writes the result once, and pays a single launch — instead of one launch
+/// plus an intermediate materialization per operator node.
+fn fused_compute(ctx: &GpuContext, expr: &Expr, input: &Table, kernels: u64) -> Result<Array> {
+    let n = input.num_rows();
+    let quiet = ctx.muted();
+    let out = match lower(&quiet, expr, input)? {
+        Datum2::Col(a) => a,
+        Datum2::Lit(s) => {
+            let dt = s.data_type().unwrap_or(DataType::Bool);
+            Array::from_scalar(&s, dt, n)
+        }
+    };
+    let mut cols = BTreeSet::new();
+    collect_columns(expr, &mut cols);
+    let in_bytes: u64 = cols
+        .iter()
+        .map(|i| input.column(*i).byte_size() as u64)
+        .sum();
+    ctx.charge(
+        &WorkProfile::scan(in_bytes + out.byte_size() as u64)
+            .with_flops(kernels.saturating_mul(n as u64))
+            .with_rows(n as u64),
+    );
+    Ok(out)
+}
+
 fn lower(ctx: &GpuContext, expr: &Expr, input: &Table) -> Result<Datum2> {
+    // AST fusion: a contiguous element-wise subtree with 2+ operator nodes
+    // compiles to a single kernel. Muted contexts skip the check — they are
+    // already inside a fused region (and re-entering would recurse forever).
+    if !ctx.is_muted() {
+        if let Some(k) = fusable_kernels(expr, input.schema()) {
+            if k >= 2 {
+                return Ok(Datum2::Col(fused_compute(ctx, expr, input, k)?));
+            }
+        }
+    }
     let n = input.num_rows();
     Ok(match expr {
         Expr::Column(i) => Datum2::Col(input.column(*i).clone()),
@@ -77,7 +166,13 @@ fn lower(ctx: &GpuContext, expr: &Expr, input: &Table) -> Result<Datum2> {
         Expr::Binary { op, left, right } => {
             let l = lower(ctx, left, input)?;
             let r = lower(ctx, right, input)?;
-            Datum2::Col(binary_op(ctx, lower_binop(*op), &l.as_datum(), &r.as_datum(), n)?)
+            Datum2::Col(binary_op(
+                ctx,
+                lower_binop(*op),
+                &l.as_datum(),
+                &r.as_datum(),
+                n,
+            )?)
         }
         Expr::Unary { op, input: e } => {
             let v = lower(ctx, e, input)?;
@@ -87,21 +182,34 @@ fn lower(ctx: &GpuContext, expr: &Expr, input: &Table) -> Result<Datum2> {
             let v = lower(ctx, e, input)?;
             Datum2::Col(cast(ctx, &v.as_datum(), *to, n)?)
         }
-        Expr::Like { input: e, pattern, negated } => {
+        Expr::Like {
+            input: e,
+            pattern,
+            negated,
+        } => {
             let v = lower(ctx, e, input)?;
             Datum2::Col(like(ctx, &v.as_datum(), pattern, *negated, n)?)
         }
-        Expr::InList { input: e, list, negated } => {
+        Expr::InList {
+            input: e,
+            list,
+            negated,
+        } => {
             let v = lower(ctx, e, input)?;
             Datum2::Col(in_list(ctx, &v.as_datum(), list, *negated, n)?)
         }
-        Expr::Case { branches, otherwise } => {
+        Expr::Case {
+            branches,
+            otherwise,
+        } => {
             let lowered: Vec<(Datum2, Datum2)> = branches
                 .iter()
                 .map(|(c, v)| Ok((lower(ctx, c, input)?, lower(ctx, v, input)?)))
                 .collect::<Result<_>>()?;
-            let pairs: Vec<(Datum<'_>, Datum<'_>)> =
-                lowered.iter().map(|(c, v)| (c.as_datum(), v.as_datum())).collect();
+            let pairs: Vec<(Datum<'_>, Datum<'_>)> = lowered
+                .iter()
+                .map(|(c, v)| (c.as_datum(), v.as_datum()))
+                .collect();
             let other = match otherwise {
                 Some(o) => lower(ctx, o, input)?,
                 None => Datum2::Lit(sirius_columnar::Scalar::Null),
@@ -111,7 +219,11 @@ fn lower(ctx: &GpuContext, expr: &Expr, input: &Table) -> Result<Datum2> {
                 .map_err(crate::SiriusError::Plan)?;
             Datum2::Col(case_when(ctx, &pairs, &other.as_datum(), out_type, n)?)
         }
-        Expr::Substring { input: e, start, len } => {
+        Expr::Substring {
+            input: e,
+            start,
+            len,
+        } => {
             let v = lower(ctx, e, input)?;
             Datum2::Col(substring(ctx, &v.as_datum(), *start, *len, n)?)
         }
@@ -135,7 +247,10 @@ mod tests {
                 Field::new("i", DataType::Int64),
                 Field::new("s", DataType::Utf8),
             ]),
-            vec![Array::from_i64([1, 2, 3]), Array::from_strs(["a", "bb", "ccc"])],
+            vec![
+                Array::from_i64([1, 2, 3]),
+                Array::from_strs(["a", "bb", "ccc"]),
+            ],
         )
     }
 

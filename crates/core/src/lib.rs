@@ -37,8 +37,8 @@ pub mod pipeline;
 
 pub use buffer::BufferManager;
 pub use context::{HostEngine, SiriusContext};
-pub use engine::SiriusEngine;
-pub use metrics::QueryReport;
+pub use engine::{MorselConfig, SiriusEngine};
+pub use metrics::{MorselStats, QueryReport};
 
 /// Errors from the GPU engine. `Fallback`-class errors route the query back
 /// to the host database (§3.2.2's graceful fallback).

@@ -3,6 +3,50 @@
 use sirius_hw::{CostCategory, TimeBreakdown};
 use std::time::Duration;
 
+/// Morsel-scheduler counters: how a query's work was partitioned and how
+/// evenly it landed on the device streams. Monotonic (like the time
+/// ledger); per-query numbers come from [`MorselStats::since`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MorselStats {
+    /// Morsels the sources were partitioned into.
+    pub morsels: u64,
+    /// Tasks dispatched through the global queue (one per morsel per
+    /// pipeline wave, plus singleton tasks like join build sides).
+    pub tasks: u64,
+    /// Tasks dispatched per device stream (round-robin by morsel index).
+    pub tasks_per_stream: Vec<u64>,
+}
+
+impl MorselStats {
+    /// Counters accumulated since `before` was snapshotted.
+    pub fn since(&self, before: &MorselStats) -> MorselStats {
+        let mut tasks_per_stream: Vec<u64> = self.tasks_per_stream.clone();
+        for (i, b) in before.tasks_per_stream.iter().enumerate() {
+            if let Some(s) = tasks_per_stream.get_mut(i) {
+                *s = s.saturating_sub(*b);
+            }
+        }
+        MorselStats {
+            morsels: self.morsels.saturating_sub(before.morsels),
+            tasks: self.tasks.saturating_sub(before.tasks),
+            tasks_per_stream,
+        }
+    }
+
+    /// How evenly tasks spread over the streams: mean over max of the
+    /// per-stream task counts, in `[0, 1]`. `1.0` is a perfectly balanced
+    /// fan-out; `1/streams` means one stream did all the work (the
+    /// single-walk degenerate case); `0.0` means no tasks ran at all.
+    pub fn worker_utilization(&self) -> f64 {
+        let max = self.tasks_per_stream.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self.tasks_per_stream.iter().sum();
+        sum as f64 / (max as f64 * self.tasks_per_stream.len() as f64)
+    }
+}
+
 /// What happened during one query execution.
 #[derive(Debug, Clone)]
 pub struct QueryReport {
@@ -16,6 +60,14 @@ pub struct QueryReport {
     pub breakdown: TimeBreakdown,
     /// Pipelines the plan decomposed into.
     pub pipelines: usize,
+    /// Morsels the pipeline sources were partitioned into.
+    pub morsels: u64,
+    /// Tasks dispatched through the global queue.
+    pub tasks: u64,
+    /// Worker threads (= device streams) the engine ran with.
+    pub workers: usize,
+    /// Stream balance in `[0, 1]` (see [`MorselStats::worker_utilization`]).
+    pub worker_utilization: f64,
     /// Reason the query fell back to the host, if it did.
     pub fallback_reason: Option<String>,
 }
@@ -36,9 +88,7 @@ impl QueryReport {
         CostCategory::ALL
             .iter()
             .copied()
-            .max_by(|a, b| {
-                self.breakdown.get(*a).cmp(&self.breakdown.get(*b))
-            })
+            .max_by(|a, b| self.breakdown.get(*a).cmp(&self.breakdown.get(*b)))
             .filter(|c| self.breakdown.get(*c) > Duration::ZERO)
     }
 
@@ -50,6 +100,13 @@ impl QueryReport {
             .iter()
             .map(|(c, d)| format!("{}={:.2}ms", c.label(), d.as_secs_f64() * 1e3))
             .collect();
+        parts.push(format!(
+            "morsels={} tasks={} workers={} util={:.0}%",
+            self.morsels,
+            self.tasks,
+            self.workers,
+            self.worker_utilization * 100.0
+        ));
         if let Some(r) = &self.fallback_reason {
             parts.push(format!("fallback={r}"));
         }
@@ -77,6 +134,10 @@ mod tests {
             elapsed: Duration::from_millis(8),
             breakdown: b,
             pipelines: 3,
+            morsels: 8,
+            tasks: 16,
+            workers: 4,
+            worker_utilization: 1.0,
             fallback_reason: None,
         }
     }
@@ -93,6 +154,7 @@ mod tests {
         let s = report().summary();
         assert!(s.contains("sirius: 10 rows"));
         assert!(s.contains("join=6.00ms"));
+        assert!(s.contains("morsels=8 tasks=16 workers=4 util=100%"));
     }
 
     #[test]
@@ -103,9 +165,40 @@ mod tests {
             elapsed: Duration::ZERO,
             breakdown: TimeBreakdown::default(),
             pipelines: 1,
+            morsels: 0,
+            tasks: 0,
+            workers: 1,
+            worker_utilization: 0.0,
             fallback_reason: None,
         };
         assert_eq!(r.dominant_category(), None);
         assert_eq!(r.share(CostCategory::Join), 0.0);
+    }
+
+    #[test]
+    fn morsel_stats_delta_and_utilization() {
+        let before = MorselStats {
+            morsels: 2,
+            tasks: 2,
+            tasks_per_stream: vec![1, 1],
+        };
+        let after = MorselStats {
+            morsels: 10,
+            tasks: 18,
+            tasks_per_stream: vec![5, 5, 4, 4],
+        };
+        let d = after.since(&before);
+        assert_eq!(d.morsels, 8);
+        assert_eq!(d.tasks, 16);
+        assert_eq!(d.tasks_per_stream, vec![4, 4, 4, 4]);
+        assert!((d.worker_utilization() - 1.0).abs() < 1e-9);
+
+        let lopsided = MorselStats {
+            morsels: 1,
+            tasks: 1,
+            tasks_per_stream: vec![1, 0, 0, 0],
+        };
+        assert!((lopsided.worker_utilization() - 0.25).abs() < 1e-9);
+        assert_eq!(MorselStats::default().worker_utilization(), 0.0);
     }
 }

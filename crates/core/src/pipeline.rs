@@ -152,7 +152,10 @@ impl TaskQueue {
                 })
             })
             .collect();
-        Self { inner, workers: handles }
+        Self {
+            inner,
+            workers: handles,
+        }
     }
 
     /// Number of worker threads.
@@ -167,7 +170,9 @@ impl TaskQueue {
     }
 
     /// Run `f` as a queued task and wait for its result, helping drain the
-    /// queue while waiting.
+    /// queue while waiting. Once the queue is empty the waiter parks on the
+    /// result channel — the task is necessarily running on (or done by)
+    /// another thread, so polling would only burn the CPU the workers need.
     pub fn run<R: Send + 'static>(&self, f: impl FnOnce() -> R + Send + 'static) -> R {
         let (tx, rx) = crossbeam::channel::bounded(1);
         self.submit(Box::new(move || {
@@ -181,14 +186,52 @@ impl TaskQueue {
             let stolen = self.inner.tasks.lock().pop_front();
             match stolen {
                 Some(t) => t(),
+                None => return rx.recv().expect("queued task dropped unexecuted"),
+            }
+        }
+    }
+
+    /// Run a batch of tasks and wait for all results, in submission order.
+    /// The calling thread helps drain the queue (these tasks or anyone
+    /// else's) and blocks on the result channel only when the queue is
+    /// empty. This is the morsel dispatch primitive: one call per pipeline,
+    /// one task per morsel.
+    pub fn run_all<R: Send + 'static>(
+        &self,
+        fs: Vec<Box<dyn FnOnce() -> R + Send + 'static>>,
+    ) -> Vec<R> {
+        let n = fs.len();
+        let (tx, rx) = crossbeam::channel::unbounded();
+        for (i, f) in fs.into_iter().enumerate() {
+            let tx = tx.clone();
+            self.submit(Box::new(move || {
+                let _ = tx.send((i, f()));
+            }));
+        }
+        drop(tx);
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut got = 0;
+        while got < n {
+            while let Ok((i, r)) = rx.try_recv() {
+                out[i] = Some(r);
+                got += 1;
+            }
+            if got == n {
+                break;
+            }
+            let stolen = self.inner.tasks.lock().pop_front();
+            match stolen {
+                Some(t) => t(),
                 None => {
-                    if let Ok(r) = rx.recv_timeout(std::time::Duration::from_micros(100))
-                    {
-                        return r;
-                    }
+                    let (i, r) = rx.recv().expect("queued task dropped unexecuted");
+                    out[i] = Some(r);
+                    got += 1;
                 }
             }
         }
+        out.into_iter()
+            .map(|o| o.expect("all results collected"))
+            .collect()
     }
 }
 
@@ -211,10 +254,7 @@ mod tests {
     use sirius_plan::{AggFunc, JoinKind};
 
     fn scan() -> PlanBuilder {
-        PlanBuilder::scan(
-            "t",
-            Schema::new(vec![Field::new("k", DataType::Int64)]),
-        )
+        PlanBuilder::scan("t", Schema::new(vec![Field::new("k", DataType::Int64)]))
     }
 
     #[test]
@@ -243,9 +283,16 @@ mod tests {
         let plan = scan()
             .aggregate(
                 vec![col(0)],
-                vec![AggExpr { func: AggFunc::CountStar, input: None, name: "n".into() }],
+                vec![AggExpr {
+                    func: AggFunc::CountStar,
+                    input: None,
+                    name: "n".into(),
+                }],
             )
-            .sort(vec![sirius_plan::expr::SortExpr { expr: col(0), ascending: true }])
+            .sort(vec![sirius_plan::expr::SortExpr {
+                expr: col(0),
+                ascending: true,
+            }])
             .build();
         let p = decompose(&plan);
         // scan→agg | agg-out→sort | sort-out→result
@@ -274,6 +321,37 @@ mod tests {
             q.run(move || 1 + nest(&q2, depth - 1))
         }
         assert_eq!(nest(&q, 8), 8);
+    }
+
+    #[test]
+    fn run_all_preserves_submission_order() {
+        let q = TaskQueue::new(3);
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..100)
+            .map(|i| {
+                let f: Box<dyn FnOnce() -> usize + Send> = Box::new(move || i * i);
+                f
+            })
+            .collect();
+        let out = q.run_all(tasks);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_all_nested_inside_tasks() {
+        // A task that itself fans out a batch must not deadlock even with a
+        // single worker: waiters help drain the queue.
+        let q = Arc::new(TaskQueue::new(1));
+        let q2 = Arc::clone(&q);
+        let total = q.run(move || {
+            let tasks: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..16u64)
+                .map(|i| {
+                    let f: Box<dyn FnOnce() -> u64 + Send> = Box::new(move || i);
+                    f
+                })
+                .collect();
+            q2.run_all(tasks).into_iter().sum::<u64>()
+        });
+        assert_eq!(total, (0..16).sum::<u64>());
     }
 
     #[test]

@@ -57,9 +57,8 @@ impl BinaryOp {
     pub fn result_type(&self, l: DataType, r: DataType) -> Option<DataType> {
         use DataType::*;
         if self.is_comparison() {
-            let comparable = l == r
-                || (l.is_numeric() && r.is_numeric())
-                || matches!((l, r), (Date32, Date32));
+            let comparable =
+                l == r || (l.is_numeric() && r.is_numeric()) || matches!((l, r), (Date32, Date32));
             return comparable.then_some(Bool);
         }
         if self.is_logical() {
@@ -72,9 +71,7 @@ impl BinaryOp {
                 _ => None,
             },
             _ => match (l, r) {
-                (Float64, _) | (_, Float64) if l.is_numeric() && r.is_numeric() => {
-                    Some(Float64)
-                }
+                (Float64, _) | (_, Float64) if l.is_numeric() && r.is_numeric() => Some(Float64),
                 (Int32 | Int64, Int32 | Int64) => Some(Int64),
                 // date +/- integer days
                 (Date32, Int32 | Int64) if matches!(self, BinaryOp::Add | BinaryOp::Sub) => {
@@ -219,11 +216,14 @@ pub fn binary_op(
     num_rows: usize,
 ) -> Result<Array> {
     // A NULL literal operand adopts the other side's type for typing.
-    let lt = left.data_type().or(right.data_type()).unwrap_or(DataType::Bool);
+    let lt = left
+        .data_type()
+        .or(right.data_type())
+        .unwrap_or(DataType::Bool);
     let rt = right.data_type().unwrap_or(lt);
-    let out_type = op.result_type(lt, rt).ok_or_else(|| {
-        KernelError::UnsupportedTypes(format!("{op:?} on ({lt}, {rt})"))
-    })?;
+    let out_type = op
+        .result_type(lt, rt)
+        .ok_or_else(|| KernelError::UnsupportedTypes(format!("{op:?} on ({lt}, {rt})")))?;
 
     let mut out = Vec::with_capacity(num_rows);
     for i in 0..num_rows {
@@ -316,7 +316,7 @@ pub fn in_list(
         out.push(if v.is_null() {
             Scalar::Null
         } else {
-            let found = list.iter().any(|s| *s == v);
+            let found = list.contains(&v);
             Scalar::Bool(found != negated)
         });
     }
@@ -432,8 +432,14 @@ mod tests {
     fn null_propagation_in_comparison() {
         let ctx = test_ctx();
         let a = Array::from_i64([1]);
-        let r = binary_op(&ctx, BinaryOp::Eq, &col(&a), &Datum::Scalar(Scalar::Null), 1)
-            .unwrap();
+        let r = binary_op(
+            &ctx,
+            BinaryOp::Eq,
+            &col(&a),
+            &Datum::Scalar(Scalar::Null),
+            1,
+        )
+        .unwrap();
         assert_eq!(r.scalar(0), Scalar::Null);
     }
 
@@ -441,8 +447,13 @@ mod tests {
     fn unsupported_types_error() {
         let ctx = test_ctx();
         let a = Array::from_strs(["x"]);
-        let err =
-            binary_op(&ctx, BinaryOp::Add, &col(&a), &Datum::Scalar(Scalar::Int64(1)), 1);
+        let err = binary_op(
+            &ctx,
+            BinaryOp::Add,
+            &col(&a),
+            &Datum::Scalar(Scalar::Int64(1)),
+            1,
+        );
         assert!(matches!(err, Err(KernelError::UnsupportedTypes(_))));
     }
 

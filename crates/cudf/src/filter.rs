@@ -34,8 +34,7 @@ pub fn gather(ctx: &GpuContext, table: &Table, indices: &[i32]) -> Table {
 /// Gather with null introduction (`None` index ⇒ null row), for outer joins.
 pub fn gather_opt(ctx: &GpuContext, table: &Table, indices: &[Option<i32>]) -> Table {
     let idx: Vec<Option<usize>> = indices.iter().map(|o| o.map(|i| i as usize)).collect();
-    let columns: Vec<Array> =
-        table.columns().iter().map(|c| c.gather_opt(&idx)).collect();
+    let columns: Vec<Array> = table.columns().iter().map(|c| c.gather_opt(&idx)).collect();
     let mut schema = table.schema().clone();
     for f in &mut schema.fields {
         f.nullable = true;
@@ -61,7 +60,10 @@ mod tests {
                 Field::new("k", DataType::Int64),
                 Field::new("s", DataType::Utf8),
             ]),
-            vec![Array::from_i64([1, 2, 3]), Array::from_strs(["a", "b", "c"])],
+            vec![
+                Array::from_i64([1, 2, 3]),
+                Array::from_strs(["a", "b", "c"]),
+            ],
         )
     }
 

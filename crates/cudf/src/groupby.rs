@@ -35,13 +35,10 @@ impl AggKind {
             AggKind::Sum => match input {
                 Some(DataType::Float64) => DataType::Float64,
                 Some(DataType::Int32 | DataType::Int64) => DataType::Int64,
-                other => {
-                    return Err(KernelError::UnsupportedTypes(format!("SUM on {other:?}")))
-                }
+                other => return Err(KernelError::UnsupportedTypes(format!("SUM on {other:?}"))),
             },
-            AggKind::Min | AggKind::Max => input.ok_or_else(|| {
-                KernelError::UnsupportedTypes("MIN/MAX need an input".into())
-            })?,
+            AggKind::Min | AggKind::Max => input
+                .ok_or_else(|| KernelError::UnsupportedTypes("MIN/MAX need an input".into()))?,
         })
     }
 }
@@ -239,8 +236,7 @@ pub fn group_by(
         .collect();
 
     let mut finished: Vec<Vec<Scalar>> = (0..aggs.len()).map(|_| Vec::new()).collect();
-    let mut states_by_group: Vec<Option<Vec<AggState>>> =
-        states.into_iter().map(Some).collect();
+    let mut states_by_group: Vec<Option<Vec<AggState>>> = states.into_iter().map(Some).collect();
     for &g in &output_order {
         let group_states = states_by_group[g].take().expect("each group emitted once");
         for (ai, st) in group_states.into_iter().enumerate() {
@@ -261,14 +257,20 @@ pub fn group_by(
     // the same accumulators — surcharge mirrors the paper's Q1 observation.
     // Sort path: n log n key-exchange passes (the paper's Q10/Q18 penalty).
     let input_bytes = key_bytes(keys)
-        + aggs.iter().filter_map(|a| a.input).map(|c| c.byte_size() as u64).sum::<u64>();
+        + aggs
+            .iter()
+            .filter_map(|a| a.input)
+            .map(|c| c.byte_size() as u64)
+            .sum::<u64>();
     let mut work = WorkProfile::scan(input_bytes)
         .with_random((num_rows * 4 * aggs.len().max(1)) as u64)
         .with_flops((num_rows * (aggs.len() + keys.len())) as u64)
         .with_rows(num_rows as u64);
     if sort_based {
         let log_n = (num_rows.max(2) as f64).log2().ceil() as u64;
-        work = work.with_streamed(key_bytes(keys) * log_n / 2).with_launches(4);
+        work = work
+            .with_streamed(key_bytes(keys) * log_n / 2)
+            .with_launches(4);
     } else if num_groups > 0 && num_groups < 256 {
         // Atomic contention surcharge: the fewer the groups, the hotter the
         // accumulator cache lines.
@@ -277,7 +279,149 @@ pub fn group_by(
     }
     ctx.charge(&work);
 
-    Ok(GroupByResult { key_columns, agg_columns, num_groups, sort_based })
+    Ok(GroupByResult {
+        key_columns,
+        agg_columns,
+        num_groups,
+        sort_based,
+    })
+}
+
+/// One partial aggregate computed per morsel.
+#[derive(Debug, Clone, Copy)]
+pub struct PartialSpec {
+    /// Aggregate to run on each morsel.
+    pub kind: AggKind,
+    /// Index of the originating aggregate request, for input resolution.
+    pub source: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FinalSpec {
+    /// Final column is merged partial column `i` unchanged.
+    Passthrough(usize),
+    /// AVG decomposed into partials: divide merged sum by merged count.
+    AvgOf {
+        /// Partial column holding the per-group sum.
+        sum: usize,
+        /// Partial column holding the per-group non-null count.
+        count: usize,
+    },
+}
+
+/// Decomposition of a set of aggregates into morsel-wise partials.
+///
+/// Morsel-driven group-by computes per-morsel partial tables, concatenates
+/// them, and merges with a second keyed aggregation:
+///
+/// * `SUM` partials merge with `SUM`;
+/// * `COUNT`/`COUNT(*)` partials merge with `SUM` (counts add);
+/// * `MIN`/`MAX` partials merge with themselves;
+/// * `AVG` decomposes into `SUM` + `COUNT` partials and divides at the end.
+///
+/// `COUNT(DISTINCT)` cannot be decomposed without shipping whole distinct
+/// sets, so [`PartialAggPlan::new`] returns `None` and the engine falls back
+/// to the single-pass whole-column path.
+pub struct PartialAggPlan {
+    partials: Vec<PartialSpec>,
+    finals: Vec<FinalSpec>,
+}
+
+impl PartialAggPlan {
+    /// Build the decomposition, or `None` if any aggregate cannot be
+    /// computed morsel-wise.
+    pub fn new(kinds: &[AggKind]) -> Option<PartialAggPlan> {
+        let mut partials = Vec::new();
+        let mut finals = Vec::new();
+        for (source, kind) in kinds.iter().enumerate() {
+            match kind {
+                AggKind::CountDistinct => return None,
+                AggKind::Avg => {
+                    let sum = partials.len();
+                    partials.push(PartialSpec {
+                        kind: AggKind::Sum,
+                        source,
+                    });
+                    partials.push(PartialSpec {
+                        kind: AggKind::Count,
+                        source,
+                    });
+                    finals.push(FinalSpec::AvgOf {
+                        sum,
+                        count: sum + 1,
+                    });
+                }
+                k => {
+                    finals.push(FinalSpec::Passthrough(partials.len()));
+                    partials.push(PartialSpec { kind: *k, source });
+                }
+            }
+        }
+        Some(PartialAggPlan { partials, finals })
+    }
+
+    /// The partial aggregates to run on each morsel, in partial-column order.
+    pub fn partials(&self) -> &[PartialSpec] {
+        &self.partials
+    }
+
+    /// The aggregate that merges partial column `i` across morsels.
+    pub fn merge_kind(&self, i: usize) -> AggKind {
+        match self.partials[i].kind {
+            AggKind::Sum | AggKind::Count | AggKind::CountStar => AggKind::Sum,
+            AggKind::Min => AggKind::Min,
+            AggKind::Max => AggKind::Max,
+            k => unreachable!("no partial of kind {k:?}"),
+        }
+    }
+
+    /// Produce the final per-original-aggregate columns from the merged
+    /// partial columns (one array per partial, one row per group).
+    pub fn finalize(&self, ctx: &GpuContext, merged: &[Array]) -> Result<Vec<Array>> {
+        let mut out = Vec::with_capacity(self.finals.len());
+        for f in &self.finals {
+            match *f {
+                FinalSpec::Passthrough(i) => out.push(merged[i].clone()),
+                FinalSpec::AvgOf { sum, count } => {
+                    let (s, n) = (&merged[sum], &merged[count]);
+                    let scalars: Vec<Scalar> = (0..s.len())
+                        .map(|g| match (s.scalar(g).as_f64(), n.scalar(g).as_i64()) {
+                            (Some(total), Some(rows)) if rows > 0 => {
+                                Scalar::Float64(total / rows as f64)
+                            }
+                            _ => Scalar::Null,
+                        })
+                        .collect();
+                    ctx.charge(
+                        &WorkProfile::scan((s.len() * 16) as u64)
+                            .with_flops(s.len() as u64)
+                            .with_rows(s.len() as u64),
+                    );
+                    out.push(Array::from_scalars(&scalars, DataType::Float64));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Scalar form of [`finalize`](Self::finalize) for ungrouped reductions:
+    /// `merged` holds one merged scalar per partial.
+    pub fn finalize_scalars(&self, merged: &[Scalar]) -> Vec<Scalar> {
+        self.finals
+            .iter()
+            .map(|f| match *f {
+                FinalSpec::Passthrough(i) => merged[i].clone(),
+                FinalSpec::AvgOf { sum, count } => {
+                    match (merged[sum].as_f64(), merged[count].as_i64()) {
+                        (Some(total), Some(rows)) if rows > 0 => {
+                            Scalar::Float64(total / rows as f64)
+                        }
+                        _ => Scalar::Null,
+                    }
+                }
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -294,8 +438,14 @@ mod tests {
             &ctx,
             &[&k],
             &[
-                AggRequest { kind: AggKind::Sum, input: Some(&v) },
-                AggRequest { kind: AggKind::CountStar, input: None },
+                AggRequest {
+                    kind: AggKind::Sum,
+                    input: Some(&v),
+                },
+                AggRequest {
+                    kind: AggKind::CountStar,
+                    input: None,
+                },
             ],
             5,
         )
@@ -317,7 +467,10 @@ mod tests {
         let r = group_by(
             &ctx,
             &[&k],
-            &[AggRequest { kind: AggKind::Sum, input: Some(&v) }],
+            &[AggRequest {
+                kind: AggKind::Sum,
+                input: Some(&v),
+            }],
             3,
         )
         .unwrap();
@@ -336,10 +489,22 @@ mod tests {
             &ctx,
             &[&k],
             &[
-                AggRequest { kind: AggKind::Avg, input: Some(&v) },
-                AggRequest { kind: AggKind::Min, input: Some(&v) },
-                AggRequest { kind: AggKind::Max, input: Some(&v) },
-                AggRequest { kind: AggKind::Count, input: Some(&v) },
+                AggRequest {
+                    kind: AggKind::Avg,
+                    input: Some(&v),
+                },
+                AggRequest {
+                    kind: AggKind::Min,
+                    input: Some(&v),
+                },
+                AggRequest {
+                    kind: AggKind::Max,
+                    input: Some(&v),
+                },
+                AggRequest {
+                    kind: AggKind::Count,
+                    input: Some(&v),
+                },
             ],
             3,
         )
@@ -367,9 +532,18 @@ mod tests {
             &ctx,
             &[&k],
             &[
-                AggRequest { kind: AggKind::CountDistinct, input: Some(&v) },
-                AggRequest { kind: AggKind::Count, input: Some(&v) },
-                AggRequest { kind: AggKind::CountStar, input: None },
+                AggRequest {
+                    kind: AggKind::CountDistinct,
+                    input: Some(&v),
+                },
+                AggRequest {
+                    kind: AggKind::Count,
+                    input: Some(&v),
+                },
+                AggRequest {
+                    kind: AggKind::CountStar,
+                    input: None,
+                },
             ],
             4,
         )
@@ -387,7 +561,10 @@ mod tests {
         let r = group_by(
             &ctx,
             &[&k1, &k2],
-            &[AggRequest { kind: AggKind::CountStar, input: None }],
+            &[AggRequest {
+                kind: AggKind::CountStar,
+                input: None,
+            }],
             3,
         )
         .unwrap();
@@ -404,7 +581,10 @@ mod tests {
         let r = group_by(
             &ctx,
             &[&k],
-            &[AggRequest { kind: AggKind::CountStar, input: None }],
+            &[AggRequest {
+                kind: AggKind::CountStar,
+                input: None,
+            }],
             3,
         )
         .unwrap();
@@ -423,7 +603,10 @@ mod tests {
         group_by(
             &ctx1,
             &[&few],
-            &[AggRequest { kind: AggKind::CountStar, input: None }],
+            &[AggRequest {
+                kind: AggKind::CountStar,
+                input: None,
+            }],
             n,
         )
         .unwrap();
@@ -432,11 +615,126 @@ mod tests {
         group_by(
             &ctx2,
             &[&many],
-            &[AggRequest { kind: AggKind::CountStar, input: None }],
+            &[AggRequest {
+                kind: AggKind::CountStar,
+                input: None,
+            }],
             n,
         )
         .unwrap();
         assert!(ctx1.device().elapsed() > ctx2.device().elapsed());
+    }
+
+    #[test]
+    fn partial_merge_matches_single_pass() {
+        let ctx = test_ctx();
+        let keys: Vec<i64> = (0..50).map(|i| i % 5).collect();
+        let vals: Vec<Scalar> = (0..50)
+            .map(|i| {
+                if i % 7 == 0 {
+                    Scalar::Null
+                } else {
+                    Scalar::Int64(i)
+                }
+            })
+            .collect();
+        let k = Array::from_i64(keys.iter().copied());
+        let v = Array::from_scalars(&vals, DataType::Int64);
+        let kinds = [
+            AggKind::Sum,
+            AggKind::Avg,
+            AggKind::Min,
+            AggKind::Max,
+            AggKind::Count,
+        ];
+        let whole = group_by(
+            &ctx,
+            &[&k],
+            &kinds
+                .iter()
+                .map(|&kind| AggRequest {
+                    kind,
+                    input: Some(&v),
+                })
+                .collect::<Vec<_>>(),
+            50,
+        )
+        .unwrap();
+
+        // Morsel-wise: partials over three uneven chunks, concatenated,
+        // merged with a second group-by, finalized.
+        let plan = PartialAggPlan::new(&kinds).unwrap();
+        let mut part_keys: Vec<Scalar> = Vec::new();
+        let mut part_cols: Vec<Vec<Scalar>> = vec![Vec::new(); plan.partials().len()];
+        for chunk in [0..13, 13..31, 31..50] {
+            let mk = Array::from_i64(keys[chunk.clone()].iter().copied());
+            let mv = Array::from_scalars(&vals[chunk], DataType::Int64);
+            let reqs: Vec<AggRequest> = plan
+                .partials()
+                .iter()
+                .map(|p| AggRequest {
+                    kind: p.kind,
+                    input: Some(&mv),
+                })
+                .collect();
+            let partial = group_by(&ctx, &[&mk], &reqs, mk.len()).unwrap();
+            for g in 0..partial.num_groups {
+                part_keys.push(partial.key_columns[0].scalar(g));
+                for (ci, col) in partial.agg_columns.iter().enumerate() {
+                    part_cols[ci].push(col.scalar(g));
+                }
+            }
+        }
+        let merged_key = Array::from_scalars(&part_keys, DataType::Int64);
+        let merged_inputs: Vec<Array> = part_cols
+            .iter()
+            .zip(plan.partials().iter())
+            .map(|(scalars, p)| {
+                let t = p.kind.result_type(Some(DataType::Int64)).unwrap();
+                Array::from_scalars(scalars, t)
+            })
+            .collect();
+        let merge_reqs: Vec<AggRequest> = merged_inputs
+            .iter()
+            .enumerate()
+            .map(|(i, col)| AggRequest {
+                kind: plan.merge_kind(i),
+                input: Some(col),
+            })
+            .collect();
+        let merged = group_by(&ctx, &[&merged_key], &merge_reqs, merged_key.len()).unwrap();
+        let finals = plan.finalize(&ctx, &merged.agg_columns).unwrap();
+
+        assert_eq!(merged.num_groups, whole.num_groups);
+        for g in 0..whole.num_groups {
+            // First-appearance order is preserved through the merge.
+            assert_eq!(
+                merged.key_columns[0].scalar(g),
+                whole.key_columns[0].scalar(g)
+            );
+            for (ai, col) in finals.iter().enumerate() {
+                assert_eq!(
+                    col.scalar(g),
+                    whole.agg_columns[ai].scalar(g),
+                    "agg {ai} group {g}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partial_plan_gates_count_distinct() {
+        assert!(PartialAggPlan::new(&[AggKind::Sum, AggKind::CountDistinct]).is_none());
+        let plan = PartialAggPlan::new(&[AggKind::Avg]).unwrap();
+        assert_eq!(plan.partials().len(), 2);
+        assert_eq!(
+            plan.finalize_scalars(&[Scalar::Int64(10), Scalar::Int64(4)]),
+            vec![Scalar::Float64(2.5)]
+        );
+        assert_eq!(
+            plan.finalize_scalars(&[Scalar::Null, Scalar::Int64(0)]),
+            vec![Scalar::Null]
+        );
     }
 
     #[test]
@@ -446,7 +744,10 @@ mod tests {
         let r = group_by(
             &ctx,
             &[&k],
-            &[AggRequest { kind: AggKind::CountStar, input: None }],
+            &[AggRequest {
+                kind: AggKind::CountStar,
+                input: None,
+            }],
             0,
         )
         .unwrap();

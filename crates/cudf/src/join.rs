@@ -73,23 +73,56 @@ impl JoinPairs {
     pub fn is_empty(&self) -> bool {
         self.left.is_empty()
     }
+
+    /// The number of rows in the left input these pairs index into.
+    pub fn left_rows(&self) -> usize {
+        self.left_rows
+    }
+
+    /// Assemble pairs from pre-computed index vectors. Used by the morsel
+    /// engine to concatenate per-morsel probe outputs: because each morsel's
+    /// probe emits *global* left indices (via `left_offset`), concatenating
+    /// morsel outputs in morsel order reproduces the whole-column pair list
+    /// exactly.
+    pub fn from_parts(left: Vec<i32>, right: Vec<i32>, left_rows: usize) -> JoinPairs {
+        assert_eq!(left.len(), right.len(), "pair vectors must be parallel");
+        JoinPairs {
+            left,
+            right,
+            left_rows,
+        }
+    }
 }
 
-/// Phase 1: find all equality-key candidate pairs. The hash table is built
-/// over the **right** side; engines put the smaller input on the right.
-pub fn hash_join_pairs(
-    ctx: &GpuContext,
-    left_keys: &[&Array],
-    right_keys: &[&Array],
-    left_rows: usize,
+/// A built join hash table over the right side, reusable across any number
+/// of probe calls (libcudf's `hash_join` object). Building once and probing
+/// per morsel is what makes morsel-parallel joins cheap: the build is a
+/// pipeline breaker, the probes stream.
+pub struct JoinHashTable {
+    table: FxHashMap<Key, Vec<i32>>,
+    key_columns: usize,
     right_rows: usize,
-) -> Result<JoinPairs> {
-    if left_keys.len() != right_keys.len() || left_keys.is_empty() {
+}
+
+impl JoinHashTable {
+    /// Number of rows the table was built over.
+    pub fn right_rows(&self) -> usize {
+        self.right_rows
+    }
+}
+
+/// Build phase: hash the **right** side's keys into a multimap. Engines put
+/// the smaller input on the right.
+pub fn build_hash_table(
+    ctx: &GpuContext,
+    right_keys: &[&Array],
+    right_rows: usize,
+) -> Result<JoinHashTable> {
+    if right_keys.is_empty() {
         return Err(KernelError::UnsupportedTypes(
-            "join requires equal, non-zero key column counts (use cross_join_pairs)".into(),
+            "join build requires at least one key column (use cross_join_pairs)".into(),
         ));
     }
-    // Build phase over the right side.
     let (rkeys, rnull) = row_keys(right_keys, right_rows);
     let mut table: FxHashMap<Key, Vec<i32>> = FxHashMap::default();
     for (i, key) in rkeys.into_iter().enumerate() {
@@ -103,38 +136,81 @@ pub fn hash_join_pairs(
             .with_flops(right_rows as u64)
             .with_rows(right_rows as u64),
     );
+    Ok(JoinHashTable {
+        table,
+        key_columns: right_keys.len(),
+        right_rows,
+    })
+}
 
-    // Probe phase over the left side.
-    let (lkeys, lnull) = row_keys(left_keys, left_rows);
-    let mut pairs = JoinPairs { left: Vec::new(), right: Vec::new(), left_rows };
+/// Probe phase: stream `left_keys` (a whole column or one morsel of it)
+/// against a built table. Emitted left indices are offset by `left_offset`
+/// so morsel probes produce global row indices; `left_rows` is the total
+/// left row count (for later Semi/Anti/Left resolution).
+pub fn probe_hash_table(
+    ctx: &GpuContext,
+    table: &JoinHashTable,
+    left_keys: &[&Array],
+    left_rows: usize,
+    left_offset: usize,
+) -> Result<JoinPairs> {
+    if left_keys.len() != table.key_columns {
+        return Err(KernelError::UnsupportedTypes(format!(
+            "probe key count {} != build key count {}",
+            left_keys.len(),
+            table.key_columns
+        )));
+    }
+    let probe_rows = left_keys[0].len();
+    let (lkeys, lnull) = row_keys(left_keys, probe_rows);
+    let mut pairs = JoinPairs {
+        left: Vec::new(),
+        right: Vec::new(),
+        left_rows,
+    };
     for (i, key) in lkeys.into_iter().enumerate() {
         if lnull[i] {
             continue;
         }
-        if let Some(matches) = table.get(&key) {
+        if let Some(matches) = table.table.get(&key) {
             for &r in matches {
-                pairs.left.push(i as i32);
+                pairs.left.push((left_offset + i) as i32);
                 pairs.right.push(r);
             }
         }
     }
     ctx.charge(
         &WorkProfile::scan(key_bytes(left_keys))
-            .with_random((left_rows * 16) as u64)
+            .with_random((probe_rows * 16) as u64)
             .with_streamed((pairs.len() * 8) as u64)
-            .with_flops(left_rows as u64)
-            .with_rows(left_rows as u64),
+            .with_flops(probe_rows as u64)
+            .with_rows(probe_rows as u64),
     );
     Ok(pairs)
 }
 
-/// Phase 1 alternative: all-pairs cross join (used when there are no
-/// equality keys, e.g. joining against a one-row scalar subquery result).
-pub fn cross_join_pairs(
+/// Phase 1: find all equality-key candidate pairs. The hash table is built
+/// over the **right** side; engines put the smaller input on the right.
+/// Convenience wrapper over [`build_hash_table`] + [`probe_hash_table`].
+pub fn hash_join_pairs(
     ctx: &GpuContext,
+    left_keys: &[&Array],
+    right_keys: &[&Array],
     left_rows: usize,
     right_rows: usize,
-) -> JoinPairs {
+) -> Result<JoinPairs> {
+    if left_keys.len() != right_keys.len() || left_keys.is_empty() {
+        return Err(KernelError::UnsupportedTypes(
+            "join requires equal, non-zero key column counts (use cross_join_pairs)".into(),
+        ));
+    }
+    let table = build_hash_table(ctx, right_keys, right_rows)?;
+    probe_hash_table(ctx, &table, left_keys, left_rows, 0)
+}
+
+/// Phase 1 alternative: all-pairs cross join (used when there are no
+/// equality keys, e.g. joining against a one-row scalar subquery result).
+pub fn cross_join_pairs(ctx: &GpuContext, left_rows: usize, right_rows: usize) -> JoinPairs {
     let n = left_rows * right_rows;
     let mut pairs = JoinPairs {
         left: Vec::with_capacity(n),
@@ -163,7 +239,10 @@ pub fn resolve_join(
         assert_eq!(m.len(), pairs.len(), "residual mask length mismatch");
     }
     let pass = |i: usize| residual.map(|m| m.get(i)).unwrap_or(true);
-    let mut out = JoinIndices { left: Vec::new(), right: Vec::new() };
+    let mut out = JoinIndices {
+        left: Vec::new(),
+        right: Vec::new(),
+    };
 
     match join_type {
         JoinType::Inner => {
@@ -220,8 +299,7 @@ pub fn resolve_join(
         }
     }
     ctx.charge(
-        &WorkProfile::scan((pairs.len() * 8 + out.len() * 8) as u64)
-            .with_rows(out.len() as u64),
+        &WorkProfile::scan((pairs.len() * 8 + out.len() * 8) as u64).with_rows(out.len() as u64),
     );
     Ok(out)
 }
@@ -308,7 +386,10 @@ mod tests {
         assert!(resolve_join(&ctx, JoinType::Single, &ok, None).is_ok());
         let dup = pairs_for(&[1], &[1, 1]);
         let err = resolve_join(&ctx, JoinType::Single, &dup, None).unwrap_err();
-        assert!(matches!(err, KernelError::NonScalarSubquery { matches: 2, .. }));
+        assert!(matches!(
+            err,
+            KernelError::NonScalarSubquery { matches: 2, .. }
+        ));
     }
 
     #[test]
@@ -340,5 +421,38 @@ mod tests {
         let ctx = test_ctx();
         let err = hash_join_pairs(&ctx, &[], &[], 1, 1);
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn morsel_probes_concatenate_to_whole_column_pairs() {
+        let ctx = test_ctx();
+        let l: Vec<i64> = (0..97).map(|i| i % 7).collect();
+        let r: Vec<i64> = vec![1, 3, 3, 5];
+        let la = Array::from_i64(l.iter().copied());
+        let ra = Array::from_i64(r.iter().copied());
+        let whole = hash_join_pairs(&ctx, &[&la], &[&ra], l.len(), r.len()).unwrap();
+
+        // Same probe chopped into uneven morsels with global offsets.
+        let table = build_hash_table(&ctx, &[&ra], r.len()).unwrap();
+        let mut got = JoinPairs::from_parts(Vec::new(), Vec::new(), l.len());
+        for (offset, chunk) in [(0usize, 0..10), (10, 10..33), (33, 33..97)] {
+            let morsel = Array::from_i64(l[chunk].iter().copied());
+            let p = probe_hash_table(&ctx, &table, &[&morsel], l.len(), offset).unwrap();
+            got.left.extend_from_slice(&p.left);
+            got.right.extend_from_slice(&p.right);
+        }
+        assert_eq!(got.left, whole.left);
+        assert_eq!(got.right, whole.right);
+        assert_eq!(got.left_rows(), whole.left_rows());
+    }
+
+    #[test]
+    fn probe_rejects_key_count_mismatch() {
+        let ctx = test_ctx();
+        let r1 = Array::from_i64([1]);
+        let r2 = Array::from_i64([2]);
+        let table = build_hash_table(&ctx, &[&r1, &r2], 1).unwrap();
+        let l = Array::from_i64([1]);
+        assert!(probe_hash_table(&ctx, &table, &[&l], 1, 0).is_err());
     }
 }

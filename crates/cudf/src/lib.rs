@@ -31,8 +31,8 @@ pub mod sort;
 pub mod unary;
 pub mod unique;
 
-pub use groupby::{AggKind, AggRequest};
-pub use join::{JoinIndices, JoinType};
+pub use groupby::{AggKind, AggRequest, PartialAggPlan, PartialSpec};
+pub use join::{JoinHashTable, JoinIndices, JoinType};
 
 use sirius_hw::{CostCategory, Device, WorkProfile};
 use std::time::Duration;
@@ -43,17 +43,53 @@ use std::time::Duration;
 pub struct GpuContext {
     device: Device,
     category: CostCategory,
+    muted: bool,
 }
 
 impl GpuContext {
     /// Context charging `device` under `category`.
     pub fn new(device: Device, category: CostCategory) -> Self {
-        Self { device, category }
+        Self {
+            device,
+            category,
+            muted: false,
+        }
     }
 
     /// Same device, different attribution category.
     pub fn with_category(&self, category: CostCategory) -> Self {
-        Self { device: self.device.clone(), category }
+        Self {
+            device: self.device.clone(),
+            category,
+            muted: self.muted,
+        }
+    }
+
+    /// Same category, charging onto device stream `stream`. Morsel workers
+    /// use one stream each so their kernels overlap in the ledger.
+    pub fn on_stream(&self, stream: usize) -> Self {
+        Self {
+            device: self.device.on_stream(stream),
+            category: self.category,
+            muted: self.muted,
+        }
+    }
+
+    /// Context whose charges are dropped. Callers that replace a group of
+    /// per-node launches with one fused charge (e.g. AST expression fusion)
+    /// compute through a muted context, then charge the fused kernel
+    /// themselves.
+    pub fn muted(&self) -> Self {
+        Self {
+            device: self.device.clone(),
+            category: self.category,
+            muted: true,
+        }
+    }
+
+    /// Whether charges on this context are dropped.
+    pub fn is_muted(&self) -> bool {
+        self.muted
     }
 
     /// The underlying device.
@@ -66,8 +102,11 @@ impl GpuContext {
         self.category
     }
 
-    /// Charge one kernel's work.
+    /// Charge one kernel's work. Muted contexts drop the charge.
     pub fn charge(&self, work: &WorkProfile) -> Duration {
+        if self.muted {
+            return Duration::ZERO;
+        }
         self.device.charge(self.category, work)
     }
 }

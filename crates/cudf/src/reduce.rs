@@ -19,13 +19,17 @@ pub fn reduce(
     debug_assert!(input.map(|c| c.len() == num_rows).unwrap_or(true));
     let bytes = input.map(|c| c.byte_size() as u64).unwrap_or(0);
     ctx.charge(
-        &WorkProfile::scan(bytes).with_flops(num_rows as u64).with_rows(num_rows as u64),
+        &WorkProfile::scan(bytes)
+            .with_flops(num_rows as u64)
+            .with_rows(num_rows as u64),
     );
 
     let out_type = kind.result_type(input.map(|c| c.data_type()))?;
     let values = || {
         let c = input.expect("non-count aggregates have inputs");
-        (0..c.len()).map(move |i| c.scalar(i)).filter(|s| !s.is_null())
+        (0..c.len())
+            .map(move |i| c.scalar(i))
+            .filter(|s| !s.is_null())
     };
     Ok(match kind {
         AggKind::CountStar => Scalar::Int64(num_rows as i64),
@@ -87,9 +91,18 @@ mod tests {
     fn basic_reductions() {
         let ctx = test_ctx();
         let a = Array::from_i64([3, 1, 2]);
-        assert_eq!(reduce(&ctx, AggKind::Sum, Some(&a), a.len()).unwrap(), Scalar::Int64(6));
-        assert_eq!(reduce(&ctx, AggKind::Min, Some(&a), a.len()).unwrap(), Scalar::Int64(1));
-        assert_eq!(reduce(&ctx, AggKind::Max, Some(&a), a.len()).unwrap(), Scalar::Int64(3));
+        assert_eq!(
+            reduce(&ctx, AggKind::Sum, Some(&a), a.len()).unwrap(),
+            Scalar::Int64(6)
+        );
+        assert_eq!(
+            reduce(&ctx, AggKind::Min, Some(&a), a.len()).unwrap(),
+            Scalar::Int64(1)
+        );
+        assert_eq!(
+            reduce(&ctx, AggKind::Max, Some(&a), a.len()).unwrap(),
+            Scalar::Int64(3)
+        );
         assert_eq!(
             reduce(&ctx, AggKind::Avg, Some(&a), a.len()).unwrap(),
             Scalar::Float64(2.0)
@@ -104,9 +117,18 @@ mod tests {
     fn empty_input_semantics() {
         let ctx = test_ctx();
         let a = Array::from_i64([]);
-        assert_eq!(reduce(&ctx, AggKind::Sum, Some(&a), a.len()).unwrap(), Scalar::Null);
-        assert_eq!(reduce(&ctx, AggKind::Avg, Some(&a), a.len()).unwrap(), Scalar::Null);
-        assert_eq!(reduce(&ctx, AggKind::Min, Some(&a), a.len()).unwrap(), Scalar::Null);
+        assert_eq!(
+            reduce(&ctx, AggKind::Sum, Some(&a), a.len()).unwrap(),
+            Scalar::Null
+        );
+        assert_eq!(
+            reduce(&ctx, AggKind::Avg, Some(&a), a.len()).unwrap(),
+            Scalar::Null
+        );
+        assert_eq!(
+            reduce(&ctx, AggKind::Min, Some(&a), a.len()).unwrap(),
+            Scalar::Null
+        );
         assert_eq!(
             reduce(&ctx, AggKind::Count, Some(&a), a.len()).unwrap(),
             Scalar::Int64(0)
@@ -120,8 +142,14 @@ mod tests {
             &[Scalar::Int64(5), Scalar::Null, Scalar::Int64(7)],
             DataType::Int64,
         );
-        assert_eq!(reduce(&ctx, AggKind::Sum, Some(&a), a.len()).unwrap(), Scalar::Int64(12));
-        assert_eq!(reduce(&ctx, AggKind::Count, Some(&a), a.len()).unwrap(), Scalar::Int64(2));
+        assert_eq!(
+            reduce(&ctx, AggKind::Sum, Some(&a), a.len()).unwrap(),
+            Scalar::Int64(12)
+        );
+        assert_eq!(
+            reduce(&ctx, AggKind::Count, Some(&a), a.len()).unwrap(),
+            Scalar::Int64(2)
+        );
         assert_eq!(
             reduce(&ctx, AggKind::Avg, Some(&a), a.len()).unwrap(),
             Scalar::Float64(6.0)

@@ -29,11 +29,7 @@ fn compare_row(keys: &[SortKey<'_>], a: usize, b: usize) -> Ordering {
 }
 
 /// Stable multi-key sort returning libcudf-style `i32` gather indices.
-pub fn sort_indices(
-    ctx: &GpuContext,
-    keys: &[SortKey<'_>],
-    num_rows: usize,
-) -> Result<Vec<i32>> {
+pub fn sort_indices(ctx: &GpuContext, keys: &[SortKey<'_>], num_rows: usize) -> Result<Vec<i32>> {
     let mut idx: Vec<i32> = (0..num_rows as i32).collect();
     idx.sort_by(|&a, &b| compare_row(keys, a as usize, b as usize));
 
@@ -121,11 +117,25 @@ mod tests {
     fn single_key_ascending_descending() {
         let ctx = test_ctx();
         let c = Array::from_i64([3, 1, 2]);
-        let asc =
-            sort_indices(&ctx, &[SortKey { column: &c, ascending: true }], 3).unwrap();
+        let asc = sort_indices(
+            &ctx,
+            &[SortKey {
+                column: &c,
+                ascending: true,
+            }],
+            3,
+        )
+        .unwrap();
         assert_eq!(asc, vec![1, 2, 0]);
-        let desc =
-            sort_indices(&ctx, &[SortKey { column: &c, ascending: false }], 3).unwrap();
+        let desc = sort_indices(
+            &ctx,
+            &[SortKey {
+                column: &c,
+                ascending: false,
+            }],
+            3,
+        )
+        .unwrap();
         assert_eq!(desc, vec![0, 2, 1]);
     }
 
@@ -137,8 +147,14 @@ mod tests {
         let idx = sort_indices(
             &ctx,
             &[
-                SortKey { column: &k1, ascending: true },
-                SortKey { column: &k2, ascending: false },
+                SortKey {
+                    column: &k1,
+                    ascending: true,
+                },
+                SortKey {
+                    column: &k2,
+                    ascending: false,
+                },
             ],
             4,
         )
@@ -150,8 +166,15 @@ mod tests {
     fn stability_on_equal_keys() {
         let ctx = test_ctx();
         let c = Array::from_i64([5, 5, 5]);
-        let idx =
-            sort_indices(&ctx, &[SortKey { column: &c, ascending: true }], 3).unwrap();
+        let idx = sort_indices(
+            &ctx,
+            &[SortKey {
+                column: &c,
+                ascending: true,
+            }],
+            3,
+        )
+        .unwrap();
         assert_eq!(idx, vec![0, 1, 2]);
     }
 
@@ -162,8 +185,15 @@ mod tests {
             &[Scalar::Int64(1), Scalar::Null, Scalar::Int64(0)],
             DataType::Int64,
         );
-        let idx =
-            sort_indices(&ctx, &[SortKey { column: &c, ascending: true }], 3).unwrap();
+        let idx = sort_indices(
+            &ctx,
+            &[SortKey {
+                column: &c,
+                ascending: true,
+            }],
+            3,
+        )
+        .unwrap();
         assert_eq!(idx, vec![1, 2, 0]);
     }
 
@@ -171,12 +201,21 @@ mod tests {
     fn top_k_matches_sort_prefix() {
         let ctx = test_ctx();
         let c = Array::from_i64([9, 3, 7, 1, 5]);
-        let keys = [SortKey { column: &c, ascending: true }];
+        let keys = [SortKey {
+            column: &c,
+            ascending: true,
+        }];
         let full = sort_indices(&ctx, &keys, 5).unwrap();
-        let keys = [SortKey { column: &c, ascending: true }];
+        let keys = [SortKey {
+            column: &c,
+            ascending: true,
+        }];
         let top = top_k_indices(&ctx, &keys, 5, 3).unwrap();
         assert_eq!(top, full[..3]);
-        let keys = [SortKey { column: &c, ascending: true }];
+        let keys = [SortKey {
+            column: &c,
+            ascending: true,
+        }];
         let over = top_k_indices(&ctx, &keys, 5, 50).unwrap();
         assert_eq!(over.len(), 5);
     }

@@ -39,9 +39,7 @@ pub fn unary_op(
                 }
             }
             Some(DataType::Float64) => DataType::Float64,
-            other => {
-                return Err(KernelError::UnsupportedTypes(format!("Neg on {other:?}")))
-            }
+            other => return Err(KernelError::UnsupportedTypes(format!("Neg on {other:?}"))),
         },
         UnaryOp::ExtractYear => DataType::Int64,
     };
@@ -52,9 +50,10 @@ pub fn unary_op(
             UnaryOp::IsNull => Scalar::Bool(v.is_null()),
             UnaryOp::IsNotNull => Scalar::Bool(!v.is_null()),
             _ if v.is_null() => Scalar::Null,
-            UnaryOp::Not => Scalar::Bool(!v.as_bool().ok_or_else(|| {
-                KernelError::UnsupportedTypes("NOT on non-bool".into())
-            })?),
+            UnaryOp::Not => Scalar::Bool(
+                !v.as_bool()
+                    .ok_or_else(|| KernelError::UnsupportedTypes("NOT on non-bool".into()))?,
+            ),
             UnaryOp::Neg => match out_type {
                 DataType::Float64 => Scalar::Float64(-v.as_f64().expect("numeric")),
                 _ => Scalar::Int64(-v.as_i64().expect("int")),
@@ -78,18 +77,14 @@ pub fn unary_op(
 }
 
 /// Cast kernel. Unsupported casts on any non-null element fail.
-pub fn cast(
-    ctx: &GpuContext,
-    input: &Datum<'_>,
-    to: DataType,
-    num_rows: usize,
-) -> Result<Array> {
+pub fn cast(ctx: &GpuContext, input: &Datum<'_>, to: DataType, num_rows: usize) -> Result<Array> {
     let mut out = Vec::with_capacity(num_rows);
     for i in 0..num_rows {
         let v = input.value(i);
-        out.push(v.cast(to).ok_or_else(|| {
-            KernelError::UnsupportedTypes(format!("cast {v:?} to {to}"))
-        })?);
+        out.push(
+            v.cast(to)
+                .ok_or_else(|| KernelError::UnsupportedTypes(format!("cast {v:?} to {to}")))?,
+        );
     }
     ctx.charge(
         &WorkProfile::scan(input.byte_size())
@@ -111,9 +106,7 @@ pub fn substring(
     for i in 0..num_rows {
         let v = input.value(i);
         out.push(match v.as_str() {
-            Some(s) => Scalar::Utf8(
-                s.chars().skip(start.saturating_sub(1)).take(len).collect(),
-            ),
+            Some(s) => Scalar::Utf8(s.chars().skip(start.saturating_sub(1)).take(len).collect()),
             None => Scalar::Null,
         });
     }
@@ -208,7 +201,12 @@ mod tests {
         let a = Array::from_i32([1, 2]);
         let r = cast(&ctx, &Datum::Column(&a), DataType::Float64, 2).unwrap();
         assert_eq!(r.f64_value(1), Some(2.0));
-        let bad = cast(&ctx, &Datum::Column(&Array::from_strs(["x"])), DataType::Int64, 1);
+        let bad = cast(
+            &ctx,
+            &Datum::Column(&Array::from_strs(["x"])),
+            DataType::Int64,
+            1,
+        );
         assert!(bad.is_err());
     }
 

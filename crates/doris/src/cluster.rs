@@ -66,11 +66,7 @@ impl NodeState {
         out
     }
 
-    fn rewrite(
-        &mut self,
-        plan: &Rel,
-        temps: &mut Vec<String>,
-    ) -> std::result::Result<Rel, String> {
+    fn rewrite(&mut self, plan: &Rel, temps: &mut Vec<String>) -> std::result::Result<Rel, String> {
         if let Rel::Exchange { input, kind } = plan {
             let inner = self.rewrite(input, temps)?;
             let local = self.engine_exec(&inner)?;
@@ -111,12 +107,23 @@ impl NodeState {
                 input: Box::new(self.rewrite(input, temps)?),
                 exprs: exprs.clone(),
             },
-            Rel::Aggregate { input, group_by, aggregates } => Rel::Aggregate {
+            Rel::Aggregate {
+                input,
+                group_by,
+                aggregates,
+            } => Rel::Aggregate {
                 input: Box::new(self.rewrite(input, temps)?),
                 group_by: group_by.clone(),
                 aggregates: aggregates.clone(),
             },
-            Rel::Join { left, right, kind, left_keys, right_keys, residual } => {
+            Rel::Join {
+                left,
+                right,
+                kind,
+                left_keys,
+                right_keys,
+                residual,
+            } => {
                 // Fixed traversal order keeps collective sequence numbers
                 // aligned across nodes.
                 let l = self.rewrite(left, temps)?;
@@ -134,14 +141,18 @@ impl NodeState {
                 input: Box::new(self.rewrite(input, temps)?),
                 keys: keys.clone(),
             },
-            Rel::Limit { input, offset, fetch } => Rel::Limit {
+            Rel::Limit {
+                input,
+                offset,
+                fetch,
+            } => Rel::Limit {
                 input: Box::new(self.rewrite(input, temps)?),
                 offset: *offset,
                 fetch: *fetch,
             },
-            Rel::Distinct { input } => {
-                Rel::Distinct { input: Box::new(self.rewrite(input, temps)?) }
-            }
+            Rel::Distinct { input } => Rel::Distinct {
+                input: Box::new(self.rewrite(input, temps)?),
+            },
             Rel::Exchange { .. } => unreachable!("handled above"),
         })
     }
@@ -163,9 +174,7 @@ impl QueryOutcome {
     pub fn compute(&self) -> Duration {
         self.per_node
             .iter()
-            .map(|b| {
-                b.total() - b.get(CostCategory::Exchange) - b.get(CostCategory::Other)
-            })
+            .map(|b| b.total() - b.get(CostCategory::Exchange) - b.get(CostCategory::Other))
             .max()
             .unwrap_or(Duration::ZERO)
     }
@@ -221,16 +230,13 @@ impl DorisCluster {
             .map(|(rank, comm)| {
                 let (cpu, gpu, device) = match kind {
                     NodeEngineKind::DorisCpu => {
-                        let engine =
-                            CpuEngine::new(hw::xeon_gold_6526y(), EngineProfile::doris());
+                        let engine = CpuEngine::new(hw::xeon_gold_6526y(), EngineProfile::doris());
                         let device = engine.device().clone();
                         (Some(engine), None, device)
                     }
                     NodeEngineKind::ClickHouseCpu => {
-                        let engine = CpuEngine::new(
-                            hw::xeon_gold_6526y(),
-                            EngineProfile::clickhouse(),
-                        );
+                        let engine =
+                            CpuEngine::new(hw::xeon_gold_6526y(), EngineProfile::clickhouse());
                         let device = engine.device().clone();
                         (Some(engine), None, device)
                     }
@@ -282,8 +288,11 @@ impl DorisCluster {
     /// Register a table, partitioning it across the nodes per the scheme.
     pub fn create_table(&mut self, name: impl Into<String>, table: Table) {
         let name = name.into();
-        self.binder
-            .add_table(name.clone(), table.schema().clone(), table.num_rows() as u64);
+        self.binder.add_table(
+            name.clone(),
+            table.schema().clone(),
+            table.num_rows() as u64,
+        );
         let world = self.nodes.len();
         let parts: Vec<Table> = match self.scheme.partition_column(&name) {
             Some(Some(col)) => {
@@ -300,7 +309,10 @@ impl DorisCluster {
                 for i in 0..table.num_rows() {
                     buckets[i % world].push(i);
                 }
-                buckets.into_iter().map(|rows| table.gather(&rows)).collect()
+                buckets
+                    .into_iter()
+                    .map(|rows| table.gather(&rows))
+                    .collect()
             }
         };
         for (node, part) in self.nodes.iter().zip(parts) {
@@ -349,22 +361,27 @@ impl DorisCluster {
             + Duration::from_millis(5) * fragments as u32
             + Duration::from_millis(2) * self.world() as u32;
 
-        let before: Vec<TimeBreakdown> =
-            self.nodes.iter().map(|n| n.lock().device.breakdown()).collect();
+        let before: Vec<TimeBreakdown> = self
+            .nodes
+            .iter()
+            .map(|n| n.lock().device.breakdown())
+            .collect();
 
         // Dispatch the SPMD plan to every node.
-        let results: Vec<std::result::Result<Table, String>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .nodes
-                    .iter()
-                    .map(|node| {
-                        let dplan = &dplan;
-                        scope.spawn(move || node.lock().execute_fragmented(dplan))
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("node thread")).collect()
-            });
+        let results: Vec<std::result::Result<Table, String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .nodes
+                .iter()
+                .map(|node| {
+                    let dplan = &dplan;
+                    scope.spawn(move || node.lock().execute_fragmented(dplan))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("node thread"))
+                .collect()
+        });
 
         let mut table = None;
         for (rank, r) in results.into_iter().enumerate() {
@@ -374,7 +391,12 @@ impl DorisCluster {
                         table = Some(t);
                     }
                 }
-                Err(message) => return Err(DorisError::Node { node: rank, message }),
+                Err(message) => {
+                    return Err(DorisError::Node {
+                        node: rank,
+                        message,
+                    })
+                }
             }
         }
         let per_node: Vec<TimeBreakdown> = self
@@ -393,7 +415,11 @@ impl DorisCluster {
 
 fn count_exchanges(rel: &Rel) -> usize {
     let here = usize::from(matches!(rel, Rel::Exchange { .. }));
-    here + rel.children().iter().map(|c| count_exchanges(c)).sum::<usize>()
+    here + rel
+        .children()
+        .iter()
+        .map(|c| count_exchanges(c))
+        .sum::<usize>()
 }
 
 #[cfg(test)]
@@ -428,7 +454,10 @@ mod tests {
                     Field::new("id", DataType::Int64),
                     Field::new("name", DataType::Utf8),
                 ]),
-                vec![Array::from_i64([0, 1, 2, 3]), Array::from_strs(["a", "b", "c", "d"])],
+                vec![
+                    Array::from_i64([0, 1, 2, 3]),
+                    Array::from_strs(["a", "b", "c", "d"]),
+                ],
             ),
         );
         c.reset_ledgers();
@@ -440,7 +469,10 @@ mod tests {
         for kind in [NodeEngineKind::DorisCpu, NodeEngineKind::SiriusGpu] {
             let c = cluster(kind);
             let out = c.sql("select sum(v) as s, count(*) as n from t").unwrap();
-            assert_eq!(out.table.column(0).f64_value(0), Some((0..60).sum::<i64>() as f64));
+            assert_eq!(
+                out.table.column(0).f64_value(0),
+                Some((0..60).sum::<i64>() as f64)
+            );
             assert_eq!(out.table.column(1).i64_value(0), Some(60));
             assert!(out.total() > Duration::ZERO);
         }
@@ -481,14 +513,20 @@ mod tests {
             .unwrap();
         // 4 groups × 15 × 15.
         assert_eq!(out.table.column(0).i64_value(0), Some(4 * 15 * 15));
-        assert!(out.exchange() > Duration::ZERO, "shuffles must hit the wire");
+        assert!(
+            out.exchange() > Duration::ZERO,
+            "shuffles must hit the wire"
+        );
     }
 
     #[test]
     fn heartbeat_failure_blocks_dispatch() {
         let c = cluster(NodeEngineKind::DorisCpu);
         c.heartbeats().mark_down(2);
-        assert!(matches!(c.sql("select count(*) as n from t"), Err(DorisError::NodeDown(2))));
+        assert!(matches!(
+            c.sql("select count(*) as n from t"),
+            Err(DorisError::NodeDown(2))
+        ));
     }
 
     #[test]

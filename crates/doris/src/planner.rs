@@ -15,10 +15,10 @@
 //! * sorts and limits gather to node 0.
 
 use crate::{DorisError, Result};
-use sirius_plan::expr::{self, AggExpr};
-use sirius_plan::{AggFunc, ExchangeKind, Expr, JoinKind, Rel};
 #[cfg(test)]
 use sirius_plan::expr::SortExpr;
+use sirius_plan::expr::{self, AggExpr};
+use sirius_plan::{AggFunc, ExchangeKind, Expr, JoinKind, Rel};
 use std::collections::HashMap;
 
 /// How each base table is distributed across the cluster.
@@ -104,22 +104,39 @@ pub fn distribute_with(
 ) -> Result<Rel> {
     let (mut rel, part) = walk(plan, scheme, opts)?;
     if part != Partitioning::Singleton && part != Partitioning::Replicated {
-        rel = Rel::Exchange { input: Box::new(rel), kind: ExchangeKind::Merge };
+        rel = Rel::Exchange {
+            input: Box::new(rel),
+            kind: ExchangeKind::Merge,
+        };
     }
     Ok(rel)
 }
 
 fn shuffle(rel: Rel, keys: Vec<Expr>) -> Rel {
-    Rel::Exchange { input: Box::new(rel), kind: ExchangeKind::Shuffle { keys } }
+    Rel::Exchange {
+        input: Box::new(rel),
+        kind: ExchangeKind::Shuffle { keys },
+    }
 }
 
 fn merge(rel: Rel) -> Rel {
-    Rel::Exchange { input: Box::new(rel), kind: ExchangeKind::Merge }
+    Rel::Exchange {
+        input: Box::new(rel),
+        kind: ExchangeKind::Merge,
+    }
 }
 
-fn walk(plan: &Rel, scheme: &PartitionScheme, opts: DistributeOptions) -> Result<(Rel, Partitioning)> {
+fn walk(
+    plan: &Rel,
+    scheme: &PartitionScheme,
+    opts: DistributeOptions,
+) -> Result<(Rel, Partitioning)> {
     match plan {
-        Rel::Read { table, schema, projection } => {
+        Rel::Read {
+            table,
+            schema,
+            projection,
+        } => {
             let part = match scheme.partition_column(table) {
                 Some(Some(col)) => {
                     // Where does the partition column land after projection?
@@ -142,7 +159,10 @@ fn walk(plan: &Rel, scheme: &PartitionScheme, opts: DistributeOptions) -> Result
         Rel::Filter { input, predicate } => {
             let (child, part) = walk(input, scheme, opts)?;
             Ok((
-                Rel::Filter { input: Box::new(child), predicate: predicate.clone() },
+                Rel::Filter {
+                    input: Box::new(child),
+                    predicate: predicate.clone(),
+                },
                 part,
             ))
         }
@@ -154,23 +174,30 @@ fn walk(plan: &Rel, scheme: &PartitionScheme, opts: DistributeOptions) -> Result
                     // column.
                     let remapped: Option<Vec<Expr>> = keys
                         .iter()
-                        .map(|k| {
-                            exprs
-                                .iter()
-                                .position(|(e, _)| e == k)
-                                .map(expr::col)
-                        })
+                        .map(|k| exprs.iter().position(|(e, _)| e == k).map(expr::col))
                         .collect();
-                    remapped.map(Partitioning::Hash).unwrap_or(Partitioning::Arbitrary)
+                    remapped
+                        .map(Partitioning::Hash)
+                        .unwrap_or(Partitioning::Arbitrary)
                 }
                 other => other,
             };
             Ok((
-                Rel::Project { input: Box::new(child), exprs: exprs.clone() },
+                Rel::Project {
+                    input: Box::new(child),
+                    exprs: exprs.clone(),
+                },
                 part,
             ))
         }
-        Rel::Join { left, right, kind, left_keys, right_keys, residual } => {
+        Rel::Join {
+            left,
+            right,
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+        } => {
             let (mut l, lpart) = walk(left, scheme, opts)?;
             let (mut r, rpart) = walk(right, scheme, opts)?;
             // Keyless joins (scalar subqueries): replicate the right side.
@@ -242,39 +269,68 @@ fn walk(plan: &Rel, scheme: &PartitionScheme, opts: DistributeOptions) -> Result
             }
             Ok((rebuild(l, r), Partitioning::Hash(left_keys.clone())))
         }
-        Rel::Aggregate { input, group_by, aggregates } => {
+        Rel::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => {
             let (child, part) = walk(input, scheme, opts)?;
             distribute_aggregate(child, part, group_by, aggregates)
         }
         Rel::Sort { input, keys } => {
             let (child, part) = walk(input, scheme, opts)?;
-            let child = if part == Partitioning::Singleton { child } else { merge(child) };
+            let child = if part == Partitioning::Singleton {
+                child
+            } else {
+                merge(child)
+            };
             Ok((
-                Rel::Sort { input: Box::new(child), keys: keys.clone() },
+                Rel::Sort {
+                    input: Box::new(child),
+                    keys: keys.clone(),
+                },
                 Partitioning::Singleton,
             ))
         }
-        Rel::Limit { input, offset, fetch } => {
+        Rel::Limit {
+            input,
+            offset,
+            fetch,
+        } => {
             let (child, part) = walk(input, scheme, opts)?;
-            let child = if part == Partitioning::Singleton { child } else { merge(child) };
+            let child = if part == Partitioning::Singleton {
+                child
+            } else {
+                merge(child)
+            };
             Ok((
-                Rel::Limit { input: Box::new(child), offset: *offset, fetch: *fetch },
+                Rel::Limit {
+                    input: Box::new(child),
+                    offset: *offset,
+                    fetch: *fetch,
+                },
                 Partitioning::Singleton,
             ))
         }
         Rel::Distinct { input } => {
             let (child, part) = walk(input, scheme, opts)?;
-            let width = input.schema().map_err(|e| DorisError::Plan(e.to_string()))?.len();
+            let width = input
+                .schema()
+                .map_err(|e| DorisError::Plan(e.to_string()))?
+                .len();
             let keys: Vec<Expr> = (0..width).map(expr::col).collect();
             let child = match part {
                 Partitioning::Singleton | Partitioning::Replicated => child,
                 _ => shuffle(child, keys.clone()),
             };
-            Ok((Rel::Distinct { input: Box::new(child) }, Partitioning::Arbitrary))
+            Ok((
+                Rel::Distinct {
+                    input: Box::new(child),
+                },
+                Partitioning::Arbitrary,
+            ))
         }
-        Rel::Exchange { .. } => {
-            Err(DorisError::Plan("plan is already distributed".into()))
-        }
+        Rel::Exchange { .. } => Err(DorisError::Plan("plan is already distributed".into())),
     }
 }
 
@@ -301,11 +357,13 @@ fn distribute_aggregate(
             group_by: group_by.to_vec(),
             aggregates: aggregates.to_vec(),
         };
-        return Ok((out, Partitioning::Hash((0..group_by.len()).map(expr::col).collect())));
+        return Ok((
+            out,
+            Partitioning::Hash((0..group_by.len()).map(expr::col).collect()),
+        ));
     }
 
-    let decomposable =
-        aggregates.iter().all(|a| a.func != AggFunc::CountDistinct);
+    let decomposable = aggregates.iter().all(|a| a.func != AggFunc::CountDistinct);
     if !decomposable {
         // Shuffle raw rows by group key (or merge for global) + full agg.
         let moved = if group_by.is_empty() {
@@ -402,9 +460,8 @@ fn distribute_aggregate(
     };
 
     // Phase 3: project back to the original output shape (avg = sum/count).
-    let mut out_exprs: Vec<(Expr, String)> = (0..k)
-        .map(|i| (expr::col(i), format!("key{i}")))
-        .collect();
+    let mut out_exprs: Vec<(Expr, String)> =
+        (0..k).map(|i| (expr::col(i), format!("key{i}"))).collect();
     for ((func, cols), a) in feeds.iter().zip(aggregates.iter()) {
         let e = match func {
             AggFunc::Avg => Expr::Binary {
@@ -416,7 +473,10 @@ fn distribute_aggregate(
         };
         out_exprs.push((e, a.name.clone()));
     }
-    let out = Rel::Project { input: Box::new(finalized), exprs: out_exprs };
+    let out = Rel::Project {
+        input: Box::new(finalized),
+        exprs: out_exprs,
+    };
     let part = if group_by.is_empty() {
         Partitioning::Singleton
     } else {
@@ -430,7 +490,7 @@ mod tests {
     use super::*;
     use sirius_columnar::{DataType, Field, Schema};
     use sirius_plan::builder::PlanBuilder;
-    use sirius_plan::expr::{col, gt, lit_i64};
+    use sirius_plan::expr::{col, gt};
 
     fn scheme() -> PartitionScheme {
         PartitionScheme::tpch_default()
@@ -445,19 +505,33 @@ mod tests {
 
     fn count_exchanges(rel: &Rel) -> usize {
         let here = usize::from(matches!(rel, Rel::Exchange { .. }));
-        here + rel.children().iter().map(|c| count_exchanges(c)).sum::<usize>()
+        here + rel
+            .children()
+            .iter()
+            .map(|c| count_exchanges(c))
+            .sum::<usize>()
     }
 
     #[test]
     fn global_aggregate_merges_partials_only() {
         // Q6-like: filter + global sum. Only one tiny merge exchange.
-        let plan = scan("lineitem", &[("l_partkey", DataType::Int64), ("v", DataType::Float64)])
-            .filter(gt(col(1), sirius_plan::expr::lit(sirius_columnar::Scalar::Float64(0.0))))
-            .aggregate(
-                vec![],
-                vec![AggExpr { func: AggFunc::Sum, input: Some(col(1)), name: "revenue".into() }],
-            )
-            .build();
+        let plan = scan(
+            "lineitem",
+            &[("l_partkey", DataType::Int64), ("v", DataType::Float64)],
+        )
+        .filter(gt(
+            col(1),
+            sirius_plan::expr::lit(sirius_columnar::Scalar::Float64(0.0)),
+        ))
+        .aggregate(
+            vec![],
+            vec![AggExpr {
+                func: AggFunc::Sum,
+                input: Some(col(1)),
+                name: "revenue".into(),
+            }],
+        )
+        .build();
         let d = distribute(&plan, &scheme()).unwrap();
         assert_eq!(count_exchanges(&d), 1);
         // Output schema preserved.
@@ -467,12 +541,19 @@ mod tests {
 
     #[test]
     fn avg_decomposes_into_sum_and_count() {
-        let plan = scan("lineitem", &[("l_partkey", DataType::Int64), ("q", DataType::Float64)])
-            .aggregate(
-                vec![col(0)],
-                vec![AggExpr { func: AggFunc::Avg, input: Some(col(1)), name: "a".into() }],
-            )
-            .build();
+        let plan = scan(
+            "lineitem",
+            &[("l_partkey", DataType::Int64), ("q", DataType::Float64)],
+        )
+        .aggregate(
+            vec![col(0)],
+            vec![AggExpr {
+                func: AggFunc::Avg,
+                input: Some(col(1)),
+                name: "a".into(),
+            }],
+        )
+        .build();
         let d = distribute(&plan, &scheme()).unwrap();
         sirius_plan::validate::validate(&d).unwrap();
         let s = d.schema().unwrap();
@@ -487,7 +568,13 @@ mod tests {
         // c_custkey, orders is hashed on o_orderkey → shuffle orders only.
         let plan = scan("customer", &[("c_custkey", DataType::Int64)])
             .join(
-                scan("orders", &[("o_orderkey", DataType::Int64), ("o_custkey", DataType::Int64)]),
+                scan(
+                    "orders",
+                    &[
+                        ("o_orderkey", DataType::Int64),
+                        ("o_custkey", DataType::Int64),
+                    ],
+                ),
                 JoinKind::Inner,
                 vec![col(0)],
                 vec![col(1)],
@@ -501,15 +588,21 @@ mod tests {
 
     #[test]
     fn replicated_dimensions_join_locally() {
-        let plan = scan("supplier", &[("s_suppkey", DataType::Int64), ("s_nationkey", DataType::Int64)])
-            .join(
-                scan("nation", &[("n_nationkey", DataType::Int64)]),
-                JoinKind::Inner,
-                vec![col(1)],
-                vec![col(0)],
-                None,
-            )
-            .build();
+        let plan = scan(
+            "supplier",
+            &[
+                ("s_suppkey", DataType::Int64),
+                ("s_nationkey", DataType::Int64),
+            ],
+        )
+        .join(
+            scan("nation", &[("n_nationkey", DataType::Int64)]),
+            JoinKind::Inner,
+            vec![col(1)],
+            vec![col(0)],
+            None,
+        )
+        .build();
         let d = distribute(&plan, &scheme()).unwrap();
         // No shuffle for nation; just the final merge.
         assert_eq!(count_exchanges(&d), 1, "{}", d.explain());
@@ -517,30 +610,42 @@ mod tests {
 
     #[test]
     fn count_distinct_shuffles_raw_rows() {
-        let plan = scan("partsupp", &[("ps_partkey", DataType::Int64), ("ps_suppkey", DataType::Int64)])
-            .aggregate(
-                vec![col(0)],
-                vec![AggExpr {
-                    func: AggFunc::CountDistinct,
-                    input: Some(col(1)),
-                    name: "n".into(),
-                }],
-            )
-            .build();
+        let plan = scan(
+            "partsupp",
+            &[
+                ("ps_partkey", DataType::Int64),
+                ("ps_suppkey", DataType::Int64),
+            ],
+        )
+        .aggregate(
+            vec![col(0)],
+            vec![AggExpr {
+                func: AggFunc::CountDistinct,
+                input: Some(col(1)),
+                name: "n".into(),
+            }],
+        )
+        .build();
         let d = distribute(&plan, &scheme()).unwrap();
         sirius_plan::validate::validate(&d).unwrap();
         // Already partitioned on ps_partkey ⇒ local. Re-key to force a
         // shuffle instead.
-        let plan2 = scan("partsupp", &[("ps_partkey", DataType::Int64), ("ps_suppkey", DataType::Int64)])
-            .aggregate(
-                vec![col(1)],
-                vec![AggExpr {
-                    func: AggFunc::CountDistinct,
-                    input: Some(col(0)),
-                    name: "n".into(),
-                }],
-            )
-            .build();
+        let plan2 = scan(
+            "partsupp",
+            &[
+                ("ps_partkey", DataType::Int64),
+                ("ps_suppkey", DataType::Int64),
+            ],
+        )
+        .aggregate(
+            vec![col(1)],
+            vec![AggExpr {
+                func: AggFunc::CountDistinct,
+                input: Some(col(0)),
+                name: "n".into(),
+            }],
+        )
+        .build();
         let d2 = distribute(&plan2, &scheme()).unwrap();
         assert!(count_exchanges(&d2) > count_exchanges(&d));
     }
@@ -548,7 +653,10 @@ mod tests {
     #[test]
     fn sort_and_limit_gather_to_node_zero() {
         let plan = scan("customer", &[("c_custkey", DataType::Int64)])
-            .sort(vec![SortExpr { expr: col(0), ascending: true }])
+            .sort(vec![SortExpr {
+                expr: col(0),
+                ascending: true,
+            }])
             .limit(0, Some(5))
             .build();
         let d = distribute(&plan, &scheme()).unwrap();

@@ -113,8 +113,11 @@ impl DuckDb {
     /// Register a table.
     pub fn create_table(&mut self, name: impl Into<String>, table: Table) {
         let name = name.into();
-        self.binder
-            .add_table(name.clone(), table.schema().clone(), table.num_rows() as u64);
+        self.binder.add_table(
+            name.clone(),
+            table.schema().clone(),
+            table.num_rows() as u64,
+        );
         if let Some(acc) = self.accelerator.read().as_ref() {
             acc.cache_table(&name, &table);
         }
@@ -149,9 +152,8 @@ impl DuckDb {
     pub fn execute_plan(&self, plan: &Rel) -> Result<Table, DuckDbError> {
         let acc = self.accelerator.read().clone();
         if let Some(acc) = acc {
-            let wire = json::to_json(plan).map_err(|e| {
-                DuckDbError::Sql(sirius_sql::SqlError::Plan(e))
-            })?;
+            let wire =
+                json::to_json(plan).map_err(|e| DuckDbError::Sql(sirius_sql::SqlError::Plan(e)))?;
             match acc.execute_substrait(&wire) {
                 Ok(t) => {
                     *self.last_executed_by.write() =
@@ -165,7 +167,9 @@ impl DuckDb {
         } else {
             *self.last_executed_by.write() = ExecutedBy::Host;
         }
-        self.engine.execute(plan, &self.tables).map_err(DuckDbError::Exec)
+        self.engine
+            .execute(plan, &self.tables)
+            .map_err(DuckDbError::Exec)
     }
 
     /// EXPLAIN output for a query.
@@ -208,7 +212,10 @@ mod tests {
                     Field::new("k", DataType::Int64),
                     Field::new("g", DataType::Utf8),
                 ]),
-                vec![Array::from_i64([1, 2, 3]), Array::from_strs(["a", "b", "a"])],
+                vec![
+                    Array::from_i64([1, 2, 3]),
+                    Array::from_strs(["a", "b", "a"]),
+                ],
             ),
         );
         db
@@ -217,7 +224,9 @@ mod tests {
     #[test]
     fn sql_end_to_end() {
         let db = db();
-        let out = db.sql("select g, count(*) as n from t group by g order by n desc").unwrap();
+        let out = db
+            .sql("select g, count(*) as n from t group by g order by n desc")
+            .unwrap();
         assert_eq!(out.num_rows(), 2);
         assert_eq!(out.column(0).utf8_value(0), Some("a"));
         assert_eq!(db.last_executed_by(), ExecutedBy::Host);
@@ -263,7 +272,11 @@ mod tests {
         });
         db.register_accelerator(acc.clone());
         let out = db.sql("select k from t").unwrap();
-        assert_eq!(out.column(0).i64_value(0), Some(7), "accelerator result used");
+        assert_eq!(
+            out.column(0).i64_value(0),
+            Some(7),
+            "accelerator result used"
+        );
         assert_eq!(acc.calls.load(std::sync::atomic::Ordering::SeqCst), 1);
         assert_eq!(
             db.last_executed_by(),
@@ -280,12 +293,18 @@ mod tests {
         }));
         let out = db.sql("select k from t where k >= 2").unwrap();
         assert_eq!(out.num_rows(), 2, "host produced the real answer");
-        assert!(matches!(db.last_executed_by(), ExecutedBy::FallbackAfter(_)));
+        assert!(matches!(
+            db.last_executed_by(),
+            ExecutedBy::FallbackAfter(_)
+        ));
     }
 
     #[test]
     fn unknown_table_is_a_sql_error() {
         let db = db();
-        assert!(matches!(db.sql("select x from missing"), Err(DuckDbError::Sql(_))));
+        assert!(matches!(
+            db.sql("select x from missing"),
+            Err(DuckDbError::Sql(_))
+        ));
     }
 }

@@ -45,7 +45,8 @@ impl CpuEngine {
             check_no_residual_semi(plan)?;
         }
         *self.budget_base.lock() = self.device.elapsed();
-        self.device.charge_duration(CostCategory::Other, self.profile.per_query_overhead);
+        self.device
+            .charge_duration(CostCategory::Other, self.profile.per_query_overhead);
         let out = self.run(plan, catalog)?;
         Ok(out)
     }
@@ -54,7 +55,10 @@ impl CpuEngine {
         let scaled = work.scaled(self.profile.multiplier(category));
         self.device.charge(category, &scaled);
         if let Some(budget) = self.profile.time_budget {
-            let elapsed = self.device.elapsed().saturating_sub(*self.budget_base.lock());
+            let elapsed = self
+                .device
+                .elapsed()
+                .saturating_sub(*self.budget_base.lock());
             if elapsed > budget {
                 return Err(ExecError::TimeBudgetExceeded { elapsed, budget });
             }
@@ -64,7 +68,9 @@ impl CpuEngine {
 
     fn run(&self, plan: &Rel, catalog: &Catalog) -> Result<Table> {
         match plan {
-            Rel::Read { table, projection, .. } => {
+            Rel::Read {
+                table, projection, ..
+            } => {
                 let t = catalog
                     .get(table)
                     .ok_or_else(|| ExecError::TableNotFound(table.clone()))?;
@@ -82,7 +88,9 @@ impl CpuEngine {
                 // Scan+filter fusion (mirrors the GPU engine): the filter
                 // over a base scan charges a single pass.
                 let t = match &**input {
-                    Rel::Read { table, projection, .. } => {
+                    Rel::Read {
+                        table, projection, ..
+                    } => {
                         let t = catalog
                             .get(table)
                             .ok_or_else(|| ExecError::TableNotFound(table.clone()))?;
@@ -122,7 +130,11 @@ impl CpuEngine {
                 )?;
                 Ok(out)
             }
-            Rel::Aggregate { input, group_by, aggregates } => {
+            Rel::Aggregate {
+                input,
+                group_by,
+                aggregates,
+            } => {
                 let t = self.run(input, catalog)?;
                 let key_cols: Vec<Array> = group_by
                     .iter()
@@ -149,20 +161,29 @@ impl CpuEngine {
                     category,
                     WorkProfile::scan(t.byte_size() as u64)
                         .with_random((t.num_rows() * 8 * aggregates.len().max(1)) as u64)
-                        .with_flops(
-                            (t.num_rows() * (group_by.len() + aggregates.len())) as u64,
-                        )
+                        .with_flops((t.num_rows() * (group_by.len() + aggregates.len())) as u64)
                         .with_rows(t.num_rows() as u64),
                 )?;
                 Ok(out)
             }
-            Rel::Join { left, right, kind, left_keys, right_keys, residual } => {
+            Rel::Join {
+                left,
+                right,
+                kind,
+                left_keys,
+                right_keys,
+                residual,
+            } => {
                 let lt = self.run(left, catalog)?;
                 let rt = self.run(right, catalog)?;
-                let lk: Vec<Array> =
-                    left_keys.iter().map(|e| evaluate(e, &lt)).collect::<Result<_>>()?;
-                let rk: Vec<Array> =
-                    right_keys.iter().map(|e| evaluate(e, &rt)).collect::<Result<_>>()?;
+                let lk: Vec<Array> = left_keys
+                    .iter()
+                    .map(|e| evaluate(e, &lt))
+                    .collect::<Result<_>>()?;
+                let rk: Vec<Array> = right_keys
+                    .iter()
+                    .map(|e| evaluate(e, &rt))
+                    .collect::<Result<_>>()?;
                 let pairs = ops::find_pairs(&lk, &rk, lt.num_rows(), rt.num_rows());
                 // Residual predicate: evaluated vectorized over the
                 // candidate-pair tables.
@@ -189,8 +210,7 @@ impl CpuEngine {
                             .collect();
                         let r = Table::new(
                             plan.schema()?.project(
-                                &(lt.num_columns()
-                                    ..lt.num_columns() + rt.num_columns())
+                                &(lt.num_columns()..lt.num_columns() + rt.num_columns())
                                     .collect::<Vec<_>>(),
                             ),
                             rcols,
@@ -198,7 +218,11 @@ impl CpuEngine {
                         l.hstack(&r)
                     }
                 };
-                let key_bytes: u64 = lk.iter().chain(rk.iter()).map(|a| a.byte_size() as u64).sum();
+                let key_bytes: u64 = lk
+                    .iter()
+                    .chain(rk.iter())
+                    .map(|a| a.byte_size() as u64)
+                    .sum();
                 // CPU hash joins materialize the whole build side (keys +
                 // payload) into the hash table; engines that leave large
                 // inputs on the build side (ClickHouse's FROM-order plans)
@@ -233,7 +257,11 @@ impl CpuEngine {
                 )?;
                 Ok(out)
             }
-            Rel::Limit { input, offset, fetch } => {
+            Rel::Limit {
+                input,
+                offset,
+                fetch,
+            } => {
                 let t = self.run(input, catalog)?;
                 let start = (*offset).min(t.num_rows());
                 let end = match fetch {
@@ -340,7 +368,10 @@ mod tests {
                     name: "s".into(),
                 }],
             )
-            .sort(vec![SortExpr { expr: expr::col(1), ascending: false }])
+            .sort(vec![SortExpr {
+                expr: expr::col(1),
+                ascending: false,
+            }])
             .build();
         let out = eng.execute(&plan, &cat).unwrap();
         assert_eq!(out.num_rows(), 2);
@@ -441,7 +472,9 @@ mod tests {
         let out = eng.execute(&plan, &cat).unwrap();
         assert_eq!(out.num_rows(), 4);
         // Exactly one matched row, three null-padded.
-        let nulls = (0..4).filter(|&i| out.column(3).scalar(i) == Scalar::Null).count();
+        let nulls = (0..4)
+            .filter(|&i| out.column(3).scalar(i) == Scalar::Null)
+            .count();
         assert_eq!(nulls, 3);
     }
 }

@@ -5,18 +5,16 @@
 
 use crate::{ExecError, Result};
 use sirius_columnar::scalar::date32_year;
-use sirius_columnar::{Array, Scalar, Table};
 #[cfg(test)]
 use sirius_columnar::DataType;
+use sirius_columnar::{Array, Scalar, Table};
 use sirius_plan::{BinOp, Expr, UnOp};
 use std::cmp::Ordering;
 
 /// Evaluate an expression over every row of `input`.
 pub fn evaluate(expr: &Expr, input: &Table) -> Result<Array> {
     let n = input.num_rows();
-    let out_type = expr
-        .data_type(input.schema())
-        .map_err(ExecError::Plan)?;
+    let out_type = expr.data_type(input.schema()).map_err(ExecError::Plan)?;
     // Fast path: bare column reference is zero-copy.
     if let Expr::Column(i) = expr {
         return Ok(input.column(*i).clone());
@@ -45,22 +43,21 @@ pub fn eval_row(expr: &Expr, input: &Table, row: usize) -> Result<Scalar> {
                 UnOp::IsNull => Scalar::Bool(v.is_null()),
                 UnOp::IsNotNull => Scalar::Bool(!v.is_null()),
                 _ if v.is_null() => Scalar::Null,
-                UnOp::Not => Scalar::Bool(!v.as_bool().ok_or_else(|| {
-                    ExecError::Eval("NOT on non-bool".into())
-                })?),
+                UnOp::Not => Scalar::Bool(
+                    !v.as_bool()
+                        .ok_or_else(|| ExecError::Eval("NOT on non-bool".into()))?,
+                ),
                 UnOp::Neg => match v {
                     Scalar::Float64(f) => Scalar::Float64(-f),
-                    other => Scalar::Int64(-other.as_i64().ok_or_else(|| {
-                        ExecError::Eval("Neg on non-numeric".into())
-                    })?),
+                    other => Scalar::Int64(
+                        -other
+                            .as_i64()
+                            .ok_or_else(|| ExecError::Eval("Neg on non-numeric".into()))?,
+                    ),
                 },
                 UnOp::ExtractYear => match v {
                     Scalar::Date32(d) => Scalar::Int64(date32_year(d) as i64),
-                    other => {
-                        return Err(ExecError::Eval(format!(
-                            "EXTRACT(YEAR) on {other:?}"
-                        )))
-                    }
+                    other => return Err(ExecError::Eval(format!("EXTRACT(YEAR) on {other:?}"))),
                 },
             }
         }
@@ -69,22 +66,33 @@ pub fn eval_row(expr: &Expr, input: &Table, row: usize) -> Result<Scalar> {
             v.cast(*to)
                 .ok_or_else(|| ExecError::Eval(format!("cast {v:?} to {to}")))?
         }
-        Expr::Like { input: e, pattern, negated } => {
+        Expr::Like {
+            input: e,
+            pattern,
+            negated,
+        } => {
             let v = eval_row(e, input, row)?;
             match v.as_str() {
                 Some(s) => Scalar::Bool(like_match(s, pattern) != *negated),
                 None => Scalar::Null,
             }
         }
-        Expr::InList { input: e, list, negated } => {
+        Expr::InList {
+            input: e,
+            list,
+            negated,
+        } => {
             let v = eval_row(e, input, row)?;
             if v.is_null() {
                 Scalar::Null
             } else {
-                Scalar::Bool(list.iter().any(|x| *x == v) != *negated)
+                Scalar::Bool(list.contains(&v) != *negated)
             }
         }
-        Expr::Case { branches, otherwise } => {
+        Expr::Case {
+            branches,
+            otherwise,
+        } => {
             let mut chosen = None;
             for (c, v) in branches {
                 if eval_row(c, input, row)?.as_bool() == Some(true) {
@@ -98,12 +106,16 @@ pub fn eval_row(expr: &Expr, input: &Table, row: usize) -> Result<Scalar> {
                 (None, None) => Scalar::Null,
             }
         }
-        Expr::Substring { input: e, start, len } => {
+        Expr::Substring {
+            input: e,
+            start,
+            len,
+        } => {
             let v = eval_row(e, input, row)?;
             match v.as_str() {
-                Some(s) => Scalar::Utf8(
-                    s.chars().skip(start.saturating_sub(1)).take(*len).collect(),
-                ),
+                Some(s) => {
+                    Scalar::Utf8(s.chars().skip(start.saturating_sub(1)).take(*len).collect())
+                }
                 None => Scalar::Null,
             }
         }
@@ -153,8 +165,10 @@ fn eval_binop(op: BinOp, l: &Scalar, r: &Scalar) -> Result<Scalar> {
         }
         Mod => {
             let (a, b) = (
-                l.as_i64().ok_or_else(|| ExecError::Eval("mod non-int".into()))?,
-                r.as_i64().ok_or_else(|| ExecError::Eval("mod non-int".into()))?,
+                l.as_i64()
+                    .ok_or_else(|| ExecError::Eval("mod non-int".into()))?,
+                r.as_i64()
+                    .ok_or_else(|| ExecError::Eval("mod non-int".into()))?,
             );
             if b == 0 {
                 Scalar::Null
@@ -175,10 +189,8 @@ fn eval_binop(op: BinOp, l: &Scalar, r: &Scalar) -> Result<Scalar> {
                 }
                 (Scalar::Float64(_), _) | (_, Scalar::Float64(_)) => {
                     let (a, b) = (
-                        numeric(l)
-                            .ok_or_else(|| ExecError::Eval("arith non-numeric".into()))?,
-                        numeric(r)
-                            .ok_or_else(|| ExecError::Eval("arith non-numeric".into()))?,
+                        numeric(l).ok_or_else(|| ExecError::Eval("arith non-numeric".into()))?,
+                        numeric(r).ok_or_else(|| ExecError::Eval("arith non-numeric".into()))?,
                     );
                     Scalar::Float64(match op {
                         Add => a + b,
@@ -189,8 +201,10 @@ fn eval_binop(op: BinOp, l: &Scalar, r: &Scalar) -> Result<Scalar> {
                 }
                 _ => {
                     let (a, b) = (
-                        l.as_i64().ok_or_else(|| ExecError::Eval("arith non-int".into()))?,
-                        r.as_i64().ok_or_else(|| ExecError::Eval("arith non-int".into()))?,
+                        l.as_i64()
+                            .ok_or_else(|| ExecError::Eval("arith non-int".into()))?,
+                        r.as_i64()
+                            .ok_or_else(|| ExecError::Eval("arith non-int".into()))?,
                     );
                     Scalar::Int64(match op {
                         Add => a.wrapping_add(b),
@@ -340,7 +354,11 @@ mod tests {
     fn substring_eval() {
         let table = t();
         let r = evaluate(
-            &Expr::Substring { input: Box::new(col(2)), start: 2, len: 3 },
+            &Expr::Substring {
+                input: Box::new(col(2)),
+                start: 2,
+                len: 3,
+            },
             &table,
         )
         .unwrap();

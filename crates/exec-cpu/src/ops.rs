@@ -59,8 +59,11 @@ pub fn find_pairs(
     left_rows: usize,
     right_rows: usize,
 ) -> CandidatePairs {
-    let mut pairs =
-        CandidatePairs { left: Vec::new(), right: Vec::new(), left_rows };
+    let mut pairs = CandidatePairs {
+        left: Vec::new(),
+        right: Vec::new(),
+        left_rows,
+    };
     if left_keys.is_empty() {
         for l in 0..left_rows {
             for r in 0..right_rows {
@@ -110,7 +113,10 @@ pub fn resolve_pairs(
         assert_eq!(m.len(), pairs.len(), "residual mask length mismatch");
     }
     let pass = |i: usize| mask.map(|m| m.get(i)).unwrap_or(true);
-    let mut out = CpuJoinOut { left: Vec::new(), right: Vec::new() };
+    let mut out = CpuJoinOut {
+        left: Vec::new(),
+        right: Vec::new(),
+    };
     match kind {
         JoinKind::Inner | JoinKind::Cross => {
             for i in 0..pairs.len() {
@@ -208,6 +214,8 @@ pub fn aggregate(
         accs.push(aggs.iter().map(|_| Acc::new()).collect());
     }
 
+    // `row` indexes both `keys` and every aggregate input column.
+    #[allow(clippy::needless_range_loop)]
     for row in 0..n {
         let gid = if global {
             0
@@ -389,9 +397,10 @@ mod tests {
         let p = pairs(&l, &r);
         assert_eq!(p.len(), 4);
         // Keep pairs where left value != right value.
-        let mask = Bitmap::from_iter((0..p.len()).map(|i| {
-            l.column(1).utf8_value(p.left[i]) != r.column(1).utf8_value(p.right[i])
-        }));
+        let mask = Bitmap::from_iter(
+            (0..p.len())
+                .map(|i| l.column(1).utf8_value(p.left[i]) != r.column(1).utf8_value(p.right[i])),
+        );
         let inner = resolve_pairs(JoinKind::Inner, &p, Some(&mask)).unwrap();
         assert_eq!(inner.left.len(), 3);
         let anti = resolve_pairs(JoinKind::Anti, &p, Some(&mask)).unwrap();
@@ -426,14 +435,8 @@ mod tests {
 
     #[test]
     fn null_keys_never_match() {
-        let l = Array::from_scalars(
-            &[Scalar::Int64(1), Scalar::Null],
-            DataType::Int64,
-        );
-        let r = Array::from_scalars(
-            &[Scalar::Null, Scalar::Int64(1)],
-            DataType::Int64,
-        );
+        let l = Array::from_scalars(&[Scalar::Int64(1), Scalar::Null], DataType::Int64);
+        let r = Array::from_scalars(&[Scalar::Null, Scalar::Int64(1)], DataType::Int64);
         let p = find_pairs(&[l], &[r], 2, 2);
         assert_eq!(p.len(), 1);
         assert_eq!((p.left[0], p.right[0]), (0, 1));

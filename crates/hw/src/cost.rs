@@ -29,12 +29,20 @@ pub struct WorkProfile {
 impl WorkProfile {
     /// A pure sequential scan of `bytes`.
     pub fn scan(bytes: u64) -> Self {
-        Self { bytes_streamed: bytes, launches: 1, ..Self::default() }
+        Self {
+            bytes_streamed: bytes,
+            launches: 1,
+            ..Self::default()
+        }
     }
 
     /// A pure random-access pass over `bytes`.
     pub fn random(bytes: u64) -> Self {
-        Self { bytes_random: bytes, launches: 1, ..Self::default() }
+        Self {
+            bytes_random: bytes,
+            launches: 1,
+            ..Self::default()
+        }
     }
 
     /// Builder: set the row count.

@@ -60,7 +60,10 @@ impl CostCategory {
 }
 
 fn index_of(c: CostCategory) -> usize {
-    CostCategory::ALL.iter().position(|x| *x == c).expect("category in ALL")
+    CostCategory::ALL
+        .iter()
+        .position(|x| *x == c)
+        .expect("category in ALL")
 }
 
 /// A snapshot of accumulated time per category.
@@ -114,31 +117,114 @@ impl TimeBreakdown {
     }
 }
 
+/// Ledger state: a serial lane plus any number of concurrent stream lanes.
+///
+/// Serial charges model work on the device's default stream (planning,
+/// transfers, single-threaded sections). Stream charges model kernels issued
+/// concurrently by morsel workers: lanes run in parallel, so only the
+/// *longest* lane contributes wall-clock time. [`CostLedger::sync_streams`]
+/// is the simulated `cudaDeviceSynchronize()` — it folds `max(streams)` into
+/// the serial lane and clears the lanes.
+#[derive(Debug, Clone, Default)]
+struct LedgerState {
+    serial: TimeBreakdown,
+    streams: Vec<TimeBreakdown>,
+}
+
+impl LedgerState {
+    /// Overlap-attributed view: serial time plus the in-flight stream time.
+    ///
+    /// The streams' wall-clock contribution is `max(stream totals)`; that
+    /// span is attributed to categories proportionally to each category's
+    /// share of the summed stream work, with the rounding remainder pinned
+    /// to the largest category so the snapshot's total is *exactly*
+    /// `serial + max(streams)`.
+    fn attributed(&self) -> TimeBreakdown {
+        self.serial.merge(&attribute_overlap(&self.streams))
+    }
+}
+
+fn attribute_overlap(streams: &[TimeBreakdown]) -> TimeBreakdown {
+    let max: u64 = streams
+        .iter()
+        .map(|s| s.nanos.iter().sum())
+        .max()
+        .unwrap_or(0);
+    if max == 0 {
+        return TimeBreakdown::default();
+    }
+    let mut summed = [0u64; 8];
+    for s in streams {
+        for (acc, n) in summed.iter_mut().zip(s.nanos.iter()) {
+            *acc += *n;
+        }
+    }
+    let sum: u64 = summed.iter().sum();
+    let mut nanos = [0u64; 8];
+    for (out, raw) in nanos.iter_mut().zip(summed.iter()) {
+        *out = (*raw as u128 * max as u128 / sum as u128) as u64;
+    }
+    let assigned: u64 = nanos.iter().sum();
+    let largest = summed
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, n)| **n)
+        .map(|(i, _)| i)
+        .expect("eight categories");
+    nanos[largest] += max - assigned;
+    TimeBreakdown { nanos }
+}
+
 /// Thread-safe accumulating ledger; cheap to clone (shared state).
 #[derive(Clone, Default)]
 pub struct CostLedger {
-    inner: Arc<Mutex<TimeBreakdown>>,
+    inner: Arc<Mutex<LedgerState>>,
 }
 
 impl CostLedger {
-    /// Record `d` under `category`.
+    /// Record `d` under `category` on the serial lane.
     pub fn add(&self, category: CostCategory, d: Duration) {
-        self.inner.lock().add(category, d);
+        self.inner.lock().serial.add(category, d);
     }
 
-    /// Total accumulated time.
+    /// Record `d` under `category` on stream lane `stream`. Lanes overlap:
+    /// only the longest lane adds wall-clock time until the next
+    /// [`sync_streams`](Self::sync_streams).
+    pub fn add_on_stream(&self, stream: usize, category: CostCategory, d: Duration) {
+        let mut state = self.inner.lock();
+        if state.streams.len() <= stream {
+            state.streams.resize(stream + 1, TimeBreakdown::default());
+        }
+        state.streams[stream].add(category, d);
+    }
+
+    /// Synchronize: fold the overlapped stream time into the serial lane and
+    /// clear the lanes. Returns the wall-clock time the barrier accounted
+    /// for (the longest lane's total).
+    pub fn sync_streams(&self) -> Duration {
+        let mut state = self.inner.lock();
+        let folded = attribute_overlap(&state.streams);
+        let wall = folded.total();
+        state.serial = state.serial.merge(&folded);
+        state.streams.clear();
+        wall
+    }
+
+    /// Total simulated wall-clock time: serial plus the longest in-flight
+    /// stream lane.
     pub fn total(&self) -> Duration {
-        self.inner.lock().total()
+        self.inner.lock().attributed().total()
     }
 
-    /// Copy of the current breakdown.
+    /// Overlap-attributed copy of the current breakdown. Its total always
+    /// equals [`total`](Self::total).
     pub fn snapshot(&self) -> TimeBreakdown {
-        self.inner.lock().clone()
+        self.inner.lock().attributed()
     }
 
-    /// Clear all accumulated time.
+    /// Clear all accumulated time on every lane.
     pub fn reset(&self) {
-        *self.inner.lock() = TimeBreakdown::default();
+        *self.inner.lock() = LedgerState::default();
     }
 }
 
@@ -181,6 +267,69 @@ mod tests {
         let m = a.merge(&b);
         assert_eq!(m.get(CostCategory::GroupBy), Duration::from_millis(3));
         assert_eq!(m.get(CostCategory::OrderBy), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn equal_streams_overlap_perfectly() {
+        let l = CostLedger::default();
+        for s in 0..4 {
+            l.add_on_stream(s, CostCategory::Filter, Duration::from_millis(10));
+        }
+        // Four balanced lanes take the wall time of one.
+        assert_eq!(l.total(), Duration::from_millis(10));
+        let b = l.snapshot();
+        assert_eq!(b.get(CostCategory::Filter), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn elapsed_is_serial_plus_longest_stream() {
+        let l = CostLedger::default();
+        l.add(CostCategory::Exchange, Duration::from_millis(5));
+        l.add_on_stream(0, CostCategory::Join, Duration::from_millis(8));
+        l.add_on_stream(1, CostCategory::Join, Duration::from_millis(2));
+        assert_eq!(l.total(), Duration::from_millis(13));
+        // Snapshot total always matches the wall-clock total exactly.
+        assert_eq!(l.snapshot().total(), l.total());
+    }
+
+    #[test]
+    fn overlap_attribution_is_proportional() {
+        let l = CostLedger::default();
+        // Stream 0: 6ms filter; stream 1: 2ms filter + 4ms join. Both lanes
+        // total 6ms, so wall time is 6ms, split 8:4 across categories.
+        l.add_on_stream(0, CostCategory::Filter, Duration::from_millis(6));
+        l.add_on_stream(1, CostCategory::Filter, Duration::from_millis(2));
+        l.add_on_stream(1, CostCategory::Join, Duration::from_millis(4));
+        let b = l.snapshot();
+        assert_eq!(b.total(), Duration::from_millis(6));
+        assert_eq!(b.get(CostCategory::Filter), Duration::from_millis(4));
+        assert_eq!(b.get(CostCategory::Join), Duration::from_millis(2));
+    }
+
+    #[test]
+    fn sync_streams_folds_and_clears() {
+        let l = CostLedger::default();
+        l.add_on_stream(0, CostCategory::GroupBy, Duration::from_millis(7));
+        l.add_on_stream(1, CostCategory::GroupBy, Duration::from_millis(3));
+        let wall = l.sync_streams();
+        assert_eq!(wall, Duration::from_millis(7));
+        assert_eq!(l.total(), Duration::from_millis(7));
+        // Lanes are clear: new stream work starts a fresh overlap window.
+        l.add_on_stream(1, CostCategory::GroupBy, Duration::from_millis(5));
+        assert_eq!(l.total(), Duration::from_millis(12));
+        // Syncing with no in-flight work is free.
+        l.sync_streams();
+        assert_eq!(l.sync_streams(), Duration::ZERO);
+        assert_eq!(l.total(), Duration::from_millis(12));
+    }
+
+    #[test]
+    fn serialized_sections_still_sum() {
+        // Two serial charges never overlap, matching the old behavior.
+        let l = CostLedger::default();
+        l.add(CostCategory::Filter, Duration::from_millis(4));
+        l.add(CostCategory::Join, Duration::from_millis(6));
+        assert_eq!(l.total(), Duration::from_millis(10));
     }
 
     #[test]

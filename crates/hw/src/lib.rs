@@ -47,16 +47,27 @@ use std::time::Duration;
 /// A simulated execution device: a specification plus an accumulating time
 /// ledger. Cloning shares the ledger (a device handle can be passed to many
 /// operators).
+///
+/// A handle is either *serial* (the default stream — charges add up) or
+/// bound to a numbered stream via [`on_stream`](Device::on_stream) — charges
+/// on different streams overlap, and only the longest stream contributes
+/// wall-clock time until [`sync_streams`](Device::sync_streams) (the
+/// simulated `cudaDeviceSynchronize()`) folds them in.
 #[derive(Clone)]
 pub struct Device {
     spec: Arc<DeviceSpec>,
     ledger: CostLedger,
+    stream: Option<usize>,
 }
 
 impl Device {
     /// Create a device from a specification with an empty ledger.
     pub fn new(spec: DeviceSpec) -> Self {
-        Self { spec: Arc::new(spec), ledger: CostLedger::default() }
+        Self {
+            spec: Arc::new(spec),
+            ledger: CostLedger::default(),
+            stream: None,
+        }
     }
 
     /// The device specification.
@@ -64,18 +75,43 @@ impl Device {
         &self.spec
     }
 
+    /// A handle that charges onto stream `stream`. Shares the ledger with
+    /// `self`; existing serial handles are unaffected.
+    pub fn on_stream(&self, stream: usize) -> Device {
+        Device {
+            spec: Arc::clone(&self.spec),
+            ledger: self.ledger.clone(),
+            stream: Some(stream),
+        }
+    }
+
+    /// The stream this handle charges onto, if bound.
+    pub fn stream(&self) -> Option<usize> {
+        self.stream
+    }
+
+    /// Synchronize all streams: fold the overlapped stream time into the
+    /// serial lane and return the wall-clock time the in-flight streams
+    /// accounted for (their longest lane).
+    pub fn sync_streams(&self) -> Duration {
+        self.ledger.sync_streams()
+    }
+
     /// Charge a unit of work to the ledger under `category` and return the
     /// simulated duration of that unit.
     pub fn charge(&self, category: CostCategory, work: &WorkProfile) -> Duration {
         let d = CostModel::kernel_time(&self.spec, work);
-        self.ledger.add(category, d);
+        self.charge_duration(category, d);
         d
     }
 
     /// Charge an explicit duration (used by exchange/link accounting where
     /// the time is computed against a [`Link`] rather than the device).
     pub fn charge_duration(&self, category: CostCategory, d: Duration) {
-        self.ledger.add(category, d);
+        match self.stream {
+            Some(s) => self.ledger.add_on_stream(s, category, d),
+            None => self.ledger.add(category, d),
+        }
     }
 
     /// Total simulated time accumulated on this device.
@@ -134,6 +170,25 @@ mod tests {
         d.reset();
         assert_eq!(d.elapsed(), Duration::ZERO);
         assert!(d.breakdown().entries().is_empty());
+    }
+
+    #[test]
+    fn stream_handles_overlap_until_sync() {
+        let d = Device::new(catalog::gh200_gpu());
+        let w = WorkProfile::scan(1 << 24);
+        let per_kernel = CostModel::kernel_time(d.spec(), &w);
+        for s in 0..4 {
+            d.on_stream(s).charge(CostCategory::Filter, &w);
+        }
+        // Four streams doing identical work take the wall time of one.
+        assert_eq!(d.elapsed(), per_kernel);
+        let wall = d.sync_streams();
+        assert_eq!(wall, per_kernel);
+        // After sync the time is settled in the serial lane.
+        assert_eq!(d.elapsed(), per_kernel);
+        // A serial charge after sync adds on top.
+        d.charge(CostCategory::Other, &w);
+        assert_eq!(d.elapsed(), per_kernel * 2);
     }
 
     #[test]

@@ -23,7 +23,11 @@ pub struct LinkSpec {
 impl LinkSpec {
     /// Construct a spec.
     pub fn new(name: impl Into<String>, bandwidth: f64, latency_ns: u64) -> Self {
-        Self { name: name.into(), bandwidth, latency_ns }
+        Self {
+            name: name.into(),
+            bandwidth,
+            latency_ns,
+        }
     }
 
     /// Wire time for a single transfer of `bytes`.

@@ -170,8 +170,11 @@ mod tests {
     fn pcie_doubles_roughly_every_two_years() {
         let s = interconnect_bandwidth();
         // PCIe3 (16) -> PCIe6 (128) is 8x over 10 years: CAGR ~23%.
-        let pcie_only: Vec<_> =
-            s.points.iter().filter(|p| p.label.starts_with("PCIe")).collect();
+        let pcie_only: Vec<_> = s
+            .points
+            .iter()
+            .filter(|p| p.label.starts_with("PCIe"))
+            .collect();
         let first = pcie_only.first().unwrap();
         let last = pcie_only.last().unwrap();
         assert!(last.value / first.value >= 8.0 - 1e-9);

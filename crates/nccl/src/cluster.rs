@@ -37,6 +37,7 @@ impl NcclCluster {
     /// Create `world` communicators joined by an interconnect of `spec`.
     /// The returned vector is indexed by rank; hand each element to its
     /// node's thread.
+    #[allow(clippy::new_ret_no_self)]
     pub fn new(world: usize, spec: LinkSpec) -> Vec<Communicator> {
         let link = Link::new(spec);
         let (senders, receivers): (Vec<_>, Vec<_>) =
@@ -87,7 +88,11 @@ impl Communicator {
         }
         let bytes = table.byte_size() as u64;
         self.senders[peer]
-            .send(Message { src: self.rank, seq, table })
+            .send(Message {
+                src: self.rank,
+                seq,
+                table,
+            })
             .map_err(|_| NcclError::Disconnected { peer })?;
         Ok(if peer == self.rank {
             Duration::ZERO

@@ -32,7 +32,11 @@ impl PlanBuilder {
     /// Start from a base-table scan.
     pub fn scan(table: impl Into<String>, schema: Schema) -> Self {
         Self {
-            rel: Rel::Read { table: table.into(), schema, projection: None },
+            rel: Rel::Read {
+                table: table.into(),
+                schema,
+                projection: None,
+            },
         }
     }
 
@@ -43,18 +47,32 @@ impl PlanBuilder {
 
     /// Add a filter.
     pub fn filter(self, predicate: Expr) -> Self {
-        Self { rel: Rel::Filter { input: Box::new(self.rel), predicate } }
+        Self {
+            rel: Rel::Filter {
+                input: Box::new(self.rel),
+                predicate,
+            },
+        }
     }
 
     /// Add a projection.
     pub fn project(self, exprs: Vec<(Expr, String)>) -> Self {
-        Self { rel: Rel::Project { input: Box::new(self.rel), exprs } }
+        Self {
+            rel: Rel::Project {
+                input: Box::new(self.rel),
+                exprs,
+            },
+        }
     }
 
     /// Add an aggregation.
     pub fn aggregate(self, group_by: Vec<Expr>, aggregates: Vec<AggExpr>) -> Self {
         Self {
-            rel: Rel::Aggregate { input: Box::new(self.rel), group_by, aggregates },
+            rel: Rel::Aggregate {
+                input: Box::new(self.rel),
+                group_by,
+                aggregates,
+            },
         }
     }
 
@@ -81,22 +99,42 @@ impl PlanBuilder {
 
     /// Add a sort.
     pub fn sort(self, keys: Vec<SortExpr>) -> Self {
-        Self { rel: Rel::Sort { input: Box::new(self.rel), keys } }
+        Self {
+            rel: Rel::Sort {
+                input: Box::new(self.rel),
+                keys,
+            },
+        }
     }
 
     /// Add offset/fetch.
     pub fn limit(self, offset: usize, fetch: Option<usize>) -> Self {
-        Self { rel: Rel::Limit { input: Box::new(self.rel), offset, fetch } }
+        Self {
+            rel: Rel::Limit {
+                input: Box::new(self.rel),
+                offset,
+                fetch,
+            },
+        }
     }
 
     /// Add duplicate elimination.
     pub fn distinct(self) -> Self {
-        Self { rel: Rel::Distinct { input: Box::new(self.rel) } }
+        Self {
+            rel: Rel::Distinct {
+                input: Box::new(self.rel),
+            },
+        }
     }
 
     /// Add a distributed exchange.
     pub fn exchange(self, kind: ExchangeKind) -> Self {
-        Self { rel: Rel::Exchange { input: Box::new(self.rel), kind } }
+        Self {
+            rel: Rel::Exchange {
+                input: Box::new(self.rel),
+                kind,
+            },
+        }
     }
 
     /// Finish, returning the relation tree.

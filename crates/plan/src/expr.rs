@@ -26,7 +26,10 @@ pub enum BinOp {
 impl BinOp {
     /// True for comparison operators.
     pub fn is_comparison(&self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
     }
 }
 
@@ -112,17 +115,21 @@ impl Expr {
     /// NULL literals type as `Bool` in isolation; engines special-case them.
     pub fn data_type(&self, input: &Schema) -> Result<DataType> {
         match self {
-            Expr::Column(i) => input
-                .fields
-                .get(*i)
-                .map(|f| f.data_type)
-                .ok_or(PlanError::ColumnOutOfRange { index: *i, width: input.len() }),
+            Expr::Column(i) => {
+                input
+                    .fields
+                    .get(*i)
+                    .map(|f| f.data_type)
+                    .ok_or(PlanError::ColumnOutOfRange {
+                        index: *i,
+                        width: input.len(),
+                    })
+            }
             Expr::Literal(s) => Ok(s.data_type().unwrap_or(DataType::Bool)),
             Expr::Binary { op, left, right } => {
                 let (lt, rt) = (left.data_type(input)?, right.data_type(input)?);
-                binop_result(*op, lt, rt).ok_or_else(|| {
-                    PlanError::TypeError(format!("{op:?} on ({lt}, {rt})"))
-                })
+                binop_result(*op, lt, rt)
+                    .ok_or_else(|| PlanError::TypeError(format!("{op:?} on ({lt}, {rt})")))
             }
             Expr::Unary { op, input: e } => {
                 let t = e.data_type(input)?;
@@ -132,15 +139,16 @@ impl Expr {
                     UnOp::Neg => match t {
                         DataType::Float64 => DataType::Float64,
                         DataType::Int32 | DataType::Int64 => DataType::Int64,
-                        other => {
-                            return Err(PlanError::TypeError(format!("Neg on {other}")))
-                        }
+                        other => return Err(PlanError::TypeError(format!("Neg on {other}"))),
                     },
                 })
             }
             Expr::Cast { to, .. } => Ok(*to),
             Expr::Like { .. } | Expr::InList { .. } => Ok(DataType::Bool),
-            Expr::Case { branches, otherwise } => {
+            Expr::Case {
+                branches,
+                otherwise,
+            } => {
                 // First non-null-literal branch value fixes the type.
                 for (_, v) in branches {
                     if !matches!(v, Expr::Literal(Scalar::Null)) {
@@ -161,18 +169,25 @@ impl Expr {
         match self {
             Expr::Column(i) => input.fields.get(*i).map(|f| f.nullable).unwrap_or(true),
             Expr::Literal(s) => s.is_null(),
-            Expr::Unary { op: UnOp::IsNull | UnOp::IsNotNull, .. } => false,
+            Expr::Unary {
+                op: UnOp::IsNull | UnOp::IsNotNull,
+                ..
+            } => false,
             Expr::Unary { input: e, .. }
             | Expr::Cast { input: e, .. }
             | Expr::Like { input: e, .. }
             | Expr::InList { input: e, .. }
             | Expr::Substring { input: e, .. } => e.nullable(input),
-            Expr::Binary { left, right, .. } => {
-                left.nullable(input) || right.nullable(input)
-            }
-            Expr::Case { branches, otherwise } => {
+            Expr::Binary { left, right, .. } => left.nullable(input) || right.nullable(input),
+            Expr::Case {
+                branches,
+                otherwise,
+            } => {
                 branches.iter().any(|(_, v)| v.nullable(input))
-                    || otherwise.as_ref().map(|o| o.nullable(input)).unwrap_or(true)
+                    || otherwise
+                        .as_ref()
+                        .map(|o| o.nullable(input))
+                        .unwrap_or(true)
             }
         }
     }
@@ -191,7 +206,10 @@ impl Expr {
             | Expr::Like { input, .. }
             | Expr::InList { input, .. }
             | Expr::Substring { input, .. } => input.referenced_columns(out),
-            Expr::Case { branches, otherwise } => {
+            Expr::Case {
+                branches,
+                otherwise,
+            } => {
                 for (c, v) in branches {
                     c.referenced_columns(out);
                     v.referenced_columns(out);
@@ -214,23 +232,36 @@ impl Expr {
                 left: Box::new(left.remap_columns(f)),
                 right: Box::new(right.remap_columns(f)),
             },
-            Expr::Unary { op, input } => {
-                Expr::Unary { op: *op, input: Box::new(input.remap_columns(f)) }
-            }
-            Expr::Cast { input, to } => {
-                Expr::Cast { input: Box::new(input.remap_columns(f)), to: *to }
-            }
-            Expr::Like { input, pattern, negated } => Expr::Like {
+            Expr::Unary { op, input } => Expr::Unary {
+                op: *op,
+                input: Box::new(input.remap_columns(f)),
+            },
+            Expr::Cast { input, to } => Expr::Cast {
+                input: Box::new(input.remap_columns(f)),
+                to: *to,
+            },
+            Expr::Like {
+                input,
+                pattern,
+                negated,
+            } => Expr::Like {
                 input: Box::new(input.remap_columns(f)),
                 pattern: pattern.clone(),
                 negated: *negated,
             },
-            Expr::InList { input, list, negated } => Expr::InList {
+            Expr::InList {
+                input,
+                list,
+                negated,
+            } => Expr::InList {
                 input: Box::new(input.remap_columns(f)),
                 list: list.clone(),
                 negated: *negated,
             },
-            Expr::Case { branches, otherwise } => Expr::Case {
+            Expr::Case {
+                branches,
+                otherwise,
+            } => Expr::Case {
                 branches: branches
                     .iter()
                     .map(|(c, v)| (c.remap_columns(f), v.remap_columns(f)))
@@ -259,9 +290,7 @@ fn binop_result(op: BinOp, l: DataType, r: DataType) -> Option<DataType> {
         _ => match (l, r) {
             (Float64, x) | (x, Float64) if x.is_numeric() => Some(Float64),
             (Int32 | Int64, Int32 | Int64) => Some(Int64),
-            (Date32, Int32 | Int64) if matches!(op, BinOp::Add | BinOp::Sub) => {
-                Some(Date32)
-            }
+            (Date32, Int32 | Int64) if matches!(op, BinOp::Add | BinOp::Sub) => Some(Date32),
             (Date32, Date32) if op == BinOp::Sub => Some(Int64),
             _ => None,
         },
@@ -290,12 +319,11 @@ impl AggFunc {
             AggFunc::Sum => match input {
                 Some(DataType::Float64) => DataType::Float64,
                 Some(DataType::Int32 | DataType::Int64) => DataType::Int64,
-                other => {
-                    return Err(PlanError::TypeError(format!("SUM over {other:?}")))
-                }
+                other => return Err(PlanError::TypeError(format!("SUM over {other:?}"))),
             },
-            AggFunc::Min | AggFunc::Max => input
-                .ok_or_else(|| PlanError::TypeError("MIN/MAX need an argument".into()))?,
+            AggFunc::Min | AggFunc::Max => {
+                input.ok_or_else(|| PlanError::TypeError("MIN/MAX need an argument".into()))?
+            }
         })
     }
 }
@@ -343,7 +371,11 @@ pub fn lit_str(v: &str) -> Expr {
 }
 
 fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
-    Expr::Binary { op, left: Box::new(l), right: Box::new(r) }
+    Expr::Binary {
+        op,
+        left: Box::new(l),
+        right: Box::new(r),
+    }
 }
 
 /// `l = r`
@@ -403,7 +435,12 @@ pub fn and_all(exprs: impl IntoIterator<Item = Expr>) -> Expr {
 pub fn split_conjunction(e: &Expr) -> Vec<&Expr> {
     let mut out = Vec::new();
     fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
-        if let Expr::Binary { op: BinOp::And, left, right } = e {
+        if let Expr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } = e
+        {
             walk(left, out);
             walk(right, out);
         } else {
@@ -418,7 +455,12 @@ pub fn split_conjunction(e: &Expr) -> Vec<&Expr> {
 pub fn split_disjunction(e: &Expr) -> Vec<&Expr> {
     let mut out = Vec::new();
     fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
-        if let Expr::Binary { op: BinOp::Or, left, right } = e {
+        if let Expr::Binary {
+            op: BinOp::Or,
+            left,
+            right,
+        } = e
+        {
             walk(left, out);
             walk(right, out);
         } else {
@@ -484,7 +526,10 @@ mod tests {
     fn type_inference() {
         let s = schema();
         assert_eq!(add(col(0), col(0)).data_type(&s).unwrap(), DataType::Int64);
-        assert_eq!(mul(col(0), col(1)).data_type(&s).unwrap(), DataType::Float64);
+        assert_eq!(
+            mul(col(0), col(1)).data_type(&s).unwrap(),
+            DataType::Float64
+        );
         assert_eq!(
             Expr::Binary {
                 op: BinOp::Div,
@@ -532,7 +577,11 @@ mod tests {
 
     #[test]
     fn conjunction_split_round_trip() {
-        let e = and_all([gt(col(0), lit_i64(1)), lt(col(0), lit_i64(5)), eq(col(2), lit_str("x"))]);
+        let e = and_all([
+            gt(col(0), lit_i64(1)),
+            lt(col(0), lit_i64(5)),
+            eq(col(2), lit_str("x")),
+        ]);
         let parts = split_conjunction(&e);
         assert_eq!(parts.len(), 3);
         let rebuilt = and_all(parts.into_iter().cloned());
@@ -583,7 +632,11 @@ mod tests {
         s.fields[0].nullable = true;
         assert!(col(0).nullable(&s));
         assert!(!col(1).nullable(&s));
-        assert!(!Expr::Unary { op: UnOp::IsNull, input: Box::new(col(0)) }.nullable(&s));
+        assert!(!Expr::Unary {
+            op: UnOp::IsNull,
+            input: Box::new(col(0))
+        }
+        .nullable(&s));
         assert!(add(col(0), col(1)).nullable(&s));
     }
 
@@ -597,7 +650,10 @@ mod tests {
             AggFunc::Avg.result_type(Some(DataType::Int64)).unwrap(),
             DataType::Float64
         );
-        assert_eq!(AggFunc::CountStar.result_type(None).unwrap(), DataType::Int64);
+        assert_eq!(
+            AggFunc::CountStar.result_type(None).unwrap(),
+            DataType::Int64
+        );
         assert!(AggFunc::Sum.result_type(Some(DataType::Utf8)).is_err());
     }
 }

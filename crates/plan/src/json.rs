@@ -22,14 +22,16 @@ pub const WIRE_VERSION: u32 = 1;
 
 /// Serialize a plan to its JSON wire form.
 pub fn to_json(plan: &Rel) -> Result<String> {
-    serde_json::to_string(&Envelope { version: WIRE_VERSION, plan: plan.clone() })
-        .map_err(|e| PlanError::Serde(e.to_string()))
+    serde_json::to_string(&Envelope {
+        version: WIRE_VERSION,
+        plan: plan.clone(),
+    })
+    .map_err(|e| PlanError::Serde(e.to_string()))
 }
 
 /// Deserialize a plan from its JSON wire form, checking the version.
 pub fn from_json(s: &str) -> Result<Rel> {
-    let env: Envelope =
-        serde_json::from_str(s).map_err(|e| PlanError::Serde(e.to_string()))?;
+    let env: Envelope = serde_json::from_str(s).map_err(|e| PlanError::Serde(e.to_string()))?;
     if env.version != WIRE_VERSION {
         return Err(PlanError::Serde(format!(
             "unsupported wire version {} (expected {WIRE_VERSION})",
@@ -77,7 +79,10 @@ mod tests {
                     name: "avg_v".into(),
                 }],
             )
-            .sort(vec![SortExpr { expr: expr::col(1), ascending: false }])
+            .sort(vec![SortExpr {
+                expr: expr::col(1),
+                ascending: false,
+            }])
             .limit(5, Some(20))
             .build()
     }

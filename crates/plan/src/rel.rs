@@ -127,7 +127,9 @@ impl Rel {
     /// Inferred output schema.
     pub fn schema(&self) -> Result<Schema> {
         Ok(match self {
-            Rel::Read { schema, projection, .. } => match projection {
+            Rel::Read {
+                schema, projection, ..
+            } => match projection {
                 Some(p) => schema.project(p),
                 None => schema.clone(),
             },
@@ -149,7 +151,11 @@ impl Rel {
                 }
                 Schema::new(fields)
             }
-            Rel::Aggregate { input, group_by, aggregates } => {
+            Rel::Aggregate {
+                input,
+                group_by,
+                aggregates,
+            } => {
                 let in_schema = input.schema()?;
                 let mut fields = Vec::new();
                 for (i, g) in group_by.iter().enumerate() {
@@ -178,7 +184,9 @@ impl Rel {
                 }
                 Schema::new(fields)
             }
-            Rel::Join { left, right, kind, .. } => {
+            Rel::Join {
+                left, right, kind, ..
+            } => {
                 let l = left.schema()?;
                 match kind {
                     JoinKind::Semi | JoinKind::Anti => l,
@@ -227,7 +235,11 @@ impl Rel {
 
     /// Operator count (diagnostics / plan-complexity metrics).
     pub fn node_count(&self) -> usize {
-        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
     }
 
     /// One-line-per-operator indented rendering (EXPLAIN-style).
@@ -235,18 +247,26 @@ impl Rel {
         fn walk(r: &Rel, depth: usize, out: &mut String) {
             let pad = "  ".repeat(depth);
             let line = match r {
-                Rel::Read { table, projection, .. } => match projection {
+                Rel::Read {
+                    table, projection, ..
+                } => match projection {
                     Some(p) => format!("Read {table} (cols {p:?})"),
                     None => format!("Read {table}"),
                 },
                 Rel::Filter { .. } => "Filter".into(),
                 Rel::Project { exprs, .. } => format!("Project ({} cols)", exprs.len()),
-                Rel::Aggregate { group_by, aggregates, .. } => format!(
+                Rel::Aggregate {
+                    group_by,
+                    aggregates,
+                    ..
+                } => format!(
                     "Aggregate ({} keys, {} aggs)",
                     group_by.len(),
                     aggregates.len()
                 ),
-                Rel::Join { kind, left_keys, .. } => {
+                Rel::Join {
+                    kind, left_keys, ..
+                } => {
                     format!("Join {kind:?} ({} keys)", left_keys.len())
                 }
                 Rel::Sort { keys, .. } => format!("Sort ({} keys)", keys.len()),
@@ -331,14 +351,23 @@ mod tests {
             input: Box::new(read()),
             group_by: vec![expr::col(1)],
             aggregates: vec![
-                AggExpr { func: AggFunc::Sum, input: Some(expr::col(0)), name: "s".into() },
-                AggExpr { func: AggFunc::CountStar, input: None, name: "n".into() },
+                AggExpr {
+                    func: AggFunc::Sum,
+                    input: Some(expr::col(0)),
+                    name: "s".into(),
+                },
+                AggExpr {
+                    func: AggFunc::CountStar,
+                    input: None,
+                    name: "n".into(),
+                },
             ],
         };
         let s = a.schema().unwrap();
-        assert_eq!(s.fields.iter().map(|f| f.name.as_str()).collect::<Vec<_>>(), vec![
-            "b", "s", "n"
-        ]);
+        assert_eq!(
+            s.fields.iter().map(|f| f.name.as_str()).collect::<Vec<_>>(),
+            vec!["b", "s", "n"]
+        );
         assert_eq!(s.fields[1].data_type, DataType::Int64);
     }
 
@@ -357,7 +386,10 @@ mod tests {
         assert_eq!(j(JoinKind::Anti).schema().unwrap().len(), 2);
         let left = j(JoinKind::Left).schema().unwrap();
         assert_eq!(left.len(), 4);
-        assert!(left.fields[2].nullable, "right side of LEFT join is nullable");
+        assert!(
+            left.fields[2].nullable,
+            "right side of LEFT join is nullable"
+        );
         assert!(!left.fields[0].nullable);
     }
 

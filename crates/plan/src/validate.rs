@@ -17,7 +17,9 @@ pub fn validate(plan: &Rel) -> Result<()> {
         validate(c)?;
     }
     match plan {
-        Rel::Read { schema, projection, .. } => {
+        Rel::Read {
+            schema, projection, ..
+        } => {
             if let Some(p) = projection {
                 for &i in p {
                     if i >= schema.len() {
@@ -50,7 +52,11 @@ pub fn validate(plan: &Rel) -> Result<()> {
             }
             Ok(())
         }
-        Rel::Aggregate { input, group_by, aggregates } => {
+        Rel::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => {
             let s = input.schema()?;
             for g in group_by {
                 g.data_type(&s)?;
@@ -72,7 +78,14 @@ pub fn validate(plan: &Rel) -> Result<()> {
             }
             Ok(())
         }
-        Rel::Join { left, right, kind, left_keys, right_keys, residual } => {
+        Rel::Join {
+            left,
+            right,
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+        } => {
             if left_keys.len() != right_keys.len() {
                 return Err(PlanError::Invalid(format!(
                     "join key count mismatch: {} vs {}",
@@ -85,8 +98,7 @@ pub fn validate(plan: &Rel) -> Result<()> {
             }
             // `Single` may be keyless: an uncorrelated scalar subquery joins
             // its one-row result against every outer row.
-            if !matches!(kind, JoinKind::Cross | JoinKind::Single) && left_keys.is_empty()
-            {
+            if !matches!(kind, JoinKind::Cross | JoinKind::Single) && left_keys.is_empty() {
                 return Err(PlanError::Invalid(format!("{kind:?} join without keys")));
             }
             let (ls, rs) = (left.schema()?, right.schema()?);
@@ -160,7 +172,12 @@ pub struct FeatureSet {
 impl FeatureSet {
     /// Everything on (single-node Sirius).
     pub fn full() -> Self {
-        Self { sort: true, outer_joins: true, avg: true, count_distinct: true }
+        Self {
+            sort: true,
+            outer_joins: true,
+            avg: true,
+            count_distinct: true,
+        }
     }
 
     /// First unsupported feature found in `plan`, or `None` if fully
@@ -168,24 +185,23 @@ impl FeatureSet {
     pub fn first_unsupported(&self, plan: &Rel) -> Option<String> {
         let here = match plan {
             Rel::Sort { .. } if !self.sort => Some("Sort".to_string()),
-            Rel::Join { kind: JoinKind::Left | JoinKind::Single, .. }
-                if !self.outer_joins =>
-            {
-                Some("OuterJoin".to_string())
-            }
-            Rel::Aggregate { aggregates, .. } => aggregates.iter().find_map(|a| {
-                match a.func {
-                    crate::expr::AggFunc::Avg if !self.avg => Some("Avg".to_string()),
-                    crate::expr::AggFunc::CountDistinct if !self.count_distinct => {
-                        Some("CountDistinct".to_string())
-                    }
-                    _ => None,
+            Rel::Join {
+                kind: JoinKind::Left | JoinKind::Single,
+                ..
+            } if !self.outer_joins => Some("OuterJoin".to_string()),
+            Rel::Aggregate { aggregates, .. } => aggregates.iter().find_map(|a| match a.func {
+                crate::expr::AggFunc::Avg if !self.avg => Some("Avg".to_string()),
+                crate::expr::AggFunc::CountDistinct if !self.count_distinct => {
+                    Some("CountDistinct".to_string())
                 }
+                _ => None,
             }),
             _ => None,
         };
         here.or_else(|| {
-            plan.children().iter().find_map(|c| self.first_unsupported(c))
+            plan.children()
+                .iter()
+                .find_map(|c| self.first_unsupported(c))
         })
     }
 }
@@ -213,16 +229,25 @@ mod tests {
             .filter(expr::gt(expr::col(0), expr::lit_i64(1)))
             .aggregate(
                 vec![expr::col(1)],
-                vec![AggExpr { func: AggFunc::CountStar, input: None, name: "n".into() }],
+                vec![AggExpr {
+                    func: AggFunc::CountStar,
+                    input: None,
+                    name: "n".into(),
+                }],
             )
-            .sort(vec![SortExpr { expr: expr::col(1), ascending: true }])
+            .sort(vec![SortExpr {
+                expr: expr::col(1),
+                ascending: true,
+            }])
             .build();
         validate(&p).unwrap();
     }
 
     #[test]
     fn non_bool_filter_rejected() {
-        let p = scan().filter(expr::add(expr::col(0), expr::lit_i64(1))).build();
+        let p = scan()
+            .filter(expr::add(expr::col(0), expr::lit_i64(1)))
+            .build();
         assert!(matches!(validate(&p), Err(PlanError::TypeError(_))));
     }
 
@@ -243,27 +268,45 @@ mod tests {
     #[test]
     fn join_key_types_must_be_comparable() {
         let p = scan()
-            .join(scan(), JoinKind::Inner, vec![expr::col(0)], vec![expr::col(1)], None)
+            .join(
+                scan(),
+                JoinKind::Inner,
+                vec![expr::col(0)],
+                vec![expr::col(1)],
+                None,
+            )
             .build();
         assert!(matches!(validate(&p), Err(PlanError::TypeError(_))));
     }
 
     #[test]
     fn inner_errors_surface_from_depth() {
-        let bad = scan().filter(expr::lit(Scalar::Int64(1))).distinct().build();
+        let bad = scan()
+            .filter(expr::lit(Scalar::Int64(1)))
+            .distinct()
+            .build();
         assert!(validate(&bad).is_err());
     }
 
     #[test]
     fn cross_join_rules() {
         let with_keys = scan()
-            .join(scan(), JoinKind::Cross, vec![expr::col(0)], vec![expr::col(0)], None)
+            .join(
+                scan(),
+                JoinKind::Cross,
+                vec![expr::col(0)],
+                vec![expr::col(0)],
+                None,
+            )
             .build();
         assert!(validate(&with_keys).is_err());
-        let keyless = scan().join(scan(), JoinKind::Cross, vec![], vec![], None).build();
+        let keyless = scan()
+            .join(scan(), JoinKind::Cross, vec![], vec![], None)
+            .build();
         validate(&keyless).unwrap();
-        let inner_keyless =
-            scan().join(scan(), JoinKind::Inner, vec![], vec![], None).build();
+        let inner_keyless = scan()
+            .join(scan(), JoinKind::Inner, vec![], vec![], None)
+            .build();
         assert!(validate(&inner_keyless).is_err());
     }
 

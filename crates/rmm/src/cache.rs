@@ -73,7 +73,13 @@ impl<T> DataCache<T> {
         };
         self.inner.lock().entries.insert(
             key,
-            Entry { value: Arc::new(value), bytes, tier, _alloc: alloc, hits: 0 },
+            Entry {
+                value: Arc::new(value),
+                bytes,
+                tier,
+                _alloc: alloc,
+                hits: 0,
+            },
         );
         tier
     }

@@ -87,9 +87,7 @@ impl PoolInner {
             self.free_list.remove(pos + 1);
         }
         // Coalesce with previous.
-        if pos > 0
-            && self.free_list[pos - 1].0 + self.free_list[pos - 1].1
-                == self.free_list[pos].0
+        if pos > 0 && self.free_list[pos - 1].0 + self.free_list[pos - 1].1 == self.free_list[pos].0
         {
             self.free_list[pos - 1].1 += self.free_list[pos].1;
             self.free_list.remove(pos);
@@ -110,7 +108,11 @@ impl PoolAllocator {
         Self {
             inner: Arc::new(Mutex::new(PoolInner {
                 capacity,
-                free_list: if capacity > 0 { vec![(0, capacity)] } else { vec![] },
+                free_list: if capacity > 0 {
+                    vec![(0, capacity)]
+                } else {
+                    vec![]
+                },
                 used: 0,
                 high_watermark: 0,
                 alloc_count: 0,
@@ -129,7 +131,11 @@ impl PoolAllocator {
     /// handle frees on drop.
     pub fn alloc(&self, bytes: u64) -> Result<Allocation, OutOfMemory> {
         let (offset, size) = self.inner.lock().allocate(bytes)?;
-        Ok(Allocation { pool: self.clone(), offset, size })
+        Ok(Allocation {
+            pool: self.clone(),
+            offset,
+            size,
+        })
     }
 
     /// Total capacity in bytes.

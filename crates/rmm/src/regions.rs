@@ -21,10 +21,7 @@ impl BufferRegions {
         );
         let cache_bytes = (spec.memory_bytes as f64 * caching_fraction) as u64;
         Self {
-            caching: PoolAllocator::new(
-                format!("{} caching", spec.name),
-                cache_bytes,
-            ),
+            caching: PoolAllocator::new(format!("{} caching", spec.name), cache_bytes),
             processing: PoolAllocator::new(
                 format!("{} processing", spec.name),
                 spec.memory_bytes - cache_bytes,

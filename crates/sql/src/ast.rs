@@ -269,22 +269,21 @@ impl ExprAst {
             ExprAst::Binary { left, right, .. } => {
                 left.contains_aggregate() || right.contains_aggregate()
             }
-            ExprAst::Not(e) | ExprAst::Neg(e) | ExprAst::ExtractYear(e) => {
-                e.contains_aggregate()
-            }
+            ExprAst::Not(e) | ExprAst::Neg(e) | ExprAst::ExtractYear(e) => e.contains_aggregate(),
             ExprAst::IsNull { expr, .. }
             | ExprAst::Like { expr, .. }
             | ExprAst::Substring { expr, .. } => expr.contains_aggregate(),
-            ExprAst::Between { expr, low, high, .. } => {
-                expr.contains_aggregate()
-                    || low.contains_aggregate()
-                    || high.contains_aggregate()
-            }
+            ExprAst::Between {
+                expr, low, high, ..
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
             ExprAst::InList { expr, list, .. } => {
                 expr.contains_aggregate() || list.iter().any(|e| e.contains_aggregate())
             }
             ExprAst::InSubquery { expr, .. } => expr.contains_aggregate(),
-            ExprAst::Case { branches, otherwise } => {
+            ExprAst::Case {
+                branches,
+                otherwise,
+            } => {
                 branches
                     .iter()
                     .any(|(c, v)| c.contains_aggregate() || v.contains_aggregate())
@@ -320,9 +319,15 @@ mod tests {
 
     #[test]
     fn binding_names() {
-        let t = TableRef::Table { name: "nation".into(), alias: Some("n1".into()) };
+        let t = TableRef::Table {
+            name: "nation".into(),
+            alias: Some("n1".into()),
+        };
         assert_eq!(t.binding_name(), "n1");
-        let t2 = TableRef::Table { name: "nation".into(), alias: None };
+        let t2 = TableRef::Table {
+            name: "nation".into(),
+            alias: None,
+        };
         assert_eq!(t2.binding_name(), "nation");
     }
 }

@@ -62,7 +62,11 @@ pub enum JoinOrderPolicy {
 
 /// Bind a parsed query into a plan.
 pub fn bind(query: &Query, catalog: &BinderCatalog, policy: JoinOrderPolicy) -> Result<Rel> {
-    let ctx = BindCtx { catalog, policy, ctes: HashMap::new() };
+    let ctx = BindCtx {
+        catalog,
+        policy,
+        ctes: HashMap::new(),
+    };
     let (plan, _) = bind_query(query, &ctx, None)?;
     Ok(plan)
 }
@@ -108,7 +112,10 @@ fn rename_output(plan: Rel, name: &str) -> Result<Rel> {
             (expr::col(i), format!("{name}.{suffix}"))
         })
         .collect();
-    Ok(Rel::Project { input: Box::new(plan), exprs })
+    Ok(Rel::Project {
+        input: Box::new(plan),
+        exprs,
+    })
 }
 
 fn bind_select_query(
@@ -158,73 +165,65 @@ fn bind_select_query(
             // Factoring may expose several independent conjuncts (Q19's
             // OR-of-conjunctions hides its join key this way).
             for bound in split_bound_and(&bound) {
-            let mut refs = Vec::new();
-            bound.referenced_columns(&mut refs);
-            if refs.iter().any(|&r| r >= OUTER_BASE) {
-                return Err(err("correlated predicate outside a subquery"));
-            }
-            let mut rels: Vec<usize> = refs.iter().map(|&r| rel_of(r)).collect();
-            rels.sort_unstable();
-            rels.dedup();
-            match rels.len() {
-                0 | 1 => {
-                    // Push into the single relation (constant predicates go
-                    // to relation 0).
-                    let rel = rels.first().copied().unwrap_or(0);
-                    let local =
-                        bound.remap_columns(&|i| i - orig_offsets[rel]);
-                    let r = &mut relations[rel];
-                    r.plan = Rel::Filter {
-                        input: Box::new(std::mem::replace(
-                            &mut r.plan,
-                            Rel::Distinct { input: Box::new(placeholder()) },
-                        )),
-                        predicate: local,
-                    };
-                    r.estimate *= 0.35;
+                let mut refs = Vec::new();
+                bound.referenced_columns(&mut refs);
+                if refs.iter().any(|&r| r >= OUTER_BASE) {
+                    return Err(err("correlated predicate outside a subquery"));
                 }
-                _ => {
-                    // Derive implied per-relation filters from multi-table
-                    // ORs: `(n1=A AND n2=B) OR (n1=B AND n2=A)` implies
-                    // `n1 IN (A,B)` and `n2 IN (A,B)` — pushed down so the
-                    // join order sees realistic cardinalities (Q7/Q19).
-                    for &rel in &rels {
-                        if let Some(implied) =
-                            implied_single_relation_filter(&bound, rel, &orig_offsets)
-                        {
-                            let local =
-                                implied.remap_columns(&|i| i - orig_offsets[rel]);
-                            let r = &mut relations[rel];
-                            r.plan = Rel::Filter {
-                                input: Box::new(std::mem::replace(
-                                    &mut r.plan,
-                                    placeholder(),
-                                )),
-                                predicate: local,
-                            };
-                            r.estimate *= 0.5;
-                        }
+                let mut rels: Vec<usize> = refs.iter().map(|&r| rel_of(r)).collect();
+                rels.sort_unstable();
+                rels.dedup();
+                match rels.len() {
+                    0 | 1 => {
+                        // Push into the single relation (constant predicates go
+                        // to relation 0).
+                        let rel = rels.first().copied().unwrap_or(0);
+                        let local = bound.remap_columns(&|i| i - orig_offsets[rel]);
+                        let r = &mut relations[rel];
+                        r.plan = Rel::Filter {
+                            input: Box::new(std::mem::replace(
+                                &mut r.plan,
+                                Rel::Distinct {
+                                    input: Box::new(placeholder()),
+                                },
+                            )),
+                            predicate: local,
+                        };
+                        r.estimate *= 0.35;
                     }
-                    edge_conjuncts.push((bound, rels));
+                    _ => {
+                        // Derive implied per-relation filters from multi-table
+                        // ORs: `(n1=A AND n2=B) OR (n1=B AND n2=A)` implies
+                        // `n1 IN (A,B)` and `n2 IN (A,B)` — pushed down so the
+                        // join order sees realistic cardinalities (Q7/Q19).
+                        for &rel in &rels {
+                            if let Some(implied) =
+                                implied_single_relation_filter(&bound, rel, &orig_offsets)
+                            {
+                                let local = implied.remap_columns(&|i| i - orig_offsets[rel]);
+                                let r = &mut relations[rel];
+                                r.plan = Rel::Filter {
+                                    input: Box::new(std::mem::replace(&mut r.plan, placeholder())),
+                                    predicate: local,
+                                };
+                                r.estimate *= 0.5;
+                            }
+                        }
+                        edge_conjuncts.push((bound, rels));
+                    }
                 }
-            }
             }
         }
     }
 
     // ----- join-order + tree construction -------------------------------------
-    let (mut plan, final_map, mut plan_schema) = build_join_tree(
-        relations,
-        &orig_offsets,
-        edge_conjuncts,
-        ctx.policy,
-    )?;
+    let (mut plan, final_map, mut plan_schema) =
+        build_join_tree(relations, &orig_offsets, edge_conjuncts, ctx.policy)?;
     let _ = final_map;
 
     // ----- subquery conjuncts ---------------------------------------------------
     for c in subquery_conjuncts {
-        let (new_plan, new_schema) =
-            apply_subquery_conjunct(plan, plan_schema, c, ctx, outer)?;
+        let (new_plan, new_schema) = apply_subquery_conjunct(plan, plan_schema, c, ctx, outer)?;
         plan = new_plan;
         plan_schema = new_schema;
     }
@@ -238,8 +237,7 @@ fn bind_select_query(
             .unwrap_or(false)
         || !select.group_by.is_empty();
 
-    let (mut plan, out_schema, items_bound): (Rel, Schema, Vec<(Expr, String)>) = if has_aggs
-    {
+    let (mut plan, out_schema, items_bound): (Rel, Schema, Vec<(Expr, String)>) = if has_aggs {
         let group_bound: Vec<Expr> = select
             .group_by
             .iter()
@@ -300,14 +298,15 @@ fn bind_select_query(
         if let Some(h) = &select.having {
             for c in split_and(h) {
                 if contains_subquery(c) {
-                    let (p, s) = apply_scalar_subqueries_postagg(
-                        plan2, schema2, c, ctx, &gctx,
-                    )?;
+                    let (p, s) = apply_scalar_subqueries_postagg(plan2, schema2, c, ctx, &gctx)?;
                     plan2 = p;
                     schema2 = s;
                 } else {
                     let bound = gctx.rewrite(c)?;
-                    plan2 = Rel::Filter { input: Box::new(plan2), predicate: bound };
+                    plan2 = Rel::Filter {
+                        input: Box::new(plan2),
+                        predicate: bound,
+                    };
                 }
             }
         }
@@ -322,7 +321,10 @@ fn bind_select_query(
                 Ok((e, output_name(it, i)))
             })
             .collect::<Result<_>>()?;
-        let proj = Rel::Project { input: Box::new(plan2), exprs: items.clone() };
+        let proj = Rel::Project {
+            input: Box::new(plan2),
+            exprs: items.clone(),
+        };
         let out_schema = proj.schema()?;
         (proj, out_schema, items)
     } else {
@@ -335,13 +337,18 @@ fn bind_select_query(
                 Ok((e, output_name(it, i)))
             })
             .collect::<Result<_>>()?;
-        let proj = Rel::Project { input: Box::new(plan), exprs: items.clone() };
+        let proj = Rel::Project {
+            input: Box::new(plan),
+            exprs: items.clone(),
+        };
         let out_schema = proj.schema()?;
         (proj, out_schema, items)
     };
 
     if select.distinct {
-        plan = Rel::Distinct { input: Box::new(plan) };
+        plan = Rel::Distinct {
+            input: Box::new(plan),
+        };
     }
 
     // ----- ORDER BY / LIMIT ------------------------------------------------------
@@ -351,20 +358,34 @@ fn bind_select_query(
             .iter()
             .map(|o| {
                 let e = bind_order_key(&o.expr, &out_schema, &select.items, &items_bound)?;
-                Ok(SortExpr { expr: e, ascending: o.ascending })
+                Ok(SortExpr {
+                    expr: e,
+                    ascending: o.ascending,
+                })
             })
             .collect::<Result<_>>()?;
-        plan = Rel::Sort { input: Box::new(plan), keys };
+        plan = Rel::Sort {
+            input: Box::new(plan),
+            keys,
+        };
     }
     if let Some(limit) = query.limit {
-        plan = Rel::Limit { input: Box::new(plan), offset: 0, fetch: Some(limit) };
+        plan = Rel::Limit {
+            input: Box::new(plan),
+            offset: 0,
+            fetch: Some(limit),
+        };
     }
 
     Ok((plan, 1000))
 }
 
 fn placeholder() -> Rel {
-    Rel::Read { table: String::new(), schema: Schema::empty(), projection: None }
+    Rel::Read {
+        table: String::new(),
+        schema: Schema::empty(),
+        projection: None,
+    }
 }
 
 fn output_name(item: &SelectItem, index: usize) -> String {
@@ -372,7 +393,10 @@ fn output_name(item: &SelectItem, index: usize) -> String {
         return a.clone();
     }
     if let ExprAst::Ident(parts) = &item.expr {
-        return parts.last().cloned().unwrap_or_else(|| format!("col{index}"));
+        return parts
+            .last()
+            .cloned()
+            .unwrap_or_else(|| format!("col{index}"));
     }
     format!("col{index}")
 }
@@ -404,11 +428,7 @@ fn bind_order_key(
 // FROM binding
 // ---------------------------------------------------------------------------
 
-fn bind_from_item(
-    item: &FromItem,
-    ctx: &BindCtx<'_>,
-    outer: Option<&Schema>,
-) -> Result<Relation> {
+fn bind_from_item(item: &FromItem, ctx: &BindCtx<'_>, outer: Option<&Schema>) -> Result<Relation> {
     let mut rel = bind_table_ref(&item.base, ctx)?;
     for j in &item.joins {
         let right = bind_table_ref(&j.relation, ctx)?;
@@ -417,7 +437,12 @@ fn bind_from_item(
         let lw = rel.schema.len();
         let (mut lk, mut rk, mut residual) = (Vec::new(), Vec::new(), Vec::new());
         for c in split_bound_and(&on) {
-            if let Expr::Binary { op: BinOp::Eq, left, right: r } = &c {
+            if let Expr::Binary {
+                op: BinOp::Eq,
+                left,
+                right: r,
+            } = &c
+            {
                 let side = |e: &Expr| -> Option<bool> {
                     let mut refs = Vec::new();
                     e.referenced_columns(&mut refs);
@@ -453,7 +478,9 @@ fn bind_from_item(
             AstJoinKind::Left => JoinKind::Left,
         };
         if lk.is_empty() {
-            return Err(err("explicit JOIN requires at least one equality condition"));
+            return Err(err(
+                "explicit JOIN requires at least one equality condition",
+            ));
         }
         let estimate = rel.estimate.max(right.estimate);
         rel = Relation {
@@ -483,7 +510,11 @@ fn bind_table_ref(t: &TableRef, ctx: &BindCtx<'_>) -> Result<Relation> {
             if let Some((plan, rows)) = ctx.ctes.get(name) {
                 let renamed = rename_output(plan.clone(), binding)?;
                 let schema = renamed.schema()?;
-                return Ok(Relation { plan: renamed, schema, estimate: *rows as f64 });
+                return Ok(Relation {
+                    plan: renamed,
+                    schema,
+                    estimate: *rows as f64,
+                });
             }
             let (schema, rows) = ctx
                 .catalog
@@ -510,7 +541,11 @@ fn bind_table_ref(t: &TableRef, ctx: &BindCtx<'_>) -> Result<Relation> {
             let (plan, rows) = bind_query(query, ctx, None)?;
             let renamed = rename_output(plan, alias)?;
             let schema = renamed.schema()?;
-            Ok(Relation { plan: renamed, schema, estimate: rows as f64 })
+            Ok(Relation {
+                plan: renamed,
+                schema,
+                estimate: rows as f64,
+            })
         }
     }
 }
@@ -544,11 +579,7 @@ fn build_join_tree(
         JoinOrderPolicy::Optimized => remaining
             .iter()
             .copied()
-            .min_by(|&a, &b| {
-                relations[a]
-                    .estimate
-                    .total_cmp(&relations[b].estimate)
-            })
+            .min_by(|&a, &b| relations[a].estimate.total_cmp(&relations[b].estimate))
             .expect("non-empty FROM"),
         JoinOrderPolicy::FromOrder => 0,
     };
@@ -569,11 +600,13 @@ fn build_join_tree(
                     .copied()
                     .filter(|&r| connected(&edges, &joined, r))
                     .collect();
-                let pool = if conn.is_empty() { remaining.clone() } else { conn };
+                let pool = if conn.is_empty() {
+                    remaining.clone()
+                } else {
+                    conn
+                };
                 pool.into_iter()
-                    .min_by(|&a, &b| {
-                        relations[a].estimate.total_cmp(&relations[b].estimate)
-                    })
+                    .min_by(|&a, &b| relations[a].estimate.total_cmp(&relations[b].estimate))
                     .expect("pool non-empty")
             }
             JoinOrderPolicy::FromOrder => remaining
@@ -596,8 +629,8 @@ fn build_join_tree(
         let mut residual = Vec::new();
         let mut rest = Vec::new();
         for (e, rels) in edges {
-            let applicable = rels.contains(&next)
-                && rels.iter().all(|r| *r == next || joined.contains(r));
+            let applicable =
+                rels.contains(&next) && rels.iter().all(|r| *r == next || joined.contains(r));
             if !applicable {
                 rest.push((e, rels));
                 continue;
@@ -606,16 +639,21 @@ fn build_join_tree(
                 let mut refs = Vec::new();
                 x.referenced_columns(&mut refs);
                 !refs.is_empty()
-                    && refs.iter().all(|&r| {
-                        r >= orig_offsets[next] && r < orig_offsets[next] + widths[next]
-                    })
+                    && refs
+                        .iter()
+                        .all(|&r| r >= orig_offsets[next] && r < orig_offsets[next] + widths[next])
             };
             let in_joined = |x: &Expr| {
                 let mut refs = Vec::new();
                 x.referenced_columns(&mut refs);
                 !refs.is_empty() && refs.iter().all(|&r| final_map[r] < left_width)
             };
-            if let Expr::Binary { op: BinOp::Eq, left, right } = &e {
+            if let Expr::Binary {
+                op: BinOp::Eq,
+                left,
+                right,
+            } = &e
+            {
                 if in_joined(left) && in_next(right) {
                     lk.push(left.remap_columns(&|i| final_map[i]));
                     rk.push(right.remap_columns(&|i| i - orig_offsets[next]));
@@ -670,7 +708,10 @@ fn build_join_tree(
             .into_iter()
             .map(|(e, _)| e.remap_columns(&|i| final_map[i]))
             .collect();
-        plan = Rel::Filter { input: Box::new(plan), predicate: expr::and_all(conj) };
+        plan = Rel::Filter {
+            input: Box::new(plan),
+            predicate: expr::and_all(conj),
+        };
     }
 
     Ok((plan, final_map, schema))
@@ -717,7 +758,12 @@ fn implied_single_relation_filter(
 fn split_and(e: &ExprAst) -> Vec<&ExprAst> {
     let mut out = Vec::new();
     fn walk<'a>(e: &'a ExprAst, out: &mut Vec<&'a ExprAst>) {
-        if let ExprAst::Binary { op: AstBinOp::And, left, right } = e {
+        if let ExprAst::Binary {
+            op: AstBinOp::And,
+            left,
+            right,
+        } = e
+        {
             walk(left, out);
             walk(right, out);
         } else {
@@ -735,29 +781,31 @@ fn split_bound_and(e: &Expr) -> Vec<Expr> {
 /// True if the AST contains any subquery node.
 pub fn contains_subquery(e: &ExprAst) -> bool {
     match e {
-        ExprAst::Exists { .. } | ExprAst::InSubquery { .. } | ExprAst::ScalarSubquery(_) => {
-            true
-        }
-        ExprAst::Binary { left, right, .. } => {
-            contains_subquery(left) || contains_subquery(right)
-        }
+        ExprAst::Exists { .. } | ExprAst::InSubquery { .. } | ExprAst::ScalarSubquery(_) => true,
+        ExprAst::Binary { left, right, .. } => contains_subquery(left) || contains_subquery(right),
         ExprAst::Not(x) | ExprAst::Neg(x) | ExprAst::ExtractYear(x) => contains_subquery(x),
         ExprAst::IsNull { expr, .. }
         | ExprAst::Like { expr, .. }
         | ExprAst::Substring { expr, .. } => contains_subquery(expr),
-        ExprAst::Between { expr, low, high, .. } => {
-            contains_subquery(expr) || contains_subquery(low) || contains_subquery(high)
-        }
+        ExprAst::Between {
+            expr, low, high, ..
+        } => contains_subquery(expr) || contains_subquery(low) || contains_subquery(high),
         ExprAst::InList { expr, list, .. } => {
             contains_subquery(expr) || list.iter().any(contains_subquery)
         }
-        ExprAst::Case { branches, otherwise } => {
-            branches.iter().any(|(c, v)| contains_subquery(c) || contains_subquery(v))
-                || otherwise.as_ref().map(|o| contains_subquery(o)).unwrap_or(false)
+        ExprAst::Case {
+            branches,
+            otherwise,
+        } => {
+            branches
+                .iter()
+                .any(|(c, v)| contains_subquery(c) || contains_subquery(v))
+                || otherwise
+                    .as_ref()
+                    .map(|o| contains_subquery(o))
+                    .unwrap_or(false)
         }
-        ExprAst::Agg { arg, .. } => {
-            arg.as_ref().map(|a| contains_subquery(a)).unwrap_or(false)
-        }
+        ExprAst::Agg { arg, .. } => arg.as_ref().map(|a| contains_subquery(a)).unwrap_or(false),
         _ => false,
     }
 }
@@ -821,9 +869,7 @@ fn bind_expr(ast: &ExprAst, schema: &Schema, outer: Option<&Schema>) -> Result<E
         ExprAst::Date(s) => expr::lit(Scalar::Date32(
             parse_date32(s).ok_or_else(|| err(format!("bad date literal {s}")))?,
         )),
-        ExprAst::Interval { .. } => {
-            return Err(err("interval literal outside date arithmetic"))
-        }
+        ExprAst::Interval { .. } => return Err(err("interval literal outside date arithmetic")),
         ExprAst::Binary { op, left, right } => {
             if let Some(folded) = fold_date_interval(*op, left, right) {
                 return Ok(expr::lit(folded));
@@ -845,7 +891,11 @@ fn bind_expr(ast: &ExprAst, schema: &Schema, outer: Option<&Schema>) -> Result<E
                 AstBinOp::And => BinOp::And,
                 AstBinOp::Or => BinOp::Or,
             };
-            Expr::Binary { op, left: Box::new(l), right: Box::new(r) }
+            Expr::Binary {
+                op,
+                left: Box::new(l),
+                right: Box::new(r),
+            }
         }
         ExprAst::Not(x) => Expr::Unary {
             op: UnOp::Not,
@@ -862,32 +912,49 @@ fn bind_expr(ast: &ExprAst, schema: &Schema, outer: Option<&Schema>) -> Result<E
             }
         }
         ExprAst::IsNull { expr: x, negated } => Expr::Unary {
-            op: if *negated { UnOp::IsNotNull } else { UnOp::IsNull },
+            op: if *negated {
+                UnOp::IsNotNull
+            } else {
+                UnOp::IsNull
+            },
             input: Box::new(bind_expr(x, schema, outer)?),
         },
-        ExprAst::Between { expr: x, low, high, negated } => {
+        ExprAst::Between {
+            expr: x,
+            low,
+            high,
+            negated,
+        } => {
             let e = bind_expr(x, schema, outer)?;
             let lo = bind_expr(low, schema, outer)?;
             let hi = bind_expr(high, schema, outer)?;
             let both = expr::and(expr::ge(e.clone(), lo), expr::le(e, hi));
             if *negated {
-                Expr::Unary { op: UnOp::Not, input: Box::new(both) }
+                Expr::Unary {
+                    op: UnOp::Not,
+                    input: Box::new(both),
+                }
             } else {
                 both
             }
         }
-        ExprAst::Like { expr: x, pattern, negated } => Expr::Like {
+        ExprAst::Like {
+            expr: x,
+            pattern,
+            negated,
+        } => Expr::Like {
             input: Box::new(bind_expr(x, schema, outer)?),
             pattern: pattern.clone(),
             negated: *negated,
         },
-        ExprAst::InList { expr: x, list, negated } => {
+        ExprAst::InList {
+            expr: x,
+            list,
+            negated,
+        } => {
             let scalars: Vec<Scalar> = list
                 .iter()
-                .map(|e| {
-                    ast_to_literal(e)
-                        .ok_or_else(|| err("IN list requires literal values"))
-                })
+                .map(|e| ast_to_literal(e).ok_or_else(|| err("IN list requires literal values")))
                 .collect::<Result<_>>()?;
             Expr::InList {
                 input: Box::new(bind_expr(x, schema, outer)?),
@@ -895,12 +962,13 @@ fn bind_expr(ast: &ExprAst, schema: &Schema, outer: Option<&Schema>) -> Result<E
                 negated: *negated,
             }
         }
-        ExprAst::Case { branches, otherwise } => Expr::Case {
+        ExprAst::Case {
+            branches,
+            otherwise,
+        } => Expr::Case {
             branches: branches
                 .iter()
-                .map(|(c, v)| {
-                    Ok((bind_expr(c, schema, outer)?, bind_expr(v, schema, outer)?))
-                })
+                .map(|(c, v)| Ok((bind_expr(c, schema, outer)?, bind_expr(v, schema, outer)?)))
                 .collect::<Result<_>>()?,
             otherwise: otherwise
                 .as_ref()
@@ -911,14 +979,16 @@ fn bind_expr(ast: &ExprAst, schema: &Schema, outer: Option<&Schema>) -> Result<E
             op: UnOp::ExtractYear,
             input: Box::new(bind_expr(x, schema, outer)?),
         },
-        ExprAst::Substring { expr: x, start, len } => Expr::Substring {
+        ExprAst::Substring {
+            expr: x,
+            start,
+            len,
+        } => Expr::Substring {
             input: Box::new(bind_expr(x, schema, outer)?),
             start: *start,
             len: *len,
         },
-        ExprAst::Agg { .. } => {
-            return Err(err("aggregate in a non-aggregate context"))
-        }
+        ExprAst::Agg { .. } => return Err(err("aggregate in a non-aggregate context")),
         ExprAst::Exists { .. } | ExprAst::InSubquery { .. } | ExprAst::ScalarSubquery(_) => {
             return Err(err("internal: subquery reached bind_expr"))
         }
@@ -932,7 +1002,11 @@ fn collect_aggs(
     out: &mut Vec<(AggFunc, Option<Expr>)>,
 ) -> Result<()> {
     match ast {
-        ExprAst::Agg { func, arg, distinct } => {
+        ExprAst::Agg {
+            func,
+            arg,
+            distinct,
+        } => {
             let f = match (func, distinct) {
                 (AstAggFunc::Count, false) => {
                     if arg.is_some() {
@@ -966,13 +1040,18 @@ fn collect_aggs(
         ExprAst::IsNull { expr, .. }
         | ExprAst::Like { expr, .. }
         | ExprAst::Substring { expr, .. } => collect_aggs(expr, schema, outer, out),
-        ExprAst::Between { expr, low, high, .. } => {
+        ExprAst::Between {
+            expr, low, high, ..
+        } => {
             collect_aggs(expr, schema, outer, out)?;
             collect_aggs(low, schema, outer, out)?;
             collect_aggs(high, schema, outer, out)
         }
         ExprAst::InList { expr, .. } => collect_aggs(expr, schema, outer, out),
-        ExprAst::Case { branches, otherwise } => {
+        ExprAst::Case {
+            branches,
+            otherwise,
+        } => {
             for (c, v) in branches {
                 collect_aggs(c, schema, outer, out)?;
                 collect_aggs(v, schema, outer, out)?;
@@ -995,9 +1074,7 @@ fn collect_aggs_shallow(
     out: &mut Vec<(AggFunc, Option<Expr>)>,
 ) -> Result<()> {
     match ast {
-        ExprAst::ScalarSubquery(_) | ExprAst::Exists { .. } | ExprAst::InSubquery { .. } => {
-            Ok(())
-        }
+        ExprAst::ScalarSubquery(_) | ExprAst::Exists { .. } | ExprAst::InSubquery { .. } => Ok(()),
         ExprAst::Binary { left, right, .. } => {
             collect_aggs_shallow(left, schema, outer, out)?;
             collect_aggs_shallow(right, schema, outer, out)
@@ -1056,19 +1133,26 @@ impl GroupCtx<'_> {
                     right: Box::new(ExprAst::Int(0)),
                 };
                 match bind_expr(&ast2, &Schema::empty(), None)? {
-                    Expr::Binary { op, .. } => {
-                        Expr::Binary { op, left: Box::new(l), right: Box::new(r) }
-                    }
+                    Expr::Binary { op, .. } => Expr::Binary {
+                        op,
+                        left: Box::new(l),
+                        right: Box::new(r),
+                    },
                     _ => unreachable!("binary binds to binary"),
                 }
             }
-            ExprAst::Not(x) => {
-                Expr::Unary { op: UnOp::Not, input: Box::new(self.rewrite(x)?) }
-            }
-            ExprAst::Neg(x) => {
-                Expr::Unary { op: UnOp::Neg, input: Box::new(self.rewrite(x)?) }
-            }
-            ExprAst::Case { branches, otherwise } => Expr::Case {
+            ExprAst::Not(x) => Expr::Unary {
+                op: UnOp::Not,
+                input: Box::new(self.rewrite(x)?),
+            },
+            ExprAst::Neg(x) => Expr::Unary {
+                op: UnOp::Neg,
+                input: Box::new(self.rewrite(x)?),
+            },
+            ExprAst::Case {
+                branches,
+                otherwise,
+            } => Expr::Case {
                 branches: branches
                     .iter()
                     .map(|(c, v)| Ok((self.rewrite(c)?, self.rewrite(v)?)))
@@ -1102,25 +1186,42 @@ fn apply_subquery_conjunct(
     let _ = outer; // TPC-H never nests correlation across two levels here.
     match conjunct {
         ExprAst::Exists { query, negated } => {
-            let kind = if *negated { JoinKind::Anti } else { JoinKind::Semi };
+            let kind = if *negated {
+                JoinKind::Anti
+            } else {
+                JoinKind::Semi
+            };
             decorrelate_exists(plan, schema, query, kind, ctx)
         }
-        ExprAst::InSubquery { expr: key, query, negated } => {
-            let kind = if *negated { JoinKind::Anti } else { JoinKind::Semi };
+        ExprAst::InSubquery {
+            expr: key,
+            query,
+            negated,
+        } => {
+            let kind = if *negated {
+                JoinKind::Anti
+            } else {
+                JoinKind::Semi
+            };
             decorrelate_in(plan, schema, key, query, kind, ctx)
         }
         other => {
             // General predicate containing scalar subqueries: join each in,
             // rewrite the predicate, filter, and project the extras away.
             let original_width = schema.len();
-            let (plan2, schema2, rewritten) =
-                inline_scalar_subqueries(plan, schema, other, ctx)?;
+            let (plan2, schema2, rewritten) = inline_scalar_subqueries(plan, schema, other, ctx)?;
             let bound = bind_expr(&rewritten, &schema2, None)?;
-            let filtered = Rel::Filter { input: Box::new(plan2), predicate: bound };
+            let filtered = Rel::Filter {
+                input: Box::new(plan2),
+                predicate: bound,
+            };
             let keep: Vec<(Expr, String)> = (0..original_width)
                 .map(|i| (expr::col(i), schema2.fields[i].name.clone()))
                 .collect();
-            let out = Rel::Project { input: Box::new(filtered), exprs: keep };
+            let out = Rel::Project {
+                input: Box::new(filtered),
+                exprs: keep,
+            };
             let out_schema = out.schema()?;
             Ok((out, out_schema))
         }
@@ -1240,7 +1341,12 @@ fn decorrelate_exists(
     let mut rk = Vec::new();
     let mut residual = Vec::new();
     for c in correlated {
-        if let Expr::Binary { op: BinOp::Eq, left, right } = &c {
+        if let Expr::Binary {
+            op: BinOp::Eq,
+            left,
+            right,
+        } = &c
+        {
             let is_outer = |e: &Expr| {
                 let mut refs = Vec::new();
                 e.referenced_columns(&mut refs);
@@ -1272,7 +1378,9 @@ fn decorrelate_exists(
         }));
     }
     if lk.is_empty() {
-        return Err(err("EXISTS subquery without correlated equality is not supported"));
+        return Err(err(
+            "EXISTS subquery without correlated equality is not supported",
+        ));
     }
     let out = Rel::Join {
         left: Box::new(plan),
@@ -1280,7 +1388,11 @@ fn decorrelate_exists(
         kind,
         left_keys: lk,
         right_keys: rk,
-        residual: if residual.is_empty() { None } else { Some(expr::and_all(residual)) },
+        residual: if residual.is_empty() {
+            None
+        } else {
+            Some(expr::and_all(residual))
+        },
     };
     Ok((out, schema))
 }
@@ -1332,7 +1444,11 @@ fn inline_scalar_subqueries(
             let (p3, s3, r) = inline_scalar_subqueries(p2, s2, right, ctx)?;
             plan = p3;
             schema = s3;
-            ExprAst::Binary { op: *op, left: Box::new(l), right: Box::new(r) }
+            ExprAst::Binary {
+                op: *op,
+                left: Box::new(l),
+                right: Box::new(r),
+            }
         }
         ExprAst::Not(x) => {
             let (p2, s2, inner) = inline_scalar_subqueries(plan, schema, x, ctx)?;
@@ -1384,7 +1500,12 @@ fn join_scalar_subquery(
             let mut refs = Vec::new();
             bound.referenced_columns(&mut refs);
             if refs.iter().any(|&r| r >= OUTER_BASE) {
-                if let Expr::Binary { op: BinOp::Eq, left, right } = &bound {
+                if let Expr::Binary {
+                    op: BinOp::Eq,
+                    left,
+                    right,
+                } = &bound
+                {
                     let is_outer = |e: &Expr| {
                         let mut v = Vec::new();
                         e.referenced_columns(&mut v);
@@ -1396,17 +1517,13 @@ fn join_scalar_subquery(
                         !v.is_empty() && v.iter().all(|&r| r < OUTER_BASE)
                     };
                     if is_outer(left) && is_inner(right) {
-                        correlated_eq.push((
-                            left.remap_columns(&|i| i - OUTER_BASE),
-                            (**right).clone(),
-                        ));
+                        correlated_eq
+                            .push((left.remap_columns(&|i| i - OUTER_BASE), (**right).clone()));
                         continue;
                     }
                     if is_inner(left) && is_outer(right) {
-                        correlated_eq.push((
-                            right.remap_columns(&|i| i - OUTER_BASE),
-                            (**left).clone(),
-                        ));
+                        correlated_eq
+                            .push((right.remap_columns(&|i| i - OUTER_BASE), (**left).clone()));
                         continue;
                     }
                 }
@@ -1543,7 +1660,10 @@ fn join_scalar_subquery(
     // Apply the SELECT item expression on top (e.g. `0.5 * sum(...)`).
     let gctx = GroupCtx {
         product: inner_schema.clone(),
-        group_bound: &correlated_eq.iter().map(|(_, i)| i.clone()).collect::<Vec<_>>(),
+        group_bound: &correlated_eq
+            .iter()
+            .map(|(_, i)| i.clone())
+            .collect::<Vec<_>>(),
         agg_calls: &aggs,
         outer: None,
     };
@@ -1552,12 +1672,14 @@ fn join_scalar_subquery(
         .map(|i| (expr::col(i), format!("__key{i}")))
         .collect();
     proj.push((value_expr, sub_name.clone()));
-    inner_plan = Rel::Project { input: Box::new(inner_plan), exprs: proj };
+    inner_plan = Rel::Project {
+        input: Box::new(inner_plan),
+        exprs: proj,
+    };
 
     // Single-join outer × grouped subquery on the correlation keys.
     let left_keys: Vec<Expr> = correlated_eq.iter().map(|(o, _)| o.clone()).collect();
-    let right_keys: Vec<Expr> =
-        (0..correlated_eq.len()).map(expr::col).collect();
+    let right_keys: Vec<Expr> = (0..correlated_eq.len()).map(expr::col).collect();
     let joined = Rel::Join {
         left: Box::new(plan),
         right: Box::new(inner_plan),
@@ -1571,11 +1693,14 @@ fn join_scalar_subquery(
 }
 
 fn conjoin_asts(conjuncts: &[&ExprAst]) -> Option<ExprAst> {
-    conjuncts.iter().map(|c| (*c).clone()).reduce(|a, b| ExprAst::Binary {
-        op: AstBinOp::And,
-        left: Box::new(a),
-        right: Box::new(b),
-    })
+    conjuncts
+        .iter()
+        .map(|c| (*c).clone())
+        .reduce(|a, b| ExprAst::Binary {
+            op: AstBinOp::And,
+            left: Box::new(a),
+            right: Box::new(b),
+        })
 }
 
 /// Apply a HAVING conjunct containing scalar subqueries after aggregation.
@@ -1591,11 +1716,17 @@ fn apply_scalar_subqueries_postagg(
     // Bind: aggregate-bearing parts go through the group context, the
     // joined scalar columns resolve by name against the extended schema.
     let bound = bind_having_mixed(&rewritten, &schema2, gctx)?;
-    let filtered = Rel::Filter { input: Box::new(plan2), predicate: bound };
+    let filtered = Rel::Filter {
+        input: Box::new(plan2),
+        predicate: bound,
+    };
     let keep: Vec<(Expr, String)> = (0..original_width)
         .map(|i| (expr::col(i), schema2.fields[i].name.clone()))
         .collect();
-    let out = Rel::Project { input: Box::new(filtered), exprs: keep };
+    let out = Rel::Project {
+        input: Box::new(filtered),
+        exprs: keep,
+    };
     let out_schema = out.schema()?;
     Ok((out, out_schema))
 }
@@ -1626,9 +1757,11 @@ fn bind_having_mixed(ast: &ExprAst, schema: &Schema, gctx: &GroupCtx<'_>) -> Res
                 None,
             )?;
             match tmp {
-                Expr::Binary { op, .. } => {
-                    Ok(Expr::Binary { op, left: Box::new(l), right: Box::new(r) })
-                }
+                Expr::Binary { op, .. } => Ok(Expr::Binary {
+                    op,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                }),
                 _ => unreachable!(),
             }
         }

@@ -79,9 +79,7 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                             s.push(ch);
                             i += 1;
                         }
-                        None => {
-                            return Err(SqlError::Lex("unterminated string".into()))
-                        }
+                        None => return Err(SqlError::Lex("unterminated string".into())),
                     }
                 }
                 out.push(Token::Str(s));
@@ -93,7 +91,10 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 }
                 let mut is_float = false;
                 if chars.get(i) == Some(&'.')
-                    && chars.get(i + 1).map(|c| c.is_ascii_digit()).unwrap_or(false)
+                    && chars
+                        .get(i + 1)
+                        .map(|c| c.is_ascii_digit())
+                        .unwrap_or(false)
                 {
                     is_float = true;
                     i += 1;
@@ -103,20 +104,20 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 }
                 let text: String = chars[start..i].iter().collect();
                 if is_float {
-                    out.push(Token::Float(text.parse().map_err(|e| {
-                        SqlError::Lex(format!("bad float {text}: {e}"))
-                    })?));
+                    out.push(Token::Float(
+                        text.parse()
+                            .map_err(|e| SqlError::Lex(format!("bad float {text}: {e}")))?,
+                    ));
                 } else {
-                    out.push(Token::Int(text.parse().map_err(|e| {
-                        SqlError::Lex(format!("bad int {text}: {e}"))
-                    })?));
+                    out.push(Token::Int(
+                        text.parse()
+                            .map_err(|e| SqlError::Lex(format!("bad int {text}: {e}")))?,
+                    ));
                 }
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
-                while i < chars.len()
-                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_')
-                {
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
                     i += 1;
                 }
                 out.push(Token::Ident(chars[start..i].iter().collect()));

@@ -31,7 +31,10 @@ pub fn optimize(plan: Rel) -> Result<Rel> {
                 (expr::col(ni), schema.fields[ni].name.clone())
             })
             .collect();
-        Ok(Rel::Project { input: Box::new(pruned), exprs })
+        Ok(Rel::Project {
+            input: Box::new(pruned),
+            exprs,
+        })
     }
 }
 
@@ -48,17 +51,28 @@ fn refs_of(e: &sirius_plan::Expr) -> Vec<usize> {
 /// least) every required column.
 fn prune(rel: Rel, required: &BTreeSet<usize>) -> Result<(Rel, Mapping)> {
     match rel {
-        Rel::Read { table, schema, projection } => {
+        Rel::Read {
+            table,
+            schema,
+            projection,
+        } => {
             // Binder emits projection=None; compose defensively regardless.
             let base: Vec<usize> = match &projection {
                 Some(p) => p.clone(),
                 None => (0..schema.len()).collect(),
             };
             let keep: Vec<usize> = required.iter().map(|&r| base[r]).collect();
-            let mapping: Mapping =
-                required.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+            let mapping: Mapping = required
+                .iter()
+                .enumerate()
+                .map(|(new, &old)| (old, new))
+                .collect();
             Ok((
-                Rel::Read { table, schema, projection: Some(keep) },
+                Rel::Read {
+                    table,
+                    schema,
+                    projection: Some(keep),
+                },
                 mapping,
             ))
         }
@@ -67,7 +81,13 @@ fn prune(rel: Rel, required: &BTreeSet<usize>) -> Result<(Rel, Mapping)> {
             child_req.extend(refs_of(&predicate));
             let (child, map) = prune(*input, &child_req)?;
             let predicate = predicate.remap_columns(&|i| map[&i]);
-            Ok((Rel::Filter { input: Box::new(child), predicate }, map))
+            Ok((
+                Rel::Filter {
+                    input: Box::new(child),
+                    predicate,
+                },
+                map,
+            ))
         }
         Rel::Project { input, exprs } => {
             let kept: Vec<usize> = required.iter().copied().collect();
@@ -78,15 +98,26 @@ fn prune(rel: Rel, required: &BTreeSet<usize>) -> Result<(Rel, Mapping)> {
             let (child, cmap) = prune(*input, &child_req)?;
             let new_exprs: Vec<_> = kept
                 .iter()
-                .map(|&i| {
-                    (exprs[i].0.remap_columns(&|c| cmap[&c]), exprs[i].1.clone())
-                })
+                .map(|&i| (exprs[i].0.remap_columns(&|c| cmap[&c]), exprs[i].1.clone()))
                 .collect();
-            let mapping: Mapping =
-                kept.iter().enumerate().map(|(new, &old)| (old, new)).collect();
-            Ok((Rel::Project { input: Box::new(child), exprs: new_exprs }, mapping))
+            let mapping: Mapping = kept
+                .iter()
+                .enumerate()
+                .map(|(new, &old)| (old, new))
+                .collect();
+            Ok((
+                Rel::Project {
+                    input: Box::new(child),
+                    exprs: new_exprs,
+                },
+                mapping,
+            ))
         }
-        Rel::Aggregate { input, group_by, aggregates } => {
+        Rel::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => {
             let mut child_req = BTreeSet::new();
             for g in &group_by {
                 child_req.extend(refs_of(g));
@@ -97,8 +128,10 @@ fn prune(rel: Rel, required: &BTreeSet<usize>) -> Result<(Rel, Mapping)> {
                 }
             }
             let (child, cmap) = prune(*input, &child_req)?;
-            let group_by: Vec<_> =
-                group_by.iter().map(|g| g.remap_columns(&|c| cmap[&c])).collect();
+            let group_by: Vec<_> = group_by
+                .iter()
+                .map(|g| g.remap_columns(&|c| cmap[&c]))
+                .collect();
             let aggregates: Vec<_> = aggregates
                 .iter()
                 .map(|a| sirius_plan::AggExpr {
@@ -111,11 +144,22 @@ fn prune(rel: Rel, required: &BTreeSet<usize>) -> Result<(Rel, Mapping)> {
             let width = group_by.len() + aggregates.len();
             let mapping: Mapping = (0..width).map(|i| (i, i)).collect();
             Ok((
-                Rel::Aggregate { input: Box::new(child), group_by, aggregates },
+                Rel::Aggregate {
+                    input: Box::new(child),
+                    group_by,
+                    aggregates,
+                },
                 mapping,
             ))
         }
-        Rel::Join { left, right, kind, left_keys, right_keys, residual } => {
+        Rel::Join {
+            left,
+            right,
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+        } => {
             let lw = left.schema().map_err(SqlError::Plan)?.len();
             let mut lreq = BTreeSet::new();
             let mut rreq = BTreeSet::new();
@@ -144,10 +188,14 @@ fn prune(rel: Rel, required: &BTreeSet<usize>) -> Result<(Rel, Mapping)> {
             let (lchild, lmap) = prune(*left, &lreq)?;
             let (rchild, rmap) = prune(*right, &rreq)?;
             let new_lw = lchild.schema().map_err(SqlError::Plan)?.len();
-            let left_keys: Vec<_> =
-                left_keys.iter().map(|k| k.remap_columns(&|c| lmap[&c])).collect();
-            let right_keys: Vec<_> =
-                right_keys.iter().map(|k| k.remap_columns(&|c| rmap[&c])).collect();
+            let left_keys: Vec<_> = left_keys
+                .iter()
+                .map(|k| k.remap_columns(&|c| lmap[&c]))
+                .collect();
+            let right_keys: Vec<_> = right_keys
+                .iter()
+                .map(|k| k.remap_columns(&|c| rmap[&c]))
+                .collect();
             let residual = residual.map(|res| {
                 res.remap_columns(&|c| {
                     if c < lw {
@@ -191,18 +239,40 @@ fn prune(rel: Rel, required: &BTreeSet<usize>) -> Result<(Rel, Mapping)> {
                     ascending: k.ascending,
                 })
                 .collect();
-            Ok((Rel::Sort { input: Box::new(child), keys }, map))
+            Ok((
+                Rel::Sort {
+                    input: Box::new(child),
+                    keys,
+                },
+                map,
+            ))
         }
-        Rel::Limit { input, offset, fetch } => {
+        Rel::Limit {
+            input,
+            offset,
+            fetch,
+        } => {
             let (child, map) = prune(*input, required)?;
-            Ok((Rel::Limit { input: Box::new(child), offset, fetch }, map))
+            Ok((
+                Rel::Limit {
+                    input: Box::new(child),
+                    offset,
+                    fetch,
+                },
+                map,
+            ))
         }
         Rel::Distinct { input } => {
             // Distinct semantics depend on every column: no pruning through.
             let width = input.schema().map_err(SqlError::Plan)?.len();
             let all: BTreeSet<usize> = (0..width).collect();
             let (child, map) = prune(*input, &all)?;
-            Ok((Rel::Distinct { input: Box::new(child) }, map))
+            Ok((
+                Rel::Distinct {
+                    input: Box::new(child),
+                },
+                map,
+            ))
         }
         Rel::Exchange { input, kind } => {
             let mut child_req = required.clone();
@@ -218,7 +288,13 @@ fn prune(rel: Rel, required: &BTreeSet<usize>) -> Result<(Rel, Mapping)> {
                 },
                 other => other,
             };
-            Ok((Rel::Exchange { input: Box::new(child), kind }, map))
+            Ok((
+                Rel::Exchange {
+                    input: Box::new(child),
+                    kind,
+                },
+                map,
+            ))
         }
     }
 }
@@ -280,7 +356,11 @@ mod tests {
         assert_eq!(opt.schema().unwrap(), plan.schema().unwrap());
         // Left side reads a (key) and b; right side reads c (key) and d.
         fn reads(rel: &Rel, out: &mut Vec<Vec<usize>>) {
-            if let Rel::Read { projection: Some(p), .. } = rel {
+            if let Rel::Read {
+                projection: Some(p),
+                ..
+            } = rel
+            {
                 out.push(p.clone());
             }
             for c in rel.children() {

@@ -53,7 +53,10 @@ impl<'a> Parser<'a> {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            Err(SqlError::Parse(format!("expected {kw}, found {:?}", self.peek())))
+            Err(SqlError::Parse(format!(
+                "expected {kw}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -74,14 +77,19 @@ impl<'a> Parser<'a> {
         if self.eat_sym(s) {
             Ok(())
         } else {
-            Err(SqlError::Parse(format!("expected {s:?}, found {:?}", self.peek())))
+            Err(SqlError::Parse(format!(
+                "expected {s:?}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
     fn ident(&mut self) -> Result<String> {
         match self.next() {
             Some(Token::Ident(s)) => Ok(s.clone()),
-            other => Err(SqlError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(SqlError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -124,13 +132,20 @@ impl<'a> Parser<'a> {
             match self.next() {
                 Some(Token::Int(n)) if *n >= 0 => Some(*n as usize),
                 other => {
-                    return Err(SqlError::Parse(format!("expected limit count, found {other:?}")))
+                    return Err(SqlError::Parse(format!(
+                        "expected limit count, found {other:?}"
+                    )))
                 }
             }
         } else {
             None
         };
-        Ok(Query { ctes, select, order_by, limit })
+        Ok(Query {
+            ctes,
+            select,
+            order_by,
+            limit,
+        })
     }
 
     fn select(&mut self) -> Result<Select> {
@@ -140,7 +155,10 @@ impl<'a> Parser<'a> {
         if self.eat_sym(Sym::Star) {
             // `select *` is only used inside EXISTS subqueries; represent it
             // as a constant (the binder ignores projection there).
-            items.push(SelectItem { expr: ExprAst::Int(1), alias: None });
+            items.push(SelectItem {
+                expr: ExprAst::Int(1),
+                alias: None,
+            });
         } else {
             loop {
                 let expr = self.expr()?;
@@ -163,7 +181,11 @@ impl<'a> Parser<'a> {
                 break;
             }
         }
-        let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut group_by = Vec::new();
         if self.eat_kw("group") {
             self.expect_kw("by")?;
@@ -174,10 +196,23 @@ impl<'a> Parser<'a> {
                 }
             }
         }
-        let having = if self.eat_kw("having") { Some(self.expr()?) } else { None };
-        Ok(Select { distinct, items, from, where_clause, group_by, having })
+        let having = if self.eat_kw("having") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Select {
+            distinct,
+            items,
+            from,
+            where_clause,
+            group_by,
+            having,
+        })
     }
 
+    // Named after the grammar production, not a conversion.
+    #[allow(clippy::wrong_self_convention)]
     fn from_item(&mut self) -> Result<FromItem> {
         let base = self.table_ref()?;
         let mut joins = Vec::new();
@@ -208,18 +243,19 @@ impl<'a> Parser<'a> {
             self.expect_sym(Sym::RParen)?;
             self.eat_kw("as");
             let alias = self.ident()?;
-            return Ok(TableRef::Derived { query: Box::new(query), alias });
+            return Ok(TableRef::Derived {
+                query: Box::new(query),
+                alias,
+            });
         }
         let name = self.ident()?;
         // An alias is a bare identifier that isn't a clause keyword.
         const CLAUSE_KWS: [&str; 14] = [
-            "where", "group", "having", "order", "limit", "on", "join", "inner", "left",
-            "right", "full", "as", "union", "cross",
+            "where", "group", "having", "order", "limit", "on", "join", "inner", "left", "right",
+            "full", "as", "union", "cross",
         ];
         let alias = match self.peek() {
-            Some(Token::Ident(s))
-                if !CLAUSE_KWS.iter().any(|k| s.eq_ignore_ascii_case(k)) =>
-            {
+            Some(Token::Ident(s)) if !CLAUSE_KWS.iter().any(|k| s.eq_ignore_ascii_case(k)) => {
                 Some(self.ident()?)
             }
             _ => {
@@ -276,7 +312,11 @@ impl<'a> Parser<'a> {
     /// `NOT EXISTS` is handled in `predicate` (primary), not as generic NOT.
     fn peek_is_not_exists(&self) -> bool {
         self.at_kw("not")
-            && self.tokens.get(self.pos + 1).map(|t| t.is_kw("exists")).unwrap_or(false)
+            && self
+                .tokens
+                .get(self.pos + 1)
+                .map(|t| t.is_kw("exists"))
+                .unwrap_or(false)
     }
 
     fn predicate(&mut self) -> Result<ExprAst> {
@@ -285,13 +325,19 @@ impl<'a> Parser<'a> {
             self.expect_sym(Sym::LParen)?;
             let q = self.query()?;
             self.expect_sym(Sym::RParen)?;
-            return Ok(ExprAst::Exists { query: Box::new(q), negated: true });
+            return Ok(ExprAst::Exists {
+                query: Box::new(q),
+                negated: true,
+            });
         }
         if self.eat_kw("exists") {
             self.expect_sym(Sym::LParen)?;
             let q = self.query()?;
             self.expect_sym(Sym::RParen)?;
-            return Ok(ExprAst::Exists { query: Box::new(q), negated: false });
+            return Ok(ExprAst::Exists {
+                query: Box::new(q),
+                negated: false,
+            });
         }
 
         let left = self.additive()?;
@@ -300,7 +346,10 @@ impl<'a> Parser<'a> {
         if self.eat_kw("is") {
             let negated = self.eat_kw("not");
             self.expect_kw("null")?;
-            return Ok(ExprAst::IsNull { expr: Box::new(left), negated });
+            return Ok(ExprAst::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
         let negated = {
             // `x NOT BETWEEN/LIKE/IN ...`
@@ -363,7 +412,11 @@ impl<'a> Parser<'a> {
                 }
             }
             self.expect_sym(Sym::RParen)?;
-            return Ok(ExprAst::InList { expr: Box::new(left), list, negated });
+            return Ok(ExprAst::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
         }
         if negated {
             return Err(SqlError::Parse("dangling NOT".into()));
@@ -382,7 +435,11 @@ impl<'a> Parser<'a> {
         if let Some(op) = op {
             self.pos += 1;
             let right = self.additive()?;
-            return Ok(ExprAst::Binary { op, left: Box::new(left), right: Box::new(right) });
+            return Ok(ExprAst::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            });
         }
         Ok(left)
     }
@@ -398,7 +455,11 @@ impl<'a> Parser<'a> {
                 break;
             };
             let right = self.multiplicative()?;
-            left = ExprAst::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = ExprAst::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -416,7 +477,11 @@ impl<'a> Parser<'a> {
                 break;
             };
             let right = self.unary()?;
-            left = ExprAst::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = ExprAst::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -469,9 +534,10 @@ impl<'a> Parser<'a> {
                 if id.eq_ignore_ascii_case("interval") {
                     self.pos += 1;
                     let value = match self.next() {
-                        Some(Token::Str(s)) => s.trim().parse::<i64>().map_err(|e| {
-                            SqlError::Parse(format!("bad interval value: {e}"))
-                        })?,
+                        Some(Token::Str(s)) => s
+                            .trim()
+                            .parse::<i64>()
+                            .map_err(|e| SqlError::Parse(format!("bad interval value: {e}")))?,
                         other => {
                             return Err(SqlError::Parse(format!(
                                 "INTERVAL requires a quoted count, found {other:?}"
@@ -506,7 +572,10 @@ impl<'a> Parser<'a> {
                         None
                     };
                     self.expect_kw("end")?;
-                    return Ok(ExprAst::Case { branches, otherwise });
+                    return Ok(ExprAst::Case {
+                        branches,
+                        otherwise,
+                    });
                 }
                 if id.eq_ignore_ascii_case("extract") {
                     self.pos += 1;
@@ -517,8 +586,7 @@ impl<'a> Parser<'a> {
                     self.expect_sym(Sym::RParen)?;
                     return Ok(ExprAst::ExtractYear(Box::new(e)));
                 }
-                if id.eq_ignore_ascii_case("substring") || id.eq_ignore_ascii_case("substr")
-                {
+                if id.eq_ignore_ascii_case("substring") || id.eq_ignore_ascii_case("substr") {
                     self.pos += 1;
                     self.expect_sym(Sym::LParen)?;
                     let e = self.expr()?;
@@ -556,7 +624,11 @@ impl<'a> Parser<'a> {
                         self.pos += 2;
                         if self.eat_sym(Sym::Star) {
                             self.expect_sym(Sym::RParen)?;
-                            return Ok(ExprAst::Agg { func, arg: None, distinct: false });
+                            return Ok(ExprAst::Agg {
+                                func,
+                                arg: None,
+                                distinct: false,
+                            });
                         }
                         let distinct = self.eat_kw("distinct");
                         let arg = self.expr()?;
@@ -583,7 +655,9 @@ impl<'a> Parser<'a> {
     fn int_literal(&mut self) -> Result<i64> {
         match self.next() {
             Some(Token::Int(v)) => Ok(*v),
-            other => Err(SqlError::Parse(format!("expected integer, found {other:?}"))),
+            other => Err(SqlError::Parse(format!(
+                "expected integer, found {other:?}"
+            ))),
         }
     }
 }
@@ -617,7 +691,11 @@ mod tests {
         assert!(q.select.having.is_some());
         assert!(matches!(
             q.select.items[3].expr,
-            ExprAst::Agg { func: AstAggFunc::Count, distinct: true, .. }
+            ExprAst::Agg {
+                func: AstAggFunc::Count,
+                distinct: true,
+                ..
+            }
         ));
     }
 
@@ -648,7 +726,12 @@ mod tests {
         // Just check it parsed into a conjunction of three predicates.
         let mut count = 0;
         fn conjuncts(e: &ExprAst, n: &mut usize) {
-            if let ExprAst::Binary { op: AstBinOp::And, left, right } = e {
+            if let ExprAst::Binary {
+                op: AstBinOp::And,
+                left,
+                right,
+            } = e
+            {
                 conjuncts(left, n);
                 conjuncts(right, n);
             } else {
@@ -690,7 +773,11 @@ mod tests {
         assert!(matches!(q.select.items[1].expr, ExprAst::ExtractYear(_)));
         assert!(matches!(
             q.select.items[2].expr,
-            ExprAst::Substring { start: 1, len: 2, .. }
+            ExprAst::Substring {
+                start: 1,
+                len: 2,
+                ..
+            }
         ));
     }
 

@@ -43,7 +43,10 @@ const CURRENT_DATE: (i32, u32, u32) = (1995, 6, 17);
 impl TpchGenerator {
     /// Generator at `scale_factor` with the default seed.
     pub fn new(scale_factor: f64) -> Self {
-        Self { sf: scale_factor, seed: 0x5151_u64 }
+        Self {
+            sf: scale_factor,
+            seed: 0x5151_u64,
+        }
     }
 
     /// Override the seed.
@@ -64,8 +67,7 @@ impl TpchGenerator {
         let n_part = self.scaled(200_000, 120);
         let n_orders = self.scaled(1_500_000, 900);
 
-        let retail_price =
-            |partkey: i64| 900.0 + ((partkey * 32) % 20_001) as f64 / 100.0;
+        let retail_price = |partkey: i64| 900.0 + ((partkey * 32) % 20_001) as f64 / 100.0;
         // dbgen links each part to 4 suppliers with this spread; lineitem
         // uses the same formula so (l_partkey, l_suppkey) always exists in
         // partsupp (Q9 depends on it).
@@ -97,9 +99,7 @@ impl TpchGenerator {
                     Array::from_i64(0..25),
                     Array::from_strs(NATIONS.map(|(n, _)| n)),
                     Array::from_i64(NATIONS.map(|(_, r)| r)),
-                    Array::from_strs(
-                        NATIONS.map(|(n, _)| format!("{} nation", n.to_lowercase())),
-                    ),
+                    Array::from_strs(NATIONS.map(|(n, _)| format!("{} nation", n.to_lowercase()))),
                 ],
             ),
         ));
@@ -362,9 +362,8 @@ impl TpchGenerator {
                     l_ship.push(ship);
                     l_commit.push(commit);
                     l_receipt.push(receipt);
-                    l_instruct.push(
-                        SHIP_INSTRUCTS[rng.gen_range(0..SHIP_INSTRUCTS.len())].to_string(),
-                    );
+                    l_instruct
+                        .push(SHIP_INSTRUCTS[rng.gen_range(0..SHIP_INSTRUCTS.len())].to_string());
                     l_mode.push(SHIP_MODES[rng.gen_range(0..SHIP_MODES.len())].to_string());
                     l_comment.push(gen_comment(&mut rng, None));
                 }
@@ -437,7 +436,10 @@ impl TpchGenerator {
             ));
         }
 
-        TpchData { tables, scale_factor: self.sf }
+        TpchData {
+            tables,
+            scale_factor: self.sf,
+        }
     }
 }
 
@@ -539,7 +541,10 @@ mod tests {
                 li.column(1).i64_value(i).unwrap(),
                 li.column(2).i64_value(i).unwrap(),
             );
-            assert!(pairs.contains(&key), "lineitem {key:?} missing from partsupp");
+            assert!(
+                pairs.contains(&key),
+                "lineitem {key:?} missing from partsupp"
+            );
         }
     }
 

@@ -37,16 +37,42 @@ pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE E
 /// Part-name color vocabulary (dbgen uses 92 colors; this is the subset the
 /// queries probe plus filler, which preserves selectivities well enough).
 pub const COLORS: [&str; 32] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched",
-    "blue", "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon",
-    "chocolate", "coral", "cornflower", "cream", "cyan", "dark", "deep", "dim",
-    "dodger", "drab", "firebrick", "forest", "frosted", "gainsboro", "ghost", "green",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cream",
+    "cyan",
+    "dark",
+    "deep",
+    "dim",
+    "dodger",
+    "drab",
+    "firebrick",
+    "forest",
+    "frosted",
+    "gainsboro",
+    "ghost",
+    "green",
     "goldenrod",
 ];
 
 /// p_type syllable 1.
-pub const TYPE_S1: [&str; 6] =
-    ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+pub const TYPE_S1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
 /// p_type syllable 2.
 pub const TYPE_S2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
 /// p_type syllable 3.
@@ -55,31 +81,57 @@ pub const TYPE_S3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 /// p_container syllable 1.
 pub const CONTAINER_S1: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
 /// p_container syllable 2.
-pub const CONTAINER_S2: [&str; 8] =
-    ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+pub const CONTAINER_S2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
 
 /// Market segments (Q3 probes `BUILDING`).
-pub const SEGMENTS: [&str; 5] =
-    ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 
 /// Order priorities (Q4 probes the `1-URGENT`/`2-HIGH` prefix space).
-pub const PRIORITIES: [&str; 5] =
-    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 
 /// Ship modes (Q12 probes MAIL/SHIP, Q19 probes AIR/AIR REG).
-pub const SHIP_MODES: [&str; 7] =
-    ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 
 /// Ship instructions (Q19 probes `DELIVER IN PERSON`).
-pub const SHIP_INSTRUCTS: [&str; 4] =
-    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+pub const SHIP_INSTRUCTS: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
 
 /// Filler vocabulary for comments.
 pub const COMMENT_WORDS: [&str; 24] = [
-    "furiously", "quickly", "carefully", "blithely", "slyly", "ideas", "deposits",
-    "foxes", "packages", "accounts", "pinto", "beans", "instructions", "theodolites",
-    "platelets", "pearls", "sauternes", "asymptotes", "dolphins", "wake", "sleep",
-    "haggle", "nag", "dazzle",
+    "furiously",
+    "quickly",
+    "carefully",
+    "blithely",
+    "slyly",
+    "ideas",
+    "deposits",
+    "foxes",
+    "packages",
+    "accounts",
+    "pinto",
+    "beans",
+    "instructions",
+    "theodolites",
+    "platelets",
+    "pearls",
+    "sauternes",
+    "asymptotes",
+    "dolphins",
+    "wake",
+    "sleep",
+    "haggle",
+    "nag",
+    "dazzle",
 ];
 
 /// Q22's selective phone country codes (10 + nationkey).

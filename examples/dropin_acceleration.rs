@@ -23,7 +23,10 @@ struct SiriusExtension {
 
 impl Accelerator for SiriusExtension {
     fn execute_substrait(&self, wire: &str) -> Result<sirius_columnar::Table, String> {
-        self.ctx.execute_json(wire).map(|(t, _)| t).map_err(|e| e.to_string())
+        self.ctx
+            .execute_json(wire)
+            .map(|(t, _)| t)
+            .map_err(|e| e.to_string())
     }
 
     fn cache_table(&self, name: &str, table: &sirius_columnar::Table) {

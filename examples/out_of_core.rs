@@ -19,7 +19,11 @@ select l_returnflag, sum(l_extendedprice) as total
 from lineitem
 group by l_returnflag";
 
-fn run(device_bytes: u64, link: sirius_hw::LinkSpec, data: &sirius_tpch::TpchData) -> (f64, (u64, u64, u64)) {
+fn run(
+    device_bytes: u64,
+    link: sirius_hw::LinkSpec,
+    data: &sirius_tpch::TpchData,
+) -> (f64, (u64, u64, u64)) {
     let mut spec = catalog::gh200_gpu();
     spec.memory_bytes = device_bytes;
     let engine = SiriusEngine::with_link(spec, Link::new(link), 2);
@@ -43,7 +47,10 @@ fn main() {
     let total = data.total_bytes();
     println!("working set: {:.1} MiB\n", total as f64 / (1 << 20) as f64);
 
-    println!("{:<26} {:>10} {:>22}", "configuration", "time (ms)", "tiers dev/pinned/disk (MiB)");
+    println!(
+        "{:<26} {:>10} {:>22}",
+        "configuration", "time (ms)", "tiers dev/pinned/disk (MiB)"
+    );
     let mib = |b: u64| b as f64 / (1 << 20) as f64;
     for (label, bytes, link) in [
         ("HBM-resident", 8u64 << 30, catalog::nvlink_c2c()),

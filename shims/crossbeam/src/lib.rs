@@ -1,0 +1,291 @@
+//! Minimal offline stand-in for the `crossbeam` crate. Only
+//! [`channel`] is provided — MPMC channels with the send/recv/timeout API
+//! this workspace uses, implemented over `Mutex` + `Condvar`.
+
+pub mod channel {
+    //! MPMC channels: `unbounded()` and `bounded(cap)`.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        /// Signalled when a message arrives or all senders disconnect.
+        readable: Condvar,
+        /// Signalled when capacity frees up or all receivers disconnect.
+        writable: Condvar,
+    }
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// The sending half; cloneable (MPMC).
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; cloneable (MPMC).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Queue currently empty.
+        Empty,
+        /// Empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message within the timeout.
+        Timeout,
+        /// Empty and all senders dropped.
+        Disconnected,
+    }
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty, disconnected channel")
+        }
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("receive timed out"),
+                RecvTimeoutError::Disconnected => f.write_str("channel disconnected"),
+            }
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+    impl std::error::Error for RecvError {}
+    impl std::error::Error for RecvTimeoutError {}
+
+    fn shared<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// Channel with unlimited buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        shared(None)
+    }
+
+    /// Channel buffering at most `cap` messages; `send` blocks when full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        shared(Some(cap.max(1)))
+    }
+
+    impl<T> Sender<T> {
+        /// Send a message, blocking while the channel is full. Errors only
+        /// when every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut inner = self.shared.inner.lock().expect("channel lock");
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                let full = inner.cap.map(|c| inner.queue.len() >= c).unwrap_or(false);
+                if !full {
+                    inner.queue.push_back(value);
+                    self.shared.readable.notify_one();
+                    return Ok(());
+                }
+                inner = self.shared.writable.wait(inner).expect("channel lock");
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive, blocking until a message or disconnection.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.shared.inner.lock().expect("channel lock");
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    self.shared.writable.notify_one();
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.shared.readable.wait(inner).expect("channel lock");
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.shared.inner.lock().expect("channel lock");
+            if let Some(v) = inner.queue.pop_front() {
+                self.shared.writable.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Receive with a timeout.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut inner = self.shared.inner.lock().expect("channel lock");
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    self.shared.writable.notify_one();
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (g, _res) = self
+                    .shared
+                    .readable
+                    .wait_timeout(inner, deadline - now)
+                    .expect("channel lock");
+                inner = g;
+            }
+        }
+
+        /// Drain everything currently queued without blocking.
+        pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+            std::iter::from_fn(move || self.try_recv().ok())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.inner.lock().expect("channel lock").senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.inner.lock().expect("channel lock").receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().expect("channel lock");
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                drop(inner);
+                self.shared.readable.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().expect("channel lock");
+            inner.receivers -= 1;
+            if inner.receivers == 0 {
+                drop(inner);
+                self.shared.writable.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_send_recv() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.try_recv().unwrap(), 2);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_surfaces() {
+        let (tx, rx) = unbounded::<i32>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+        let (tx2, rx2) = unbounded::<i32>();
+        drop(rx2);
+        assert!(tx2.send(7).is_err());
+    }
+
+    #[test]
+    fn timeout_fires() {
+        let (_tx, rx) = unbounded::<i32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn cross_thread() {
+        let (tx, rx) = bounded(1);
+        let h = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<i32> = (0..100).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        h.join().unwrap();
+    }
+}

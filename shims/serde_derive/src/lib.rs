@@ -1,0 +1,473 @@
+//! Minimal offline stand-in for `serde_derive`.
+//!
+//! Parses the derive input token stream by hand (no `syn`/`quote` in this
+//! offline workspace) and emits `Serialize`/`Deserialize` impls against the
+//! shim `serde` crate's `Value`-tree traits. Supports exactly the shapes
+//! this workspace derives on: non-generic structs with named fields, tuple
+//! structs, unit structs, and enums with unit/tuple/struct variants —
+//! encoded with serde's externally-tagged layout. Field attributes like
+//! `#[serde(...)]` are not supported and trigger a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the shim `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derive the shim `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+enum Fields {
+    Unit,
+    /// Tuple fields, by count.
+    Tuple(usize),
+    /// Named field identifiers, in declaration order.
+    Named(Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            let escaped = msg.replace('\\', "\\\\").replace('"', "\\\"");
+            return format!("compile_error!(\"{escaped}\");").parse().unwrap();
+        }
+    };
+    let code = match (&item, mode) {
+        (Item::Struct { name, fields }, Mode::Serialize) => gen_struct_ser(name, fields),
+        (Item::Struct { name, fields }, Mode::Deserialize) => gen_struct_de(name, fields),
+        (Item::Enum { name, variants }, Mode::Serialize) => gen_enum_ser(name, variants),
+        (Item::Enum { name, variants }, Mode::Deserialize) => gen_enum_de(name, variants),
+    };
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde_derive shim produced unparseable code: {e}\n{code}"))
+}
+
+// --- parsing ---------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&tokens, &mut pos)?;
+
+    let keyword = expect_ident(&tokens, &mut pos)?;
+    let is_enum = match keyword.as_str() {
+        "struct" => false,
+        "enum" => true,
+        other => return Err(format!("serde shim derive: unsupported item `{other}`")),
+    };
+    let name = expect_ident(&tokens, &mut pos)?;
+
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive: generic type `{name}` not supported"
+        ));
+    }
+
+    if is_enum {
+        let body = expect_group(&tokens, &mut pos, Delimiter::Brace)?;
+        let variants = parse_variants(body)?;
+        Ok(Item::Enum { name, variants })
+    } else {
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+            other => {
+                return Err(format!(
+                    "serde shim derive: unexpected struct body {other:?}"
+                ))
+            }
+        };
+        Ok(Item::Struct { name, fields })
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) -> Result<(), String> {
+    loop {
+        match tokens.get(*pos) {
+            // `#[...]` attribute (doc comments arrive in this shape too).
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) {
+                    reject_serde_attr(g.stream())?;
+                    *pos += 2;
+                } else {
+                    return Err("serde shim derive: stray `#`".into());
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                // `pub(crate)` / `pub(super)` etc.
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1;
+                }
+            }
+            _ => return Ok(()),
+        }
+    }
+}
+
+/// `#[serde(...)]` attributes change the wire format; the shim doesn't
+/// implement them, so fail loudly rather than silently diverge.
+fn reject_serde_attr(attr: TokenStream) -> Result<(), String> {
+    let mut it = attr.into_iter();
+    if let Some(TokenTree::Ident(id)) = it.next() {
+        if id.to_string() == "serde" {
+            return Err("serde shim derive: #[serde(...)] attributes not supported".into());
+        }
+    }
+    Ok(())
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> Result<String, String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            Ok(id.to_string())
+        }
+        other => Err(format!(
+            "serde shim derive: expected identifier, got {other:?}"
+        )),
+    }
+}
+
+fn expect_group(
+    tokens: &[TokenTree],
+    pos: &mut usize,
+    delim: Delimiter,
+) -> Result<TokenStream, String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == delim => {
+            *pos += 1;
+            Ok(g.stream())
+        }
+        other => Err(format!(
+            "serde shim derive: expected {delim:?} group, got {other:?}"
+        )),
+    }
+}
+
+/// Parse `name: Type, ...` capturing the names; types are skipped with
+/// angle-bracket depth tracking so commas inside `Vec<(A, B)>`-style
+/// generics don't split fields.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0;
+    let mut names = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos)?;
+        if pos >= tokens.len() {
+            break;
+        }
+        names.push(expect_ident(&tokens, &mut pos)?);
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => return Err(format!("serde shim derive: expected `:`, got {other:?}")),
+        }
+        skip_type(&tokens, &mut pos);
+    }
+    Ok(names)
+}
+
+/// Advance past one type, stopping after the field-separating comma.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Count fields of a tuple struct/variant: top-level commas + 1 (ignoring a
+/// trailing comma), 0 for an empty group.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle_depth = 0i32;
+    let mut count = 1;
+    for (i, tok) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 && i + 1 < tokens.len() => count += 1,
+                _ => {}
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos)?;
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos)?;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            _ => Fields::Unit,
+        };
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            return Err(format!(
+                "serde shim derive: discriminant on variant `{name}` not supported"
+            ));
+        }
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+// --- codegen ---------------------------------------------------------------
+
+fn gen_struct_ser(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => "serde::Value::Null".to_string(),
+        Fields::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Fields::Named(names) => {
+            let pairs: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("serde::Value::Object(vec![{}])", pairs.join(", "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         \x20   fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_struct_de(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => format!(
+            "match v {{\n\
+             \x20   serde::Value::Null => ::core::result::Result::Ok({name}),\n\
+             \x20   other => ::core::result::Result::Err(serde::DeError::expected(\"null for unit struct {name}\", other)),\n\
+             }}"
+        ),
+        Fields::Tuple(1) => {
+            format!("::core::result::Result::Ok({name}(serde::Deserialize::from_value(v)?))")
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| serde::DeError::expected(\"array for tuple struct {name}\", v))?;\n\
+                 if items.len() != {n} {{\n\
+                 \x20   return ::core::result::Result::Err(serde::DeError(format!(\"expected {n} fields for {name}, got {{}}\", items.len())));\n\
+                 }}\n\
+                 ::core::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::from_value(serde::field(pairs, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let pairs = v.as_object().ok_or_else(|| serde::DeError::expected(\"object for struct {name}\", v))?;\n\
+                 ::core::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         \x20   fn from_value(v: &serde::Value) -> ::core::result::Result<Self, serde::DeError> {{\n\
+         {body}\n\
+         \x20   }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_ser(name: &str, variants: &[(String, Fields)]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|(v, fields)| match fields {
+            Fields::Unit => format!(
+                "{name}::{v} => serde::Value::Str(::std::string::String::from(\"{v}\")),"
+            ),
+            Fields::Tuple(1) => format!(
+                "{name}::{v}(f0) => serde::Value::Object(vec![(::std::string::String::from(\"{v}\"), serde::Serialize::to_value(f0))]),"
+            ),
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("serde::Serialize::to_value(f{i})"))
+                    .collect();
+                format!(
+                    "{name}::{v}({}) => serde::Value::Object(vec![(::std::string::String::from(\"{v}\"), serde::Value::Array(vec![{}]))]),",
+                    binds.join(", "),
+                    items.join(", ")
+                )
+            }
+            Fields::Named(fields) => {
+                let binds = fields.join(", ");
+                let pairs: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!("(::std::string::String::from(\"{f}\"), serde::Serialize::to_value({f}))")
+                    })
+                    .collect();
+                format!(
+                    "{name}::{v} {{ {binds} }} => serde::Value::Object(vec![(::std::string::String::from(\"{v}\"), serde::Value::Object(vec![{}]))]),",
+                    pairs.join(", ")
+                )
+            }
+        })
+        .collect();
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         \x20   fn to_value(&self) -> serde::Value {{\n\
+         \x20       match self {{\n\
+         {}\n\
+         \x20       }}\n\
+         \x20   }}\n\
+         }}",
+        arms.join("\n")
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[(String, Fields)]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, f)| matches!(f, Fields::Unit))
+        .map(|(v, _)| format!("\"{v}\" => ::core::result::Result::Ok({name}::{v}),"))
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, f)| !matches!(f, Fields::Unit))
+        .map(|(v, fields)| match fields {
+            Fields::Unit => unreachable!(),
+            Fields::Tuple(1) => format!(
+                "\"{v}\" => ::core::result::Result::Ok({name}::{v}(serde::Deserialize::from_value(inner)?)),"
+            ),
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                format!(
+                    "\"{v}\" => {{\n\
+                     \x20   let items = inner.as_array().ok_or_else(|| serde::DeError::expected(\"array for variant {name}::{v}\", inner))?;\n\
+                     \x20   if items.len() != {n} {{\n\
+                     \x20       return ::core::result::Result::Err(serde::DeError(format!(\"expected {n} fields for {name}::{v}, got {{}}\", items.len())));\n\
+                     \x20   }}\n\
+                     \x20   ::core::result::Result::Ok({name}::{v}({}))\n\
+                     }}",
+                    items.join(", ")
+                )
+            }
+            Fields::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: serde::Deserialize::from_value(serde::field(pairs, \"{f}\")?)?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "\"{v}\" => {{\n\
+                     \x20   let pairs = inner.as_object().ok_or_else(|| serde::DeError::expected(\"object for variant {name}::{v}\", inner))?;\n\
+                     \x20   ::core::result::Result::Ok({name}::{v} {{ {} }})\n\
+                     }}",
+                    inits.join(", ")
+                )
+            }
+        })
+        .collect();
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         \x20   fn from_value(v: &serde::Value) -> ::core::result::Result<Self, serde::DeError> {{\n\
+         \x20       match v {{\n\
+         \x20           serde::Value::Str(tag) => match tag.as_str() {{\n\
+         {}\n\
+         \x20               other => ::core::result::Result::Err(serde::DeError(format!(\"unknown variant `{{}}` of {name}\", other))),\n\
+         \x20           }},\n\
+         \x20           serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+         \x20               let (tag, inner) = &pairs[0];\n\
+         \x20               let _ = inner;\n\
+         \x20               match tag.as_str() {{\n\
+         {}\n\
+         \x20                   other => ::core::result::Result::Err(serde::DeError(format!(\"unknown variant `{{}}` of {name}\", other))),\n\
+         \x20               }}\n\
+         \x20           }}\n\
+         \x20           other => ::core::result::Result::Err(serde::DeError::expected(\"enum {name}\", other)),\n\
+         \x20       }}\n\
+         \x20   }}\n\
+         }}",
+        unit_arms.join("\n"),
+        tagged_arms.join("\n")
+    )
+}

@@ -21,7 +21,11 @@ pub fn exec_catalog(data: &TpchData) -> Catalog {
 pub fn binder_catalog(data: &TpchData) -> BinderCatalog {
     let mut cat = BinderCatalog::new();
     for (name, table) in data.tables() {
-        cat.add_table(name.clone(), table.schema().clone(), table.num_rows() as u64);
+        cat.add_table(
+            name.clone(),
+            table.schema().clone(),
+            table.num_rows() as u64,
+        );
     }
     cat
 }

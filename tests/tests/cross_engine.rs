@@ -48,11 +48,11 @@ fn tpch_clickhouse_agrees_where_supported() {
     let mut unsupported = Vec::new();
     for (id, sql) in queries::all() {
         // ClickHouse plans with FROM-order joins; results must still agree.
-        let duck_result = duck.sql(sql).unwrap_or_else(|e| panic!("Q{id} duckdb: {e}"));
+        let duck_result = duck
+            .sql(sql)
+            .unwrap_or_else(|e| panic!("Q{id} duckdb: {e}"));
         match ch.sql(sql) {
-            Ok(ch_result) => {
-                assert_tables_equivalent(&format!("Q{id}"), &duck_result, &ch_result)
-            }
+            Ok(ch_result) => assert_tables_equivalent(&format!("Q{id}"), &duck_result, &ch_result),
             Err(sirius_clickhouse::ClickHouseError::Exec(ExecError::Unsupported(_))) => {
                 unsupported.push(id);
             }

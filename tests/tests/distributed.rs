@@ -26,9 +26,15 @@ fn distributed_subset_matches_single_node() {
     let sirius = build(NodeEngineKind::SiriusGpu, &data, 4);
 
     for (id, sql) in queries::distributed_subset() {
-        let reference = duck.sql(sql).unwrap_or_else(|e| panic!("Q{id} single-node: {e}"));
-        let d = doris.sql(sql).unwrap_or_else(|e| panic!("Q{id} doris: {e}"));
-        let s = sirius.sql(sql).unwrap_or_else(|e| panic!("Q{id} sirius: {e}"));
+        let reference = duck
+            .sql(sql)
+            .unwrap_or_else(|e| panic!("Q{id} single-node: {e}"));
+        let d = doris
+            .sql(sql)
+            .unwrap_or_else(|e| panic!("Q{id} doris: {e}"));
+        let s = sirius
+            .sql(sql)
+            .unwrap_or_else(|e| panic!("Q{id} sirius: {e}"));
         assert_tables_equivalent(&format!("Q{id} doris"), &reference, &d.table);
         assert_tables_equivalent(&format!("Q{id} sirius"), &reference, &s.table);
     }

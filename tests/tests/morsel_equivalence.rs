@@ -1,0 +1,100 @@
+//! Property: morsel-driven execution is invisible. For every TPC-H query,
+//! any morsel size (including single-row morsels and morsels larger than
+//! every table) and any worker count 1–8 must produce exactly the table the
+//! single-walk executor produces (floats at 1e-9 relative, row order
+//! ignored).
+
+use proptest::prelude::*;
+use sirius_columnar::Table;
+use sirius_core::SiriusEngine;
+use sirius_duckdb::DuckDb;
+use sirius_hw::{catalog, Link};
+use sirius_integration::assert_tables_equivalent;
+use sirius_plan::Rel;
+use sirius_tpch::{queries, TpchData, TpchGenerator};
+use std::sync::OnceLock;
+
+const SF: f64 = 0.001;
+
+/// Morsel sizes worth probing: degenerate single-row morsels, sizes that
+/// leave remainders, powers of two, and sizes larger than every table at
+/// this SF (= the single-walk executor itself).
+const MORSEL_SIZES: [usize; 6] = [1, 97, 1_000, 4_096, 1_000_000, usize::MAX];
+
+struct Fixture {
+    data: TpchData,
+    plans: Vec<(u32, Rel)>,
+    expected: Vec<Table>,
+}
+
+/// Generated data, the 22 planned queries, and the single-walk reference
+/// results — built once, shared by every proptest case.
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let data = TpchGenerator::new(SF).generate();
+        let mut duck = DuckDb::new();
+        for (name, table) in data.tables() {
+            duck.create_table(name.clone(), table.clone());
+        }
+        let plans: Vec<(u32, Rel)> = queries::all()
+            .into_iter()
+            .map(|(id, sql)| {
+                (
+                    id,
+                    duck.plan(sql).unwrap_or_else(|e| panic!("Q{id} plan: {e}")),
+                )
+            })
+            .collect();
+        let whole = engine(&data, 1, usize::MAX);
+        let expected = plans
+            .iter()
+            .map(|(id, p)| {
+                whole
+                    .execute(p)
+                    .unwrap_or_else(|e| panic!("Q{id} single walk: {e}"))
+            })
+            .collect();
+        Fixture {
+            data,
+            plans,
+            expected,
+        }
+    })
+}
+
+fn engine(data: &TpchData, workers: usize, morsel_rows: usize) -> SiriusEngine {
+    let e = SiriusEngine::with_link(
+        catalog::gh200_gpu(),
+        Link::new(catalog::nvlink_c2c()),
+        workers,
+    )
+    .with_morsel_rows(morsel_rows);
+    for (name, table) in data.tables() {
+        e.load_table(name.clone(), table);
+    }
+    e
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn morsel_execution_is_invisible_across_tpch(
+        size_idx in 0usize..MORSEL_SIZES.len(),
+        workers in 1usize..9,
+    ) {
+        let fix = fixture();
+        let morsel_rows = MORSEL_SIZES[size_idx];
+        let e = engine(&fix.data, workers, morsel_rows);
+        for ((id, plan), expected) in fix.plans.iter().zip(&fix.expected) {
+            let out = e.execute(plan)
+                .unwrap_or_else(|err| panic!("Q{id} morsel run: {err}"));
+            assert_tables_equivalent(
+                &format!("Q{id} morsel_rows={morsel_rows} workers={workers}"),
+                &out,
+                expected,
+            );
+        }
+    }
+}

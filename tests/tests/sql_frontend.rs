@@ -12,7 +12,11 @@ fn catalog() -> sirius_sql::BinderCatalog {
 
 fn count_kind(rel: &Rel, kind: JoinKind) -> usize {
     let here = usize::from(matches!(rel, Rel::Join { kind: k, .. } if *k == kind));
-    here + rel.children().iter().map(|c| count_kind(c, kind)).sum::<usize>()
+    here + rel
+        .children()
+        .iter()
+        .map(|c| count_kind(c, kind))
+        .sum::<usize>()
 }
 
 #[test]
@@ -80,7 +84,12 @@ fn projection_pruning_reaches_every_scan() {
     for (id, sql) in queries::all() {
         let plan = plan_sql(sql, &catalog(), JoinOrderPolicy::Optimized).unwrap();
         fn check(rel: &Rel, id: u32) {
-            if let Rel::Read { table, schema, projection } = rel {
+            if let Rel::Read {
+                table,
+                schema,
+                projection,
+            } = rel
+            {
                 let p = projection
                     .as_ref()
                     .unwrap_or_else(|| panic!("Q{id}: scan of {table} unpruned"));
@@ -104,16 +113,30 @@ fn projection_pruning_reaches_every_scan() {
 fn q19_or_factoring_produces_keyed_join() {
     let plan = plan_sql(queries::Q19, &catalog(), JoinOrderPolicy::Optimized).unwrap();
     fn no_cross(rel: &Rel) -> bool {
-        let ok = !matches!(rel, Rel::Join { kind: JoinKind::Cross, .. });
+        let ok = !matches!(
+            rel,
+            Rel::Join {
+                kind: JoinKind::Cross,
+                ..
+            }
+        );
         ok && rel.children().iter().all(|c| no_cross(c))
     }
-    assert!(no_cross(&plan), "Q19 must not plan a cross join:\n{}", plan.explain());
+    assert!(
+        no_cross(&plan),
+        "Q19 must not plan a cross join:\n{}",
+        plan.explain()
+    );
 }
 
 #[test]
 fn error_paths_are_descriptive() {
     let cat = catalog();
-    match plan_sql("select nope from lineitem", &cat, JoinOrderPolicy::Optimized) {
+    match plan_sql(
+        "select nope from lineitem",
+        &cat,
+        JoinOrderPolicy::Optimized,
+    ) {
         Err(SqlError::Bind(m)) => assert!(m.contains("nope"), "{m}"),
         other => panic!("expected bind error, got {other:?}"),
     }

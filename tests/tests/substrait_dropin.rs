@@ -17,7 +17,10 @@ struct Ext {
 
 impl Accelerator for Ext {
     fn execute_substrait(&self, wire: &str) -> Result<sirius_columnar::Table, String> {
-        self.ctx.execute_json(wire).map(|(t, _)| t).map_err(|e| e.to_string())
+        self.ctx
+            .execute_json(wire)
+            .map(|(t, _)| t)
+            .map_err(|e| e.to_string())
     }
     fn cache_table(&self, name: &str, table: &sirius_columnar::Table) {
         self.ctx.engine().load_table(name, table);
@@ -42,7 +45,9 @@ fn whole_tpch_through_the_json_wire() {
 
     for (id, sql) in queries::all() {
         let reference = plain.sql(sql).unwrap_or_else(|e| panic!("Q{id} host: {e}"));
-        let via_gpu = accelerated.sql(sql).unwrap_or_else(|e| panic!("Q{id} accel: {e}"));
+        let via_gpu = accelerated
+            .sql(sql)
+            .unwrap_or_else(|e| panic!("Q{id} accel: {e}"));
         assert_tables_equivalent(&format!("Q{id}"), &reference, &via_gpu);
         assert_eq!(
             accelerated.last_executed_by(),

@@ -43,8 +43,9 @@ fn q1_shape_is_stable() {
     assert!(out.num_rows() >= 3, "Q1 groups: {}", out.num_rows());
     assert_eq!(out.num_columns(), 10);
     // Ordered by returnflag, linestatus.
-    let flags: Vec<_> =
-        (0..out.num_rows()).map(|i| out.column(0).utf8_value(i).unwrap().to_string()).collect();
+    let flags: Vec<_> = (0..out.num_rows())
+        .map(|i| out.column(0).utf8_value(i).unwrap().to_string())
+        .collect();
     let mut sorted = flags.clone();
     sorted.sort();
     assert_eq!(flags, sorted);
