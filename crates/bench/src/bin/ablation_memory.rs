@@ -1,0 +1,62 @@
+//! Out-of-core ablation (EXPERIMENTS.md A4): simulated device time for
+//! TPC-H queries as device memory shrinks below the working set.
+//!
+//! Sweeps the device-memory budget from 4x the loaded working set down to
+//! 1/16x over Q1 (group-by heavy), Q5 (join heavy), and Q18 (large build
+//! sides), printing simulated milliseconds, bytes spilled per tier, spill
+//! partitions, and the deepest repartitioning recursion. Run with
+//! `--sf <value>` to change the scale factor.
+
+use sirius_bench::{sf_from_args, MemoryLab};
+use sirius_tpch::queries;
+
+const QUERIES: [(u32, &str); 3] = [(1, queries::Q1), (5, queries::Q5), (18, queries::Q18)];
+const FACTORS: [(&str, f64); 7] = [
+    ("4x", 4.0),
+    ("2x", 2.0),
+    ("1x", 1.0),
+    ("1/2x", 0.5),
+    ("1/4x", 0.25),
+    ("1/8x", 0.125),
+    ("1/16x", 0.0625),
+];
+
+fn main() {
+    let sf = sf_from_args();
+    eprintln!("generating TPC-H at SF {sf} and planning...");
+    let lab = MemoryLab::new(sf);
+    let ws = lab.working_set();
+    println!(
+        "Memory ablation at SF {sf} (working set {:.2} MiB; simulated device ms)",
+        ws as f64 / (1 << 20) as f64
+    );
+    println!(
+        "{:>4} {:>7} {:>10} {:>9} {:>12} {:>10} {:>6} {:>6}",
+        "Q", "memory", "ms", "slowdown", "pinned MiB", "disk MiB", "parts", "depth"
+    );
+    for (id, sql) in QUERIES {
+        let mut base_ms = None;
+        for (label, factor) in FACTORS {
+            let budget = (ws as f64 * factor) as u64;
+            let run = lab.run(&lab.engine(budget), sql);
+            let base = *base_ms.get_or_insert(run.ms());
+            println!(
+                "{:>4} {:>7} {:>10.3} {:>8.2}x {:>12.2} {:>10.2} {:>6} {:>6}",
+                format!("Q{id}"),
+                label,
+                run.ms(),
+                run.ms() / base,
+                run.spill.bytes_to_pinned as f64 / (1 << 20) as f64,
+                run.spill.bytes_to_disk as f64 / (1 << 20) as f64,
+                run.spill.partitions,
+                run.spill.max_depth
+            );
+        }
+        println!();
+    }
+    println!(
+        "expected shape: zero spill at >= 1x, then a smooth tier-by-tier slowdown as \
+         memory shrinks — partitions and recursion depth grow, no query fails and no \
+         budget falls off a cliff to host fallback"
+    );
+}

@@ -3,7 +3,9 @@
 //! Prints each TPC-H query's share of simulated GPU time spent in joins,
 //! group-by, filter, aggregation, order-by, and other — the paper's
 //! stacked-bar figure as rows — plus the morsel-scheduler counters for the
-//! run (morsels, tasks, stream utilization).
+//! run (morsels, tasks, stream utilization) and the memory-pressure
+//! telemetry (processing-pool high watermark and fragmentation, spill
+//! bytes; spill is zero at the default SF, where everything fits).
 
 use sirius_bench::{figure5_share, sf_from_args, SingleNodeHarness};
 use sirius_tpch::queries;
@@ -26,7 +28,10 @@ fn main() {
     for c in CATEGORIES {
         print!(" {c:>9}");
     }
-    println!(" {:>8} {:>6} {:>5}   dominant", "morsels", "tasks", "util");
+    println!(
+        " {:>8} {:>6} {:>5} {:>9} {:>5} {:>9}   dominant",
+        "morsels", "tasks", "util", "hwm MiB", "frag", "spill MiB"
+    );
     for (id, sql) in queries::all() {
         let row = h.run_query(id, sql);
         print!("{:>4}", format!("Q{id}"));
@@ -39,15 +44,19 @@ fn main() {
             print!(" {:>8.1}%", share * 100.0);
         }
         println!(
-            " {:>8} {:>6} {:>4.0}%   {}",
+            " {:>8} {:>6} {:>4.0}% {:>9.2} {:>4.0}% {:>9.2}   {}",
             row.sirius_morsels.morsels,
             row.sirius_morsels.tasks,
             row.sirius_morsels.worker_utilization() * 100.0,
+            row.sirius_pool_hwm as f64 / (1 << 20) as f64,
+            row.sirius_pool_frag * 100.0,
+            row.sirius_spill.bytes_spilled() as f64 / (1 << 20) as f64,
             dominant.0
         );
     }
     println!(
         "\npaper expectations: joins dominate Q2-Q5/Q7-Q9/Q20-Q22; group-by visible in \
-         Q1/Q10/Q16/Q18; filter dominates Q6/Q19 and is large in Q13"
+         Q1/Q10/Q16/Q18; filter dominates Q6/Q19 and is large in Q13; the pool high \
+         watermark tracks each query's largest pipeline-breaker working set"
     );
 }

@@ -14,7 +14,7 @@
 #![warn(missing_docs)]
 
 use sirius_clickhouse::{ClickHouse, ClickHouseError};
-use sirius_core::{MorselStats, SiriusEngine};
+use sirius_core::{MorselStats, SiriusEngine, SpillStats};
 use sirius_duckdb::DuckDb;
 use sirius_exec_cpu::ExecError;
 use sirius_hw::{catalog as hw, CostCategory, Link, TimeBreakdown};
@@ -85,6 +85,13 @@ pub struct QueryRow {
     pub sirius_morsels: MorselStats,
     /// Worker threads (= device streams) the Sirius engine ran with.
     pub sirius_workers: usize,
+    /// Sirius spill counters for this query (§3.4 out-of-core; all zero
+    /// when the working set fits on-device).
+    pub sirius_spill: SpillStats,
+    /// Processing-pool high watermark in bytes (peak operator working set).
+    pub sirius_pool_hwm: u64,
+    /// Processing-pool fragmentation in `[0, 1]` after the query.
+    pub sirius_pool_frag: f64,
 }
 
 /// All three single-node engines loaded with the same TPC-H data.
@@ -162,6 +169,7 @@ impl SingleNodeHarness {
             .unwrap_or_else(|e| panic!("Q{id} plan: {e}"));
         let before = self.sirius.device().breakdown();
         let stats_before = self.sirius.morsel_stats();
+        let spill_before = self.sirius.spill_stats();
         let sirius = match self.sirius.execute(&plan) {
             Ok(t) => EngineResult::Time {
                 elapsed: self.sirius.device().breakdown().since(&before).total(),
@@ -171,6 +179,8 @@ impl SingleNodeHarness {
         };
         let sirius_breakdown = self.sirius.device().breakdown().since(&before);
         let sirius_morsels = self.sirius.morsel_stats().since(&stats_before);
+        let sirius_spill = self.sirius.spill_stats().since(&spill_before);
+        let pool = self.sirius.buffer_manager().regions().processing().stats();
 
         QueryRow {
             id,
@@ -180,6 +190,9 @@ impl SingleNodeHarness {
             sirius_breakdown,
             sirius_morsels,
             sirius_workers: self.sirius.workers(),
+            sirius_spill,
+            sirius_pool_hwm: pool.high_watermark,
+            sirius_pool_frag: pool.fragmentation(),
         }
     }
 
@@ -251,6 +264,83 @@ impl MorselLab {
         MorselRun {
             elapsed: engine.device().breakdown().since(&before).total(),
             stats: engine.morsel_stats().since(&stats_before),
+        }
+    }
+}
+
+/// Outcome of one query under one device-memory budget.
+#[derive(Debug, Clone)]
+pub struct MemoryRun {
+    /// Simulated device time.
+    pub elapsed: Duration,
+    /// Spill counters for the run.
+    pub spill: SpillStats,
+    /// Result cardinality (for cross-budget equivalence checks).
+    pub rows: usize,
+}
+
+impl MemoryRun {
+    /// Simulated milliseconds.
+    pub fn ms(&self) -> f64 {
+        self.elapsed.as_secs_f64() * 1e3
+    }
+}
+
+/// The out-of-core ablation rig (EXPERIMENTS.md A4): one TPC-H data set
+/// plus a planner, from which engines at any device-memory budget are
+/// stamped out. Backs the `ablation_memory` binary.
+pub struct MemoryLab {
+    /// The planner (DuckDB front end, §4.2).
+    pub duck: DuckDb,
+    /// The generated data.
+    pub data: TpchData,
+}
+
+impl MemoryLab {
+    /// Generate TPC-H at `sf` and load the planner.
+    pub fn new(sf: f64) -> Self {
+        let data = TpchGenerator::new(sf).generate();
+        let mut duck = DuckDb::new();
+        for (name, table) in data.tables() {
+            duck.create_table(name.clone(), table.clone());
+        }
+        Self { duck, data }
+    }
+
+    /// Total bytes of the loaded tables — the sweep's working-set unit.
+    pub fn working_set(&self) -> u64 {
+        self.data
+            .tables()
+            .iter()
+            .map(|(_, t)| t.byte_size() as u64)
+            .sum()
+    }
+
+    /// A Sirius engine whose device holds `device_bytes` of memory
+    /// (split 50/50 into caching and processing regions), hot-loaded with
+    /// the lab data and its ledger reset. Budgets below 4 KiB are clamped
+    /// so both regions can hold at least one aligned allocation.
+    pub fn engine(&self, device_bytes: u64) -> SiriusEngine {
+        let mut spec = hw::gh200_gpu();
+        spec.memory_bytes = device_bytes.max(4096);
+        let e = SiriusEngine::new(spec);
+        for (name, table) in self.data.tables() {
+            e.load_table(name.clone(), table);
+        }
+        e.device().reset();
+        e
+    }
+
+    /// Execute one query and report its simulated time and spill counters.
+    pub fn run(&self, engine: &SiriusEngine, sql: &str) -> MemoryRun {
+        let plan = self.duck.plan(sql).expect("plan");
+        let before = engine.device().breakdown();
+        let spill_before = engine.spill_stats();
+        let out = engine.execute(&plan).expect("sirius under memory pressure");
+        MemoryRun {
+            elapsed: engine.device().breakdown().since(&before).total(),
+            spill: engine.spill_stats().since(&spill_before),
+            rows: out.num_rows(),
         }
     }
 }
@@ -368,6 +458,40 @@ mod tests {
                 times[0] >= times[1] && times[1] >= times[2],
                 "speedup should be monotone 1→2→4 workers: {times:?}"
             );
+        }
+    }
+
+    #[test]
+    fn memory_sweep_is_monotone_and_exact() {
+        // A4's acceptance bar: shrinking device memory must never crash or
+        // change results — only slow the query down smoothly as work moves
+        // through the pinned and disk tiers.
+        let lab = MemoryLab::new(0.01);
+        let ws = lab.working_set();
+        for sql in [queries::Q1, queries::Q5] {
+            let mut prev_ms = 0.0;
+            let mut rows = None;
+            for (i, factor) in [4.0, 1.0, 0.125].iter().enumerate() {
+                let budget = (ws as f64 * factor) as u64;
+                let run = lab.run(&lab.engine(budget), sql);
+                match rows {
+                    None => rows = Some(run.rows),
+                    Some(r) => assert_eq!(run.rows, r, "cardinality changed at {factor}x"),
+                }
+                assert!(
+                    run.ms() >= prev_ms,
+                    "time must not improve as memory shrinks: {prev_ms:.3}ms then {:.3}ms at {factor}x",
+                    run.ms()
+                );
+                prev_ms = run.ms();
+                if i == 0 {
+                    assert_eq!(
+                        run.spill.bytes_spilled(),
+                        0,
+                        "nothing should spill with 4x the working set"
+                    );
+                }
+            }
         }
     }
 

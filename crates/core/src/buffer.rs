@@ -5,6 +5,7 @@ use crate::{Result, SiriusError};
 use sirius_columnar::Table;
 use sirius_hw::{CostCategory, Device, Link, WorkProfile};
 use sirius_rmm::{Allocation, BufferRegions, CacheTier, DataCache};
+use sirius_spill::{GrantBroker, MemoryGrant, SpillConfig, SpillManager, SpillStats, SpillTicket};
 use std::sync::Arc;
 
 /// Manages device memory for one Sirius engine instance.
@@ -13,6 +14,8 @@ pub struct BufferManager {
     regions: BufferRegions,
     cache: DataCache<Table>,
     host_link: Link,
+    broker: GrantBroker,
+    spill: SpillManager,
 }
 
 impl BufferManager {
@@ -35,11 +38,14 @@ impl BufferManager {
     ) -> Self {
         let regions = BufferRegions::from_spec(device.spec(), caching_fraction);
         let cache = DataCache::new(regions.caching().clone(), pinned_bytes);
+        let broker = GrantBroker::new(regions.processing().clone());
         Self {
             device,
             regions,
             cache,
             host_link,
+            broker,
+            spill: SpillManager::default(),
         }
     }
 
@@ -130,6 +136,71 @@ impl BufferManager {
             .map_err(|e| SiriusError::OutOfMemory(e.to_string()))
     }
 
+    /// Ask the grant broker for an operator working set. A denial is the
+    /// executor's signal to spill rather than fail (§3.4).
+    pub fn request_grant(&self, bytes: u64) -> Result<MemoryGrant> {
+        self.broker
+            .request(bytes)
+            .map_err(|e| SiriusError::OutOfMemory(e.to_string()))
+    }
+
+    /// The largest working set the broker could currently grant.
+    pub fn largest_grantable(&self) -> u64 {
+        self.broker.largest_grantable()
+    }
+
+    /// The memory-grant broker (counters introspection).
+    pub fn grant_broker(&self) -> &GrantBroker {
+        &self.broker
+    }
+
+    /// Replace the spill-tier capacities (engine builder).
+    pub fn set_spill_config(&self, config: SpillConfig) {
+        self.spill.set_config(config);
+    }
+
+    /// Park a partition of `bytes` on the highest spill tier with room,
+    /// charging the write bandwidth: pinned host costs one interconnect
+    /// crossing, disk a storage write at a quarter of that bandwidth (the
+    /// disk-tier convention of [`Self::get_table`]). Failure means the
+    /// partition exceeds every tier combined — the hard OOM case.
+    pub fn spill_write(&self, bytes: u64) -> Result<SpillTicket> {
+        let ticket = self.spill.write(bytes).map_err(|()| {
+            SiriusError::OutOfMemory(format!(
+                "spill tiers exhausted: {bytes} B partition exceeds remaining pinned+disk space"
+            ))
+        })?;
+        let wire = match ticket.tier() {
+            sirius_spill::SpillTier::Pinned => self.host_link.transfer(bytes),
+            sirius_spill::SpillTier::Disk => self.host_link.transfer(4 * bytes),
+        };
+        self.device.charge_duration(CostCategory::Exchange, wire);
+        Ok(ticket)
+    }
+
+    /// Read a spilled partition back into device memory, charging the
+    /// symmetric bandwidth for its tier.
+    pub fn spill_read(&self, ticket: &SpillTicket) {
+        let bytes = ticket.bytes();
+        let wire = match ticket.tier() {
+            sirius_spill::SpillTier::Pinned => self.host_link.transfer(bytes),
+            sirius_spill::SpillTier::Disk => self.host_link.transfer(4 * bytes),
+        };
+        self.device.charge_duration(CostCategory::Exchange, wire);
+        self.spill.note_read(bytes);
+    }
+
+    /// Record that a spilling operator partitioned its input `parts` ways
+    /// at recursive depth `depth` (1 = first round).
+    pub fn note_repartition(&self, depth: u32) {
+        self.spill.note_depth(depth);
+    }
+
+    /// Snapshot of the monotonic spill counters.
+    pub fn spill_stats(&self) -> SpillStats {
+        self.spill.stats()
+    }
+
     /// Convert Sirius row indices (`u64`, §3.2.3) into libcudf's `i32`,
     /// charging the conversion pass. Errors if any index overflows `i32` —
     /// the condition under which real Sirius would have to batch.
@@ -206,6 +277,43 @@ mod tests {
         let (_d, bm) = bufmgr();
         assert_eq!(bm.to_cudf_indices(&[0, 5, 7]).unwrap(), vec![0, 5, 7]);
         assert!(bm.to_cudf_indices(&[u64::from(u32::MAX)]).is_err());
+    }
+
+    #[test]
+    fn grant_denial_then_spill_write_charges_exchange() {
+        let mut spec = catalog::gh200_gpu();
+        spec.memory_bytes = 8192; // 4 KiB processing region
+        let device = Device::new(spec);
+        let bm = BufferManager::new(device.clone(), 1 << 30, Link::new(catalog::nvlink_c2c()));
+        assert!(matches!(
+            bm.request_grant(1 << 20),
+            Err(SiriusError::OutOfMemory(_))
+        ));
+        assert_eq!(bm.grant_broker().denied(), 1);
+        assert!(bm.largest_grantable() <= 4096);
+        device.reset();
+        let ticket = bm.spill_write(1 << 20).unwrap();
+        assert!(
+            device.breakdown().get(CostCategory::Exchange).as_nanos() > 0,
+            "spill writes charge the exchange lane"
+        );
+        bm.spill_read(&ticket);
+        let s = bm.spill_stats();
+        assert_eq!(s.bytes_spilled(), 1 << 20);
+        assert_eq!(s.bytes_read_back, 1 << 20);
+    }
+
+    #[test]
+    fn spill_tiers_can_be_exhausted() {
+        let (_d, bm) = bufmgr();
+        bm.set_spill_config(sirius_spill::SpillConfig {
+            pinned_bytes: 0,
+            disk_bytes: 0,
+        });
+        assert!(matches!(
+            bm.spill_write(1024),
+            Err(SiriusError::OutOfMemory(_))
+        ));
     }
 
     #[test]

@@ -49,11 +49,14 @@ impl SiriusContext {
     pub fn execute_plan(&self, plan: &Rel) -> Result<(Table, QueryReport)> {
         let before = self.engine.device().breakdown();
         let stats_before = self.engine.morsel_stats();
+        let spill_before = self.engine.spill_stats();
         match self.engine.execute(plan) {
             Ok(table) => {
                 let after = self.engine.device().breakdown();
                 let delta = after.since(&before);
                 let stats = self.engine.morsel_stats().since(&stats_before);
+                let spill = self.engine.spill_stats().since(&spill_before);
+                let pool = self.engine.buffer_manager().regions().processing().stats();
                 let report = QueryReport {
                     engine: "sirius".into(),
                     rows: table.num_rows(),
@@ -64,6 +67,12 @@ impl SiriusContext {
                     tasks: stats.tasks,
                     workers: self.engine.workers(),
                     worker_utilization: stats.worker_utilization(),
+                    spilled_pinned_bytes: spill.bytes_to_pinned,
+                    spilled_disk_bytes: spill.bytes_to_disk,
+                    spill_partitions: spill.partitions,
+                    spill_depth: spill.max_depth,
+                    pool_high_watermark: pool.high_watermark,
+                    pool_fragmentation: pool.fragmentation(),
                     fallback_reason: None,
                 };
                 Ok((table, report))
@@ -81,6 +90,12 @@ impl SiriusContext {
                     tasks: 0,
                     workers: self.engine.workers(),
                     worker_utilization: 0.0,
+                    spilled_pinned_bytes: 0,
+                    spilled_disk_bytes: 0,
+                    spill_partitions: 0,
+                    spill_depth: 0,
+                    pool_high_watermark: 0,
+                    pool_fragmentation: 0.0,
                     fallback_reason: Some(e.to_string()),
                 };
                 Ok((table, report))

@@ -39,6 +39,7 @@ pub use buffer::BufferManager;
 pub use context::{HostEngine, SiriusContext};
 pub use engine::{MorselConfig, SiriusEngine};
 pub use metrics::{MorselStats, QueryReport};
+pub use sirius_spill::{SpillConfig, SpillStats};
 
 /// Errors from the GPU engine. `Fallback`-class errors route the query back
 /// to the host database (§3.2.2's graceful fallback).
@@ -53,8 +54,12 @@ pub enum SiriusError {
     /// The plan uses a feature this engine build does not support
     /// (triggers host fallback).
     Unsupported(String),
-    /// Device memory exhausted (triggers host fallback until out-of-core
-    /// execution lands, §3.4).
+    /// Every memory tier exhausted. Out-of-core execution (§3.4) spills
+    /// denied working sets through pinned host memory and disk, so this is
+    /// now a last resort — raised only when a single morsel's working set
+    /// exceeds device, pinned, and disk capacity combined (or cannot
+    /// decompose, e.g. ungrouped `COUNT(DISTINCT)`) — and it still
+    /// triggers host fallback.
     OutOfMemory(String),
     /// Exchange-layer failure.
     Exchange(String),

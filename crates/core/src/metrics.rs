@@ -68,6 +68,19 @@ pub struct QueryReport {
     pub workers: usize,
     /// Stream balance in `[0, 1]` (see [`MorselStats::worker_utilization`]).
     pub worker_utilization: f64,
+    /// Bytes spilled to the pinned-host tier while this query ran (§3.4).
+    pub spilled_pinned_bytes: u64,
+    /// Bytes spilled to the disk tier while this query ran.
+    pub spilled_disk_bytes: u64,
+    /// Spill partitions written (Grace join/group-by partitions, sort runs).
+    pub spill_partitions: u64,
+    /// Deepest recursive repartitioning level reached (0 = no spilling).
+    pub spill_depth: u32,
+    /// Processing-pool high watermark, in bytes (peak operator working set).
+    pub pool_high_watermark: u64,
+    /// Processing-pool fragmentation in `[0, 1]` at query end (share of
+    /// free memory outside the largest free block).
+    pub pool_fragmentation: f64,
     /// Reason the query fell back to the host, if it did.
     pub fallback_reason: Option<String>,
 }
@@ -107,6 +120,20 @@ impl QueryReport {
             self.workers,
             self.worker_utilization * 100.0
         ));
+        if self.spilled_pinned_bytes + self.spilled_disk_bytes > 0 {
+            parts.push(format!(
+                "spill[pinned={:.1}MiB disk={:.1}MiB parts={} depth={}]",
+                self.spilled_pinned_bytes as f64 / (1 << 20) as f64,
+                self.spilled_disk_bytes as f64 / (1 << 20) as f64,
+                self.spill_partitions,
+                self.spill_depth
+            ));
+        }
+        parts.push(format!(
+            "pool[hwm={:.1}MiB frag={:.0}%]",
+            self.pool_high_watermark as f64 / (1 << 20) as f64,
+            self.pool_fragmentation * 100.0
+        ));
         if let Some(r) = &self.fallback_reason {
             parts.push(format!("fallback={r}"));
         }
@@ -138,6 +165,12 @@ mod tests {
             tasks: 16,
             workers: 4,
             worker_utilization: 1.0,
+            spilled_pinned_bytes: 3 << 20,
+            spilled_disk_bytes: 1 << 20,
+            spill_partitions: 16,
+            spill_depth: 1,
+            pool_high_watermark: 2 << 20,
+            pool_fragmentation: 0.25,
             fallback_reason: None,
         }
     }
@@ -155,6 +188,16 @@ mod tests {
         assert!(s.contains("sirius: 10 rows"));
         assert!(s.contains("join=6.00ms"));
         assert!(s.contains("morsels=8 tasks=16 workers=4 util=100%"));
+        assert!(s.contains("spill[pinned=3.0MiB disk=1.0MiB parts=16 depth=1]"));
+        assert!(s.contains("pool[hwm=2.0MiB frag=25%]"));
+    }
+
+    #[test]
+    fn summary_omits_spill_when_nothing_spilled() {
+        let mut r = report();
+        r.spilled_pinned_bytes = 0;
+        r.spilled_disk_bytes = 0;
+        assert!(!r.summary().contains("spill["));
     }
 
     #[test]
@@ -169,6 +212,12 @@ mod tests {
             tasks: 0,
             workers: 1,
             worker_utilization: 0.0,
+            spilled_pinned_bytes: 0,
+            spilled_disk_bytes: 0,
+            spill_partitions: 0,
+            spill_depth: 0,
+            pool_high_watermark: 0,
+            pool_fragmentation: 0.0,
             fallback_reason: None,
         };
         assert_eq!(r.dominant_category(), None);

@@ -26,6 +26,7 @@ pub mod filter;
 pub mod groupby;
 pub mod hash;
 pub mod join;
+pub mod partition;
 pub mod reduce;
 pub mod sort;
 pub mod unary;
@@ -33,6 +34,7 @@ pub mod unique;
 
 pub use groupby::{AggKind, AggRequest, PartialAggPlan, PartialSpec};
 pub use join::{JoinHashTable, JoinIndices, JoinType};
+pub use partition::hash_partition;
 
 use sirius_hw::{CostCategory, Device, WorkProfile};
 use std::time::Duration;

@@ -1,0 +1,107 @@
+//! Property: out-of-core execution is invisible. For every TPC-H query,
+//! shrinking the device-memory budget below the working set — forcing
+//! Grace-partitioned joins, spilling group-by, and external sorts — must
+//! produce exactly the table the full-memory engine produces (floats at
+//! 1e-9 relative, row order ignored), with zero host fallbacks.
+
+use proptest::prelude::*;
+use sirius_columnar::Table;
+use sirius_core::SiriusEngine;
+use sirius_duckdb::DuckDb;
+use sirius_hw::catalog;
+use sirius_integration::assert_tables_equivalent;
+use sirius_plan::Rel;
+use sirius_tpch::{queries, TpchData, TpchGenerator};
+use std::sync::OnceLock;
+
+const SF: f64 = 0.001;
+
+struct Fixture {
+    data: TpchData,
+    working_set: u64,
+    plans: Vec<(u32, Rel)>,
+    expected: Vec<Table>,
+}
+
+/// Generated data, the 22 planned queries, and the full-memory reference
+/// results — built once, shared by every proptest case.
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let data = TpchGenerator::new(SF).generate();
+        let working_set = data
+            .tables()
+            .iter()
+            .map(|(_, t)| t.byte_size() as u64)
+            .sum();
+        let mut duck = DuckDb::new();
+        for (name, table) in data.tables() {
+            duck.create_table(name.clone(), table.clone());
+        }
+        let plans: Vec<(u32, Rel)> = queries::all()
+            .into_iter()
+            .map(|(id, sql)| {
+                (
+                    id,
+                    duck.plan(sql).unwrap_or_else(|e| panic!("Q{id} plan: {e}")),
+                )
+            })
+            .collect();
+        let full = engine(&data, catalog::gh200_gpu().memory_bytes);
+        let expected = plans
+            .iter()
+            .map(|(id, p)| {
+                full.execute(p)
+                    .unwrap_or_else(|e| panic!("Q{id} full memory: {e}"))
+            })
+            .collect();
+        Fixture {
+            data,
+            working_set,
+            plans,
+            expected,
+        }
+    })
+}
+
+fn engine(data: &TpchData, device_bytes: u64) -> SiriusEngine {
+    let mut spec = catalog::gh200_gpu();
+    spec.memory_bytes = device_bytes;
+    let e = SiriusEngine::new(spec);
+    for (name, table) in data.tables() {
+        e.load_table(name.clone(), table);
+    }
+    e
+}
+
+/// Budget factors worth probing: comfortable (full device memory), exactly
+/// the working set, half, and an eighth — the last two force real spilling
+/// on the join- and group-by-heavy queries.
+const FACTORS: [f64; 3] = [1.0, 0.5, 0.125];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn spilling_is_invisible_across_tpch(factor_idx in 0usize..FACTORS.len()) {
+        let fix = fixture();
+        let factor = FACTORS[factor_idx];
+        let budget = ((fix.working_set as f64 * factor) as u64).max(4096);
+        let e = engine(&fix.data, budget);
+        for ((id, plan), expected) in fix.plans.iter().zip(&fix.expected) {
+            let out = e.execute(plan)
+                .unwrap_or_else(|err| panic!("Q{id} at {factor}x working set: {err}"));
+            assert_tables_equivalent(
+                &format!("Q{id} device={budget}B ({factor}x working set)"),
+                &out,
+                expected,
+            );
+        }
+        if factor <= 0.125 {
+            prop_assert!(
+                e.spill_stats().bytes_spilled() > 0,
+                "an eighth of the working set must force spilling"
+            );
+        }
+    }
+}
