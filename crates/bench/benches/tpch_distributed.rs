@@ -11,7 +11,9 @@ fn bench_distributed(c: &mut Criterion) {
     for kind in [NodeEngineKind::DorisCpu, NodeEngineKind::SiriusGpu] {
         let mut cluster = DorisCluster::new(4, kind);
         for (name, table) in data.tables() {
-            cluster.create_table(name.clone(), table.clone());
+            cluster
+                .create_table(name.clone(), table.clone())
+                .expect("load table");
         }
         cluster.reset_ledgers();
         clusters.push((kind, cluster));

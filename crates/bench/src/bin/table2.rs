@@ -11,7 +11,8 @@ use sirius_tpch::{queries, TpchGenerator};
 fn build(kind: NodeEngineKind, data: &sirius_tpch::TpchData) -> DorisCluster {
     let mut c = DorisCluster::new(4, kind);
     for (name, table) in data.tables() {
-        c.create_table(name.clone(), table.clone());
+        c.create_table(name.clone(), table.clone())
+            .expect("load table");
     }
     c.reset_ledgers();
     c
@@ -80,4 +81,29 @@ fn main() {
          exchange (both orders and lineitem shuffle); Q1/Q6 dominated by coordinator 'Other'; \
          distributed ClickHouse collapses on the join-heavy Q3"
     );
+
+    // Recovery counters (failure/retry/degradation), surfaced by re-running
+    // the subset against a Sirius cluster that loses node 2 mid-flight.
+    println!("\nrecovery: same subset with node 2 killed before dispatch");
+    let wounded = build(NodeEngineKind::SiriusGpu, &data);
+    wounded.heartbeats().mark_down(2);
+    for (id, sql) in queries::distributed_subset() {
+        let s = wounded
+            .sql(sql)
+            .unwrap_or_else(|e| panic!("Q{id} recovery: {e}"));
+        let r = &s.recovery;
+        println!(
+            "{:>4} {:>10.0} ms | retries={} reschedules={} world_shrinks={} \
+             cpu_fallbacks={} cancelled={} temps_reaped={} (world now {})",
+            format!("Q{id}"),
+            ms(s.total()),
+            r.retries,
+            r.reschedules,
+            r.world_shrinks,
+            r.cpu_fallbacks,
+            r.cancelled_fragments,
+            r.temps_reaped,
+            wounded.world(),
+        );
+    }
 }

@@ -6,7 +6,7 @@ use sirius_columnar::Table;
 use sirius_hw::{CostCategory, Device, Link, WorkProfile};
 use sirius_rmm::{Allocation, BufferRegions, CacheTier, DataCache};
 use sirius_spill::{GrantBroker, MemoryGrant, SpillConfig, SpillManager, SpillStats, SpillTicket};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Manages device memory for one Sirius engine instance.
 pub struct BufferManager {
@@ -16,6 +16,8 @@ pub struct BufferManager {
     host_link: Link,
     broker: GrantBroker,
     spill: SpillManager,
+    /// Fault injector + this node's stable id, polled on spill writes.
+    fault: Mutex<(sirius_hw::FaultInjector, usize)>,
 }
 
 impl BufferManager {
@@ -46,6 +48,7 @@ impl BufferManager {
             host_link,
             broker,
             spill: SpillManager::default(),
+            fault: Mutex::new((sirius_hw::FaultInjector::disabled(), 0)),
         }
     }
 
@@ -159,12 +162,34 @@ impl BufferManager {
         self.spill.set_config(config);
     }
 
+    /// Attach a fault injector for spill-tier I/O faults on node `node_id`.
+    pub fn set_fault_injector(&self, fault: sirius_hw::FaultInjector, node_id: usize) {
+        match self.fault.lock() {
+            Ok(mut g) => *g = (fault, node_id),
+            Err(p) => *p.into_inner() = (fault, node_id),
+        }
+    }
+
     /// Park a partition of `bytes` on the highest spill tier with room,
     /// charging the write bandwidth: pinned host costs one interconnect
     /// crossing, disk a storage write at a quarter of that bandwidth (the
     /// disk-tier convention of [`Self::get_table`]). Failure means the
     /// partition exceeds every tier combined — the hard OOM case.
     pub fn spill_write(&self, bytes: u64) -> Result<SpillTicket> {
+        {
+            let (fault, node) = match self.fault.lock() {
+                Ok(g) => g.clone(),
+                Err(p) => p.into_inner().clone(),
+            };
+            if fault
+                .fire(sirius_hw::FaultSite::SpillWrite { node })
+                .is_some()
+            {
+                return Err(SiriusError::SpillIo(format!(
+                    "injected spill-tier write failure on node {node} ({bytes} B)"
+                )));
+            }
+        }
         let ticket = self.spill.write(bytes).map_err(|()| {
             SiriusError::OutOfMemory(format!(
                 "spill tiers exhausted: {bytes} B partition exceeds remaining pinned+disk space"

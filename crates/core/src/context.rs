@@ -74,6 +74,7 @@ impl SiriusContext {
                     pool_high_watermark: pool.high_watermark,
                     pool_fragmentation: pool.fragmentation(),
                     fallback_reason: None,
+                    recovery: Default::default(),
                 };
                 Ok((table, report))
             }
@@ -97,6 +98,7 @@ impl SiriusContext {
                     pool_high_watermark: 0,
                     pool_fragmentation: 0.0,
                     fallback_reason: Some(e.to_string()),
+                    recovery: Default::default(),
                 };
                 Ok((table, report))
             }

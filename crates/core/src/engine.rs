@@ -89,6 +89,9 @@ pub struct SiriusEngine {
     features: FeatureSet,
     morsel: MorselConfig,
     stats: Arc<Mutex<MorselStats>>,
+    /// Fault injector + this node's stable id, polled at kernel launch.
+    fault: sirius_hw::FaultInjector,
+    node_id: usize,
 }
 
 impl SiriusEngine {
@@ -126,6 +129,8 @@ impl SiriusEngine {
             features: FeatureSet::full(),
             morsel: MorselConfig::default(),
             stats: Arc::new(Mutex::new(MorselStats::default())),
+            fault: sirius_hw::FaultInjector::disabled(),
+            node_id: 0,
         }
     }
 
@@ -148,6 +153,15 @@ impl SiriusEngine {
     /// fallback really is the last resort.
     pub fn with_spill_config(self, config: SpillConfig) -> Self {
         self.bufmgr.set_spill_config(config);
+        self
+    }
+
+    /// Attach a fault injector for transient device and spill I/O faults,
+    /// identifying this engine as cluster node `node_id`.
+    pub fn with_fault(mut self, fault: sirius_hw::FaultInjector, node_id: usize) -> Self {
+        self.bufmgr.set_fault_injector(fault.clone(), node_id);
+        self.fault = fault;
+        self.node_id = node_id;
         self
     }
 
@@ -204,6 +218,16 @@ impl SiriusEngine {
         // Each pipeline costs one dispatch round trip at the device's own
         // launch overhead on the serial lane; per-morsel task dispatches
         // are charged on the tasks' streams as the pipelines run.
+        if self
+            .fault
+            .fire(sirius_hw::FaultSite::DeviceLaunch { node: self.node_id })
+            .is_some()
+        {
+            return Err(SiriusError::TransientDevice(format!(
+                "injected kernel-launch failure on node {}",
+                self.node_id
+            )));
+        }
         let pipelines = decompose(plan);
         self.device.charge_duration(
             CostCategory::Other,
@@ -1172,6 +1196,8 @@ impl SiriusEngine {
             features: self.features.clone(),
             morsel: self.morsel,
             stats: Arc::clone(&self.stats),
+            fault: self.fault.clone(),
+            node_id: self.node_id,
         }
     }
 }

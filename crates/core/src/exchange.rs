@@ -9,12 +9,29 @@
 use crate::{Result, SiriusError};
 use sirius_columnar::{Array, Table};
 use sirius_cudf::hash::{FxBuildHasher, Key};
-use sirius_hw::{CostCategory, Device};
-use sirius_nccl::Communicator;
+use sirius_hw::{CostCategory, Device, FaultInjector};
+use sirius_nccl::{CancelToken, Communicator, NcclError};
 use sirius_plan::ExchangeKind;
 use std::collections::HashMap;
 use std::hash::BuildHasher;
 use std::sync::Arc;
+
+/// Classify an NCCL-layer error into the engine taxonomy. Dropped sends and
+/// receive timeouts are retryable ([`SiriusError::ExchangeTimeout`]);
+/// cancellation keeps its identity so the coordinator can tell fallout from
+/// the root-cause fragment failure; channel teardown and rank misuse are
+/// permanent exchange errors.
+fn classify(e: NcclError) -> SiriusError {
+    match e {
+        NcclError::Timeout { .. } | NcclError::LinkFault { .. } => {
+            SiriusError::ExchangeTimeout(e.to_string())
+        }
+        NcclError::Cancelled => SiriusError::Cancelled(e.to_string()),
+        NcclError::Disconnected { .. } | NcclError::InvalidRank(_) => {
+            SiriusError::Exchange(e.to_string())
+        }
+    }
+}
 
 /// Per-node exchange service.
 pub struct ExchangeService {
@@ -56,22 +73,15 @@ impl ExchangeService {
         let (out, wire) = match kind {
             ExchangeKind::Shuffle { .. } => {
                 let parts = partition_by_hash(&local, shuffle_keys, self.comm.world());
-                self.comm
-                    .shuffle(parts)
-                    .map_err(|e| SiriusError::Exchange(e.to_string()))?
+                self.comm.shuffle(parts).map_err(classify)?
             }
             ExchangeKind::Broadcast => {
                 // Replicate every node's partition to every node: an
                 // all-gather built from per-rank sends.
                 let parts = vec![local; self.comm.world()];
-                self.comm
-                    .shuffle(parts)
-                    .map_err(|e| SiriusError::Exchange(e.to_string()))?
+                self.comm.shuffle(parts).map_err(classify)?
             }
-            ExchangeKind::Merge => self
-                .comm
-                .merge(0, local)
-                .map_err(|e| SiriusError::Exchange(e.to_string()))?,
+            ExchangeKind::Merge => self.comm.merge(0, local).map_err(classify)?,
             ExchangeKind::MultiCast { targets } => {
                 let world = self.comm.world();
                 let mut parts: Vec<Table> = (0..world)
@@ -82,9 +92,7 @@ impl ExchangeService {
                         parts[t] = local.clone();
                     }
                 }
-                self.comm
-                    .shuffle(parts)
-                    .map_err(|e| SiriusError::Exchange(e.to_string()))?
+                self.comm.shuffle(parts).map_err(classify)?
             }
         };
         self.device.charge_duration(CostCategory::Exchange, wire);
@@ -109,9 +117,35 @@ impl ExchangeService {
         self.registry.remove(name).is_some()
     }
 
+    /// Drop every registered temp table and return their names — the
+    /// drain-on-cancel guard that keeps aborted fragments from leaking
+    /// registry entries.
+    pub fn drain_temps(&mut self) -> Vec<String> {
+        let names: Vec<String> = self.registry.keys().cloned().collect();
+        self.registry.clear();
+        names
+    }
+
     /// Number of live temporary tables.
     pub fn temp_count(&self) -> usize {
         self.registry.len()
+    }
+
+    /// The cluster-wide cancellation token (shared by all ranks).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.comm.cancel_token()
+    }
+
+    /// Attach a fault injector to the underlying communicator. `ids` maps
+    /// current rank → stable node id (see [`Communicator::set_fault_injector`]).
+    pub fn set_fault_injector(&mut self, fault: FaultInjector, ids: Vec<usize>) {
+        self.comm.set_fault_injector(fault, ids);
+    }
+
+    /// Rebase the collective sequence space for a new dispatch attempt,
+    /// discarding traffic left over from an aborted one.
+    pub fn begin_epoch(&mut self, epoch: u64) {
+        self.comm.begin_epoch(epoch);
     }
 }
 

@@ -38,7 +38,7 @@ pub mod pipeline;
 pub use buffer::BufferManager;
 pub use context::{HostEngine, SiriusContext};
 pub use engine::{MorselConfig, SiriusEngine};
-pub use metrics::{MorselStats, QueryReport};
+pub use metrics::{MorselStats, QueryReport, RecoveryStats};
 pub use sirius_spill::{SpillConfig, SpillStats};
 
 /// Errors from the GPU engine. `Fallback`-class errors route the query back
@@ -63,6 +63,38 @@ pub enum SiriusError {
     OutOfMemory(String),
     /// Exchange-layer failure.
     Exchange(String),
+    /// A cluster node died (heartbeat lapse or injected crash); carries the
+    /// node's stable id. The coordinator recovers by re-scheduling onto the
+    /// survivors.
+    NodeDown(usize),
+    /// An exchange send was dropped or timed out — retryable: the retry
+    /// re-runs the query on a fresh collective epoch.
+    ExchangeTimeout(String),
+    /// A kernel launch failed transiently (ECC hiccup, driver reset) —
+    /// retryable.
+    TransientDevice(String),
+    /// A spill-tier read/write failed — retryable (the retry re-plans the
+    /// working set).
+    SpillIo(String),
+    /// The fragment was aborted by cluster-wide cancellation after a sibling
+    /// fragment failed — retryable alongside the sibling's retry.
+    Cancelled(String),
+}
+
+impl SiriusError {
+    /// Whether the coordinator may retry the query after this error.
+    /// Transient faults (exchange timeouts, device hiccups, spill I/O,
+    /// cancellation fallout) are retryable with backoff; plan, resource,
+    /// and node-death errors need different handling.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            SiriusError::ExchangeTimeout(_)
+                | SiriusError::TransientDevice(_)
+                | SiriusError::SpillIo(_)
+                | SiriusError::Cancelled(_)
+        )
+    }
 }
 
 impl From<sirius_plan::PlanError> for SiriusError {
@@ -86,6 +118,11 @@ impl std::fmt::Display for SiriusError {
             SiriusError::Unsupported(m) => write!(f, "unsupported on GPU: {m}"),
             SiriusError::OutOfMemory(m) => write!(f, "device out of memory: {m}"),
             SiriusError::Exchange(m) => write!(f, "exchange error: {m}"),
+            SiriusError::NodeDown(n) => write!(f, "node {n} is down"),
+            SiriusError::ExchangeTimeout(m) => write!(f, "exchange timeout: {m}"),
+            SiriusError::TransientDevice(m) => write!(f, "transient device error: {m}"),
+            SiriusError::SpillIo(m) => write!(f, "spill I/O error: {m}"),
+            SiriusError::Cancelled(m) => write!(f, "fragment cancelled: {m}"),
         }
     }
 }

@@ -47,6 +47,49 @@ impl MorselStats {
     }
 }
 
+/// Failure, retry, and degradation counters for one query (the recovery
+/// half of the Table 2 telemetry). All zeros on a fault-free run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Faults the injector fired while this query ran.
+    pub faults_injected: u64,
+    /// Full-query retry attempts after retryable (transient) errors.
+    pub retries: u64,
+    /// Fragment re-schedulings after a node death (dead node's shards
+    /// re-partitioned onto the survivors).
+    pub reschedules: u64,
+    /// Times the cluster world size shrank during this query.
+    pub world_shrinks: u64,
+    /// `1` if the query ultimately ran on the single-node CPU engine
+    /// because the GPU fleet dropped below quorum.
+    pub cpu_fallbacks: u64,
+    /// Fragments aborted by cancellation propagation (fallout from a
+    /// sibling fragment's failure, not root causes).
+    pub cancelled_fragments: u64,
+    /// Exchange temp tables reaped by the drain-on-cancel guard on failed
+    /// attempts (a nonzero value with a zero post-query registry count is
+    /// the leak-free signature).
+    pub temps_reaped: u64,
+}
+
+impl RecoveryStats {
+    /// Whether anything at all went wrong (and was handled).
+    pub fn any(&self) -> bool {
+        *self != RecoveryStats::default()
+    }
+
+    /// Fold another attempt's counters into this one.
+    pub fn absorb(&mut self, other: &RecoveryStats) {
+        self.faults_injected += other.faults_injected;
+        self.retries += other.retries;
+        self.reschedules += other.reschedules;
+        self.world_shrinks += other.world_shrinks;
+        self.cpu_fallbacks += other.cpu_fallbacks;
+        self.cancelled_fragments += other.cancelled_fragments;
+        self.temps_reaped += other.temps_reaped;
+    }
+}
+
 /// What happened during one query execution.
 #[derive(Debug, Clone)]
 pub struct QueryReport {
@@ -83,6 +126,8 @@ pub struct QueryReport {
     pub pool_fragmentation: f64,
     /// Reason the query fell back to the host, if it did.
     pub fallback_reason: Option<String>,
+    /// Failure/retry/degradation counters (all zeros on a fault-free run).
+    pub recovery: RecoveryStats,
 }
 
 impl QueryReport {
@@ -134,6 +179,18 @@ impl QueryReport {
             self.pool_high_watermark as f64 / (1 << 20) as f64,
             self.pool_fragmentation * 100.0
         ));
+        if self.recovery.any() {
+            parts.push(format!(
+                "recovery[faults={} retries={} resched={} shrinks={} cpu={} cancelled={} reaped={}]",
+                self.recovery.faults_injected,
+                self.recovery.retries,
+                self.recovery.reschedules,
+                self.recovery.world_shrinks,
+                self.recovery.cpu_fallbacks,
+                self.recovery.cancelled_fragments,
+                self.recovery.temps_reaped
+            ));
+        }
         if let Some(r) = &self.fallback_reason {
             parts.push(format!("fallback={r}"));
         }
@@ -172,6 +229,7 @@ mod tests {
             pool_high_watermark: 2 << 20,
             pool_fragmentation: 0.25,
             fallback_reason: None,
+            recovery: RecoveryStats::default(),
         }
     }
 
@@ -190,6 +248,37 @@ mod tests {
         assert!(s.contains("morsels=8 tasks=16 workers=4 util=100%"));
         assert!(s.contains("spill[pinned=3.0MiB disk=1.0MiB parts=16 depth=1]"));
         assert!(s.contains("pool[hwm=2.0MiB frag=25%]"));
+    }
+
+    #[test]
+    fn summary_shows_recovery_only_when_something_happened() {
+        let mut r = report();
+        assert!(!r.summary().contains("recovery["));
+        r.recovery.retries = 2;
+        r.recovery.faults_injected = 3;
+        assert!(r.summary().contains("recovery[faults=3 retries=2"));
+    }
+
+    #[test]
+    fn recovery_stats_absorb_accumulates() {
+        let mut a = RecoveryStats {
+            retries: 1,
+            temps_reaped: 2,
+            ..RecoveryStats::default()
+        };
+        let b = RecoveryStats {
+            retries: 1,
+            reschedules: 1,
+            faults_injected: 4,
+            ..RecoveryStats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.retries, 2);
+        assert_eq!(a.reschedules, 1);
+        assert_eq!(a.faults_injected, 4);
+        assert_eq!(a.temps_reaped, 2);
+        assert!(a.any());
+        assert!(!RecoveryStats::default().any());
     }
 
     #[test]
@@ -219,6 +308,7 @@ mod tests {
             pool_high_watermark: 0,
             pool_fragmentation: 0.0,
             fallback_reason: None,
+            recovery: RecoveryStats::default(),
         };
         assert_eq!(r.dominant_category(), None);
         assert_eq!(r.share(CostCategory::Join), 0.0);

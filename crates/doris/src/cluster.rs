@@ -1,19 +1,48 @@
-//! The coordinator, compute nodes, and the fragmented SPMD executor
-//! (Figure 3).
+//! The coordinator, compute nodes, the fragmented SPMD executor (Figure 3),
+//! and the coordinator-driven recovery loop.
+//!
+//! Recovery model: every failure surfaces as a typed
+//! [`sirius_core::SiriusError`]. The coordinator classifies it and walks a
+//! degradation ladder:
+//!
+//! 1. **Retry with backoff** — transient faults
+//!    ([`SiriusError::is_retryable`]) re-dispatch the whole query on a fresh
+//!    collective epoch, up to [`ClusterConfig::max_retries`] times with
+//!    exponentially growing simulated backoff.
+//! 2. **Re-schedule / shrink world** — a dead node (heartbeat lapse or
+//!    injected crash) is removed, the cluster is rebuilt over the survivors,
+//!    every table is re-partitioned from coordinator-side durable storage,
+//!    and the query re-dispatches.
+//! 3. **CPU fallback** — below [`ClusterConfig::quorum`] the coordinator
+//!    gives up on the fleet and runs the query on a single-node CPU engine
+//!    over the full (unpartitioned) tables.
+//!
+//! Failed attempts cancel all in-flight fragments through the shared
+//! [`CancelToken`] and drain every node's exchange temp-table registry, so
+//! retries never leak registry entries or observe stale collectives.
 
 use crate::heartbeat::HeartbeatMonitor;
 use crate::planner::{distribute_with, DistributeOptions, PartitionScheme};
 use crate::{DorisError, Result};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use sirius_columnar::{Array, Table};
 use sirius_core::exchange::{partition_by_hash, ExchangeService};
-use sirius_core::SiriusEngine;
+use sirius_core::metrics::RecoveryStats;
+use sirius_core::{SiriusEngine, SiriusError};
 use sirius_exec_cpu::{Catalog, CpuEngine, EngineProfile};
-use sirius_hw::{catalog as hw, CostCategory, Device, Link, TimeBreakdown};
-use sirius_nccl::NcclCluster;
+use sirius_hw::{
+    catalog as hw, CostCategory, Device, FaultInjector, FaultPlan, FaultSite, Link, TimeBreakdown,
+};
+use sirius_nccl::{CancelToken, NcclCluster};
 use sirius_plan::{ExchangeKind, Rel};
 use sirius_sql::{plan_sql, BinderCatalog, JoinOrderPolicy};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Coordinator-side simulated cost of one re-scheduling pass: tearing down
+/// the old fragment set, re-partitioning the dead node's shards, and
+/// re-dispatching onto the survivors.
+const RESCHEDULE_PENALTY: Duration = Duration::from_millis(20);
 
 /// What executes fragments on each compute node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,68 +57,172 @@ pub enum NodeEngineKind {
     SiriusGpu,
 }
 
+/// Cluster-wide policy knobs: failure detection, retry, and degradation.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Heartbeat liveness timeout (simulated detection latency). Default
+    /// 3 s — a node that cannot answer the coordinator's dispatch-time
+    /// probe within this window is treated as dead.
+    pub heartbeat_timeout: Duration,
+    /// Maximum full-query retries for transient (retryable) faults.
+    pub max_retries: u32,
+    /// Initial retry backoff; doubles per retry (charged as simulated
+    /// coordinator time).
+    pub retry_backoff: Duration,
+    /// Minimum surviving GPU/CPU compute nodes to keep executing
+    /// distributed. Below this the coordinator degrades to CPU fallback
+    /// (or fails, if that is disabled).
+    pub quorum: usize,
+    /// Whether quorum loss degrades to the single-node CPU engine instead
+    /// of failing the query.
+    pub allow_cpu_fallback: bool,
+    /// Deterministic fault plan to inject (tests/chaos runs).
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl ClusterConfig {
+    /// Default policy for a `world`-node cluster: 3 s heartbeat timeout,
+    /// 3 retries from 10 ms backoff, majority quorum, CPU fallback on.
+    pub fn for_world(world: usize) -> Self {
+        Self {
+            heartbeat_timeout: Duration::from_secs(3),
+            max_retries: 3,
+            retry_backoff: Duration::from_millis(10),
+            quorum: world.div_ceil(2).max(1),
+            allow_cpu_fallback: true,
+            fault_plan: None,
+        }
+    }
+
+    /// Replace the fault plan (builder style).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+}
+
 struct NodeState {
-    rank: usize,
+    /// Stable node id: the rank this node had in the original cluster.
+    /// Fault sites, heartbeats, and error attribution all use this, so a
+    /// world shrink never re-targets another node's faults.
+    id: usize,
     catalog: Catalog,
     cpu: Option<CpuEngine>,
     gpu: Option<SiriusEngine>,
     device: Device,
     exchange: ExchangeService,
     temp_counter: usize,
+    fault: FaultInjector,
+    heartbeats: HeartbeatMonitor,
+    cancel: CancelToken,
+    /// Temp tables registered by the in-flight fragment; drained on both
+    /// success and failure so aborted attempts cannot leak registry entries.
+    live_temps: Vec<String>,
 }
 
 impl NodeState {
-    fn engine_exec(&self, plan: &Rel) -> std::result::Result<Table, String> {
+    fn engine_exec(&self, plan: &Rel) -> sirius_core::Result<Table> {
         if let Some(gpu) = &self.gpu {
-            return gpu.execute(plan).map_err(|e| e.to_string());
+            // GPU engines poll their own DeviceLaunch fault site.
+            return gpu.execute(plan);
         }
-        self.cpu
-            .as_ref()
-            .expect("node has an engine")
-            .execute(plan, &self.catalog)
-            .map_err(|e| e.to_string())
+        if self
+            .fault
+            .fire(FaultSite::DeviceLaunch { node: self.id })
+            .is_some()
+        {
+            return Err(SiriusError::TransientDevice(format!(
+                "injected launch failure on node {}",
+                self.id
+            )));
+        }
+        match &self.cpu {
+            Some(cpu) => cpu
+                .execute(plan, &self.catalog)
+                .map_err(|e| SiriusError::Kernel(e.to_string())),
+            None => Err(SiriusError::Unsupported(
+                "node has neither a CPU nor a GPU engine".into(),
+            )),
+        }
     }
 
     /// Execute a distributed plan: fragments split at Exchange nodes,
-    /// exchanged intermediates registered as temporary tables, everything
-    /// deregistered once the query finishes (§3.2.4).
-    fn execute_fragmented(&mut self, plan: &Rel) -> std::result::Result<Table, String> {
-        let mut temps = Vec::new();
-        let rewritten = self.rewrite(plan, &mut temps)?;
-        let out = self.engine_exec(&rewritten);
-        for name in temps {
-            self.exchange.deregister_temp(&name);
+    /// exchanged intermediates registered as temporary tables (§3.2.4).
+    /// Any failure cancels the cluster-wide token so sibling fragments
+    /// blocked in collectives abort promptly. Temp cleanup is the caller's
+    /// job via [`Self::release_temps`] — it must run on every path.
+    fn execute_fragmented(&mut self, plan: &Rel) -> sirius_core::Result<Table> {
+        if self
+            .fault
+            .fire(FaultSite::FragmentStart { node: self.id })
+            .is_some()
+        {
+            self.heartbeats.mark_down(self.id);
+            self.cancel.cancel();
+            return Err(SiriusError::NodeDown(self.id));
+        }
+        // A node executing a fragment is demonstrably alive.
+        self.heartbeats.beat(self.id);
+        let result = self
+            .rewrite(plan)
+            .and_then(|rewritten| self.engine_exec(&rewritten));
+        if result.is_err() {
+            self.cancel.cancel();
+        }
+        result
+    }
+
+    /// Deregister (and device-evict) every temp table the last fragment
+    /// registered. Returns how many were reaped.
+    fn release_temps(&mut self) -> u64 {
+        let names = std::mem::take(&mut self.live_temps);
+        let mut reaped = 0;
+        for name in names {
+            if self.exchange.deregister_temp(&name) {
+                reaped += 1;
+            }
             if let Some(gpu) = &self.gpu {
                 gpu.buffer_manager().evict(&name);
             }
         }
-        out
+        // Anything registered outside the live list (defensive): drain too.
+        reaped += self.exchange.drain_temps().len() as u64;
+        reaped
     }
 
-    fn rewrite(&mut self, plan: &Rel, temps: &mut Vec<String>) -> std::result::Result<Rel, String> {
+    fn rewrite(&mut self, plan: &Rel) -> sirius_core::Result<Rel> {
         if let Rel::Exchange { input, kind } = plan {
-            let inner = self.rewrite(input, temps)?;
+            let inner = self.rewrite(input)?;
             let local = self.engine_exec(&inner)?;
+            if self
+                .fault
+                .fire(FaultSite::FragmentMid { node: self.id })
+                .is_some()
+            {
+                // Crash at the exchange boundary: the node goes silent.
+                // Peers blocked on its contribution wake via the cancel
+                // token instead of timing out.
+                self.heartbeats.mark_down(self.id);
+                self.cancel.cancel();
+                return Err(SiriusError::NodeDown(self.id));
+            }
             let key_cols: Vec<Array> = match kind {
                 ExchangeKind::Shuffle { keys } => keys
                     .iter()
                     .map(|k| sirius_exec_cpu::eval::evaluate(k, &local))
                     .collect::<std::result::Result<_, _>>()
-                    .map_err(|e| e.to_string())?,
+                    .map_err(|e| SiriusError::Kernel(e.to_string()))?,
                 _ => vec![],
             };
-            let out = self
-                .exchange
-                .exchange(kind, local, &key_cols)
-                .map_err(|e| e.to_string())?;
-            let name = format!("__exch_{}_{}", self.rank, self.temp_counter);
+            let out = self.exchange.exchange(kind, local, &key_cols)?;
+            let name = format!("__exch_{}_{}", self.id, self.temp_counter);
             self.temp_counter += 1;
             self.exchange.register_temp(&name, out.clone());
             self.catalog.register(name.clone(), out.clone());
             if let Some(gpu) = &self.gpu {
                 gpu.cache_resident(&name, &out);
             }
-            temps.push(name.clone());
+            self.live_temps.push(name.clone());
             return Ok(Rel::Read {
                 table: name,
                 schema: out.schema().clone(),
@@ -100,11 +233,11 @@ impl NodeState {
         Ok(match plan {
             Rel::Read { .. } => plan.clone(),
             Rel::Filter { input, predicate } => Rel::Filter {
-                input: Box::new(self.rewrite(input, temps)?),
+                input: Box::new(self.rewrite(input)?),
                 predicate: predicate.clone(),
             },
             Rel::Project { input, exprs } => Rel::Project {
-                input: Box::new(self.rewrite(input, temps)?),
+                input: Box::new(self.rewrite(input)?),
                 exprs: exprs.clone(),
             },
             Rel::Aggregate {
@@ -112,7 +245,7 @@ impl NodeState {
                 group_by,
                 aggregates,
             } => Rel::Aggregate {
-                input: Box::new(self.rewrite(input, temps)?),
+                input: Box::new(self.rewrite(input)?),
                 group_by: group_by.clone(),
                 aggregates: aggregates.clone(),
             },
@@ -126,8 +259,8 @@ impl NodeState {
             } => {
                 // Fixed traversal order keeps collective sequence numbers
                 // aligned across nodes.
-                let l = self.rewrite(left, temps)?;
-                let r = self.rewrite(right, temps)?;
+                let l = self.rewrite(left)?;
+                let r = self.rewrite(right)?;
                 Rel::Join {
                     left: Box::new(l),
                     right: Box::new(r),
@@ -138,7 +271,7 @@ impl NodeState {
                 }
             }
             Rel::Sort { input, keys } => Rel::Sort {
-                input: Box::new(self.rewrite(input, temps)?),
+                input: Box::new(self.rewrite(input)?),
                 keys: keys.clone(),
             },
             Rel::Limit {
@@ -146,14 +279,18 @@ impl NodeState {
                 offset,
                 fetch,
             } => Rel::Limit {
-                input: Box::new(self.rewrite(input, temps)?),
+                input: Box::new(self.rewrite(input)?),
                 offset: *offset,
                 fetch: *fetch,
             },
             Rel::Distinct { input } => Rel::Distinct {
-                input: Box::new(self.rewrite(input, temps)?),
+                input: Box::new(self.rewrite(input)?),
             },
-            Rel::Exchange { .. } => unreachable!("handled above"),
+            Rel::Exchange { .. } => {
+                return Err(SiriusError::Plan(sirius_plan::PlanError::Invalid(
+                    "nested exchange handled above".into(),
+                )))
+            }
         })
     }
 }
@@ -163,10 +300,13 @@ impl NodeState {
 pub struct QueryOutcome {
     /// The result table (gathered on node 0).
     pub table: Table,
-    /// Coordinator time: planning, fragment dispatch, result return.
+    /// Coordinator time: planning, fragment dispatch, result return, plus
+    /// any recovery overhead (backoff waits, re-scheduling).
     pub coordinator: Duration,
-    /// Per-node simulated breakdowns for this query.
+    /// Per-node simulated breakdowns for this query (successful attempt).
     pub per_node: Vec<TimeBreakdown>,
+    /// Failure/retry/degradation counters for this query.
+    pub recovery: RecoveryStats,
 }
 
 impl QueryOutcome {
@@ -205,13 +345,28 @@ impl QueryOutcome {
     }
 }
 
+/// The live node set: rebuilt wholesale when the world shrinks.
+struct NodeSet {
+    nodes: Vec<Mutex<NodeState>>,
+    /// Current rank → stable node id.
+    assignment: Vec<usize>,
+    cancel: CancelToken,
+}
+
 /// The distributed warehouse: a coordinator plus `world` compute nodes.
 pub struct DorisCluster {
-    nodes: Vec<Mutex<NodeState>>,
+    state: RwLock<NodeSet>,
+    /// Coordinator-side durable copies of every registered table (the
+    /// shared-storage analog) — the source for re-partitioning after a
+    /// node death and for the CPU-fallback catalog.
+    storage: Mutex<Vec<(String, Table)>>,
     binder: BinderCatalog,
     scheme: PartitionScheme,
     heartbeats: HeartbeatMonitor,
     kind: NodeEngineKind,
+    config: ClusterConfig,
+    fault: FaultInjector,
+    epoch: AtomicU64,
 }
 
 impl DorisCluster {
@@ -221,58 +376,41 @@ impl DorisCluster {
         Self::with_scheme(world, kind, PartitionScheme::tpch_default())
     }
 
-    /// Cluster with an explicit partition scheme.
+    /// Cluster with an explicit partition scheme and default policy.
     pub fn with_scheme(world: usize, kind: NodeEngineKind, scheme: PartitionScheme) -> Self {
-        let comms = NcclCluster::new(world, hw::infiniband_4xndr());
-        let nodes = comms
-            .into_iter()
-            .enumerate()
-            .map(|(rank, comm)| {
-                let (cpu, gpu, device) = match kind {
-                    NodeEngineKind::DorisCpu => {
-                        let engine = CpuEngine::new(hw::xeon_gold_6526y(), EngineProfile::doris());
-                        let device = engine.device().clone();
-                        (Some(engine), None, device)
-                    }
-                    NodeEngineKind::ClickHouseCpu => {
-                        let engine =
-                            CpuEngine::new(hw::xeon_gold_6526y(), EngineProfile::clickhouse());
-                        let device = engine.device().clone();
-                        (Some(engine), None, device)
-                    }
-                    NodeEngineKind::SiriusGpu => {
-                        let engine = SiriusEngine::with_link(
-                            hw::a100_40gb(),
-                            Link::new(hw::pcie4_a100_attach()),
-                            2,
-                        );
-                        let device = engine.device().clone();
-                        (None, Some(engine), device)
-                    }
-                };
-                Mutex::new(NodeState {
-                    rank,
-                    catalog: Catalog::new(),
-                    cpu,
-                    gpu,
-                    device: device.clone(),
-                    exchange: ExchangeService::new(comm, device),
-                    temp_counter: 0,
-                })
-            })
-            .collect();
+        Self::with_config(world, kind, scheme, ClusterConfig::for_world(world))
+    }
+
+    /// Cluster with explicit partition scheme and recovery policy.
+    pub fn with_config(
+        world: usize,
+        kind: NodeEngineKind,
+        scheme: PartitionScheme,
+        config: ClusterConfig,
+    ) -> Self {
+        let heartbeats = HeartbeatMonitor::new(world, config.heartbeat_timeout);
+        let fault = match &config.fault_plan {
+            Some(plan) => FaultInjector::new(plan.clone()),
+            None => FaultInjector::disabled(),
+        };
+        let assignment: Vec<usize> = (0..world).collect();
+        let state = build_node_set(kind, &assignment, &heartbeats, &fault);
         Self {
-            nodes,
+            state: RwLock::new(state),
+            storage: Mutex::new(Vec::new()),
             binder: BinderCatalog::new(),
             scheme,
-            heartbeats: HeartbeatMonitor::new(world, Duration::from_secs(3600)),
+            heartbeats,
             kind,
+            config,
+            fault,
+            epoch: AtomicU64::new(0),
         }
     }
 
-    /// Cluster size.
+    /// Current cluster size (shrinks as nodes die).
     pub fn world(&self) -> usize {
-        self.nodes.len()
+        self.state.read().nodes.len()
     }
 
     /// Node engine kind.
@@ -280,62 +418,66 @@ impl DorisCluster {
         self.kind
     }
 
-    /// The heartbeat monitor (tests inject failures through it).
+    /// The recovery policy this cluster runs under.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The heartbeat monitor (tests inject failures through it). Indexed by
+    /// stable node id.
     pub fn heartbeats(&self) -> &HeartbeatMonitor {
         &self.heartbeats
     }
 
+    /// The fault injector driving this cluster's chaos plan (disabled when
+    /// no plan was configured).
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.fault
+    }
+
+    /// Total exchange temp tables currently registered across all nodes.
+    /// Zero after every completed query — including failed and retried
+    /// attempts — or the drain-on-cancel guard has a hole.
+    pub fn temp_tables_live(&self) -> usize {
+        self.state
+            .read()
+            .nodes
+            .iter()
+            .map(|n| n.lock().exchange.temp_count())
+            .sum()
+    }
+
     /// Register a table, partitioning it across the nodes per the scheme.
-    pub fn create_table(&mut self, name: impl Into<String>, table: Table) {
+    /// A durable coordinator-side copy is retained for recovery.
+    pub fn create_table(&mut self, name: impl Into<String>, table: Table) -> Result<()> {
         let name = name.into();
         self.binder.add_table(
             name.clone(),
             table.schema().clone(),
             table.num_rows() as u64,
         );
-        let world = self.nodes.len();
-        let parts: Vec<Table> = match self.scheme.partition_column(&name) {
-            Some(Some(col)) => {
-                let key = table
-                    .column_by_name(col)
-                    .expect("partition column exists")
-                    .clone();
-                partition_by_hash(&table, &[key], world)
+        {
+            let mut storage = self.storage.lock();
+            if let Some(slot) = storage.iter_mut().find(|(n, _)| *n == name) {
+                slot.1 = table.clone();
+            } else {
+                storage.push((name.clone(), table.clone()));
             }
-            Some(None) => vec![table.clone(); world],
-            None => {
-                // Round-robin.
-                let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); world];
-                for i in 0..table.num_rows() {
-                    buckets[i % world].push(i);
-                }
-                buckets
-                    .into_iter()
-                    .map(|rows| table.gather(&rows))
-                    .collect()
-            }
-        };
-        for (node, part) in self.nodes.iter().zip(parts) {
-            let mut n = node.lock();
-            if let Some(gpu) = &n.gpu {
-                gpu.load_table(name.clone(), &part);
-            }
-            n.catalog.register(name.clone(), part);
         }
+        let state = self.state.read();
+        load_table_into(&state, &self.scheme, &name, &table)
     }
 
     /// Clear all node ledgers (between the cold load and hot measurements).
     pub fn reset_ledgers(&self) {
-        for n in &self.nodes {
+        for n in &self.state.read().nodes {
             n.lock().device.reset();
         }
     }
 
-    /// Plan, distribute, dispatch, and execute a SQL query.
+    /// Plan, distribute, dispatch, and execute a SQL query, recovering from
+    /// injected or detected faults per the cluster's [`ClusterConfig`].
     pub fn sql(&self, sql: &str) -> Result<QueryOutcome> {
-        if let Some(dead) = self.heartbeats.first_dead() {
-            return Err(DorisError::NodeDown(dead));
-        }
         let policy = match self.kind {
             NodeEngineKind::ClickHouseCpu => JoinOrderPolicy::FromOrder,
             _ => JoinOrderPolicy::Optimized,
@@ -345,72 +487,354 @@ impl DorisCluster {
             broadcast_join_build_sides: self.kind == NodeEngineKind::ClickHouseCpu,
         };
         let dplan = distribute_with(&plan, &self.scheme, opts)?;
-
-        // Coordinator time: fixed planning/dispatch cost plus a per-fragment
-        // dispatch round trip. This is the §4.3 observation that Q1/Q6 are
-        // dominated by CPU-side coordination that "does not scale with the
-        // data size".
         let fragments = count_exchanges(&dplan) + 1;
-        let base = match self.kind {
-            // The paper's §4.3: Doris' optimizer + coordinator dominate
-            // Q1/Q6; Sirius reuses that coordinator, ClickHouse's is leaner.
-            NodeEngineKind::DorisCpu | NodeEngineKind::SiriusGpu => Duration::from_millis(35),
-            NodeEngineKind::ClickHouseCpu => Duration::from_millis(15),
-        };
-        let coordinator = base
-            + Duration::from_millis(5) * fragments as u32
-            + Duration::from_millis(2) * self.world() as u32;
 
-        let before: Vec<TimeBreakdown> = self
+        let mut recovery = RecoveryStats::default();
+        let fault_base = self.fault.injected_count();
+        let mut retries_left = self.config.max_retries;
+        let mut backoff = self.config.retry_backoff;
+        let mut extra = Duration::ZERO;
+
+        // Dispatch-time liveness probe: nodes that can answer refresh their
+        // heartbeat; crashed nodes stay silent and fail the check below.
+        self.heartbeats.probe_live();
+
+        loop {
+            // 1. Failure detection + repair (degradation ladder rungs 2–3).
+            let dead: Vec<usize> = {
+                let state = self.state.read();
+                state
+                    .assignment
+                    .iter()
+                    .copied()
+                    .filter(|&id| !self.heartbeats.is_alive(id))
+                    .collect()
+            };
+            if !dead.is_empty() {
+                let survivors: Vec<usize> = {
+                    let state = self.state.read();
+                    state
+                        .assignment
+                        .iter()
+                        .copied()
+                        .filter(|id| !dead.contains(id))
+                        .collect()
+                };
+                if survivors.len() < self.config.quorum.max(1) {
+                    recovery.faults_injected = self.fault.injected_count() - fault_base;
+                    if self.config.allow_cpu_fallback {
+                        recovery.cpu_fallbacks = 1;
+                        return self.cpu_fallback(&plan, extra, recovery);
+                    }
+                    return Err(DorisError::NodeDown(dead[0]));
+                }
+                for &d in &dead {
+                    self.fault.disarm_node(d);
+                }
+                self.rebuild(&survivors)?;
+                recovery.reschedules += 1;
+                recovery.world_shrinks += 1;
+                extra += RESCHEDULE_PENALTY;
+            }
+
+            // 2. Dispatch one attempt.
+            match self.dispatch_once(&dplan, &mut recovery) {
+                Ok((table, per_node)) => {
+                    let base = match self.kind {
+                        // The paper's §4.3: Doris' optimizer + coordinator
+                        // dominate Q1/Q6; Sirius reuses that coordinator,
+                        // ClickHouse's is leaner.
+                        NodeEngineKind::DorisCpu | NodeEngineKind::SiriusGpu => {
+                            Duration::from_millis(35)
+                        }
+                        NodeEngineKind::ClickHouseCpu => Duration::from_millis(15),
+                    };
+                    let coordinator = base
+                        + Duration::from_millis(5) * fragments as u32
+                        + Duration::from_millis(2) * self.world() as u32
+                        + extra;
+                    recovery.faults_injected = self.fault.injected_count() - fault_base;
+                    return Ok(QueryOutcome {
+                        table,
+                        coordinator,
+                        per_node,
+                        recovery,
+                    });
+                }
+                // 3. Classification (degradation ladder rung 1 or loop back).
+                Err((node, e)) => match e {
+                    SiriusError::NodeDown(n) if !self.heartbeats.is_alive(n) => {
+                        // Top of loop removes the dead node and re-schedules.
+                        continue;
+                    }
+                    e if e.is_retryable() && retries_left > 0 => {
+                        retries_left -= 1;
+                        recovery.retries += 1;
+                        extra += backoff;
+                        backoff = backoff.saturating_mul(2);
+                        continue;
+                    }
+                    SiriusError::NodeDown(n) => return Err(DorisError::NodeDown(n)),
+                    e => {
+                        return Err(DorisError::Node {
+                            node,
+                            message: e.to_string(),
+                        })
+                    }
+                },
+            }
+        }
+    }
+
+    /// One SPMD dispatch over the current node set. On failure returns the
+    /// root-cause error and the stable id of the node that raised it;
+    /// always drains temp registries and cancels stragglers first.
+    #[allow(clippy::type_complexity)]
+    fn dispatch_once(
+        &self,
+        dplan: &Rel,
+        recovery: &mut RecoveryStats,
+    ) -> std::result::Result<(Table, Vec<TimeBreakdown>), (usize, SiriusError)> {
+        let state = self.state.read();
+        let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        state.cancel.reset();
+        for node in &state.nodes {
+            node.lock().exchange.begin_epoch(epoch);
+        }
+        let before: Vec<TimeBreakdown> = state
             .nodes
             .iter()
             .map(|n| n.lock().device.breakdown())
             .collect();
 
-        // Dispatch the SPMD plan to every node.
-        let results: Vec<std::result::Result<Table, String>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
+        // Dispatch the SPMD plan to every node; each thread always runs the
+        // temp-release guard, success or failure.
+        let results: Vec<(usize, sirius_core::Result<Table>, u64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = state
                 .nodes
                 .iter()
                 .map(|node| {
-                    let dplan = &dplan;
-                    scope.spawn(move || node.lock().execute_fragmented(dplan))
+                    scope.spawn(move || {
+                        let mut n = node.lock();
+                        let res = n.execute_fragmented(dplan);
+                        let reaped = n.release_temps();
+                        (n.id, res, reaped)
+                    })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("node thread"))
+                .enumerate()
+                .map(|(rank, h)| {
+                    h.join().unwrap_or_else(|_| {
+                        state.cancel.cancel();
+                        (
+                            state.assignment.get(rank).copied().unwrap_or(rank),
+                            Err(SiriusError::Kernel("node thread panicked".into())),
+                            0,
+                        )
+                    })
+                })
                 .collect()
         });
 
+        // Root-cause selection: a node death outranks transient errors,
+        // which outrank cancellation fallout.
+        let mut root: Option<(usize, SiriusError)> = None;
         let mut table = None;
-        for (rank, r) in results.into_iter().enumerate() {
-            match r {
+        let mut reaped_total = 0;
+        for (id, res, reaped) in results {
+            reaped_total += reaped;
+            match res {
                 Ok(t) => {
-                    if rank == 0 {
+                    if Some(id) == state.assignment.first().copied() {
                         table = Some(t);
                     }
                 }
-                Err(message) => {
-                    return Err(DorisError::Node {
-                        node: rank,
-                        message,
-                    })
+                Err(e) => {
+                    if matches!(e, SiriusError::Cancelled(_)) {
+                        recovery.cancelled_fragments += 1;
+                    }
+                    let outranks = match (&root, &e) {
+                        (None, _) => true,
+                        (Some((_, SiriusError::NodeDown(_))), _) => false,
+                        (Some(_), SiriusError::NodeDown(_)) => true,
+                        (Some((_, SiriusError::Cancelled(_))), _) => true,
+                        _ => false,
+                    };
+                    if outranks {
+                        root = Some((id, e));
+                    }
                 }
             }
         }
-        let per_node: Vec<TimeBreakdown> = self
+        if let Some((id, e)) = root {
+            recovery.temps_reaped += reaped_total;
+            return Err((id, e));
+        }
+        let per_node: Vec<TimeBreakdown> = state
             .nodes
             .iter()
             .zip(before)
             .map(|(n, b)| n.lock().device.breakdown().since(&b))
             .collect();
+        match table {
+            Some(t) => Ok((t, per_node)),
+            None => Err((
+                state.assignment.first().copied().unwrap_or(0),
+                SiriusError::Exchange("result rank produced no table".into()),
+            )),
+        }
+    }
+
+    /// Rebuild the cluster over `survivors` (stable ids), re-partitioning
+    /// every stored table onto the shrunken world.
+    fn rebuild(&self, survivors: &[usize]) -> Result<()> {
+        let new_state = build_node_set(self.kind, survivors, &self.heartbeats, &self.fault);
+        {
+            let storage = self.storage.lock();
+            for (name, table) in storage.iter() {
+                load_table_into(&new_state, &self.scheme, name, table)?;
+            }
+        }
+        *self.state.write() = new_state;
+        Ok(())
+    }
+
+    /// Degradation ladder rung 3: run the full (undistributed) plan on a
+    /// single-node CPU engine over unpartitioned tables.
+    fn cpu_fallback(
+        &self,
+        plan: &Rel,
+        extra: Duration,
+        recovery: RecoveryStats,
+    ) -> Result<QueryOutcome> {
+        let profile = match self.kind {
+            NodeEngineKind::ClickHouseCpu => EngineProfile::clickhouse(),
+            _ => EngineProfile::doris(),
+        };
+        let engine = CpuEngine::new(hw::xeon_gold_6526y(), profile);
+        let mut catalog = Catalog::new();
+        for (name, table) in self.storage.lock().iter() {
+            catalog.register(name.clone(), table.clone());
+        }
+        let table = engine
+            .execute(plan, &catalog)
+            .map_err(|e| DorisError::Node {
+                node: 0,
+                message: format!("cpu fallback failed: {e}"),
+            })?;
+        let coordinator = Duration::from_millis(35) + extra;
         Ok(QueryOutcome {
-            table: table.expect("node 0 result"),
+            table,
             coordinator,
-            per_node,
+            per_node: vec![engine.device().breakdown()],
+            recovery,
         })
     }
+}
+
+/// Build the per-node state for the given stable-id assignment: a fresh
+/// NCCL cluster, engines per `kind`, and fault/heartbeat/cancel wiring.
+fn build_node_set(
+    kind: NodeEngineKind,
+    assignment: &[usize],
+    heartbeats: &HeartbeatMonitor,
+    fault: &FaultInjector,
+) -> NodeSet {
+    let world = assignment.len();
+    let mut comms = NcclCluster::new(world, hw::infiniband_4xndr());
+    let cancel = comms.first().map(|c| c.cancel_token()).unwrap_or_default();
+    for comm in &mut comms {
+        comm.set_fault_injector(fault.clone(), assignment.to_vec());
+    }
+    let nodes = comms
+        .into_iter()
+        .zip(assignment.iter().copied())
+        .map(|(comm, id)| {
+            let (cpu, gpu, device) = match kind {
+                NodeEngineKind::DorisCpu => {
+                    let engine = CpuEngine::new(hw::xeon_gold_6526y(), EngineProfile::doris());
+                    let device = engine.device().clone();
+                    (Some(engine), None, device)
+                }
+                NodeEngineKind::ClickHouseCpu => {
+                    let engine = CpuEngine::new(hw::xeon_gold_6526y(), EngineProfile::clickhouse());
+                    let device = engine.device().clone();
+                    (Some(engine), None, device)
+                }
+                NodeEngineKind::SiriusGpu => {
+                    let engine = SiriusEngine::with_link(
+                        hw::a100_40gb(),
+                        Link::new(hw::pcie4_a100_attach()),
+                        2,
+                    )
+                    .with_fault(fault.clone(), id);
+                    let device = engine.device().clone();
+                    (None, Some(engine), device)
+                }
+            };
+            Mutex::new(NodeState {
+                id,
+                catalog: Catalog::new(),
+                cpu,
+                gpu,
+                device: device.clone(),
+                exchange: ExchangeService::new(comm, device),
+                temp_counter: 0,
+                fault: fault.clone(),
+                heartbeats: heartbeats.clone(),
+                cancel: cancel.clone(),
+                live_temps: Vec::new(),
+            })
+        })
+        .collect();
+    NodeSet {
+        nodes,
+        assignment: assignment.to_vec(),
+        cancel,
+    }
+}
+
+/// Partition `table` per `scheme` and register the shards on every node.
+fn load_table_into(
+    state: &NodeSet,
+    scheme: &PartitionScheme,
+    name: &str,
+    table: &Table,
+) -> Result<()> {
+    let world = state.nodes.len();
+    let parts: Vec<Table> = match scheme.partition_column(name) {
+        Some(Some(col)) => {
+            let key = table
+                .column_by_name(col)
+                .map_err(|_| {
+                    DorisError::Plan(format!("partition column {col} missing from table {name}"))
+                })?
+                .clone();
+            partition_by_hash(table, &[key], world)
+        }
+        Some(None) => vec![table.clone(); world],
+        None => {
+            // Round-robin.
+            let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); world];
+            for i in 0..table.num_rows() {
+                buckets[i % world].push(i);
+            }
+            buckets
+                .into_iter()
+                .map(|rows| table.gather(&rows))
+                .collect()
+        }
+    };
+    for (node, part) in state.nodes.iter().zip(parts) {
+        let mut n = node.lock();
+        if let Some(gpu) = &n.gpu {
+            gpu.load_table(name.to_string(), &part);
+        }
+        n.catalog.register(name.to_string(), part);
+    }
+    Ok(())
 }
 
 fn count_exchanges(rel: &Rel) -> usize {
@@ -428,10 +852,14 @@ mod tests {
     use sirius_columnar::{DataType, Field, Schema};
 
     fn cluster(kind: NodeEngineKind) -> DorisCluster {
+        cluster_with(kind, ClusterConfig::for_world(3))
+    }
+
+    fn cluster_with(kind: NodeEngineKind, config: ClusterConfig) -> DorisCluster {
         let mut scheme = PartitionScheme::new();
         scheme.hash("t", "k");
         scheme.replicate("dim");
-        let mut c = DorisCluster::with_scheme(3, kind, scheme);
+        let mut c = DorisCluster::with_config(3, kind, scheme, config);
         c.create_table(
             "t",
             Table::new(
@@ -446,7 +874,8 @@ mod tests {
                     Array::from_f64((0..60).map(|i| i as f64).collect::<Vec<_>>()),
                 ],
             ),
-        );
+        )
+        .unwrap();
         c.create_table(
             "dim",
             Table::new(
@@ -459,7 +888,8 @@ mod tests {
                     Array::from_strs(["a", "b", "c", "d"]),
                 ],
             ),
-        );
+        )
+        .unwrap();
         c.reset_ledgers();
         c
     }
@@ -475,6 +905,7 @@ mod tests {
             );
             assert_eq!(out.table.column(1).i64_value(0), Some(60));
             assert!(out.total() > Duration::ZERO);
+            assert!(!out.recovery.any(), "fault-free run has clean counters");
         }
     }
 
@@ -520,13 +951,83 @@ mod tests {
     }
 
     #[test]
-    fn heartbeat_failure_blocks_dispatch() {
+    fn dead_node_recovers_by_rescheduling() {
         let c = cluster(NodeEngineKind::DorisCpu);
         c.heartbeats().mark_down(2);
-        assert!(matches!(
-            c.sql("select count(*) as n from t"),
-            Err(DorisError::NodeDown(2))
-        ));
+        let out = c.sql("select sum(v) as s, count(*) as n from t").unwrap();
+        assert_eq!(
+            out.table.column(0).f64_value(0),
+            Some((0..60).sum::<i64>() as f64)
+        );
+        assert_eq!(out.recovery.reschedules, 1);
+        assert_eq!(out.recovery.world_shrinks, 1);
+        assert_eq!(c.world(), 2, "world shrank to the survivors");
+        assert_eq!(c.temp_tables_live(), 0);
+    }
+
+    #[test]
+    fn quorum_loss_degrades_to_cpu_fallback() {
+        let c = cluster(NodeEngineKind::SiriusGpu);
+        c.heartbeats().mark_down(1);
+        c.heartbeats().mark_down(2);
+        let out = c.sql("select sum(v) as s from t").unwrap();
+        assert_eq!(
+            out.table.column(0).f64_value(0),
+            Some((0..60).sum::<i64>() as f64)
+        );
+        assert_eq!(out.recovery.cpu_fallbacks, 1);
+        assert_eq!(c.temp_tables_live(), 0);
+    }
+
+    #[test]
+    fn quorum_loss_without_fallback_is_clean_node_down() {
+        let mut config = ClusterConfig::for_world(3);
+        config.allow_cpu_fallback = false;
+        let c = cluster_with(NodeEngineKind::DorisCpu, config);
+        c.heartbeats().mark_down(1);
+        c.heartbeats().mark_down(2);
+        match c.sql("select sum(v) as s from t") {
+            Err(DorisError::NodeDown(n)) => assert!(n == 1 || n == 2),
+            other => panic!("expected NodeDown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transient_device_fault_is_retried() {
+        let config = ClusterConfig::for_world(3)
+            .with_fault_plan(FaultPlan::new(1).transient_device(1, 0, 2));
+        let c = cluster_with(NodeEngineKind::SiriusGpu, config);
+        let out = c.sql("select g, sum(v) as s from t group by g").unwrap();
+        assert_eq!(out.table.num_rows(), 4);
+        assert_eq!(out.recovery.retries, 2);
+        assert!(out.recovery.faults_injected >= 2);
+        assert_eq!(c.temp_tables_live(), 0);
+        assert_eq!(c.world(), 3, "transient faults do not shrink the world");
+    }
+
+    #[test]
+    fn mid_fragment_crash_recovers_and_reaps_temps() {
+        let config = ClusterConfig::for_world(3).with_fault_plan(FaultPlan::new(2).crash_mid(2, 0));
+        let c = cluster_with(NodeEngineKind::SiriusGpu, config);
+        // Shuffle-heavy query so the crash lands mid-exchange with temps
+        // registered on sibling nodes.
+        let out = c
+            .sql("select count(*) as n from t a, t b where a.g = b.g")
+            .unwrap();
+        assert_eq!(out.table.column(0).i64_value(0), Some(4 * 15 * 15));
+        assert!(out.recovery.reschedules >= 1);
+        assert_eq!(c.world(), 2);
+        assert_eq!(c.temp_tables_live(), 0, "cancelled fragments leak no temps");
+    }
+
+    #[test]
+    fn default_heartbeat_timeout_is_sane_and_overridable() {
+        let c = cluster(NodeEngineKind::DorisCpu);
+        assert_eq!(c.heartbeats().timeout(), Duration::from_secs(3));
+        let mut config = ClusterConfig::for_world(3);
+        config.heartbeat_timeout = Duration::from_millis(250);
+        let c = cluster_with(NodeEngineKind::DorisCpu, config);
+        assert_eq!(c.heartbeats().timeout(), Duration::from_millis(250));
     }
 
     #[test]

@@ -2,11 +2,19 @@
 //! via heartbeat).
 
 use parking_lot::Mutex;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Tracks the last heartbeat from each compute node.
+/// Tracks the last heartbeat from each compute node. Cloning shares the
+/// underlying state: the coordinator and every node thread hold handles to
+/// the same monitor, so a node that crashes mid-fragment can mark itself
+/// down and the coordinator's recovery loop sees it immediately.
+///
+/// Node slots are indexed by *stable* node id (the rank a node had in the
+/// original, full-size cluster), so liveness survives world shrinks.
+#[derive(Clone)]
 pub struct HeartbeatMonitor {
-    last_seen: Mutex<Vec<Option<Instant>>>,
+    last_seen: Arc<Mutex<Vec<Option<Instant>>>>,
     timeout: Duration,
 }
 
@@ -14,9 +22,14 @@ impl HeartbeatMonitor {
     /// Monitor for `nodes` compute nodes with the given liveness timeout.
     pub fn new(nodes: usize, timeout: Duration) -> Self {
         Self {
-            last_seen: Mutex::new(vec![Some(Instant::now()); nodes]),
+            last_seen: Arc::new(Mutex::new(vec![Some(Instant::now()); nodes])),
             timeout,
         }
+    }
+
+    /// The configured liveness timeout.
+    pub fn timeout(&self) -> Duration {
+        self.timeout
     }
 
     /// Record a heartbeat from `node`.
@@ -26,7 +39,20 @@ impl HeartbeatMonitor {
         }
     }
 
-    /// Mark a node as permanently down (simulating failure in tests).
+    /// Refresh every node that is not explicitly down — the coordinator's
+    /// synchronous liveness probe at dispatch time. A crashed node
+    /// ([`mark_down`](Self::mark_down)) cannot answer the probe and stays
+    /// dead; everyone else answers and resets their staleness clock.
+    pub fn probe_live(&self) {
+        for slot in self.last_seen.lock().iter_mut() {
+            if slot.is_some() {
+                *slot = Some(Instant::now());
+            }
+        }
+    }
+
+    /// Mark a node as permanently down (crash injection, or a node
+    /// self-reporting a fatal fault).
     pub fn mark_down(&self, node: usize) {
         if let Some(slot) = self.last_seen.lock().get_mut(node) {
             *slot = None;
@@ -75,5 +101,25 @@ mod tests {
     fn out_of_range_is_dead() {
         let m = HeartbeatMonitor::new(2, Duration::from_secs(10));
         assert!(!m.is_alive(9));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let m = HeartbeatMonitor::new(2, Duration::from_secs(10));
+        let m2 = m.clone();
+        m2.mark_down(0);
+        assert!(!m.is_alive(0));
+        assert_eq!(m.timeout(), Duration::from_secs(10));
+    }
+
+    #[test]
+    fn probe_refreshes_only_live_nodes() {
+        let m = HeartbeatMonitor::new(2, Duration::from_millis(1));
+        m.mark_down(1);
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(!m.is_alive(0), "stale without probe");
+        m.probe_live();
+        assert!(m.is_alive(0), "probe refreshes the live node");
+        assert!(!m.is_alive(1), "probe cannot revive a dead node");
     }
 }

@@ -10,14 +10,22 @@
 //! and intermediate data moves through Sirius' NCCL-backed exchange
 //! service, with exchanged intermediates registered as temporary tables and
 //! deregistered when their fragments complete.
+//!
+//! The coordinator also owns fault recovery: heartbeat-driven failure
+//! detection, re-scheduling onto survivors (re-partitioning the dead node's
+//! shards), bounded exponential-backoff retry for transient faults,
+//! cancellation propagation, and graceful degradation down to the
+//! single-node CPU engine when the fleet drops below quorum. See
+//! [`cluster::ClusterConfig`].
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cluster;
 pub mod heartbeat;
 pub mod planner;
 
-pub use cluster::{DorisCluster, NodeEngineKind, QueryOutcome};
+pub use cluster::{ClusterConfig, DorisCluster, NodeEngineKind, QueryOutcome};
 pub use planner::{distribute, PartitionScheme, Partitioning};
 
 /// Errors surfaced by the distributed host.
@@ -25,14 +33,16 @@ pub use planner::{distribute, PartitionScheme, Partitioning};
 pub enum DorisError {
     /// SQL frontend failure.
     Sql(sirius_sql::SqlError),
-    /// A compute node failed executing its fragment.
+    /// A compute node failed executing its fragment (after recovery was
+    /// exhausted or for a non-recoverable cause).
     Node {
-        /// The failing node.
+        /// The failing node (stable id).
         node: usize,
         /// Its error message.
         message: String,
     },
-    /// A node missed its heartbeat; the query was not dispatched.
+    /// A node is down and the cluster cannot recover (below quorum with CPU
+    /// fallback disabled, or the failure repeated past the retry budget).
     NodeDown(usize),
     /// Distributed planning failure.
     Plan(String),
@@ -45,7 +55,7 @@ impl std::fmt::Display for DorisError {
             DorisError::Node { node, message } => {
                 write!(f, "node {node} failed: {message}")
             }
-            DorisError::NodeDown(n) => write!(f, "node {n} missed heartbeat"),
+            DorisError::NodeDown(n) => write!(f, "node {n} is down"),
             DorisError::Plan(m) => write!(f, "distributed planning error: {m}"),
         }
     }

@@ -1,0 +1,481 @@
+//! Deterministic fault injection for the simulated cluster.
+//!
+//! A [`FaultPlan`] is a list of [`FaultSpec`]s: *what* goes wrong
+//! ([`FaultKind`]), after how many occurrences of the matching site it starts
+//! firing (`after`), and how many times it fires (`times`). Plans are either
+//! hand-built through the builder methods or generated deterministically from
+//! a seed with [`FaultPlan::seeded_chaos`] — the seed picks the faults, but
+//! *firing* is purely counter-based, so a given plan always produces the same
+//! failure schedule and recovery tests are reproducible.
+//!
+//! A [`FaultInjector`] is the runtime half: a cheaply cloneable handle shared
+//! by the coordinator, the collectives layer, and the engines. Call sites
+//! poll it with [`FaultInjector::fire`] at well-known [`FaultSite`]s; the
+//! injector answers with the [`FaultAction`] to take, if any. A disabled
+//! injector ([`FaultInjector::disabled`]) answers `None` without taking a
+//! lock, so the hooks cost nothing on the fault-free path.
+//!
+//! ```
+//! use sirius_hw::fault::{FaultInjector, FaultPlan, FaultSite};
+//!
+//! let plan = FaultPlan::new(7).transient_device(1, 0, 2);
+//! let inj = FaultInjector::new(plan);
+//! assert!(inj.fire(FaultSite::DeviceLaunch { node: 1 }).is_some());
+//! assert!(inj.fire(FaultSite::DeviceLaunch { node: 1 }).is_some());
+//! assert!(inj.fire(FaultSite::DeviceLaunch { node: 1 }).is_none()); // budget spent
+//! ```
+
+use std::sync::Arc;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// What kind of failure a [`FaultSpec`] injects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Node `node` dies before it starts executing a fragment.
+    CrashBeforeFragment {
+        /// Original rank of the crashing node.
+        node: usize,
+    },
+    /// Node `node` dies in the middle of a fragment, at an exchange boundary.
+    CrashMidFragment {
+        /// Original rank of the crashing node.
+        node: usize,
+    },
+    /// Sends from `src` to `dst` are dropped (the receiver times out).
+    ExchangeDrop {
+        /// Sending rank.
+        src: usize,
+        /// Receiving rank.
+        dst: usize,
+    },
+    /// Sends from `src` to `dst` incur `delay` of extra simulated wire time.
+    ExchangeDelay {
+        /// Sending rank.
+        src: usize,
+        /// Receiving rank.
+        dst: usize,
+        /// Extra simulated latency added to each matching send.
+        delay: Duration,
+    },
+    /// A kernel launch on `node` fails transiently (retry succeeds).
+    TransientDevice {
+        /// Rank whose device hiccups.
+        node: usize,
+    },
+    /// A spill-tier write on `node` fails with an I/O error.
+    SpillIo {
+        /// Rank whose spill tier fails.
+        node: usize,
+    },
+}
+
+/// A well-known hook point where faults can fire. Ranks are *original*
+/// cluster ranks, stable across world shrinks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// A node is about to start executing a plan fragment.
+    FragmentStart {
+        /// Original rank of the executing node.
+        node: usize,
+    },
+    /// A node reached an exchange boundary mid-fragment.
+    FragmentMid {
+        /// Original rank of the executing node.
+        node: usize,
+    },
+    /// A point-to-point exchange send from `src` to `dst`.
+    ExchangeSend {
+        /// Sending rank.
+        src: usize,
+        /// Receiving rank.
+        dst: usize,
+    },
+    /// A kernel/pipeline launch on `node`'s device.
+    DeviceLaunch {
+        /// Original rank of the launching node.
+        node: usize,
+    },
+    /// A write into the spill tier on `node`.
+    SpillWrite {
+        /// Original rank performing the spill write.
+        node: usize,
+    },
+}
+
+/// What a call site should do when a fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Abort: the node crashes / the send is dropped / the launch errors.
+    Fail,
+    /// Proceed, but charge the given extra simulated latency first.
+    Delay(Duration),
+}
+
+/// One injected fault: a [`FaultKind`] plus a deterministic firing window.
+///
+/// The spec matches a stream of [`FaultSite`] occurrences; it stays silent
+/// for the first `after` matches, then fires on the next `times` matches,
+/// then goes silent again. `times = u64::MAX` models a permanent fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// What goes wrong.
+    pub kind: FaultKind,
+    /// Number of matching occurrences to skip before firing.
+    pub after: u64,
+    /// Maximum number of times this spec fires.
+    pub times: u64,
+}
+
+impl FaultSpec {
+    fn matches(&self, site: FaultSite) -> bool {
+        match (&self.kind, site) {
+            (FaultKind::CrashBeforeFragment { node }, FaultSite::FragmentStart { node: n }) => {
+                *node == n
+            }
+            (FaultKind::CrashMidFragment { node }, FaultSite::FragmentMid { node: n }) => {
+                *node == n
+            }
+            (FaultKind::ExchangeDrop { src, dst }, FaultSite::ExchangeSend { src: s, dst: d }) => {
+                *src == s && *dst == d
+            }
+            (
+                FaultKind::ExchangeDelay { src, dst, .. },
+                FaultSite::ExchangeSend { src: s, dst: d },
+            ) => *src == s && *dst == d,
+            (FaultKind::TransientDevice { node }, FaultSite::DeviceLaunch { node: n }) => {
+                *node == n
+            }
+            (FaultKind::SpillIo { node }, FaultSite::SpillWrite { node: n }) => *node == n,
+            _ => false,
+        }
+    }
+
+    fn action(&self) -> FaultAction {
+        match &self.kind {
+            FaultKind::ExchangeDelay { delay, .. } => FaultAction::Delay(*delay),
+            _ => FaultAction::Fail,
+        }
+    }
+}
+
+/// A deterministic schedule of faults for one cluster run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The seed the plan was derived from (0 for hand-built plans).
+    pub seed: u64,
+    /// The faults in this plan.
+    pub specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan tagged with `seed` (builder entry point).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            specs: Vec::new(),
+        }
+    }
+
+    /// Add an arbitrary spec.
+    pub fn with(mut self, kind: FaultKind, after: u64, times: u64) -> Self {
+        self.specs.push(FaultSpec { kind, after, times });
+        self
+    }
+
+    /// Node `node` crashes before its `after`-th fragment start.
+    pub fn crash_before(self, node: usize, after: u64) -> Self {
+        self.with(FaultKind::CrashBeforeFragment { node }, after, u64::MAX)
+    }
+
+    /// Node `node` crashes at its `after`-th exchange boundary.
+    pub fn crash_mid(self, node: usize, after: u64) -> Self {
+        self.with(FaultKind::CrashMidFragment { node }, after, u64::MAX)
+    }
+
+    /// Drop `times` sends on the `src → dst` link after skipping `after`.
+    pub fn drop_link(self, src: usize, dst: usize, after: u64, times: u64) -> Self {
+        self.with(FaultKind::ExchangeDrop { src, dst }, after, times)
+    }
+
+    /// Delay sends on the `src → dst` link by `delay`.
+    pub fn delay_link(
+        self,
+        src: usize,
+        dst: usize,
+        delay: Duration,
+        after: u64,
+        times: u64,
+    ) -> Self {
+        self.with(FaultKind::ExchangeDelay { src, dst, delay }, after, times)
+    }
+
+    /// Inject `times` transient device errors on `node` after skipping `after`.
+    pub fn transient_device(self, node: usize, after: u64, times: u64) -> Self {
+        self.with(FaultKind::TransientDevice { node }, after, times)
+    }
+
+    /// Inject `times` spill I/O errors on `node` after skipping `after`.
+    pub fn spill_io(self, node: usize, after: u64, times: u64) -> Self {
+        self.with(FaultKind::SpillIo { node }, after, times)
+    }
+
+    /// Generate a deterministic *recoverable* chaos plan for a `world`-node
+    /// cluster: one to three faults drawn from the transient kinds plus at
+    /// most one mid-fragment crash, never killing node 0 (the coordinator's
+    /// result rank) and never enough nodes to lose quorum. The same
+    /// `(seed, world)` always yields the same plan.
+    pub fn seeded_chaos(seed: u64, world: usize) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0x5169_7269_7573_u64);
+        let mut plan = FaultPlan::new(seed);
+        let world = world.max(1);
+        let n_faults = 1 + (rng.next() % 3) as usize;
+        let mut crashed = false;
+        for _ in 0..n_faults {
+            let pick = rng.next() % 4;
+            match pick {
+                0 if world > 2 && !crashed => {
+                    // Crash one non-zero node mid-fragment; recovery
+                    // re-schedules onto the survivors.
+                    let node = 1 + (rng.next() as usize % (world - 1));
+                    plan = plan.crash_mid(node, rng.next() % 2);
+                    crashed = true;
+                }
+                1 if world > 1 => {
+                    let src = rng.next() as usize % world;
+                    let dst = (src + 1 + rng.next() as usize % (world - 1)) % world;
+                    plan = plan.drop_link(src, dst, rng.next() % 2, 1 + rng.next() % 2);
+                }
+                2 if world > 1 => {
+                    let src = rng.next() as usize % world;
+                    let dst = (src + 1 + rng.next() as usize % (world - 1)) % world;
+                    let delay = Duration::from_millis(1 + rng.next() % 20);
+                    plan = plan.delay_link(src, dst, delay, 0, 1 + rng.next() % 3);
+                }
+                _ => {
+                    let node = rng.next() as usize % world;
+                    plan = plan.transient_device(node, rng.next() % 2, 1 + rng.next() % 2);
+                }
+            }
+        }
+        plan
+    }
+}
+
+/// splitmix64 — the same tiny deterministic generator used by the spill
+/// subsystem's radix-hash salting. Good enough to diversify chaos plans.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+struct InjectorState {
+    plan: FaultPlan,
+    /// Occurrence counter per spec (how many matching sites were seen).
+    seen: Vec<u64>,
+    /// How many times each spec has fired.
+    fired: Vec<u64>,
+    injected: u64,
+}
+
+/// Runtime fault dispenser shared across the cluster. Cloning shares state;
+/// [`FaultInjector::disabled`] is a zero-cost no-op handle.
+#[derive(Clone)]
+pub struct FaultInjector {
+    state: Option<Arc<Mutex<InjectorState>>>,
+}
+
+impl FaultInjector {
+    /// An injector driven by `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let n = plan.specs.len();
+        Self {
+            state: Some(Arc::new(Mutex::new(InjectorState {
+                plan,
+                seen: vec![0; n],
+                fired: vec![0; n],
+                injected: 0,
+            }))),
+        }
+    }
+
+    /// A no-op injector: every [`fire`](Self::fire) returns `None`.
+    pub fn disabled() -> Self {
+        Self { state: None }
+    }
+
+    /// Whether this handle carries a plan at all.
+    pub fn is_enabled(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Poll the injector at `site`. Returns the action to take if a fault
+    /// fires, advancing the deterministic occurrence counters either way.
+    pub fn fire(&self, site: FaultSite) -> Option<FaultAction> {
+        let state = self.state.as_ref()?;
+        let mut st = match state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        let mut hit = None;
+        for i in 0..st.plan.specs.len() {
+            if !st.plan.specs[i].matches(site) {
+                continue;
+            }
+            st.seen[i] += 1;
+            let (after, times, action) = {
+                let spec = &st.plan.specs[i];
+                (spec.after, spec.times, spec.action())
+            };
+            if st.seen[i] > after && st.fired[i] < times && hit.is_none() {
+                st.fired[i] += 1;
+                st.injected += 1;
+                hit = Some(action);
+            }
+        }
+        hit
+    }
+
+    /// Permanently disarm every spec targeting original rank `node` (used
+    /// once a node has been removed from the cluster, so its crash spec does
+    /// not re-fire against a re-used slot).
+    pub fn disarm_node(&self, node: usize) {
+        let Some(state) = self.state.as_ref() else {
+            return;
+        };
+        let mut st = match state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        for i in 0..st.plan.specs.len() {
+            let target = match st.plan.specs[i].kind {
+                FaultKind::CrashBeforeFragment { node: n }
+                | FaultKind::CrashMidFragment { node: n }
+                | FaultKind::TransientDevice { node: n }
+                | FaultKind::SpillIo { node: n } => Some(n),
+                _ => None,
+            };
+            if target == Some(node) {
+                st.fired[i] = st.plan.specs[i].times;
+            }
+        }
+    }
+
+    /// Total number of faults this injector has fired so far.
+    pub fn injected_count(&self) -> u64 {
+        match self.state.as_ref() {
+            Some(state) => match state.lock() {
+                Ok(g) => g.injected,
+                Err(p) => p.into_inner().injected,
+            },
+            None => 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("enabled", &self.is_enabled())
+            .field("injected", &self.injected_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_injector_never_fires() {
+        let inj = FaultInjector::disabled();
+        for _ in 0..8 {
+            assert_eq!(inj.fire(FaultSite::FragmentStart { node: 0 }), None);
+        }
+        assert_eq!(inj.injected_count(), 0);
+    }
+
+    #[test]
+    fn after_and_times_window() {
+        let inj = FaultInjector::new(FaultPlan::new(0).transient_device(2, 1, 2));
+        let site = FaultSite::DeviceLaunch { node: 2 };
+        assert_eq!(inj.fire(site), None); // skipped (after = 1)
+        assert_eq!(inj.fire(site), Some(FaultAction::Fail));
+        assert_eq!(inj.fire(site), Some(FaultAction::Fail));
+        assert_eq!(inj.fire(site), None); // budget of 2 spent
+        assert_eq!(inj.injected_count(), 2);
+    }
+
+    #[test]
+    fn sites_are_matched_precisely() {
+        let inj = FaultInjector::new(FaultPlan::new(0).drop_link(0, 1, 0, u64::MAX));
+        assert_eq!(inj.fire(FaultSite::ExchangeSend { src: 1, dst: 0 }), None);
+        assert_eq!(inj.fire(FaultSite::DeviceLaunch { node: 0 }), None);
+        assert_eq!(
+            inj.fire(FaultSite::ExchangeSend { src: 0, dst: 1 }),
+            Some(FaultAction::Fail)
+        );
+    }
+
+    #[test]
+    fn delay_carries_duration() {
+        let d = Duration::from_millis(5);
+        let inj = FaultInjector::new(FaultPlan::new(0).delay_link(1, 2, d, 0, 1));
+        assert_eq!(
+            inj.fire(FaultSite::ExchangeSend { src: 1, dst: 2 }),
+            Some(FaultAction::Delay(d))
+        );
+        assert_eq!(inj.fire(FaultSite::ExchangeSend { src: 1, dst: 2 }), None);
+    }
+
+    #[test]
+    fn seeded_chaos_is_deterministic_and_recoverable() {
+        for seed in 0..64u64 {
+            let a = FaultPlan::seeded_chaos(seed, 4);
+            let b = FaultPlan::seeded_chaos(seed, 4);
+            assert_eq!(a, b);
+            assert!(!a.specs.is_empty() && a.specs.len() <= 3);
+            let crashes: Vec<_> = a
+                .specs
+                .iter()
+                .filter_map(|s| match s.kind {
+                    FaultKind::CrashBeforeFragment { node }
+                    | FaultKind::CrashMidFragment { node } => Some(node),
+                    _ => None,
+                })
+                .collect();
+            assert!(crashes.len() <= 1, "at most one crash per chaos plan");
+            assert!(!crashes.contains(&0), "node 0 never crashes");
+        }
+    }
+
+    #[test]
+    fn disarm_node_silences_its_specs() {
+        let inj = FaultInjector::new(FaultPlan::new(0).crash_mid(3, 0));
+        inj.disarm_node(3);
+        assert_eq!(inj.fire(FaultSite::FragmentMid { node: 3 }), None);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let inj = FaultInjector::new(FaultPlan::new(0).transient_device(0, 0, 1));
+        let inj2 = inj.clone();
+        assert_eq!(
+            inj2.fire(FaultSite::DeviceLaunch { node: 0 }),
+            Some(FaultAction::Fail)
+        );
+        assert_eq!(inj.fire(FaultSite::DeviceLaunch { node: 0 }), None);
+        assert_eq!(inj.injected_count(), 1);
+    }
+}

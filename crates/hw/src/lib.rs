@@ -31,12 +31,14 @@
 
 pub mod catalog;
 pub mod cost;
+pub mod fault;
 pub mod ledger;
 pub mod link;
 pub mod spec;
 pub mod trends;
 
 pub use cost::{CostModel, WorkProfile};
+pub use fault::{FaultAction, FaultInjector, FaultKind, FaultPlan, FaultSite, FaultSpec};
 pub use ledger::{CostCategory, CostLedger, TimeBreakdown};
 pub use link::{Link, LinkSpec};
 pub use spec::{DeviceKind, DeviceSpec};

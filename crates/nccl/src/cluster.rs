@@ -3,13 +3,48 @@
 use crate::{NcclError, Result};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use sirius_columnar::Table;
-use sirius_hw::{Link, LinkSpec};
+use sirius_hw::{FaultAction, FaultInjector, FaultSite, Link, LinkSpec};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Receive timeout: generous enough for debug-mode tests, small enough to
 /// turn deadlocks into diagnosable errors.
 const RECV_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Granularity at which a blocked `recv` re-checks the cancel token. A dead
+/// peer never sends, so without this a surviving rank would sit out the full
+/// receive timeout before noticing the query was aborted.
+const CANCEL_POLL: Duration = Duration::from_millis(10);
+
+/// Cluster-wide cancellation flag. Cloning shares the flag; the coordinator
+/// cancels it when any fragment fails, and every blocked collective wakes
+/// with [`NcclError::Cancelled`] within one poll interval.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation of all in-flight collectives sharing this token.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+
+    /// Re-arm the token for the next dispatch attempt.
+    pub fn reset(&self) {
+        self.0.store(false, Ordering::SeqCst);
+    }
+}
 
 pub(crate) struct Message {
     pub src: usize,
@@ -28,6 +63,11 @@ pub struct Communicator {
     /// Collective sequence counter (must advance identically on all ranks).
     seq: u64,
     link: Link,
+    cancel: CancelToken,
+    fault: FaultInjector,
+    /// Current rank → stable node id, for fault matching across world
+    /// shrinks. Identity unless overridden via `set_fault_injector`.
+    ids: Vec<usize>,
 }
 
 /// Factory for a set of connected communicators.
@@ -36,10 +76,11 @@ pub struct NcclCluster;
 impl NcclCluster {
     /// Create `world` communicators joined by an interconnect of `spec`.
     /// The returned vector is indexed by rank; hand each element to its
-    /// node's thread.
+    /// node's thread. All communicators share one [`CancelToken`].
     #[allow(clippy::new_ret_no_self)]
     pub fn new(world: usize, spec: LinkSpec) -> Vec<Communicator> {
         let link = Link::new(spec);
+        let cancel = CancelToken::new();
         let (senders, receivers): (Vec<_>, Vec<_>) =
             (0..world).map(|_| unbounded::<Message>()).unzip();
         receivers
@@ -53,6 +94,9 @@ impl NcclCluster {
                 pending: HashMap::new(),
                 seq: 0,
                 link: link.clone(),
+                cancel: cancel.clone(),
+                fault: FaultInjector::disabled(),
+                ids: (0..world).collect(),
             })
             .collect()
     }
@@ -74,6 +118,30 @@ impl Communicator {
         &self.link
     }
 
+    /// The cancellation token shared by every communicator in this cluster.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Attach a fault injector. `ids` maps current rank → stable node id
+    /// (identity for a full-size cluster; the survivor assignment after a
+    /// world shrink), so link faults keep targeting the same physical nodes.
+    pub fn set_fault_injector(&mut self, fault: FaultInjector, ids: Vec<usize>) {
+        debug_assert_eq!(ids.len(), self.world);
+        self.fault = fault;
+        self.ids = ids;
+    }
+
+    /// Start collective epoch `epoch`: rebase the sequence counter and drop
+    /// any traffic left over from an aborted attempt. The coordinator calls
+    /// this on every rank *between* dispatch attempts (all node threads
+    /// joined), which is what makes draining the channel safe.
+    pub fn begin_epoch(&mut self, epoch: u64) {
+        self.seq = epoch << 32;
+        self.pending.clear();
+        while self.receiver.try_recv().is_ok() {}
+    }
+
     /// Advance and return the collective sequence number.
     pub(crate) fn next_seq(&mut self) -> u64 {
         self.seq += 1;
@@ -86,6 +154,23 @@ impl Communicator {
         if peer >= self.world {
             return Err(NcclError::InvalidRank(peer));
         }
+        let mut injected_delay = Duration::ZERO;
+        if peer != self.rank {
+            let site = FaultSite::ExchangeSend {
+                src: self.ids[self.rank],
+                dst: self.ids[peer],
+            };
+            match self.fault.fire(site) {
+                Some(FaultAction::Fail) => {
+                    return Err(NcclError::LinkFault {
+                        src: self.ids[self.rank],
+                        dst: self.ids[peer],
+                    });
+                }
+                Some(FaultAction::Delay(d)) => injected_delay = d,
+                None => {}
+            }
+        }
         let bytes = table.byte_size() as u64;
         self.senders[peer]
             .send(Message {
@@ -97,21 +182,29 @@ impl Communicator {
         Ok(if peer == self.rank {
             Duration::ZERO
         } else {
-            self.link.transfer(bytes)
+            self.link.transfer(bytes) + injected_delay
         })
     }
 
     /// Receive the message from `peer` with sequence `seq`, buffering any
-    /// other traffic that arrives first.
+    /// other traffic that arrives first. Wakes with [`NcclError::Cancelled`]
+    /// if the cluster's cancel token trips while blocked.
     pub(crate) fn recv(&mut self, peer: usize, seq: u64) -> Result<Table> {
         if let Some(t) = self.pending.remove(&(peer, seq)) {
             return Ok(t);
         }
+        let deadline = std::time::Instant::now() + RECV_TIMEOUT;
         loop {
-            let msg = self
-                .receiver
-                .recv_timeout(RECV_TIMEOUT)
-                .map_err(|_| NcclError::Timeout { peer, seq })?;
+            if self.cancel.is_cancelled() {
+                return Err(NcclError::Cancelled);
+            }
+            let msg = match self.receiver.recv_timeout(CANCEL_POLL) {
+                Ok(m) => m,
+                Err(_) if std::time::Instant::now() >= deadline => {
+                    return Err(NcclError::Timeout { peer, seq });
+                }
+                Err(_) => continue,
+            };
             if msg.src == peer && msg.seq == seq {
                 return Ok(msg.table);
             }
@@ -176,5 +269,68 @@ mod tests {
         let mut comms = NcclCluster::new(1, catalog::infiniband_4xndr());
         let c = comms.pop().unwrap();
         assert!(matches!(c.send(5, 1, t(0)), Err(NcclError::InvalidRank(5))));
+    }
+
+    #[test]
+    fn cancel_wakes_blocked_recv() {
+        let comms = NcclCluster::new(2, catalog::infiniband_4xndr());
+        let token = comms[0].cancel_token();
+        let mut c0 = comms.into_iter().next().unwrap();
+        let h = std::thread::spawn(move || c0.recv(1, 1));
+        std::thread::sleep(Duration::from_millis(30));
+        token.cancel();
+        let got = h.join().unwrap();
+        assert_eq!(got.unwrap_err(), NcclError::Cancelled);
+    }
+
+    #[test]
+    fn injected_drop_surfaces_as_link_fault() {
+        use sirius_hw::{FaultInjector, FaultPlan};
+        let mut comms = NcclCluster::new(2, catalog::infiniband_4xndr());
+        let inj = FaultInjector::new(FaultPlan::new(0).drop_link(0, 1, 0, 1));
+        comms[0].set_fault_injector(inj, vec![0, 1]);
+        let c1 = comms.pop().unwrap();
+        let c0 = comms.pop().unwrap();
+        assert_eq!(
+            c0.send(1, 1, t(9)).unwrap_err(),
+            NcclError::LinkFault { src: 0, dst: 1 }
+        );
+        // Budget spent: the retry goes through.
+        let h = std::thread::spawn(move || c0.send(1, 2, t(9)).unwrap());
+        let mut c1 = c1;
+        assert_eq!(c1.recv(0, 2).unwrap().column(0).i64_value(0), Some(9));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn injected_delay_inflates_wire_time() {
+        use sirius_hw::{FaultInjector, FaultPlan};
+        let mut comms = NcclCluster::new(2, catalog::infiniband_4xndr());
+        let extra = Duration::from_millis(25);
+        let inj = FaultInjector::new(FaultPlan::new(0).delay_link(0, 1, extra, 0, 1));
+        comms[0].set_fault_injector(inj, vec![0, 1]);
+        let c1 = comms.pop().unwrap();
+        let c0 = comms.pop().unwrap();
+        let slow = c0.send(1, 1, t(1)).unwrap();
+        let fast = c0.send(1, 2, t(1)).unwrap();
+        assert!(slow >= fast + extra, "slow {slow:?} vs fast {fast:?}");
+        drop(c1);
+    }
+
+    #[test]
+    fn begin_epoch_discards_stale_traffic() {
+        let mut comms = NcclCluster::new(2, catalog::infiniband_4xndr());
+        let c1 = comms.pop().unwrap();
+        let mut c0 = comms.pop().unwrap();
+        // Leftovers from an aborted attempt: one buffered, one in-channel.
+        c1.send(0, 3, t(3)).unwrap();
+        c1.send(0, 4, t(4)).unwrap();
+        assert_eq!(c0.recv(1, 4).unwrap().num_rows(), 1); // buffers seq 3
+        c0.begin_epoch(1);
+        c1.send(0, (1 << 32) + 1, t(7)).unwrap();
+        assert_eq!(
+            c0.recv(1, (1 << 32) + 1).unwrap().column(0).i64_value(0),
+            Some(7)
+        );
     }
 }

@@ -21,7 +21,7 @@
 pub mod cluster;
 pub mod collectives;
 
-pub use cluster::{Communicator, NcclCluster};
+pub use cluster::{CancelToken, Communicator, NcclCluster};
 
 /// Errors from the communication layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,6 +40,17 @@ pub enum NcclError {
     },
     /// Rank argument out of range.
     InvalidRank(usize),
+    /// An injected link fault dropped the send (modeled as a NIC-level
+    /// transmit error, surfaced to the sender so tests need not wait out
+    /// the receive timeout).
+    LinkFault {
+        /// Sending node (original id).
+        src: usize,
+        /// Receiving node (original id).
+        dst: usize,
+    },
+    /// The operation was aborted by cluster-wide cancellation.
+    Cancelled,
 }
 
 impl std::fmt::Display for NcclError {
@@ -50,6 +61,10 @@ impl std::fmt::Display for NcclError {
                 write!(f, "timeout waiting for peer {peer} (seq {seq})")
             }
             NcclError::InvalidRank(r) => write!(f, "invalid rank {r}"),
+            NcclError::LinkFault { src, dst } => {
+                write!(f, "link fault on {src} -> {dst} (send dropped)")
+            }
+            NcclError::Cancelled => write!(f, "collective cancelled"),
         }
     }
 }

@@ -12,7 +12,9 @@ use sirius_tpch::{queries, TpchGenerator};
 fn build(kind: NodeEngineKind, data: &sirius_tpch::TpchData) -> DorisCluster {
     let mut cluster = DorisCluster::new(4, kind);
     for (name, table) in data.tables() {
-        cluster.create_table(name.clone(), table.clone());
+        cluster
+            .create_table(name.clone(), table.clone())
+            .expect("load table");
     }
     cluster.reset_ledgers();
     cluster
@@ -44,10 +46,28 @@ fn main() {
         );
     }
 
-    // The coordinator's heartbeat protection.
+    // Coordinator-driven recovery: kill a node and watch the query survive.
+    // The heartbeat lapse is detected at dispatch, the dead node's shards
+    // are re-partitioned onto the three survivors, and the query re-runs.
     sirius.heartbeats().mark_down(2);
-    match sirius.sql(queries::Q6) {
-        Err(e) => println!("\nafter killing node 2: {e}"),
-        Ok(_) => unreachable!("dispatch must be blocked"),
-    }
+    let recovered = sirius.sql(queries::Q6).expect("recovery");
+    println!(
+        "\nafter killing node 2: Q6 still answers ({} rows) — world shrank to {} nodes, \
+         reschedules={} shrinks={}",
+        recovered.table.num_rows(),
+        sirius.world(),
+        recovered.recovery.reschedules,
+        recovered.recovery.world_shrinks,
+    );
+
+    // Kill two more: below quorum the coordinator degrades to the
+    // single-node CPU engine instead of failing the query.
+    sirius.heartbeats().mark_down(0);
+    sirius.heartbeats().mark_down(1);
+    let degraded = sirius.sql(queries::Q6).expect("cpu fallback");
+    println!(
+        "after losing quorum: Q6 still answers ({} rows) via CPU fallback (cpu_fallbacks={})",
+        degraded.table.num_rows(),
+        degraded.recovery.cpu_fallbacks,
+    );
 }

@@ -9,7 +9,7 @@ use sirius_tpch::{queries, TpchGenerator};
 fn build(kind: NodeEngineKind, data: &sirius_tpch::TpchData, world: usize) -> DorisCluster {
     let mut c = DorisCluster::new(world, kind);
     for (name, table) in data.tables() {
-        c.create_table(name.clone(), table.clone());
+        c.create_table(name.clone(), table.clone()).unwrap();
     }
     c.reset_ledgers();
     c
@@ -37,6 +37,8 @@ fn distributed_subset_matches_single_node() {
             .unwrap_or_else(|e| panic!("Q{id} sirius: {e}"));
         assert_tables_equivalent(&format!("Q{id} doris"), &reference, &d.table);
         assert_tables_equivalent(&format!("Q{id} sirius"), &reference, &s.table);
+        assert_eq!(doris.temp_tables_live(), 0, "Q{id}: doris temp leak");
+        assert_eq!(sirius.temp_tables_live(), 0, "Q{id}: sirius temp leak");
     }
 }
 
@@ -54,6 +56,7 @@ fn sirius_cluster_beats_doris_cluster() {
             d.total(),
             s.total()
         );
+        assert_eq!(sirius.temp_tables_live(), 0, "Q{id}: sirius temp leak");
     }
 }
 
@@ -69,6 +72,7 @@ fn works_at_different_cluster_sizes() {
         let c = build(NodeEngineKind::SiriusGpu, &data, world);
         let out = c.sql(queries::Q6).unwrap();
         assert_tables_equivalent(&format!("Q6 world={world}"), &reference, &out.table);
+        assert_eq!(c.temp_tables_live(), 0, "world={world}: temp leak");
     }
 }
 
@@ -114,4 +118,5 @@ fn grouped_queries_beyond_the_paper_subset() {
     let c = build(NodeEngineKind::SiriusGpu, &data, 3);
     let out = c.sql(sql).unwrap();
     assert_tables_equivalent("grouped join", &reference, &out.table);
+    assert_eq!(c.temp_tables_live(), 0, "grouped join: temp leak");
 }
