@@ -1,0 +1,193 @@
+//! Kernel-level profiler: run TPC-H queries through the traced Sirius
+//! engine and emit the three telemetry artifacts.
+//!
+//! - `trace.json` — Chrome-trace/Perfetto JSON of every kernel, transfer,
+//!   sync, and operator span, timestamped on the *simulated* device clock
+//!   (load it at <https://ui.perfetto.dev>).
+//! - `qN.plan.txt` — EXPLAIN ANALYZE: the physical plan annotated with
+//!   per-operator rows, bytes, simulated busy time, and spill counts.
+//! - `metrics.prom` — Prometheus text snapshot (kernel launches, bytes by
+//!   category, spill traffic, pool high-watermark).
+//!
+//! Every query is verified two ways before anything is written: replaying
+//! the trace through a fresh ledger must reproduce the device ledger
+//! nanosecond-exact, and the Chrome export must pass structural validation
+//! (monotone timestamps per track, known categories, nonzero durations).
+//!
+//! Usage: `profile [--query N] [--sf F] [--out DIR]`
+//!   --query N   run only TPC-H QN (default: all 22)
+//!   --sf F      scale factor (default 0.01)
+//!   --out DIR   artifact directory (default target/profile)
+
+use sirius_core::SiriusEngine;
+use sirius_hw::{catalog as hw, CostCategory, TraceConfig};
+use sirius_tpch::{queries, TpchGenerator};
+use sirius_trace::chrome;
+use sirius_trace::metrics::MetricsRegistry;
+use std::path::PathBuf;
+
+fn main() {
+    let (query, sf, out_dir) = parse_args();
+    std::fs::create_dir_all(&out_dir).expect("create out dir");
+
+    // Plan through DuckDB (the host), execute on the traced GPU engine.
+    let data = TpchGenerator::new(sf).generate();
+    let mut duck = sirius_duckdb::DuckDb::new();
+    let engine = SiriusEngine::new(hw::gh200_gpu()).with_trace(TraceConfig::On);
+    for (name, table) in data.tables() {
+        duck.create_table(name.clone(), table.clone());
+        engine.load_table(name.clone(), table);
+    }
+
+    let known_cats: Vec<&str> = CostCategory::ALL
+        .iter()
+        .map(|c| c.label())
+        .chain(["marker", "op", "lifecycle"])
+        .collect();
+    let metrics = MetricsRegistry::new();
+    metrics.describe(
+        "sirius_kernel_launches_total",
+        "Kernel events by cost category.",
+    );
+    metrics.describe(
+        "sirius_kernel_bytes_total",
+        "Bytes moved by kernel events, by category.",
+    );
+    metrics.describe(
+        "sirius_spill_bytes_total",
+        "Bytes written to or read from spill tiers.",
+    );
+    metrics.describe(
+        "sirius_pool_hwm_bytes",
+        "Processing-pool high watermark across the run.",
+    );
+    metrics.describe("sirius_query_sim_ns", "Simulated device time per query.");
+
+    let selected: Vec<(u32, &'static str)> = queries::all()
+        .into_iter()
+        .filter(|(id, _)| query.is_none_or(|q| q == *id))
+        .collect();
+    assert!(
+        !selected.is_empty(),
+        "no such query: Q{}",
+        query.unwrap_or(0)
+    );
+
+    let mut processes: Vec<(String, Vec<sirius_trace::TraceEvent>)> = Vec::new();
+    println!(
+        "{:>4} {:>10} {:>14} {:>8} {:>12}  plan",
+        "Q", "rows", "sim time", "events", "reconciled"
+    );
+    for (id, sql) in &selected {
+        // Rebase the simulated clock per query; the trace must restart with
+        // it or pre-reset timestamps would violate monotonicity.
+        engine.device().reset();
+        engine.trace().clear();
+        engine.clear_operator_stats();
+
+        let plan = duck.plan(sql).unwrap_or_else(|e| panic!("Q{id} plan: {e}"));
+        let table = engine
+            .execute(&plan)
+            .unwrap_or_else(|e| panic!("Q{id} execute: {e}"));
+        let events = engine.trace().events();
+
+        // The trace IS the ledger: replaying it must land on the same
+        // breakdown, to the nanosecond.
+        let replayed = sirius_hw::ledger::replay(&events);
+        let live = engine.device().breakdown();
+        assert_eq!(
+            replayed, live,
+            "Q{id}: trace replay disagrees with the device ledger"
+        );
+        chrome::validate(&events, &known_cats)
+            .unwrap_or_else(|v| panic!("Q{id}: invalid chrome trace: {v:?}"));
+
+        for ev in &events {
+            if matches!(ev.kind, sirius_trace::EventKind::Kernel) {
+                metrics.counter_inc("sirius_kernel_launches_total", &[("cat", ev.cat)]);
+                metrics.counter_add("sirius_kernel_bytes_total", &[("cat", ev.cat)], ev.bytes);
+                if ev.label.starts_with("spill.") {
+                    metrics.counter_add("sirius_spill_bytes_total", &[], ev.bytes);
+                }
+            }
+        }
+        let pool = engine.buffer_manager().regions().processing().stats();
+        metrics.gauge_max("sirius_pool_hwm_bytes", &[], pool.high_watermark as f64);
+        let q = format!("q{id}");
+        metrics.gauge_set(
+            "sirius_query_sim_ns",
+            &[("query", &q)],
+            live.total().as_nanos() as f64,
+        );
+
+        let plan_path = out_dir.join(format!("q{id}.plan.txt"));
+        std::fs::write(&plan_path, engine.explain_analyze(&plan)).expect("write plan");
+        println!(
+            "{:>4} {:>10} {:>14} {:>8} {:>12}  {}",
+            format!("Q{id}"),
+            table.num_rows(),
+            format!("{:.3?}", live.total()),
+            events.len(),
+            "exact",
+            plan_path.display()
+        );
+        processes.push((format!("Q{id}"), events));
+    }
+
+    let trace_path = out_dir.join("trace.json");
+    std::fs::write(&trace_path, chrome::export_processes(&processes)).expect("write trace");
+    let metrics_path = out_dir.join("metrics.prom");
+    std::fs::write(&metrics_path, metrics.render()).expect("write metrics");
+
+    // Disabled tracing must record nothing — the zero-overhead contract the
+    // CI smoke job pins.
+    let off = SiriusEngine::new(hw::gh200_gpu());
+    for (name, table) in data.tables() {
+        off.load_table(name.clone(), table);
+    }
+    off.device().reset();
+    let (id, sql) = selected[0];
+    let plan = duck.plan(sql).expect("plan");
+    off.execute(&plan).expect("untraced execute");
+    assert!(!off.trace().enabled(), "default sink must be off");
+    assert_eq!(
+        off.trace().events_recorded(),
+        0,
+        "Q{id}: disabled sink recorded events"
+    );
+    println!("\ntrace-off check: 0 events recorded on an untraced run of Q{id}");
+
+    println!(
+        "wrote {} and {} — load trace.json at https://ui.perfetto.dev",
+        trace_path.display(),
+        metrics_path.display()
+    );
+}
+
+fn parse_args() -> (Option<u32>, f64, PathBuf) {
+    let mut query = None;
+    let mut sf = 0.01;
+    let mut out = PathBuf::from("target/profile");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--query" | "-q" => {
+                let v = args.next().expect("--query takes a number");
+                query = Some(v.parse().expect("--query takes a number"));
+            }
+            "--sf" => {
+                let v = args.next().expect("--sf takes a float");
+                sf = v.parse().expect("--sf takes a float");
+            }
+            "--out" | "-o" => {
+                out = PathBuf::from(args.next().expect("--out takes a path"));
+            }
+            "--help" | "-h" => {
+                println!("usage: profile [--query N] [--sf F] [--out DIR]");
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other} (try --help)"),
+        }
+    }
+    (query, sf, out)
+}

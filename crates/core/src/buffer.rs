@@ -70,10 +70,17 @@ impl BufferManager {
         let name = name.into();
         let bytes = table.byte_size() as u64;
         let wire = self.host_link.transfer(bytes);
-        self.device.charge_duration(CostCategory::Other, wire);
-        // Deep copy on ingest (one streamed pass each way).
-        self.device.charge(
+        self.device.charge_duration_labeled(
             CostCategory::Other,
+            "xfer.host_to_device",
+            wire,
+            bytes,
+            table.num_rows() as u64,
+        );
+        // Deep copy on ingest (one streamed pass each way).
+        self.device.charge_labeled(
+            CostCategory::Other,
+            "format.ingest_copy",
             &WorkProfile::scan(2 * bytes).with_rows(table.num_rows() as u64),
         );
         self.cache.insert(name, table.clone(), bytes)
@@ -102,14 +109,28 @@ impl BufferManager {
         match tier {
             CacheTier::Device => {}
             CacheTier::PinnedHost => {
-                let wire = self.host_link.transfer(table.byte_size() as u64);
-                self.device.charge_duration(CostCategory::Other, wire);
+                let bytes = table.byte_size() as u64;
+                let wire = self.host_link.transfer(bytes);
+                self.device.charge_duration_labeled(
+                    CostCategory::Other,
+                    "xfer.pinned_cache_read",
+                    wire,
+                    bytes,
+                    table.num_rows() as u64,
+                );
             }
             CacheTier::Disk => {
                 // Out-of-core tier (§3.4): charged as a storage read at
                 // one quarter of the interconnect bandwidth.
-                let wire = self.host_link.transfer(4 * table.byte_size() as u64);
-                self.device.charge_duration(CostCategory::Other, wire);
+                let bytes = table.byte_size() as u64;
+                let wire = self.host_link.transfer(4 * bytes);
+                self.device.charge_duration_labeled(
+                    CostCategory::Other,
+                    "xfer.disk_cache_read",
+                    wire,
+                    bytes,
+                    table.num_rows() as u64,
+                );
             }
         }
         Ok(table)
@@ -195,11 +216,16 @@ impl BufferManager {
                 "spill tiers exhausted: {bytes} B partition exceeds remaining pinned+disk space"
             ))
         })?;
-        let wire = match ticket.tier() {
-            sirius_spill::SpillTier::Pinned => self.host_link.transfer(bytes),
-            sirius_spill::SpillTier::Disk => self.host_link.transfer(4 * bytes),
+        let (wire, label) = match ticket.tier() {
+            sirius_spill::SpillTier::Pinned => {
+                (self.host_link.transfer(bytes), "spill.pinned.write")
+            }
+            sirius_spill::SpillTier::Disk => {
+                (self.host_link.transfer(4 * bytes), "spill.disk.write")
+            }
         };
-        self.device.charge_duration(CostCategory::Exchange, wire);
+        self.device
+            .charge_duration_labeled(CostCategory::Exchange, label, wire, bytes, 0);
         Ok(ticket)
     }
 
@@ -207,11 +233,16 @@ impl BufferManager {
     /// symmetric bandwidth for its tier.
     pub fn spill_read(&self, ticket: &SpillTicket) {
         let bytes = ticket.bytes();
-        let wire = match ticket.tier() {
-            sirius_spill::SpillTier::Pinned => self.host_link.transfer(bytes),
-            sirius_spill::SpillTier::Disk => self.host_link.transfer(4 * bytes),
+        let (wire, label) = match ticket.tier() {
+            sirius_spill::SpillTier::Pinned => {
+                (self.host_link.transfer(bytes), "spill.pinned.read")
+            }
+            sirius_spill::SpillTier::Disk => {
+                (self.host_link.transfer(4 * bytes), "spill.disk.read")
+            }
         };
-        self.device.charge_duration(CostCategory::Exchange, wire);
+        self.device
+            .charge_duration_labeled(CostCategory::Exchange, label, wire, bytes, 0);
         self.spill.note_read(bytes);
     }
 
@@ -232,8 +263,9 @@ impl BufferManager {
     pub fn to_cudf_indices(&self, indices: &[u64]) -> Result<Vec<i32>> {
         let out: std::result::Result<Vec<i32>, _> =
             indices.iter().map(|&i| i32::try_from(i)).collect();
-        self.device.charge(
+        self.device.charge_labeled(
             CostCategory::Other,
+            "format.index_convert",
             &WorkProfile::scan((indices.len() * 12) as u64).with_rows(indices.len() as u64),
         );
         out.map_err(|_| SiriusError::Kernel("row index exceeds libcudf's i32 range".into()))

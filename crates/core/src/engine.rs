@@ -13,6 +13,7 @@
 //! folding overlapped stream time back into the serial lane.
 
 use crate::buffer::BufferManager;
+use crate::explain::{self, OpStats};
 use crate::exprs::evaluate;
 use crate::metrics::MorselStats;
 use crate::pipeline::{decompose, TaskQueue};
@@ -29,12 +30,15 @@ use sirius_cudf::reduce::reduce;
 use sirius_cudf::sort::{sort_indices, SortKey};
 use sirius_cudf::unique::distinct;
 use sirius_cudf::GpuContext;
-use sirius_hw::{catalog, CostCategory, Device, DeviceSpec, Link, WorkProfile};
+use sirius_hw::{
+    catalog, CostCategory, Device, DeviceSpec, Link, TraceConfig, TraceSink, WorkProfile,
+};
 use sirius_plan::expr::{AggExpr, Expr, SortExpr};
 use sirius_plan::validate::FeatureSet;
 use sirius_plan::{AggFunc, JoinKind, Rel};
 use sirius_spill::{MemoryGrant, SpillConfig, SpillStats};
 use std::cmp::Ordering;
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -81,6 +85,32 @@ impl Default for MorselConfig {
     }
 }
 
+/// A plan node's pre-order id and tree depth, threaded through execution so
+/// tracing can attribute kernels, spans, and runtime stats to the operator
+/// that caused them. Ids use pre-order numbering (root = 0, children
+/// depth-first left-to-right), matching [`explain::render`].
+#[derive(Debug, Clone, Copy)]
+struct NodeRef {
+    id: u32,
+    depth: u32,
+}
+
+impl NodeRef {
+    const ROOT: NodeRef = NodeRef { id: 0, depth: 0 };
+
+    /// The child starting `offset` pre-order slots after `self + 1` (the
+    /// subtree sizes of the preceding siblings).
+    fn child(self, offset: u32) -> NodeRef {
+        NodeRef {
+            id: self.id + 1 + offset,
+            depth: self.depth + 1,
+        }
+    }
+}
+
+/// Shared per-node runtime stats, allocated only when tracing is enabled.
+type SharedOpStats = Arc<Mutex<HashMap<u32, OpStats>>>;
+
 /// The Sirius GPU engine for one device.
 pub struct SiriusEngine {
     device: Device,
@@ -92,6 +122,12 @@ pub struct SiriusEngine {
     /// Fault injector + this node's stable id, polled at kernel launch.
     fault: sirius_hw::FaultInjector,
     node_id: usize,
+    /// Trace recorder shared with the device ledger (disabled by default:
+    /// every instrumentation site below is a single branch).
+    trace: TraceSink,
+    /// Per-plan-node runtime stats behind `EXPLAIN ANALYZE`; `None` unless
+    /// tracing is on, so the disabled path allocates nothing.
+    op_stats: Option<SharedOpStats>,
 }
 
 impl SiriusEngine {
@@ -131,7 +167,27 @@ impl SiriusEngine {
             stats: Arc::new(Mutex::new(MorselStats::default())),
             fault: sirius_hw::FaultInjector::disabled(),
             node_id: 0,
+            trace: TraceSink::off(),
+            op_stats: None,
         }
+    }
+
+    /// Enable (or disable) kernel/operator tracing. When on, every ledger
+    /// charge emits a kernel event, the executor opens operator spans, and
+    /// per-node runtime stats accumulate behind
+    /// [`explain_analyze`](Self::explain_analyze). When off (the default)
+    /// the instrumentation is a single branch per site and allocates
+    /// nothing.
+    pub fn with_trace(mut self, config: TraceConfig) -> Self {
+        let sink = config.sink();
+        self.device.set_trace(sink.clone());
+        self.op_stats = if sink.enabled() {
+            Some(Arc::new(Mutex::new(HashMap::new())))
+        } else {
+            None
+        };
+        self.trace = sink;
+        self
     }
 
     /// Restrict the supported feature set (used to exercise host fallback
@@ -187,6 +243,38 @@ impl SiriusEngine {
         self.stats.lock().clone()
     }
 
+    /// The trace recorder (disabled unless [`with_trace`](Self::with_trace)
+    /// enabled it).
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Snapshot of the per-plan-node runtime stats accumulated since the
+    /// last [`clear_operator_stats`](Self::clear_operator_stats) (empty
+    /// when tracing is off).
+    pub fn operator_stats(&self) -> HashMap<u32, OpStats> {
+        match &self.op_stats {
+            Some(s) => s.lock().clone(),
+            None => HashMap::new(),
+        }
+    }
+
+    /// Reset the per-node runtime stats (e.g. between queries profiled on
+    /// one engine).
+    pub fn clear_operator_stats(&self) {
+        if let Some(s) = &self.op_stats {
+            s.lock().clear();
+        }
+    }
+
+    /// `EXPLAIN ANALYZE`: the plan annotated with each operator's actual
+    /// rows, bytes, simulated time, and spill partitions from the last
+    /// traced execution. Requires [`with_trace`](Self::with_trace);
+    /// untraced engines render every node as data-free.
+    pub fn explain_analyze(&self, plan: &Rel) -> String {
+        explain::render(plan, &self.operator_stats())
+    }
+
     /// The simulated device (time ledger).
     pub fn device(&self) -> &Device {
         &self.device
@@ -238,7 +326,7 @@ impl SiriusEngine {
                     .saturating_mul(pipelines.len() as u64),
             ),
         );
-        self.run(plan)
+        self.run(plan, NodeRef::ROOT)
     }
 
     /// Number of pipelines the plan decomposes into.
@@ -250,19 +338,55 @@ impl SiriusEngine {
         GpuContext::new(self.device.clone(), category)
     }
 
-    fn run(&self, plan: &Rel) -> Result<Table> {
+    /// Execute `plan`, recording a cumulative operator span + runtime stats
+    /// for pipeline-breaker nodes when tracing is on. Streaming nodes
+    /// (scan / filter / project / join-probe) are instrumented per-wave in
+    /// [`Self::run_ops_wave`] instead — one span per operator covering the
+    /// morsel wave, exclusive per-lane busy time per morsel.
+    fn run(&self, plan: &Rel, node: NodeRef) -> Result<Table> {
+        let breaker = !matches!(
+            plan,
+            Rel::Read { .. } | Rel::Filter { .. } | Rel::Project { .. } | Rel::Join { .. }
+        );
+        if !breaker || !self.trace.enabled() {
+            return self.run_inner(plan, node);
+        }
+        let t0 = self.device.elapsed();
+        let out = self.run_inner(plan, node)?;
+        let window = self.device.elapsed().saturating_sub(t0);
+        self.trace.span(
+            "op",
+            breaker_label(plan),
+            t0.as_nanos() as u64,
+            window.as_nanos() as u64,
+            out.byte_size() as u64,
+            out.num_rows() as u64,
+            node.id,
+            node.depth,
+        );
+        if let Some(stats) = &self.op_stats {
+            stats.lock().entry(node.id).or_default().note(
+                out.num_rows() as u64,
+                out.byte_size() as u64,
+                window,
+            );
+        }
+        Ok(out)
+    }
+
+    fn run_inner(&self, plan: &Rel, node: NodeRef) -> Result<Table> {
         match plan {
             Rel::Read { .. } | Rel::Filter { .. } | Rel::Project { .. } | Rel::Join { .. } => {
-                let morsels = self.run_pipeline(plan)?;
+                let morsels = self.run_pipeline(plan, node)?;
                 Ok(concat_morsels(plan.schema()?, &morsels))
             }
             Rel::Aggregate {
                 input,
                 group_by: keys,
                 aggregates,
-            } => self.run_aggregate(plan, input, keys, aggregates),
+            } => self.run_aggregate(plan, input, keys, aggregates, node),
             Rel::Sort { input, keys } => {
-                let t = self.run(input)?;
+                let t = self.run(input, node.child(0))?;
                 match self.bufmgr.request_grant((t.byte_size() as u64).max(1024)) {
                     Ok(_buf) => {
                         let ctx = self.ctx(CostCategory::OrderBy);
@@ -282,7 +406,7 @@ impl SiriusEngine {
                     }
                     // The sort buffer doesn't fit: sort spilled runs and
                     // merge them back (§3.4 out-of-core).
-                    Err(_) => self.external_sort(&t, keys),
+                    Err(_) => self.external_sort(&t, keys, node),
                 }
             }
             Rel::Limit {
@@ -290,7 +414,7 @@ impl SiriusEngine {
                 offset,
                 fetch,
             } => {
-                let t = self.run(input)?;
+                let t = self.run(input, node.child(0))?;
                 let ctx = self.ctx(CostCategory::Other);
                 let start = (*offset).min(t.num_rows());
                 let end = match fetch {
@@ -301,14 +425,14 @@ impl SiriusEngine {
                 Ok(gather(&ctx, &t, &idx))
             }
             Rel::Distinct { input } => {
-                let t = self.run(input)?;
+                let t = self.run(input, node.child(0))?;
                 let ctx = self.ctx(CostCategory::GroupBy);
                 Ok(distinct(&ctx, &t)?)
             }
             // Single-node: the exchange layer is bypassed entirely
             // (§3.2.4); the distributed executor in `sirius-doris`
             // intercepts Exchange nodes before they reach this engine.
-            Rel::Exchange { input, .. } => self.run(input),
+            Rel::Exchange { input, .. } => self.run(input, node.child(0)),
         }
     }
 
@@ -318,10 +442,10 @@ impl SiriusEngine {
     /// morsel through the chain as its own task. Results come back in
     /// morsel order; the streams are synchronized before returning (every
     /// pipeline ends at a breaker or the result).
-    fn run_pipeline(&self, plan: &Rel) -> Result<Vec<Table>> {
+    fn run_pipeline(&self, plan: &Rel, node: NodeRef) -> Result<Vec<Table>> {
         let mut ops: Vec<MorselOp> = Vec::new();
         let mut holds: Vec<MemoryGrant> = Vec::new();
-        let source = self.collect_pipeline(plan, &mut ops, &mut holds)?;
+        let source = self.collect_pipeline(plan, node, &mut ops, &mut holds)?;
         let chunks = self.chunk_and_count(&source);
         let results = self.run_ops_wave(&Arc::new(ops), chunks);
         drop(holds);
@@ -340,17 +464,20 @@ impl SiriusEngine {
     fn run_ops_wave(&self, ops: &Arc<Vec<MorselOp>>, chunks: Vec<Table>) -> Result<Vec<Table>> {
         let streams = self.workers().max(1);
         let overhead = self.task_overhead();
+        let wave_start = self.wave_start();
+        let op_stats = self.op_stats.clone();
         let tasks: Vec<Box<dyn FnOnce() -> Result<Table> + Send>> = chunks
             .into_iter()
             .enumerate()
             .map(|(i, morsel)| {
                 let device = self.device.on_stream(i % streams);
                 let ops = Arc::clone(ops);
+                let op_stats = op_stats.clone();
                 let f: Box<dyn FnOnce() -> Result<Table> + Send> = Box::new(move || {
                     device.charge_duration(CostCategory::Other, overhead);
                     let mut t = morsel;
                     for op in ops.iter() {
-                        t = op.apply(&device, t)?;
+                        t = op.apply(&device, t, op_stats.as_deref())?;
                     }
                     Ok(t)
                 });
@@ -359,7 +486,41 @@ impl SiriusEngine {
             .collect();
         let results = self.dispatch(tasks);
         self.device.sync_streams();
+        self.wave_spans(ops, wave_start);
         results.into_iter().collect()
+    }
+
+    /// The simulated instant a morsel wave begins (only read when tracing).
+    fn wave_start(&self) -> Duration {
+        if self.trace.enabled() {
+            self.device.elapsed()
+        } else {
+            Duration::ZERO
+        }
+    }
+
+    /// After a wave's stream sync: one span per streaming operator in the
+    /// chain, covering the wave's simulated window. A wave starts right
+    /// after the previous sync (no streams in flight), so its window lines
+    /// up exactly with the lane-local kernel timestamps inside it.
+    fn wave_spans(&self, ops: &[MorselOp], wave_start: Duration) {
+        if !self.trace.enabled() {
+            return;
+        }
+        let dur = self.device.elapsed().saturating_sub(wave_start);
+        for op in ops {
+            let (label, node) = op.span_info();
+            self.trace.span(
+                "op",
+                label,
+                wave_start.as_nanos() as u64,
+                dur.as_nanos() as u64,
+                0,
+                0,
+                node.id,
+                node.depth,
+            );
+        }
     }
 
     /// Gather the streaming operator chain feeding `rel` and return the
@@ -369,6 +530,7 @@ impl SiriusEngine {
     fn collect_pipeline(
         &self,
         rel: &Rel,
+        node: NodeRef,
         ops: &mut Vec<MorselOp>,
         holds: &mut Vec<MemoryGrant>,
     ) -> Result<Table> {
@@ -383,40 +545,43 @@ impl SiriusEngine {
                 };
                 // The scan pass over the cached columns is charged
                 // per-morsel, on the morsel's stream.
-                ops.push(MorselOp::Scan);
+                ops.push(MorselOp::Scan { node });
                 Ok(t)
             }
             Rel::Filter { input, predicate } => {
-                let t = self.collect_pipeline(input, ops, holds)?;
+                let t = self.collect_pipeline(input, node.child(0), ops, holds)?;
                 // Scan+filter fusion: a filter directly over a cached scan
                 // evaluates the predicate during the scan pass instead of
-                // re-reading the materialized input.
-                if matches!(ops.last(), Some(MorselOp::Scan)) {
+                // re-reading the materialized input. The scan node keeps no
+                // stats of its own and renders as `(fused)`.
+                if matches!(ops.last(), Some(MorselOp::Scan { .. })) {
                     ops.pop();
                 }
                 // Conjunction coalescing: planners emit one Filter node per
                 // conjunct. Folding a filter chain into a single AND tree
                 // evaluates the whole predicate in one fused kernel and
                 // selects the passing rows once, instead of materializing a
-                // shrinking intermediate per conjunct.
+                // shrinking intermediate per conjunct. The merged op is
+                // attributed to the outermost filter node.
                 let predicate = match ops.pop() {
-                    Some(MorselOp::Filter { predicate: prev }) => {
-                        sirius_plan::expr::and(prev, predicate.clone())
-                    }
+                    Some(MorselOp::Filter {
+                        predicate: prev, ..
+                    }) => sirius_plan::expr::and(prev, predicate.clone()),
                     Some(other) => {
                         ops.push(other);
                         predicate.clone()
                     }
                     None => predicate.clone(),
                 };
-                ops.push(MorselOp::Filter { predicate });
+                ops.push(MorselOp::Filter { predicate, node });
                 Ok(t)
             }
             Rel::Project { input, exprs } => {
-                let t = self.collect_pipeline(input, ops, holds)?;
+                let t = self.collect_pipeline(input, node.child(0), ops, holds)?;
                 ops.push(MorselOp::Project {
                     exprs: exprs.iter().map(|(e, _)| e.clone()).collect(),
                     schema: rel.schema()?,
+                    node,
                 });
                 Ok(t)
             }
@@ -428,17 +593,22 @@ impl SiriusEngine {
                 right_keys,
                 residual,
             } => {
+                let left_node = node.child(0);
+                let right_node = node.child(explain::subtree_size(left));
                 // Build side (right) runs as its own pipeline task on the
                 // global queue; the hash table is built once and shared
                 // read-only by every probe morsel.
                 let engine = self.share();
                 let right_plan = (**right).clone();
-                let rt = self.queue.run(move || engine.run(&right_plan))?;
+                let rt = self
+                    .queue
+                    .run(move || engine.run(&right_plan, right_node))?;
                 // Hash table lives in the processing region until the last
                 // probe morsel is done.
                 match self.bufmgr.request_grant((rt.byte_size() as u64).max(1024)) {
                     Ok(grant) => {
                         holds.push(grant);
+                        let build_start = self.wave_start();
                         let ctx = self.ctx(CostCategory::Join);
                         let ht = if left_keys.is_empty() {
                             None
@@ -450,7 +620,25 @@ impl SiriusEngine {
                             let rrefs: Vec<&Array> = rk.iter().collect();
                             Some(Arc::new(build_hash_table(&ctx, &rrefs, rt.num_rows())?))
                         };
-                        let source = self.collect_pipeline(left, ops, holds)?;
+                        if self.trace.enabled() {
+                            let dur = self.device.elapsed().saturating_sub(build_start);
+                            self.trace.span(
+                                "op",
+                                "join-build",
+                                build_start.as_nanos() as u64,
+                                dur.as_nanos() as u64,
+                                rt.byte_size() as u64,
+                                rt.num_rows() as u64,
+                                node.id,
+                                node.depth,
+                            );
+                            if let Some(stats) = &self.op_stats {
+                                // Build time only: the probe morsels add
+                                // their rows and lane time as they run.
+                                stats.lock().entry(node.id).or_default().busy += dur;
+                            }
+                        }
+                        let source = self.collect_pipeline(left, left_node, ops, holds)?;
                         ops.push(MorselOp::Probe {
                             ht,
                             rt,
@@ -458,6 +646,7 @@ impl SiriusEngine {
                             left_keys: left_keys.clone(),
                             residual: residual.clone(),
                             schema: rel.schema()?,
+                            node,
                         });
                         Ok(source)
                     }
@@ -471,8 +660,9 @@ impl SiriusEngine {
                     // partitioned and spilled, and the joined table becomes
                     // this pipeline's source (like any other breaker).
                     Err(_) => {
-                        let lt = self.materialize_pipeline(left)?;
-                        self.grace_join(
+                        let lt = self.materialize_pipeline(left, left_node)?;
+                        let grace_start = self.wave_start();
+                        let out = self.grace_join(
                             &lt,
                             &rt,
                             *kind,
@@ -480,14 +670,29 @@ impl SiriusEngine {
                             right_keys,
                             residual,
                             rel.schema()?,
+                            node,
                             0,
-                        )
+                        )?;
+                        if self.trace.enabled() {
+                            let dur = self.device.elapsed().saturating_sub(grace_start);
+                            self.trace.span(
+                                "op",
+                                "spill-partition",
+                                grace_start.as_nanos() as u64,
+                                dur.as_nanos() as u64,
+                                out.byte_size() as u64,
+                                out.num_rows() as u64,
+                                node.id,
+                                node.depth,
+                            );
+                        }
+                        Ok(out)
                     }
                 }
             }
             // A pipeline breaker below: run it to completion; its
             // materialized output is this pipeline's source.
-            _ => self.run(rel),
+            _ => self.run(rel, node),
         }
     }
 
@@ -505,10 +710,11 @@ impl SiriusEngine {
         input: &Rel,
         keys: &[Expr],
         aggregates: &[AggExpr],
+        node: NodeRef,
     ) -> Result<Table> {
         let mut raw_ops: Vec<MorselOp> = Vec::new();
         let mut holds: Vec<MemoryGrant> = Vec::new();
-        let source = self.collect_pipeline(input, &mut raw_ops, &mut holds)?;
+        let source = self.collect_pipeline(input, node.child(0), &mut raw_ops, &mut holds)?;
         let chunks = self.chunk_and_count(&source);
         let ops = Arc::new(raw_ops);
         let category = if keys.is_empty() {
@@ -531,7 +737,7 @@ impl SiriusEngine {
                 let morsels = self.run_ops_wave(&ops, chunks)?;
                 drop(holds);
                 let t = concat_morsels(input.schema()?, &morsels);
-                return self.spilling_aggregate(&t, keys, aggregates, schema, category, 0);
+                return self.spilling_aggregate(&t, keys, aggregates, schema, category, node, 0);
             }
         };
         let pplan = match PartialAggPlan::new(&kinds) {
@@ -555,6 +761,8 @@ impl SiriusEngine {
 
         if keys.is_empty() {
             // Per-morsel pipeline + partial reductions.
+            let wave_start = self.wave_start();
+            let op_stats = self.op_stats.clone();
             let tasks: Vec<Box<dyn FnOnce() -> Result<Vec<Scalar>> + Send>> = chunks
                 .into_iter()
                 .enumerate()
@@ -563,11 +771,12 @@ impl SiriusEngine {
                     let ops = Arc::clone(&ops);
                     let aggs = Arc::clone(&aggs);
                     let pplan = Arc::clone(&pplan);
+                    let op_stats = op_stats.clone();
                     let f: Box<dyn FnOnce() -> Result<Vec<Scalar>> + Send> = Box::new(move || {
                         device.charge_duration(CostCategory::Other, overhead);
                         let mut m = m;
                         for op in ops.iter() {
-                            m = op.apply(&device, m)?;
+                            m = op.apply(&device, m, op_stats.as_deref())?;
                         }
                         let ctx = GpuContext::new(device, category);
                         let inputs = agg_inputs(&ctx, &aggs, &m)?;
@@ -590,6 +799,7 @@ impl SiriusEngine {
             let partials: Vec<Vec<Scalar>> =
                 self.dispatch(tasks).into_iter().collect::<Result<_>>()?;
             self.device.sync_streams();
+            self.wave_spans(&ops, wave_start);
 
             // Merge the partial accumulators (serial: the breaker).
             let ctx = self.ctx(category);
@@ -607,6 +817,8 @@ impl SiriusEngine {
             Ok(scalar_table(&pplan.finalize_scalars(&merged), &schema))
         } else {
             // Per-morsel pipeline + partial group-by.
+            let wave_start = self.wave_start();
+            let op_stats = self.op_stats.clone();
             let keys_arc: Arc<Vec<Expr>> = Arc::new(keys.to_vec());
             let tasks: Vec<PartialGroupTask> = chunks
                 .into_iter()
@@ -617,11 +829,12 @@ impl SiriusEngine {
                     let aggs = Arc::clone(&aggs);
                     let keys = Arc::clone(&keys_arc);
                     let pplan = Arc::clone(&pplan);
+                    let op_stats = op_stats.clone();
                     let f: PartialGroupTask = Box::new(move || {
                         device.charge_duration(CostCategory::Other, overhead);
                         let mut m = m;
                         for op in ops.iter() {
-                            m = op.apply(&device, m)?;
+                            m = op.apply(&device, m, op_stats.as_deref())?;
                         }
                         let ctx = GpuContext::new(device, category);
                         let key_cols: Vec<Array> = keys
@@ -647,6 +860,7 @@ impl SiriusEngine {
             let parts: Vec<(Vec<Array>, Vec<Array>)> =
                 self.dispatch(tasks).into_iter().collect::<Result<_>>()?;
             self.device.sync_streams();
+            self.wave_spans(&ops, wave_start);
 
             // Merge at the breaker: concatenate the per-morsel partial
             // tables and re-aggregate with the merge kinds. Concatenation
@@ -735,8 +949,8 @@ impl SiriusEngine {
 
     /// Run `rel` as a full pipeline and concatenate its morsel outputs (the
     /// spilling operators consume materialized inputs).
-    fn materialize_pipeline(&self, rel: &Rel) -> Result<Table> {
-        let morsels = self.run_pipeline(rel)?;
+    fn materialize_pipeline(&self, rel: &Rel, node: NodeRef) -> Result<Table> {
+        let morsels = self.run_pipeline(rel, node)?;
         Ok(concat_morsels(rel.schema()?, &morsels))
     }
 
@@ -768,6 +982,7 @@ impl SiriusEngine {
         right_keys: &[Expr],
         residual: &Option<Expr>,
         schema: Schema,
+        node: NodeRef,
         depth: u32,
     ) -> Result<Table> {
         let need = (rt.byte_size() as u64).max(1024);
@@ -787,8 +1002,9 @@ impl SiriusEngine {
                     left_keys: left_keys.to_vec(),
                     residual: residual.clone(),
                     schema,
+                    node,
                 };
-                op.apply(&self.device, lt.clone())
+                op.apply(&self.device, lt.clone(), self.op_stats.as_deref())
             }
             Err(_) if depth >= MAX_SPILL_DEPTH => Err(SiriusError::OutOfMemory(format!(
                 "join build side of {} B still exceeds the processing region after \
@@ -812,6 +1028,7 @@ impl SiriusEngine {
                     hash_partition(&ctx, &lk.iter().collect::<Vec<_>>(), lt, parts, depth)?;
                 self.bufmgr.note_repartition(depth + 1);
                 let mut outs = Vec::with_capacity(parts);
+                let mut spilled = 0u64;
                 for (lp, rp) in lparts.iter().zip(&rparts) {
                     if lp.num_rows() == 0 && rp.num_rows() == 0 {
                         continue;
@@ -822,6 +1039,7 @@ impl SiriusEngine {
                     self.bufmgr.spill_read(&lticket);
                     self.bufmgr.spill_read(&rticket);
                     drop((lticket, rticket));
+                    spilled += 2;
                     outs.push(self.grace_join(
                         lp,
                         rp,
@@ -830,9 +1048,11 @@ impl SiriusEngine {
                         right_keys,
                         residual,
                         schema.clone(),
+                        node,
                         depth + 1,
                     )?);
                 }
+                self.note_spill(node, spilled);
                 Ok(concat_morsels(schema, &outs))
             }
         }
@@ -844,6 +1064,7 @@ impl SiriusEngine {
     /// stays exact), spill the partitions, and aggregate each on read-back.
     /// Ungrouped aggregates stream chunk-wise partials instead — they have
     /// no keys to partition on.
+    #[allow(clippy::too_many_arguments)]
     fn spilling_aggregate(
         &self,
         t: &Table,
@@ -851,6 +1072,7 @@ impl SiriusEngine {
         aggregates: &[AggExpr],
         schema: Schema,
         category: CostCategory,
+        node: NodeRef,
         depth: u32,
     ) -> Result<Table> {
         let need = (t.byte_size() as u64 / 2).max(1024);
@@ -879,6 +1101,7 @@ impl SiriusEngine {
         }
         self.bufmgr.note_repartition(depth + 1);
         let mut outs = Vec::with_capacity(parts);
+        let mut spilled = 0u64;
         for p in &pts {
             if p.num_rows() == 0 {
                 continue;
@@ -886,15 +1109,18 @@ impl SiriusEngine {
             let ticket = self.bufmgr.spill_write((p.byte_size() as u64).max(1))?;
             self.bufmgr.spill_read(&ticket);
             drop(ticket);
+            spilled += 1;
             outs.push(self.spilling_aggregate(
                 p,
                 keys,
                 aggregates,
                 schema.clone(),
                 category,
+                node,
                 depth + 1,
             )?);
         }
+        self.note_spill(node, spilled);
         Ok(concat_morsels(schema, &outs))
     }
 
@@ -1053,7 +1279,7 @@ impl SiriusEngine {
     /// grant, sort and spill each run, then stream the runs back through a
     /// k-way merge. Tie-breaking by run index preserves the stability of
     /// the in-memory sort (runs are consecutive input chunks).
-    fn external_sort(&self, t: &Table, keys: &[SortExpr]) -> Result<Table> {
+    fn external_sort(&self, t: &Table, keys: &[SortExpr], node: NodeRef) -> Result<Table> {
         let n = t.num_rows();
         if n == 0 {
             return Ok(t.clone());
@@ -1092,6 +1318,7 @@ impl SiriusEngine {
         for ticket in &tickets {
             self.bufmgr.spill_read(ticket);
         }
+        self.note_spill(node, tickets.len() as u64);
         drop(tickets);
         // Keys were evaluated (and charged) per run above; re-deriving them
         // in sorted order models the merge reading keys carried with the
@@ -1198,18 +1425,48 @@ impl SiriusEngine {
             stats: Arc::clone(&self.stats),
             fault: self.fault.clone(),
             node_id: self.node_id,
+            trace: self.trace.clone(),
+            op_stats: self.op_stats.clone(),
         }
+    }
+
+    /// Record spill partitions written by the operator at `node`.
+    fn note_spill(&self, node: NodeRef, partitions: u64) {
+        if partitions == 0 {
+            return;
+        }
+        if let Some(stats) = &self.op_stats {
+            stats.lock().entry(node.id).or_default().spill_partitions += partitions;
+        }
+    }
+}
+
+/// Trace-span label for a pipeline-breaker plan node.
+fn breaker_label(plan: &Rel) -> &'static str {
+    match plan {
+        Rel::Aggregate { group_by, .. } if group_by.is_empty() => "aggregate",
+        Rel::Aggregate { .. } => "group-by",
+        Rel::Sort { .. } => "sort",
+        Rel::Limit { .. } => "limit",
+        Rel::Distinct { .. } => "distinct",
+        Rel::Exchange { .. } => "exchange",
+        _ => "pipeline",
     }
 }
 
 /// One streaming operator applied to each morsel inside a pipeline task.
 enum MorselOp {
     /// The scan pass over the morsel's cached columns.
-    Scan,
+    Scan {
+        /// The plan node this scan belongs to.
+        node: NodeRef,
+    },
     /// Predicate evaluation + selection.
     Filter {
         /// The predicate expression.
         predicate: Expr,
+        /// The (outermost, after coalescing) plan node of the filter chain.
+        node: NodeRef,
     },
     /// Expression projection.
     Project {
@@ -1217,6 +1474,8 @@ enum MorselOp {
         exprs: Vec<Expr>,
         /// Output schema.
         schema: Schema,
+        /// The plan node.
+        node: NodeRef,
     },
     /// Hash-join probe (or cross-join expansion) against a pre-built build
     /// side. Pair order within a morsel matches the whole-column probe, so
@@ -1234,23 +1493,59 @@ enum MorselOp {
         residual: Option<Expr>,
         /// Join output schema (nullability from the join kind).
         schema: Schema,
+        /// The join plan node.
+        node: NodeRef,
     },
 }
 
 impl MorselOp {
-    fn apply(&self, device: &Device, t: Table) -> Result<Table> {
+    /// Span label + plan node for the operator-track trace span.
+    fn span_info(&self) -> (&'static str, NodeRef) {
         match self {
-            MorselOp::Scan => {
+            MorselOp::Scan { node } => ("scan", *node),
+            MorselOp::Filter { node, .. } => ("filter", *node),
+            MorselOp::Project { node, .. } => ("project", *node),
+            MorselOp::Probe { node, .. } => ("join-probe", *node),
+        }
+    }
+
+    /// Apply the operator to one morsel. With `stats`, the operator's
+    /// exclusive lane time (the delta of this task's stream lane) and output
+    /// cardinality are accumulated under its plan node.
+    fn apply(
+        &self,
+        device: &Device,
+        t: Table,
+        stats: Option<&Mutex<HashMap<u32, OpStats>>>,
+    ) -> Result<Table> {
+        let Some(stats) = stats else {
+            return self.apply_inner(device, t);
+        };
+        let before = device.lane_elapsed();
+        let out = self.apply_inner(device, t)?;
+        let busy = device.lane_elapsed().saturating_sub(before);
+        let (_, node) = self.span_info();
+        stats.lock().entry(node.id).or_default().note(
+            out.num_rows() as u64,
+            out.byte_size() as u64,
+            busy,
+        );
+        Ok(out)
+    }
+
+    fn apply_inner(&self, device: &Device, t: Table) -> Result<Table> {
+        match self {
+            MorselOp::Scan { .. } => {
                 let ctx = GpuContext::new(device.clone(), CostCategory::Filter);
                 ctx.charge(&WorkProfile::scan(t.byte_size() as u64).with_rows(t.num_rows() as u64));
                 Ok(t)
             }
-            MorselOp::Filter { predicate } => {
+            MorselOp::Filter { predicate, .. } => {
                 let ctx = GpuContext::new(device.clone(), CostCategory::Filter);
                 let mask = evaluate(&ctx, predicate, &t)?;
                 Ok(apply_filter(&ctx, &t, &mask)?)
             }
-            MorselOp::Project { exprs, schema } => {
+            MorselOp::Project { exprs, schema, .. } => {
                 let ctx = GpuContext::new(device.clone(), CostCategory::Project);
                 let cols: Vec<Array> = exprs
                     .iter()
@@ -1265,6 +1560,7 @@ impl MorselOp {
                 left_keys,
                 residual,
                 schema,
+                ..
             } => {
                 let ctx = GpuContext::new(device.clone(), CostCategory::Join);
                 let pairs = match ht {
@@ -1735,5 +2031,109 @@ mod tests {
             other < Duration::from_nanos(overhead * 5),
             "task dispatch should overlap across streams ({other:?})"
         );
+    }
+
+    #[test]
+    fn tracing_disabled_records_nothing() {
+        let e = engine_with_data();
+        e.execute(
+            &scan()
+                .filter(expr::gt(expr::col(0), expr::lit_i64(1)))
+                .build(),
+        )
+        .unwrap();
+        assert!(!e.trace().enabled());
+        assert_eq!(e.trace().events_recorded(), 0);
+        assert!(e.operator_stats().is_empty());
+    }
+
+    #[test]
+    fn traced_run_reconciles_with_ledger_and_explain() {
+        let e = engine_with_data().with_trace(TraceConfig::On);
+        let plan = scan()
+            .filter(expr::gt(expr::col(0), expr::lit_i64(1)))
+            .aggregate(
+                vec![expr::col(1)],
+                vec![AggExpr {
+                    func: AggFunc::Sum,
+                    input: Some(expr::col(2)),
+                    name: "s".into(),
+                }],
+            )
+            .build();
+        let out = e.execute(&plan).unwrap();
+        assert!(e.trace().events_recorded() > 0);
+
+        // Kernel events replay to the exact live breakdown.
+        let events = e.trace().events();
+        let replayed = sirius_hw::ledger::replay(&events);
+        assert_eq!(replayed, e.device().breakdown());
+
+        // The root aggregate's stats carry the actual output cardinality.
+        let stats = e.operator_stats();
+        let root = stats.get(&0).expect("root breaker stats");
+        assert_eq!(root.rows_out, out.num_rows() as u64);
+        assert_eq!(root.bytes_out, out.byte_size() as u64);
+        assert!(root.busy > Duration::ZERO);
+
+        let rendered = e.explain_analyze(&plan);
+        assert!(
+            rendered.contains(&format!("GroupBy (1 keys) [#0]  rows={}", out.num_rows())),
+            "got:\n{rendered}"
+        );
+        // The scan fused into the filter above it.
+        assert!(rendered.contains("(fused)"), "got:\n{rendered}");
+    }
+
+    #[test]
+    fn traced_spill_run_counts_partitions_and_validates_chrome_trace() {
+        // A tiny device memory forces the spilling aggregate path.
+        let mut spec = catalog::gh200_gpu();
+        spec.memory_bytes = 16 << 10;
+        let e = SiriusEngine::new(spec).with_trace(TraceConfig::On);
+        let rows = 4096i64;
+        let t = Table::new(
+            Schema::new(vec![
+                Field::new("k", DataType::Int64),
+                Field::new("v", DataType::Float64),
+            ]),
+            vec![
+                Array::from_i64((0..rows).collect::<Vec<_>>()),
+                Array::from_f64((0..rows).map(|i| i as f64).collect::<Vec<_>>()),
+            ],
+        );
+        e.load_table("big", &t);
+        e.device().reset();
+        e.trace().clear(); // pre-reset load events precede the rebased clock
+        let plan = PlanBuilder::scan("big", t.schema().clone())
+            .aggregate(
+                vec![expr::col(0)],
+                vec![AggExpr {
+                    func: AggFunc::Sum,
+                    input: Some(expr::col(1)),
+                    name: "s".into(),
+                }],
+            )
+            .build();
+        let out = e.execute(&plan).unwrap();
+        assert_eq!(out.num_rows(), rows as usize);
+        let stats = e.operator_stats();
+        let root = stats.get(&0).expect("root stats");
+        assert!(
+            root.spill_partitions > 0,
+            "spilling aggregate records its partitions: {root:?}"
+        );
+        assert!(e.explain_analyze(&plan).contains("spill="));
+
+        // The full event log renders to a valid Chrome trace.
+        let events = e.trace().events();
+        let json = sirius_trace::chrome::export("engine", &events);
+        let cats: Vec<&str> = sirius_hw::CostCategory::ALL
+            .iter()
+            .map(|c| c.label())
+            .chain(["marker", "op"])
+            .collect();
+        let n = sirius_trace::chrome::validate_json(&json, &cats).expect("valid trace");
+        assert!(n > 0);
     }
 }

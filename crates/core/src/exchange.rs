@@ -60,6 +60,11 @@ impl ExchangeService {
         self.comm.world()
     }
 
+    /// The cluster's shared per-link traffic counters (stable-id keyed).
+    pub fn link_traffic(&self) -> &sirius_nccl::LinkTraffic {
+        self.comm.traffic()
+    }
+
     /// Execute one exchange pattern over `local`, returning this node's
     /// share of the result. Key expressions for shuffles must already be
     /// evaluated into columns by the caller (engine-owned state, stateless
@@ -70,18 +75,23 @@ impl ExchangeService {
         local: Table,
         shuffle_keys: &[Array],
     ) -> Result<Table> {
-        let (out, wire) = match kind {
+        let (out, wire, label) = match kind {
             ExchangeKind::Shuffle { .. } => {
                 let parts = partition_by_hash(&local, shuffle_keys, self.comm.world());
-                self.comm.shuffle(parts).map_err(classify)?
+                let (out, wire) = self.comm.shuffle(parts).map_err(classify)?;
+                (out, wire, "exchange.shuffle")
             }
             ExchangeKind::Broadcast => {
                 // Replicate every node's partition to every node: an
                 // all-gather built from per-rank sends.
                 let parts = vec![local; self.comm.world()];
-                self.comm.shuffle(parts).map_err(classify)?
+                let (out, wire) = self.comm.shuffle(parts).map_err(classify)?;
+                (out, wire, "exchange.broadcast")
             }
-            ExchangeKind::Merge => self.comm.merge(0, local).map_err(classify)?,
+            ExchangeKind::Merge => {
+                let (out, wire) = self.comm.merge(0, local).map_err(classify)?;
+                (out, wire, "exchange.merge")
+            }
             ExchangeKind::MultiCast { targets } => {
                 let world = self.comm.world();
                 let mut parts: Vec<Table> = (0..world)
@@ -92,10 +102,17 @@ impl ExchangeService {
                         parts[t] = local.clone();
                     }
                 }
-                self.comm.shuffle(parts).map_err(classify)?
+                let (out, wire) = self.comm.shuffle(parts).map_err(classify)?;
+                (out, wire, "exchange.multicast")
             }
         };
-        self.device.charge_duration(CostCategory::Exchange, wire);
+        self.device.charge_duration_labeled(
+            CostCategory::Exchange,
+            label,
+            wire,
+            out.byte_size() as u64,
+            out.num_rows() as u64,
+        );
         Ok(out)
     }
 

@@ -31,6 +31,7 @@ pub mod buffer;
 pub mod context;
 pub mod engine;
 pub mod exchange;
+pub mod explain;
 pub mod exprs;
 pub mod metrics;
 pub mod pipeline;
@@ -38,6 +39,7 @@ pub mod pipeline;
 pub use buffer::BufferManager;
 pub use context::{HostEngine, SiriusContext};
 pub use engine::{MorselConfig, SiriusEngine};
+pub use explain::OpStats;
 pub use metrics::{MorselStats, QueryReport, RecoveryStats};
 pub use sirius_spill::{SpillConfig, SpillStats};
 

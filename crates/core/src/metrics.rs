@@ -19,12 +19,20 @@ pub struct MorselStats {
 
 impl MorselStats {
     /// Counters accumulated since `before` was snapshotted.
+    ///
+    /// The per-stream vectors may have different lengths when the engine's
+    /// worker count changed between the snapshots; both are treated as
+    /// zero-extended to the longer length so no stream's delta is silently
+    /// dropped.
     pub fn since(&self, before: &MorselStats) -> MorselStats {
+        let lanes = self
+            .tasks_per_stream
+            .len()
+            .max(before.tasks_per_stream.len());
         let mut tasks_per_stream: Vec<u64> = self.tasks_per_stream.clone();
+        tasks_per_stream.resize(lanes, 0);
         for (i, b) in before.tasks_per_stream.iter().enumerate() {
-            if let Some(s) = tasks_per_stream.get_mut(i) {
-                *s = s.saturating_sub(*b);
-            }
+            tasks_per_stream[i] = tasks_per_stream[i].saturating_sub(*b);
         }
         MorselStats {
             morsels: self.morsels.saturating_sub(before.morsels),
@@ -34,16 +42,19 @@ impl MorselStats {
     }
 
     /// How evenly tasks spread over the streams: mean over max of the
-    /// per-stream task counts, in `[0, 1]`. `1.0` is a perfectly balanced
-    /// fan-out; `1/streams` means one stream did all the work (the
-    /// single-walk degenerate case); `0.0` means no tasks ran at all.
+    /// per-stream task counts, in `[0, 1]`, normalized by the number of
+    /// streams that *could* have received work — `min(streams, tasks)`.
+    /// A 2-task query on a 4-stream engine can only ever occupy two lanes,
+    /// so a perfect round-robin of it reports `1.0`, not `0.5`. `1.0` is a
+    /// perfectly balanced fan-out; `0.0` means no tasks ran at all.
     pub fn worker_utilization(&self) -> f64 {
         let max = self.tasks_per_stream.iter().copied().max().unwrap_or(0);
         if max == 0 {
             return 0.0;
         }
+        let lanes = self.tasks_per_stream.len().min(self.tasks as usize).max(1);
         let sum: u64 = self.tasks_per_stream.iter().sum();
-        sum as f64 / (max as f64 * self.tasks_per_stream.len() as f64)
+        sum as f64 / (max as f64 * lanes as f64)
     }
 }
 
@@ -332,12 +343,57 @@ mod tests {
         assert_eq!(d.tasks_per_stream, vec![4, 4, 4, 4]);
         assert!((d.worker_utilization() - 1.0).abs() < 1e-9);
 
+        // A single task can only occupy one lane: normalizing by the
+        // configured stream count would misreport this as 25% on a 4-stream
+        // engine even though the fan-out was as good as it could be.
         let lopsided = MorselStats {
             morsels: 1,
             tasks: 1,
             tasks_per_stream: vec![1, 0, 0, 0],
         };
-        assert!((lopsided.worker_utilization() - 0.25).abs() < 1e-9);
+        assert!((lopsided.worker_utilization() - 1.0).abs() < 1e-9);
+        // Six tasks piled onto one of four lanes, however, is real skew.
+        let skewed = MorselStats {
+            morsels: 6,
+            tasks: 6,
+            tasks_per_stream: vec![6, 0, 0, 0],
+        };
+        assert!((skewed.worker_utilization() - 0.25).abs() < 1e-9);
         assert_eq!(MorselStats::default().worker_utilization(), 0.0);
+    }
+
+    #[test]
+    fn since_reconciles_stream_vectors_of_different_lengths() {
+        // Worker count shrank between snapshots (4-stream engine swapped for
+        // a 2-stream one sharing the stats): the delta must still cover all
+        // four lanes instead of silently dropping the trailing two.
+        let before = MorselStats {
+            morsels: 4,
+            tasks: 4,
+            tasks_per_stream: vec![1, 1, 1, 1],
+        };
+        let after = MorselStats {
+            morsels: 8,
+            tasks: 10,
+            tasks_per_stream: vec![4, 4],
+        };
+        let d = after.since(&before);
+        assert_eq!(d.tasks_per_stream.len(), 4);
+        assert_eq!(d.tasks_per_stream, vec![3, 3, 0, 0]);
+        assert_eq!(d.tasks, 6);
+
+        // Worker count grew: the new lanes carry their full counts.
+        let grown = MorselStats {
+            morsels: 8,
+            tasks: 8,
+            tasks_per_stream: vec![2, 2, 2, 2],
+        };
+        let small = MorselStats {
+            morsels: 2,
+            tasks: 2,
+            tasks_per_stream: vec![1, 1],
+        };
+        let d = grown.since(&small);
+        assert_eq!(d.tasks_per_stream, vec![1, 1, 2, 2]);
     }
 }

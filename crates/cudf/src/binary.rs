@@ -238,7 +238,8 @@ pub fn binary_op(
     }
     let result = Array::from_scalars(&out, out_type);
 
-    ctx.charge(
+    ctx.charge_named(
+        "binary.op",
         &WorkProfile::scan(left.byte_size() + right.byte_size())
             .with_streamed(result.byte_size() as u64)
             .with_flops(num_rows as u64)
@@ -268,7 +269,8 @@ pub fn like(
             None => Scalar::Null,
         });
     }
-    ctx.charge(
+    ctx.charge_named(
+        "binary.like",
         &WorkProfile::scan(input.byte_size())
             .with_flops((num_rows * pattern.len().max(1)) as u64)
             .with_rows(num_rows as u64),
@@ -320,7 +322,8 @@ pub fn in_list(
             Scalar::Bool(found != negated)
         });
     }
-    ctx.charge(
+    ctx.charge_named(
+        "binary.in_list",
         &WorkProfile::scan(input.byte_size())
             .with_flops((num_rows * list.len().max(1)) as u64)
             .with_rows(num_rows as u64),

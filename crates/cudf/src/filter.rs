@@ -9,7 +9,8 @@ use sirius_hw::WorkProfile;
 pub fn apply_filter(ctx: &GpuContext, table: &Table, mask: &Array) -> Result<Table> {
     let selection = mask.as_bool()?.to_selection();
     let out = table.filter(&selection);
-    ctx.charge(
+    ctx.charge_named(
+        "filter.apply",
         &WorkProfile::scan(table.byte_size() as u64)
             .with_streamed(out.byte_size() as u64)
             .with_flops(table.num_rows() as u64)
@@ -23,7 +24,8 @@ pub fn apply_filter(ctx: &GpuContext, table: &Table, mask: &Array) -> Result<Tab
 pub fn gather(ctx: &GpuContext, table: &Table, indices: &[i32]) -> Table {
     let idx: Vec<usize> = indices.iter().map(|&i| i as usize).collect();
     let out = table.gather(&idx);
-    ctx.charge(
+    ctx.charge_named(
+        "filter.gather",
         &WorkProfile::random(out.byte_size() as u64)
             .with_streamed((indices.len() * 4) as u64)
             .with_rows(indices.len() as u64),
@@ -40,7 +42,8 @@ pub fn gather_opt(ctx: &GpuContext, table: &Table, indices: &[Option<i32>]) -> T
         f.nullable = true;
     }
     let out = Table::new(schema, columns);
-    ctx.charge(
+    ctx.charge_named(
+        "filter.gather_opt",
         &WorkProfile::random(out.byte_size() as u64)
             .with_streamed((indices.len() * 4) as u64)
             .with_rows(indices.len() as u64),

@@ -277,7 +277,14 @@ pub fn group_by(
         let contention = (256 / num_groups.max(1)).min(6) as u64;
         work = work.with_random((num_rows as u64) * 4 * contention);
     }
-    ctx.charge(&work);
+    ctx.charge_named(
+        if sort_based {
+            "groupby.sort"
+        } else {
+            "groupby.hash"
+        },
+        &work,
+    );
 
     Ok(GroupByResult {
         key_columns,
@@ -392,7 +399,8 @@ impl PartialAggPlan {
                             _ => Scalar::Null,
                         })
                         .collect();
-                    ctx.charge(
+                    ctx.charge_named(
+                        "groupby.finalize_avg",
                         &WorkProfile::scan((s.len() * 16) as u64)
                             .with_flops(s.len() as u64)
                             .with_rows(s.len() as u64),

@@ -130,7 +130,8 @@ pub fn build_hash_table(
             table.entry(key).or_default().push(i as i32);
         }
     }
-    ctx.charge(
+    ctx.charge_named(
+        "join.build",
         &WorkProfile::scan(key_bytes(right_keys))
             .with_random((right_rows * 16) as u64)
             .with_flops(right_rows as u64)
@@ -179,7 +180,8 @@ pub fn probe_hash_table(
             }
         }
     }
-    ctx.charge(
+    ctx.charge_named(
+        "join.probe",
         &WorkProfile::scan(key_bytes(left_keys))
             .with_random((probe_rows * 16) as u64)
             .with_streamed((pairs.len() * 8) as u64)
@@ -223,7 +225,10 @@ pub fn cross_join_pairs(ctx: &GpuContext, left_rows: usize, right_rows: usize) -
             pairs.right.push(r as i32);
         }
     }
-    ctx.charge(&WorkProfile::scan((n * 8) as u64).with_rows(n as u64));
+    ctx.charge_named(
+        "join.cross",
+        &WorkProfile::scan((n * 8) as u64).with_rows(n as u64),
+    );
     pairs
 }
 
@@ -298,7 +303,8 @@ pub fn resolve_join(
             }
         }
     }
-    ctx.charge(
+    ctx.charge_named(
+        "join.resolve",
         &WorkProfile::scan((pairs.len() * 8 + out.len() * 8) as u64).with_rows(out.len() as u64),
     );
     Ok(out)

@@ -111,6 +111,17 @@ impl GpuContext {
         }
         self.device.charge(self.category, work)
     }
+
+    /// Charge one kernel's work under a kernel name. When the device has a
+    /// trace sink attached, the emitted kernel event carries `name` (e.g.
+    /// `"join.probe"`) plus the profile's bytes and rows; otherwise this is
+    /// exactly [`charge`](Self::charge). Muted contexts drop the charge.
+    pub fn charge_named(&self, name: &'static str, work: &WorkProfile) -> Duration {
+        if self.muted {
+            return Duration::ZERO;
+        }
+        self.device.charge_labeled(self.category, name, work)
+    }
 }
 
 /// Errors from kernels (type mismatches, unsupported combinations).

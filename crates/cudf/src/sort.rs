@@ -35,7 +35,8 @@ pub fn sort_indices(ctx: &GpuContext, keys: &[SortKey<'_>], num_rows: usize) -> 
 
     let key_bytes: u64 = keys.iter().map(|k| k.column.byte_size() as u64).sum();
     let log_n = (num_rows.max(2) as f64).log2().ceil() as u64;
-    ctx.charge(
+    ctx.charge_named(
+        "sort.comparator",
         &WorkProfile::scan(key_bytes * log_n / 2)
             .with_random((num_rows * 8) as u64)
             .with_flops(num_rows as u64 * log_n)
@@ -59,7 +60,8 @@ pub fn top_k_indices(
 
     let key_bytes: u64 = keys.iter().map(|kc| kc.column.byte_size() as u64).sum();
     let log_k = (k.max(2) as f64).log2().ceil() as u64;
-    ctx.charge(
+    ctx.charge_named(
+        "sort.top_k",
         &WorkProfile::scan(key_bytes)
             .with_flops(num_rows as u64 * log_k)
             .with_rows(num_rows as u64),
@@ -96,7 +98,8 @@ pub fn radix_sort_indices_i64(ctx: &GpuContext, column: &Array) -> Result<Vec<i3
         }
         std::mem::swap(&mut idx, &mut scratch);
     }
-    ctx.charge(
+    ctx.charge_named(
+        "sort.radix",
         &WorkProfile::scan(column.byte_size() as u64 * 8)
             .with_random((n * 4 * 8) as u64)
             .with_flops((n * 8) as u64)

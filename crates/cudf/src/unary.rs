@@ -68,7 +68,8 @@ pub fn unary_op(
             },
         });
     }
-    ctx.charge(
+    ctx.charge_named(
+        "unary.op",
         &WorkProfile::scan(input.byte_size())
             .with_flops(num_rows as u64)
             .with_rows(num_rows as u64),
@@ -86,7 +87,8 @@ pub fn cast(ctx: &GpuContext, input: &Datum<'_>, to: DataType, num_rows: usize) 
                 .ok_or_else(|| KernelError::UnsupportedTypes(format!("cast {v:?} to {to}")))?,
         );
     }
-    ctx.charge(
+    ctx.charge_named(
+        "unary.cast",
         &WorkProfile::scan(input.byte_size())
             .with_flops(num_rows as u64)
             .with_rows(num_rows as u64),
@@ -110,7 +112,8 @@ pub fn substring(
             None => Scalar::Null,
         });
     }
-    ctx.charge(
+    ctx.charge_named(
+        "unary.substring",
         &WorkProfile::scan(input.byte_size())
             .with_flops(num_rows as u64)
             .with_rows(num_rows as u64),
@@ -143,7 +146,8 @@ pub fn case_when(
         .map(|(c, v)| c.byte_size() + v.byte_size())
         .sum::<u64>()
         + otherwise.byte_size();
-    ctx.charge(
+    ctx.charge_named(
+        "unary.case_when",
         &WorkProfile::scan(bytes)
             .with_flops((num_rows * branches.len().max(1)) as u64)
             .with_rows(num_rows as u64),

@@ -18,7 +18,8 @@ pub fn distinct(ctx: &GpuContext, table: &Table) -> Result<Table> {
         }
     }
     let out = table.gather(&keep);
-    ctx.charge(
+    ctx.charge_named(
+        "unique.distinct",
         &WorkProfile::scan(table.byte_size() as u64)
             .with_random((table.num_rows() * 16) as u64)
             .with_streamed(out.byte_size() as u64)

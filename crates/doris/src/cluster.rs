@@ -32,10 +32,12 @@ use sirius_core::{SiriusEngine, SiriusError};
 use sirius_exec_cpu::{Catalog, CpuEngine, EngineProfile};
 use sirius_hw::{
     catalog as hw, CostCategory, Device, FaultInjector, FaultPlan, FaultSite, Link, TimeBreakdown,
+    TraceConfig, TraceSink,
 };
 use sirius_nccl::{CancelToken, NcclCluster};
 use sirius_plan::{ExchangeKind, Rel};
 use sirius_sql::{plan_sql, BinderCatalog, JoinOrderPolicy};
+use sirius_trace::metrics::MetricsRegistry;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -303,7 +305,9 @@ pub struct QueryOutcome {
     /// Coordinator time: planning, fragment dispatch, result return, plus
     /// any recovery overhead (backoff waits, re-scheduling).
     pub coordinator: Duration,
-    /// Per-node simulated breakdowns for this query (successful attempt).
+    /// Per-node simulated breakdowns covering *all* attempts of this query:
+    /// device time burned by failed/retried attempts is folded into the
+    /// stable node that burned it (appended at the tail if that node died).
     pub per_node: Vec<TimeBreakdown>,
     /// Failure/retry/degradation counters for this query.
     pub recovery: RecoveryStats,
@@ -367,6 +371,14 @@ pub struct DorisCluster {
     config: ClusterConfig,
     fault: FaultInjector,
     epoch: AtomicU64,
+    /// Coordinator-side lifecycle trace (retry/reschedule/fallback instants).
+    trace: TraceSink,
+    /// Prometheus-style coordinator counters.
+    metrics: MetricsRegistry,
+    /// Monotone simulated-time source for lifecycle instants: advanced by
+    /// the same coordinator overheads (`backoff`, reschedule penalty) that
+    /// feed `QueryOutcome::coordinator`.
+    lifecycle_ns: AtomicU64,
 }
 
 impl DorisCluster {
@@ -405,7 +417,83 @@ impl DorisCluster {
             config,
             fault,
             epoch: AtomicU64::new(0),
+            trace: TraceSink::off(),
+            metrics: coordinator_metrics(),
+            lifecycle_ns: AtomicU64::new(0),
         }
+    }
+
+    /// Enable (or disable) coordinator lifecycle tracing. Retry, reschedule,
+    /// and CPU-fallback decisions become instant events on the trace,
+    /// timestamped on the simulated coordinator clock.
+    pub fn with_trace(mut self, config: TraceConfig) -> Self {
+        self.trace = config.sink();
+        self
+    }
+
+    /// The coordinator's lifecycle trace sink.
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Coordinator counters (queries, retries, reschedules, faults,
+    /// fallbacks) in Prometheus registry form; render with
+    /// [`MetricsRegistry::render`].
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Cumulative device breakdowns of the current node set, keyed by stable
+    /// node id. Rebuilds (world shrinks) start fresh ledgers, so deltas
+    /// across a shrink are not meaningful.
+    pub fn node_breakdowns(&self) -> Vec<(usize, TimeBreakdown)> {
+        let state = self.state.read();
+        state
+            .nodes
+            .iter()
+            .map(|n| {
+                let n = n.lock();
+                (n.id, n.device.breakdown())
+            })
+            .collect()
+    }
+
+    /// Roll one query's recovery counters into the coordinator registry.
+    fn note_query_metrics(&self, recovery: &RecoveryStats) {
+        let m = &self.metrics;
+        m.counter_add("doris_queries_total", &[], 1);
+        m.counter_add("doris_retries_total", &[], recovery.retries);
+        m.counter_add("doris_reschedules_total", &[], recovery.reschedules);
+        m.counter_add("doris_world_shrinks_total", &[], recovery.world_shrinks);
+        m.counter_add("doris_faults_injected_total", &[], recovery.faults_injected);
+        m.counter_add("doris_cpu_fallbacks_total", &[], recovery.cpu_fallbacks);
+        m.counter_add("doris_temps_reaped_total", &[], recovery.temps_reaped);
+        m.gauge_set("doris_world_size", &[], self.world() as f64);
+        // Cumulative interconnect traffic, one gauge sample per live link.
+        // (Counters are shared cluster-wide, so gauges — not counter_add —
+        // keep repeated queries from double-counting.)
+        let state = self.state.read();
+        if let Some(node) = state.nodes.first() {
+            for ((src, dst), bytes, msgs) in node.lock().exchange.link_traffic().snapshot() {
+                let (src, dst) = (src.to_string(), dst.to_string());
+                let labels: &[(&str, &str)] = &[("src", &src), ("dst", &dst)];
+                m.gauge_set("doris_link_bytes", labels, bytes as f64);
+                m.gauge_set("doris_link_messages", labels, msgs as f64);
+            }
+        }
+    }
+
+    /// Stamp a coordinator lifecycle instant, first advancing the simulated
+    /// lifecycle clock by the overhead the decision costs (`advance`).
+    fn lifecycle_event(&self, label: &'static str, advance: Duration) {
+        if !self.trace.enabled() {
+            return;
+        }
+        let ts = self
+            .lifecycle_ns
+            .fetch_add(advance.as_nanos() as u64, Ordering::SeqCst)
+            + advance.as_nanos() as u64;
+        self.trace.instant("lifecycle", label, ts);
     }
 
     /// Current cluster size (shrinks as nodes die).
@@ -494,6 +582,10 @@ impl DorisCluster {
         let mut retries_left = self.config.max_retries;
         let mut backoff = self.config.retry_backoff;
         let mut extra = Duration::ZERO;
+        // Device time burned by failed attempts, keyed by stable node id.
+        // Folded into the successful attempt's per_node so the outcome
+        // accounts for *all* attempts of this query.
+        let mut failed_time: Vec<(usize, TimeBreakdown)> = Vec::new();
 
         // Dispatch-time liveness probe: nodes that can answer refresh their
         // heartbeat; crashed nodes stay silent and fail the check below.
@@ -524,7 +616,12 @@ impl DorisCluster {
                     recovery.faults_injected = self.fault.injected_count() - fault_base;
                     if self.config.allow_cpu_fallback {
                         recovery.cpu_fallbacks = 1;
-                        return self.cpu_fallback(&plan, extra, recovery);
+                        self.lifecycle_event("cpu-fallback", Duration::ZERO);
+                        let out = self.cpu_fallback(&plan, extra, recovery);
+                        if let Ok(out) = &out {
+                            self.note_query_metrics(&out.recovery);
+                        }
+                        return out;
                     }
                     return Err(DorisError::NodeDown(dead[0]));
                 }
@@ -535,11 +632,12 @@ impl DorisCluster {
                 recovery.reschedules += 1;
                 recovery.world_shrinks += 1;
                 extra += RESCHEDULE_PENALTY;
+                self.lifecycle_event("reschedule", RESCHEDULE_PENALTY);
             }
 
             // 2. Dispatch one attempt.
             match self.dispatch_once(&dplan, &mut recovery) {
-                Ok((table, per_node)) => {
+                Ok((table, mut per_node)) => {
                     let base = match self.kind {
                         // The paper's §4.3: Doris' optimizer + coordinator
                         // dominate Q1/Q6; Sirius reuses that coordinator,
@@ -554,6 +652,21 @@ impl DorisCluster {
                         + Duration::from_millis(2) * self.world() as u32
                         + extra;
                     recovery.faults_injected = self.fault.injected_count() - fault_base;
+                    // Fold failed attempts' device time into the node that
+                    // currently holds that stable id, so per_node covers
+                    // every attempt — not just the one that succeeded.
+                    if !failed_time.is_empty() {
+                        let state = self.state.read();
+                        for (id, delta) in failed_time.drain(..) {
+                            match state.assignment.iter().position(|&a| a == id) {
+                                Some(rank) => per_node[rank] = per_node[rank].merge(&delta),
+                                // The node died after burning this time;
+                                // keep the ledger entry rather than drop it.
+                                None => per_node.push(delta),
+                            }
+                        }
+                    }
+                    self.note_query_metrics(&recovery);
                     return Ok(QueryOutcome {
                         table,
                         coordinator,
@@ -562,39 +675,53 @@ impl DorisCluster {
                     });
                 }
                 // 3. Classification (degradation ladder rung 1 or loop back).
-                Err((node, e)) => match e {
-                    SiriusError::NodeDown(n) if !self.heartbeats.is_alive(n) => {
-                        // Top of loop removes the dead node and re-schedules.
-                        continue;
+                Err((node, e, attempt_time)) => {
+                    for (id, delta) in attempt_time {
+                        match failed_time.iter_mut().find(|(i, _)| *i == id) {
+                            Some((_, acc)) => *acc = acc.merge(&delta),
+                            None => failed_time.push((id, delta)),
+                        }
                     }
-                    e if e.is_retryable() && retries_left > 0 => {
-                        retries_left -= 1;
-                        recovery.retries += 1;
-                        extra += backoff;
-                        backoff = backoff.saturating_mul(2);
-                        continue;
+                    match e {
+                        SiriusError::NodeDown(n) if !self.heartbeats.is_alive(n) => {
+                            // Top of loop removes the dead node and re-schedules.
+                            continue;
+                        }
+                        e if e.is_retryable() && retries_left > 0 => {
+                            retries_left -= 1;
+                            recovery.retries += 1;
+                            extra += backoff;
+                            self.lifecycle_event("retry", backoff);
+                            backoff = backoff.saturating_mul(2);
+                            continue;
+                        }
+                        SiriusError::NodeDown(n) => return Err(DorisError::NodeDown(n)),
+                        e => {
+                            return Err(DorisError::Node {
+                                node,
+                                message: e.to_string(),
+                            })
+                        }
                     }
-                    SiriusError::NodeDown(n) => return Err(DorisError::NodeDown(n)),
-                    e => {
-                        return Err(DorisError::Node {
-                            node,
-                            message: e.to_string(),
-                        })
-                    }
-                },
+                }
             }
         }
     }
 
     /// One SPMD dispatch over the current node set. On failure returns the
-    /// root-cause error and the stable id of the node that raised it;
-    /// always drains temp registries and cancels stragglers first.
+    /// root-cause error, the stable id of the node that raised it, and the
+    /// device time each node burned on the doomed attempt (stable id keyed,
+    /// so the caller can charge it to the query); always drains temp
+    /// registries and cancels stragglers first.
     #[allow(clippy::type_complexity)]
     fn dispatch_once(
         &self,
         dplan: &Rel,
         recovery: &mut RecoveryStats,
-    ) -> std::result::Result<(Table, Vec<TimeBreakdown>), (usize, SiriusError)> {
+    ) -> std::result::Result<
+        (Table, Vec<TimeBreakdown>),
+        (usize, SiriusError, Vec<(usize, TimeBreakdown)>),
+    > {
         let state = self.state.read();
         let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
         state.cancel.reset();
@@ -668,21 +795,33 @@ impl DorisCluster {
                 }
             }
         }
+        let attempt_time = |before: &[TimeBreakdown]| -> Vec<(usize, TimeBreakdown)> {
+            state
+                .nodes
+                .iter()
+                .zip(before)
+                .map(|(n, b)| {
+                    let n = n.lock();
+                    (n.id, n.device.breakdown().since(b))
+                })
+                .collect()
+        };
         if let Some((id, e)) = root {
             recovery.temps_reaped += reaped_total;
-            return Err((id, e));
+            return Err((id, e, attempt_time(&before)));
         }
         let per_node: Vec<TimeBreakdown> = state
             .nodes
             .iter()
-            .zip(before)
-            .map(|(n, b)| n.lock().device.breakdown().since(&b))
+            .zip(&before)
+            .map(|(n, b)| n.lock().device.breakdown().since(b))
             .collect();
         match table {
             Some(t) => Ok((t, per_node)),
             None => Err((
                 state.assignment.first().copied().unwrap_or(0),
                 SiriusError::Exchange("result rank produced no table".into()),
+                attempt_time(&before),
             )),
         }
     }
@@ -732,6 +871,46 @@ impl DorisCluster {
             recovery,
         })
     }
+}
+
+/// Coordinator metrics registry with help text pre-registered.
+fn coordinator_metrics() -> MetricsRegistry {
+    let m = MetricsRegistry::new();
+    m.describe(
+        "doris_queries_total",
+        "Queries completed by the coordinator.",
+    );
+    m.describe(
+        "doris_retries_total",
+        "Full-query retries after transient errors.",
+    );
+    m.describe(
+        "doris_reschedules_total",
+        "Fragment re-schedulings after node deaths.",
+    );
+    m.describe("doris_world_shrinks_total", "Cluster world-size shrinks.");
+    m.describe(
+        "doris_faults_injected_total",
+        "Faults the injector fired during queries.",
+    );
+    m.describe(
+        "doris_cpu_fallbacks_total",
+        "Queries degraded to the single-node CPU engine.",
+    );
+    m.describe(
+        "doris_temps_reaped_total",
+        "Exchange temps reaped by drain-on-cancel.",
+    );
+    m.describe("doris_world_size", "Current cluster world size.");
+    m.describe(
+        "doris_link_bytes",
+        "Cumulative interconnect bytes per link.",
+    );
+    m.describe(
+        "doris_link_messages",
+        "Cumulative interconnect messages per link.",
+    );
+    m
 }
 
 /// Build the per-node state for the given stable-id assignment: a fresh
@@ -1036,5 +1215,68 @@ mod tests {
         let out = c.sql("select g, sum(v) as s from t group by g").unwrap();
         assert_eq!(out.total(), out.compute() + out.exchange() + out.other());
         assert!(out.other() >= out.coordinator);
+    }
+
+    #[test]
+    fn retried_attempts_charge_per_node_time() {
+        // Every nanosecond the fleet burns — including the two doomed
+        // attempts — must land in per_node: ledger deltas around the query
+        // equal the reported breakdowns exactly.
+        let config = ClusterConfig::for_world(3)
+            .with_fault_plan(FaultPlan::new(1).transient_device(1, 0, 2));
+        let c = cluster_with(NodeEngineKind::SiriusGpu, config).with_trace(TraceConfig::On);
+        let before = c.node_breakdowns();
+        let out = c.sql("select g, sum(v) as s from t group by g").unwrap();
+        assert_eq!(out.recovery.retries, 2);
+        assert_eq!(out.recovery.world_shrinks, 0);
+        let after = c.node_breakdowns();
+        assert_eq!(before.len(), after.len());
+        assert_eq!(after.len(), out.per_node.len());
+        for (rank, ((id_b, b), (id_a, a))) in before.iter().zip(after.iter()).enumerate() {
+            assert_eq!(id_b, id_a);
+            assert_eq!(
+                a.since(b),
+                out.per_node[rank],
+                "node {id_a}: per_node must cover failed attempts too"
+            );
+        }
+
+        // The coordinator stamped one lifecycle instant per retry, with a
+        // strictly advancing simulated timestamp.
+        let retries: Vec<_> = c
+            .trace()
+            .events()
+            .into_iter()
+            .filter(|e| e.cat == "lifecycle" && e.label == "retry")
+            .collect();
+        assert_eq!(retries.len(), 2);
+        assert!(retries[0].ts < retries[1].ts, "backoff advances the clock");
+
+        // And the registry saw the same counters.
+        assert_eq!(c.metrics().counter_value("doris_queries_total", &[]), 1);
+        assert_eq!(c.metrics().counter_value("doris_retries_total", &[]), 2);
+        let text = c.metrics().render();
+        assert!(text.contains("# TYPE doris_retries_total counter"));
+        assert!(text.contains("doris_retries_total 2"));
+    }
+
+    #[test]
+    fn reschedule_emits_lifecycle_instant() {
+        let config = ClusterConfig::for_world(3).with_fault_plan(FaultPlan::new(2).crash_mid(2, 0));
+        let c = cluster_with(NodeEngineKind::SiriusGpu, config).with_trace(TraceConfig::On);
+        let out = c
+            .sql("select count(*) as n from t a, t b where a.g = b.g")
+            .unwrap();
+        assert!(out.recovery.reschedules >= 1);
+        let events = c.trace().events();
+        let reschedules = events
+            .iter()
+            .filter(|e| e.cat == "lifecycle" && e.label == "reschedule")
+            .count();
+        assert_eq!(reschedules as u64, out.recovery.reschedules);
+        assert_eq!(
+            c.metrics().counter_value("doris_reschedules_total", &[]),
+            out.recovery.reschedules
+        );
     }
 }

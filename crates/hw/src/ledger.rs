@@ -7,6 +7,7 @@
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use sirius_trace::{EventKind, Lane, TraceEvent, TraceSink};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -56,6 +57,15 @@ impl CostCategory {
             CostCategory::Exchange => "exchange",
             CostCategory::Other => "other",
         }
+    }
+
+    /// Inverse of [`label`](Self::label) — used when replaying trace events
+    /// (which carry the label, not the enum) back through a ledger.
+    pub fn from_label(label: &str) -> Option<CostCategory> {
+        CostCategory::ALL
+            .iter()
+            .copied()
+            .find(|c| c.label() == label)
     }
 }
 
@@ -129,6 +139,11 @@ impl TimeBreakdown {
 struct LedgerState {
     serial: TimeBreakdown,
     streams: Vec<TimeBreakdown>,
+    /// Event recorder. Off (no allocation, single branch) unless a profiler
+    /// attached one via [`CostLedger::set_trace`]. Events are recorded
+    /// *inside* the ledger's critical section, so their global sequence
+    /// numbers equal the true mutation order and replay is exact.
+    trace: TraceSink,
 }
 
 impl LedgerState {
@@ -182,18 +197,88 @@ pub struct CostLedger {
 }
 
 impl CostLedger {
+    /// Attach (or detach, with [`TraceSink::off`]) an event recorder. All
+    /// clones of this ledger share it; [`reset`](Self::reset) keeps it.
+    pub fn set_trace(&self, sink: TraceSink) {
+        self.inner.lock().trace = sink;
+    }
+
+    /// Handle to the attached event recorder (disabled by default).
+    pub fn trace(&self) -> TraceSink {
+        self.inner.lock().trace.clone()
+    }
+
     /// Record `d` under `category` on the serial lane.
     pub fn add(&self, category: CostCategory, d: Duration) {
-        self.inner.lock().serial.add(category, d);
+        self.add_labeled(category, d, category.label(), 0, 0);
+    }
+
+    /// [`add`](Self::add) with a kernel label and bytes/rows diagnostics
+    /// for the trace event (ignored when tracing is off).
+    pub fn add_labeled(
+        &self,
+        category: CostCategory,
+        d: Duration,
+        label: &str,
+        bytes: u64,
+        rows: u64,
+    ) {
+        let mut state = self.inner.lock();
+        if state.trace.enabled() && !d.is_zero() {
+            let ts: u64 = state.serial.nanos.iter().sum();
+            state.trace.record(
+                EventKind::Kernel,
+                Lane::Serial,
+                category.label(),
+                label,
+                ts,
+                d.as_nanos() as u64,
+                bytes,
+                rows,
+                None,
+            );
+        }
+        state.serial.add(category, d);
     }
 
     /// Record `d` under `category` on stream lane `stream`. Lanes overlap:
     /// only the longest lane adds wall-clock time until the next
     /// [`sync_streams`](Self::sync_streams).
     pub fn add_on_stream(&self, stream: usize, category: CostCategory, d: Duration) {
+        self.add_on_stream_labeled(stream, category, d, category.label(), 0, 0);
+    }
+
+    /// [`add_on_stream`](Self::add_on_stream) with a kernel label and
+    /// bytes/rows diagnostics for the trace event.
+    pub fn add_on_stream_labeled(
+        &self,
+        stream: usize,
+        category: CostCategory,
+        d: Duration,
+        label: &str,
+        bytes: u64,
+        rows: u64,
+    ) {
         let mut state = self.inner.lock();
         if state.streams.len() <= stream {
             state.streams.resize(stream + 1, TimeBreakdown::default());
+        }
+        if state.trace.enabled() && !d.is_zero() {
+            // A stream kernel starts when the lane's previous kernel ends:
+            // serial time already settled plus the lane's in-flight total.
+            let serial: u64 = state.serial.nanos.iter().sum();
+            let lane: u64 = state.streams[stream].nanos.iter().sum();
+            state.trace.record(
+                EventKind::Kernel,
+                Lane::Stream(stream as u32),
+                category.label(),
+                label,
+                serial + lane,
+                d.as_nanos() as u64,
+                bytes,
+                rows,
+                None,
+            );
         }
         state.streams[stream].add(category, d);
     }
@@ -205,9 +290,39 @@ impl CostLedger {
         let mut state = self.inner.lock();
         let folded = attribute_overlap(&state.streams);
         let wall = folded.total();
+        if state.trace.enabled() && !wall.is_zero() {
+            let ts: u64 = state.serial.nanos.iter().sum();
+            state.trace.record(
+                EventKind::Sync,
+                Lane::Serial,
+                "marker",
+                "sync_streams",
+                ts,
+                wall.as_nanos() as u64,
+                0,
+                0,
+                None,
+            );
+        }
         state.serial = state.serial.merge(&folded);
         state.streams.clear();
         wall
+    }
+
+    /// Total accumulated time on one lane (`None` = the serial lane, before
+    /// overlap attribution). Used by the engine to meter how much simulated
+    /// time an operator added to the lane it ran on.
+    pub fn lane_total(&self, lane: Option<usize>) -> Duration {
+        let state = self.inner.lock();
+        let nanos: u64 = match lane {
+            None => state.serial.nanos.iter().sum(),
+            Some(s) => state
+                .streams
+                .get(s)
+                .map(|b| b.nanos.iter().sum())
+                .unwrap_or(0),
+        };
+        Duration::from_nanos(nanos)
     }
 
     /// Total simulated wall-clock time: serial plus the longest in-flight
@@ -222,10 +337,46 @@ impl CostLedger {
         self.inner.lock().attributed()
     }
 
-    /// Clear all accumulated time on every lane.
+    /// Clear all accumulated time on every lane. The attached trace sink
+    /// (and its buffered events) survives — resetting the clock between a
+    /// cold and a hot run must not silently detach the profiler.
     pub fn reset(&self) {
-        *self.inner.lock() = LedgerState::default();
+        let mut state = self.inner.lock();
+        state.serial = TimeBreakdown::default();
+        state.streams.clear();
     }
+}
+
+/// Rebuild a breakdown by replaying trace events through a fresh ledger.
+///
+/// Kernel events re-charge their lane; sync markers fold the streams, just
+/// like the live run. Because events are recorded inside the live ledger's
+/// critical section (sequence order = mutation order), the replayed
+/// snapshot reconciles with the live [`CostLedger::snapshot`] to the
+/// nanosecond — including the overlap-attribution rounding.
+pub fn replay(events: &[TraceEvent]) -> TimeBreakdown {
+    let ledger = CostLedger::default();
+    let mut ordered: Vec<&TraceEvent> = events.iter().collect();
+    ordered.sort_by_key(|e| e.seq);
+    for ev in ordered {
+        match ev.kind {
+            EventKind::Kernel => {
+                let Some(cat) = CostCategory::from_label(ev.cat) else {
+                    continue;
+                };
+                let d = Duration::from_nanos(ev.dur);
+                match ev.lane {
+                    Lane::Serial => ledger.add(cat, d),
+                    Lane::Stream(s) => ledger.add_on_stream(s as usize, cat, d),
+                }
+            }
+            EventKind::Sync => {
+                ledger.sync_streams();
+            }
+            EventKind::Span | EventKind::Instant => {}
+        }
+    }
+    ledger.snapshot()
 }
 
 #[cfg(test)]
@@ -338,5 +489,165 @@ mod tests {
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), CostCategory::ALL.len());
+    }
+
+    #[test]
+    fn from_label_inverts_label() {
+        for c in CostCategory::ALL {
+            assert_eq!(CostCategory::from_label(c.label()), Some(c));
+        }
+        assert_eq!(CostCategory::from_label("marker"), None);
+    }
+
+    // -- trace hooks ------------------------------------------------------
+
+    #[test]
+    fn traced_charges_replay_to_the_exact_snapshot() {
+        let l = CostLedger::default();
+        let sink = TraceSink::new();
+        l.set_trace(sink.clone());
+        l.add(CostCategory::Other, Duration::from_nanos(101));
+        // Unbalanced lanes with mixed categories force attribution rounding.
+        l.add_on_stream(0, CostCategory::Filter, Duration::from_nanos(997));
+        l.add_on_stream(1, CostCategory::Filter, Duration::from_nanos(331));
+        l.add_on_stream(1, CostCategory::Join, Duration::from_nanos(333));
+        l.sync_streams();
+        l.add_on_stream(2, CostCategory::GroupBy, Duration::from_nanos(7));
+        let live = l.snapshot();
+        let replayed = replay(&sink.events());
+        assert_eq!(replayed, live);
+        assert_eq!(replayed.total(), l.total());
+    }
+
+    #[test]
+    fn trace_timestamps_are_lane_local_and_monotone() {
+        let l = CostLedger::default();
+        let sink = TraceSink::new();
+        l.set_trace(sink.clone());
+        l.add(CostCategory::Other, Duration::from_nanos(100));
+        l.add_on_stream(0, CostCategory::Filter, Duration::from_nanos(40));
+        l.add_on_stream(0, CostCategory::Filter, Duration::from_nanos(40));
+        l.add_on_stream(1, CostCategory::Filter, Duration::from_nanos(60));
+        l.sync_streams();
+        l.add(CostCategory::Other, Duration::from_nanos(10));
+        let evs = sink.events();
+        // serial @0, s0 @100, s0 @140, s1 @100, sync @100 (dur 80),
+        // serial @180.
+        assert_eq!(evs[0].ts, 0);
+        assert_eq!(evs[1].ts, 100);
+        assert_eq!(evs[2].ts, 140);
+        assert_eq!(evs[3].ts, 100);
+        assert_eq!(evs[4].kind, EventKind::Sync);
+        assert_eq!(evs[4].ts, 100);
+        assert_eq!(evs[4].dur, 80);
+        assert_eq!(evs[5].ts, 180);
+        sirius_trace::chrome::validate(&evs, &["filter", "other", "marker"]).unwrap();
+    }
+
+    #[test]
+    fn reset_keeps_the_attached_sink() {
+        let l = CostLedger::default();
+        l.set_trace(TraceSink::new());
+        l.add(CostCategory::Filter, Duration::from_nanos(5));
+        l.reset();
+        assert_eq!(l.total(), Duration::ZERO);
+        assert!(l.trace().enabled());
+        assert_eq!(l.trace().events_recorded(), 1, "events survive the reset");
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let l = CostLedger::default();
+        l.add(CostCategory::Filter, Duration::from_nanos(5));
+        l.add_on_stream(0, CostCategory::Join, Duration::from_nanos(5));
+        l.sync_streams();
+        assert!(!l.trace().enabled());
+        assert_eq!(l.trace().events_recorded(), 0);
+    }
+
+    #[test]
+    fn lane_total_reads_one_lane() {
+        let l = CostLedger::default();
+        l.add(CostCategory::Other, Duration::from_nanos(3));
+        l.add_on_stream(1, CostCategory::Join, Duration::from_nanos(9));
+        assert_eq!(l.lane_total(None), Duration::from_nanos(3));
+        assert_eq!(l.lane_total(Some(1)), Duration::from_nanos(9));
+        assert_eq!(l.lane_total(Some(7)), Duration::ZERO);
+    }
+
+    // -- attribute_overlap rounding (satellite) ----------------------------
+
+    use proptest::prelude::*;
+
+    fn lanes_strategy() -> impl Strategy<Value = Vec<Vec<u64>>> {
+        proptest::collection::vec(proptest::collection::vec(0u64..50_000, 8..9), 0..6)
+    }
+
+    fn breakdowns(lanes: &[Vec<u64>]) -> Vec<TimeBreakdown> {
+        lanes
+            .iter()
+            .map(|l| {
+                let mut nanos = [0u64; 8];
+                nanos.copy_from_slice(l);
+                TimeBreakdown { nanos }
+            })
+            .collect()
+    }
+
+    proptest! {
+        /// The attributed overlap total is *exactly* `max(lane totals)` for
+        /// arbitrary lane contents — the proportional split never loses or
+        /// invents a nanosecond to rounding.
+        #[test]
+        fn overlap_attribution_total_is_exactly_max_lane(lanes in lanes_strategy()) {
+            let streams = breakdowns(&lanes);
+            let max: u64 = streams
+                .iter()
+                .map(|s| s.nanos.iter().sum::<u64>())
+                .max()
+                .unwrap_or(0);
+            let folded = attribute_overlap(&streams);
+            prop_assert_eq!(folded.total(), Duration::from_nanos(max));
+        }
+
+        /// Through the public API: snapshot total == serial + max(streams),
+        /// with a serial lane in play too.
+        #[test]
+        fn snapshot_total_is_serial_plus_max_stream(
+            serial in 0u64..100_000,
+            lanes in lanes_strategy(),
+        ) {
+            let l = CostLedger::default();
+            l.add(CostCategory::Other, Duration::from_nanos(serial));
+            let mut max = 0u64;
+            for (s, lane) in lanes.iter().enumerate() {
+                for (i, n) in lane.iter().enumerate() {
+                    l.add_on_stream(s, CostCategory::ALL[i], Duration::from_nanos(*n));
+                }
+                max = max.max(lane.iter().sum());
+            }
+            prop_assert_eq!(l.snapshot().total(), Duration::from_nanos(serial + max));
+            prop_assert_eq!(l.total(), l.snapshot().total());
+        }
+    }
+
+    #[test]
+    fn overlap_attribution_all_equal_largest_category_tie() {
+        // Every category contributes the same amount, and the division
+        // truncates (max=7, sum=8·7=56 per category → 7·7/56 = 0 each...):
+        // lanes chosen so each category's proportional share rounds down and
+        // the remainder lands on the tie-broken "largest" category. The
+        // total must still be exactly max(lanes).
+        let mut lanes = Vec::new();
+        for _ in 0..8 {
+            lanes.push(TimeBreakdown { nanos: [7; 8] });
+        }
+        let folded = attribute_overlap(&lanes);
+        assert_eq!(folded.total(), Duration::from_nanos(7 * 8));
+        // And the 1-lane degenerate tie: everything maps back unchanged.
+        let one = [TimeBreakdown { nanos: [3; 8] }];
+        let folded = attribute_overlap(&one);
+        assert_eq!(folded.total(), Duration::from_nanos(24));
+        assert_eq!(folded, one[0]);
     }
 }

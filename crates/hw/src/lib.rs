@@ -39,8 +39,9 @@ pub mod trends;
 
 pub use cost::{CostModel, WorkProfile};
 pub use fault::{FaultAction, FaultInjector, FaultKind, FaultPlan, FaultSite, FaultSpec};
-pub use ledger::{CostCategory, CostLedger, TimeBreakdown};
+pub use ledger::{replay, CostCategory, CostLedger, TimeBreakdown};
 pub use link::{Link, LinkSpec};
+pub use sirius_trace::{TraceConfig, TraceSink};
 pub use spec::{DeviceKind, DeviceSpec};
 
 use std::sync::Arc;
@@ -102,18 +103,71 @@ impl Device {
     /// Charge a unit of work to the ledger under `category` and return the
     /// simulated duration of that unit.
     pub fn charge(&self, category: CostCategory, work: &WorkProfile) -> Duration {
+        self.charge_labeled(category, category.label(), work)
+    }
+
+    /// [`charge`](Self::charge) with a kernel label: when a trace sink is
+    /// attached, the emitted kernel event carries the label plus the
+    /// profile's bytes and rows.
+    pub fn charge_labeled(
+        &self,
+        category: CostCategory,
+        label: &str,
+        work: &WorkProfile,
+    ) -> Duration {
         let d = CostModel::kernel_time(&self.spec, work);
-        self.charge_duration(category, d);
+        self.charge_duration_labeled(
+            category,
+            label,
+            d,
+            work.bytes_streamed + work.bytes_random,
+            work.rows,
+        );
         d
     }
 
     /// Charge an explicit duration (used by exchange/link accounting where
     /// the time is computed against a [`Link`] rather than the device).
     pub fn charge_duration(&self, category: CostCategory, d: Duration) {
+        self.charge_duration_labeled(category, category.label(), d, 0, 0);
+    }
+
+    /// [`charge_duration`](Self::charge_duration) with a label and
+    /// bytes/rows diagnostics for the trace event (spill tier writes,
+    /// exchange link transfers).
+    pub fn charge_duration_labeled(
+        &self,
+        category: CostCategory,
+        label: &str,
+        d: Duration,
+        bytes: u64,
+        rows: u64,
+    ) {
         match self.stream {
-            Some(s) => self.ledger.add_on_stream(s, category, d),
-            None => self.ledger.add(category, d),
+            Some(s) => self
+                .ledger
+                .add_on_stream_labeled(s, category, d, label, bytes, rows),
+            None => self.ledger.add_labeled(category, d, label, bytes, rows),
         }
+    }
+
+    /// Attach (or detach) a trace event recorder to this device's ledger.
+    /// Shared by all clones and stream handles; survives [`reset`](Self::reset).
+    pub fn set_trace(&self, sink: TraceSink) {
+        self.ledger.set_trace(sink);
+    }
+
+    /// Handle to the attached trace recorder (disabled by default).
+    pub fn trace(&self) -> TraceSink {
+        self.ledger.trace()
+    }
+
+    /// Simulated time accumulated on the lane this handle charges onto
+    /// (the stream lane for a stream handle, the serial lane otherwise) —
+    /// *not* overlap-attributed. Metering `lane_elapsed` around an operator
+    /// gives the operator's busy time on its own lane.
+    pub fn lane_elapsed(&self) -> Duration {
+        self.ledger.lane_total(self.stream)
     }
 
     /// Total simulated time accumulated on this device.

@@ -52,6 +52,60 @@ pub(crate) struct Message {
     pub table: Table,
 }
 
+/// `(src, dst)` stable-id pair → (bytes, messages).
+type TrafficMap = HashMap<(usize, usize), (u64, u64)>;
+
+/// Per-link traffic counters, keyed by `(src, dst)` *stable* node ids.
+/// Shared by every communicator in a cluster; cloning shares the counters.
+/// The exchange layer has no absolute clock (wire time is charged to each
+/// node's ledger), so the link telemetry is cumulative bytes/messages
+/// rather than timestamped events.
+#[derive(Clone, Default)]
+pub struct LinkTraffic {
+    inner: Arc<parking_lot::Mutex<TrafficMap>>,
+}
+
+impl LinkTraffic {
+    /// Fresh counters, all zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn note(&self, src: usize, dst: usize, bytes: u64) {
+        let mut m = self.inner.lock();
+        let e = m.entry((src, dst)).or_insert((0, 0));
+        e.0 += bytes;
+        e.1 += 1;
+    }
+
+    /// Snapshot of `((src, dst), bytes, messages)` per link, sorted by pair.
+    pub fn snapshot(&self) -> Vec<((usize, usize), u64, u64)> {
+        let mut out: Vec<_> = self
+            .inner
+            .lock()
+            .iter()
+            .map(|(&k, &(b, n))| (k, b, n))
+            .collect();
+        out.sort_by_key(|(k, _, _)| *k);
+        out
+    }
+
+    /// Total bytes across all links.
+    pub fn total_bytes(&self) -> u64 {
+        self.inner.lock().values().map(|(b, _)| *b).sum()
+    }
+
+    /// Total messages across all links.
+    pub fn total_messages(&self) -> u64 {
+        self.inner.lock().values().map(|(_, n)| *n).sum()
+    }
+
+    /// Reset all counters to zero.
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+    }
+}
+
 /// A per-rank handle into the cluster. Each rank is owned by one thread.
 pub struct Communicator {
     rank: usize,
@@ -68,6 +122,8 @@ pub struct Communicator {
     /// Current rank → stable node id, for fault matching across world
     /// shrinks. Identity unless overridden via `set_fault_injector`.
     ids: Vec<usize>,
+    /// Shared per-link traffic counters (stable-id keyed).
+    traffic: LinkTraffic,
 }
 
 /// Factory for a set of connected communicators.
@@ -81,6 +137,7 @@ impl NcclCluster {
     pub fn new(world: usize, spec: LinkSpec) -> Vec<Communicator> {
         let link = Link::new(spec);
         let cancel = CancelToken::new();
+        let traffic = LinkTraffic::new();
         let (senders, receivers): (Vec<_>, Vec<_>) =
             (0..world).map(|_| unbounded::<Message>()).unzip();
         receivers
@@ -97,6 +154,7 @@ impl NcclCluster {
                 cancel: cancel.clone(),
                 fault: FaultInjector::disabled(),
                 ids: (0..world).collect(),
+                traffic: traffic.clone(),
             })
             .collect()
     }
@@ -116,6 +174,11 @@ impl Communicator {
     /// The shared interconnect (traffic counters).
     pub fn link(&self) -> &Link {
         &self.link
+    }
+
+    /// Shared per-link traffic counters, keyed by stable node id pairs.
+    pub fn traffic(&self) -> &LinkTraffic {
+        &self.traffic
     }
 
     /// The cancellation token shared by every communicator in this cluster.
@@ -182,6 +245,8 @@ impl Communicator {
         Ok(if peer == self.rank {
             Duration::ZERO
         } else {
+            self.traffic
+                .note(self.ids[self.rank], self.ids[peer], bytes);
             self.link.transfer(bytes) + injected_delay
         })
     }
@@ -315,6 +380,39 @@ mod tests {
         let fast = c0.send(1, 2, t(1)).unwrap();
         assert!(slow >= fast + extra, "slow {slow:?} vs fast {fast:?}");
         drop(c1);
+    }
+
+    #[test]
+    fn traffic_counters_track_per_link_bytes() {
+        let mut comms = NcclCluster::new(2, catalog::infiniband_4xndr());
+        // Stable ids differ from ranks (post-shrink survivor assignment).
+        comms[0].set_fault_injector(FaultInjector::disabled(), vec![4, 7]);
+        comms[1].set_fault_injector(FaultInjector::disabled(), vec![4, 7]);
+        let c1 = comms.pop().unwrap();
+        let mut c0 = comms.pop().unwrap();
+        let payload = t(1);
+        let bytes = payload.byte_size() as u64;
+        let h = std::thread::spawn(move || {
+            c1.send(0, 1, t(1)).unwrap();
+            c1.send(0, 2, t(1)).unwrap();
+            // Self-send stays off the wire and off the counters.
+            c1.send(1, 3, t(1)).unwrap();
+            c1 // keep the rank-1 channel open for c0's send below
+        });
+        c0.recv(1, 1).unwrap();
+        c0.recv(1, 2).unwrap();
+        let c1 = h.join().unwrap();
+        c0.send(1, 4, payload).unwrap();
+        drop(c1);
+        let traffic = c0.traffic();
+        assert_eq!(
+            traffic.snapshot(),
+            vec![((4, 7), bytes, 1), ((7, 4), 2 * bytes, 2)]
+        );
+        assert_eq!(traffic.total_bytes(), 3 * bytes);
+        assert_eq!(traffic.total_messages(), 3);
+        traffic.clear();
+        assert_eq!(traffic.total_bytes(), 0);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 pub mod cluster;
 pub mod collectives;
 
-pub use cluster::{CancelToken, Communicator, NcclCluster};
+pub use cluster::{CancelToken, Communicator, LinkTraffic, NcclCluster};
 
 /// Errors from the communication layer.
 #[derive(Debug, Clone, PartialEq, Eq)]

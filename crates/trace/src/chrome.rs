@@ -1,0 +1,611 @@
+//! Chrome-trace (`chrome://tracing` / Perfetto) JSON export.
+//!
+//! Produces the JSON Array-of-events format with `"X"` complete events on
+//! the simulated clock. Chrome's `ts`/`dur` unit is microseconds; simulated
+//! nanoseconds are emitted as exact decimal microseconds (`ns/1000` with up
+//! to three fractional digits), so no precision is lost.
+//!
+//! Track layout per process (one process per device/node):
+//! - `tid 0` — the serial lane (default stream);
+//! - `tid 1+s` — device stream `s`;
+//! - `tid 90` — spill tiers (kernel events whose label starts `spill.`);
+//! - `tid 91` — exchange links (label starts `exchange.`);
+//! - `tid 98` — lifecycle markers (retry / reschedule / fallback instants);
+//! - `tid 99 + d` — operator spans at plan-tree depth `d` (one track per
+//!   depth, so nested spans never share a track and per-track timestamps
+//!   stay monotone).
+//!
+//! Display-lane routing is purely cosmetic: a spill write is still a real
+//! ledger charge on its lane, and `sirius_hw::ledger::replay` uses the
+//! event's [`Lane`](crate::Lane), not its display track.
+
+use crate::{EventKind, Lane, TraceEvent};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Display thread id for spill-tier traffic.
+pub const SPILL_TID: u32 = 90;
+/// Display thread id for exchange-link traffic.
+pub const EXCHANGE_TID: u32 = 91;
+/// Display thread id for lifecycle markers.
+pub const LIFECYCLE_TID: u32 = 98;
+/// Base display thread id for operator spans: a span at plan-tree depth `d`
+/// renders on `OP_TID + d`.
+pub const OP_TID: u32 = 99;
+
+fn lane_tid(lane: Lane) -> u32 {
+    match lane {
+        Lane::Serial => 0,
+        Lane::Stream(s) => 1 + s,
+    }
+}
+
+/// The display track an event renders on.
+pub fn display_tid(ev: &TraceEvent) -> u32 {
+    match ev.kind {
+        EventKind::Span => OP_TID + ev.depth,
+        EventKind::Instant => LIFECYCLE_TID,
+        EventKind::Sync => lane_tid(Lane::Serial),
+        EventKind::Kernel => {
+            if ev.label.starts_with("spill.") {
+                SPILL_TID
+            } else if ev.label.starts_with("exchange.") {
+                EXCHANGE_TID
+            } else {
+                lane_tid(ev.lane)
+            }
+        }
+    }
+}
+
+fn tid_name(tid: u32) -> String {
+    match tid {
+        0 => "serial".to_string(),
+        SPILL_TID => "spill tiers".to_string(),
+        EXCHANGE_TID => "exchange links".to_string(),
+        LIFECYCLE_TID => "lifecycle".to_string(),
+        t if t >= OP_TID => format!("operators (depth {})", t - OP_TID),
+        s => format!("stream {}", s - 1),
+    }
+}
+
+/// Exact microseconds from nanoseconds: an integer part and up to three
+/// fractional digits, no floating-point rounding.
+fn us(ns: u64) -> String {
+    let whole = ns / 1000;
+    let frac = ns % 1000;
+    if frac == 0 {
+        format!("{whole}")
+    } else {
+        let mut s = format!("{whole}.{frac:03}");
+        while s.ends_with('0') {
+            s.pop();
+        }
+        s
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn push_meta(out: &mut String, pid: u32, tid: u32, name: &str, what: &str, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    let _ = write!(
+        out,
+        "\n{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"{what}\",\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        json_escape(name)
+    );
+}
+
+/// Export one process's events. `process` names the device/node (e.g.
+/// `"gh200"` or `"node 2"`).
+pub fn export(process: &str, events: &[TraceEvent]) -> String {
+    export_processes(&[(process.to_string(), events.to_vec())])
+}
+
+/// Export several processes (e.g. one per cluster node) into one trace.
+pub fn export_processes(processes: &[(String, Vec<TraceEvent>)]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    for (pid, (name, events)) in processes.iter().enumerate() {
+        let pid = pid as u32;
+        push_meta(&mut out, pid, 0, name, "process_name", &mut first);
+        let tids: BTreeSet<u32> = events.iter().map(display_tid).collect();
+        for tid in &tids {
+            push_meta(
+                &mut out,
+                pid,
+                *tid,
+                &tid_name(*tid),
+                "thread_name",
+                &mut first,
+            );
+        }
+        for ev in events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let tid = display_tid(ev);
+            let (ph, dur) = match ev.kind {
+                EventKind::Instant => ("i", None),
+                _ => ("X", Some(ev.dur)),
+            };
+            let _ = write!(
+                out,
+                "\n{{\"ph\":\"{ph}\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},",
+                us(ev.ts)
+            );
+            if let Some(d) = dur {
+                let _ = write!(out, "\"dur\":{},", us(d));
+            } else {
+                out.push_str("\"s\":\"p\",");
+            }
+            let _ = write!(
+                out,
+                "\"cat\":\"{}\",\"name\":\"{}\",\"args\":{{\"seq\":{}",
+                json_escape(ev.cat),
+                json_escape(&ev.label),
+                ev.seq
+            );
+            if ev.bytes > 0 {
+                let _ = write!(out, ",\"bytes\":{}", ev.bytes);
+            }
+            if ev.rows > 0 {
+                let _ = write!(out, ",\"rows\":{}", ev.rows);
+            }
+            if let Some(node) = ev.node {
+                let _ = write!(out, ",\"node\":{node}");
+            }
+            out.push_str("}}");
+        }
+    }
+    out.push_str("\n]}");
+    out
+}
+
+/// Schema violations found by [`validate`] / [`validate_json`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation(pub String);
+
+/// Validate an in-memory event stream: per-track monotone (non-decreasing)
+/// `ts` in sequence order, every `cat` drawn from `known_cats`, and nonzero
+/// `dur` on everything but instant markers.
+pub fn validate(events: &[TraceEvent], known_cats: &[&str]) -> Result<(), Violation> {
+    let mut sorted: Vec<&TraceEvent> = events.iter().collect();
+    sorted.sort_by_key(|e| e.seq);
+    let mut last_ts: std::collections::BTreeMap<u32, u64> = Default::default();
+    for ev in sorted {
+        if !known_cats.contains(&ev.cat) {
+            return Err(Violation(format!(
+                "seq {}: unknown cat {:?} (label {:?})",
+                ev.seq, ev.cat, ev.label
+            )));
+        }
+        if ev.dur == 0 && ev.kind != EventKind::Instant {
+            return Err(Violation(format!(
+                "seq {}: zero dur on non-instant event {:?}",
+                ev.seq, ev.label
+            )));
+        }
+        let tid = display_tid(ev);
+        let prev = last_ts.entry(tid).or_insert(0);
+        if ev.ts < *prev {
+            return Err(Violation(format!(
+                "seq {}: ts {} regresses below {} on track {}",
+                ev.seq, ev.ts, prev, tid
+            )));
+        }
+        *prev = ev.ts;
+    }
+    Ok(())
+}
+
+// --- emitted-JSON validation (CI smoke) ------------------------------------
+
+/// A minimal JSON value, just enough to check the emitted trace file.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> Violation {
+        Violation(format!("json parse error at byte {}: {msg}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Violation> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, Violation> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err(self.err("unexpected end")),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, Violation> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected {word}")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, Violation> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("bad number"))
+    }
+
+    fn string(&mut self) -> Result<String, Violation> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Advance one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().ok_or_else(|| self.err("end"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, Violation> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected , or ]")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, Violation> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let v = self.value()?;
+            fields.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected , or }")),
+            }
+        }
+    }
+}
+
+/// Validate an emitted Chrome-trace JSON document against the event schema:
+/// it must parse, every `"X"` event needs a known `cat`, nonzero `dur`, and
+/// per-`(pid, tid)` `ts` must be monotone in `args.seq` order. Returns the
+/// number of non-metadata events checked.
+pub fn validate_json(json: &str, known_cats: &[&str]) -> Result<usize, Violation> {
+    let mut p = Parser::new(json);
+    let doc = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing bytes after document"));
+    }
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| match v {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        })
+        .ok_or_else(|| Violation("missing traceEvents array".into()))?;
+
+    // (pid, tid, seq, ts, complete?) for every non-metadata event.
+    let mut rows: Vec<(u64, u64, u64, f64, bool)> = Vec::new();
+    let mut checked = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| Violation(format!("event {i}: missing ph")))?;
+        if ph == "M" {
+            continue;
+        }
+        checked += 1;
+        let pid = ev.get("pid").and_then(Json::as_f64).unwrap_or(-1.0);
+        let tid = ev.get("tid").and_then(Json::as_f64).unwrap_or(-1.0);
+        let ts = ev
+            .get("ts")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| Violation(format!("event {i}: missing ts")))?;
+        let cat = ev
+            .get("cat")
+            .and_then(Json::as_str)
+            .ok_or_else(|| Violation(format!("event {i}: missing cat")))?;
+        if !known_cats.contains(&cat) {
+            return Err(Violation(format!("event {i}: unknown cat {cat:?}")));
+        }
+        if ph == "X" {
+            let dur = ev
+                .get("dur")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| Violation(format!("event {i}: X event missing dur")))?;
+            if dur <= 0.0 {
+                return Err(Violation(format!("event {i}: zero dur")));
+            }
+        }
+        let seq = ev
+            .get("args")
+            .and_then(|a| a.get("seq"))
+            .and_then(Json::as_f64)
+            .ok_or_else(|| Violation(format!("event {i}: missing args.seq")))?
+            as u64;
+        rows.push((pid as u64, tid as u64, seq, ts, ph == "X"));
+    }
+    rows.sort_by_key(|(pid, tid, seq, ..)| (*pid, *tid, *seq));
+    let mut prev: Option<(u64, u64, f64)> = None;
+    for (pid, tid, seq, ts, _) in &rows {
+        if let Some((ppid, ptid, pts)) = prev {
+            if ppid == *pid && ptid == *tid && *ts < pts {
+                return Err(Violation(format!(
+                    "pid {pid} tid {tid}: ts {ts} regresses below {pts} at seq {seq}"
+                )));
+            }
+        }
+        prev = Some((*pid, *tid, *ts));
+    }
+    Ok(checked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, lane: Lane, cat: &'static str, label: &str, ts: u64, dur: u64) -> TraceEvent {
+        TraceEvent {
+            seq,
+            kind: EventKind::Kernel,
+            lane,
+            cat,
+            label: label.into(),
+            ts,
+            dur,
+            bytes: 128,
+            rows: 16,
+            node: None,
+            depth: 0,
+        }
+    }
+
+    #[test]
+    fn exact_microsecond_rendering() {
+        assert_eq!(us(0), "0");
+        assert_eq!(us(1000), "1");
+        assert_eq!(us(1), "0.001");
+        assert_eq!(us(1500), "1.5");
+        assert_eq!(us(123_456_789), "123456.789");
+    }
+
+    #[test]
+    fn export_roundtrips_through_the_validator() {
+        let events = vec![
+            ev(0, Lane::Serial, "other", "dispatch", 0, 100),
+            ev(1, Lane::Stream(0), "filter", "filter.apply", 100, 500),
+            ev(2, Lane::Stream(1), "filter", "filter.apply", 100, 400),
+            ev(3, Lane::Serial, "exchange", "spill.pinned.write", 600, 50),
+            ev(4, Lane::Serial, "exchange", "exchange.shuffle", 650, 70),
+            TraceEvent {
+                seq: 5,
+                kind: EventKind::Instant,
+                lane: Lane::Serial,
+                cat: "lifecycle",
+                label: "retry".into(),
+                ts: 700,
+                dur: 0,
+                bytes: 0,
+                rows: 0,
+                node: None,
+                depth: 0,
+            },
+        ];
+        let cats = ["other", "filter", "exchange", "lifecycle"];
+        validate(&events, &cats).unwrap();
+        let json = export("gh200", &events);
+        let checked = validate_json(&json, &cats).unwrap();
+        assert_eq!(checked, events.len());
+        // Display routing: spill/exchange kernels land on their own lanes.
+        assert_eq!(display_tid(&events[3]), SPILL_TID);
+        assert_eq!(display_tid(&events[4]), EXCHANGE_TID);
+        assert_eq!(display_tid(&events[1]), 1);
+    }
+
+    #[test]
+    fn validator_rejects_unknown_cat_zero_dur_and_ts_regression() {
+        let good = [ev(0, Lane::Serial, "filter", "k", 10, 5)];
+        assert!(validate(&good, &["filter"]).is_ok());
+        assert!(validate(&good, &["join"]).is_err());
+
+        let zero = [ev(0, Lane::Serial, "filter", "k", 10, 0)];
+        assert!(validate(&zero, &["filter"]).is_err());
+
+        let regress = [
+            ev(0, Lane::Serial, "filter", "k", 10, 5),
+            ev(1, Lane::Serial, "filter", "k", 4, 5),
+        ];
+        assert!(validate(&regress, &["filter"]).is_err());
+        // Different tracks may interleave timestamps freely.
+        let cross = [
+            ev(0, Lane::Stream(0), "filter", "k", 10, 5),
+            ev(1, Lane::Stream(1), "filter", "k", 4, 5),
+        ];
+        assert!(validate(&cross, &["filter"]).is_ok());
+    }
+
+    #[test]
+    fn json_validator_rejects_corrupt_documents() {
+        assert!(validate_json("{", &[]).is_err());
+        assert!(validate_json("{\"traceEvents\":3}", &[]).is_err());
+        let doc = "{\"traceEvents\":[{\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":1,\
+                   \"cat\":\"filter\",\"name\":\"k\",\"args\":{\"seq\":0}}]}";
+        // Missing dur on an X event.
+        assert!(validate_json(doc, &["filter"]).is_err());
+    }
+
+    #[test]
+    fn multi_process_export_keeps_pids_separate() {
+        let a = vec![ev(0, Lane::Serial, "join", "probe", 0, 10)];
+        let b = vec![ev(0, Lane::Serial, "join", "probe", 0, 10)];
+        let json = export_processes(&[("node 0".into(), a), ("node 1".into(), b)]);
+        assert_eq!(validate_json(&json, &["join"]).unwrap(), 2);
+        assert!(json.contains("node 0"));
+        assert!(json.contains("node 1"));
+    }
+}

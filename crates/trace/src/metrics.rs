@@ -1,0 +1,280 @@
+//! A small Prometheus-text metrics registry for the coordinator.
+//!
+//! Counters, gauges, and fixed-bucket histograms with label sets, rendered
+//! in the Prometheus text exposition format (`render`). Shared and
+//! thread-safe; cloning a [`MetricsRegistry`] shares the underlying state,
+//! so every node/engine handle feeds one snapshot.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+type LabelSet = Vec<(String, String)>;
+
+#[derive(Default)]
+struct Histogram {
+    /// Upper bounds (`le`), paired with cumulative counts at render time.
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+#[derive(Default)]
+struct Registry {
+    help: BTreeMap<String, String>,
+    counters: BTreeMap<(String, LabelSet), u64>,
+    gauges: BTreeMap<(String, LabelSet), f64>,
+    histograms: BTreeMap<(String, LabelSet), Histogram>,
+}
+
+/// Shared metrics registry; cheap to clone.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<Registry>>,
+}
+
+fn labels(pairs: &[(&str, &str)]) -> LabelSet {
+    pairs
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+fn render_labels(ls: &LabelSet, extra: Option<(&str, String)>) -> String {
+    let mut parts: Vec<String> = ls.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Render a float the way Prometheus expects (no exponent for simple
+/// values, `+Inf` spelled out).
+fn num(v: f64) -> String {
+    if v.is_infinite() {
+        if v > 0.0 {
+            "+Inf".into()
+        } else {
+            "-Inf".into()
+        }
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl MetricsRegistry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register help text for a metric family (shown as `# HELP`).
+    pub fn describe(&self, name: &str, help: &str) {
+        self.inner
+            .lock()
+            .help
+            .insert(name.to_string(), help.to_string());
+    }
+
+    /// Add `v` to a counter.
+    pub fn counter_add(&self, name: &str, label_pairs: &[(&str, &str)], v: u64) {
+        *self
+            .inner
+            .lock()
+            .counters
+            .entry((name.to_string(), labels(label_pairs)))
+            .or_insert(0) += v;
+    }
+
+    /// Increment a counter by one.
+    pub fn counter_inc(&self, name: &str, label_pairs: &[(&str, &str)]) {
+        self.counter_add(name, label_pairs, 1);
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter_value(&self, name: &str, label_pairs: &[(&str, &str)]) -> u64 {
+        self.inner
+            .lock()
+            .counters
+            .get(&(name.to_string(), labels(label_pairs)))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Set a gauge to `v`.
+    pub fn gauge_set(&self, name: &str, label_pairs: &[(&str, &str)], v: f64) {
+        self.inner
+            .lock()
+            .gauges
+            .insert((name.to_string(), labels(label_pairs)), v);
+    }
+
+    /// Raise a gauge to `v` if `v` exceeds its current value (high-watermark
+    /// semantics).
+    pub fn gauge_max(&self, name: &str, label_pairs: &[(&str, &str)], v: f64) {
+        let mut reg = self.inner.lock();
+        let slot = reg
+            .gauges
+            .entry((name.to_string(), labels(label_pairs)))
+            .or_insert(f64::MIN);
+        if v > *slot {
+            *slot = v;
+        }
+    }
+
+    /// Observe a value into a fixed-bucket histogram. The first observation
+    /// fixes the bucket bounds; later calls reuse them.
+    pub fn histogram_observe(
+        &self,
+        name: &str,
+        label_pairs: &[(&str, &str)],
+        bounds: &[f64],
+        v: f64,
+    ) {
+        let mut reg = self.inner.lock();
+        let h = reg
+            .histograms
+            .entry((name.to_string(), labels(label_pairs)))
+            .or_insert_with(|| Histogram {
+                bounds: bounds.to_vec(),
+                counts: vec![0; bounds.len()],
+                sum: 0.0,
+                count: 0,
+            });
+        for (bound, count) in h.bounds.iter().zip(h.counts.iter_mut()) {
+            if v <= *bound {
+                *count += 1;
+            }
+        }
+        h.sum += v;
+        h.count += 1;
+    }
+
+    /// Discard all recorded values (help text is kept).
+    pub fn clear(&self) {
+        let mut reg = self.inner.lock();
+        reg.counters.clear();
+        reg.gauges.clear();
+        reg.histograms.clear();
+    }
+
+    /// Render the Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        let reg = self.inner.lock();
+        let mut out = String::new();
+        let mut announced: std::collections::BTreeSet<String> = Default::default();
+        let mut announce = |out: &mut String, name: &str, kind: &str| {
+            if announced.insert(name.to_string()) {
+                if let Some(h) = reg.help.get(name) {
+                    let _ = writeln!(out, "# HELP {name} {h}");
+                }
+                let _ = writeln!(out, "# TYPE {name} {kind}");
+            }
+        };
+        for ((name, ls), v) in &reg.counters {
+            announce(&mut out, name, "counter");
+            let _ = writeln!(out, "{name}{} {v}", render_labels(ls, None));
+        }
+        for ((name, ls), v) in &reg.gauges {
+            announce(&mut out, name, "gauge");
+            let _ = writeln!(out, "{name}{} {}", render_labels(ls, None), num(*v));
+        }
+        for ((name, ls), h) in &reg.histograms {
+            announce(&mut out, name, "histogram");
+            for (bound, count) in h.bounds.iter().zip(h.counts.iter()) {
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{} {count}",
+                    render_labels(ls, Some(("le", num(*bound))))
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{name}_bucket{} {}",
+                render_labels(ls, Some(("le", "+Inf".into()))),
+                h.count
+            );
+            let _ = writeln!(out, "{name}_sum{} {}", render_labels(ls, None), num(h.sum));
+            let _ = writeln!(out, "{name}_count{} {}", render_labels(ls, None), h.count);
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("MetricsRegistry")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let m = MetricsRegistry::new();
+        m.counter_inc("sirius_retries_total", &[("query", "q6")]);
+        m.counter_add("sirius_retries_total", &[("query", "q6")], 2);
+        m.counter_inc("sirius_retries_total", &[("query", "q1")]);
+        assert_eq!(
+            m.counter_value("sirius_retries_total", &[("query", "q6")]),
+            3
+        );
+        assert_eq!(
+            m.counter_value("sirius_retries_total", &[("query", "q1")]),
+            1
+        );
+        assert_eq!(
+            m.counter_value("sirius_retries_total", &[("query", "q9")]),
+            0
+        );
+    }
+
+    #[test]
+    fn render_is_prometheus_text_format() {
+        let m = MetricsRegistry::new();
+        m.describe("sirius_kernel_launches_total", "Kernels launched.");
+        m.counter_add("sirius_kernel_launches_total", &[("cat", "filter")], 7);
+        m.gauge_set("sirius_pool_hwm_bytes", &[], 1048576.0);
+        m.histogram_observe("sirius_kernel_ns", &[], &[100.0, 1000.0], 50.0);
+        m.histogram_observe("sirius_kernel_ns", &[], &[100.0, 1000.0], 500.0);
+        m.histogram_observe("sirius_kernel_ns", &[], &[100.0, 1000.0], 5000.0);
+        let text = m.render();
+        assert!(text.contains("# HELP sirius_kernel_launches_total Kernels launched."));
+        assert!(text.contains("# TYPE sirius_kernel_launches_total counter"));
+        assert!(text.contains("sirius_kernel_launches_total{cat=\"filter\"} 7"));
+        assert!(text.contains("# TYPE sirius_pool_hwm_bytes gauge"));
+        assert!(text.contains("sirius_pool_hwm_bytes 1048576"));
+        assert!(text.contains("sirius_kernel_ns_bucket{le=\"100\"} 1"));
+        assert!(text.contains("sirius_kernel_ns_bucket{le=\"1000\"} 2"));
+        assert!(text.contains("sirius_kernel_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("sirius_kernel_ns_sum 5550"));
+        assert!(text.contains("sirius_kernel_ns_count 3"));
+    }
+
+    #[test]
+    fn gauge_max_keeps_high_watermark() {
+        let m = MetricsRegistry::new();
+        m.gauge_max("hwm", &[], 10.0);
+        m.gauge_max("hwm", &[], 4.0);
+        m.gauge_max("hwm", &[], 12.0);
+        assert!(m.render().contains("hwm 12"));
+    }
+
+    #[test]
+    fn clear_resets_values() {
+        let m = MetricsRegistry::new();
+        m.counter_inc("c", &[]);
+        m.clear();
+        assert_eq!(m.counter_value("c", &[]), 0);
+    }
+}

@@ -38,19 +38,22 @@ fn main() {
     let cpu_result = db.sql(query).expect("query runs");
     println!("host (CPU) result:\n{}", format_table(&cpu_result, 10));
 
-    // 3. The same optimized plan, executed by the Sirius GPU engine.
-    let sirius = SiriusEngine::new(catalog::gh200_gpu());
+    // 3. The same optimized plan, executed by the Sirius GPU engine —
+    // traced, so the run can be profiled kernel by kernel.
+    let sirius = SiriusEngine::new(catalog::gh200_gpu()).with_trace(sirius_hw::TraceConfig::On);
     sirius.load_table("sales", &sales);
     sirius.device().reset(); // measure the hot run
+    sirius.trace().clear(); // the trace restarts with the rebased clock
     let plan = db.plan(query).expect("plan");
     let gpu_result = sirius.execute(&plan).expect("GPU execution");
     println!("Sirius (GPU) result:\n{}", format_table(&gpu_result, 10));
 
     assert_eq!(cpu_result.canonical_rows(), gpu_result.canonical_rows());
     println!(
-        "identical results; simulated GPU time {:.3} ms across {} pipelines",
+        "identical results; simulated GPU time {:.3} ms across {} pipelines, {} trace events",
         sirius.device().elapsed().as_secs_f64() * 1e3,
         sirius.pipeline_count(&plan),
+        sirius.trace().events_recorded(),
     );
-    println!("plan:\n{}", plan.explain());
+    println!("{}", sirius.explain_analyze(&plan));
 }

@@ -88,6 +88,7 @@ proptest! {
         let cluster = chaos_cluster(seed);
         let mut injected_accounted = 0u64;
         for (id, sql, expected) in &fixture().expected {
+            let before = cluster.node_breakdowns();
             let out = cluster
                 .sql(sql)
                 .unwrap_or_else(|e| panic!("Q{id} seed={seed}: {e}"));
@@ -99,6 +100,30 @@ proptest! {
                 id,
                 seed
             );
+            // Telemetry invariant: the time a query reports (per_node) must
+            // equal the time the fleet's ledgers actually advanced across
+            // *all* attempts, retries included. A world shrink or CPU
+            // fallback discards ledgers mid-query, so only same-world
+            // queries are checkable this way.
+            if out.recovery.world_shrinks == 0 && out.recovery.cpu_fallbacks == 0 {
+                let after = cluster.node_breakdowns();
+                prop_assert_eq!(after.len(), before.len());
+                prop_assert_eq!(out.per_node.len(), after.len());
+                for (rank, ((id_b, b), (id_a, a))) in
+                    before.iter().zip(after.iter()).enumerate()
+                {
+                    prop_assert_eq!(id_b, id_a);
+                    prop_assert_eq!(
+                        a.since(b),
+                        out.per_node[rank].clone(),
+                        "Q{} seed={} node {}: reported per_node disagrees with the ledger delta (retries={})",
+                        id,
+                        seed,
+                        id_a,
+                        out.recovery.retries
+                    );
+                }
+            }
             injected_accounted += out.recovery.faults_injected;
         }
         // Every fault the injector fired must be attributed to some query's
@@ -108,6 +133,36 @@ proptest! {
             cluster.fault_injector().injected_count(),
             "seed={}: recovery counters disagree with the injector ledger",
             seed
+        );
+    }
+}
+
+#[test]
+fn report_elapsed_equals_breakdown_total() {
+    // The single-node report half of the telemetry invariant: every
+    // reported outcome's `elapsed` must equal its `breakdown.total()`.
+    // (The distributed half — per_node vs ledger deltas across retried
+    // attempts — is asserted inside the chaos sweep above.)
+    use sirius_core::{SiriusContext, SiriusEngine};
+    use sirius_hw::catalog as hw;
+
+    let fix = fixture();
+    let mut duck = sirius_duckdb::DuckDb::new();
+    let engine = SiriusEngine::new(hw::gh200_gpu());
+    for (name, table) in fix.data.tables() {
+        duck.create_table(name.clone(), table.clone());
+        engine.load_table(name.clone(), table);
+    }
+    let ctx = SiriusContext::new(engine);
+    for (id, sql, _) in &fix.expected {
+        let plan = duck.plan(sql).unwrap_or_else(|e| panic!("Q{id} plan: {e}"));
+        let (_, report) = ctx
+            .execute_plan(&plan)
+            .unwrap_or_else(|e| panic!("Q{id}: {e}"));
+        assert_eq!(
+            report.elapsed,
+            report.breakdown.total(),
+            "Q{id}: QueryReport.elapsed disagrees with breakdown.total()"
         );
     }
 }

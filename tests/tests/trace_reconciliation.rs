@@ -1,0 +1,100 @@
+//! Tracing is an observer, not a participant: for every TPC-H query the
+//! recorded trace must replay to the device ledger nanosecond-exact, the
+//! Chrome export must be structurally valid, the EXPLAIN ANALYZE root
+//! cardinality must equal the actual result cardinality, and running with
+//! tracing off must (a) record nothing and (b) charge the identical
+//! simulated time.
+
+use sirius_core::SiriusEngine;
+use sirius_duckdb::DuckDb;
+use sirius_hw::{catalog as hw, CostCategory, TraceConfig};
+use sirius_tpch::{queries, TpchGenerator};
+use sirius_trace::chrome;
+
+const SF: f64 = 0.005;
+
+fn load(engine: &SiriusEngine, data: &sirius_tpch::TpchData) {
+    for (name, table) in data.tables() {
+        engine.load_table(name.clone(), table);
+    }
+}
+
+#[test]
+fn all_queries_reconcile_trace_ledger_and_explain() {
+    let data = TpchGenerator::new(SF).generate();
+    let mut duck = DuckDb::new();
+    for (name, table) in data.tables() {
+        duck.create_table(name.clone(), table.clone());
+    }
+    let traced = SiriusEngine::new(hw::gh200_gpu()).with_trace(TraceConfig::On);
+    let untraced = SiriusEngine::new(hw::gh200_gpu());
+    load(&traced, &data);
+    load(&untraced, &data);
+
+    let known_cats: Vec<&str> = CostCategory::ALL
+        .iter()
+        .map(|c| c.label())
+        .chain(["marker", "op", "lifecycle"])
+        .collect();
+
+    for (id, sql) in queries::all() {
+        let plan = duck.plan(sql).unwrap_or_else(|e| panic!("Q{id} plan: {e}"));
+
+        traced.device().reset();
+        traced.trace().clear();
+        traced.clear_operator_stats();
+        let table = traced
+            .execute(&plan)
+            .unwrap_or_else(|e| panic!("Q{id} traced execute: {e}"));
+        let live = traced.device().breakdown();
+        let events = traced.trace().events();
+        assert!(!events.is_empty(), "Q{id}: traced run recorded no events");
+
+        // 1. The trace replays to the live ledger, to the nanosecond.
+        assert_eq!(
+            sirius_hw::ledger::replay(&events),
+            live,
+            "Q{id}: trace replay disagrees with the device ledger"
+        );
+
+        // 2. The Chrome export is structurally sound (monotone per-track
+        // timestamps, known categories, nonzero durations).
+        chrome::validate(&events, &known_cats)
+            .unwrap_or_else(|v| panic!("Q{id}: invalid chrome trace: {v:?}"));
+        let json = chrome::export(&format!("Q{id}"), &events);
+        let n = chrome::validate_json(&json, &known_cats)
+            .unwrap_or_else(|v| panic!("Q{id}: invalid chrome JSON: {v:?}"));
+        assert_eq!(n, events.len(), "Q{id}: export dropped events");
+
+        // 3. EXPLAIN ANALYZE's root operator reports the cardinality the
+        // query actually returned.
+        let stats = traced.operator_stats();
+        let root = stats
+            .get(&0)
+            .unwrap_or_else(|| panic!("Q{id}: no stats for the root operator"));
+        assert_eq!(
+            root.rows_out,
+            table.num_rows() as u64,
+            "Q{id}: EXPLAIN ANALYZE root cardinality is wrong"
+        );
+        let rendered = traced.explain_analyze(&plan);
+        assert!(
+            rendered.contains(&format!("rows={}", table.num_rows())),
+            "Q{id}: rendered plan missing the root cardinality:\n{rendered}"
+        );
+
+        // 4. Tracing is free: the untraced engine records nothing and
+        // charges the identical simulated time.
+        untraced.device().reset();
+        let untraced_table = untraced
+            .execute(&plan)
+            .unwrap_or_else(|e| panic!("Q{id} untraced execute: {e}"));
+        assert_eq!(untraced.trace().events_recorded(), 0);
+        assert_eq!(
+            untraced.device().breakdown(),
+            live,
+            "Q{id}: tracing changed the simulated time"
+        );
+        assert_eq!(untraced_table.num_rows(), table.num_rows());
+    }
+}
