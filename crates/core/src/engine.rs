@@ -1,133 +1,62 @@
 //! The GPU-native query executor (§3.2.2).
 //!
-//! Executes Substrait-style plans entirely on the (simulated) GPU with
-//! morsel-driven pipeline parallelism: each pipeline's source is partitioned
+//! [`SiriusEngine::execute`] compiles the logical plan once into a physical
+//! pipeline DAG ([`crate::physical::compile`]) and runs it with the wave
+//! scheduler ([`crate::schedule`]): each pipeline's source is partitioned
 //! into fixed-size morsels ([`MorselConfig`]), one task per morsel goes
 //! through the global [`TaskQueue`], and every task charges its kernels onto
-//! a device stream chosen round-robin by morsel index, so independent
-//! morsels overlap in the stream-aware time ledger. Filter / project /
-//! join-probe morsels run independently and concatenate in morsel order;
-//! group-by builds per-morsel partials merged at the pipeline breaker;
-//! ungrouped reductions combine partial accumulators. Pipeline breakers
+//! a device stream chosen round-robin within the pipeline's stream slice, so
+//! independent morsels — and, under [`Scheduling::Concurrent`], independent
+//! pipelines — overlap in the stream-aware time ledger. Pipeline breakers
 //! synchronize the streams (the simulated `cudaDeviceSynchronize()`),
 //! folding overlapped stream time back into the serial lane.
+//!
+//! The engine itself is the thin shell: configuration, buffer management,
+//! and the compile → schedule entry points. Streaming operators live in
+//! `crate::morsel`, breaker sinks and the DAG scheduler in
+//! [`crate::schedule`], and the out-of-core paths (§3.4) in `crate::oom`.
 
 use crate::buffer::BufferManager;
 use crate::explain::{self, OpStats};
-use crate::exprs::evaluate;
 use crate::metrics::MorselStats;
-use crate::pipeline::{decompose, TaskQueue};
+use crate::physical;
+use crate::pipeline::TaskQueue;
+use crate::schedule::Scheduling;
 use crate::{Result, SiriusError};
 use parking_lot::Mutex;
-use sirius_columnar::{Array, Bitmap, DataType, Scalar, Schema, Table};
-use sirius_cudf::filter::{apply_filter, gather, gather_opt};
-use sirius_cudf::groupby::{group_by, AggKind, AggRequest, PartialAggPlan};
-use sirius_cudf::join::{
-    build_hash_table, cross_join_pairs, probe_hash_table, resolve_join, JoinHashTable, JoinType,
-};
-use sirius_cudf::partition::hash_partition;
-use sirius_cudf::reduce::reduce;
-use sirius_cudf::sort::{sort_indices, SortKey};
-use sirius_cudf::unique::distinct;
+use sirius_columnar::Table;
 use sirius_cudf::GpuContext;
-use sirius_hw::{
-    catalog, CostCategory, Device, DeviceSpec, Link, TraceConfig, TraceSink, WorkProfile,
-};
-use sirius_plan::expr::{AggExpr, Expr, SortExpr};
+use sirius_hw::{catalog, CostCategory, Device, DeviceSpec, Link, TraceConfig, TraceSink};
 use sirius_plan::validate::FeatureSet;
-use sirius_plan::{AggFunc, JoinKind, Rel};
-use sirius_spill::{MemoryGrant, SpillConfig, SpillStats};
-use std::cmp::Ordering;
+use sirius_plan::visit::Node;
+use sirius_plan::Rel;
+use sirius_spill::{SpillConfig, SpillStats};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Deepest recursive repartitioning a spilling operator attempts before
-/// reporting a hard out-of-memory error. With up to
-/// [`MAX_SPILL_PARTITIONS`]-way fan-out per level, four levels cover any
-/// working set the simulated tiers could plausibly hold.
-const MAX_SPILL_DEPTH: u32 = 4;
+use crate::morsel::SharedOpStats;
 
-/// Fan-out cap per partitioning round; oversized partitions recurse with a
-/// fresh hash level instead of exploding the partition count.
-const MAX_SPILL_PARTITIONS: usize = 64;
-
-/// A morsel task in the fused aggregation sink: runs the streaming ops and
-/// the partial group-by, returning the morsel's (key columns, partial
-/// aggregate columns).
-type PartialGroupTask = Box<dyn FnOnce() -> Result<(Vec<Array>, Vec<Array>)> + Send>;
-
-/// How pipeline sources are partitioned into morsels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct MorselConfig {
-    /// Rows per morsel. Sources at most this large run as a single morsel.
-    pub rows: usize,
-}
-
-impl MorselConfig {
-    /// Default morsel size: 1 Mi rows — large enough that per-task launch
-    /// overhead stays noise, small enough that TPC-H fact tables split into
-    /// enough morsels to feed several streams.
-    pub const DEFAULT_ROWS: usize = 1 << 20;
-
-    /// Disable partitioning: every source is one morsel on one stream (the
-    /// pre-morsel "single-walk" executor, used as the ablation baseline).
-    pub fn whole_column() -> Self {
-        Self { rows: usize::MAX }
-    }
-}
-
-impl Default for MorselConfig {
-    fn default() -> Self {
-        Self {
-            rows: Self::DEFAULT_ROWS,
-        }
-    }
-}
-
-/// A plan node's pre-order id and tree depth, threaded through execution so
-/// tracing can attribute kernels, spans, and runtime stats to the operator
-/// that caused them. Ids use pre-order numbering (root = 0, children
-/// depth-first left-to-right), matching [`explain::render`].
-#[derive(Debug, Clone, Copy)]
-struct NodeRef {
-    id: u32,
-    depth: u32,
-}
-
-impl NodeRef {
-    const ROOT: NodeRef = NodeRef { id: 0, depth: 0 };
-
-    /// The child starting `offset` pre-order slots after `self + 1` (the
-    /// subtree sizes of the preceding siblings).
-    fn child(self, offset: u32) -> NodeRef {
-        NodeRef {
-            id: self.id + 1 + offset,
-            depth: self.depth + 1,
-        }
-    }
-}
-
-/// Shared per-node runtime stats, allocated only when tracing is enabled.
-type SharedOpStats = Arc<Mutex<HashMap<u32, OpStats>>>;
+pub use crate::morsel::MorselConfig;
 
 /// The Sirius GPU engine for one device.
 pub struct SiriusEngine {
-    device: Device,
-    bufmgr: Arc<BufferManager>,
-    queue: Arc<TaskQueue>,
-    features: FeatureSet,
-    morsel: MorselConfig,
-    stats: Arc<Mutex<MorselStats>>,
+    pub(crate) device: Device,
+    pub(crate) bufmgr: Arc<BufferManager>,
+    pub(crate) queue: Arc<TaskQueue>,
+    pub(crate) features: FeatureSet,
+    pub(crate) morsel: MorselConfig,
+    pub(crate) stats: Arc<Mutex<MorselStats>>,
+    pub(crate) scheduling: Scheduling,
     /// Fault injector + this node's stable id, polled at kernel launch.
-    fault: sirius_hw::FaultInjector,
-    node_id: usize,
+    pub(crate) fault: sirius_hw::FaultInjector,
+    pub(crate) node_id: usize,
     /// Trace recorder shared with the device ledger (disabled by default:
-    /// every instrumentation site below is a single branch).
-    trace: TraceSink,
+    /// every instrumentation site is a single branch).
+    pub(crate) trace: TraceSink,
     /// Per-plan-node runtime stats behind `EXPLAIN ANALYZE`; `None` unless
     /// tracing is on, so the disabled path allocates nothing.
-    op_stats: Option<SharedOpStats>,
+    pub(crate) op_stats: Option<SharedOpStats>,
 }
 
 impl SiriusEngine {
@@ -165,6 +94,7 @@ impl SiriusEngine {
             features: FeatureSet::full(),
             morsel: MorselConfig::default(),
             stats: Arc::new(Mutex::new(MorselStats::default())),
+            scheduling: Scheduling::default(),
             fault: sirius_hw::FaultInjector::disabled(),
             node_id: 0,
             trace: TraceSink::off(),
@@ -203,6 +133,14 @@ impl SiriusEngine {
         self
     }
 
+    /// Override how ready pipelines are dispatched (default:
+    /// [`Scheduling::Concurrent`]). [`Scheduling::Serialized`] is the
+    /// one-pipeline-at-a-time baseline for the scheduling ablation.
+    pub fn with_pipeline_scheduling(mut self, scheduling: Scheduling) -> Self {
+        self.scheduling = scheduling;
+        self
+    }
+
     /// Override the spill-tier capacities (defaults: 64 GiB pinned host,
     /// 1 TiB disk). Shrinking them to zero turns every spill into a hard
     /// out-of-memory error — the configuration tests use to prove host
@@ -232,6 +170,11 @@ impl SiriusEngine {
         self.morsel
     }
 
+    /// The active pipeline scheduling policy.
+    pub fn pipeline_scheduling(&self) -> Scheduling {
+        self.scheduling
+    }
+
     /// Worker threads draining the task queue (= device streams used).
     pub fn workers(&self) -> usize {
         self.queue.workers()
@@ -251,7 +194,10 @@ impl SiriusEngine {
 
     /// Snapshot of the per-plan-node runtime stats accumulated since the
     /// last [`clear_operator_stats`](Self::clear_operator_stats) (empty
-    /// when tracing is off).
+    /// when tracing is off). Keys are pre-order operator ids over the
+    /// *normalized* plan — the same ids [`physical::compile`] stamps on
+    /// every pipeline operator and sink, and the same ids `EXPLAIN
+    /// ANALYZE` rows and trace span tracks use.
     pub fn operator_stats(&self) -> HashMap<u32, OpStats> {
         match &self.op_stats {
             Some(s) => s.lock().clone(),
@@ -269,10 +215,13 @@ impl SiriusEngine {
 
     /// `EXPLAIN ANALYZE`: the plan annotated with each operator's actual
     /// rows, bytes, simulated time, and spill partitions from the last
-    /// traced execution. Requires [`with_trace`](Self::with_trace);
-    /// untraced engines render every node as data-free.
+    /// traced execution. The plan is normalized first so the rendered ids
+    /// line up with the executed (compiled) operator ids. Requires
+    /// [`with_trace`](Self::with_trace); untraced engines render every node
+    /// as data-free.
     pub fn explain_analyze(&self, plan: &Rel) -> String {
-        explain::render(plan, &self.operator_stats())
+        let normalized = sirius_plan::normalize::normalize(plan);
+        explain::render(&normalized, &self.operator_stats())
     }
 
     /// The simulated device (time ledger).
@@ -295,17 +244,15 @@ impl SiriusEngine {
         self.bufmgr.cache_resident(name, table);
     }
 
-    /// Execute a plan fully on-device. Errors of the `Unsupported` /
-    /// `OutOfMemory` / `Kernel` classes are candidates for host fallback
-    /// (handled by [`crate::SiriusContext`]).
+    /// Execute a plan fully on-device: compile it into its pipeline DAG and
+    /// run the DAG. Errors of the `Unsupported` / `OutOfMemory` / `Kernel`
+    /// classes are candidates for host fallback (handled by
+    /// [`crate::SiriusContext`]).
     pub fn execute(&self, plan: &Rel) -> Result<Table> {
         sirius_plan::validate::validate(plan)?;
         if let Some(feature) = self.features.first_unsupported(plan) {
             return Err(SiriusError::Unsupported(feature));
         }
-        // Each pipeline costs one dispatch round trip at the device's own
-        // launch overhead on the serial lane; per-morsel task dispatches
-        // are charged on the tasks' streams as the pipelines run.
         if self
             .fault
             .fire(sirius_hw::FaultSite::DeviceLaunch { node: self.node_id })
@@ -316,1122 +263,44 @@ impl SiriusEngine {
                 self.node_id
             )));
         }
-        let pipelines = decompose(plan);
+        let phys = physical::compile(plan)?;
+        // Each pipeline costs one dispatch round trip at the device's own
+        // launch overhead on the serial lane; per-morsel task dispatches
+        // are charged on the tasks' streams as the pipelines run.
         self.device.charge_duration(
             CostCategory::Other,
             Duration::from_nanos(
                 self.device
                     .spec()
                     .launch_overhead_ns
-                    .saturating_mul(pipelines.len() as u64),
+                    .saturating_mul(phys.pipelines.len() as u64),
             ),
         );
-        self.run(plan, NodeRef::ROOT)
+        self.run_physical(&phys)
     }
 
-    /// Number of pipelines the plan decomposes into.
+    /// Number of pipelines the plan compiles into (the executed DAG's size).
     pub fn pipeline_count(&self, plan: &Rel) -> usize {
-        decompose(plan).len()
+        physical::compile(plan)
+            .map(|p| p.pipelines.len())
+            .unwrap_or(0)
     }
 
-    fn ctx(&self, category: CostCategory) -> GpuContext {
+    pub(crate) fn ctx(&self, category: CostCategory) -> GpuContext {
         GpuContext::new(self.device.clone(), category)
-    }
-
-    /// Execute `plan`, recording a cumulative operator span + runtime stats
-    /// for pipeline-breaker nodes when tracing is on. Streaming nodes
-    /// (scan / filter / project / join-probe) are instrumented per-wave in
-    /// [`Self::run_ops_wave`] instead — one span per operator covering the
-    /// morsel wave, exclusive per-lane busy time per morsel.
-    fn run(&self, plan: &Rel, node: NodeRef) -> Result<Table> {
-        let breaker = !matches!(
-            plan,
-            Rel::Read { .. } | Rel::Filter { .. } | Rel::Project { .. } | Rel::Join { .. }
-        );
-        if !breaker || !self.trace.enabled() {
-            return self.run_inner(plan, node);
-        }
-        let t0 = self.device.elapsed();
-        let out = self.run_inner(plan, node)?;
-        let window = self.device.elapsed().saturating_sub(t0);
-        self.trace.span(
-            "op",
-            breaker_label(plan),
-            t0.as_nanos() as u64,
-            window.as_nanos() as u64,
-            out.byte_size() as u64,
-            out.num_rows() as u64,
-            node.id,
-            node.depth,
-        );
-        if let Some(stats) = &self.op_stats {
-            stats.lock().entry(node.id).or_default().note(
-                out.num_rows() as u64,
-                out.byte_size() as u64,
-                window,
-            );
-        }
-        Ok(out)
-    }
-
-    fn run_inner(&self, plan: &Rel, node: NodeRef) -> Result<Table> {
-        match plan {
-            Rel::Read { .. } | Rel::Filter { .. } | Rel::Project { .. } | Rel::Join { .. } => {
-                let morsels = self.run_pipeline(plan, node)?;
-                Ok(concat_morsels(plan.schema()?, &morsels))
-            }
-            Rel::Aggregate {
-                input,
-                group_by: keys,
-                aggregates,
-            } => self.run_aggregate(plan, input, keys, aggregates, node),
-            Rel::Sort { input, keys } => {
-                let t = self.run(input, node.child(0))?;
-                match self.bufmgr.request_grant((t.byte_size() as u64).max(1024)) {
-                    Ok(_buf) => {
-                        let ctx = self.ctx(CostCategory::OrderBy);
-                        let key_cols: Vec<(Array, bool)> = keys
-                            .iter()
-                            .map(|k| Ok((evaluate(&ctx, &k.expr, &t)?, k.ascending)))
-                            .collect::<Result<_>>()?;
-                        let sort_keys: Vec<SortKey<'_>> = key_cols
-                            .iter()
-                            .map(|(c, asc)| SortKey {
-                                column: c,
-                                ascending: *asc,
-                            })
-                            .collect();
-                        let idx = sort_indices(&ctx, &sort_keys, t.num_rows())?;
-                        Ok(gather(&ctx, &t, &idx))
-                    }
-                    // The sort buffer doesn't fit: sort spilled runs and
-                    // merge them back (§3.4 out-of-core).
-                    Err(_) => self.external_sort(&t, keys, node),
-                }
-            }
-            Rel::Limit {
-                input,
-                offset,
-                fetch,
-            } => {
-                let t = self.run(input, node.child(0))?;
-                let ctx = self.ctx(CostCategory::Other);
-                let start = (*offset).min(t.num_rows());
-                let end = match fetch {
-                    Some(f) => (start + f).min(t.num_rows()),
-                    None => t.num_rows(),
-                };
-                let idx: Vec<i32> = (start as i32..end as i32).collect();
-                Ok(gather(&ctx, &t, &idx))
-            }
-            Rel::Distinct { input } => {
-                let t = self.run(input, node.child(0))?;
-                let ctx = self.ctx(CostCategory::GroupBy);
-                Ok(distinct(&ctx, &t)?)
-            }
-            // Single-node: the exchange layer is bypassed entirely
-            // (§3.2.4); the distributed executor in `sirius-doris`
-            // intercepts Exchange nodes before they reach this engine.
-            Rel::Exchange { input, .. } => self.run(input, node.child(0)),
-        }
-    }
-
-    /// Execute one streaming pipeline morsel-wise: collect the streaming
-    /// operator chain down to its source (running pipeline breakers and
-    /// join build sides on the way), partition the source, and push each
-    /// morsel through the chain as its own task. Results come back in
-    /// morsel order; the streams are synchronized before returning (every
-    /// pipeline ends at a breaker or the result).
-    fn run_pipeline(&self, plan: &Rel, node: NodeRef) -> Result<Vec<Table>> {
-        let mut ops: Vec<MorselOp> = Vec::new();
-        let mut holds: Vec<MemoryGrant> = Vec::new();
-        let source = self.collect_pipeline(plan, node, &mut ops, &mut holds)?;
-        let chunks = self.chunk_and_count(&source);
-        let results = self.run_ops_wave(&Arc::new(ops), chunks);
-        drop(holds);
-        results
-    }
-
-    /// Partition a pipeline source and record the morsel count.
-    fn chunk_and_count(&self, source: &Table) -> Vec<Table> {
-        let chunks = chunk_morsels(source, self.morsel.rows);
-        self.stats.lock().morsels += chunks.len() as u64;
-        chunks
-    }
-
-    /// Push every morsel through the streaming operator chain as its own
-    /// task and synchronize the streams.
-    fn run_ops_wave(&self, ops: &Arc<Vec<MorselOp>>, chunks: Vec<Table>) -> Result<Vec<Table>> {
-        let streams = self.workers().max(1);
-        let overhead = self.task_overhead();
-        let wave_start = self.wave_start();
-        let op_stats = self.op_stats.clone();
-        let tasks: Vec<Box<dyn FnOnce() -> Result<Table> + Send>> = chunks
-            .into_iter()
-            .enumerate()
-            .map(|(i, morsel)| {
-                let device = self.device.on_stream(i % streams);
-                let ops = Arc::clone(ops);
-                let op_stats = op_stats.clone();
-                let f: Box<dyn FnOnce() -> Result<Table> + Send> = Box::new(move || {
-                    device.charge_duration(CostCategory::Other, overhead);
-                    let mut t = morsel;
-                    for op in ops.iter() {
-                        t = op.apply(&device, t, op_stats.as_deref())?;
-                    }
-                    Ok(t)
-                });
-                f
-            })
-            .collect();
-        let results = self.dispatch(tasks);
-        self.device.sync_streams();
-        self.wave_spans(ops, wave_start);
-        results.into_iter().collect()
-    }
-
-    /// The simulated instant a morsel wave begins (only read when tracing).
-    fn wave_start(&self) -> Duration {
-        if self.trace.enabled() {
-            self.device.elapsed()
-        } else {
-            Duration::ZERO
-        }
-    }
-
-    /// After a wave's stream sync: one span per streaming operator in the
-    /// chain, covering the wave's simulated window. A wave starts right
-    /// after the previous sync (no streams in flight), so its window lines
-    /// up exactly with the lane-local kernel timestamps inside it.
-    fn wave_spans(&self, ops: &[MorselOp], wave_start: Duration) {
-        if !self.trace.enabled() {
-            return;
-        }
-        let dur = self.device.elapsed().saturating_sub(wave_start);
-        for op in ops {
-            let (label, node) = op.span_info();
-            self.trace.span(
-                "op",
-                label,
-                wave_start.as_nanos() as u64,
-                dur.as_nanos() as u64,
-                0,
-                0,
-                node.id,
-                node.depth,
-            );
-        }
-    }
-
-    /// Gather the streaming operator chain feeding `rel` and return the
-    /// source table it pulls morsels from. Join build sides and anything
-    /// below a pipeline breaker execute here, before the morsel tasks are
-    /// dispatched.
-    fn collect_pipeline(
-        &self,
-        rel: &Rel,
-        node: NodeRef,
-        ops: &mut Vec<MorselOp>,
-        holds: &mut Vec<MemoryGrant>,
-    ) -> Result<Table> {
-        match rel {
-            Rel::Read {
-                table, projection, ..
-            } => {
-                let t = self.bufmgr.get_table(table)?;
-                let t = match projection {
-                    Some(p) => t.project(p),
-                    None => (*t).clone(),
-                };
-                // The scan pass over the cached columns is charged
-                // per-morsel, on the morsel's stream.
-                ops.push(MorselOp::Scan { node });
-                Ok(t)
-            }
-            Rel::Filter { input, predicate } => {
-                let t = self.collect_pipeline(input, node.child(0), ops, holds)?;
-                // Scan+filter fusion: a filter directly over a cached scan
-                // evaluates the predicate during the scan pass instead of
-                // re-reading the materialized input. The scan node keeps no
-                // stats of its own and renders as `(fused)`.
-                if matches!(ops.last(), Some(MorselOp::Scan { .. })) {
-                    ops.pop();
-                }
-                // Conjunction coalescing: planners emit one Filter node per
-                // conjunct. Folding a filter chain into a single AND tree
-                // evaluates the whole predicate in one fused kernel and
-                // selects the passing rows once, instead of materializing a
-                // shrinking intermediate per conjunct. The merged op is
-                // attributed to the outermost filter node.
-                let predicate = match ops.pop() {
-                    Some(MorselOp::Filter {
-                        predicate: prev, ..
-                    }) => sirius_plan::expr::and(prev, predicate.clone()),
-                    Some(other) => {
-                        ops.push(other);
-                        predicate.clone()
-                    }
-                    None => predicate.clone(),
-                };
-                ops.push(MorselOp::Filter { predicate, node });
-                Ok(t)
-            }
-            Rel::Project { input, exprs } => {
-                let t = self.collect_pipeline(input, node.child(0), ops, holds)?;
-                ops.push(MorselOp::Project {
-                    exprs: exprs.iter().map(|(e, _)| e.clone()).collect(),
-                    schema: rel.schema()?,
-                    node,
-                });
-                Ok(t)
-            }
-            Rel::Join {
-                left,
-                right,
-                kind,
-                left_keys,
-                right_keys,
-                residual,
-            } => {
-                let left_node = node.child(0);
-                let right_node = node.child(explain::subtree_size(left));
-                // Build side (right) runs as its own pipeline task on the
-                // global queue; the hash table is built once and shared
-                // read-only by every probe morsel.
-                let engine = self.share();
-                let right_plan = (**right).clone();
-                let rt = self
-                    .queue
-                    .run(move || engine.run(&right_plan, right_node))?;
-                // Hash table lives in the processing region until the last
-                // probe morsel is done.
-                match self.bufmgr.request_grant((rt.byte_size() as u64).max(1024)) {
-                    Ok(grant) => {
-                        holds.push(grant);
-                        let build_start = self.wave_start();
-                        let ctx = self.ctx(CostCategory::Join);
-                        let ht = if left_keys.is_empty() {
-                            None
-                        } else {
-                            let rk: Vec<Array> = right_keys
-                                .iter()
-                                .map(|e| evaluate(&ctx, e, &rt))
-                                .collect::<Result<_>>()?;
-                            let rrefs: Vec<&Array> = rk.iter().collect();
-                            Some(Arc::new(build_hash_table(&ctx, &rrefs, rt.num_rows())?))
-                        };
-                        if self.trace.enabled() {
-                            let dur = self.device.elapsed().saturating_sub(build_start);
-                            self.trace.span(
-                                "op",
-                                "join-build",
-                                build_start.as_nanos() as u64,
-                                dur.as_nanos() as u64,
-                                rt.byte_size() as u64,
-                                rt.num_rows() as u64,
-                                node.id,
-                                node.depth,
-                            );
-                            if let Some(stats) = &self.op_stats {
-                                // Build time only: the probe morsels add
-                                // their rows and lane time as they run.
-                                stats.lock().entry(node.id).or_default().busy += dur;
-                            }
-                        }
-                        let source = self.collect_pipeline(left, left_node, ops, holds)?;
-                        ops.push(MorselOp::Probe {
-                            ht,
-                            rt,
-                            kind: *kind,
-                            left_keys: left_keys.clone(),
-                            residual: residual.clone(),
-                            schema: rel.schema()?,
-                            node,
-                        });
-                        Ok(source)
-                    }
-                    // A cross join has no keys to partition on; its build
-                    // sides are scalar-subquery sized, so a denial there is
-                    // a genuine OOM.
-                    Err(e) if left_keys.is_empty() => Err(e),
-                    // The build side doesn't fit the processing region:
-                    // Grace-style partitioned join. The probe pipeline is
-                    // materialized morsel-wise, both sides are radix-
-                    // partitioned and spilled, and the joined table becomes
-                    // this pipeline's source (like any other breaker).
-                    Err(_) => {
-                        let lt = self.materialize_pipeline(left, left_node)?;
-                        let grace_start = self.wave_start();
-                        let out = self.grace_join(
-                            &lt,
-                            &rt,
-                            *kind,
-                            left_keys,
-                            right_keys,
-                            residual,
-                            rel.schema()?,
-                            node,
-                            0,
-                        )?;
-                        if self.trace.enabled() {
-                            let dur = self.device.elapsed().saturating_sub(grace_start);
-                            self.trace.span(
-                                "op",
-                                "spill-partition",
-                                grace_start.as_nanos() as u64,
-                                dur.as_nanos() as u64,
-                                out.byte_size() as u64,
-                                out.num_rows() as u64,
-                                node.id,
-                                node.depth,
-                            );
-                        }
-                        Ok(out)
-                    }
-                }
-            }
-            // A pipeline breaker below: run it to completion; its
-            // materialized output is this pipeline's source.
-            _ => self.run(rel, node),
-        }
-    }
-
-    /// Grouped and ungrouped aggregation at a pipeline breaker. With more
-    /// than one input morsel and a decomposable aggregate set, the partial
-    /// aggregation is the pipeline *sink*: each morsel task runs the
-    /// streaming operator chain and its partial accumulators back-to-back
-    /// on its stream — no intermediate materialization, no second dispatch
-    /// wave — and the partials merge serially after the stream sync.
-    /// Otherwise (single morsel, or `COUNT(DISTINCT)`) the whole-column
-    /// single pass runs.
-    fn run_aggregate(
-        &self,
-        plan: &Rel,
-        input: &Rel,
-        keys: &[Expr],
-        aggregates: &[AggExpr],
-        node: NodeRef,
-    ) -> Result<Table> {
-        let mut raw_ops: Vec<MorselOp> = Vec::new();
-        let mut holds: Vec<MemoryGrant> = Vec::new();
-        let source = self.collect_pipeline(input, node.child(0), &mut raw_ops, &mut holds)?;
-        let chunks = self.chunk_and_count(&source);
-        let ops = Arc::new(raw_ops);
-        let category = if keys.is_empty() {
-            CostCategory::Aggregate
-        } else {
-            CostCategory::GroupBy
-        };
-        let schema = plan.schema()?;
-        let kinds: Vec<AggKind> = aggregates.iter().map(|a| lower_agg(a.func)).collect();
-        // The aggregated input never materializes, so the accumulator-state
-        // reservation is sized by the pipeline source (the input is at most
-        // that big), before the tasks run. A denied grant takes the
-        // spilling path: materialize the input and partition it to fit.
-        let state = match self
-            .bufmgr
-            .request_grant((source.byte_size() as u64 / 2).max(1024))
-        {
-            Ok(g) => g,
-            Err(_) => {
-                let morsels = self.run_ops_wave(&ops, chunks)?;
-                drop(holds);
-                let t = concat_morsels(input.schema()?, &morsels);
-                return self.spilling_aggregate(&t, keys, aggregates, schema, category, node, 0);
-            }
-        };
-        let pplan = match PartialAggPlan::new(&kinds) {
-            Some(p) if chunks.len() > 1 => Arc::new(p),
-            // COUNT(DISTINCT) cannot merge partials; a single morsel gains
-            // nothing from the two-phase plan. Materialize the input and
-            // aggregate in one pass under the reservation.
-            _ => {
-                let morsels = self.run_ops_wave(&ops, chunks)?;
-                drop(holds);
-                let t = concat_morsels(input.schema()?, &morsels);
-                let out = self.aggregate_single_pass(&t, keys, aggregates, schema, category);
-                drop(state);
-                return out;
-            }
-        };
-        let _state = state;
-        let streams = self.workers().max(1);
-        let overhead = self.task_overhead();
-        let aggs: Arc<Vec<AggExpr>> = Arc::new(aggregates.to_vec());
-
-        if keys.is_empty() {
-            // Per-morsel pipeline + partial reductions.
-            let wave_start = self.wave_start();
-            let op_stats = self.op_stats.clone();
-            let tasks: Vec<Box<dyn FnOnce() -> Result<Vec<Scalar>> + Send>> = chunks
-                .into_iter()
-                .enumerate()
-                .map(|(i, m)| {
-                    let device = self.device.on_stream(i % streams);
-                    let ops = Arc::clone(&ops);
-                    let aggs = Arc::clone(&aggs);
-                    let pplan = Arc::clone(&pplan);
-                    let op_stats = op_stats.clone();
-                    let f: Box<dyn FnOnce() -> Result<Vec<Scalar>> + Send> = Box::new(move || {
-                        device.charge_duration(CostCategory::Other, overhead);
-                        let mut m = m;
-                        for op in ops.iter() {
-                            m = op.apply(&device, m, op_stats.as_deref())?;
-                        }
-                        let ctx = GpuContext::new(device, category);
-                        let inputs = agg_inputs(&ctx, &aggs, &m)?;
-                        pplan
-                            .partials()
-                            .iter()
-                            .map(|s| {
-                                Ok(reduce(
-                                    &ctx,
-                                    s.kind,
-                                    inputs[s.source].as_ref(),
-                                    m.num_rows(),
-                                )?)
-                            })
-                            .collect()
-                    });
-                    f
-                })
-                .collect();
-            let partials: Vec<Vec<Scalar>> =
-                self.dispatch(tasks).into_iter().collect::<Result<_>>()?;
-            self.device.sync_streams();
-            self.wave_spans(&ops, wave_start);
-
-            // Merge the partial accumulators (serial: the breaker).
-            let ctx = self.ctx(category);
-            let merged: Vec<Scalar> = (0..pplan.partials().len())
-                .map(|p| {
-                    let col: Vec<Scalar> = partials.iter().map(|row| row[p].clone()).collect();
-                    let dt = col
-                        .iter()
-                        .find_map(|s| s.data_type())
-                        .unwrap_or(DataType::Int64);
-                    let arr = Array::from_scalars(&col, dt);
-                    Ok(reduce(&ctx, pplan.merge_kind(p), Some(&arr), arr.len())?)
-                })
-                .collect::<Result<_>>()?;
-            Ok(scalar_table(&pplan.finalize_scalars(&merged), &schema))
-        } else {
-            // Per-morsel pipeline + partial group-by.
-            let wave_start = self.wave_start();
-            let op_stats = self.op_stats.clone();
-            let keys_arc: Arc<Vec<Expr>> = Arc::new(keys.to_vec());
-            let tasks: Vec<PartialGroupTask> = chunks
-                .into_iter()
-                .enumerate()
-                .map(|(i, m)| {
-                    let device = self.device.on_stream(i % streams);
-                    let ops = Arc::clone(&ops);
-                    let aggs = Arc::clone(&aggs);
-                    let keys = Arc::clone(&keys_arc);
-                    let pplan = Arc::clone(&pplan);
-                    let op_stats = op_stats.clone();
-                    let f: PartialGroupTask = Box::new(move || {
-                        device.charge_duration(CostCategory::Other, overhead);
-                        let mut m = m;
-                        for op in ops.iter() {
-                            m = op.apply(&device, m, op_stats.as_deref())?;
-                        }
-                        let ctx = GpuContext::new(device, category);
-                        let key_cols: Vec<Array> = keys
-                            .iter()
-                            .map(|k| evaluate(&ctx, k, &m))
-                            .collect::<Result<_>>()?;
-                        let key_refs: Vec<&Array> = key_cols.iter().collect();
-                        let inputs = agg_inputs(&ctx, &aggs, &m)?;
-                        let requests: Vec<AggRequest<'_>> = pplan
-                            .partials()
-                            .iter()
-                            .map(|s| AggRequest {
-                                kind: s.kind,
-                                input: inputs[s.source].as_ref(),
-                            })
-                            .collect();
-                        let r = group_by(&ctx, &key_refs, &requests, m.num_rows())?;
-                        Ok((r.key_columns, r.agg_columns))
-                    });
-                    f
-                })
-                .collect();
-            let parts: Vec<(Vec<Array>, Vec<Array>)> =
-                self.dispatch(tasks).into_iter().collect::<Result<_>>()?;
-            self.device.sync_streams();
-            self.wave_spans(&ops, wave_start);
-
-            // Merge at the breaker: concatenate the per-morsel partial
-            // tables and re-aggregate with the merge kinds. Concatenation
-            // order is morsel order, so first-appearance (and sorted) group
-            // order matches the whole-column pass.
-            let ctx = self.ctx(CostCategory::GroupBy);
-            let merged_keys: Vec<Array> = (0..keys.len())
-                .map(|k| {
-                    let cols: Vec<&Array> = parts.iter().map(|(kc, _)| &kc[k]).collect();
-                    Array::concat(&cols)
-                })
-                .collect();
-            let merged_parts: Vec<Array> = (0..pplan.partials().len())
-                .map(|p| {
-                    let cols: Vec<&Array> = parts.iter().map(|(_, ac)| &ac[p]).collect();
-                    Array::concat(&cols)
-                })
-                .collect();
-            let total = merged_keys.first().map(|a| a.len()).unwrap_or(0);
-            let key_refs: Vec<&Array> = merged_keys.iter().collect();
-            let requests: Vec<AggRequest<'_>> = merged_parts
-                .iter()
-                .enumerate()
-                .map(|(p, col)| AggRequest {
-                    kind: pplan.merge_kind(p),
-                    input: Some(col),
-                })
-                .collect();
-            let r = group_by(&ctx, &key_refs, &requests, total)?;
-            let finals = pplan.finalize(&ctx, &r.agg_columns)?;
-            let cols: Vec<Array> = r.key_columns.into_iter().chain(finals).collect();
-            Ok(Table::new(schema, cols))
-        }
-    }
-
-    /// The pre-morsel whole-column aggregation pass.
-    fn aggregate_single_pass(
-        &self,
-        t: &Table,
-        keys: &[Expr],
-        aggregates: &[AggExpr],
-        schema: Schema,
-        category: CostCategory,
-    ) -> Result<Table> {
-        let ctx = self.ctx(category);
-        let inputs = agg_inputs(&ctx, aggregates, t)?;
-        if keys.is_empty() {
-            let scalars: Vec<Scalar> = aggregates
-                .iter()
-                .zip(inputs.iter())
-                .map(|(a, input)| {
-                    Ok(reduce(
-                        &ctx,
-                        lower_agg(a.func),
-                        input.as_ref(),
-                        t.num_rows(),
-                    )?)
-                })
-                .collect::<Result<_>>()?;
-            Ok(scalar_table(&scalars, &schema))
-        } else {
-            let key_cols: Vec<Array> = keys
-                .iter()
-                .map(|k| evaluate(&ctx, k, t))
-                .collect::<Result<_>>()?;
-            let key_refs: Vec<&Array> = key_cols.iter().collect();
-            let requests: Vec<AggRequest<'_>> = aggregates
-                .iter()
-                .zip(inputs.iter())
-                .map(|(a, input)| AggRequest {
-                    kind: lower_agg(a.func),
-                    input: input.as_ref(),
-                })
-                .collect();
-            let result = group_by(&ctx, &key_refs, &requests, t.num_rows())?;
-            let cols: Vec<Array> = result
-                .key_columns
-                .into_iter()
-                .chain(result.agg_columns)
-                .collect();
-            Ok(Table::new(schema, cols))
-        }
-    }
-
-    // -- out-of-core execution (§3.4) -------------------------------------
-
-    /// Run `rel` as a full pipeline and concatenate its morsel outputs (the
-    /// spilling operators consume materialized inputs).
-    fn materialize_pipeline(&self, rel: &Rel, node: NodeRef) -> Result<Table> {
-        let morsels = self.run_pipeline(rel, node)?;
-        Ok(concat_morsels(rel.schema()?, &morsels))
-    }
-
-    /// How many ways to partition a working set of `need` bytes so each
-    /// partition fits comfortably in the largest grantable block. Capped at
-    /// [`MAX_SPILL_PARTITIONS`]; oversized partitions recurse instead.
-    fn partition_fanout(&self, need: u64) -> usize {
-        let target = (self.bufmgr.largest_grantable() / 2).max(sirius_rmm::pool::ALIGNMENT);
-        usize::try_from(need.div_ceil(target))
-            .unwrap_or(MAX_SPILL_PARTITIONS)
-            .clamp(2, MAX_SPILL_PARTITIONS)
-    }
-
-    /// Grace-style partitioned hash join: if the build side fits under a
-    /// grant, build and probe directly; otherwise radix-partition both
-    /// sides by key hash, park every partition on the spill tiers, and join
-    /// the pairs one at a time — recursing with a fresh hash level when a
-    /// partition still doesn't fit. Equal keys always collocate, so inner /
-    /// left / semi / anti / single semantics (and residual predicates) hold
-    /// per pair; partition order replaces probe order in the output, which
-    /// only a downstream sort observes.
-    #[allow(clippy::too_many_arguments)]
-    fn grace_join(
-        &self,
-        lt: &Table,
-        rt: &Table,
-        kind: JoinKind,
-        left_keys: &[Expr],
-        right_keys: &[Expr],
-        residual: &Option<Expr>,
-        schema: Schema,
-        node: NodeRef,
-        depth: u32,
-    ) -> Result<Table> {
-        let need = (rt.byte_size() as u64).max(1024);
-        match self.bufmgr.request_grant(need) {
-            Ok(_grant) => {
-                let ctx = self.ctx(CostCategory::Join);
-                let rk: Vec<Array> = right_keys
-                    .iter()
-                    .map(|e| evaluate(&ctx, e, rt))
-                    .collect::<Result<_>>()?;
-                let rrefs: Vec<&Array> = rk.iter().collect();
-                let ht = Some(Arc::new(build_hash_table(&ctx, &rrefs, rt.num_rows())?));
-                let op = MorselOp::Probe {
-                    ht,
-                    rt: rt.clone(),
-                    kind,
-                    left_keys: left_keys.to_vec(),
-                    residual: residual.clone(),
-                    schema,
-                    node,
-                };
-                op.apply(&self.device, lt.clone(), self.op_stats.as_deref())
-            }
-            Err(_) if depth >= MAX_SPILL_DEPTH => Err(SiriusError::OutOfMemory(format!(
-                "join build side of {} B still exceeds the processing region after \
-                 {MAX_SPILL_DEPTH} repartitioning rounds",
-                rt.byte_size()
-            ))),
-            Err(_) => {
-                let parts = self.partition_fanout(need);
-                let ctx = self.ctx(CostCategory::Join);
-                let rk: Vec<Array> = right_keys
-                    .iter()
-                    .map(|e| evaluate(&ctx, e, rt))
-                    .collect::<Result<_>>()?;
-                let lk: Vec<Array> = left_keys
-                    .iter()
-                    .map(|e| evaluate(&ctx, e, lt))
-                    .collect::<Result<_>>()?;
-                let rparts =
-                    hash_partition(&ctx, &rk.iter().collect::<Vec<_>>(), rt, parts, depth)?;
-                let lparts =
-                    hash_partition(&ctx, &lk.iter().collect::<Vec<_>>(), lt, parts, depth)?;
-                self.bufmgr.note_repartition(depth + 1);
-                let mut outs = Vec::with_capacity(parts);
-                let mut spilled = 0u64;
-                for (lp, rp) in lparts.iter().zip(&rparts) {
-                    if lp.num_rows() == 0 && rp.num_rows() == 0 {
-                        continue;
-                    }
-                    // Park both sides, reading each back as the pair joins.
-                    let lticket = self.bufmgr.spill_write((lp.byte_size() as u64).max(1))?;
-                    let rticket = self.bufmgr.spill_write((rp.byte_size() as u64).max(1))?;
-                    self.bufmgr.spill_read(&lticket);
-                    self.bufmgr.spill_read(&rticket);
-                    drop((lticket, rticket));
-                    spilled += 2;
-                    outs.push(self.grace_join(
-                        lp,
-                        rp,
-                        kind,
-                        left_keys,
-                        right_keys,
-                        residual,
-                        schema.clone(),
-                        node,
-                        depth + 1,
-                    )?);
-                }
-                self.note_spill(node, spilled);
-                Ok(concat_morsels(schema, &outs))
-            }
-        }
-    }
-
-    /// Spilling aggregation: if the accumulator state fits under a grant,
-    /// aggregate in one pass; otherwise hash-partition the input by its
-    /// group keys (groups never span partitions, so even `COUNT(DISTINCT)`
-    /// stays exact), spill the partitions, and aggregate each on read-back.
-    /// Ungrouped aggregates stream chunk-wise partials instead — they have
-    /// no keys to partition on.
-    #[allow(clippy::too_many_arguments)]
-    fn spilling_aggregate(
-        &self,
-        t: &Table,
-        keys: &[Expr],
-        aggregates: &[AggExpr],
-        schema: Schema,
-        category: CostCategory,
-        node: NodeRef,
-        depth: u32,
-    ) -> Result<Table> {
-        let need = (t.byte_size() as u64 / 2).max(1024);
-        if let Ok(_state) = self.bufmgr.request_grant(need) {
-            return self.aggregate_single_pass(t, keys, aggregates, schema, category);
-        }
-        if keys.is_empty() {
-            return self.chunked_reduce(t, aggregates, schema, category);
-        }
-        if depth >= MAX_SPILL_DEPTH {
-            return self.chunked_group_by(t, keys, aggregates, schema, category);
-        }
-        let ctx = self.ctx(category);
-        let key_cols: Vec<Array> = keys
-            .iter()
-            .map(|k| evaluate(&ctx, k, t))
-            .collect::<Result<_>>()?;
-        let parts = self.partition_fanout(need);
-        let pts = hash_partition(&ctx, &key_cols.iter().collect::<Vec<_>>(), t, parts, depth)?;
-        if pts.iter().any(|p| p.num_rows() == t.num_rows()) {
-            // Partitioning cannot shrink this input — one group (or one
-            // key value) dominates it. Accumulator state scales with the
-            // group count, not the row count, so stream two-phase partials
-            // instead of repartitioning to no effect.
-            return self.chunked_group_by(t, keys, aggregates, schema, category);
-        }
-        self.bufmgr.note_repartition(depth + 1);
-        let mut outs = Vec::with_capacity(parts);
-        let mut spilled = 0u64;
-        for p in &pts {
-            if p.num_rows() == 0 {
-                continue;
-            }
-            let ticket = self.bufmgr.spill_write((p.byte_size() as u64).max(1))?;
-            self.bufmgr.spill_read(&ticket);
-            drop(ticket);
-            spilled += 1;
-            outs.push(self.spilling_aggregate(
-                p,
-                keys,
-                aggregates,
-                schema.clone(),
-                category,
-                node,
-                depth + 1,
-            )?);
-        }
-        self.note_spill(node, spilled);
-        Ok(concat_morsels(schema, &outs))
-    }
-
-    /// Ungrouped aggregation over an input whose accumulator state was
-    /// denied: stream decomposable partials chunk by chunk under small
-    /// grants and merge them. Non-decomposable aggregates (`COUNT(DISTINCT)`
-    /// without keys) genuinely need the whole input resident and stay a
-    /// hard out-of-memory error (host fallback's last resort).
-    fn chunked_reduce(
-        &self,
-        t: &Table,
-        aggregates: &[AggExpr],
-        schema: Schema,
-        category: CostCategory,
-    ) -> Result<Table> {
-        let kinds: Vec<AggKind> = aggregates.iter().map(|a| lower_agg(a.func)).collect();
-        let Some(pplan) = PartialAggPlan::new(&kinds) else {
-            return Err(SiriusError::OutOfMemory(
-                "ungrouped COUNT(DISTINCT) cannot decompose into spillable partials".into(),
-            ));
-        };
-        if t.num_rows() == 0 {
-            return self.aggregate_single_pass(t, &[], aggregates, schema, category);
-        }
-        let target = (self.bufmgr.largest_grantable() / 2).max(sirius_rmm::pool::ALIGNMENT);
-        let bytes_per_row = ((t.byte_size() as u64) / t.num_rows() as u64).max(1);
-        let rows = usize::try_from(target / bytes_per_row).unwrap_or(1).max(1);
-        let chunks = chunk_morsels(t, rows);
-        self.bufmgr.note_repartition(1);
-        let ctx = self.ctx(category);
-        let mut partials: Vec<Vec<Scalar>> = Vec::with_capacity(chunks.len());
-        for c in &chunks {
-            let _g = self
-                .bufmgr
-                .request_grant((c.byte_size() as u64 / 2).max(256))?;
-            let inputs = agg_inputs(&ctx, aggregates, c)?;
-            let row: Vec<Scalar> = pplan
-                .partials()
-                .iter()
-                .map(|s| {
-                    Ok(reduce(
-                        &ctx,
-                        s.kind,
-                        inputs[s.source].as_ref(),
-                        c.num_rows(),
-                    )?)
-                })
-                .collect::<Result<_>>()?;
-            partials.push(row);
-        }
-        let merged: Vec<Scalar> = (0..pplan.partials().len())
-            .map(|p| {
-                let col: Vec<Scalar> = partials.iter().map(|row| row[p].clone()).collect();
-                let dt = col
-                    .iter()
-                    .find_map(|s| s.data_type())
-                    .unwrap_or(DataType::Int64);
-                let arr = Array::from_scalars(&col, dt);
-                Ok(reduce(&ctx, pplan.merge_kind(p), Some(&arr), arr.len())?)
-            })
-            .collect::<Result<_>>()?;
-        Ok(scalar_table(&pplan.finalize_scalars(&merged), &schema))
-    }
-
-    /// Grouped aggregation for inputs hash partitioning cannot shrink
-    /// (heavy key skew — a handful of giant groups). Accumulator state is
-    /// proportional to the number of distinct groups, not input rows: run
-    /// a partial group-by over chunks that fit under small grants, then
-    /// merge the partial tables with the merge aggregation kinds — the
-    /// same two-phase decomposition the morsel executor uses. Grouped
-    /// `COUNT(DISTINCT)` cannot merge partials and stays a hard
-    /// out-of-memory error here.
-    fn chunked_group_by(
-        &self,
-        t: &Table,
-        keys: &[Expr],
-        aggregates: &[AggExpr],
-        schema: Schema,
-        category: CostCategory,
-    ) -> Result<Table> {
-        let kinds: Vec<AggKind> = aggregates.iter().map(|a| lower_agg(a.func)).collect();
-        let Some(pplan) = PartialAggPlan::new(&kinds) else {
-            return Err(SiriusError::OutOfMemory(format!(
-                "group-by state for {} B of skewed keys cannot decompose into \
-                 spillable partials (COUNT(DISTINCT))",
-                t.byte_size()
-            )));
-        };
-        if t.num_rows() == 0 {
-            return self.aggregate_single_pass(t, keys, aggregates, schema, category);
-        }
-        let target = (self.bufmgr.largest_grantable() / 2).max(sirius_rmm::pool::ALIGNMENT);
-        let bytes_per_row = ((t.byte_size() as u64) / t.num_rows() as u64).max(1);
-        let rows = usize::try_from(target / bytes_per_row).unwrap_or(1).max(1);
-        let chunks = chunk_morsels(t, rows);
-        let ctx = self.ctx(category);
-        let mut parts: Vec<(Vec<Array>, Vec<Array>)> = Vec::with_capacity(chunks.len());
-        for c in &chunks {
-            let _g = self
-                .bufmgr
-                .request_grant((c.byte_size() as u64 / 2).max(256))?;
-            let key_cols: Vec<Array> = keys
-                .iter()
-                .map(|k| evaluate(&ctx, k, c))
-                .collect::<Result<_>>()?;
-            let key_refs: Vec<&Array> = key_cols.iter().collect();
-            let inputs = agg_inputs(&ctx, aggregates, c)?;
-            let requests: Vec<AggRequest<'_>> = pplan
-                .partials()
-                .iter()
-                .map(|s| AggRequest {
-                    kind: s.kind,
-                    input: inputs[s.source].as_ref(),
-                })
-                .collect();
-            let r = group_by(&ctx, &key_refs, &requests, c.num_rows())?;
-            parts.push((r.key_columns, r.agg_columns));
-        }
-        // Merge: the concatenated partials hold at most (groups x chunks)
-        // rows — tiny next to the input when groups are few.
-        let merged_keys: Vec<Array> = (0..keys.len())
-            .map(|k| {
-                let cols: Vec<&Array> = parts.iter().map(|(kc, _)| &kc[k]).collect();
-                Array::concat(&cols)
-            })
-            .collect();
-        let merged_parts: Vec<Array> = (0..pplan.partials().len())
-            .map(|p| {
-                let cols: Vec<&Array> = parts.iter().map(|(_, ac)| &ac[p]).collect();
-                Array::concat(&cols)
-            })
-            .collect();
-        let merged_bytes: u64 = merged_keys
-            .iter()
-            .chain(merged_parts.iter())
-            .map(|a| a.byte_size() as u64)
-            .sum();
-        let _merge_state = self.bufmgr.request_grant(merged_bytes.max(1024))?;
-        let total = merged_keys.first().map(|a| a.len()).unwrap_or(0);
-        let key_refs: Vec<&Array> = merged_keys.iter().collect();
-        let requests: Vec<AggRequest<'_>> = merged_parts
-            .iter()
-            .enumerate()
-            .map(|(p, col)| AggRequest {
-                kind: pplan.merge_kind(p),
-                input: Some(col),
-            })
-            .collect();
-        let r = group_by(&ctx, &key_refs, &requests, total)?;
-        let finals = pplan.finalize(&ctx, &r.agg_columns)?;
-        let cols: Vec<Array> = r.key_columns.into_iter().chain(finals).collect();
-        Ok(Table::new(schema, cols))
-    }
-
-    /// External merge sort: split the input into runs that fit under a
-    /// grant, sort and spill each run, then stream the runs back through a
-    /// k-way merge. Tie-breaking by run index preserves the stability of
-    /// the in-memory sort (runs are consecutive input chunks).
-    fn external_sort(&self, t: &Table, keys: &[SortExpr], node: NodeRef) -> Result<Table> {
-        let n = t.num_rows();
-        if n == 0 {
-            return Ok(t.clone());
-        }
-        let ctx = self.ctx(CostCategory::OrderBy);
-        let target = (self.bufmgr.largest_grantable() / 2).max(sirius_rmm::pool::ALIGNMENT);
-        let bytes_per_row = ((t.byte_size() as u64) / n as u64).max(1);
-        let run_rows = usize::try_from(target / bytes_per_row).unwrap_or(1).max(1);
-        let runs_in = chunk_morsels(t, run_rows);
-        self.bufmgr.note_repartition(1);
-        let mut runs: Vec<Table> = Vec::with_capacity(runs_in.len());
-        let mut tickets = Vec::with_capacity(runs_in.len());
-        for run in &runs_in {
-            let _g = self
-                .bufmgr
-                .request_grant((run.byte_size() as u64).max(256))?;
-            let key_cols: Vec<(Array, bool)> = keys
-                .iter()
-                .map(|k| Ok((evaluate(&ctx, &k.expr, run)?, k.ascending)))
-                .collect::<Result<_>>()?;
-            let sort_keys: Vec<SortKey<'_>> = key_cols
-                .iter()
-                .map(|(c, asc)| SortKey {
-                    column: c,
-                    ascending: *asc,
-                })
-                .collect();
-            let idx = sort_indices(&ctx, &sort_keys, run.num_rows())?;
-            let sorted = gather(&ctx, run, &idx);
-            tickets.push(
-                self.bufmgr
-                    .spill_write((sorted.byte_size() as u64).max(1))?,
-            );
-            runs.push(sorted);
-        }
-        for ticket in &tickets {
-            self.bufmgr.spill_read(ticket);
-        }
-        self.note_spill(node, tickets.len() as u64);
-        drop(tickets);
-        // Keys were evaluated (and charged) per run above; re-deriving them
-        // in sorted order models the merge reading keys carried with the
-        // runs, so it computes through a muted context.
-        let muted = ctx.muted();
-        let run_keys: Vec<Vec<(Array, bool)>> = runs
-            .iter()
-            .map(|r| {
-                keys.iter()
-                    .map(|k| Ok((evaluate(&muted, &k.expr, r)?, k.ascending)))
-                    .collect::<Result<_>>()
-            })
-            .collect::<Result<_>>()?;
-        let cmp_rows = |ra: usize, ia: usize, rb: usize, ib: usize| -> Ordering {
-            for ((ca, asc), (cb, _)) in run_keys[ra].iter().zip(&run_keys[rb]) {
-                let ord = ca.scalar(ia).cmp(&cb.scalar(ib));
-                let ord = if *asc { ord } else { ord.reverse() };
-                if ord != Ordering::Equal {
-                    return ord;
-                }
-            }
-            ra.cmp(&rb)
-        };
-        let offsets: Vec<i32> = runs
-            .iter()
-            .scan(0i32, |acc, r| {
-                let o = *acc;
-                *acc += r.num_rows() as i32;
-                Some(o)
-            })
-            .collect();
-        let mut cursor = vec![0usize; runs.len()];
-        let mut order: Vec<i32> = Vec::with_capacity(n);
-        while order.len() < n {
-            let mut best: Option<usize> = None;
-            for (r, run) in runs.iter().enumerate() {
-                if cursor[r] >= run.num_rows() {
-                    continue;
-                }
-                best = match best {
-                    None => Some(r),
-                    Some(b) if cmp_rows(r, cursor[r], b, cursor[b]) == Ordering::Less => Some(r),
-                    keep => keep,
-                };
-            }
-            let b = best.expect("merge exhausted runs before emitting every row");
-            order.push(offsets[b] + cursor[b] as i32);
-            cursor[b] += 1;
-        }
-        // One streamed merge pass over the run data.
-        ctx.charge(
-            &WorkProfile::scan(t.byte_size() as u64)
-                .with_flops((n as u64) * u64::from(runs.len().max(2).ilog2()))
-                .with_rows(n as u64),
-        );
-        let merged = concat_morsels(t.schema().clone(), &runs);
-        Ok(gather(&muted, &merged, &order))
     }
 
     /// Dispatch overhead one morsel task pays on its own stream: each CPU
     /// worker issues its task's launches independently, so the charge lands
     /// on the task's lane and overlaps across streams like any other kernel
     /// time (the launch overheads of the kernels themselves are in their
-    /// [`WorkProfile`]s).
-    fn task_overhead(&self) -> Duration {
+    /// `WorkProfile`s).
+    pub(crate) fn task_overhead(&self) -> Duration {
         Duration::from_nanos(self.device.spec().launch_overhead_ns)
     }
 
-    /// Send a batch of tasks through the global queue, recording the
-    /// round-robin stream assignment in the scheduler counters. The tasks
-    /// themselves charge their dispatch overhead on their streams
-    /// ([`Self::task_overhead`]).
-    fn dispatch<R: Send + 'static>(
-        &self,
-        tasks: Vec<Box<dyn FnOnce() -> R + Send + 'static>>,
-    ) -> Vec<R> {
-        if tasks.is_empty() {
-            return Vec::new();
-        }
-        let n = tasks.len();
-        let streams = self.workers().max(1);
-        {
-            let mut s = self.stats.lock();
-            s.tasks += n as u64;
-            if s.tasks_per_stream.len() < streams {
-                s.tasks_per_stream.resize(streams, 0);
-            }
-            for i in 0..n {
-                s.tasks_per_stream[i % streams] += 1;
-            }
-        }
-        self.queue.run_all(tasks)
-    }
-
-    /// Cheap shareable handle (same device/buffers/queue/counters) for
-    /// build-side tasks.
-    fn share(&self) -> SiriusEngine {
-        SiriusEngine {
-            device: self.device.clone(),
-            bufmgr: Arc::clone(&self.bufmgr),
-            queue: Arc::clone(&self.queue),
-            features: self.features.clone(),
-            morsel: self.morsel,
-            stats: Arc::clone(&self.stats),
-            fault: self.fault.clone(),
-            node_id: self.node_id,
-            trace: self.trace.clone(),
-            op_stats: self.op_stats.clone(),
-        }
-    }
-
     /// Record spill partitions written by the operator at `node`.
-    fn note_spill(&self, node: NodeRef, partitions: u64) {
+    pub(crate) fn note_spill(&self, node: Node, partitions: u64) {
         if partitions == 0 {
             return;
         }
@@ -1441,259 +310,13 @@ impl SiriusEngine {
     }
 }
 
-/// Trace-span label for a pipeline-breaker plan node.
-fn breaker_label(plan: &Rel) -> &'static str {
-    match plan {
-        Rel::Aggregate { group_by, .. } if group_by.is_empty() => "aggregate",
-        Rel::Aggregate { .. } => "group-by",
-        Rel::Sort { .. } => "sort",
-        Rel::Limit { .. } => "limit",
-        Rel::Distinct { .. } => "distinct",
-        Rel::Exchange { .. } => "exchange",
-        _ => "pipeline",
-    }
-}
-
-/// One streaming operator applied to each morsel inside a pipeline task.
-enum MorselOp {
-    /// The scan pass over the morsel's cached columns.
-    Scan {
-        /// The plan node this scan belongs to.
-        node: NodeRef,
-    },
-    /// Predicate evaluation + selection.
-    Filter {
-        /// The predicate expression.
-        predicate: Expr,
-        /// The (outermost, after coalescing) plan node of the filter chain.
-        node: NodeRef,
-    },
-    /// Expression projection.
-    Project {
-        /// Output expressions.
-        exprs: Vec<Expr>,
-        /// Output schema.
-        schema: Schema,
-        /// The plan node.
-        node: NodeRef,
-    },
-    /// Hash-join probe (or cross-join expansion) against a pre-built build
-    /// side. Pair order within a morsel matches the whole-column probe, so
-    /// concatenating morsel outputs in morsel order reproduces it exactly.
-    Probe {
-        /// Hash table over the build side (`None` ⇒ cross join).
-        ht: Option<Arc<JoinHashTable>>,
-        /// Materialized build-side table.
-        rt: Table,
-        /// Join kind.
-        kind: JoinKind,
-        /// Probe-side key expressions.
-        left_keys: Vec<Expr>,
-        /// Residual predicate over candidate pairs.
-        residual: Option<Expr>,
-        /// Join output schema (nullability from the join kind).
-        schema: Schema,
-        /// The join plan node.
-        node: NodeRef,
-    },
-}
-
-impl MorselOp {
-    /// Span label + plan node for the operator-track trace span.
-    fn span_info(&self) -> (&'static str, NodeRef) {
-        match self {
-            MorselOp::Scan { node } => ("scan", *node),
-            MorselOp::Filter { node, .. } => ("filter", *node),
-            MorselOp::Project { node, .. } => ("project", *node),
-            MorselOp::Probe { node, .. } => ("join-probe", *node),
-        }
-    }
-
-    /// Apply the operator to one morsel. With `stats`, the operator's
-    /// exclusive lane time (the delta of this task's stream lane) and output
-    /// cardinality are accumulated under its plan node.
-    fn apply(
-        &self,
-        device: &Device,
-        t: Table,
-        stats: Option<&Mutex<HashMap<u32, OpStats>>>,
-    ) -> Result<Table> {
-        let Some(stats) = stats else {
-            return self.apply_inner(device, t);
-        };
-        let before = device.lane_elapsed();
-        let out = self.apply_inner(device, t)?;
-        let busy = device.lane_elapsed().saturating_sub(before);
-        let (_, node) = self.span_info();
-        stats.lock().entry(node.id).or_default().note(
-            out.num_rows() as u64,
-            out.byte_size() as u64,
-            busy,
-        );
-        Ok(out)
-    }
-
-    fn apply_inner(&self, device: &Device, t: Table) -> Result<Table> {
-        match self {
-            MorselOp::Scan { .. } => {
-                let ctx = GpuContext::new(device.clone(), CostCategory::Filter);
-                ctx.charge(&WorkProfile::scan(t.byte_size() as u64).with_rows(t.num_rows() as u64));
-                Ok(t)
-            }
-            MorselOp::Filter { predicate, .. } => {
-                let ctx = GpuContext::new(device.clone(), CostCategory::Filter);
-                let mask = evaluate(&ctx, predicate, &t)?;
-                Ok(apply_filter(&ctx, &t, &mask)?)
-            }
-            MorselOp::Project { exprs, schema, .. } => {
-                let ctx = GpuContext::new(device.clone(), CostCategory::Project);
-                let cols: Vec<Array> = exprs
-                    .iter()
-                    .map(|e| evaluate(&ctx, e, &t))
-                    .collect::<Result<_>>()?;
-                Ok(Table::new(schema.clone(), cols))
-            }
-            MorselOp::Probe {
-                ht,
-                rt,
-                kind,
-                left_keys,
-                residual,
-                schema,
-                ..
-            } => {
-                let ctx = GpuContext::new(device.clone(), CostCategory::Join);
-                let pairs = match ht {
-                    None => cross_join_pairs(&ctx, t.num_rows(), rt.num_rows()),
-                    Some(table) => {
-                        let lk: Vec<Array> = left_keys
-                            .iter()
-                            .map(|e| evaluate(&ctx, e, &t))
-                            .collect::<Result<_>>()?;
-                        let lrefs: Vec<&Array> = lk.iter().collect();
-                        probe_hash_table(&ctx, table, &lrefs, t.num_rows(), 0)?
-                    }
-                };
-
-                // Residual predicate, vectorized over the candidate pairs.
-                let mask: Option<Bitmap> = match residual {
-                    None => None,
-                    Some(res) => {
-                        let lp = gather(&ctx, &t, &pairs.left);
-                        let rp = gather(&ctx, rt, &pairs.right);
-                        let combined = lp.hstack(&rp);
-                        let col = evaluate(&ctx, res, &combined)?;
-                        Some(
-                            col.as_bool()
-                                .map_err(sirius_cudf::KernelError::from)?
-                                .to_selection(),
-                        )
-                    }
-                };
-                let idx = resolve_join(&ctx, lower_join(*kind), &pairs, mask.as_ref())?;
-
-                // Materialize.
-                match kind {
-                    JoinKind::Semi | JoinKind::Anti => Ok(gather(&ctx, &t, &idx.left)),
-                    _ => {
-                        let l = gather(&ctx, &t, &idx.left);
-                        let r = gather_opt(&ctx, rt, &idx.right);
-                        let out = l.hstack(&r);
-                        // Adopt the plan schema (nullability from join kind).
-                        Ok(Table::new(schema.clone(), out.columns().to_vec()))
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// Partition a source into morsels of at most `rows` rows. A source that
-/// fits in one morsel is shared, not copied; an empty source yields no
-/// morsels. Larger sources split into `⌈n/rows⌉` near-equal morsels (within
-/// one row of each other) so no remainder straggler serializes behind a
-/// full morsel on its stream.
-fn chunk_morsels(t: &Table, rows: usize) -> Vec<Table> {
-    let rows = rows.max(1);
-    let n = t.num_rows();
-    if n == 0 {
-        return Vec::new();
-    }
-    if n <= rows {
-        return vec![t.clone()];
-    }
-    let k = n.div_ceil(rows);
-    let base = n / k;
-    let extra = n % k; // the first `extra` morsels carry one more row
-    let mut out = Vec::with_capacity(k);
-    let mut offset = 0;
-    for i in 0..k {
-        let len = base + usize::from(i < extra);
-        out.push(t.slice(offset, len));
-        offset += len;
-    }
-    out
-}
-
-/// Reassemble morsel outputs in morsel order (`schema` covers the
-/// zero-morsel case, where there is no runtime table to take it from).
-fn concat_morsels(schema: Schema, morsels: &[Table]) -> Table {
-    match morsels.len() {
-        0 => Table::empty(schema),
-        1 => morsels[0].clone(),
-        _ => {
-            let refs: Vec<&Table> = morsels.iter().collect();
-            Table::concat(&refs)
-        }
-    }
-}
-
-/// Evaluate each aggregate's input expression over `t`.
-fn agg_inputs(ctx: &GpuContext, aggregates: &[AggExpr], t: &Table) -> Result<Vec<Option<Array>>> {
-    aggregates
-        .iter()
-        .map(|a| a.input.as_ref().map(|e| evaluate(ctx, e, t)).transpose())
-        .collect()
-}
-
-/// One-row table from final aggregate scalars.
-fn scalar_table(scalars: &[Scalar], schema: &Schema) -> Table {
-    let cols = scalars
-        .iter()
-        .zip(schema.fields.iter())
-        .map(|(s, f)| Array::from_scalars(std::slice::from_ref(s), f.data_type))
-        .collect();
-    Table::new(schema.clone(), cols)
-}
-
-fn lower_agg(f: AggFunc) -> AggKind {
-    match f {
-        AggFunc::CountStar => AggKind::CountStar,
-        AggFunc::Count => AggKind::Count,
-        AggFunc::CountDistinct => AggKind::CountDistinct,
-        AggFunc::Sum => AggKind::Sum,
-        AggFunc::Min => AggKind::Min,
-        AggFunc::Max => AggKind::Max,
-        AggFunc::Avg => AggKind::Avg,
-    }
-}
-
-fn lower_join(k: JoinKind) -> JoinType {
-    match k {
-        JoinKind::Inner | JoinKind::Cross => JoinType::Inner,
-        JoinKind::Left => JoinType::Left,
-        JoinKind::Semi => JoinType::Semi,
-        JoinKind::Anti => JoinType::Anti,
-        JoinKind::Single => JoinType::Single,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sirius_columnar::{DataType, Field, Scalar, Schema};
+    use sirius_columnar::{Array, DataType, Field, Scalar, Schema};
     use sirius_plan::builder::PlanBuilder;
     use sirius_plan::expr::{self, AggExpr, SortExpr};
+    use sirius_plan::{AggFunc, JoinKind};
 
     fn engine_with_data() -> SiriusEngine {
         let e = SiriusEngine::new(catalog::gh200_gpu());
@@ -2135,5 +758,87 @@ mod tests {
             .collect();
         let n = sirius_trace::chrome::validate_json(&json, &cats).expect("valid trace");
         assert!(n > 0);
+    }
+
+    // -- DAG scheduling ----------------------------------------------------
+
+    /// Serialized vs concurrent pipeline scheduling must be bit-exact: only
+    /// lane assignment differs, never results.
+    #[test]
+    fn scheduling_modes_agree() {
+        let plan = scan()
+            .join(
+                scan(),
+                JoinKind::Inner,
+                vec![expr::col(1)],
+                vec![expr::col(1)],
+                None,
+            )
+            .aggregate(
+                vec![expr::col(1)],
+                vec![AggExpr {
+                    func: AggFunc::Sum,
+                    input: Some(expr::col(2)),
+                    name: "s".into(),
+                }],
+            )
+            .build();
+        let serialized = engine_with_data().with_pipeline_scheduling(Scheduling::Serialized);
+        let concurrent = engine_with_data().with_pipeline_scheduling(Scheduling::Concurrent);
+        assert_eq!(
+            serialized.execute(&plan).unwrap(),
+            concurrent.execute(&plan).unwrap()
+        );
+    }
+
+    /// Independent join build sides overlap on the stream pool under
+    /// concurrent scheduling, so the simulated clock beats the serialized
+    /// baseline on a multi-way join.
+    #[test]
+    fn concurrent_builds_overlap_on_streams() {
+        let rows: i64 = 1 << 20;
+        let make = |scheduling: Scheduling| {
+            let e = SiriusEngine::new(catalog::gh200_gpu()).with_pipeline_scheduling(scheduling);
+            let t = Table::new(
+                Schema::new(vec![Field::new("k", DataType::Int64)]),
+                vec![Array::from_i64((0..rows).collect::<Vec<_>>())],
+            );
+            e.load_table("a", &t);
+            e.load_table("b", &t);
+            e.load_table("c", &t);
+            e.device().reset();
+            e
+        };
+        let key_schema = Schema::new(vec![Field::new("k", DataType::Int64)]);
+        let plan = PlanBuilder::scan("a", key_schema.clone())
+            .join(
+                PlanBuilder::scan("b", key_schema.clone()),
+                JoinKind::Semi,
+                vec![expr::col(0)],
+                vec![expr::col(0)],
+                None,
+            )
+            .join(
+                PlanBuilder::scan("c", key_schema),
+                JoinKind::Semi,
+                vec![expr::col(0)],
+                vec![expr::col(0)],
+                None,
+            )
+            .build();
+
+        let serialized = make(Scheduling::Serialized);
+        let a = serialized.execute(&plan).unwrap();
+        let serial_time = serialized.device().elapsed();
+
+        let concurrent = make(Scheduling::Concurrent);
+        let b = concurrent.execute(&plan).unwrap();
+        let overlap_time = concurrent.device().elapsed();
+
+        assert_eq!(a, b);
+        assert!(
+            overlap_time < serial_time,
+            "concurrent build waves {overlap_time:?} should beat serialized {serial_time:?}"
+        );
     }
 }

@@ -7,11 +7,13 @@
 //!
 //! Architecture (Figure 2):
 //!
-//! * **Query execution engine** ([`engine`]) — compiles the plan into
-//!   pipelines ([`pipeline`]), enqueues pipeline tasks into a global task
-//!   queue drained by CPU worker threads, and executes each pipeline
-//!   push-based over the GPU kernel library (`sirius-cudf`). Operators stay
-//!   stateless; the executor owns all state.
+//! * **Query execution engine** ([`engine`]) — compiles the normalized plan
+//!   into a physical pipeline DAG ([`physical`]), schedules ready pipelines
+//!   in waves over round-robin device streams ([`schedule`]), and runs each
+//!   pipeline as morsel tasks through a global task queue
+//!   ([`pipeline`]) drained by CPU worker threads, push-based over the GPU
+//!   kernel library (`sirius-cudf`). Operators stay stateless; the
+//!   scheduler owns all breaker state.
 //! * **Buffer manager** ([`buffer`]) — the two-region memory layout of
 //!   §3.2.3: a pre-allocated caching region (with pinned-host overflow) and
 //!   an RMM-pooled processing region, plus the columnar format conversions,
@@ -34,13 +36,18 @@ pub mod exchange;
 pub mod explain;
 pub mod exprs;
 pub mod metrics;
+mod morsel;
+mod oom;
+pub mod physical;
 pub mod pipeline;
+pub mod schedule;
 
 pub use buffer::BufferManager;
 pub use context::{HostEngine, SiriusContext};
 pub use engine::{MorselConfig, SiriusEngine};
 pub use explain::OpStats;
 pub use metrics::{MorselStats, QueryReport, RecoveryStats};
+pub use schedule::Scheduling;
 pub use sirius_spill::{SpillConfig, SpillStats};
 
 /// Errors from the GPU engine. `Fallback`-class errors route the query back

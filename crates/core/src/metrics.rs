@@ -8,6 +8,10 @@ use std::time::Duration;
 /// ledger); per-query numbers come from [`MorselStats::since`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MorselStats {
+    /// Pipelines the scheduler actually executed (one increment per
+    /// pipeline per query — the runtime mirror of
+    /// `SiriusEngine::pipeline_count`).
+    pub pipelines_run: u64,
     /// Morsels the sources were partitioned into.
     pub morsels: u64,
     /// Tasks dispatched through the global queue (one per morsel per
@@ -35,6 +39,7 @@ impl MorselStats {
             tasks_per_stream[i] = tasks_per_stream[i].saturating_sub(*b);
         }
         MorselStats {
+            pipelines_run: self.pipelines_run.saturating_sub(before.pipelines_run),
             morsels: self.morsels.saturating_sub(before.morsels),
             tasks: self.tasks.saturating_sub(before.tasks),
             tasks_per_stream,
@@ -328,11 +333,13 @@ mod tests {
     #[test]
     fn morsel_stats_delta_and_utilization() {
         let before = MorselStats {
+            pipelines_run: 1,
             morsels: 2,
             tasks: 2,
             tasks_per_stream: vec![1, 1],
         };
         let after = MorselStats {
+            pipelines_run: 1,
             morsels: 10,
             tasks: 18,
             tasks_per_stream: vec![5, 5, 4, 4],
@@ -347,6 +354,7 @@ mod tests {
         // configured stream count would misreport this as 25% on a 4-stream
         // engine even though the fan-out was as good as it could be.
         let lopsided = MorselStats {
+            pipelines_run: 1,
             morsels: 1,
             tasks: 1,
             tasks_per_stream: vec![1, 0, 0, 0],
@@ -354,6 +362,7 @@ mod tests {
         assert!((lopsided.worker_utilization() - 1.0).abs() < 1e-9);
         // Six tasks piled onto one of four lanes, however, is real skew.
         let skewed = MorselStats {
+            pipelines_run: 1,
             morsels: 6,
             tasks: 6,
             tasks_per_stream: vec![6, 0, 0, 0],
@@ -368,11 +377,13 @@ mod tests {
         // a 2-stream one sharing the stats): the delta must still cover all
         // four lanes instead of silently dropping the trailing two.
         let before = MorselStats {
+            pipelines_run: 1,
             morsels: 4,
             tasks: 4,
             tasks_per_stream: vec![1, 1, 1, 1],
         };
         let after = MorselStats {
+            pipelines_run: 1,
             morsels: 8,
             tasks: 10,
             tasks_per_stream: vec![4, 4],
@@ -384,11 +395,13 @@ mod tests {
 
         // Worker count grew: the new lanes carry their full counts.
         let grown = MorselStats {
+            pipelines_run: 1,
             morsels: 8,
             tasks: 8,
             tasks_per_stream: vec![2, 2, 2, 2],
         };
         let small = MorselStats {
+            pipelines_run: 1,
             morsels: 2,
             tasks: 2,
             tasks_per_stream: vec![1, 1],

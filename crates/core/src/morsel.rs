@@ -1,0 +1,309 @@
+//! Morsel partitioning and the streaming operators applied per morsel.
+//!
+//! A compiled pipeline ([`crate::physical`]) is executed as a wave of
+//! morsel tasks: the source table splits into [`MorselConfig`]-sized
+//! chunks and each chunk runs the pipeline's streaming operator chain
+//! ([`MorselOp`]) on its own device stream. Everything here is stateless
+//! per morsel; pipeline-breaker state lives in the scheduler
+//! ([`crate::schedule`]).
+
+use crate::explain::OpStats;
+use crate::exprs::evaluate;
+use crate::Result;
+use parking_lot::Mutex;
+use sirius_columnar::{Array, Bitmap, Scalar, Schema, Table};
+use sirius_cudf::filter::{apply_filter, gather, gather_opt};
+use sirius_cudf::groupby::AggKind;
+use sirius_cudf::join::{
+    cross_join_pairs, probe_hash_table, resolve_join, JoinHashTable, JoinType,
+};
+use sirius_cudf::GpuContext;
+use sirius_hw::{CostCategory, Device, WorkProfile};
+use sirius_plan::expr::{AggExpr, Expr};
+use sirius_plan::visit::Node;
+use sirius_plan::{AggFunc, JoinKind};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// How pipeline sources are partitioned into morsels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MorselConfig {
+    /// Rows per morsel. Sources at most this large run as a single morsel.
+    pub rows: usize,
+}
+
+impl MorselConfig {
+    /// Default morsel size: 1 Mi rows — large enough that per-task launch
+    /// overhead stays noise, small enough that TPC-H fact tables split into
+    /// enough morsels to feed several streams.
+    pub const DEFAULT_ROWS: usize = 1 << 20;
+
+    /// Disable partitioning: every source is one morsel on one stream (the
+    /// pre-morsel "single-walk" executor, used as the ablation baseline).
+    pub fn whole_column() -> Self {
+        Self { rows: usize::MAX }
+    }
+}
+
+impl Default for MorselConfig {
+    fn default() -> Self {
+        Self {
+            rows: Self::DEFAULT_ROWS,
+        }
+    }
+}
+
+/// Shared per-node runtime stats, allocated only when tracing is enabled.
+pub(crate) type SharedOpStats = Arc<Mutex<HashMap<u32, OpStats>>>;
+
+/// One streaming operator applied to each morsel inside a pipeline task.
+pub(crate) enum MorselOp {
+    /// The scan pass over the morsel's cached columns.
+    Scan {
+        /// The plan node this scan belongs to.
+        node: Node,
+    },
+    /// Predicate evaluation + selection.
+    Filter {
+        /// The predicate expression.
+        predicate: Expr,
+        /// The (outermost, after coalescing) plan node of the filter chain.
+        node: Node,
+    },
+    /// Expression projection.
+    Project {
+        /// Output expressions.
+        exprs: Vec<Expr>,
+        /// Output schema.
+        schema: Schema,
+        /// The plan node.
+        node: Node,
+    },
+    /// Hash-join probe (or cross-join expansion) against a pre-built build
+    /// side. Pair order within a morsel matches the whole-column probe, so
+    /// concatenating morsel outputs in morsel order reproduces it exactly.
+    Probe {
+        /// Hash table over the build side (`None` ⇒ cross join).
+        ht: Option<Arc<JoinHashTable>>,
+        /// Materialized build-side table.
+        rt: Table,
+        /// Join kind.
+        kind: JoinKind,
+        /// Probe-side key expressions.
+        left_keys: Vec<Expr>,
+        /// Residual predicate over candidate pairs.
+        residual: Option<Expr>,
+        /// Join output schema (nullability from the join kind).
+        schema: Schema,
+        /// The join plan node.
+        node: Node,
+    },
+}
+
+impl MorselOp {
+    /// Span label + plan node for the operator-track trace span.
+    pub(crate) fn span_info(&self) -> (&'static str, Node) {
+        match self {
+            MorselOp::Scan { node } => ("scan", *node),
+            MorselOp::Filter { node, .. } => ("filter", *node),
+            MorselOp::Project { node, .. } => ("project", *node),
+            MorselOp::Probe { node, .. } => ("join-probe", *node),
+        }
+    }
+
+    /// Apply the operator to one morsel. With `stats`, the operator's
+    /// exclusive lane time (the delta of this task's stream lane) and output
+    /// cardinality are accumulated under its plan node.
+    pub(crate) fn apply(
+        &self,
+        device: &Device,
+        t: Table,
+        stats: Option<&Mutex<HashMap<u32, OpStats>>>,
+    ) -> Result<Table> {
+        let Some(stats) = stats else {
+            return self.apply_inner(device, t);
+        };
+        let before = device.lane_elapsed();
+        let out = self.apply_inner(device, t)?;
+        let busy = device.lane_elapsed().saturating_sub(before);
+        let (_, node) = self.span_info();
+        stats.lock().entry(node.id).or_default().note(
+            out.num_rows() as u64,
+            out.byte_size() as u64,
+            busy,
+        );
+        Ok(out)
+    }
+
+    fn apply_inner(&self, device: &Device, t: Table) -> Result<Table> {
+        match self {
+            MorselOp::Scan { .. } => {
+                let ctx = GpuContext::new(device.clone(), CostCategory::Filter);
+                ctx.charge(&WorkProfile::scan(t.byte_size() as u64).with_rows(t.num_rows() as u64));
+                Ok(t)
+            }
+            MorselOp::Filter { predicate, .. } => {
+                let ctx = GpuContext::new(device.clone(), CostCategory::Filter);
+                let mask = evaluate(&ctx, predicate, &t)?;
+                Ok(apply_filter(&ctx, &t, &mask)?)
+            }
+            MorselOp::Project { exprs, schema, .. } => {
+                let ctx = GpuContext::new(device.clone(), CostCategory::Project);
+                let cols: Vec<Array> = exprs
+                    .iter()
+                    .map(|e| evaluate(&ctx, e, &t))
+                    .collect::<Result<_>>()?;
+                Ok(Table::new(schema.clone(), cols))
+            }
+            MorselOp::Probe {
+                ht,
+                rt,
+                kind,
+                left_keys,
+                residual,
+                schema,
+                ..
+            } => {
+                let ctx = GpuContext::new(device.clone(), CostCategory::Join);
+                let pairs = match ht {
+                    None => cross_join_pairs(&ctx, t.num_rows(), rt.num_rows()),
+                    Some(table) => {
+                        let lk: Vec<Array> = left_keys
+                            .iter()
+                            .map(|e| evaluate(&ctx, e, &t))
+                            .collect::<Result<_>>()?;
+                        let lrefs: Vec<&Array> = lk.iter().collect();
+                        probe_hash_table(&ctx, table, &lrefs, t.num_rows(), 0)?
+                    }
+                };
+
+                // Residual predicate, vectorized over the candidate pairs.
+                let mask: Option<Bitmap> = match residual {
+                    None => None,
+                    Some(res) => {
+                        let lp = gather(&ctx, &t, &pairs.left);
+                        let rp = gather(&ctx, rt, &pairs.right);
+                        let combined = lp.hstack(&rp);
+                        let col = evaluate(&ctx, res, &combined)?;
+                        Some(
+                            col.as_bool()
+                                .map_err(sirius_cudf::KernelError::from)?
+                                .to_selection(),
+                        )
+                    }
+                };
+                let idx = resolve_join(&ctx, lower_join(*kind), &pairs, mask.as_ref())?;
+
+                // Materialize.
+                match kind {
+                    JoinKind::Semi | JoinKind::Anti => Ok(gather(&ctx, &t, &idx.left)),
+                    _ => {
+                        let l = gather(&ctx, &t, &idx.left);
+                        let r = gather_opt(&ctx, rt, &idx.right);
+                        let out = l.hstack(&r);
+                        // Adopt the plan schema (nullability from join kind).
+                        Ok(Table::new(schema.clone(), out.columns().to_vec()))
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Output schema of a morsel-op chain: the last schema-changing operator's
+/// schema, or `fallback` when the chain only filters/scans.
+pub(crate) fn chain_schema(ops: &[MorselOp], fallback: &Schema) -> Schema {
+    ops.iter()
+        .rev()
+        .find_map(|op| match op {
+            MorselOp::Project { schema, .. } | MorselOp::Probe { schema, .. } => {
+                Some(schema.clone())
+            }
+            _ => None,
+        })
+        .unwrap_or_else(|| fallback.clone())
+}
+
+/// Partition a source into morsels of at most `rows` rows. A source that
+/// fits in one morsel is shared, not copied; an empty source yields no
+/// morsels. Larger sources split into `⌈n/rows⌉` near-equal morsels (within
+/// one row of each other) so no remainder straggler serializes behind a
+/// full morsel on its stream.
+pub(crate) fn chunk_morsels(t: &Table, rows: usize) -> Vec<Table> {
+    let rows = rows.max(1);
+    let n = t.num_rows();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n <= rows {
+        return vec![t.clone()];
+    }
+    let k = n.div_ceil(rows);
+    let base = n / k;
+    let extra = n % k; // the first `extra` morsels carry one more row
+    let mut out = Vec::with_capacity(k);
+    let mut offset = 0;
+    for i in 0..k {
+        let len = base + usize::from(i < extra);
+        out.push(t.slice(offset, len));
+        offset += len;
+    }
+    out
+}
+
+/// Reassemble morsel outputs in morsel order (`schema` covers the
+/// zero-morsel case, where there is no runtime table to take it from).
+pub(crate) fn concat_morsels(schema: Schema, morsels: &[Table]) -> Table {
+    match morsels.len() {
+        0 => Table::empty(schema),
+        1 => morsels[0].clone(),
+        _ => {
+            let refs: Vec<&Table> = morsels.iter().collect();
+            Table::concat(&refs)
+        }
+    }
+}
+
+/// Evaluate each aggregate's input expression over `t`.
+pub(crate) fn agg_inputs(
+    ctx: &GpuContext,
+    aggregates: &[AggExpr],
+    t: &Table,
+) -> Result<Vec<Option<Array>>> {
+    aggregates
+        .iter()
+        .map(|a| a.input.as_ref().map(|e| evaluate(ctx, e, t)).transpose())
+        .collect()
+}
+
+/// One-row table from final aggregate scalars.
+pub(crate) fn scalar_table(scalars: &[Scalar], schema: &Schema) -> Table {
+    let cols = scalars
+        .iter()
+        .zip(schema.fields.iter())
+        .map(|(s, f)| Array::from_scalars(std::slice::from_ref(s), f.data_type))
+        .collect();
+    Table::new(schema.clone(), cols)
+}
+
+pub(crate) fn lower_agg(f: AggFunc) -> AggKind {
+    match f {
+        AggFunc::CountStar => AggKind::CountStar,
+        AggFunc::Count => AggKind::Count,
+        AggFunc::CountDistinct => AggKind::CountDistinct,
+        AggFunc::Sum => AggKind::Sum,
+        AggFunc::Min => AggKind::Min,
+        AggFunc::Max => AggKind::Max,
+        AggFunc::Avg => AggKind::Avg,
+    }
+}
+
+pub(crate) fn lower_join(k: JoinKind) -> JoinType {
+    match k {
+        JoinKind::Inner | JoinKind::Cross => JoinType::Inner,
+        JoinKind::Left => JoinType::Left,
+        JoinKind::Semi => JoinType::Semi,
+        JoinKind::Anti => JoinType::Anti,
+        JoinKind::Single => JoinType::Single,
+    }
+}

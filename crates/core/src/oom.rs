@@ -1,0 +1,461 @@
+//! Out-of-core execution paths (§3.4): Grace partitioned joins, spilling
+//! and chunked aggregation, and external merge sort.
+//!
+//! These run when a pipeline-breaker's memory grant is denied. They are
+//! invoked serially by the DAG scheduler ([`crate::schedule`]) — a spilling
+//! pipeline owns the device while it partitions — and work on materialized
+//! inputs.
+
+use crate::engine::SiriusEngine;
+use crate::exprs::evaluate;
+use crate::morsel::{agg_inputs, chunk_morsels, concat_morsels, lower_agg, scalar_table, MorselOp};
+use crate::{Result, SiriusError};
+use sirius_columnar::{Array, DataType, Scalar, Schema, Table};
+use sirius_cudf::filter::gather;
+use sirius_cudf::groupby::{group_by, AggKind, AggRequest, PartialAggPlan};
+use sirius_cudf::join::build_hash_table;
+use sirius_cudf::partition::hash_partition;
+use sirius_cudf::reduce::reduce;
+use sirius_cudf::sort::{sort_indices, SortKey};
+use sirius_hw::{CostCategory, WorkProfile};
+use sirius_plan::expr::{AggExpr, Expr, SortExpr};
+use sirius_plan::visit::Node;
+use sirius_plan::JoinKind;
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// Deepest recursive repartitioning a spilling operator attempts before
+/// reporting a hard out-of-memory error. With up to
+/// [`MAX_SPILL_PARTITIONS`]-way fan-out per level, four levels cover any
+/// working set the simulated tiers could plausibly hold.
+const MAX_SPILL_DEPTH: u32 = 4;
+
+/// Fan-out cap per partitioning round; oversized partitions recurse with a
+/// fresh hash level instead of exploding the partition count.
+const MAX_SPILL_PARTITIONS: usize = 64;
+
+impl SiriusEngine {
+    /// How many ways to partition a working set of `need` bytes so each
+    /// partition fits comfortably in the largest grantable block. Capped at
+    /// [`MAX_SPILL_PARTITIONS`]; oversized partitions recurse instead.
+    fn partition_fanout(&self, need: u64) -> usize {
+        let target = (self.bufmgr.largest_grantable() / 2).max(sirius_rmm::pool::ALIGNMENT);
+        usize::try_from(need.div_ceil(target))
+            .unwrap_or(MAX_SPILL_PARTITIONS)
+            .clamp(2, MAX_SPILL_PARTITIONS)
+    }
+
+    /// Grace-style partitioned hash join: if the build side fits under a
+    /// grant, build and probe directly; otherwise radix-partition both
+    /// sides by key hash, park every partition on the spill tiers, and join
+    /// the pairs one at a time — recursing with a fresh hash level when a
+    /// partition still doesn't fit. Equal keys always collocate, so inner /
+    /// left / semi / anti / single semantics (and residual predicates) hold
+    /// per pair; partition order replaces probe order in the output, which
+    /// only a downstream sort observes.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn grace_join(
+        &self,
+        lt: &Table,
+        rt: &Table,
+        kind: JoinKind,
+        left_keys: &[Expr],
+        right_keys: &[Expr],
+        residual: &Option<Expr>,
+        schema: Schema,
+        node: Node,
+        depth: u32,
+    ) -> Result<Table> {
+        let need = (rt.byte_size() as u64).max(1024);
+        match self.bufmgr.request_grant(need) {
+            Ok(_grant) => {
+                let ctx = self.ctx(CostCategory::Join);
+                let rk: Vec<Array> = right_keys
+                    .iter()
+                    .map(|e| evaluate(&ctx, e, rt))
+                    .collect::<Result<_>>()?;
+                let rrefs: Vec<&Array> = rk.iter().collect();
+                let ht = Some(Arc::new(build_hash_table(&ctx, &rrefs, rt.num_rows())?));
+                let op = MorselOp::Probe {
+                    ht,
+                    rt: rt.clone(),
+                    kind,
+                    left_keys: left_keys.to_vec(),
+                    residual: residual.clone(),
+                    schema,
+                    node,
+                };
+                op.apply(&self.device, lt.clone(), self.op_stats.as_deref())
+            }
+            Err(_) if depth >= MAX_SPILL_DEPTH => Err(SiriusError::OutOfMemory(format!(
+                "join build side of {} B still exceeds the processing region after \
+                 {MAX_SPILL_DEPTH} repartitioning rounds",
+                rt.byte_size()
+            ))),
+            Err(_) => {
+                let parts = self.partition_fanout(need);
+                let ctx = self.ctx(CostCategory::Join);
+                let rk: Vec<Array> = right_keys
+                    .iter()
+                    .map(|e| evaluate(&ctx, e, rt))
+                    .collect::<Result<_>>()?;
+                let lk: Vec<Array> = left_keys
+                    .iter()
+                    .map(|e| evaluate(&ctx, e, lt))
+                    .collect::<Result<_>>()?;
+                let rparts =
+                    hash_partition(&ctx, &rk.iter().collect::<Vec<_>>(), rt, parts, depth)?;
+                let lparts =
+                    hash_partition(&ctx, &lk.iter().collect::<Vec<_>>(), lt, parts, depth)?;
+                self.bufmgr.note_repartition(depth + 1);
+                let mut outs = Vec::with_capacity(parts);
+                let mut spilled = 0u64;
+                for (lp, rp) in lparts.iter().zip(&rparts) {
+                    if lp.num_rows() == 0 && rp.num_rows() == 0 {
+                        continue;
+                    }
+                    // Park both sides, reading each back as the pair joins.
+                    let lticket = self.bufmgr.spill_write((lp.byte_size() as u64).max(1))?;
+                    let rticket = self.bufmgr.spill_write((rp.byte_size() as u64).max(1))?;
+                    self.bufmgr.spill_read(&lticket);
+                    self.bufmgr.spill_read(&rticket);
+                    drop((lticket, rticket));
+                    spilled += 2;
+                    outs.push(self.grace_join(
+                        lp,
+                        rp,
+                        kind,
+                        left_keys,
+                        right_keys,
+                        residual,
+                        schema.clone(),
+                        node,
+                        depth + 1,
+                    )?);
+                }
+                self.note_spill(node, spilled);
+                Ok(concat_morsels(schema, &outs))
+            }
+        }
+    }
+
+    /// Spilling aggregation: if the accumulator state fits under a grant,
+    /// aggregate in one pass; otherwise hash-partition the input by its
+    /// group keys (groups never span partitions, so even `COUNT(DISTINCT)`
+    /// stays exact), spill the partitions, and aggregate each on read-back.
+    /// Ungrouped aggregates stream chunk-wise partials instead — they have
+    /// no keys to partition on.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn spilling_aggregate(
+        &self,
+        t: &Table,
+        keys: &[Expr],
+        aggregates: &[AggExpr],
+        schema: Schema,
+        category: CostCategory,
+        node: Node,
+        depth: u32,
+    ) -> Result<Table> {
+        let need = (t.byte_size() as u64 / 2).max(1024);
+        if let Ok(_state) = self.bufmgr.request_grant(need) {
+            return self.aggregate_single_pass(t, keys, aggregates, schema, category);
+        }
+        if keys.is_empty() {
+            return self.chunked_reduce(t, aggregates, schema, category);
+        }
+        if depth >= MAX_SPILL_DEPTH {
+            return self.chunked_group_by(t, keys, aggregates, schema, category);
+        }
+        let ctx = self.ctx(category);
+        let key_cols: Vec<Array> = keys
+            .iter()
+            .map(|k| evaluate(&ctx, k, t))
+            .collect::<Result<_>>()?;
+        let parts = self.partition_fanout(need);
+        let pts = hash_partition(&ctx, &key_cols.iter().collect::<Vec<_>>(), t, parts, depth)?;
+        if pts.iter().any(|p| p.num_rows() == t.num_rows()) {
+            // Partitioning cannot shrink this input — one group (or one
+            // key value) dominates it. Accumulator state scales with the
+            // group count, not the row count, so stream two-phase partials
+            // instead of repartitioning to no effect.
+            return self.chunked_group_by(t, keys, aggregates, schema, category);
+        }
+        self.bufmgr.note_repartition(depth + 1);
+        let mut outs = Vec::with_capacity(parts);
+        let mut spilled = 0u64;
+        for p in &pts {
+            if p.num_rows() == 0 {
+                continue;
+            }
+            let ticket = self.bufmgr.spill_write((p.byte_size() as u64).max(1))?;
+            self.bufmgr.spill_read(&ticket);
+            drop(ticket);
+            spilled += 1;
+            outs.push(self.spilling_aggregate(
+                p,
+                keys,
+                aggregates,
+                schema.clone(),
+                category,
+                node,
+                depth + 1,
+            )?);
+        }
+        self.note_spill(node, spilled);
+        Ok(concat_morsels(schema, &outs))
+    }
+
+    /// Ungrouped aggregation over an input whose accumulator state was
+    /// denied: stream decomposable partials chunk by chunk under small
+    /// grants and merge them. Non-decomposable aggregates (`COUNT(DISTINCT)`
+    /// without keys) genuinely need the whole input resident and stay a
+    /// hard out-of-memory error (host fallback's last resort).
+    fn chunked_reduce(
+        &self,
+        t: &Table,
+        aggregates: &[AggExpr],
+        schema: Schema,
+        category: CostCategory,
+    ) -> Result<Table> {
+        let kinds: Vec<AggKind> = aggregates.iter().map(|a| lower_agg(a.func)).collect();
+        let Some(pplan) = PartialAggPlan::new(&kinds) else {
+            return Err(SiriusError::OutOfMemory(
+                "ungrouped COUNT(DISTINCT) cannot decompose into spillable partials".into(),
+            ));
+        };
+        if t.num_rows() == 0 {
+            return self.aggregate_single_pass(t, &[], aggregates, schema, category);
+        }
+        let target = (self.bufmgr.largest_grantable() / 2).max(sirius_rmm::pool::ALIGNMENT);
+        let bytes_per_row = ((t.byte_size() as u64) / t.num_rows() as u64).max(1);
+        let rows = usize::try_from(target / bytes_per_row).unwrap_or(1).max(1);
+        let chunks = chunk_morsels(t, rows);
+        self.bufmgr.note_repartition(1);
+        let ctx = self.ctx(category);
+        let mut partials: Vec<Vec<Scalar>> = Vec::with_capacity(chunks.len());
+        for c in &chunks {
+            let _g = self
+                .bufmgr
+                .request_grant((c.byte_size() as u64 / 2).max(256))?;
+            let inputs = agg_inputs(&ctx, aggregates, c)?;
+            let row: Vec<Scalar> = pplan
+                .partials()
+                .iter()
+                .map(|s| {
+                    Ok(reduce(
+                        &ctx,
+                        s.kind,
+                        inputs[s.source].as_ref(),
+                        c.num_rows(),
+                    )?)
+                })
+                .collect::<Result<_>>()?;
+            partials.push(row);
+        }
+        let merged: Vec<Scalar> = (0..pplan.partials().len())
+            .map(|p| {
+                let col: Vec<Scalar> = partials.iter().map(|row| row[p].clone()).collect();
+                let dt = col
+                    .iter()
+                    .find_map(|s| s.data_type())
+                    .unwrap_or(DataType::Int64);
+                let arr = Array::from_scalars(&col, dt);
+                Ok(reduce(&ctx, pplan.merge_kind(p), Some(&arr), arr.len())?)
+            })
+            .collect::<Result<_>>()?;
+        Ok(scalar_table(&pplan.finalize_scalars(&merged), &schema))
+    }
+
+    /// Grouped aggregation for inputs hash partitioning cannot shrink
+    /// (heavy key skew — a handful of giant groups). Accumulator state is
+    /// proportional to the number of distinct groups, not input rows: run
+    /// a partial group-by over chunks that fit under small grants, then
+    /// merge the partial tables with the merge aggregation kinds — the
+    /// same two-phase decomposition the morsel executor uses. Grouped
+    /// `COUNT(DISTINCT)` cannot merge partials and stays a hard
+    /// out-of-memory error here.
+    fn chunked_group_by(
+        &self,
+        t: &Table,
+        keys: &[Expr],
+        aggregates: &[AggExpr],
+        schema: Schema,
+        category: CostCategory,
+    ) -> Result<Table> {
+        let kinds: Vec<AggKind> = aggregates.iter().map(|a| lower_agg(a.func)).collect();
+        let Some(pplan) = PartialAggPlan::new(&kinds) else {
+            return Err(SiriusError::OutOfMemory(format!(
+                "group-by state for {} B of skewed keys cannot decompose into \
+                 spillable partials (COUNT(DISTINCT))",
+                t.byte_size()
+            )));
+        };
+        if t.num_rows() == 0 {
+            return self.aggregate_single_pass(t, keys, aggregates, schema, category);
+        }
+        let target = (self.bufmgr.largest_grantable() / 2).max(sirius_rmm::pool::ALIGNMENT);
+        let bytes_per_row = ((t.byte_size() as u64) / t.num_rows() as u64).max(1);
+        let rows = usize::try_from(target / bytes_per_row).unwrap_or(1).max(1);
+        let chunks = chunk_morsels(t, rows);
+        let ctx = self.ctx(category);
+        let mut parts: Vec<(Vec<Array>, Vec<Array>)> = Vec::with_capacity(chunks.len());
+        for c in &chunks {
+            let _g = self
+                .bufmgr
+                .request_grant((c.byte_size() as u64 / 2).max(256))?;
+            let key_cols: Vec<Array> = keys
+                .iter()
+                .map(|k| evaluate(&ctx, k, c))
+                .collect::<Result<_>>()?;
+            let key_refs: Vec<&Array> = key_cols.iter().collect();
+            let inputs = agg_inputs(&ctx, aggregates, c)?;
+            let requests: Vec<AggRequest<'_>> = pplan
+                .partials()
+                .iter()
+                .map(|s| AggRequest {
+                    kind: s.kind,
+                    input: inputs[s.source].as_ref(),
+                })
+                .collect();
+            let r = group_by(&ctx, &key_refs, &requests, c.num_rows())?;
+            parts.push((r.key_columns, r.agg_columns));
+        }
+        // Merge: the concatenated partials hold at most (groups x chunks)
+        // rows — tiny next to the input when groups are few.
+        let merged_keys: Vec<Array> = (0..keys.len())
+            .map(|k| {
+                let cols: Vec<&Array> = parts.iter().map(|(kc, _)| &kc[k]).collect();
+                Array::concat(&cols)
+            })
+            .collect();
+        let merged_parts: Vec<Array> = (0..pplan.partials().len())
+            .map(|p| {
+                let cols: Vec<&Array> = parts.iter().map(|(_, ac)| &ac[p]).collect();
+                Array::concat(&cols)
+            })
+            .collect();
+        let merged_bytes: u64 = merged_keys
+            .iter()
+            .chain(merged_parts.iter())
+            .map(|a| a.byte_size() as u64)
+            .sum();
+        let _merge_state = self.bufmgr.request_grant(merged_bytes.max(1024))?;
+        let total = merged_keys.first().map(|a| a.len()).unwrap_or(0);
+        let key_refs: Vec<&Array> = merged_keys.iter().collect();
+        let requests: Vec<AggRequest<'_>> = merged_parts
+            .iter()
+            .enumerate()
+            .map(|(p, col)| AggRequest {
+                kind: pplan.merge_kind(p),
+                input: Some(col),
+            })
+            .collect();
+        let r = group_by(&ctx, &key_refs, &requests, total)?;
+        let finals = pplan.finalize(&ctx, &r.agg_columns)?;
+        let cols: Vec<Array> = r.key_columns.into_iter().chain(finals).collect();
+        Ok(Table::new(schema, cols))
+    }
+
+    /// External merge sort: split the input into runs that fit under a
+    /// grant, sort and spill each run, then stream the runs back through a
+    /// k-way merge. Tie-breaking by run index preserves the stability of
+    /// the in-memory sort (runs are consecutive input chunks).
+    pub(crate) fn external_sort(&self, t: &Table, keys: &[SortExpr], node: Node) -> Result<Table> {
+        let n = t.num_rows();
+        if n == 0 {
+            return Ok(t.clone());
+        }
+        let ctx = self.ctx(CostCategory::OrderBy);
+        let target = (self.bufmgr.largest_grantable() / 2).max(sirius_rmm::pool::ALIGNMENT);
+        let bytes_per_row = ((t.byte_size() as u64) / n as u64).max(1);
+        let run_rows = usize::try_from(target / bytes_per_row).unwrap_or(1).max(1);
+        let runs_in = chunk_morsels(t, run_rows);
+        self.bufmgr.note_repartition(1);
+        let mut runs: Vec<Table> = Vec::with_capacity(runs_in.len());
+        let mut tickets = Vec::with_capacity(runs_in.len());
+        for run in &runs_in {
+            let _g = self
+                .bufmgr
+                .request_grant((run.byte_size() as u64).max(256))?;
+            let key_cols: Vec<(Array, bool)> = keys
+                .iter()
+                .map(|k| Ok((evaluate(&ctx, &k.expr, run)?, k.ascending)))
+                .collect::<Result<_>>()?;
+            let sort_keys: Vec<SortKey<'_>> = key_cols
+                .iter()
+                .map(|(c, asc)| SortKey {
+                    column: c,
+                    ascending: *asc,
+                })
+                .collect();
+            let idx = sort_indices(&ctx, &sort_keys, run.num_rows())?;
+            let sorted = gather(&ctx, run, &idx);
+            tickets.push(
+                self.bufmgr
+                    .spill_write((sorted.byte_size() as u64).max(1))?,
+            );
+            runs.push(sorted);
+        }
+        for ticket in &tickets {
+            self.bufmgr.spill_read(ticket);
+        }
+        self.note_spill(node, tickets.len() as u64);
+        drop(tickets);
+        // Keys were evaluated (and charged) per run above; re-deriving them
+        // in sorted order models the merge reading keys carried with the
+        // runs, so it computes through a muted context.
+        let muted = ctx.muted();
+        let run_keys: Vec<Vec<(Array, bool)>> = runs
+            .iter()
+            .map(|r| {
+                keys.iter()
+                    .map(|k| Ok((evaluate(&muted, &k.expr, r)?, k.ascending)))
+                    .collect::<Result<_>>()
+            })
+            .collect::<Result<_>>()?;
+        let cmp_rows = |ra: usize, ia: usize, rb: usize, ib: usize| -> Ordering {
+            for ((ca, asc), (cb, _)) in run_keys[ra].iter().zip(&run_keys[rb]) {
+                let ord = ca.scalar(ia).cmp(&cb.scalar(ib));
+                let ord = if *asc { ord } else { ord.reverse() };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            ra.cmp(&rb)
+        };
+        let offsets: Vec<i32> = runs
+            .iter()
+            .scan(0i32, |acc, r| {
+                let o = *acc;
+                *acc += r.num_rows() as i32;
+                Some(o)
+            })
+            .collect();
+        let mut cursor = vec![0usize; runs.len()];
+        let mut order: Vec<i32> = Vec::with_capacity(n);
+        while order.len() < n {
+            let mut best: Option<usize> = None;
+            for (r, run) in runs.iter().enumerate() {
+                if cursor[r] >= run.num_rows() {
+                    continue;
+                }
+                best = match best {
+                    None => Some(r),
+                    Some(b) if cmp_rows(r, cursor[r], b, cursor[b]) == Ordering::Less => Some(r),
+                    keep => keep,
+                };
+            }
+            let b = best.expect("merge exhausted runs before emitting every row");
+            order.push(offsets[b] + cursor[b] as i32);
+            cursor[b] += 1;
+        }
+        // One streamed merge pass over the run data.
+        ctx.charge(
+            &WorkProfile::scan(t.byte_size() as u64)
+                .with_flops((n as u64) * u64::from(runs.len().max(2).ilog2()))
+                .with_rows(n as u64),
+        );
+        let merged = concat_morsels(t.schema().clone(), &runs);
+        Ok(gather(&muted, &merged, &order))
+    }
+}

@@ -1,0 +1,546 @@
+//! The physical-plan layer: compile a logical [`Rel`] tree into an
+//! executable DAG of pipelines.
+//!
+//! This is the single `Rel`-walking compilation path in the engine. The
+//! plan is first normalized ([`sirius_plan::normalize`]), then folded once
+//! ([`sirius_plan::visit::fold`]) into a [`PhysicalPlan`]: a topologically
+//! ordered list of [`Pipeline`]s, each a *source → streaming ops → breaker
+//! sink* chain with explicit dependencies (§3.2.2 of the paper). Everything
+//! downstream derives from this one artifact:
+//!
+//! * the scheduler ([`crate::schedule`]) executes pipelines in dependency
+//!   waves, with independent pipelines sharing the stream pool;
+//! * [`crate::pipeline::decompose`] and `SiriusEngine::pipeline_count` are
+//!   thin projections of the compiled DAG;
+//! * `EXPLAIN ANALYZE` rows, trace span tracks, and `operator_stats()` all
+//!   key by the compile-time pre-order [`Node`] ids carried on every
+//!   operator and sink.
+
+use crate::{Result, SiriusError};
+use sirius_columnar::Schema;
+use sirius_plan::expr::{AggExpr, Expr, SortExpr};
+use sirius_plan::normalize::normalize;
+use sirius_plan::visit::{fold, Fold, Node};
+use sirius_plan::{ExchangeKind, JoinKind, Rel};
+
+/// A compiled query: the normalized logical plan plus its pipeline DAG.
+#[derive(Debug, Clone)]
+pub struct PhysicalPlan {
+    /// The normalized plan the DAG was compiled from. Operator ids on the
+    /// pipelines are pre-order ids over *this* tree.
+    pub root: Rel,
+    /// Pipelines in topological order: every dependency precedes its
+    /// consumer, and the last pipeline produces the query result.
+    pub pipelines: Vec<Pipeline>,
+}
+
+impl PhysicalPlan {
+    /// The pipeline that produces the query result (the last one).
+    pub fn root_pipeline(&self) -> &Pipeline {
+        self.pipelines.last().expect("compiled plan has a pipeline")
+    }
+}
+
+/// One pipeline: a source drained through streaming operators into a
+/// pipeline-breaker sink.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    /// Dense id; equals this pipeline's index in [`PhysicalPlan::pipelines`].
+    pub id: usize,
+    /// Pipelines that must complete before this one can start (its direct
+    /// source and the build sides of its probes).
+    pub deps: Vec<usize>,
+    /// Where the pipeline's rows come from.
+    pub source: Source,
+    /// Streaming operators applied to every morsel, in order.
+    pub ops: Vec<PhysOp>,
+    /// The breaker that materializes this pipeline's output.
+    pub sink: Sink,
+    /// Logical operator count (scan/filter/project/probe plus the breaker),
+    /// as reported by `decompose` — fused scan+filter still counts two.
+    pub operators: usize,
+    /// Schema of the rows entering the sink (after all `ops`).
+    pub out_schema: Schema,
+}
+
+/// A pipeline's row source.
+#[derive(Debug, Clone)]
+pub enum Source {
+    /// Scan of a cached base table.
+    Scan {
+        /// Table name in the buffer manager.
+        table: String,
+        /// Column ordinals to read (`None` = all).
+        projection: Option<Vec<usize>>,
+        /// The `Read` plan node.
+        node: Node,
+    },
+    /// The materialized output of an upstream pipeline.
+    Pipe(usize),
+}
+
+/// A streaming (non-breaking) operator inside a pipeline.
+#[derive(Debug, Clone)]
+pub enum PhysOp {
+    /// Scan pass (charges the read; dropped when fused into a filter).
+    Scan {
+        /// The `Read` plan node.
+        node: Node,
+    },
+    /// Predicate filter. Adjacent logical filters arrive pre-coalesced by
+    /// normalization; a filter directly over a scan absorbs the scan pass.
+    Filter {
+        /// The (single, coalesced) predicate.
+        predicate: Expr,
+        /// The `Filter` plan node the fused predicate is attributed to.
+        node: Node,
+    },
+    /// Expression projection.
+    Project {
+        /// Output expressions (names live in the schema).
+        exprs: Vec<Expr>,
+        /// Output schema.
+        schema: Schema,
+        /// The `Project` plan node.
+        node: Node,
+    },
+    /// Probe of a hash table built by pipeline `build`.
+    Probe {
+        /// Id of the build-side pipeline (its sink is [`Sink::JoinBuild`]).
+        build: usize,
+        /// Join kind.
+        kind: JoinKind,
+        /// Probe-side key expressions (empty ⇒ cross join).
+        left_keys: Vec<Expr>,
+        /// Residual predicate over `[left ++ right]` candidate pairs.
+        residual: Option<Expr>,
+        /// Join output schema.
+        schema: Schema,
+        /// The `Join` plan node.
+        node: Node,
+    },
+}
+
+/// A pipeline-breaker sink: what happens to the pipeline's drained rows.
+#[derive(Debug, Clone)]
+pub enum Sink {
+    /// Materialize as the query result (or as a consumer pipeline's source).
+    Result,
+    /// Build a join hash table for a downstream probe (empty `keys` ⇒
+    /// cross join: the table is materialized without hashing).
+    JoinBuild {
+        /// Build-side key expressions.
+        keys: Vec<Expr>,
+        /// The `Join` plan node.
+        node: Node,
+    },
+    /// Grouped or global aggregation.
+    Aggregate {
+        /// Group-key expressions (empty = global).
+        keys: Vec<Expr>,
+        /// Aggregate functions.
+        aggregates: Vec<AggExpr>,
+        /// Aggregate output schema.
+        schema: Schema,
+        /// The `Aggregate` plan node.
+        node: Node,
+    },
+    /// Total sort.
+    Sort {
+        /// Sort keys, major first.
+        keys: Vec<SortExpr>,
+        /// The `Sort` plan node.
+        node: Node,
+    },
+    /// Offset/fetch. A breaker: the slice is taken on the materialized
+    /// input (the engine has no early-termination protocol for streams).
+    Limit {
+        /// Rows to skip.
+        offset: usize,
+        /// Max rows to return.
+        fetch: Option<usize>,
+        /// The `Limit` plan node.
+        node: Node,
+    },
+    /// Duplicate elimination over all columns.
+    Distinct {
+        /// The `Distinct` plan node.
+        node: Node,
+    },
+    /// Distributed exchange boundary. Single-node execution passes rows
+    /// through; the distributed planner fragments plans at these sinks.
+    Exchange {
+        /// Movement pattern.
+        kind: ExchangeKind,
+        /// The `Exchange` plan node.
+        node: Node,
+    },
+}
+
+impl Sink {
+    /// The plan node this sink is attributed to (`None` for [`Sink::Result`],
+    /// which is not a plan operator).
+    pub fn node(&self) -> Option<Node> {
+        match self {
+            Sink::Result => None,
+            Sink::JoinBuild { node, .. }
+            | Sink::Aggregate { node, .. }
+            | Sink::Sort { node, .. }
+            | Sink::Limit { node, .. }
+            | Sink::Distinct { node }
+            | Sink::Exchange { node, .. } => Some(*node),
+        }
+    }
+
+    /// Short label used for breaker trace spans.
+    pub(crate) fn span_label(&self) -> &'static str {
+        match self {
+            Sink::Result => "result",
+            Sink::JoinBuild { .. } => "join-build",
+            Sink::Aggregate { keys, .. } if keys.is_empty() => "aggregate",
+            Sink::Aggregate { .. } => "group-by",
+            Sink::Sort { .. } => "sort",
+            Sink::Limit { .. } => "limit",
+            Sink::Distinct { .. } => "distinct",
+            Sink::Exchange { .. } => "exchange",
+        }
+    }
+}
+
+/// Compile `plan` into its pipeline DAG: normalize, then fold the tree once
+/// into pipelines split at breakers. Fails only on schema-inference errors
+/// (malformed plans are caught earlier by `validate`).
+pub fn compile(plan: &Rel) -> Result<PhysicalPlan> {
+    let root = normalize(plan);
+    let mut compiler = Compiler {
+        pipelines: Vec::new(),
+    };
+    let open = fold(&mut compiler, &root)?;
+    compiler.close(open, Sink::Result);
+    Ok(PhysicalPlan {
+        root,
+        pipelines: compiler.pipelines,
+    })
+}
+
+/// A pipeline still accumulating streaming operators during compilation.
+struct OpenPipe {
+    source: Source,
+    deps: Vec<usize>,
+    ops: Vec<PhysOp>,
+    operators: usize,
+    schema: Schema,
+}
+
+struct Compiler {
+    pipelines: Vec<Pipeline>,
+}
+
+impl Compiler {
+    /// Seal an open pipe with its breaker sink, assigning the next dense id.
+    /// Ids are assigned in close order, which is topological: a pipeline's
+    /// dependencies always close before it does.
+    fn close(&mut self, pipe: OpenPipe, sink: Sink) -> usize {
+        let id = self.pipelines.len();
+        self.pipelines.push(Pipeline {
+            id,
+            deps: pipe.deps,
+            source: pipe.source,
+            ops: pipe.ops,
+            sink,
+            operators: pipe.operators,
+            out_schema: pipe.schema,
+        });
+        id
+    }
+
+    /// A fresh pipe consuming the materialized output of pipeline `dep`.
+    fn consumer(&self, dep: usize, schema: Schema) -> OpenPipe {
+        OpenPipe {
+            source: Source::Pipe(dep),
+            deps: vec![dep],
+            ops: Vec::new(),
+            operators: 1,
+            schema,
+        }
+    }
+}
+
+impl Fold for Compiler {
+    type Output = OpenPipe;
+    type Error = SiriusError;
+
+    fn fold(&mut self, node: Node, rel: &Rel, children: Vec<OpenPipe>) -> Result<OpenPipe> {
+        let mut children = children.into_iter();
+        Ok(match rel {
+            Rel::Read {
+                table, projection, ..
+            } => OpenPipe {
+                source: Source::Scan {
+                    table: table.clone(),
+                    projection: projection.clone(),
+                    node,
+                },
+                deps: Vec::new(),
+                ops: vec![PhysOp::Scan { node }],
+                operators: 1,
+                schema: rel.schema()?,
+            },
+            Rel::Filter { predicate, .. } => {
+                let mut pipe = children.next().expect("filter has input");
+                // Scan+filter fusion: the filter's scan of its input doubles
+                // as the read pass, so drop the standalone scan op. The
+                // logical operator count keeps both.
+                if matches!(pipe.ops.last(), Some(PhysOp::Scan { .. })) {
+                    pipe.ops.pop();
+                }
+                pipe.ops.push(PhysOp::Filter {
+                    predicate: predicate.clone(),
+                    node,
+                });
+                pipe.operators += 1;
+                pipe
+            }
+            Rel::Project { exprs, .. } => {
+                let mut pipe = children.next().expect("project has input");
+                let schema = rel.schema()?;
+                pipe.ops.push(PhysOp::Project {
+                    exprs: exprs.iter().map(|(e, _)| e.clone()).collect(),
+                    schema: schema.clone(),
+                    node,
+                });
+                pipe.operators += 1;
+                pipe.schema = schema;
+                pipe
+            }
+            Rel::Join {
+                kind,
+                left_keys,
+                right_keys,
+                residual,
+                ..
+            } => {
+                let mut left = children.next().expect("join has left input");
+                let right = children.next().expect("join has right input");
+                let build = self.close(
+                    right,
+                    Sink::JoinBuild {
+                        keys: right_keys.clone(),
+                        node,
+                    },
+                );
+                let schema = rel.schema()?;
+                left.deps.push(build);
+                left.ops.push(PhysOp::Probe {
+                    build,
+                    kind: *kind,
+                    left_keys: left_keys.clone(),
+                    residual: residual.clone(),
+                    schema: schema.clone(),
+                    node,
+                });
+                left.operators += 1;
+                left.schema = schema;
+                left
+            }
+            Rel::Aggregate {
+                group_by,
+                aggregates,
+                ..
+            } => {
+                let pipe = children.next().expect("aggregate has input");
+                let schema = rel.schema()?;
+                let dep = self.close(
+                    pipe,
+                    Sink::Aggregate {
+                        keys: group_by.clone(),
+                        aggregates: aggregates.clone(),
+                        schema: schema.clone(),
+                        node,
+                    },
+                );
+                self.consumer(dep, schema)
+            }
+            Rel::Sort { keys, .. } => {
+                let pipe = children.next().expect("sort has input");
+                let schema = pipe.schema.clone();
+                let dep = self.close(
+                    pipe,
+                    Sink::Sort {
+                        keys: keys.clone(),
+                        node,
+                    },
+                );
+                self.consumer(dep, schema)
+            }
+            Rel::Limit { offset, fetch, .. } => {
+                let pipe = children.next().expect("limit has input");
+                let schema = pipe.schema.clone();
+                let dep = self.close(
+                    pipe,
+                    Sink::Limit {
+                        offset: *offset,
+                        fetch: *fetch,
+                        node,
+                    },
+                );
+                self.consumer(dep, schema)
+            }
+            Rel::Distinct { .. } => {
+                let pipe = children.next().expect("distinct has input");
+                let schema = pipe.schema.clone();
+                let dep = self.close(pipe, Sink::Distinct { node });
+                self.consumer(dep, schema)
+            }
+            Rel::Exchange { kind, .. } => {
+                let pipe = children.next().expect("exchange has input");
+                let schema = pipe.schema.clone();
+                let dep = self.close(
+                    pipe,
+                    Sink::Exchange {
+                        kind: kind.clone(),
+                        node,
+                    },
+                );
+                self.consumer(dep, schema)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirius_columnar::{DataType, Field, Schema};
+    use sirius_plan::builder::PlanBuilder;
+    use sirius_plan::expr::{col, gt, lit_i64, AggExpr};
+    use sirius_plan::AggFunc;
+
+    fn scan(name: &str) -> PlanBuilder {
+        PlanBuilder::scan(
+            name,
+            Schema::new(vec![
+                Field::new("k", DataType::Int64),
+                Field::new("v", DataType::Int64),
+            ]),
+        )
+    }
+
+    #[test]
+    fn scan_filter_compiles_to_one_pipeline() {
+        let plan = scan("t").filter(gt(col(0), lit_i64(0))).build();
+        let phys = compile(&plan).unwrap();
+        assert_eq!(phys.pipelines.len(), 1);
+        let p = &phys.pipelines[0];
+        assert_eq!(p.operators, 2);
+        assert!(p.deps.is_empty());
+        assert!(matches!(p.sink, Sink::Result));
+        // Scan+filter fusion: one streaming op, attributed to the filter.
+        assert_eq!(p.ops.len(), 1);
+        assert!(matches!(&p.ops[0], PhysOp::Filter { node, .. } if node.id == 0));
+        assert!(matches!(&p.source, Source::Scan { node, .. } if node.id == 1));
+    }
+
+    #[test]
+    fn join_splits_build_before_probe() {
+        let plan = scan("l")
+            .join(scan("r"), JoinKind::Inner, vec![col(0)], vec![col(0)], None)
+            .build();
+        let phys = compile(&plan).unwrap();
+        assert_eq!(phys.pipelines.len(), 2);
+        let build = &phys.pipelines[0];
+        assert!(matches!(&build.sink, Sink::JoinBuild { node, .. } if node.id == 0));
+        assert_eq!(build.operators, 1);
+        let probe = &phys.pipelines[1];
+        assert_eq!(probe.deps, vec![0]);
+        assert!(matches!(probe.sink, Sink::Result));
+        assert!(matches!(&probe.ops[1], PhysOp::Probe { build: 0, .. }));
+        // Join output schema is carried onto the probe pipeline.
+        assert_eq!(probe.out_schema.len(), 4);
+    }
+
+    #[test]
+    fn breakers_chain_through_consumer_pipelines() {
+        let plan = scan("t")
+            .aggregate(
+                vec![col(0)],
+                vec![AggExpr {
+                    func: AggFunc::Sum,
+                    input: Some(col(1)),
+                    name: "s".into(),
+                }],
+            )
+            .sort(vec![sirius_plan::expr::SortExpr {
+                expr: col(0),
+                ascending: true,
+            }])
+            .limit(1, Some(5))
+            .build();
+        let phys = compile(&plan).unwrap();
+        assert_eq!(phys.pipelines.len(), 4);
+        assert!(matches!(phys.pipelines[0].sink, Sink::Aggregate { .. }));
+        assert!(matches!(phys.pipelines[1].sink, Sink::Sort { .. }));
+        assert!(matches!(
+            phys.pipelines[2].sink,
+            Sink::Limit {
+                offset: 1,
+                fetch: Some(5),
+                ..
+            }
+        ));
+        assert!(matches!(phys.pipelines[3].sink, Sink::Result));
+        // Each consumer depends only on its producer, in a chain.
+        assert_eq!(phys.pipelines[1].deps, vec![0]);
+        assert_eq!(phys.pipelines[2].deps, vec![1]);
+        assert_eq!(phys.pipelines[3].deps, vec![2]);
+        // Consumer pipelines have no streaming ops: their sinks apply
+        // directly to the materialized dependency.
+        assert!(phys.pipelines[1].ops.is_empty());
+        assert_eq!(phys.pipelines[1].operators, 1);
+    }
+
+    #[test]
+    fn multiway_join_builds_are_independent() {
+        // (a ⋈ b) ⋈ c: both build sides are scan pipelines with no deps —
+        // the scheduler may run them concurrently.
+        let plan = scan("a")
+            .join(scan("b"), JoinKind::Inner, vec![col(0)], vec![col(0)], None)
+            .join(scan("c"), JoinKind::Inner, vec![col(0)], vec![col(0)], None)
+            .build();
+        let phys = compile(&plan).unwrap();
+        assert_eq!(phys.pipelines.len(), 3);
+        let builds: Vec<&Pipeline> = phys
+            .pipelines
+            .iter()
+            .filter(|p| matches!(p.sink, Sink::JoinBuild { .. }))
+            .collect();
+        assert_eq!(builds.len(), 2);
+        assert!(builds.iter().all(|p| p.deps.is_empty()));
+        // The probe pipeline depends on both builds and carries both probes.
+        let probe = phys.root_pipeline();
+        assert_eq!(probe.deps.len(), 2);
+        assert_eq!(
+            probe
+                .ops
+                .iter()
+                .filter(|op| matches!(op, PhysOp::Probe { .. }))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn ids_are_preorder_over_the_normalized_tree() {
+        // Two stacked filters coalesce; the surviving filter op carries the
+        // outermost filter's id on the *normalized* tree.
+        let plan = scan("t")
+            .filter(gt(col(0), lit_i64(0)))
+            .filter(gt(col(1), lit_i64(1)))
+            .build();
+        let phys = compile(&plan).unwrap();
+        assert_eq!(phys.root.node_count(), 2);
+        let p = &phys.pipelines[0];
+        assert!(matches!(&p.ops[0], PhysOp::Filter { node, .. } if node.id == 0));
+        assert!(matches!(&p.source, Source::Scan { node, .. } if node.id == 1));
+    }
+}

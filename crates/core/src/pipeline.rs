@@ -1,11 +1,17 @@
 //! Pipeline decomposition and the global task queue (§3.2.2).
 //!
 //! The plan is divided into pipelines at pipeline breakers (hash-join
-//! builds, aggregations, sorts, distinct, exchanges). Each pipeline becomes
-//! a task in a global queue drained by idle CPU worker threads, which
-//! launch the actual GPU kernels — the execution model the paper shares
-//! with DuckDB, Hyper, and Velox.
+//! builds, aggregations, sorts, limits, distinct, exchanges). Each pipeline
+//! becomes a task in a global queue drained by idle CPU worker threads,
+//! which launch the actual GPU kernels — the execution model the paper
+//! shares with DuckDB, Hyper, and Velox.
+//!
+//! [`decompose`] is a thin projection of the compiled physical DAG
+//! ([`crate::physical::compile`]): same single plan walk, same pipeline
+//! ids, sources, and dependencies as the executed plan — it simply drops
+//! the operator payloads and keeps the static shape.
 
+use crate::physical::{self, Sink};
 use parking_lot::{Condvar, Mutex};
 use sirius_plan::Rel;
 use std::collections::VecDeque;
@@ -23,6 +29,8 @@ pub enum BreakerKind {
     Aggregate,
     /// Sort.
     Sort,
+    /// Row-range selection (offset/fetch) over its input's final order.
+    Limit,
     /// Duplicate elimination.
     Distinct,
     /// Distributed exchange.
@@ -42,62 +50,31 @@ pub struct PipelineInfo {
     pub operators: usize,
 }
 
-/// Decompose a plan into its pipeline DAG.
+/// Decompose a plan into its pipeline DAG — the static shape of exactly
+/// what [`crate::SiriusEngine::execute`] runs, obtained by compiling the
+/// plan and dropping the operator payloads. Plans that fail to compile
+/// yield no pipelines.
 pub fn decompose(plan: &Rel) -> Vec<PipelineInfo> {
-    fn walk(rel: &Rel, out: &mut Vec<PipelineInfo>) -> usize {
-        match rel {
-            Rel::Read { .. } => {
-                let id = out.len();
-                out.push(PipelineInfo {
-                    id,
-                    deps: vec![],
-                    breaker: BreakerKind::Result,
-                    operators: 1,
-                });
-                id
-            }
-            // Streaming operators extend the input's pipeline.
-            Rel::Filter { input, .. } | Rel::Project { input, .. } | Rel::Limit { input, .. } => {
-                let p = walk(input, out);
-                out[p].operators += 1;
-                p
-            }
-            Rel::Join { left, right, .. } => {
-                // The build side ends in a JoinBuild breaker; the probe side
-                // streams through this join.
-                let build = walk(right, out);
-                out[build].breaker = BreakerKind::JoinBuild;
-                let probe = walk(left, out);
-                out[probe].operators += 1;
-                out[probe].deps.push(build);
-                probe
-            }
-            Rel::Aggregate { input, .. }
-            | Rel::Sort { input, .. }
-            | Rel::Distinct { input }
-            | Rel::Exchange { input, .. } => {
-                let p = walk(input, out);
-                out[p].breaker = match rel {
-                    Rel::Aggregate { .. } => BreakerKind::Aggregate,
-                    Rel::Sort { .. } => BreakerKind::Sort,
-                    Rel::Distinct { .. } => BreakerKind::Distinct,
-                    _ => BreakerKind::Exchange,
-                };
-                let id = out.len();
-                out.push(PipelineInfo {
-                    id,
-                    deps: vec![p],
-                    breaker: BreakerKind::Result,
-                    operators: 1,
-                });
-                id
-            }
-        }
-    }
-    let mut out = Vec::new();
-    let root = walk(plan, &mut out);
-    out[root].breaker = BreakerKind::Result;
-    out
+    let Ok(phys) = physical::compile(plan) else {
+        return Vec::new();
+    };
+    phys.pipelines
+        .iter()
+        .map(|p| PipelineInfo {
+            id: p.id,
+            deps: p.deps.clone(),
+            breaker: match &p.sink {
+                Sink::Result => BreakerKind::Result,
+                Sink::JoinBuild { .. } => BreakerKind::JoinBuild,
+                Sink::Aggregate { .. } => BreakerKind::Aggregate,
+                Sink::Sort { .. } => BreakerKind::Sort,
+                Sink::Limit { .. } => BreakerKind::Limit,
+                Sink::Distinct { .. } => BreakerKind::Distinct,
+                Sink::Exchange { .. } => BreakerKind::Exchange,
+            },
+            operators: p.operators,
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,899 @@
+//! The pipeline-DAG scheduler: executes a compiled [`PhysicalPlan`].
+//!
+//! Pipelines run in dependency *waves*: every pipeline whose dependencies
+//! have completed is ready, and under [`Scheduling::Concurrent`] (the
+//! default) all ready pipelines dispatch their morsel tasks in one shared
+//! wave — each pipeline on its own contiguous slice of the device streams,
+//! so independent pipelines (e.g. the build sides of a multi-way join)
+//! overlap in the stream-aware time ledger. [`Scheduling::Serialized`] runs
+//! one pipeline per wave, reproducing the recursion-order baseline for the
+//! `ablation_pipelines` experiment.
+//!
+//! Per-pipeline breaker work (grant acquisition, hash-table builds, sort,
+//! partial-aggregate merges) stays serial, in pipeline-id order, after the
+//! wave's stream sync. Lane and category totals in the ledger are
+//! order-independent sums, so results *and* cost breakdowns are
+//! deterministic regardless of how waves interleave.
+
+use crate::engine::SiriusEngine;
+use crate::exprs::evaluate;
+use crate::morsel::{
+    agg_inputs, chain_schema, chunk_morsels, concat_morsels, lower_agg, scalar_table, MorselOp,
+};
+use crate::physical::{PhysOp, PhysicalPlan, Pipeline, Sink, Source};
+use crate::Result;
+use sirius_columnar::{Array, DataType, Scalar, Table};
+use sirius_cudf::filter::gather;
+use sirius_cudf::groupby::{group_by, AggKind, AggRequest, PartialAggPlan};
+use sirius_cudf::join::build_hash_table;
+use sirius_cudf::reduce::reduce;
+use sirius_cudf::sort::{sort_indices, SortKey};
+use sirius_cudf::unique::distinct;
+use sirius_cudf::GpuContext;
+use sirius_hw::CostCategory;
+use sirius_plan::expr::{AggExpr, Expr};
+use sirius_spill::MemoryGrant;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How ready pipelines are dispatched onto the device streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduling {
+    /// One pipeline per wave, in dependency order — the recursion-order
+    /// baseline of the pre-DAG executor.
+    Serialized,
+    /// Every ready pipeline launches in the same wave, splitting the
+    /// stream pool between them.
+    #[default]
+    Concurrent,
+}
+
+/// A completed pipeline's materialized output, kept alive until its last
+/// consumer finishes. Join builds also carry their hash table and the
+/// memory grant pinning it in the processing region.
+struct PipeResult {
+    table: Table,
+    hash: Option<Arc<sirius_cudf::join::JoinHashTable>>,
+    /// The build side didn't fit the processing region: consumers must
+    /// Grace-join against `table` instead of probing a hash table.
+    grace: bool,
+    _grant: Option<MemoryGrant>,
+}
+
+impl PipeResult {
+    fn table(table: Table) -> Self {
+        PipeResult {
+            table,
+            hash: None,
+            grace: false,
+            _grant: None,
+        }
+    }
+}
+
+/// What one morsel task returns, by pipeline sink mode.
+enum TaskOut {
+    /// Streaming chain output (non-aggregate sinks, spill/single-pass
+    /// aggregation).
+    Table(Table),
+    /// Partial accumulators of a fused ungrouped aggregation.
+    Scalars(Vec<Scalar>),
+    /// Partial (key columns, aggregate columns) of a fused group-by.
+    Groups(Vec<Array>, Vec<Array>),
+}
+
+impl TaskOut {
+    fn into_table(self) -> Table {
+        match self {
+            TaskOut::Table(t) => t,
+            _ => unreachable!("mode returns tables"),
+        }
+    }
+}
+
+type WaveTask = Box<dyn FnOnce() -> Result<TaskOut> + Send>;
+type TableTask = Box<dyn FnOnce() -> Result<Table> + Send>;
+
+/// How a prepared pipeline's sink consumes the wave.
+enum Mode {
+    /// No wave: a consumer pipeline with no streaming ops applies its sink
+    /// directly to the materialized dependency.
+    Direct,
+    /// Generic morsel wave; the sink takes the concatenated output.
+    Wave,
+    /// Aggregate whose state grant was denied: wave, concatenate, then the
+    /// spilling aggregation path.
+    SpillAgg { category: CostCategory },
+    /// Aggregate in one whole-column pass under the held state grant
+    /// (single morsel, or `COUNT(DISTINCT)`).
+    SinglePassAgg {
+        category: CostCategory,
+        _state: MemoryGrant,
+    },
+    /// Fused partial aggregation: each morsel task runs the streaming chain
+    /// and its partial accumulators back-to-back on its stream; partials
+    /// merge serially after the sync.
+    FusedAgg {
+        pplan: Arc<PartialAggPlan>,
+        keys: Arc<Vec<Expr>>,
+        aggs: Arc<Vec<AggExpr>>,
+        category: CostCategory,
+        _state: MemoryGrant,
+    },
+}
+
+/// A pipeline after serial preparation: source resolved, streaming ops
+/// lowered (grace probes already folded into the source), morsels cut, and
+/// the sink mode (with any grants) decided.
+struct Prepared<'a> {
+    pipe: &'a Pipeline,
+    ops: Arc<Vec<MorselOp>>,
+    source: Table,
+    chunks: Vec<Table>,
+    mode: Mode,
+    /// Simulated instant preparation began — the breaker span opens here.
+    start: Duration,
+}
+
+impl SiriusEngine {
+    /// Execute a compiled pipeline DAG and return the root pipeline's table.
+    pub(crate) fn run_physical(&self, phys: &PhysicalPlan) -> Result<Table> {
+        let n = phys.pipelines.len();
+        let mut consumers = vec![0usize; n];
+        for p in &phys.pipelines {
+            for &d in &p.deps {
+                consumers[d] += 1;
+            }
+        }
+        let mut results: HashMap<usize, PipeResult> = HashMap::new();
+        let mut done = vec![false; n];
+        let mut completed = 0usize;
+        while completed < n {
+            let ready: Vec<usize> = (0..n)
+                .filter(|&i| !done[i] && phys.pipelines[i].deps.iter().all(|&d| done[d]))
+                .collect();
+            debug_assert!(!ready.is_empty(), "pipeline DAG has a cycle");
+            let batch = match self.scheduling {
+                Scheduling::Serialized => &ready[..1],
+                Scheduling::Concurrent => &ready[..],
+            };
+            self.run_wave(phys, batch, &mut results)?;
+            self.stats.lock().pipelines_run += batch.len() as u64;
+            completed += batch.len();
+            for &id in batch {
+                done[id] = true;
+            }
+            // Release dependency results (tables, hash tables, grants) as
+            // soon as their last consumer has finished.
+            for &id in batch {
+                for &d in &phys.pipelines[id].deps {
+                    consumers[d] -= 1;
+                    if consumers[d] == 0 {
+                        results.remove(&d);
+                    }
+                }
+            }
+        }
+        Ok(results
+            .remove(&(n - 1))
+            .expect("root pipeline completed")
+            .table)
+    }
+
+    /// Run one wave: prepare each batched pipeline serially, dispatch all
+    /// their morsel tasks together (one stream slice per pipeline), sync,
+    /// then finish each sink serially in pipeline-id order.
+    fn run_wave(
+        &self,
+        phys: &PhysicalPlan,
+        batch: &[usize],
+        results: &mut HashMap<usize, PipeResult>,
+    ) -> Result<()> {
+        let mut preps = Vec::with_capacity(batch.len());
+        for &id in batch {
+            preps.push(self.prepare(phys, &phys.pipelines[id], results)?);
+        }
+
+        let streams = self.workers().max(1);
+        let with_tasks = preps.iter().filter(|p| !p.chunks.is_empty()).count();
+        let width = (streams / with_tasks.max(1)).max(1);
+        let wave_t0 = self.wave_start();
+        let mut tasks: Vec<(usize, WaveTask)> = Vec::new();
+        let mut counts: Vec<usize> = Vec::with_capacity(preps.len());
+        let mut slice = 0usize;
+        for prep in &mut preps {
+            let before = tasks.len();
+            if !prep.chunks.is_empty() {
+                let offset = (slice * width) % streams;
+                slice += 1;
+                self.push_tasks(prep, offset, width, streams, &mut tasks);
+            }
+            counts.push(tasks.len() - before);
+        }
+        let outs = self.dispatch_streams(tasks);
+        self.device.sync_streams();
+        for prep in &preps {
+            if !matches!(prep.mode, Mode::Direct) {
+                self.wave_spans(&prep.ops, wave_t0);
+            }
+        }
+
+        let mut outs = outs.into_iter();
+        for (prep, count) in preps.into_iter().zip(counts) {
+            let task_outs: Vec<TaskOut> = outs.by_ref().take(count).collect::<Result<_>>()?;
+            let id = prep.pipe.id;
+            let result = self.finish(prep, task_outs)?;
+            results.insert(id, result);
+        }
+        Ok(())
+    }
+
+    /// Serial per-pipeline preparation: resolve the source, lower the
+    /// streaming ops (running Grace joins inline when a build side
+    /// spilled), cut morsels, and pick the sink mode — acquiring the
+    /// aggregate state grant up front, before any task runs.
+    fn prepare<'a>(
+        &self,
+        phys: &PhysicalPlan,
+        pipe: &'a Pipeline,
+        results: &HashMap<usize, PipeResult>,
+    ) -> Result<Prepared<'a>> {
+        let start = self.wave_start();
+        let mut source = match &pipe.source {
+            Source::Scan {
+                table, projection, ..
+            } => {
+                let t = self.bufmgr.get_table(table)?;
+                match projection {
+                    Some(p) => t.project(p),
+                    None => (*t).clone(),
+                }
+            }
+            Source::Pipe(d) => results[d].table.clone(),
+        };
+        let mut ops: Vec<MorselOp> = Vec::with_capacity(pipe.ops.len());
+        for op in &pipe.ops {
+            match op {
+                PhysOp::Scan { node } => ops.push(MorselOp::Scan { node: *node }),
+                PhysOp::Filter { predicate, node } => ops.push(MorselOp::Filter {
+                    predicate: predicate.clone(),
+                    node: *node,
+                }),
+                PhysOp::Project {
+                    exprs,
+                    schema,
+                    node,
+                } => ops.push(MorselOp::Project {
+                    exprs: exprs.clone(),
+                    schema: schema.clone(),
+                    node: *node,
+                }),
+                PhysOp::Probe {
+                    build,
+                    kind,
+                    left_keys,
+                    residual,
+                    schema,
+                    node,
+                } => {
+                    let b = &results[build];
+                    if !b.grace {
+                        ops.push(MorselOp::Probe {
+                            ht: b.hash.clone(),
+                            rt: b.table.clone(),
+                            kind: *kind,
+                            left_keys: left_keys.clone(),
+                            residual: residual.clone(),
+                            schema: schema.clone(),
+                            node: *node,
+                        });
+                        continue;
+                    }
+                    // The build side didn't fit the processing region:
+                    // Grace-style partitioned join. Materialize the probe
+                    // prefix morsel-wise, partition both sides through the
+                    // spill tiers, and the joined table becomes this
+                    // pipeline's source (like any other breaker).
+                    let seg_schema = chain_schema(&ops, source.schema());
+                    let prefix = Arc::new(std::mem::take(&mut ops));
+                    let chunks = self.chunk_and_count(&source);
+                    let morsels = self.run_ops_wave(&prefix, chunks)?;
+                    let lt = concat_morsels(seg_schema, &morsels);
+                    let Sink::JoinBuild {
+                        keys: right_keys, ..
+                    } = &phys.pipelines[*build].sink
+                    else {
+                        unreachable!("probe build target is a join-build sink")
+                    };
+                    let grace_start = self.wave_start();
+                    let out = self.grace_join(
+                        &lt,
+                        &b.table,
+                        *kind,
+                        left_keys,
+                        right_keys,
+                        residual,
+                        schema.clone(),
+                        *node,
+                        0,
+                    )?;
+                    if self.trace.enabled() {
+                        let dur = self.device.elapsed().saturating_sub(grace_start);
+                        self.trace.span(
+                            "op",
+                            "spill-partition",
+                            grace_start.as_nanos() as u64,
+                            dur.as_nanos() as u64,
+                            out.byte_size() as u64,
+                            out.num_rows() as u64,
+                            node.id,
+                            node.depth,
+                        );
+                    }
+                    source = out;
+                }
+            }
+        }
+
+        let (chunks, mode) = match &pipe.sink {
+            Sink::Aggregate {
+                keys, aggregates, ..
+            } => {
+                let chunks = self.chunk_and_count(&source);
+                let category = if keys.is_empty() {
+                    CostCategory::Aggregate
+                } else {
+                    CostCategory::GroupBy
+                };
+                let kinds: Vec<AggKind> = aggregates.iter().map(|a| lower_agg(a.func)).collect();
+                // The aggregated input never materializes, so the
+                // accumulator-state reservation is sized by the pipeline
+                // source (the input is at most that big), before the tasks
+                // run. A denied grant takes the spilling path.
+                let mode = match self
+                    .bufmgr
+                    .request_grant((source.byte_size() as u64 / 2).max(1024))
+                {
+                    Err(_) => Mode::SpillAgg { category },
+                    Ok(state) => match PartialAggPlan::new(&kinds) {
+                        Some(p) if chunks.len() > 1 => Mode::FusedAgg {
+                            pplan: Arc::new(p),
+                            keys: Arc::new(keys.clone()),
+                            aggs: Arc::new(aggregates.clone()),
+                            category,
+                            _state: state,
+                        },
+                        // COUNT(DISTINCT) cannot merge partials; a single
+                        // morsel gains nothing from the two-phase plan.
+                        _ => Mode::SinglePassAgg {
+                            category,
+                            _state: state,
+                        },
+                    },
+                };
+                (chunks, mode)
+            }
+            _ if ops.is_empty() && matches!(pipe.source, Source::Pipe(_)) => {
+                (Vec::new(), Mode::Direct)
+            }
+            _ => (self.chunk_and_count(&source), Mode::Wave),
+        };
+        Ok(Prepared {
+            pipe,
+            ops: Arc::new(ops),
+            source,
+            chunks,
+            mode,
+            start,
+        })
+    }
+
+    /// Emit one pipeline's morsel tasks onto its stream slice: morsel `i`
+    /// of slice `[offset, offset+width)` lands on stream
+    /// `(offset + i % width) % streams`. A single-pipeline wave spans the
+    /// full pool (`width == streams`), matching the pre-DAG round-robin.
+    fn push_tasks(
+        &self,
+        prep: &mut Prepared<'_>,
+        offset: usize,
+        width: usize,
+        streams: usize,
+        tasks: &mut Vec<(usize, WaveTask)>,
+    ) {
+        let overhead = self.task_overhead();
+        let op_stats = self.op_stats.clone();
+        let chunks = std::mem::take(&mut prep.chunks);
+        match &prep.mode {
+            Mode::Direct => {}
+            Mode::Wave | Mode::SpillAgg { .. } | Mode::SinglePassAgg { .. } => {
+                for (i, morsel) in chunks.into_iter().enumerate() {
+                    let stream = (offset + (i % width)) % streams;
+                    let device = self.device.on_stream(stream);
+                    let ops = Arc::clone(&prep.ops);
+                    let op_stats = op_stats.clone();
+                    let f: WaveTask = Box::new(move || {
+                        device.charge_duration(CostCategory::Other, overhead);
+                        let mut t = morsel;
+                        for op in ops.iter() {
+                            t = op.apply(&device, t, op_stats.as_deref())?;
+                        }
+                        Ok(TaskOut::Table(t))
+                    });
+                    tasks.push((stream, f));
+                }
+            }
+            Mode::FusedAgg {
+                pplan,
+                keys,
+                aggs,
+                category,
+                ..
+            } => {
+                let category = *category;
+                for (i, m) in chunks.into_iter().enumerate() {
+                    let stream = (offset + (i % width)) % streams;
+                    let device = self.device.on_stream(stream);
+                    let ops = Arc::clone(&prep.ops);
+                    let aggs = Arc::clone(aggs);
+                    let keys = Arc::clone(keys);
+                    let pplan = Arc::clone(pplan);
+                    let op_stats = op_stats.clone();
+                    let f: WaveTask = Box::new(move || {
+                        device.charge_duration(CostCategory::Other, overhead);
+                        let mut m = m;
+                        for op in ops.iter() {
+                            m = op.apply(&device, m, op_stats.as_deref())?;
+                        }
+                        let ctx = GpuContext::new(device, category);
+                        let inputs = agg_inputs(&ctx, &aggs, &m)?;
+                        if keys.is_empty() {
+                            // Per-morsel pipeline + partial reductions.
+                            let partials: Vec<Scalar> = pplan
+                                .partials()
+                                .iter()
+                                .map(|s| {
+                                    Ok(reduce(
+                                        &ctx,
+                                        s.kind,
+                                        inputs[s.source].as_ref(),
+                                        m.num_rows(),
+                                    )?)
+                                })
+                                .collect::<Result<_>>()?;
+                            Ok(TaskOut::Scalars(partials))
+                        } else {
+                            // Per-morsel pipeline + partial group-by.
+                            let key_cols: Vec<Array> = keys
+                                .iter()
+                                .map(|k| evaluate(&ctx, k, &m))
+                                .collect::<Result<_>>()?;
+                            let key_refs: Vec<&Array> = key_cols.iter().collect();
+                            let requests: Vec<AggRequest<'_>> = pplan
+                                .partials()
+                                .iter()
+                                .map(|s| AggRequest {
+                                    kind: s.kind,
+                                    input: inputs[s.source].as_ref(),
+                                })
+                                .collect();
+                            let r = group_by(&ctx, &key_refs, &requests, m.num_rows())?;
+                            Ok(TaskOut::Groups(r.key_columns, r.agg_columns))
+                        }
+                    });
+                    tasks.push((stream, f));
+                }
+            }
+        }
+    }
+
+    /// Serial sink work after the wave sync. Emits the breaker's operator
+    /// span + runtime stats for plan-node sinks (join builds instrument
+    /// their build inside [`Self::apply_sink`]; `Result` is not a plan
+    /// operator).
+    fn finish(&self, prep: Prepared<'_>, outs: Vec<TaskOut>) -> Result<PipeResult> {
+        let pipe = prep.pipe;
+        let result = match &prep.mode {
+            Mode::Direct => self.apply_sink(pipe, prep.source.clone())?,
+            Mode::Wave => {
+                let morsels: Vec<Table> = outs.into_iter().map(TaskOut::into_table).collect();
+                let t = concat_morsels(pipe.out_schema.clone(), &morsels);
+                self.apply_sink(pipe, t)?
+            }
+            Mode::SpillAgg { category } => {
+                let morsels: Vec<Table> = outs.into_iter().map(TaskOut::into_table).collect();
+                let t = concat_morsels(pipe.out_schema.clone(), &morsels);
+                let Sink::Aggregate {
+                    keys,
+                    aggregates,
+                    schema,
+                    node,
+                } = &pipe.sink
+                else {
+                    unreachable!("aggregate mode on aggregate sink")
+                };
+                PipeResult::table(self.spilling_aggregate(
+                    &t,
+                    keys,
+                    aggregates,
+                    schema.clone(),
+                    *category,
+                    *node,
+                    0,
+                )?)
+            }
+            Mode::SinglePassAgg { category, .. } => {
+                let morsels: Vec<Table> = outs.into_iter().map(TaskOut::into_table).collect();
+                let t = concat_morsels(pipe.out_schema.clone(), &morsels);
+                let Sink::Aggregate {
+                    keys,
+                    aggregates,
+                    schema,
+                    ..
+                } = &pipe.sink
+                else {
+                    unreachable!("aggregate mode on aggregate sink")
+                };
+                PipeResult::table(self.aggregate_single_pass(
+                    &t,
+                    keys,
+                    aggregates,
+                    schema.clone(),
+                    *category,
+                )?)
+            }
+            Mode::FusedAgg {
+                pplan, category, ..
+            } => {
+                let Sink::Aggregate { keys, schema, .. } = &pipe.sink else {
+                    unreachable!("aggregate mode on aggregate sink")
+                };
+                PipeResult::table(if keys.is_empty() {
+                    // Merge the partial accumulators (serial: the breaker).
+                    let partials: Vec<Vec<Scalar>> = outs
+                        .into_iter()
+                        .map(|o| match o {
+                            TaskOut::Scalars(s) => s,
+                            _ => unreachable!("fused ungrouped tasks return scalars"),
+                        })
+                        .collect();
+                    let ctx = self.ctx(*category);
+                    let merged: Vec<Scalar> = (0..pplan.partials().len())
+                        .map(|p| {
+                            let col: Vec<Scalar> =
+                                partials.iter().map(|row| row[p].clone()).collect();
+                            let dt = col
+                                .iter()
+                                .find_map(|s| s.data_type())
+                                .unwrap_or(DataType::Int64);
+                            let arr = Array::from_scalars(&col, dt);
+                            Ok(reduce(&ctx, pplan.merge_kind(p), Some(&arr), arr.len())?)
+                        })
+                        .collect::<Result<_>>()?;
+                    scalar_table(&pplan.finalize_scalars(&merged), schema)
+                } else {
+                    // Merge at the breaker: concatenate the per-morsel
+                    // partial tables and re-aggregate with the merge kinds.
+                    // Concatenation order is morsel order, so
+                    // first-appearance (and sorted) group order matches the
+                    // whole-column pass.
+                    let parts: Vec<(Vec<Array>, Vec<Array>)> = outs
+                        .into_iter()
+                        .map(|o| match o {
+                            TaskOut::Groups(k, a) => (k, a),
+                            _ => unreachable!("fused grouped tasks return partial groups"),
+                        })
+                        .collect();
+                    let ctx = self.ctx(CostCategory::GroupBy);
+                    let merged_keys: Vec<Array> = (0..keys.len())
+                        .map(|k| {
+                            let cols: Vec<&Array> = parts.iter().map(|(kc, _)| &kc[k]).collect();
+                            Array::concat(&cols)
+                        })
+                        .collect();
+                    let merged_parts: Vec<Array> = (0..pplan.partials().len())
+                        .map(|p| {
+                            let cols: Vec<&Array> = parts.iter().map(|(_, ac)| &ac[p]).collect();
+                            Array::concat(&cols)
+                        })
+                        .collect();
+                    let total = merged_keys.first().map(|a| a.len()).unwrap_or(0);
+                    let key_refs: Vec<&Array> = merged_keys.iter().collect();
+                    let requests: Vec<AggRequest<'_>> = merged_parts
+                        .iter()
+                        .enumerate()
+                        .map(|(p, col)| AggRequest {
+                            kind: pplan.merge_kind(p),
+                            input: Some(col),
+                        })
+                        .collect();
+                    let r = group_by(&ctx, &key_refs, &requests, total)?;
+                    let finals = pplan.finalize(&ctx, &r.agg_columns)?;
+                    let cols: Vec<Array> = r.key_columns.into_iter().chain(finals).collect();
+                    Table::new(schema.clone(), cols)
+                })
+            }
+        };
+        if let (Some(node), true) = (pipe.sink.node(), self.trace.enabled()) {
+            if !matches!(pipe.sink, Sink::JoinBuild { .. }) {
+                let window = self.device.elapsed().saturating_sub(prep.start);
+                self.trace.span(
+                    "op",
+                    pipe.sink.span_label(),
+                    prep.start.as_nanos() as u64,
+                    window.as_nanos() as u64,
+                    result.table.byte_size() as u64,
+                    result.table.num_rows() as u64,
+                    node.id,
+                    node.depth,
+                );
+                if let Some(stats) = &self.op_stats {
+                    stats.lock().entry(node.id).or_default().note(
+                        result.table.num_rows() as u64,
+                        result.table.byte_size() as u64,
+                        window,
+                    );
+                }
+            }
+        }
+        Ok(result)
+    }
+
+    /// Apply a non-aggregate sink to the pipeline's materialized rows.
+    fn apply_sink(&self, pipe: &Pipeline, t: Table) -> Result<PipeResult> {
+        match &pipe.sink {
+            // Single-node: the exchange layer is bypassed entirely
+            // (§3.2.4); the distributed executor in `sirius-doris`
+            // fragments plans at Exchange sinks before they reach here.
+            Sink::Result | Sink::Exchange { .. } => Ok(PipeResult::table(t)),
+            Sink::JoinBuild { keys, node } => {
+                // Hash table lives in the processing region until the last
+                // probe pipeline is done.
+                match self.bufmgr.request_grant((t.byte_size() as u64).max(1024)) {
+                    Ok(grant) => {
+                        let build_start = self.wave_start();
+                        let ctx = self.ctx(CostCategory::Join);
+                        let hash = if keys.is_empty() {
+                            None
+                        } else {
+                            let rk: Vec<Array> = keys
+                                .iter()
+                                .map(|e| evaluate(&ctx, e, &t))
+                                .collect::<Result<_>>()?;
+                            let rrefs: Vec<&Array> = rk.iter().collect();
+                            Some(Arc::new(build_hash_table(&ctx, &rrefs, t.num_rows())?))
+                        };
+                        if self.trace.enabled() {
+                            let dur = self.device.elapsed().saturating_sub(build_start);
+                            self.trace.span(
+                                "op",
+                                "join-build",
+                                build_start.as_nanos() as u64,
+                                dur.as_nanos() as u64,
+                                t.byte_size() as u64,
+                                t.num_rows() as u64,
+                                node.id,
+                                node.depth,
+                            );
+                            if let Some(stats) = &self.op_stats {
+                                // Build time only: the probe morsels add
+                                // their rows and lane time as they run.
+                                stats.lock().entry(node.id).or_default().busy += dur;
+                            }
+                        }
+                        Ok(PipeResult {
+                            table: t,
+                            hash,
+                            grace: false,
+                            _grant: Some(grant),
+                        })
+                    }
+                    // A cross join has no keys to partition on; its build
+                    // sides are scalar-subquery sized, so a denial there is
+                    // a genuine OOM.
+                    Err(e) if keys.is_empty() => Err(e),
+                    // Doesn't fit: flag for the Grace partitioned join in
+                    // the consumer's prepare step.
+                    Err(_) => Ok(PipeResult {
+                        table: t,
+                        hash: None,
+                        grace: true,
+                        _grant: None,
+                    }),
+                }
+            }
+            Sink::Sort { keys, node } => {
+                let out = match self.bufmgr.request_grant((t.byte_size() as u64).max(1024)) {
+                    Ok(_buf) => {
+                        let ctx = self.ctx(CostCategory::OrderBy);
+                        let key_cols: Vec<(Array, bool)> = keys
+                            .iter()
+                            .map(|k| Ok((evaluate(&ctx, &k.expr, &t)?, k.ascending)))
+                            .collect::<Result<_>>()?;
+                        let sort_keys: Vec<SortKey<'_>> = key_cols
+                            .iter()
+                            .map(|(c, asc)| SortKey {
+                                column: c,
+                                ascending: *asc,
+                            })
+                            .collect();
+                        let idx = sort_indices(&ctx, &sort_keys, t.num_rows())?;
+                        gather(&ctx, &t, &idx)
+                    }
+                    // The sort buffer doesn't fit: sort spilled runs and
+                    // merge them back (§3.4 out-of-core).
+                    Err(_) => self.external_sort(&t, keys, *node)?,
+                };
+                Ok(PipeResult::table(out))
+            }
+            Sink::Limit { offset, fetch, .. } => {
+                let ctx = self.ctx(CostCategory::Other);
+                let start = (*offset).min(t.num_rows());
+                let end = match fetch {
+                    Some(f) => (start + f).min(t.num_rows()),
+                    None => t.num_rows(),
+                };
+                let idx: Vec<i32> = (start as i32..end as i32).collect();
+                Ok(PipeResult::table(gather(&ctx, &t, &idx)))
+            }
+            Sink::Distinct { .. } => {
+                let ctx = self.ctx(CostCategory::GroupBy);
+                Ok(PipeResult::table(distinct(&ctx, &t)?))
+            }
+            Sink::Aggregate { .. } => unreachable!("aggregate sinks finish via their mode"),
+        }
+    }
+
+    /// The whole-column aggregation pass (single morsel or non-decomposable
+    /// aggregates), also the terminal step of the spilling paths.
+    pub(crate) fn aggregate_single_pass(
+        &self,
+        t: &Table,
+        keys: &[Expr],
+        aggregates: &[AggExpr],
+        schema: sirius_columnar::Schema,
+        category: CostCategory,
+    ) -> Result<Table> {
+        let ctx = self.ctx(category);
+        let inputs = agg_inputs(&ctx, aggregates, t)?;
+        if keys.is_empty() {
+            let scalars: Vec<Scalar> = aggregates
+                .iter()
+                .zip(inputs.iter())
+                .map(|(a, input)| {
+                    Ok(reduce(
+                        &ctx,
+                        lower_agg(a.func),
+                        input.as_ref(),
+                        t.num_rows(),
+                    )?)
+                })
+                .collect::<Result<_>>()?;
+            Ok(scalar_table(&scalars, &schema))
+        } else {
+            let key_cols: Vec<Array> = keys
+                .iter()
+                .map(|k| evaluate(&ctx, k, t))
+                .collect::<Result<_>>()?;
+            let key_refs: Vec<&Array> = key_cols.iter().collect();
+            let requests: Vec<AggRequest<'_>> = aggregates
+                .iter()
+                .zip(inputs.iter())
+                .map(|(a, input)| AggRequest {
+                    kind: lower_agg(a.func),
+                    input: input.as_ref(),
+                })
+                .collect();
+            let result = group_by(&ctx, &key_refs, &requests, t.num_rows())?;
+            let cols: Vec<Array> = result
+                .key_columns
+                .into_iter()
+                .chain(result.agg_columns)
+                .collect();
+            Ok(Table::new(schema, cols))
+        }
+    }
+
+    /// Partition a pipeline source and record the morsel count.
+    pub(crate) fn chunk_and_count(&self, source: &Table) -> Vec<Table> {
+        let chunks = chunk_morsels(source, self.morsel.rows);
+        self.stats.lock().morsels += chunks.len() as u64;
+        chunks
+    }
+
+    /// Push every morsel through a streaming operator chain as its own task
+    /// (full-width round-robin) and synchronize the streams. Used by the
+    /// Grace-join prefix materialization; regular pipelines go through
+    /// [`Self::run_wave`]'s shared dispatch.
+    pub(crate) fn run_ops_wave(
+        &self,
+        ops: &Arc<Vec<MorselOp>>,
+        chunks: Vec<Table>,
+    ) -> Result<Vec<Table>> {
+        let streams = self.workers().max(1);
+        let overhead = self.task_overhead();
+        let wave_start = self.wave_start();
+        let op_stats = self.op_stats.clone();
+        let tasks: Vec<(usize, TableTask)> = chunks
+            .into_iter()
+            .enumerate()
+            .map(|(i, morsel)| {
+                let stream = i % streams;
+                let device = self.device.on_stream(stream);
+                let ops = Arc::clone(ops);
+                let op_stats = op_stats.clone();
+                let f: TableTask = Box::new(move || {
+                    device.charge_duration(CostCategory::Other, overhead);
+                    let mut t = morsel;
+                    for op in ops.iter() {
+                        t = op.apply(&device, t, op_stats.as_deref())?;
+                    }
+                    Ok(t)
+                });
+                (stream, f)
+            })
+            .collect();
+        let results = self.dispatch_streams(tasks);
+        self.device.sync_streams();
+        self.wave_spans(ops, wave_start);
+        results.into_iter().collect()
+    }
+
+    /// The simulated instant a morsel wave begins (only read when tracing).
+    pub(crate) fn wave_start(&self) -> Duration {
+        if self.trace.enabled() {
+            self.device.elapsed()
+        } else {
+            Duration::ZERO
+        }
+    }
+
+    /// After a wave's stream sync: one span per streaming operator in the
+    /// chain, covering the wave's simulated window. A wave starts right
+    /// after the previous sync (no streams in flight), so its window lines
+    /// up exactly with the lane-local kernel timestamps inside it.
+    fn wave_spans(&self, ops: &[MorselOp], wave_start: Duration) {
+        if !self.trace.enabled() {
+            return;
+        }
+        let dur = self.device.elapsed().saturating_sub(wave_start);
+        for op in ops {
+            let (label, node) = op.span_info();
+            self.trace.span(
+                "op",
+                label,
+                wave_start.as_nanos() as u64,
+                dur.as_nanos() as u64,
+                0,
+                0,
+                node.id,
+                node.depth,
+            );
+        }
+    }
+
+    /// Send a batch of `(stream, task)` pairs through the global queue,
+    /// recording the stream assignment in the scheduler counters. The tasks
+    /// themselves charge their dispatch overhead on their streams.
+    fn dispatch_streams<R: Send + 'static>(
+        &self,
+        tasks: Vec<(usize, Box<dyn FnOnce() -> R + Send + 'static>)>,
+    ) -> Vec<R> {
+        if tasks.is_empty() {
+            return Vec::new();
+        }
+        let streams = self.workers().max(1);
+        {
+            let mut s = self.stats.lock();
+            s.tasks += tasks.len() as u64;
+            if s.tasks_per_stream.len() < streams {
+                s.tasks_per_stream.resize(streams, 0);
+            }
+            for (stream, _) in &tasks {
+                s.tasks_per_stream[*stream] += 1;
+            }
+        }
+        self.queue
+            .run_all(tasks.into_iter().map(|(_, f)| f).collect())
+    }
+}

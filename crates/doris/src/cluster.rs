@@ -192,107 +192,58 @@ impl NodeState {
         reaped
     }
 
+    /// Replace every exchange in `plan` (innermost first, joins
+    /// left-then-right — the shared rewrite's fixed order keeps collective
+    /// sequence numbers aligned across nodes) with a temp-table read of the
+    /// exchanged fragment result.
     fn rewrite(&mut self, plan: &Rel) -> sirius_core::Result<Rel> {
-        if let Rel::Exchange { input, kind } = plan {
-            let inner = self.rewrite(input)?;
-            let local = self.engine_exec(&inner)?;
-            if self
-                .fault
-                .fire(FaultSite::FragmentMid { node: self.id })
-                .is_some()
-            {
-                // Crash at the exchange boundary: the node goes silent.
-                // Peers blocked on its contribution wake via the cancel
-                // token instead of timing out.
-                self.heartbeats.mark_down(self.id);
-                self.cancel.cancel();
-                return Err(SiriusError::NodeDown(self.id));
-            }
-            let key_cols: Vec<Array> = match kind {
-                ExchangeKind::Shuffle { keys } => keys
-                    .iter()
-                    .map(|k| sirius_exec_cpu::eval::evaluate(k, &local))
-                    .collect::<std::result::Result<_, _>>()
-                    .map_err(|e| SiriusError::Kernel(e.to_string()))?,
-                _ => vec![],
-            };
-            let out = self.exchange.exchange(kind, local, &key_cols)?;
-            let name = format!("__exch_{}_{}", self.id, self.temp_counter);
-            self.temp_counter += 1;
-            self.exchange.register_temp(&name, out.clone());
-            self.catalog.register(name.clone(), out.clone());
-            if let Some(gpu) = &self.gpu {
-                gpu.cache_resident(&name, &out);
-            }
-            self.live_temps.push(name.clone());
-            return Ok(Rel::Read {
-                table: name,
-                schema: out.schema().clone(),
-                projection: None,
-            });
+        sirius_plan::visit::try_rewrite(plan, &mut |rebuilt| match rebuilt {
+            Rel::Exchange { input, kind } => self.materialize_exchange(&input, &kind),
+            other => Ok(other),
+        })
+    }
+
+    /// Execute the (already rewritten) fragment below an exchange, run the
+    /// collective, and register the result as a temp table.
+    fn materialize_exchange(
+        &mut self,
+        inner: &Rel,
+        kind: &ExchangeKind,
+    ) -> sirius_core::Result<Rel> {
+        let local = self.engine_exec(inner)?;
+        if self
+            .fault
+            .fire(FaultSite::FragmentMid { node: self.id })
+            .is_some()
+        {
+            // Crash at the exchange boundary: the node goes silent.
+            // Peers blocked on its contribution wake via the cancel
+            // token instead of timing out.
+            self.heartbeats.mark_down(self.id);
+            self.cancel.cancel();
+            return Err(SiriusError::NodeDown(self.id));
         }
-        // Rebuild with rewritten children.
-        Ok(match plan {
-            Rel::Read { .. } => plan.clone(),
-            Rel::Filter { input, predicate } => Rel::Filter {
-                input: Box::new(self.rewrite(input)?),
-                predicate: predicate.clone(),
-            },
-            Rel::Project { input, exprs } => Rel::Project {
-                input: Box::new(self.rewrite(input)?),
-                exprs: exprs.clone(),
-            },
-            Rel::Aggregate {
-                input,
-                group_by,
-                aggregates,
-            } => Rel::Aggregate {
-                input: Box::new(self.rewrite(input)?),
-                group_by: group_by.clone(),
-                aggregates: aggregates.clone(),
-            },
-            Rel::Join {
-                left,
-                right,
-                kind,
-                left_keys,
-                right_keys,
-                residual,
-            } => {
-                // Fixed traversal order keeps collective sequence numbers
-                // aligned across nodes.
-                let l = self.rewrite(left)?;
-                let r = self.rewrite(right)?;
-                Rel::Join {
-                    left: Box::new(l),
-                    right: Box::new(r),
-                    kind: *kind,
-                    left_keys: left_keys.clone(),
-                    right_keys: right_keys.clone(),
-                    residual: residual.clone(),
-                }
-            }
-            Rel::Sort { input, keys } => Rel::Sort {
-                input: Box::new(self.rewrite(input)?),
-                keys: keys.clone(),
-            },
-            Rel::Limit {
-                input,
-                offset,
-                fetch,
-            } => Rel::Limit {
-                input: Box::new(self.rewrite(input)?),
-                offset: *offset,
-                fetch: *fetch,
-            },
-            Rel::Distinct { input } => Rel::Distinct {
-                input: Box::new(self.rewrite(input)?),
-            },
-            Rel::Exchange { .. } => {
-                return Err(SiriusError::Plan(sirius_plan::PlanError::Invalid(
-                    "nested exchange handled above".into(),
-                )))
-            }
+        let key_cols: Vec<Array> = match kind {
+            ExchangeKind::Shuffle { keys } => keys
+                .iter()
+                .map(|k| sirius_exec_cpu::eval::evaluate(k, &local))
+                .collect::<std::result::Result<_, _>>()
+                .map_err(|e| SiriusError::Kernel(e.to_string()))?,
+            _ => vec![],
+        };
+        let out = self.exchange.exchange(kind, local, &key_cols)?;
+        let name = format!("__exch_{}_{}", self.id, self.temp_counter);
+        self.temp_counter += 1;
+        self.exchange.register_temp(&name, out.clone());
+        self.catalog.register(name.clone(), out.clone());
+        if let Some(gpu) = &self.gpu {
+            gpu.cache_resident(&name, &out);
+        }
+        self.live_temps.push(name.clone());
+        Ok(Rel::Read {
+            table: name,
+            schema: out.schema().clone(),
+            projection: None,
         })
     }
 }
@@ -571,10 +522,17 @@ impl DorisCluster {
             _ => JoinOrderPolicy::Optimized,
         };
         let plan = plan_sql(sql, &self.binder, policy).map_err(DorisError::Sql)?;
+        self.execute_plan(&plan)
+    }
+
+    /// Distribute, dispatch, and execute an already-bound logical plan,
+    /// recovering from injected or detected faults per the cluster's
+    /// [`ClusterConfig`]. [`Self::sql`] is this plus the SQL frontend.
+    pub fn execute_plan(&self, plan: &Rel) -> Result<QueryOutcome> {
         let opts = DistributeOptions {
             broadcast_join_build_sides: self.kind == NodeEngineKind::ClickHouseCpu,
         };
-        let dplan = distribute_with(&plan, &self.scheme, opts)?;
+        let dplan = distribute_with(plan, &self.scheme, opts)?;
         let fragments = count_exchanges(&dplan) + 1;
 
         let mut recovery = RecoveryStats::default();
@@ -617,7 +575,7 @@ impl DorisCluster {
                     if self.config.allow_cpu_fallback {
                         recovery.cpu_fallbacks = 1;
                         self.lifecycle_event("cpu-fallback", Duration::ZERO);
-                        let out = self.cpu_fallback(&plan, extra, recovery);
+                        let out = self.cpu_fallback(plan, extra, recovery);
                         if let Ok(out) = &out {
                             self.note_query_metrics(&out.recovery);
                         }

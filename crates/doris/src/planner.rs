@@ -18,6 +18,7 @@ use crate::{DorisError, Result};
 #[cfg(test)]
 use sirius_plan::expr::SortExpr;
 use sirius_plan::expr::{self, AggExpr};
+use sirius_plan::visit::{self, Fold, Node};
 use sirius_plan::{AggFunc, ExchangeKind, Expr, JoinKind, Rel};
 use std::collections::HashMap;
 
@@ -102,7 +103,7 @@ pub fn distribute_with(
     scheme: &PartitionScheme,
     opts: DistributeOptions,
 ) -> Result<Rel> {
-    let (mut rel, part) = walk(plan, scheme, opts)?;
+    let (mut rel, part) = visit::fold(&mut Distributor { scheme, opts }, plan)?;
     if part != Partitioning::Singleton && part != Partitioning::Replicated {
         rel = Rel::Exchange {
             input: Box::new(rel),
@@ -126,211 +127,227 @@ fn merge(rel: Rel) -> Rel {
     }
 }
 
-fn walk(
-    plan: &Rel,
-    scheme: &PartitionScheme,
+/// The distribution pass as a [`Fold`] over the shared plan walk: children
+/// arrive already distributed with their [`Partitioning`], and each
+/// operator decides what exchange (if any) its inputs still need.
+struct Distributor<'a> {
+    scheme: &'a PartitionScheme,
     opts: DistributeOptions,
-) -> Result<(Rel, Partitioning)> {
-    match plan {
-        Rel::Read {
-            table,
-            schema,
-            projection,
-        } => {
-            let part = match scheme.partition_column(table) {
-                Some(Some(col)) => {
-                    // Where does the partition column land after projection?
-                    let base_idx = schema.index_of(col);
-                    let out_idx = match (base_idx, projection) {
-                        (Some(b), Some(p)) => p.iter().position(|&i| i == b),
-                        (Some(b), None) => Some(b),
-                        (None, _) => None,
-                    };
-                    match out_idx {
-                        Some(i) => Partitioning::Hash(vec![expr::col(i)]),
-                        None => Partitioning::Arbitrary,
+}
+
+impl Fold for Distributor<'_> {
+    type Output = (Rel, Partitioning);
+    type Error = DorisError;
+
+    fn fold(
+        &mut self,
+        _node: Node,
+        plan: &Rel,
+        children: Vec<(Rel, Partitioning)>,
+    ) -> Result<(Rel, Partitioning)> {
+        let scheme = self.scheme;
+        let opts = self.opts;
+        let mut children = children.into_iter();
+        let mut input = move || match children.next() {
+            Some(c) => c,
+            None => unreachable!("one folded child per input"),
+        };
+        match plan {
+            Rel::Read {
+                table,
+                schema,
+                projection,
+            } => {
+                let part = match scheme.partition_column(table) {
+                    Some(Some(col)) => {
+                        // Where does the partition column land after projection?
+                        let base_idx = schema.index_of(col);
+                        let out_idx = match (base_idx, projection) {
+                            (Some(b), Some(p)) => p.iter().position(|&i| i == b),
+                            (Some(b), None) => Some(b),
+                            (None, _) => None,
+                        };
+                        match out_idx {
+                            Some(i) => Partitioning::Hash(vec![expr::col(i)]),
+                            None => Partitioning::Arbitrary,
+                        }
                     }
-                }
-                Some(None) => Partitioning::Replicated,
-                None => Partitioning::Arbitrary,
-            };
-            Ok((plan.clone(), part))
-        }
-        Rel::Filter { input, predicate } => {
-            let (child, part) = walk(input, scheme, opts)?;
-            Ok((
-                Rel::Filter {
-                    input: Box::new(child),
-                    predicate: predicate.clone(),
-                },
-                part,
-            ))
-        }
-        Rel::Project { input, exprs } => {
-            let (child, part) = walk(input, scheme, opts)?;
-            let part = match part {
-                Partitioning::Hash(keys) => {
-                    // Keys survive only if each is re-exported as a plain
-                    // column.
-                    let remapped: Option<Vec<Expr>> = keys
-                        .iter()
-                        .map(|k| exprs.iter().position(|(e, _)| e == k).map(expr::col))
-                        .collect();
-                    remapped
-                        .map(Partitioning::Hash)
-                        .unwrap_or(Partitioning::Arbitrary)
-                }
-                other => other,
-            };
-            Ok((
-                Rel::Project {
-                    input: Box::new(child),
-                    exprs: exprs.clone(),
-                },
-                part,
-            ))
-        }
-        Rel::Join {
-            left,
-            right,
-            kind,
-            left_keys,
-            right_keys,
-            residual,
-        } => {
-            let (mut l, lpart) = walk(left, scheme, opts)?;
-            let (mut r, rpart) = walk(right, scheme, opts)?;
-            // Keyless joins (scalar subqueries): replicate the right side.
-            if left_keys.is_empty() {
-                if rpart != Partitioning::Replicated && rpart != Partitioning::Singleton {
-                    r = Rel::Exchange {
-                        input: Box::new(r),
-                        kind: ExchangeKind::Broadcast,
+                    Some(None) => Partitioning::Replicated,
+                    None => Partitioning::Arbitrary,
+                };
+                Ok((plan.clone(), part))
+            }
+            Rel::Filter { predicate, .. } => {
+                let (child, part) = input();
+                Ok((
+                    Rel::Filter {
+                        input: Box::new(child),
+                        predicate: predicate.clone(),
+                    },
+                    part,
+                ))
+            }
+            Rel::Project { exprs, .. } => {
+                let (child, part) = input();
+                let part = match part {
+                    Partitioning::Hash(keys) => {
+                        // Keys survive only if each is re-exported as a plain
+                        // column.
+                        let remapped: Option<Vec<Expr>> = keys
+                            .iter()
+                            .map(|k| exprs.iter().position(|(e, _)| e == k).map(expr::col))
+                            .collect();
+                        remapped
+                            .map(Partitioning::Hash)
+                            .unwrap_or(Partitioning::Arbitrary)
+                    }
+                    other => other,
+                };
+                Ok((
+                    Rel::Project {
+                        input: Box::new(child),
+                        exprs: exprs.clone(),
+                    },
+                    part,
+                ))
+            }
+            Rel::Join {
+                kind,
+                left_keys,
+                right_keys,
+                residual,
+                ..
+            } => {
+                let (mut l, lpart) = input();
+                let (mut r, rpart) = input();
+                // Keyless joins (scalar subqueries): replicate the right side.
+                if left_keys.is_empty() {
+                    if rpart != Partitioning::Replicated && rpart != Partitioning::Singleton {
+                        r = Rel::Exchange {
+                            input: Box::new(r),
+                            kind: ExchangeKind::Broadcast,
+                        };
+                    }
+                    // A Singleton right against distributed left must also be
+                    // replicated to reach every node's rows.
+                    if rpart == Partitioning::Singleton {
+                        r = Rel::Exchange {
+                            input: Box::new(r),
+                            kind: ExchangeKind::Broadcast,
+                        };
+                    }
+                    let out = Rel::Join {
+                        left: Box::new(l),
+                        right: Box::new(r),
+                        kind: *kind,
+                        left_keys: vec![],
+                        right_keys: vec![],
+                        residual: residual.clone(),
                     };
+                    return Ok((out, lpart));
                 }
-                // A Singleton right against distributed left must also be
-                // replicated to reach every node's rows.
-                if rpart == Partitioning::Singleton {
-                    r = Rel::Exchange {
-                        input: Box::new(r),
-                        kind: ExchangeKind::Broadcast,
-                    };
-                }
-                let out = Rel::Join {
+                // Keyed joins. A replicated right side joins locally under any
+                // join kind (each left row lives on exactly one node and sees
+                // the full right input). A replicated *left* side joins locally
+                // only for Inner joins — Semi/Anti/Left would emit each left
+                // row once per node. Otherwise both sides must be
+                // hash-partitioned on exactly the join keys.
+                let rebuild = |l: Rel, r: Rel| Rel::Join {
                     left: Box::new(l),
                     right: Box::new(r),
                     kind: *kind,
-                    left_keys: vec![],
-                    right_keys: vec![],
+                    left_keys: left_keys.clone(),
+                    right_keys: right_keys.clone(),
                     residual: residual.clone(),
                 };
-                return Ok((out, lpart));
+                if rpart == Partitioning::Replicated {
+                    let out_part = if lpart == Partitioning::Replicated {
+                        Partitioning::Replicated
+                    } else {
+                        lpart
+                    };
+                    return Ok((rebuild(l, r), out_part));
+                }
+                if opts.broadcast_join_build_sides {
+                    // ClickHouse-style distributed join: ship the whole build
+                    // side everywhere and keep the probe side in place.
+                    let r = Rel::Exchange {
+                        input: Box::new(r),
+                        kind: ExchangeKind::Broadcast,
+                    };
+                    return Ok((rebuild(l, r), lpart));
+                }
+                if lpart == Partitioning::Replicated && *kind == JoinKind::Inner {
+                    // Row multiplicity comes from the distributed right side.
+                    return Ok((rebuild(l, r), Partitioning::Arbitrary));
+                }
+                if lpart != Partitioning::Hash(left_keys.clone()) {
+                    l = shuffle(l, left_keys.clone());
+                }
+                if rpart != Partitioning::Hash(right_keys.clone()) {
+                    r = shuffle(r, right_keys.clone());
+                }
+                Ok((rebuild(l, r), Partitioning::Hash(left_keys.clone())))
             }
-            // Keyed joins. A replicated right side joins locally under any
-            // join kind (each left row lives on exactly one node and sees
-            // the full right input). A replicated *left* side joins locally
-            // only for Inner joins — Semi/Anti/Left would emit each left
-            // row once per node. Otherwise both sides must be
-            // hash-partitioned on exactly the join keys.
-            let rebuild = |l: Rel, r: Rel| Rel::Join {
-                left: Box::new(l),
-                right: Box::new(r),
-                kind: *kind,
-                left_keys: left_keys.clone(),
-                right_keys: right_keys.clone(),
-                residual: residual.clone(),
-            };
-            if rpart == Partitioning::Replicated {
-                let out_part = if lpart == Partitioning::Replicated {
-                    Partitioning::Replicated
+            Rel::Aggregate {
+                group_by,
+                aggregates,
+                ..
+            } => {
+                let (child, part) = input();
+                distribute_aggregate(child, part, group_by, aggregates)
+            }
+            Rel::Sort { keys, .. } => {
+                let (child, part) = input();
+                let child = if part == Partitioning::Singleton {
+                    child
                 } else {
-                    lpart
+                    merge(child)
                 };
-                return Ok((rebuild(l, r), out_part));
+                Ok((
+                    Rel::Sort {
+                        input: Box::new(child),
+                        keys: keys.clone(),
+                    },
+                    Partitioning::Singleton,
+                ))
             }
-            if opts.broadcast_join_build_sides {
-                // ClickHouse-style distributed join: ship the whole build
-                // side everywhere and keep the probe side in place.
-                let r = Rel::Exchange {
-                    input: Box::new(r),
-                    kind: ExchangeKind::Broadcast,
+            Rel::Limit { offset, fetch, .. } => {
+                let (child, part) = input();
+                let child = if part == Partitioning::Singleton {
+                    child
+                } else {
+                    merge(child)
                 };
-                return Ok((rebuild(l, r), lpart));
+                Ok((
+                    Rel::Limit {
+                        input: Box::new(child),
+                        offset: *offset,
+                        fetch: *fetch,
+                    },
+                    Partitioning::Singleton,
+                ))
             }
-            if lpart == Partitioning::Replicated && *kind == JoinKind::Inner {
-                // Row multiplicity comes from the distributed right side.
-                return Ok((rebuild(l, r), Partitioning::Arbitrary));
+            Rel::Distinct { .. } => {
+                let (child, part) = input();
+                let width = child
+                    .schema()
+                    .map_err(|e| DorisError::Plan(e.to_string()))?
+                    .len();
+                let keys: Vec<Expr> = (0..width).map(expr::col).collect();
+                let child = match part {
+                    Partitioning::Singleton | Partitioning::Replicated => child,
+                    _ => shuffle(child, keys.clone()),
+                };
+                Ok((
+                    Rel::Distinct {
+                        input: Box::new(child),
+                    },
+                    Partitioning::Arbitrary,
+                ))
             }
-            if lpart != Partitioning::Hash(left_keys.clone()) {
-                l = shuffle(l, left_keys.clone());
-            }
-            if rpart != Partitioning::Hash(right_keys.clone()) {
-                r = shuffle(r, right_keys.clone());
-            }
-            Ok((rebuild(l, r), Partitioning::Hash(left_keys.clone())))
+            Rel::Exchange { .. } => Err(DorisError::Plan("plan is already distributed".into())),
         }
-        Rel::Aggregate {
-            input,
-            group_by,
-            aggregates,
-        } => {
-            let (child, part) = walk(input, scheme, opts)?;
-            distribute_aggregate(child, part, group_by, aggregates)
-        }
-        Rel::Sort { input, keys } => {
-            let (child, part) = walk(input, scheme, opts)?;
-            let child = if part == Partitioning::Singleton {
-                child
-            } else {
-                merge(child)
-            };
-            Ok((
-                Rel::Sort {
-                    input: Box::new(child),
-                    keys: keys.clone(),
-                },
-                Partitioning::Singleton,
-            ))
-        }
-        Rel::Limit {
-            input,
-            offset,
-            fetch,
-        } => {
-            let (child, part) = walk(input, scheme, opts)?;
-            let child = if part == Partitioning::Singleton {
-                child
-            } else {
-                merge(child)
-            };
-            Ok((
-                Rel::Limit {
-                    input: Box::new(child),
-                    offset: *offset,
-                    fetch: *fetch,
-                },
-                Partitioning::Singleton,
-            ))
-        }
-        Rel::Distinct { input } => {
-            let (child, part) = walk(input, scheme, opts)?;
-            let width = input
-                .schema()
-                .map_err(|e| DorisError::Plan(e.to_string()))?
-                .len();
-            let keys: Vec<Expr> = (0..width).map(expr::col).collect();
-            let child = match part {
-                Partitioning::Singleton | Partitioning::Replicated => child,
-                _ => shuffle(child, keys.clone()),
-            };
-            Ok((
-                Rel::Distinct {
-                    input: Box::new(child),
-                },
-                Partitioning::Arbitrary,
-            ))
-        }
-        Rel::Exchange { .. } => Err(DorisError::Plan("plan is already distributed".into())),
     }
 }
 
@@ -504,12 +521,11 @@ mod tests {
     }
 
     fn count_exchanges(rel: &Rel) -> usize {
-        let here = usize::from(matches!(rel, Rel::Exchange { .. }));
-        here + rel
-            .children()
-            .iter()
-            .map(|c| count_exchanges(c))
-            .sum::<usize>()
+        let mut n = 0;
+        visit::visit(rel, &mut |_node, r| {
+            n += usize::from(matches!(r, Rel::Exchange { .. }));
+        });
+        n
     }
 
     #[test]

@@ -1,4 +1,10 @@
-//! The recursive plan interpreter with cost accounting.
+//! The bottom-up plan interpreter with cost accounting.
+//!
+//! The interpreter is a [`Fold`] over the shared plan walk
+//! ([`sirius_plan::visit`]) — the same traversal the GPU pipeline compiler
+//! uses — so there is exactly one way to walk a plan in the workspace.
+//! Scan+filter fusion keeps its single-pass charge through the
+//! [`Fold::enter`] hook, which claims the two-node subtree whole.
 
 use crate::catalog::Catalog;
 use crate::eval::evaluate;
@@ -7,6 +13,8 @@ use crate::profile::EngineProfile;
 use crate::{ExecError, Result};
 use sirius_columnar::{Array, Table};
 use sirius_hw::{CostCategory, Device, DeviceSpec, WorkProfile};
+use sirius_plan::expr::Expr;
+use sirius_plan::visit::{self, Fold, Node};
 use sirius_plan::{JoinKind, Rel};
 
 /// A CPU query engine: a simulated device plus an engine personality.
@@ -47,8 +55,7 @@ impl CpuEngine {
         *self.budget_base.lock() = self.device.elapsed();
         self.device
             .charge_duration(CostCategory::Other, self.profile.per_query_overhead);
-        let out = self.run(plan, catalog)?;
-        Ok(out)
+        visit::fold(&mut Interp { eng: self, catalog }, plan)
     }
 
     fn charge(&self, category: CostCategory, work: WorkProfile) -> Result<()> {
@@ -66,62 +73,98 @@ impl CpuEngine {
         Ok(())
     }
 
-    fn run(&self, plan: &Rel, catalog: &Catalog) -> Result<Table> {
+    /// Resolve a base-table scan (with its stored projection), uncharged.
+    fn scan_table(
+        &self,
+        table: &str,
+        projection: &Option<Vec<usize>>,
+        cat: &Catalog,
+    ) -> Result<Table> {
+        let t = cat
+            .get(table)
+            .ok_or_else(|| ExecError::TableNotFound(table.to_string()))?;
+        Ok(match projection {
+            Some(p) => t.project(p),
+            None => (*t).clone(),
+        })
+    }
+
+    /// Apply a filter over its materialized input, charging one pass.
+    fn op_filter(&self, predicate: &Expr, t: Table) -> Result<Table> {
+        let mask = evaluate(predicate, &t)?;
+        let sel = mask.as_bool()?.to_selection();
+        let out = t.filter(&sel);
+        self.charge(
+            CostCategory::Filter,
+            WorkProfile::scan(t.byte_size() as u64)
+                .with_streamed(out.byte_size() as u64)
+                .with_flops(t.num_rows() as u64)
+                .with_rows(t.num_rows() as u64),
+        )?;
+        Ok(out)
+    }
+}
+
+/// The interpreter as a [`Fold`]: children are materialized bottom-up by
+/// the shared driver and combined per operator here.
+struct Interp<'a> {
+    eng: &'a CpuEngine,
+    catalog: &'a Catalog,
+}
+
+impl Fold for Interp<'_> {
+    type Output = Table;
+    type Error = ExecError;
+
+    fn enter(&mut self, _node: Node, rel: &Rel) -> Option<std::result::Result<Table, ExecError>> {
+        // Scan+filter fusion (mirrors the GPU engine): a filter directly
+        // over a base scan charges a single pass, so this claims the
+        // two-node subtree whole instead of letting the scan charge first.
+        let Rel::Filter { input, predicate } = rel else {
+            return None;
+        };
+        let Rel::Read {
+            table, projection, ..
+        } = &**input
+        else {
+            return None;
+        };
+        Some(
+            self.eng
+                .scan_table(table, projection, self.catalog)
+                .and_then(|t| self.eng.op_filter(predicate, t)),
+        )
+    }
+
+    fn fold(
+        &mut self,
+        _node: Node,
+        plan: &Rel,
+        children: Vec<Table>,
+    ) -> std::result::Result<Table, ExecError> {
+        let mut children = children.into_iter();
+        let mut input = move || children.next().expect("one folded child per input");
         match plan {
             Rel::Read {
                 table, projection, ..
             } => {
-                let t = catalog
-                    .get(table)
-                    .ok_or_else(|| ExecError::TableNotFound(table.clone()))?;
-                let t = match projection {
-                    Some(p) => t.project(p),
-                    None => (*t).clone(),
-                };
-                self.charge(
+                let t = self.eng.scan_table(table, projection, self.catalog)?;
+                self.eng.charge(
                     CostCategory::Filter,
                     WorkProfile::scan(t.byte_size() as u64).with_rows(t.num_rows() as u64),
                 )?;
                 Ok(t)
             }
-            Rel::Filter { input, predicate } => {
-                // Scan+filter fusion (mirrors the GPU engine): the filter
-                // over a base scan charges a single pass.
-                let t = match &**input {
-                    Rel::Read {
-                        table, projection, ..
-                    } => {
-                        let t = catalog
-                            .get(table)
-                            .ok_or_else(|| ExecError::TableNotFound(table.clone()))?;
-                        match projection {
-                            Some(p) => t.project(p),
-                            None => (*t).clone(),
-                        }
-                    }
-                    _ => self.run(input, catalog)?,
-                };
-                let mask = evaluate(predicate, &t)?;
-                let sel = mask.as_bool()?.to_selection();
-                let out = t.filter(&sel);
-                self.charge(
-                    CostCategory::Filter,
-                    WorkProfile::scan(t.byte_size() as u64)
-                        .with_streamed(out.byte_size() as u64)
-                        .with_flops(t.num_rows() as u64)
-                        .with_rows(t.num_rows() as u64),
-                )?;
-                Ok(out)
-            }
-            Rel::Project { input, exprs } => {
-                let t = self.run(input, catalog)?;
+            Rel::Filter { predicate, .. } => self.eng.op_filter(predicate, input()),
+            Rel::Project { exprs, .. } => {
+                let t = input();
                 let schema = plan.schema()?;
                 let mut cols = Vec::with_capacity(exprs.len());
                 for (e, _) in exprs {
                     cols.push(evaluate(e, &t)?);
                 }
                 let out = Table::new(schema, cols);
-                self.charge(
+                self.eng.charge(
                     CostCategory::Project,
                     WorkProfile::scan(t.byte_size() as u64)
                         .with_streamed(out.byte_size() as u64)
@@ -131,11 +174,11 @@ impl CpuEngine {
                 Ok(out)
             }
             Rel::Aggregate {
-                input,
                 group_by,
                 aggregates,
+                ..
             } => {
-                let t = self.run(input, catalog)?;
+                let t = input();
                 let key_cols: Vec<Array> = group_by
                     .iter()
                     .map(|g| evaluate(g, &t))
@@ -157,7 +200,7 @@ impl CpuEngine {
                 } else {
                     CostCategory::GroupBy
                 };
-                self.charge(
+                self.eng.charge(
                     category,
                     WorkProfile::scan(t.byte_size() as u64)
                         .with_random((t.num_rows() * 8 * aggregates.len().max(1)) as u64)
@@ -167,15 +210,14 @@ impl CpuEngine {
                 Ok(out)
             }
             Rel::Join {
-                left,
-                right,
                 kind,
                 left_keys,
                 right_keys,
                 residual,
+                ..
             } => {
-                let lt = self.run(left, catalog)?;
-                let rt = self.run(right, catalog)?;
+                let lt = input();
+                let rt = input();
                 let lk: Vec<Array> = left_keys
                     .iter()
                     .map(|e| evaluate(e, &lt))
@@ -227,7 +269,7 @@ impl CpuEngine {
                 // payload) into the hash table; engines that leave large
                 // inputs on the build side (ClickHouse's FROM-order plans)
                 // pay for it.
-                self.charge(
+                self.eng.charge(
                     CostCategory::Join,
                     WorkProfile::scan(key_bytes)
                         .with_random(((lt.num_rows() + rt.num_rows()) * 16) as u64)
@@ -238,8 +280,8 @@ impl CpuEngine {
                 )?;
                 Ok(out)
             }
-            Rel::Sort { input, keys } => {
-                let t = self.run(input, catalog)?;
+            Rel::Sort { keys, .. } => {
+                let t = input();
                 let key_cols: Vec<(Array, bool)> = keys
                     .iter()
                     .map(|k| Ok((evaluate(&k.expr, &t)?, k.ascending)))
@@ -248,7 +290,7 @@ impl CpuEngine {
                 let out = t.gather(&order);
                 let n = t.num_rows().max(2) as u64;
                 let log_n = (n as f64).log2().ceil() as u64;
-                self.charge(
+                self.eng.charge(
                     CostCategory::OrderBy,
                     WorkProfile::scan(t.byte_size() as u64)
                         .with_flops(n * log_n)
@@ -257,12 +299,8 @@ impl CpuEngine {
                 )?;
                 Ok(out)
             }
-            Rel::Limit {
-                input,
-                offset,
-                fetch,
-            } => {
-                let t = self.run(input, catalog)?;
+            Rel::Limit { offset, fetch, .. } => {
+                let t = input();
                 let start = (*offset).min(t.num_rows());
                 let end = match fetch {
                     Some(f) => (start + f).min(t.num_rows()),
@@ -270,18 +308,18 @@ impl CpuEngine {
                 };
                 let idx: Vec<usize> = (start..end).collect();
                 let out = t.gather(&idx);
-                self.charge(
+                self.eng.charge(
                     CostCategory::Other,
                     WorkProfile::scan(out.byte_size() as u64).with_rows(out.num_rows() as u64),
                 )?;
                 Ok(out)
             }
-            Rel::Distinct { input } => {
-                let t = self.run(input, catalog)?;
+            Rel::Distinct { .. } => {
+                let t = input();
                 let key_cols: Vec<Array> = t.columns().to_vec();
                 let (keys, _aggs) = ops::aggregate(&t, &key_cols, &[])?;
                 let out = Table::new(t.schema().clone(), keys);
-                self.charge(
+                self.eng.charge(
                     CostCategory::GroupBy,
                     WorkProfile::scan(t.byte_size() as u64)
                         .with_random((t.num_rows() * 16) as u64)
@@ -290,26 +328,25 @@ impl CpuEngine {
                 Ok(out)
             }
             // Single-node interpretation: exchange is the identity.
-            Rel::Exchange { input, .. } => self.run(input, catalog),
+            Rel::Exchange { .. } => Ok(input()),
         }
     }
 }
 
 fn check_no_residual_semi(plan: &Rel) -> Result<()> {
-    if let Rel::Join {
-        kind: JoinKind::Semi | JoinKind::Anti,
-        residual: Some(_),
-        ..
-    } = plan
-    {
-        return Err(ExecError::Unsupported(
-            "correlated EXISTS with non-equi conditions (residual semi/anti join)".into(),
-        ));
-    }
-    for c in plan.children() {
-        check_no_residual_semi(c)?;
-    }
-    Ok(())
+    visit::try_visit(plan, &mut |_node, rel| {
+        if let Rel::Join {
+            kind: JoinKind::Semi | JoinKind::Anti,
+            residual: Some(_),
+            ..
+        } = rel
+        {
+            return Err(ExecError::Unsupported(
+                "correlated EXISTS with non-equi conditions (residual semi/anti join)".into(),
+            ));
+        }
+        Ok(())
+    })
 }
 
 #[cfg(test)]

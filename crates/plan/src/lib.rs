@@ -33,8 +33,10 @@
 pub mod builder;
 pub mod expr;
 pub mod json;
+pub mod normalize;
 pub mod rel;
 pub mod validate;
+pub mod visit;
 
 pub use expr::{AggExpr, AggFunc, BinOp, Expr, SortExpr, UnOp};
 pub use rel::{ExchangeKind, JoinKind, Rel};

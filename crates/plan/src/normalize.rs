@@ -1,0 +1,309 @@
+//! Shared plan-normalization passes.
+//!
+//! Every engine in the workspace — the GPU pipeline compiler, the CPU
+//! reference interpreter, the distributed fragmenter — used to carry its
+//! own ad-hoc simplifications (the GPU engine coalesced adjacent filters
+//! while collecting pipeline operators; the SQL frontend pruned scan
+//! columns). These passes hoist the plan-shape-only subset here so all
+//! consumers normalize identically and per-operator ids are assigned on
+//! the same tree everywhere.
+//!
+//! Both passes are semantics-preserving: the normalized plan has the
+//! exact same output schema (names, types, nullability) and produces the
+//! exact same rows as the input plan.
+
+use crate::expr::{self, Expr};
+use crate::rel::Rel;
+use crate::visit::rewrite;
+use std::collections::BTreeSet;
+
+/// Apply all normalization passes ([`pushdown_projections`], then
+/// [`coalesce_filters`]). Deterministic: equal inputs normalize to equal
+/// outputs.
+pub fn normalize(rel: &Rel) -> Rel {
+    coalesce_filters(&pushdown_projections(rel))
+}
+
+/// Merge adjacent `Filter` operators into one conjunction.
+///
+/// `Filter(outer, Filter(inner, x))` becomes `Filter(inner AND outer, x)`
+/// — the operand order matches evaluation order (inner predicate first),
+/// so engines that short-circuit `AND` see the same work. The surviving
+/// filter sits where the *outermost* one was, which is the node that
+/// per-operator stats attribute the fused predicate to.
+pub fn coalesce_filters(rel: &Rel) -> Rel {
+    rewrite(rel, &mut |r| match r {
+        Rel::Filter {
+            input,
+            predicate: outer,
+        } => match *input {
+            // Children are already rewritten, so the inner filter is
+            // itself fully coalesced: one collapse step per level suffices.
+            Rel::Filter {
+                input: grand,
+                predicate: inner,
+            } => Rel::Filter {
+                input: grand,
+                predicate: expr::and(inner, outer),
+            },
+            other => Rel::Filter {
+                input: Box::new(other),
+                predicate: outer,
+            },
+        },
+        other => other,
+    })
+}
+
+/// Push column selections from `Project → [Filter]* → Read` chains into
+/// the scan.
+///
+/// When a projection (plus any filters between it and the scan) references
+/// a proper subset of the scanned columns, the scan's `projection` list is
+/// narrowed to that subset and every expression in the chain is remapped
+/// to the new ordinals. Output schemas are unchanged — only the scan
+/// width shrinks. Chains broken by joins, aggregates, or other operators
+/// are left alone: those engines' key/ordinal conventions (e.g. aggregate
+/// key naming) stay byte-identical.
+pub fn pushdown_projections(rel: &Rel) -> Rel {
+    rewrite(rel, &mut |r| match r {
+        Rel::Project { input, exprs } => match push_into_chain(&exprs, *input) {
+            Ok((narrowed, keep)) => Rel::Project {
+                input: Box::new(narrowed),
+                exprs: remap_project_exprs(&exprs, &keep),
+            },
+            Err(unchanged) => Rel::Project {
+                input: Box::new(unchanged),
+                exprs,
+            },
+        },
+        other => other,
+    })
+}
+
+/// Try to narrow the scan under a `[Filter]* → Read` chain to the columns
+/// referenced by `project_exprs` and the chain's predicates. `Ok` carries
+/// the rewritten chain (predicates remapped) plus the sorted kept ordinals
+/// so the caller can remap its own expressions; `Err` returns the input
+/// untouched (chain broken, nothing to prune, or out-of-range refs left
+/// for `validate` to report).
+fn push_into_chain(project_exprs: &[(Expr, String)], input: Rel) -> Result<(Rel, Vec<usize>), Rel> {
+    // Walk down the filter chain to the scan.
+    let mut predicates = Vec::new();
+    let mut cur = &input;
+    loop {
+        match cur {
+            Rel::Filter {
+                input: inner,
+                predicate,
+            } => {
+                predicates.push(predicate);
+                cur = inner;
+            }
+            Rel::Read {
+                schema, projection, ..
+            } => {
+                let width = match projection {
+                    Some(p) => p.len(),
+                    None => schema.len(),
+                };
+                let mut used = BTreeSet::new();
+                let mut refs = Vec::new();
+                for (e, _) in project_exprs {
+                    e.referenced_columns(&mut refs);
+                }
+                for p in &predicates {
+                    p.referenced_columns(&mut refs);
+                }
+                used.extend(refs);
+                if used.is_empty() || used.len() >= width || used.iter().any(|&c| c >= width) {
+                    return Err(input);
+                }
+                let keep: Vec<usize> = used.into_iter().collect();
+                let remap = |old: usize| keep.binary_search(&old).expect("kept column present");
+
+                // Rebuild bottom-up: narrowed scan, then the filter chain
+                // (innermost predicate first), all remapped.
+                let Rel::Read {
+                    table,
+                    schema,
+                    projection,
+                } = cur.clone()
+                else {
+                    unreachable!("loop stops at Read");
+                };
+                let base: Vec<usize> = match projection {
+                    Some(p) => p,
+                    None => (0..schema.len()).collect(),
+                };
+                let mut rebuilt = Rel::Read {
+                    table,
+                    schema,
+                    projection: Some(keep.iter().map(|&c| base[c]).collect()),
+                };
+                for predicate in predicates.into_iter().rev() {
+                    rebuilt = Rel::Filter {
+                        input: Box::new(rebuilt),
+                        predicate: predicate.remap_columns(&remap),
+                    };
+                }
+                return Ok((rebuilt, keep));
+            }
+            _ => return Err(input),
+        }
+    }
+}
+
+/// Ordinal remapping for the exprs of a `Project` whose chain was narrowed
+/// by [`push_into_chain`]: old scan-output ordinal → position in `keep`.
+fn remap_project_exprs(exprs: &[(Expr, String)], keep: &[usize]) -> Vec<(Expr, String)> {
+    exprs
+        .iter()
+        .map(|(e, name)| {
+            (
+                e.remap_columns(&|old| keep.binary_search(&old).expect("kept column present")),
+                name.clone(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PlanBuilder;
+    use crate::expr::{col, gt, lit_i64, lt};
+    use sirius_columnar::{DataType, Field, Schema};
+
+    fn wide_scan() -> PlanBuilder {
+        PlanBuilder::scan(
+            "t",
+            Schema::new(vec![
+                Field::new("a", DataType::Int64),
+                Field::new("b", DataType::Int64),
+                Field::new("c", DataType::Int64),
+                Field::new("d", DataType::Int64),
+            ]),
+        )
+    }
+
+    #[test]
+    fn coalesces_filter_stacks() {
+        let plan = wide_scan()
+            .filter(gt(col(0), lit_i64(1)))
+            .filter(lt(col(1), lit_i64(9)))
+            .filter(gt(col(2), lit_i64(3)))
+            .build();
+        let out = coalesce_filters(&plan);
+        assert_eq!(out.node_count(), 2);
+        let Rel::Filter { predicate, .. } = &out else {
+            panic!("expected filter root");
+        };
+        // Inner-to-outer evaluation order: ((f0 AND f1) AND f2).
+        let parts = crate::expr::split_conjunction(predicate);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], &gt(col(0), lit_i64(1)));
+        assert_eq!(parts[2], &gt(col(2), lit_i64(3)));
+        assert_eq!(out.schema().unwrap(), plan.schema().unwrap());
+    }
+
+    #[test]
+    fn pushes_projection_through_filters_into_scan() {
+        let plan = wide_scan()
+            .filter(gt(col(1), lit_i64(0)))
+            .project(vec![(col(3), "d".into())])
+            .build();
+        let out = pushdown_projections(&plan);
+        // Scan narrowed to {b, d}; predicate/exprs remapped.
+        let Rel::Project { input, exprs } = &out else {
+            panic!("expected project root");
+        };
+        let Rel::Filter {
+            input: scan,
+            predicate,
+        } = &**input
+        else {
+            panic!("expected filter");
+        };
+        let Rel::Read { projection, .. } = &**scan else {
+            panic!("expected read");
+        };
+        assert_eq!(projection.as_deref(), Some(&[1usize, 3][..]));
+        assert_eq!(predicate, &gt(col(0), lit_i64(0)));
+        assert_eq!(exprs[0].0, col(1));
+        assert_eq!(out.schema().unwrap(), plan.schema().unwrap());
+        crate::validate::validate(&out).unwrap();
+    }
+
+    #[test]
+    fn composes_with_existing_scan_projection() {
+        let scan = Rel::Read {
+            table: "t".into(),
+            schema: Schema::new(vec![
+                Field::new("a", DataType::Int64),
+                Field::new("b", DataType::Int64),
+                Field::new("c", DataType::Int64),
+                Field::new("d", DataType::Int64),
+            ]),
+            projection: Some(vec![3, 1, 0]),
+        };
+        let plan = PlanBuilder::from_rel(scan)
+            .project(vec![(col(2), "a".into())])
+            .build();
+        let out = pushdown_projections(&plan);
+        let Rel::Project { input, exprs } = &out else {
+            panic!("expected project root");
+        };
+        let Rel::Read { projection, .. } = &**input else {
+            panic!("expected read");
+        };
+        // Kept output ordinal 2 of [3,1,0] = base column 0.
+        assert_eq!(projection.as_deref(), Some(&[0usize][..]));
+        assert_eq!(exprs[0].0, col(0));
+        assert_eq!(out.schema().unwrap(), plan.schema().unwrap());
+    }
+
+    #[test]
+    fn leaves_full_width_and_broken_chains_alone() {
+        let full = wide_scan()
+            .project(vec![
+                (col(0), "a".into()),
+                (col(1), "b".into()),
+                (col(2), "c".into()),
+                (col(3), "d".into()),
+            ])
+            .build();
+        assert_eq!(pushdown_projections(&full), full);
+
+        let broken = wide_scan()
+            .distinct()
+            .project(vec![(col(0), "a".into())])
+            .build();
+        assert_eq!(pushdown_projections(&broken), broken);
+
+        // Literal-only projections keep the scan whole (validate rejects
+        // empty scan projections).
+        let literal = wide_scan()
+            .project(vec![(lit_i64(1), "one".into())])
+            .build();
+        assert_eq!(pushdown_projections(&literal), literal);
+    }
+
+    #[test]
+    fn normalize_preserves_schema_on_composites() {
+        let plan = wide_scan()
+            .filter(gt(col(0), lit_i64(1)))
+            .filter(lt(col(3), lit_i64(9)))
+            .project(vec![(col(3), "d".into()), (col(0), "a".into())])
+            .build();
+        let out = normalize(&plan);
+        assert_eq!(out.schema().unwrap(), plan.schema().unwrap());
+        crate::validate::validate(&out).unwrap();
+        // Both passes fired: one filter left, scan narrowed to {a, d}.
+        let Rel::Project { input, .. } = &out else {
+            panic!("expected project root");
+        };
+        assert!(matches!(&**input, Rel::Filter { .. }));
+        assert_eq!(input.node_count(), 2);
+    }
+}

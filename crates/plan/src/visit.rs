@@ -1,0 +1,383 @@
+//! The shared plan walk: every consumer of a [`Rel`] tree — the GPU
+//! pipeline compiler, the CPU interpreter, the distributed fragmenter —
+//! traverses plans through this module instead of hand-rolling its own
+//! recursion.
+//!
+//! Three entry points cover the traversal shapes the engines need:
+//!
+//! * [`fold`] — bottom-up evaluation driven by a [`Fold`] implementation.
+//!   The driver assigns every operator a stable **pre-order id**
+//!   ([`Node`]: root = 0, children numbered depth-first left-to-right)
+//!   and hands it to the callbacks, so execution, `EXPLAIN ANALYZE`
+//!   rendering, and trace spans all key their per-operator data the same
+//!   way without re-deriving ids themselves.
+//! * [`visit`] — read-only pre-order traversal for structural checks
+//!   (feature scans, invariant validation).
+//! * [`try_rewrite`] — bottom-up fallible rewriting for normalization
+//!   passes and fragment-boundary substitution.
+//!
+//! # Example: counting joins with a fold
+//!
+//! ```
+//! use sirius_plan::builder::PlanBuilder;
+//! use sirius_plan::visit::{fold, Fold, Node};
+//! use sirius_plan::{expr, JoinKind, Rel};
+//! use sirius_columnar::{DataType, Field, Schema};
+//!
+//! struct JoinCounter;
+//! impl Fold for JoinCounter {
+//!     type Output = usize;
+//!     type Error = std::convert::Infallible;
+//!     fn fold(
+//!         &mut self,
+//!         _node: Node,
+//!         rel: &Rel,
+//!         children: Vec<usize>,
+//!     ) -> Result<usize, Self::Error> {
+//!         let here = usize::from(matches!(rel, Rel::Join { .. }));
+//!         Ok(here + children.into_iter().sum::<usize>())
+//!     }
+//! }
+//!
+//! let scan = || PlanBuilder::scan("t", Schema::new(vec![Field::new("k", DataType::Int64)]));
+//! let plan = scan()
+//!     .join(scan(), JoinKind::Inner, vec![expr::col(0)], vec![expr::col(0)], None)
+//!     .build();
+//! assert_eq!(fold(&mut JoinCounter, &plan), Ok(1));
+//! ```
+
+use crate::rel::Rel;
+
+/// A plan operator's stable pre-order id and tree depth, assigned by the
+/// fold/visit drivers. Ids are dense: a tree with `n` operators uses ids
+/// `0..n`, the root is `0`, and a node's first child is `id + 1` (each
+/// subsequent child starts after the previous sibling's whole subtree).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Node {
+    /// Pre-order id (root = 0, children depth-first left-to-right).
+    pub id: u32,
+    /// Tree depth (root = 0).
+    pub depth: u32,
+}
+
+impl Node {
+    /// The root of a plan tree.
+    pub const ROOT: Node = Node { id: 0, depth: 0 };
+
+    /// The context of this node's first child.
+    pub fn first_child(self) -> Node {
+        Node {
+            id: self.id + 1,
+            depth: self.depth + 1,
+        }
+    }
+
+    /// The sibling context following a child whose subtree is `subtree`.
+    pub fn after(self, subtree: &Rel) -> Node {
+        Node {
+            id: self.id + subtree_size(subtree),
+            depth: self.depth,
+        }
+    }
+}
+
+/// Number of operators in `rel`'s subtree — the step between a node's
+/// pre-order id and its next sibling's.
+pub fn subtree_size(rel: &Rel) -> u32 {
+    rel.node_count() as u32
+}
+
+/// A bottom-up plan evaluation. [`fold`] drives the recursion: children are
+/// folded first (left-to-right) and their outputs handed to
+/// [`Fold::fold`] together with the operator and its pre-order [`Node`].
+///
+/// [`Fold::enter`] runs before a subtree's children are visited and may
+/// claim the whole subtree — the escape hatch for fused operator pairs
+/// (e.g. a CPU engine charging filter-over-scan as a single pass) and for
+/// subtree substitution (a fragment executor materializing everything
+/// below an exchange).
+pub trait Fold {
+    /// Value produced per subtree.
+    type Output;
+    /// Error type short-circuiting the walk.
+    type Error;
+
+    /// Intercept `rel` before its children are folded. Returning `Some`
+    /// replaces the subtree's entire fold (children are not visited);
+    /// the default claims nothing.
+    fn enter(&mut self, node: Node, rel: &Rel) -> Option<Result<Self::Output, Self::Error>> {
+        let _ = (node, rel);
+        None
+    }
+
+    /// Combine the folded `children` of `rel` into this subtree's output.
+    /// `children` holds one entry per [`Rel::children`] element, in order.
+    fn fold(
+        &mut self,
+        node: Node,
+        rel: &Rel,
+        children: Vec<Self::Output>,
+    ) -> Result<Self::Output, Self::Error>;
+}
+
+/// Fold `rel` bottom-up with pre-order ids assigned from [`Node::ROOT`].
+pub fn fold<F: Fold>(f: &mut F, rel: &Rel) -> Result<F::Output, F::Error> {
+    fold_at(f, rel, Node::ROOT)
+}
+
+/// [`fold`] starting from an explicit node context (sub-plan folding).
+pub fn fold_at<F: Fold>(f: &mut F, rel: &Rel, node: Node) -> Result<F::Output, F::Error> {
+    if let Some(claimed) = f.enter(node, rel) {
+        return claimed;
+    }
+    let children = rel.children();
+    let mut outputs = Vec::with_capacity(children.len());
+    let mut child = node.first_child();
+    for c in children {
+        outputs.push(fold_at(f, c, child)?);
+        child = child.after(c);
+    }
+    f.fold(node, rel, outputs)
+}
+
+/// Pre-order read-only traversal: `f` sees every operator with its
+/// pre-order [`Node`], parents before children.
+pub fn visit<'a>(rel: &'a Rel, f: &mut impl FnMut(Node, &'a Rel)) {
+    fn walk<'a>(rel: &'a Rel, node: Node, f: &mut impl FnMut(Node, &'a Rel)) {
+        f(node, rel);
+        let mut child = node.first_child();
+        for c in rel.children() {
+            walk(c, child, f);
+            child = child.after(c);
+        }
+    }
+    walk(rel, Node::ROOT, f);
+}
+
+/// Fallible pre-order traversal: stops at the first error.
+pub fn try_visit<'a, E>(
+    rel: &'a Rel,
+    f: &mut impl FnMut(Node, &'a Rel) -> Result<(), E>,
+) -> Result<(), E> {
+    fn walk<'a, E>(
+        rel: &'a Rel,
+        node: Node,
+        f: &mut impl FnMut(Node, &'a Rel) -> Result<(), E>,
+    ) -> Result<(), E> {
+        f(node, rel)?;
+        let mut child = node.first_child();
+        for c in rel.children() {
+            walk(c, child, f)?;
+            child = child.after(c);
+        }
+        Ok(())
+    }
+    walk(rel, Node::ROOT, f)
+}
+
+/// Bottom-up rewrite: children are rewritten first (left-to-right), the
+/// node is rebuilt around them, and `f` maps the rebuilt node to its
+/// replacement. Normalization passes and the fragment executor's
+/// exchange-to-temp-table substitution are both this shape.
+pub fn try_rewrite<E>(rel: &Rel, f: &mut impl FnMut(Rel) -> Result<Rel, E>) -> Result<Rel, E> {
+    let rebuilt = match rel {
+        Rel::Read { .. } => rel.clone(),
+        Rel::Filter { input, predicate } => Rel::Filter {
+            input: Box::new(try_rewrite(input, f)?),
+            predicate: predicate.clone(),
+        },
+        Rel::Project { input, exprs } => Rel::Project {
+            input: Box::new(try_rewrite(input, f)?),
+            exprs: exprs.clone(),
+        },
+        Rel::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => Rel::Aggregate {
+            input: Box::new(try_rewrite(input, f)?),
+            group_by: group_by.clone(),
+            aggregates: aggregates.clone(),
+        },
+        Rel::Join {
+            left,
+            right,
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+        } => {
+            // Fixed left-then-right order: fragment executors rely on the
+            // rewrite order for collective sequencing.
+            let l = try_rewrite(left, f)?;
+            let r = try_rewrite(right, f)?;
+            Rel::Join {
+                left: Box::new(l),
+                right: Box::new(r),
+                kind: *kind,
+                left_keys: left_keys.clone(),
+                right_keys: right_keys.clone(),
+                residual: residual.clone(),
+            }
+        }
+        Rel::Sort { input, keys } => Rel::Sort {
+            input: Box::new(try_rewrite(input, f)?),
+            keys: keys.clone(),
+        },
+        Rel::Limit {
+            input,
+            offset,
+            fetch,
+        } => Rel::Limit {
+            input: Box::new(try_rewrite(input, f)?),
+            offset: *offset,
+            fetch: *fetch,
+        },
+        Rel::Distinct { input } => Rel::Distinct {
+            input: Box::new(try_rewrite(input, f)?),
+        },
+        Rel::Exchange { input, kind } => Rel::Exchange {
+            input: Box::new(try_rewrite(input, f)?),
+            kind: kind.clone(),
+        },
+    };
+    f(rebuilt)
+}
+
+/// Infallible [`try_rewrite`].
+pub fn rewrite(rel: &Rel, f: &mut impl FnMut(Rel) -> Rel) -> Rel {
+    match try_rewrite::<std::convert::Infallible>(rel, &mut |r| Ok(f(r))) {
+        Ok(r) => r,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PlanBuilder;
+    use crate::expr::{self, col, gt, lit_i64};
+    use crate::JoinKind;
+    use sirius_columnar::{DataType, Field, Schema};
+
+    fn scan(name: &str) -> PlanBuilder {
+        PlanBuilder::scan(name, Schema::new(vec![Field::new("k", DataType::Int64)]))
+    }
+
+    /// Join(0) { Filter(1) -> Read(2), Read(3) } — ids skip whole subtrees.
+    fn join_plan() -> Rel {
+        scan("l")
+            .filter(gt(col(0), lit_i64(0)))
+            .join(scan("r"), JoinKind::Inner, vec![col(0)], vec![col(0)], None)
+            .build()
+    }
+
+    #[test]
+    fn visit_assigns_preorder_ids() {
+        let mut seen = Vec::new();
+        visit(&join_plan(), &mut |node, rel| {
+            seen.push((node.id, node.depth, std::mem::discriminant(rel)));
+        });
+        let ids: Vec<u32> = seen.iter().map(|(i, _, _)| *i).collect();
+        let depths: Vec<u32> = seen.iter().map(|(_, d, _)| *d).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        assert_eq!(depths, vec![0, 1, 2, 1]);
+    }
+
+    #[test]
+    fn fold_hands_children_in_order() {
+        struct Tables;
+        impl Fold for Tables {
+            type Output = Vec<(u32, String)>;
+            type Error = std::convert::Infallible;
+            fn fold(
+                &mut self,
+                node: Node,
+                rel: &Rel,
+                children: Vec<Self::Output>,
+            ) -> Result<Self::Output, Self::Error> {
+                let mut out: Vec<(u32, String)> = children.into_iter().flatten().collect();
+                if let Rel::Read { table, .. } = rel {
+                    out.push((node.id, table.clone()));
+                }
+                Ok(out)
+            }
+        }
+        let got = fold(&mut Tables, &join_plan()).unwrap();
+        assert_eq!(got, vec![(2, "l".to_string()), (3, "r".to_string())]);
+    }
+
+    #[test]
+    fn enter_claims_whole_subtrees() {
+        struct CountUnclaimed;
+        impl Fold for CountUnclaimed {
+            type Output = u32;
+            type Error = std::convert::Infallible;
+            fn enter(&mut self, _node: Node, rel: &Rel) -> Option<Result<u32, Self::Error>> {
+                // Claim filter subtrees whole: their children must not be
+                // visited.
+                matches!(rel, Rel::Filter { .. }).then_some(Ok(100))
+            }
+            fn fold(
+                &mut self,
+                _node: Node,
+                _rel: &Rel,
+                children: Vec<u32>,
+            ) -> Result<u32, Self::Error> {
+                Ok(1 + children.into_iter().sum::<u32>())
+            }
+        }
+        // Join(1) + claimed Filter subtree (100) + right Read (1).
+        assert_eq!(fold(&mut CountUnclaimed, &join_plan()), Ok(102));
+    }
+
+    #[test]
+    fn rewrite_rebuilds_bottom_up() {
+        // Rename every table; the rewritten tree keeps its shape.
+        let out = rewrite(&join_plan(), &mut |r| match r {
+            Rel::Read {
+                schema, projection, ..
+            } => Rel::Read {
+                table: "renamed".into(),
+                schema,
+                projection,
+            },
+            other => other,
+        });
+        assert_eq!(out.tables(), vec!["renamed".to_string(); 2]);
+        assert_eq!(out.node_count(), 4);
+    }
+
+    #[test]
+    fn try_rewrite_short_circuits() {
+        let mut calls = 0;
+        let err: Result<Rel, &str> = try_rewrite(&join_plan(), &mut |r| {
+            calls += 1;
+            if matches!(r, Rel::Filter { .. }) {
+                Err("stop")
+            } else {
+                Ok(r)
+            }
+        });
+        assert_eq!(err, Err("stop"));
+        // Bottom-up: left Read, then the Filter errors; the right subtree
+        // is never rebuilt.
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn subtree_sizes_match_node_counts() {
+        let plan = join_plan();
+        assert_eq!(subtree_size(&plan), 4);
+        let sort = scan("t")
+            .aggregate(
+                vec![col(0)],
+                vec![expr::AggExpr {
+                    func: crate::AggFunc::CountStar,
+                    input: None,
+                    name: "n".into(),
+                }],
+            )
+            .build();
+        assert_eq!(subtree_size(&sort), 2);
+    }
+}

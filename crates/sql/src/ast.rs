@@ -64,7 +64,7 @@ pub struct ExplicitJoin {
 pub enum AstJoinKind {
     /// INNER JOIN.
     Inner,
-    /// LEFT [OUTER] JOIN.
+    /// LEFT \[OUTER\] JOIN.
     Left,
 }
 

@@ -17,7 +17,7 @@
 //!
 //! Display-lane routing is purely cosmetic: a spill write is still a real
 //! ledger charge on its lane, and `sirius_hw::ledger::replay` uses the
-//! event's [`Lane`](crate::Lane), not its display track.
+//! event's [`Lane`], not its display track.
 
 use crate::{EventKind, Lane, TraceEvent};
 use std::collections::BTreeSet;

@@ -1,0 +1,61 @@
+//! The compiled pipeline DAG is the single source of truth: the static
+//! views (`pipeline_count`, `pipeline::decompose`) must agree with what
+//! the scheduler actually executes, on every TPC-H plan.
+
+use sirius_core::pipeline::decompose;
+use sirius_core::{Scheduling, SiriusEngine};
+use sirius_duckdb::DuckDb;
+use sirius_hw::catalog as hw;
+use sirius_tpch::{queries, TpchGenerator};
+
+/// For all 22 queries: `pipeline_count` == `decompose(plan).len()` ==
+/// the number of pipelines the scheduler ran (`MorselStats::pipelines_run`
+/// delta across the execute call), under both scheduling modes.
+#[test]
+fn pipeline_count_matches_executed_dag_on_all_queries() {
+    let data = TpchGenerator::new(0.005).generate();
+    let mut duck = DuckDb::new();
+    let concurrent = SiriusEngine::new(hw::gh200_gpu());
+    let serialized =
+        SiriusEngine::new(hw::gh200_gpu()).with_pipeline_scheduling(Scheduling::Serialized);
+    for (name, table) in data.tables() {
+        duck.create_table(name.clone(), table.clone());
+        concurrent.load_table(name.clone(), table);
+        serialized.load_table(name.clone(), table);
+    }
+
+    for (id, sql) in queries::all() {
+        let plan = duck.plan(sql).unwrap_or_else(|e| panic!("Q{id} plan: {e}"));
+        let compiled = concurrent.pipeline_count(&plan);
+        assert!(compiled > 0, "Q{id}: plan compiled to an empty DAG");
+
+        let infos = decompose(&plan);
+        assert_eq!(
+            infos.len(),
+            compiled,
+            "Q{id}: decompose disagrees with pipeline_count"
+        );
+        // The projection preserves the DAG shape: ids are dense, deps
+        // point backwards, and the last pipeline is the result sink.
+        for (i, info) in infos.iter().enumerate() {
+            assert_eq!(info.id, i, "Q{id}: pipeline ids must be dense");
+            assert!(
+                info.deps.iter().all(|&d| d < i),
+                "Q{id}: pipeline {i} depends forward: {:?}",
+                info.deps
+            );
+        }
+
+        for (engine, mode) in [(&concurrent, "concurrent"), (&serialized, "serialized")] {
+            let before = engine.morsel_stats();
+            engine
+                .execute(&plan)
+                .unwrap_or_else(|e| panic!("Q{id} ({mode}): {e}"));
+            let ran = engine.morsel_stats().since(&before).pipelines_run;
+            assert_eq!(
+                ran as usize, compiled,
+                "Q{id} ({mode}): scheduler ran {ran} pipelines, compile produced {compiled}"
+            );
+        }
+    }
+}

@@ -83,7 +83,33 @@ fn all_queries_reconcile_trace_ledger_and_explain() {
             "Q{id}: rendered plan missing the root cardinality:\n{rendered}"
         );
 
-        // 4. Tracing is free: the untraced engine records nothing and
+        // 4. Operator ids are consistent end-to-end: runtime stats keys
+        // and trace span tracks are pre-order ids over the *normalized*
+        // plan (the plan the physical compiler walks), and every stats key
+        // shows up as an `[#id]` row in the rendered EXPLAIN ANALYZE.
+        let normalized = sirius_plan::normalize::normalize(&plan);
+        let node_count = sirius_plan::visit::subtree_size(&normalized);
+        for key in stats.keys() {
+            assert!(
+                *key < node_count,
+                "Q{id}: stats key {key} is not a valid pre-order id (plan has {node_count} nodes)"
+            );
+            assert!(
+                rendered.contains(&format!("[#{key}]")),
+                "Q{id}: stats key {key} has no row in EXPLAIN ANALYZE:\n{rendered}"
+            );
+        }
+        for ev in &events {
+            if let Some(node) = ev.node {
+                assert!(
+                    node < node_count,
+                    "Q{id}: span '{}' tagged with invalid node id {node}",
+                    ev.label
+                );
+            }
+        }
+
+        // 5. Tracing is free: the untraced engine records nothing and
         // charges the identical simulated time.
         untraced.device().reset();
         let untraced_table = untraced
