@@ -378,7 +378,9 @@ pub fn sf_from_args() -> f64 {
 }
 
 /// Figure-5 breakdown categories in paper order (project and exchange fold
-/// into "other" for the single-node figure).
+/// into "other" for the single-node figure; the paper's "filter" bucket is
+/// table scans *plus* predicate evaluation, so the ledger's separate `Scan`
+/// category folds back into it here).
 pub fn figure5_share(b: &TimeBreakdown, category: &str) -> f64 {
     let total = b.total().as_secs_f64();
     if total == 0.0 {
@@ -387,7 +389,7 @@ pub fn figure5_share(b: &TimeBreakdown, category: &str) -> f64 {
     let d = match category {
         "join" => b.get(CostCategory::Join),
         "group-by" => b.get(CostCategory::GroupBy),
-        "filter" => b.get(CostCategory::Filter),
+        "filter" => b.get(CostCategory::Filter) + b.get(CostCategory::Scan),
         "aggregate" => b.get(CostCategory::Aggregate),
         "order-by" => b.get(CostCategory::OrderBy),
         _ => {

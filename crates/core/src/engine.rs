@@ -57,6 +57,9 @@ pub struct SiriusEngine {
     /// Per-plan-node runtime stats behind `EXPLAIN ANALYZE`; `None` unless
     /// tracing is on, so the disabled path allocates nothing.
     pub(crate) op_stats: Option<SharedOpStats>,
+    /// Data-path fusion knob: collapse each pipeline's streaming runs into
+    /// single-pass segments (on by default).
+    pub(crate) fusion: physical::FusionConfig,
 }
 
 impl SiriusEngine {
@@ -99,7 +102,21 @@ impl SiriusEngine {
             node_id: 0,
             trace: TraceSink::off(),
             op_stats: None,
+            fusion: physical::FusionConfig::default(),
         }
+    }
+
+    /// Override the data-path fusion configuration.
+    /// [`physical::FusionConfig::disabled`] reproduces the pre-fusion
+    /// per-operator data path (the ablation baseline).
+    pub fn with_fusion(mut self, fusion: physical::FusionConfig) -> Self {
+        self.fusion = fusion;
+        self
+    }
+
+    /// The active data-path fusion configuration.
+    pub fn fusion_config(&self) -> &physical::FusionConfig {
+        &self.fusion
     }
 
     /// Enable (or disable) kernel/operator tracing. When on, every ledger
@@ -263,7 +280,11 @@ impl SiriusEngine {
                 self.node_id
             )));
         }
-        let phys = physical::compile(plan)?;
+        let mut phys = physical::compile(plan)?;
+        // Data-path fusion: collapse each pipeline's streaming runs into
+        // single-pass segments. A post-compile rewrite, so `decompose`,
+        // `pipeline_count`, and operator ids are identical either way.
+        physical::fuse(&mut phys, &self.fusion);
         // Each pipeline costs one dispatch round trip at the device's own
         // launch overhead on the serial lane; per-morsel task dispatches
         // are charged on the tasks' streams as the pipelines run.

@@ -47,6 +47,7 @@ pub use context::{HostEngine, SiriusContext};
 pub use engine::{MorselConfig, SiriusEngine};
 pub use explain::OpStats;
 pub use metrics::{MorselStats, QueryReport, RecoveryStats};
+pub use physical::FusionConfig;
 pub use schedule::Scheduling;
 pub use sirius_spill::{SpillConfig, SpillStats};
 

@@ -13,17 +13,19 @@ use crate::Result;
 use parking_lot::Mutex;
 use sirius_columnar::{Array, Bitmap, Scalar, Schema, Table};
 use sirius_cudf::filter::{apply_filter, gather, gather_opt};
+use sirius_cudf::fused::FusedView;
 use sirius_cudf::groupby::AggKind;
 use sirius_cudf::join::{
     cross_join_pairs, probe_hash_table, resolve_join, JoinHashTable, JoinType,
 };
-use sirius_cudf::GpuContext;
-use sirius_hw::{CostCategory, Device, WorkProfile};
+use sirius_cudf::{GpuContext, WorkCollector};
+use sirius_hw::{CostCategory, CostModel, Device, WorkProfile};
 use sirius_plan::expr::{AggExpr, Expr};
 use sirius_plan::visit::Node;
 use sirius_plan::{AggFunc, JoinKind};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// How pipeline sources are partitioned into morsels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,16 +100,34 @@ pub(crate) enum MorselOp {
         /// The join plan node.
         node: Node,
     },
+    /// A fused segment (a lowered [`crate::physical::FusedSegment`]): the
+    /// inner ops run as one pass over a [`FusedView`], charging a single
+    /// kernel — one read of the morsel plus one write of the segment
+    /// output — instead of per-stage traffic.
+    Fused {
+        /// Inner ops in execution order (never themselves `Fused`).
+        ops: Vec<MorselOp>,
+        /// Kernel/span label naming the inner plan nodes: `fused[#1,#2]`.
+        label: String,
+        /// Ledger category of the single fused charge (the heaviest inner
+        /// operator class).
+        category: CostCategory,
+        /// Span anchor: the first inner op's plan node.
+        node: Node,
+    },
 }
 
 impl MorselOp {
-    /// Span label + plan node for the operator-track trace span.
+    /// Span label + plan node for the operator-track trace span. Fused
+    /// segments carry a dynamic label; the scheduler uses
+    /// [`MorselOp::Fused::label`] instead of this static one.
     pub(crate) fn span_info(&self) -> (&'static str, Node) {
         match self {
             MorselOp::Scan { node } => ("scan", *node),
             MorselOp::Filter { node, .. } => ("filter", *node),
             MorselOp::Project { node, .. } => ("project", *node),
             MorselOp::Probe { node, .. } => ("join-probe", *node),
+            MorselOp::Fused { node, .. } => ("fused", *node),
         }
     }
 
@@ -120,6 +140,15 @@ impl MorselOp {
         t: Table,
         stats: Option<&Mutex<HashMap<u32, OpStats>>>,
     ) -> Result<Table> {
+        if let MorselOp::Fused {
+            ops,
+            label,
+            category,
+            ..
+        } = self
+        {
+            return apply_fused(device, t, stats, ops, label, *category);
+        }
         let Some(stats) = stats else {
             return self.apply_inner(device, t);
         };
@@ -138,7 +167,7 @@ impl MorselOp {
     fn apply_inner(&self, device: &Device, t: Table) -> Result<Table> {
         match self {
             MorselOp::Scan { .. } => {
-                let ctx = GpuContext::new(device.clone(), CostCategory::Filter);
+                let ctx = GpuContext::new(device.clone(), CostCategory::Scan);
                 ctx.charge(&WorkProfile::scan(t.byte_size() as u64).with_rows(t.num_rows() as u64));
                 Ok(t)
             }
@@ -165,62 +194,289 @@ impl MorselOp {
                 ..
             } => {
                 let ctx = GpuContext::new(device.clone(), CostCategory::Join);
-                let pairs = match ht {
-                    None => cross_join_pairs(&ctx, t.num_rows(), rt.num_rows()),
-                    Some(table) => {
-                        let lk: Vec<Array> = left_keys
-                            .iter()
-                            .map(|e| evaluate(&ctx, e, &t))
-                            .collect::<Result<_>>()?;
-                        let lrefs: Vec<&Array> = lk.iter().collect();
-                        probe_hash_table(&ctx, table, &lrefs, t.num_rows(), 0)?
-                    }
-                };
-
-                // Residual predicate, vectorized over the candidate pairs.
-                let mask: Option<Bitmap> = match residual {
-                    None => None,
-                    Some(res) => {
-                        let lp = gather(&ctx, &t, &pairs.left);
-                        let rp = gather(&ctx, rt, &pairs.right);
-                        let combined = lp.hstack(&rp);
-                        let col = evaluate(&ctx, res, &combined)?;
-                        Some(
-                            col.as_bool()
-                                .map_err(sirius_cudf::KernelError::from)?
-                                .to_selection(),
-                        )
-                    }
-                };
-                let idx = resolve_join(&ctx, lower_join(*kind), &pairs, mask.as_ref())?;
-
-                // Materialize.
-                match kind {
-                    JoinKind::Semi | JoinKind::Anti => Ok(gather(&ctx, &t, &idx.left)),
-                    _ => {
-                        let l = gather(&ctx, &t, &idx.left);
-                        let r = gather_opt(&ctx, rt, &idx.right);
-                        let out = l.hstack(&r);
-                        // Adopt the plan schema (nullability from join kind).
-                        Ok(Table::new(schema.clone(), out.columns().to_vec()))
-                    }
-                }
+                probe_morsel(
+                    &ctx,
+                    ht.as_deref(),
+                    rt,
+                    *kind,
+                    left_keys,
+                    residual.as_ref(),
+                    schema,
+                    &t,
+                )
             }
+            MorselOp::Fused { .. } => unreachable!("fused segments are routed by apply"),
         }
+    }
+}
+
+/// Hash-join probe (or cross-join expansion) of one morsel against a
+/// pre-built build side. Shared by the per-operator path and the fused
+/// segment executor.
+#[allow(clippy::too_many_arguments)]
+fn probe_morsel(
+    ctx: &GpuContext,
+    ht: Option<&JoinHashTable>,
+    rt: &Table,
+    kind: JoinKind,
+    left_keys: &[Expr],
+    residual: Option<&Expr>,
+    schema: &Schema,
+    t: &Table,
+) -> Result<Table> {
+    let pairs = match ht {
+        None => cross_join_pairs(ctx, t.num_rows(), rt.num_rows()),
+        Some(table) => {
+            let lk: Vec<Array> = left_keys
+                .iter()
+                .map(|e| evaluate(ctx, e, t))
+                .collect::<Result<_>>()?;
+            let lrefs: Vec<&Array> = lk.iter().collect();
+            probe_hash_table(ctx, table, &lrefs, t.num_rows(), 0)?
+        }
+    };
+
+    // Residual predicate, vectorized over the candidate pairs.
+    let mask: Option<Bitmap> = match residual {
+        None => None,
+        Some(res) => {
+            let lp = gather(ctx, t, &pairs.left);
+            let rp = gather(ctx, rt, &pairs.right);
+            let combined = lp.hstack(&rp);
+            let col = evaluate(ctx, res, &combined)?;
+            Some(
+                col.as_bool()
+                    .map_err(sirius_cudf::KernelError::from)?
+                    .to_selection(),
+            )
+        }
+    };
+    let idx = resolve_join(ctx, lower_join(kind), &pairs, mask.as_ref())?;
+
+    // Materialize.
+    match kind {
+        JoinKind::Semi | JoinKind::Anti => Ok(gather(ctx, t, &idx.left)),
+        _ => {
+            let l = gather(ctx, t, &idx.left);
+            let r = gather_opt(ctx, rt, &idx.right);
+            let out = l.hstack(&r);
+            // Adopt the plan schema (nullability from join kind).
+            Ok(Table::new(schema.clone(), out.columns().to_vec()))
+        }
+    }
+}
+
+/// The uncharged result of walking a fused segment over one morsel: the
+/// segment output, the morsel's input size (the single source read the
+/// segment will be charged for), and the per-inner-op work collected along
+/// the way (for time attribution and the charge's random/flop terms).
+pub(crate) struct FusedRun {
+    /// Segment output table.
+    pub(crate) out: Table,
+    /// Byte size of the morsel entering the segment.
+    pub(crate) in_bytes: u64,
+    /// Row count of the morsel entering the segment.
+    pub(crate) in_rows: u64,
+    /// Per inner op: plan node, selected rows and byte estimate after the
+    /// op, and the work its kernels would have charged.
+    pub(crate) per_op: Vec<(Node, u64, u64, WorkProfile)>,
+}
+
+impl FusedRun {
+    /// All work collected across the inner ops, merged.
+    pub(crate) fn collected(&self) -> WorkProfile {
+        self.per_op
+            .iter()
+            .fold(WorkProfile::default(), |acc, (_, _, _, w)| acc.merge(*w))
+    }
+}
+
+/// Execute a fused segment over one morsel.
+///
+/// Each inner op runs against a [`FusedView`] — filters fold their masks
+/// into a lazy selection, projections and probes consume the compacted
+/// view — through a *collecting* context, so no per-stage work reaches the
+/// ledger. The segment then charges exactly one kernel: streamed bytes are
+/// the morsel read plus the output write (intermediates lived in
+/// registers), while collected random-access traffic (hash probes,
+/// join gathers) and flops are kept honest.
+fn apply_fused(
+    device: &Device,
+    t: Table,
+    stats: Option<&Mutex<HashMap<u32, OpStats>>>,
+    ops: &[MorselOp],
+    label: &str,
+    category: CostCategory,
+) -> Result<Table> {
+    let run = run_fused_segment(device, t, ops)?;
+    let collected = run.collected();
+    // The output write is charged as the segment's one streamed write —
+    // except when the final inner op is a probe, whose gathers already
+    // moved every output byte as (collected) random traffic; adding a
+    // streamed write on top would charge the materialization twice.
+    let out_streamed = match ops.last() {
+        Some(MorselOp::Probe { .. }) => 0,
+        _ => run.out.byte_size() as u64,
+    };
+    let work = WorkProfile {
+        bytes_streamed: run.in_bytes + out_streamed,
+        bytes_random: collected.bytes_random,
+        flops: collected.flops,
+        launches: 1,
+        rows: run.in_rows,
+    };
+    let busy = device.charge_labeled(category, label, &work);
+    if let Some(stats) = stats {
+        attribute_fused(stats, device, &run.per_op, busy, None);
+    }
+    Ok(run.out)
+}
+
+/// Walk a fused segment's inner ops over one morsel **without charging the
+/// ledger**: all kernel work is routed into collectors and returned. The
+/// caller owns the single charge — either the plain segment charge
+/// ([`apply_fused`]) or the absorbed segment + aggregate charge in the
+/// scheduler's fused-aggregation mode.
+pub(crate) fn run_fused_segment(device: &Device, t: Table, ops: &[MorselOp]) -> Result<FusedRun> {
+    let in_bytes = t.byte_size() as u64;
+    let in_rows = t.num_rows() as u64;
+    let mut view = FusedView::new(t);
+    let mut per_op: Vec<(Node, u64, u64, WorkProfile)> = Vec::with_capacity(ops.len());
+    for op in ops {
+        let collector = WorkCollector::new();
+        match op {
+            // The morsel read is the segment's single input read; nothing
+            // per-op to do.
+            MorselOp::Scan { .. } => {}
+            MorselOp::Filter { predicate, .. } => {
+                let ctx =
+                    GpuContext::new(device.clone(), CostCategory::Filter).collecting(&collector);
+                let mask = evaluate(&ctx, predicate, view.compacted())?;
+                view.select(&mask)?;
+            }
+            MorselOp::Project { exprs, schema, .. } => {
+                let ctx =
+                    GpuContext::new(device.clone(), CostCategory::Project).collecting(&collector);
+                let cols: Vec<Array> = {
+                    let base = view.compacted();
+                    exprs
+                        .iter()
+                        .map(|e| evaluate(&ctx, e, base))
+                        .collect::<Result<_>>()?
+                };
+                view.replace(Table::new(schema.clone(), cols));
+            }
+            MorselOp::Probe {
+                ht,
+                rt,
+                kind,
+                left_keys,
+                residual,
+                schema,
+                ..
+            } => {
+                let ctx =
+                    GpuContext::new(device.clone(), CostCategory::Join).collecting(&collector);
+                let out = {
+                    let base = view.compacted();
+                    probe_morsel(
+                        &ctx,
+                        ht.as_deref(),
+                        rt,
+                        *kind,
+                        left_keys,
+                        residual.as_ref(),
+                        schema,
+                        base,
+                    )?
+                };
+                view.replace(out);
+            }
+            MorselOp::Fused { .. } => unreachable!("fused segments do not nest"),
+        }
+        per_op.push((
+            op.span_info().1,
+            view.num_rows() as u64,
+            view.byte_estimate(),
+            collector.take(),
+        ));
+    }
+    Ok(FusedRun {
+        out: view.finish(),
+        in_bytes,
+        in_rows,
+        per_op,
+    })
+}
+
+/// Split a fused kernel's time across its inner ops' plan nodes,
+/// proportional to each op's collected roofline time. Without `tail`, the
+/// integer remainder is pinned on the heaviest op so the per-node
+/// nanoseconds sum exactly to the kernel duration (trace reconciliation is
+/// exact). With `tail` — the aggregate work absorbed into the kernel in
+/// fused-aggregation mode — the tail's proportional share (and the
+/// remainder) is deliberately left unattributed: the sink node's stats are
+/// noted once at pipeline finish over the whole wall window, and
+/// double-counting it per morsel would inflate the sink past the pipeline
+/// wall time.
+pub(crate) fn attribute_fused(
+    stats: &Mutex<HashMap<u32, OpStats>>,
+    device: &Device,
+    per_op: &[(Node, u64, u64, WorkProfile)],
+    busy: Duration,
+    tail: Option<&WorkProfile>,
+) {
+    let mut weights: Vec<f64> = per_op
+        .iter()
+        .map(|(_, _, _, w)| CostModel::kernel_time(device.spec(), w).as_secs_f64())
+        .collect();
+    if let Some(tail) = tail {
+        weights.push(CostModel::kernel_time(device.spec(), tail).as_secs_f64());
+    }
+    let total: f64 = weights.iter().sum();
+    let nanos = busy.as_nanos() as u64;
+    let mut shares: Vec<u64> = if total > 0.0 {
+        weights
+            .iter()
+            .map(|w| (nanos as f64 * (w / total)) as u64)
+            .collect()
+    } else {
+        vec![0; weights.len()]
+    };
+    if tail.is_none() {
+        let heaviest = weights
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let assigned: u64 = shares.iter().sum();
+        shares[heaviest] += nanos.saturating_sub(assigned);
+    }
+    let mut stats = stats.lock();
+    for ((node, rows, bytes, _), share) in per_op.iter().zip(shares) {
+        stats
+            .entry(node.id)
+            .or_default()
+            .note(*rows, *bytes, Duration::from_nanos(share));
     }
 }
 
 /// Output schema of a morsel-op chain: the last schema-changing operator's
 /// schema, or `fallback` when the chain only filters/scans.
 pub(crate) fn chain_schema(ops: &[MorselOp], fallback: &Schema) -> Schema {
-    ops.iter()
-        .rev()
-        .find_map(|op| match op {
+    fn schema_of(op: &MorselOp) -> Option<Schema> {
+        match op {
             MorselOp::Project { schema, .. } | MorselOp::Probe { schema, .. } => {
                 Some(schema.clone())
             }
+            MorselOp::Fused { ops, .. } => ops.iter().rev().find_map(schema_of),
             _ => None,
-        })
+        }
+    }
+    ops.iter()
+        .rev()
+        .find_map(schema_of)
         .unwrap_or_else(|| fallback.clone())
 }
 

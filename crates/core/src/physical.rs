@@ -18,6 +18,7 @@
 
 use crate::{Result, SiriusError};
 use sirius_columnar::Schema;
+use sirius_hw::CostCategory;
 use sirius_plan::expr::{AggExpr, Expr, SortExpr};
 use sirius_plan::normalize::normalize;
 use sirius_plan::visit::{fold, Fold, Node};
@@ -119,6 +120,198 @@ pub enum PhysOp {
         /// The `Join` plan node.
         node: Node,
     },
+    /// A run of streaming operators collapsed by [`fuse`] into one
+    /// single-pass segment: intermediates are carried as selection vectors,
+    /// and the segment charges one read of its input plus one write of its
+    /// output instead of per-stage traffic.
+    Fused(FusedSegment),
+}
+
+impl PhysOp {
+    /// The plan node this op is attributed to. A fused segment anchors on
+    /// its first inner op (inner ids stay addressable via
+    /// [`FusedSegment::ops`]).
+    pub fn node(&self) -> Node {
+        match self {
+            PhysOp::Scan { node }
+            | PhysOp::Filter { node, .. }
+            | PhysOp::Project { node, .. }
+            | PhysOp::Probe { node, .. } => *node,
+            PhysOp::Fused(seg) => seg.ops.first().expect("fused segment is non-empty").node(),
+        }
+    }
+}
+
+/// A maximal fusable run of streaming operators, executed as one pass per
+/// morsel. Built only by [`fuse`]; always holds at least two inner ops and
+/// never nests.
+#[derive(Debug, Clone)]
+pub struct FusedSegment {
+    /// Inner operators in execution order (never themselves `Fused`).
+    pub ops: Vec<PhysOp>,
+}
+
+impl FusedSegment {
+    /// Kernel/span label naming every inner plan node: `fused[#1,#2]`.
+    pub fn label(&self) -> String {
+        let ids: Vec<String> = self
+            .ops
+            .iter()
+            .map(|op| format!("#{}", op.node().id))
+            .collect();
+        format!("fused[{}]", ids.join(","))
+    }
+
+    /// Ledger category the segment's single charge lands in: the heaviest
+    /// inner operator class (join > filter > project > scan).
+    pub fn category(&self) -> CostCategory {
+        fn rank(c: CostCategory) -> u8 {
+            match c {
+                CostCategory::Join => 3,
+                CostCategory::Filter => 2,
+                CostCategory::Project => 1,
+                _ => 0,
+            }
+        }
+        self.ops
+            .iter()
+            .map(|op| match op {
+                PhysOp::Probe { .. } => CostCategory::Join,
+                PhysOp::Filter { .. } => CostCategory::Filter,
+                PhysOp::Project { .. } => CostCategory::Project,
+                _ => CostCategory::Scan,
+            })
+            .max_by_key(|c| rank(*c))
+            .expect("fused segment is non-empty")
+    }
+}
+
+/// Engine knob for the data-path fusion pass ([`fuse`]).
+#[derive(Debug, Clone)]
+pub struct FusionConfig {
+    /// Run the pass at all. On by default; off reproduces the pre-fusion
+    /// per-operator data path (the ablation baseline).
+    pub enabled: bool,
+    /// Longest run collapsed into one segment; longer runs split into
+    /// consecutive segments. Values below 2 are treated as 2 (a singleton
+    /// "segment" would charge its input twice).
+    pub max_segment_len: usize,
+}
+
+impl Default for FusionConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            max_segment_len: 8,
+        }
+    }
+}
+
+impl FusionConfig {
+    /// Fusion switched off (the unfused baseline).
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// Collapse each pipeline's fusable streaming runs into [`FusedSegment`]s.
+///
+/// Runs after [`compile`], rewriting only `Pipeline::ops`: the DAG shape,
+/// dependency edges, logical operator counts, and plan-node ids are all
+/// unchanged, so `decompose`, `pipeline_count`, and `EXPLAIN` output are
+/// identical with fusion on or off.
+///
+/// A run is fused when it has **at least two** ops, or when it is a lone
+/// filter. Multi-op runs save per-stage materialization; a lone filter
+/// still wins because the unfused path charges the predicate columns, the
+/// mask write, the mask read, and the compaction separately, while the
+/// fused pass charges one input read plus one (selected) output write. A
+/// lone scan or projection gains nothing — it already runs in one pass and
+/// wrapping it would charge its input read against the segment a second
+/// time — so those stay plain ops.
+pub fn fuse(plan: &mut PhysicalPlan, config: &FusionConfig) {
+    if !config.enabled {
+        return;
+    }
+    let max = config.max_segment_len.max(2);
+    for pipe in &mut plan.pipelines {
+        pipe.ops = fuse_ops(std::mem::take(&mut pipe.ops), max);
+    }
+}
+
+fn fuse_ops(ops: Vec<PhysOp>, max: usize) -> Vec<PhysOp> {
+    let mut out = Vec::with_capacity(ops.len());
+    let mut run: Vec<PhysOp> = Vec::new();
+    for op in ops {
+        if fusable(&op) {
+            run.push(op);
+        } else {
+            flush_run(&mut run, max, &mut out);
+            out.push(op);
+        }
+    }
+    flush_run(&mut run, max, &mut out);
+    out
+}
+
+/// Emit a pending fusable run: chunks of `max`, each chunk of ≥ 2 ops — or
+/// a singleton filter — becoming a segment, provided the chunk does real
+/// per-byte work somewhere; anything else stays plain ops.
+fn flush_run(run: &mut Vec<PhysOp>, max: usize, out: &mut Vec<PhysOp>) {
+    let mut rest = std::mem::take(run).into_iter().peekable();
+    while rest.peek().is_some() {
+        let chunk: Vec<PhysOp> = rest.by_ref().take(max).collect();
+        let big_enough = chunk.len() >= 2 || matches!(chunk[0], PhysOp::Filter { .. });
+        if big_enough && chunk.iter().any(worthwhile) {
+            out.push(PhysOp::Fused(FusedSegment { ops: chunk }));
+        } else {
+            out.extend(chunk);
+        }
+    }
+}
+
+/// Whether the op does real per-byte kernel work in the unfused data path.
+/// Pure column-reference projections are zero-copy there — the next stage
+/// reads the same buffers, no kernel runs, nothing is charged — so a chunk
+/// of only scans and pass-through projections would *add* traffic if fused
+/// (the segment charges its input read and output write).
+fn worthwhile(op: &PhysOp) -> bool {
+    match op {
+        PhysOp::Filter { .. } | PhysOp::Probe { .. } => true,
+        PhysOp::Project { exprs, .. } => exprs.iter().any(|e| !matches!(e, Expr::Column(_))),
+        PhysOp::Scan { .. } | PhysOp::Fused(_) => false,
+    }
+}
+
+/// Whether an op can run inside a fused segment. Scans, filters, and
+/// projections always can; a probe can when it is a pure hash lookup whose
+/// keys are element-wise computable — no cross join (no hash table to
+/// probe), no residual predicate (re-gathers both sides to evaluate), no
+/// set-valued or string-pattern key kernels.
+fn fusable(op: &PhysOp) -> bool {
+    match op {
+        PhysOp::Scan { .. } | PhysOp::Filter { .. } | PhysOp::Project { .. } => true,
+        PhysOp::Probe {
+            left_keys,
+            residual,
+            ..
+        } => !left_keys.is_empty() && residual.is_none() && left_keys.iter().all(elementwise),
+        PhysOp::Fused(_) => false,
+    }
+}
+
+/// Structural test: the expression lowers to element-wise kernels only
+/// (column reads, literals, binary/unary arithmetic, casts).
+fn elementwise(expr: &Expr) -> bool {
+    match expr {
+        Expr::Column(_) | Expr::Literal(_) => true,
+        Expr::Binary { left, right, .. } => elementwise(left) && elementwise(right),
+        Expr::Unary { input, .. } | Expr::Cast { input, .. } => elementwise(input),
+        _ => false,
+    }
 }
 
 /// A pipeline-breaker sink: what happens to the pipeline's drained rows.
@@ -542,5 +735,139 @@ mod tests {
         let p = &phys.pipelines[0];
         assert!(matches!(&p.ops[0], PhysOp::Filter { node, .. } if node.id == 0));
         assert!(matches!(&p.source, Source::Scan { node, .. } if node.id == 1));
+    }
+
+    fn project_v(b: PlanBuilder) -> PlanBuilder {
+        b.project(vec![(col(1), "v".into())])
+    }
+
+    #[test]
+    fn fuse_collapses_streaming_runs() {
+        let plan = project_v(scan("t").filter(gt(col(0), lit_i64(0)))).build();
+        let mut phys = compile(&plan).unwrap();
+        let operators = phys.pipelines[0].operators;
+        fuse(&mut phys, &FusionConfig::default());
+        let p = &phys.pipelines[0];
+        assert_eq!(p.ops.len(), 1);
+        let PhysOp::Fused(seg) = &p.ops[0] else {
+            panic!("expected fused segment, got {:?}", p.ops[0]);
+        };
+        assert_eq!(seg.ops.len(), 2);
+        assert!(matches!(seg.ops[0], PhysOp::Filter { .. }));
+        assert!(matches!(seg.ops[1], PhysOp::Project { .. }));
+        assert_eq!(seg.category(), CostCategory::Filter);
+        // Project is node 0, filter node 1 on the normalized pre-order tree.
+        assert_eq!(seg.label(), "fused[#1,#0]");
+        // Logical operator count is untouched by fusion.
+        assert_eq!(p.operators, operators);
+    }
+
+    #[test]
+    fn fuse_leaves_singletons_alone() {
+        let plan = scan("t").build();
+        let mut phys = compile(&plan).unwrap();
+        fuse(&mut phys, &FusionConfig::default());
+        let p = &phys.pipelines[0];
+        assert_eq!(p.ops.len(), 1);
+        assert!(matches!(p.ops[0], PhysOp::Scan { .. }));
+        // (A lone trailing projection staying plain is exercised by
+        // `fuse_probe_rules`' residual case.)
+    }
+
+    #[test]
+    fn fuse_wraps_a_lone_filter() {
+        // scan + filter compiles to a single Filter op (the scan is
+        // absorbed); it still fuses, because the fused pass charges one
+        // read + one write instead of mask traffic + compaction.
+        let plan = scan("t").filter(gt(col(0), lit_i64(0))).build();
+        let mut phys = compile(&plan).unwrap();
+        fuse(&mut phys, &FusionConfig::default());
+        let p = &phys.pipelines[0];
+        assert_eq!(p.ops.len(), 1);
+        let PhysOp::Fused(seg) = &p.ops[0] else {
+            panic!("lone filter should fuse, got {:?}", p.ops[0]);
+        };
+        assert_eq!(seg.ops.len(), 1);
+        assert!(matches!(seg.ops[0], PhysOp::Filter { .. }));
+        assert_eq!(seg.category(), CostCategory::Filter);
+        assert_eq!(seg.label(), "fused[#0]");
+    }
+
+    #[test]
+    fn fuse_respects_max_segment_len() {
+        // Projections compute (they are not pure column pass-throughs), so
+        // every chunk carries real work and fuses.
+        let plan = scan("t")
+            .filter(gt(col(0), lit_i64(0)))
+            .project(vec![
+                (gt(col(0), lit_i64(1)), "a".into()),
+                (col(1), "b".into()),
+            ])
+            .project(vec![(gt(col(1), col(1)), "a".into()), (col(0), "b".into())])
+            .project(vec![(gt(col(0), col(0)), "c".into())])
+            .project(vec![(gt(col(0), col(0)), "d".into())])
+            .build();
+        let mut phys = compile(&plan).unwrap();
+        assert_eq!(phys.pipelines[0].ops.len(), 5);
+        fuse(
+            &mut phys,
+            &FusionConfig {
+                enabled: true,
+                max_segment_len: 2,
+            },
+        );
+        let p = &phys.pipelines[0];
+        // 5 fusable ops at max 2 → two 2-op segments plus a trailing plain op.
+        assert_eq!(p.ops.len(), 3);
+        assert!(matches!(&p.ops[0], PhysOp::Fused(s) if s.ops.len() == 2));
+        assert!(matches!(&p.ops[1], PhysOp::Fused(s) if s.ops.len() == 2));
+        assert!(matches!(p.ops[2], PhysOp::Project { .. }));
+    }
+
+    #[test]
+    fn fuse_disabled_is_a_no_op() {
+        let plan = project_v(scan("t").filter(gt(col(0), lit_i64(0)))).build();
+        let mut phys = compile(&plan).unwrap();
+        let before = phys.pipelines[0].ops.len();
+        fuse(&mut phys, &FusionConfig::disabled());
+        assert_eq!(phys.pipelines[0].ops.len(), before);
+        assert!(!phys.pipelines[0]
+            .ops
+            .iter()
+            .any(|op| matches!(op, PhysOp::Fused(_))));
+    }
+
+    #[test]
+    fn fuse_probe_rules() {
+        // Plain equi-join probe fuses with the surrounding streaming ops.
+        let plan =
+            project_v(scan("l").join(scan("r"), JoinKind::Inner, vec![col(0)], vec![col(0)], None))
+                .build();
+        let mut phys = compile(&plan).unwrap();
+        fuse(&mut phys, &FusionConfig::default());
+        let probe_pipe = phys.root_pipeline();
+        assert_eq!(probe_pipe.ops.len(), 1);
+        let PhysOp::Fused(seg) = &probe_pipe.ops[0] else {
+            panic!("probe should fuse");
+        };
+        assert!(matches!(seg.ops[1], PhysOp::Probe { .. }));
+        assert_eq!(seg.category(), CostCategory::Join);
+
+        // A residual predicate keeps the probe out of segments.
+        let plan = project_v(scan("l").join(
+            scan("r"),
+            JoinKind::Inner,
+            vec![col(0)],
+            vec![col(0)],
+            Some(gt(col(1), col(3))),
+        ))
+        .build();
+        let mut phys = compile(&plan).unwrap();
+        fuse(&mut phys, &FusionConfig::default());
+        let probe_pipe = phys.root_pipeline();
+        assert!(probe_pipe
+            .ops
+            .iter()
+            .all(|op| !matches!(op, PhysOp::Fused(_))));
     }
 }

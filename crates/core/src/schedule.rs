@@ -18,7 +18,8 @@
 use crate::engine::SiriusEngine;
 use crate::exprs::evaluate;
 use crate::morsel::{
-    agg_inputs, chain_schema, chunk_morsels, concat_morsels, lower_agg, scalar_table, MorselOp,
+    agg_inputs, attribute_fused, chain_schema, chunk_morsels, concat_morsels, lower_agg,
+    run_fused_segment, scalar_table, FusedRun, MorselOp,
 };
 use crate::physical::{PhysOp, PhysicalPlan, Pipeline, Sink, Source};
 use crate::Result;
@@ -29,8 +30,8 @@ use sirius_cudf::join::build_hash_table;
 use sirius_cudf::reduce::reduce;
 use sirius_cudf::sort::{sort_indices, SortKey};
 use sirius_cudf::unique::distinct;
-use sirius_cudf::GpuContext;
-use sirius_hw::CostCategory;
+use sirius_cudf::{GpuContext, WorkCollector};
+use sirius_hw::{CostCategory, WorkProfile};
 use sirius_plan::expr::{AggExpr, Expr};
 use sirius_spill::MemoryGrant;
 use std::collections::HashMap;
@@ -252,9 +253,41 @@ impl SiriusEngine {
             }
             Source::Pipe(d) => results[d].table.clone(),
         };
-        let mut ops: Vec<MorselOp> = Vec::with_capacity(pipe.ops.len());
-        for op in &pipe.ops {
+        // Fused segments probe pre-built hash tables in-pass; when a probe's
+        // build side spilled (Grace join), its segment degrades back to the
+        // per-operator form so the partitioned-join path below applies.
+        let effective: Vec<PhysOp> = pipe
+            .ops
+            .iter()
+            .flat_map(|op| {
+                match op {
+                PhysOp::Fused(seg)
+                    if seg.ops.iter().any(|inner| {
+                        matches!(inner, PhysOp::Probe { build, .. } if results[build].grace)
+                    }) =>
+                {
+                    seg.ops.clone()
+                }
+                other => vec![other.clone()],
+            }
+            })
+            .collect();
+        let mut ops: Vec<MorselOp> = Vec::with_capacity(effective.len());
+        for op in &effective {
             match op {
+                PhysOp::Fused(seg) => {
+                    let inner: Vec<MorselOp> = seg
+                        .ops
+                        .iter()
+                        .map(|inner| lower_streaming(inner, results))
+                        .collect();
+                    ops.push(MorselOp::Fused {
+                        label: seg.label(),
+                        category: seg.category(),
+                        node: op.node(),
+                        ops: inner,
+                    });
+                }
                 PhysOp::Scan { node } => ops.push(MorselOp::Scan { node: *node }),
                 PhysOp::Filter { predicate, node } => ops.push(MorselOp::Filter {
                     predicate: predicate.clone(),
@@ -442,12 +475,49 @@ impl SiriusEngine {
                     let f: WaveTask = Box::new(move || {
                         device.charge_duration(CostCategory::Other, overhead);
                         let mut m = m;
-                        for op in ops.iter() {
+                        // A trailing fused segment is absorbed into the
+                        // aggregation kernel: the segment walks uncharged,
+                        // the partial aggregation runs through a collector,
+                        // and the morsel is charged as ONE kernel — one
+                        // read of the source morsel plus one write of the
+                        // (tiny) partial accumulators. Aggregate-rooted
+                        // scans like Q1/Q6 thus touch each source byte
+                        // exactly once.
+                        let (streaming, tail) = match ops.split_last() {
+                            Some((
+                                MorselOp::Fused {
+                                    ops: inner, label, ..
+                                },
+                                head,
+                            )) => (head, Some((inner, label))),
+                            _ => (&ops[..], None),
+                        };
+                        for op in streaming {
                             m = op.apply(&device, m, op_stats.as_deref())?;
                         }
-                        let ctx = GpuContext::new(device, category);
+                        let absorbed = match tail {
+                            Some((inner, label)) => {
+                                let run = run_fused_segment(&device, m, inner)?;
+                                let seg_work = run.collected();
+                                let FusedRun {
+                                    out,
+                                    in_bytes,
+                                    in_rows,
+                                    per_op,
+                                } = run;
+                                m = out;
+                                Some((label, in_bytes, in_rows, per_op, seg_work))
+                            }
+                            None => None,
+                        };
+                        let collector = WorkCollector::new();
+                        let ctx = if absorbed.is_some() {
+                            GpuContext::new(device.clone(), category).collecting(&collector)
+                        } else {
+                            GpuContext::new(device.clone(), category)
+                        };
                         let inputs = agg_inputs(&ctx, &aggs, &m)?;
-                        if keys.is_empty() {
+                        let (out, partial_bytes) = if keys.is_empty() {
                             // Per-morsel pipeline + partial reductions.
                             let partials: Vec<Scalar> = pplan
                                 .partials()
@@ -461,7 +531,8 @@ impl SiriusEngine {
                                     )?)
                                 })
                                 .collect::<Result<_>>()?;
-                            Ok(TaskOut::Scalars(partials))
+                            let bytes = (partials.len() * std::mem::size_of::<Scalar>()) as u64;
+                            (TaskOut::Scalars(partials), bytes)
                         } else {
                             // Per-morsel pipeline + partial group-by.
                             let key_cols: Vec<Array> = keys
@@ -478,8 +549,29 @@ impl SiriusEngine {
                                 })
                                 .collect();
                             let r = group_by(&ctx, &key_refs, &requests, m.num_rows())?;
-                            Ok(TaskOut::Groups(r.key_columns, r.agg_columns))
+                            let bytes: u64 = r
+                                .key_columns
+                                .iter()
+                                .chain(r.agg_columns.iter())
+                                .map(|a| a.byte_size() as u64)
+                                .sum();
+                            (TaskOut::Groups(r.key_columns, r.agg_columns), bytes)
+                        };
+                        if let Some((label, in_bytes, in_rows, per_op, seg_work)) = absorbed {
+                            let agg_work = collector.take();
+                            let work = WorkProfile {
+                                bytes_streamed: in_bytes + partial_bytes,
+                                bytes_random: seg_work.bytes_random + agg_work.bytes_random,
+                                flops: seg_work.flops + agg_work.flops,
+                                launches: 1,
+                                rows: in_rows,
+                            };
+                            let busy = device.charge_labeled(category, label, &work);
+                            if let Some(stats) = op_stats.as_deref() {
+                                attribute_fused(stats, &device, &per_op, busy, Some(&agg_work));
+                            }
                         }
+                        Ok(out)
                     });
                     tasks.push((stream, f));
                 }
@@ -858,7 +950,15 @@ impl SiriusEngine {
         }
         let dur = self.device.elapsed().saturating_sub(wave_start);
         for op in ops {
-            let (label, node) = op.span_info();
+            // A fused segment gets one span carrying every inner node id in
+            // its label (`fused[#1,#2]`), anchored on the first inner node;
+            // per-inner-op time lives in `operator_stats()`, split from the
+            // segment's single kernel charge.
+            let label: String = match op {
+                MorselOp::Fused { label, .. } => label.clone(),
+                _ => op.span_info().0.to_string(),
+            };
+            let (_, node) = op.span_info();
             self.trace.span(
                 "op",
                 label,
@@ -895,5 +995,48 @@ impl SiriusEngine {
         }
         self.queue
             .run_all(tasks.into_iter().map(|(_, f)| f).collect())
+    }
+}
+
+/// Lower one streaming op for execution inside a fused segment. Probes
+/// here never target Grace builds: `prepare` flattens any segment whose
+/// build side spilled before lowering.
+fn lower_streaming(op: &PhysOp, results: &HashMap<usize, PipeResult>) -> MorselOp {
+    match op {
+        PhysOp::Scan { node } => MorselOp::Scan { node: *node },
+        PhysOp::Filter { predicate, node } => MorselOp::Filter {
+            predicate: predicate.clone(),
+            node: *node,
+        },
+        PhysOp::Project {
+            exprs,
+            schema,
+            node,
+        } => MorselOp::Project {
+            exprs: exprs.clone(),
+            schema: schema.clone(),
+            node: *node,
+        },
+        PhysOp::Probe {
+            build,
+            kind,
+            left_keys,
+            residual,
+            schema,
+            node,
+        } => {
+            let b = &results[build];
+            debug_assert!(!b.grace, "grace probes are never fused");
+            MorselOp::Probe {
+                ht: b.hash.clone(),
+                rt: b.table.clone(),
+                kind: *kind,
+                left_keys: left_keys.clone(),
+                residual: residual.clone(),
+                schema: schema.clone(),
+                node: *node,
+            }
+        }
+        PhysOp::Fused(_) => unreachable!("fused segments do not nest"),
     }
 }

@@ -1,0 +1,197 @@
+//! Selection-vector plumbing for operator-chain fusion.
+//!
+//! A fused pipeline segment executes its filter/project/probe stages over
+//! one morsel in a single logical kernel pass: predicate results are carried
+//! as a *selection* over the current view instead of materializing the
+//! filtered table, and the selection is applied (one gather) only when a
+//! downstream stage — or the segment sink — actually consumes compacted
+//! rows. This is the operator-level generalization of the AST expression
+//! fusion in the expression evaluator: intermediates live "in registers",
+//! so the segment charges one read of its input plus one write of its
+//! output, never the per-stage traffic.
+//!
+//! The executor that drives this lives in `sirius-core`; this module owns
+//! the data movement so the no-intermediate-materialization discipline is
+//! testable (and lintable) in one place.
+
+#![deny(clippy::needless_collect)]
+
+use crate::Result;
+use sirius_columnar::{Array, Bitmap, Table};
+
+/// A morsel flowing through a fused segment: the current table plus a
+/// pending selection that has not been applied yet.
+///
+/// Invariant: `pending` (when present) has one bit per row of `table`.
+pub struct FusedView {
+    table: Table,
+    pending: Option<Bitmap>,
+}
+
+impl FusedView {
+    /// Start a segment pass over `morsel` with every row selected.
+    pub fn new(morsel: Table) -> Self {
+        Self {
+            table: morsel,
+            pending: None,
+        }
+    }
+
+    /// Rows currently selected (without applying the selection).
+    pub fn num_rows(&self) -> usize {
+        match &self.pending {
+            Some(sel) => sel.count_set(),
+            None => self.table.num_rows(),
+        }
+    }
+
+    /// Estimated bytes of the selected rows: exact when no selection is
+    /// pending, row-proportional otherwise (diagnostics only — the fused
+    /// pass never materializes the intermediate these bytes describe).
+    pub fn byte_estimate(&self) -> u64 {
+        match &self.pending {
+            None => self.table.byte_size() as u64,
+            Some(sel) => {
+                let total = self.table.num_rows();
+                if total == 0 {
+                    0
+                } else {
+                    (self.table.byte_size() as u64).saturating_mul(sel.count_set() as u64)
+                        / total as u64
+                }
+            }
+        }
+    }
+
+    /// Fold a boolean predicate column (evaluated over the *compacted*
+    /// view) into the selection. SQL WHERE semantics: null does not select.
+    pub fn select(&mut self, mask: &Array) -> Result<()> {
+        let mask = mask.as_bool()?.to_selection();
+        match self.pending.take() {
+            // Stacked selections compose by gathering the new mask through
+            // the old selection's surviving rows; normalization coalesces
+            // adjacent filters, so in practice this arm only runs when a
+            // caller skipped the compaction point.
+            Some(old) => {
+                self.table = self.table.filter(&old);
+                self.pending = Some(mask);
+            }
+            None => self.pending = Some(mask),
+        }
+        Ok(())
+    }
+
+    /// The compacted table: applies any pending selection (the segment's
+    /// one gather for this stage boundary) and returns the current view.
+    pub fn compacted(&mut self) -> &Table {
+        if let Some(sel) = self.pending.take() {
+            self.table = self.table.filter(&sel);
+        }
+        &self.table
+    }
+
+    /// Replace the view with a stage's output (projection, probe result);
+    /// the new table starts fully selected.
+    pub fn replace(&mut self, table: Table) {
+        self.table = table;
+        self.pending = None;
+    }
+
+    /// Finish the segment: compact and hand the output to the sink.
+    pub fn finish(mut self) -> Table {
+        if let Some(sel) = self.pending.take() {
+            self.table = self.table.filter(&sel);
+        }
+        self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirius_columnar::{DataType, Field, Scalar, Schema};
+
+    fn t() -> Table {
+        Table::new(
+            Schema::new(vec![
+                Field::new("k", DataType::Int64),
+                Field::new("v", DataType::Int64),
+            ]),
+            vec![Array::from_i64([1, 2, 3, 4]), Array::from_i64([5, 6, 7, 8])],
+        )
+    }
+
+    fn mask(bits: [bool; 4]) -> Array {
+        let scalars: Vec<Scalar> = bits.iter().map(|b| Scalar::Bool(*b)).collect();
+        Array::from_scalars(&scalars, DataType::Bool)
+    }
+
+    #[test]
+    fn selection_is_lazy_until_compaction() {
+        let mut v = FusedView::new(t());
+        v.select(&mask([true, false, true, false])).unwrap();
+        // Selected count reflects the mask, but nothing moved yet.
+        assert_eq!(v.num_rows(), 2);
+        let out = v.finish();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.column(0).i64_value(1), Some(3));
+    }
+
+    #[test]
+    fn compacted_applies_once() {
+        let mut v = FusedView::new(t());
+        v.select(&mask([false, true, true, true])).unwrap();
+        assert_eq!(v.compacted().num_rows(), 3);
+        // Idempotent: a second call gathers nothing.
+        assert_eq!(v.compacted().num_rows(), 3);
+        assert_eq!(v.finish().num_rows(), 3);
+    }
+
+    #[test]
+    fn replace_resets_selection() {
+        let mut v = FusedView::new(t());
+        v.select(&mask([true, false, false, false])).unwrap();
+        v.replace(t());
+        assert_eq!(v.num_rows(), 4);
+        assert_eq!(v.finish().num_rows(), 4);
+    }
+
+    #[test]
+    fn stacked_selections_compose() {
+        let mut v = FusedView::new(t());
+        v.select(&mask([true, true, true, false])).unwrap();
+        // Second mask is over the 3-row compacted view.
+        let second = Array::from_scalars(
+            &[Scalar::Bool(false), Scalar::Bool(true), Scalar::Bool(true)],
+            DataType::Bool,
+        );
+        v.select(&second).unwrap();
+        let out = v.finish();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.column(0).i64_value(0), Some(2));
+    }
+
+    #[test]
+    fn null_mask_rows_do_not_select() {
+        let mut v = FusedView::new(t());
+        let m = Array::from_scalars(
+            &[
+                Scalar::Bool(true),
+                Scalar::Null,
+                Scalar::Bool(false),
+                Scalar::Bool(true),
+            ],
+            DataType::Bool,
+        );
+        v.select(&m).unwrap();
+        assert_eq!(v.num_rows(), 2);
+    }
+
+    #[test]
+    fn byte_estimate_scales_with_selection() {
+        let mut v = FusedView::new(t());
+        let full = v.byte_estimate();
+        v.select(&mask([true, false, true, false])).unwrap();
+        assert_eq!(v.byte_estimate(), full / 2);
+    }
+}

@@ -23,6 +23,7 @@
 
 pub mod binary;
 pub mod filter;
+pub mod fused;
 pub mod groupby;
 pub mod hash;
 pub mod join;
@@ -37,7 +38,45 @@ pub use join::{JoinHashTable, JoinIndices, JoinType};
 pub use partition::hash_partition;
 
 use sirius_hw::{CostCategory, Device, WorkProfile};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+/// What a context does with the work its kernels describe.
+#[derive(Clone)]
+enum ChargeMode {
+    /// Charge the device ledger directly (the default).
+    Live,
+    /// Drop charges entirely (inside an already-fused region).
+    Muted,
+    /// Accumulate work profiles into a shared [`WorkCollector`] instead of
+    /// the ledger: the caller derives one fused charge from the collected
+    /// totals (operator-chain fusion).
+    Collect(WorkCollector),
+}
+
+/// Accumulator for the work a group of kernel launches *would* have
+/// charged. Cloning shares the accumulator.
+#[derive(Clone, Default)]
+pub struct WorkCollector {
+    inner: Arc<Mutex<WorkProfile>>,
+}
+
+impl WorkCollector {
+    /// A fresh, empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn add(&self, work: &WorkProfile) {
+        let mut acc = self.inner.lock().expect("collector lock");
+        *acc = acc.merge(*work);
+    }
+
+    /// Drain the accumulated profile, leaving the collector empty.
+    pub fn take(&self) -> WorkProfile {
+        std::mem::take(&mut *self.inner.lock().expect("collector lock"))
+    }
+}
 
 /// Execution context for a batch of kernel launches: the device to charge
 /// and the operator category the charges are attributed to.
@@ -45,7 +84,7 @@ use std::time::Duration;
 pub struct GpuContext {
     device: Device,
     category: CostCategory,
-    muted: bool,
+    mode: ChargeMode,
 }
 
 impl GpuContext {
@@ -54,7 +93,7 @@ impl GpuContext {
         Self {
             device,
             category,
-            muted: false,
+            mode: ChargeMode::Live,
         }
     }
 
@@ -63,7 +102,7 @@ impl GpuContext {
         Self {
             device: self.device.clone(),
             category,
-            muted: self.muted,
+            mode: self.mode.clone(),
         }
     }
 
@@ -73,7 +112,7 @@ impl GpuContext {
         Self {
             device: self.device.on_stream(stream),
             category: self.category,
-            muted: self.muted,
+            mode: self.mode.clone(),
         }
     }
 
@@ -85,13 +124,26 @@ impl GpuContext {
         Self {
             device: self.device.clone(),
             category: self.category,
-            muted: true,
+            mode: ChargeMode::Muted,
+        }
+    }
+
+    /// Context whose charges accumulate into `collector` instead of the
+    /// ledger. Operator-chain fusion runs each stage through a collecting
+    /// context, then derives a single fused kernel charge from the totals
+    /// (keeping the collected random-access bytes and flops honest while
+    /// replacing the per-stage streamed traffic with one read + one write).
+    pub fn collecting(&self, collector: &WorkCollector) -> Self {
+        Self {
+            device: self.device.clone(),
+            category: self.category,
+            mode: ChargeMode::Collect(collector.clone()),
         }
     }
 
     /// Whether charges on this context are dropped.
     pub fn is_muted(&self) -> bool {
-        self.muted
+        matches!(self.mode, ChargeMode::Muted)
     }
 
     /// The underlying device.
@@ -104,23 +156,33 @@ impl GpuContext {
         self.category
     }
 
-    /// Charge one kernel's work. Muted contexts drop the charge.
+    /// Charge one kernel's work. Muted contexts drop the charge; collecting
+    /// contexts accumulate it without touching the ledger.
     pub fn charge(&self, work: &WorkProfile) -> Duration {
-        if self.muted {
-            return Duration::ZERO;
+        match &self.mode {
+            ChargeMode::Live => self.device.charge(self.category, work),
+            ChargeMode::Muted => Duration::ZERO,
+            ChargeMode::Collect(c) => {
+                c.add(work);
+                Duration::ZERO
+            }
         }
-        self.device.charge(self.category, work)
     }
 
     /// Charge one kernel's work under a kernel name. When the device has a
     /// trace sink attached, the emitted kernel event carries `name` (e.g.
     /// `"join.probe"`) plus the profile's bytes and rows; otherwise this is
-    /// exactly [`charge`](Self::charge). Muted contexts drop the charge.
+    /// exactly [`charge`](Self::charge). Muted and collecting contexts
+    /// behave as in [`charge`](Self::charge).
     pub fn charge_named(&self, name: &'static str, work: &WorkProfile) -> Duration {
-        if self.muted {
-            return Duration::ZERO;
+        match &self.mode {
+            ChargeMode::Live => self.device.charge_labeled(self.category, name, work),
+            ChargeMode::Muted => Duration::ZERO,
+            ChargeMode::Collect(c) => {
+                c.add(work);
+                Duration::ZERO
+            }
         }
-        self.device.charge_labeled(self.category, name, work)
     }
 }
 

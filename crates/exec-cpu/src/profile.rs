@@ -90,7 +90,9 @@ impl EngineProfile {
     /// The multiplier for one category.
     pub fn multiplier(&self, c: CostCategory) -> f64 {
         match c {
-            CostCategory::Filter => self.filter,
+            // CPU engines stream scans through the same vectorized path as
+            // predicate evaluation, so scans share the filter multiplier.
+            CostCategory::Scan | CostCategory::Filter => self.filter,
             CostCategory::Join => self.join,
             CostCategory::GroupBy => self.group_by,
             CostCategory::Aggregate => self.aggregate,

@@ -14,7 +14,9 @@ use std::time::Duration;
 /// Operator categories matching the paper's breakdown figures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum CostCategory {
-    /// Table scans and predicate evaluation.
+    /// Table scan read passes (the source read of a pipeline).
+    Scan,
+    /// Predicate evaluation and selection.
     Filter,
     /// Hash/sort joins (build + probe).
     Join,
@@ -34,7 +36,8 @@ pub enum CostCategory {
 
 impl CostCategory {
     /// All categories, in display order.
-    pub const ALL: [CostCategory; 8] = [
+    pub const ALL: [CostCategory; 9] = [
+        CostCategory::Scan,
         CostCategory::Filter,
         CostCategory::Join,
         CostCategory::GroupBy,
@@ -48,6 +51,7 @@ impl CostCategory {
     /// Short label used by the harness output.
     pub fn label(&self) -> &'static str {
         match self {
+            CostCategory::Scan => "scan",
             CostCategory::Filter => "filter",
             CostCategory::Join => "join",
             CostCategory::GroupBy => "group-by",
@@ -79,7 +83,7 @@ fn index_of(c: CostCategory) -> usize {
 /// A snapshot of accumulated time per category.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TimeBreakdown {
-    nanos: [u64; 8],
+    nanos: [u64; 9],
 }
 
 impl TimeBreakdown {
@@ -168,14 +172,14 @@ fn attribute_overlap(streams: &[TimeBreakdown]) -> TimeBreakdown {
     if max == 0 {
         return TimeBreakdown::default();
     }
-    let mut summed = [0u64; 8];
+    let mut summed = [0u64; 9];
     for s in streams {
         for (acc, n) in summed.iter_mut().zip(s.nanos.iter()) {
             *acc += *n;
         }
     }
     let sum: u64 = summed.iter().sum();
-    let mut nanos = [0u64; 8];
+    let mut nanos = [0u64; 9];
     for (out, raw) in nanos.iter_mut().zip(summed.iter()) {
         *out = (*raw as u128 * max as u128 / sum as u128) as u64;
     }
@@ -185,7 +189,7 @@ fn attribute_overlap(streams: &[TimeBreakdown]) -> TimeBreakdown {
         .enumerate()
         .max_by_key(|(_, n)| **n)
         .map(|(i, _)| i)
-        .expect("eight categories");
+        .expect("nine categories");
     nanos[largest] += max - assigned;
     TimeBreakdown { nanos }
 }
@@ -580,14 +584,14 @@ mod tests {
     use proptest::prelude::*;
 
     fn lanes_strategy() -> impl Strategy<Value = Vec<Vec<u64>>> {
-        proptest::collection::vec(proptest::collection::vec(0u64..50_000, 8..9), 0..6)
+        proptest::collection::vec(proptest::collection::vec(0u64..50_000, 9..10), 0..6)
     }
 
     fn breakdowns(lanes: &[Vec<u64>]) -> Vec<TimeBreakdown> {
         lanes
             .iter()
             .map(|l| {
-                let mut nanos = [0u64; 8];
+                let mut nanos = [0u64; 9];
                 nanos.copy_from_slice(l);
                 TimeBreakdown { nanos }
             })
@@ -633,21 +637,20 @@ mod tests {
 
     #[test]
     fn overlap_attribution_all_equal_largest_category_tie() {
-        // Every category contributes the same amount, and the division
-        // truncates (max=7, sum=8·7=56 per category → 7·7/56 = 0 each...):
-        // lanes chosen so each category's proportional share rounds down and
-        // the remainder lands on the tie-broken "largest" category. The
-        // total must still be exactly max(lanes).
+        // Every category contributes the same amount: lanes chosen so each
+        // category's proportional share rounds down and the remainder lands
+        // on the tie-broken "largest" category. The total must still be
+        // exactly max(lanes).
         let mut lanes = Vec::new();
-        for _ in 0..8 {
-            lanes.push(TimeBreakdown { nanos: [7; 8] });
+        for _ in 0..9 {
+            lanes.push(TimeBreakdown { nanos: [7; 9] });
         }
         let folded = attribute_overlap(&lanes);
-        assert_eq!(folded.total(), Duration::from_nanos(7 * 8));
+        assert_eq!(folded.total(), Duration::from_nanos(7 * 9));
         // And the 1-lane degenerate tie: everything maps back unchanged.
-        let one = [TimeBreakdown { nanos: [3; 8] }];
+        let one = [TimeBreakdown { nanos: [3; 9] }];
         let folded = attribute_overlap(&one);
-        assert_eq!(folded.total(), Duration::from_nanos(24));
+        assert_eq!(folded.total(), Duration::from_nanos(27));
         assert_eq!(folded, one[0]);
     }
 }

@@ -2,8 +2,9 @@
 //! views (`pipeline_count`, `pipeline::decompose`) must agree with what
 //! the scheduler actually executes, on every TPC-H plan.
 
+use sirius_core::physical::{compile, fuse, PhysOp};
 use sirius_core::pipeline::decompose;
-use sirius_core::{Scheduling, SiriusEngine};
+use sirius_core::{FusionConfig, Scheduling, SiriusEngine};
 use sirius_duckdb::DuckDb;
 use sirius_hw::catalog as hw;
 use sirius_tpch::{queries, TpchGenerator};
@@ -58,4 +59,78 @@ fn pipeline_count_matches_executed_dag_on_all_queries() {
             );
         }
     }
+}
+
+/// Data-path fusion is a post-compile rewrite of `Pipeline::ops` only: on
+/// every TPC-H plan, the DAG shape (pipeline count, ids, deps), the
+/// logical `operators` counts, and `decompose`'s static view are identical
+/// with fusion on and off, and each fused segment flattens back to exactly
+/// the unfused op sequence (same plan-node ids, same order).
+#[test]
+fn fusion_preserves_logical_pipeline_shape() {
+    let data = TpchGenerator::new(0.005).generate();
+    let mut duck = DuckDb::new();
+    let fused_engine = SiriusEngine::new(hw::gh200_gpu());
+    let unfused_engine = SiriusEngine::new(hw::gh200_gpu()).with_fusion(FusionConfig::disabled());
+    for (name, table) in data.tables() {
+        duck.create_table(name.clone(), table.clone());
+        fused_engine.load_table(name.clone(), table);
+        unfused_engine.load_table(name.clone(), table);
+    }
+
+    let mut fused_segments = 0usize;
+    for (id, sql) in queries::all() {
+        let plan = duck.plan(sql).unwrap_or_else(|e| panic!("Q{id} plan: {e}"));
+        let unfused = compile(&plan).unwrap_or_else(|e| panic!("Q{id} compile: {e}"));
+        let mut fused = compile(&plan).unwrap();
+        fuse(&mut fused, &FusionConfig::default());
+
+        assert_eq!(fused.pipelines.len(), unfused.pipelines.len(), "Q{id}");
+        let infos = decompose(&plan);
+        assert_eq!(infos.len(), fused.pipelines.len(), "Q{id}");
+        for (f, u) in fused.pipelines.iter().zip(&unfused.pipelines) {
+            assert_eq!(f.id, u.id);
+            assert_eq!(f.deps, u.deps, "Q{id} pipeline {}", u.id);
+            assert_eq!(
+                f.operators, u.operators,
+                "Q{id} pipeline {}: fusion changed the logical operator count",
+                u.id
+            );
+            assert_eq!(
+                infos[u.id].operators, u.operators,
+                "Q{id} pipeline {}: decompose disagrees",
+                u.id
+            );
+            // Flattening the fused ops reproduces the unfused chain.
+            let flat: Vec<u32> = f
+                .ops
+                .iter()
+                .flat_map(|op| match op {
+                    PhysOp::Fused(seg) => seg.ops.iter().map(|o| o.node().id).collect::<Vec<_>>(),
+                    other => vec![other.node().id],
+                })
+                .collect();
+            let logical: Vec<u32> = u.ops.iter().map(|op| op.node().id).collect();
+            assert_eq!(flat, logical, "Q{id} pipeline {}", u.id);
+            fused_segments += f
+                .ops
+                .iter()
+                .filter(|op| matches!(op, PhysOp::Fused(_)))
+                .count();
+        }
+
+        // Both engines execute the same number of pipelines.
+        for engine in [&fused_engine, &unfused_engine] {
+            let before = engine.morsel_stats();
+            engine
+                .execute(&plan)
+                .unwrap_or_else(|e| panic!("Q{id}: {e}"));
+            let ran = engine.morsel_stats().since(&before).pipelines_run;
+            assert_eq!(ran as usize, infos.len(), "Q{id}");
+        }
+    }
+    assert!(
+        fused_segments > 0,
+        "fusion never fired across all 22 queries"
+    );
 }
