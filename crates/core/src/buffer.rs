@@ -6,18 +6,24 @@ use sirius_columnar::Table;
 use sirius_hw::{CostCategory, Device, Link, WorkProfile};
 use sirius_rmm::{Allocation, BufferRegions, CacheTier, DataCache};
 use sirius_spill::{GrantBroker, MemoryGrant, SpillConfig, SpillManager, SpillStats, SpillTicket};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Manages device memory for one Sirius engine instance.
 pub struct BufferManager {
     device: Device,
     regions: BufferRegions,
-    cache: DataCache<Table>,
+    cache: Arc<DataCache<Table>>,
     host_link: Link,
     broker: GrantBroker,
-    spill: SpillManager,
+    spill: Arc<SpillManager>,
     /// Fault injector + this node's stable id, polled on spill writes.
     fault: Mutex<(sirius_hw::FaultInjector, usize)>,
+    /// Per-query working-set budget (serving isolation knob): grant
+    /// requests above this are denied *before* reaching the shared broker
+    /// pool, steering the query onto its spill paths. `u64::MAX` (the
+    /// default) disables the cap.
+    grant_cap: AtomicU64,
 }
 
 impl BufferManager {
@@ -39,7 +45,7 @@ impl BufferManager {
         caching_fraction: f64,
     ) -> Self {
         let regions = BufferRegions::from_spec(device.spec(), caching_fraction);
-        let cache = DataCache::new(regions.caching().clone(), pinned_bytes);
+        let cache = Arc::new(DataCache::new(regions.caching().clone(), pinned_bytes));
         let broker = GrantBroker::new(regions.processing().clone());
         Self {
             device,
@@ -47,9 +53,44 @@ impl BufferManager {
             cache,
             host_link,
             broker,
-            spill: SpillManager::default(),
+            spill: Arc::new(SpillManager::default()),
             fault: Mutex::new((sirius_hw::FaultInjector::disabled(), 0)),
+            grant_cap: AtomicU64::new(u64::MAX),
         }
+    }
+
+    /// A per-query view over the same memory: shares the table cache, the
+    /// region pools, the grant broker (with its granted/denied counters),
+    /// and the spill tiers, but charges transfer and spill bandwidth onto
+    /// `device` — the serving layer's seam for arbitrating one processing
+    /// region *across* interleaved queries while each query keeps its own
+    /// time ledger. The view starts with an uncapped grant budget.
+    pub fn shared_view(&self, device: Device) -> BufferManager {
+        let fault = match self.fault.lock() {
+            Ok(g) => g.clone(),
+            Err(p) => p.into_inner().clone(),
+        };
+        BufferManager {
+            device,
+            regions: self.regions.clone(),
+            cache: Arc::clone(&self.cache),
+            host_link: self.host_link.clone(),
+            broker: self.broker.clone(),
+            spill: Arc::clone(&self.spill),
+            fault: Mutex::new(fault),
+            grant_cap: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Cap this manager's grant budget (per-query memory isolation in
+    /// multi-tenant serving). `u64::MAX` removes the cap.
+    pub fn set_grant_cap(&self, bytes: u64) {
+        self.grant_cap.store(bytes.max(1), Ordering::Relaxed);
+    }
+
+    /// The active per-query grant budget (`u64::MAX` when uncapped).
+    pub fn grant_cap(&self) -> u64 {
+        self.grant_cap.load(Ordering::Relaxed)
     }
 
     /// The memory regions (capacity introspection).
@@ -161,16 +202,28 @@ impl BufferManager {
     }
 
     /// Ask the grant broker for an operator working set. A denial is the
-    /// executor's signal to spill rather than fail (§3.4).
+    /// executor's signal to spill rather than fail (§3.4). Requests above
+    /// this query's [grant cap](Self::set_grant_cap) are denied without
+    /// consulting the shared pool.
     pub fn request_grant(&self, bytes: u64) -> Result<MemoryGrant> {
+        let cap = self.grant_cap.load(Ordering::Relaxed);
+        if bytes > cap {
+            return Err(SiriusError::OutOfMemory(format!(
+                "working set of {bytes} B exceeds this query's {cap} B memory budget"
+            )));
+        }
         self.broker
             .request(bytes)
             .map_err(|e| SiriusError::OutOfMemory(e.to_string()))
     }
 
-    /// The largest working set the broker could currently grant.
+    /// The largest working set the broker could currently grant, further
+    /// bounded by this query's grant cap so spill fanout sizing respects
+    /// the budget.
     pub fn largest_grantable(&self) -> u64 {
-        self.broker.largest_grantable()
+        self.broker
+            .largest_grantable()
+            .min(self.grant_cap.load(Ordering::Relaxed))
     }
 
     /// The memory-grant broker (counters introspection).

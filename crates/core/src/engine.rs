@@ -21,7 +21,7 @@ use crate::explain::{self, OpStats};
 use crate::metrics::MorselStats;
 use crate::physical;
 use crate::pipeline::TaskQueue;
-use crate::schedule::Scheduling;
+use crate::schedule::{QueryRun, Scheduling};
 use crate::{Result, SiriusError};
 use parking_lot::Mutex;
 use sirius_columnar::Table;
@@ -32,6 +32,7 @@ use sirius_plan::visit::Node;
 use sirius_plan::Rel;
 use sirius_spill::{SpillConfig, SpillStats};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -60,6 +61,11 @@ pub struct SiriusEngine {
     /// Data-path fusion knob: collapse each pipeline's streaming runs into
     /// single-pass segments (on by default).
     pub(crate) fusion: physical::FusionConfig,
+    /// Stream-lane cap for the wave in flight (set around each
+    /// [`Self::step`], `usize::MAX` otherwise): when a server interleaves
+    /// several queries onto one stream pool, each query's wave dispatches
+    /// onto its share of the lanes instead of the whole pool.
+    pub(crate) lane_cap: AtomicUsize,
 }
 
 impl SiriusEngine {
@@ -103,6 +109,34 @@ impl SiriusEngine {
             trace: TraceSink::off(),
             op_stats: None,
             fusion: physical::FusionConfig::default(),
+            lane_cap: AtomicUsize::new(usize::MAX),
+        }
+    }
+
+    /// A per-query view of this engine for multi-query serving: shares
+    /// the table cache, processing region, grant broker, spill tiers, and
+    /// CPU worker pool with `self`, but charges onto a *fresh* device
+    /// ledger with its own morsel counters and (initially disabled) trace
+    /// sink. Interleaved queries therefore cannot bleed time, spans, or
+    /// scheduler counters into each other, while memory pressure is still
+    /// arbitrated across all of them by the one shared broker. Chain
+    /// [`Self::with_trace`] on the view for per-query tracing.
+    pub fn query_view(&self) -> SiriusEngine {
+        let device = Device::new(self.device.spec().clone());
+        SiriusEngine {
+            bufmgr: Arc::new(self.bufmgr.shared_view(device.clone())),
+            device,
+            queue: Arc::clone(&self.queue),
+            features: self.features.clone(),
+            morsel: self.morsel,
+            stats: Arc::new(Mutex::new(MorselStats::default())),
+            scheduling: self.scheduling,
+            fault: self.fault.clone(),
+            node_id: self.node_id,
+            trace: TraceSink::off(),
+            op_stats: None,
+            fusion: self.fusion.clone(),
+            lane_cap: AtomicUsize::new(usize::MAX),
         }
     }
 
@@ -197,6 +231,16 @@ impl SiriusEngine {
         self.queue.workers()
     }
 
+    /// Streams the wave in flight may dispatch onto: the worker pool
+    /// capped by the per-wave lane cap ([`Self::step`]'s `lanes`).
+    pub(crate) fn effective_streams(&self) -> usize {
+        self.queue
+            .workers()
+            .max(1)
+            .min(self.lane_cap.load(Ordering::Relaxed))
+            .max(1)
+    }
+
     /// Snapshot of the monotonic morsel-scheduler counters (pair snapshots
     /// with [`MorselStats::since`] for per-query numbers).
     pub fn morsel_stats(&self) -> MorselStats {
@@ -266,6 +310,20 @@ impl SiriusEngine {
     /// classes are candidates for host fallback (handled by
     /// [`crate::SiriusContext`]).
     pub fn execute(&self, plan: &Rel) -> Result<Table> {
+        let mut run = self.begin(plan)?;
+        while !run.is_done() {
+            self.step(&mut run, usize::MAX)?;
+        }
+        Ok(run.into_table().expect("completed run has its root result"))
+    }
+
+    /// Start a query without driving it to completion: validate, compile
+    /// into the pipeline DAG, fuse, and charge the per-pipeline dispatch
+    /// overhead — returning a [`QueryRun`] that [`Self::step`] advances
+    /// one dependency wave at a time. [`Self::execute`] is exactly
+    /// `begin` + step-to-completion; a multi-query server instead
+    /// round-robins `step` across many in-flight runs.
+    pub fn begin(&self, plan: &Rel) -> Result<QueryRun> {
         sirius_plan::validate::validate(plan)?;
         if let Some(feature) = self.features.first_unsupported(plan) {
             return Err(SiriusError::Unsupported(feature));
@@ -297,7 +355,7 @@ impl SiriusEngine {
                     .saturating_mul(phys.pipelines.len() as u64),
             ),
         );
-        self.run_physical(&phys)
+        Ok(QueryRun::new(phys))
     }
 
     /// Number of pipelines the plan compiles into (the executed DAG's size).

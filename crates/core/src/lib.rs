@@ -48,7 +48,7 @@ pub use engine::{MorselConfig, SiriusEngine};
 pub use explain::OpStats;
 pub use metrics::{MorselStats, QueryReport, RecoveryStats};
 pub use physical::FusionConfig;
-pub use schedule::Scheduling;
+pub use schedule::{QueryRun, Scheduling};
 pub use sirius_spill::{SpillConfig, SpillStats};
 
 /// Errors from the GPU engine. `Fallback`-class errors route the query back

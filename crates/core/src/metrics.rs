@@ -52,6 +52,11 @@ impl MorselStats {
     /// A 2-task query on a 4-stream engine can only ever occupy two lanes,
     /// so a perfect round-robin of it reports `1.0`, not `0.5`. `1.0` is a
     /// perfectly balanced fan-out; `0.0` means no tasks ran at all.
+    ///
+    /// When a server interleaves queries, each query's counters are sized
+    /// by *its* lane-capped slice of the shared stream pool (not the whole
+    /// pool), so utilization stays attributed per query; the final clamp
+    /// keeps mixed-width waves on one counter set inside `[0, 1]`.
     pub fn worker_utilization(&self) -> f64 {
         let max = self.tasks_per_stream.iter().copied().max().unwrap_or(0);
         if max == 0 {
@@ -59,7 +64,7 @@ impl MorselStats {
         }
         let lanes = self.tasks_per_stream.len().min(self.tasks as usize).max(1);
         let sum: u64 = self.tasks_per_stream.iter().sum();
-        sum as f64 / (max as f64 * lanes as f64)
+        (sum as f64 / (max as f64 * lanes as f64)).min(1.0)
     }
 }
 

@@ -35,6 +35,7 @@ use sirius_hw::{CostCategory, WorkProfile};
 use sirius_plan::expr::{AggExpr, Expr};
 use sirius_spill::MemoryGrant;
 use std::collections::HashMap;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -137,9 +138,27 @@ struct Prepared<'a> {
     start: Duration,
 }
 
-impl SiriusEngine {
-    /// Execute a compiled pipeline DAG and return the root pipeline's table.
-    pub(crate) fn run_physical(&self, phys: &PhysicalPlan) -> Result<Table> {
+/// The stepped-execution state of one in-flight query: the compiled DAG
+/// plus the dependency bookkeeping the one-shot executor used to keep on
+/// its own stack. [`SiriusEngine::begin`] constructs one,
+/// [`SiriusEngine::step`] advances it a single dependency wave, and
+/// [`QueryRun::into_table`] extracts the root result once every pipeline
+/// has completed. This seam is what lets the multi-query server
+/// (`sirius-serve`) interleave waves from *different* queries onto one
+/// shared stream pool instead of running queries back to back.
+pub struct QueryRun {
+    phys: PhysicalPlan,
+    results: HashMap<usize, PipeResult>,
+    /// Remaining consumer count per pipeline: a dependency's materialized
+    /// result (table, hash table, grant) is released the moment this hits
+    /// zero, not at query end.
+    consumers: Vec<usize>,
+    done: Vec<bool>,
+    completed: usize,
+}
+
+impl QueryRun {
+    pub(crate) fn new(phys: PhysicalPlan) -> Self {
         let n = phys.pipelines.len();
         let mut consumers = vec![0usize; n];
         for p in &phys.pipelines {
@@ -147,39 +166,84 @@ impl SiriusEngine {
                 consumers[d] += 1;
             }
         }
-        let mut results: HashMap<usize, PipeResult> = HashMap::new();
-        let mut done = vec![false; n];
-        let mut completed = 0usize;
-        while completed < n {
-            let ready: Vec<usize> = (0..n)
-                .filter(|&i| !done[i] && phys.pipelines[i].deps.iter().all(|&d| done[d]))
-                .collect();
-            debug_assert!(!ready.is_empty(), "pipeline DAG has a cycle");
-            let batch = match self.scheduling {
-                Scheduling::Serialized => &ready[..1],
-                Scheduling::Concurrent => &ready[..],
-            };
-            self.run_wave(phys, batch, &mut results)?;
-            self.stats.lock().pipelines_run += batch.len() as u64;
-            completed += batch.len();
-            for &id in batch {
-                done[id] = true;
-            }
-            // Release dependency results (tables, hash tables, grants) as
-            // soon as their last consumer has finished.
-            for &id in batch {
-                for &d in &phys.pipelines[id].deps {
-                    consumers[d] -= 1;
-                    if consumers[d] == 0 {
-                        results.remove(&d);
-                    }
+        QueryRun {
+            phys,
+            results: HashMap::new(),
+            consumers,
+            done: vec![false; n],
+            completed: 0,
+        }
+    }
+
+    /// Every pipeline in the DAG has completed.
+    pub fn is_done(&self) -> bool {
+        self.completed == self.phys.pipelines.len()
+    }
+
+    /// Total pipelines in the compiled DAG.
+    pub fn pipelines(&self) -> usize {
+        self.phys.pipelines.len()
+    }
+
+    /// Pipelines completed so far.
+    pub fn pipelines_done(&self) -> usize {
+        self.completed
+    }
+
+    /// Take the root pipeline's result table. `None` until
+    /// [`Self::is_done`] — a partially-stepped query has no result yet.
+    pub fn into_table(mut self) -> Option<Table> {
+        if !self.is_done() {
+            return None;
+        }
+        let n = self.phys.pipelines.len();
+        self.results.remove(&(n - 1)).map(|r| r.table)
+    }
+}
+
+impl SiriusEngine {
+    /// Advance `run` by one dependency wave, dispatching onto at most
+    /// `lanes` device streams (the shared stream pool still bounds the
+    /// width; pass `usize::MAX` for the whole pool). Under
+    /// [`Scheduling::Concurrent`] the wave takes every ready pipeline,
+    /// under [`Scheduling::Serialized`] exactly one. No-op once the run
+    /// is done.
+    pub fn step(&self, run: &mut QueryRun, lanes: usize) -> Result<()> {
+        if run.is_done() {
+            return Ok(());
+        }
+        let n = run.phys.pipelines.len();
+        let ready: Vec<usize> = (0..n)
+            .filter(|&i| !run.done[i] && run.phys.pipelines[i].deps.iter().all(|&d| run.done[d]))
+            .collect();
+        debug_assert!(!ready.is_empty(), "pipeline DAG has a cycle");
+        let batch = match self.scheduling {
+            Scheduling::Serialized => &ready[..1],
+            Scheduling::Concurrent => &ready[..],
+        };
+        // The lane cap scopes this wave only: every dispatch inside the
+        // wave (including Grace-join prefix materialization) reads it via
+        // `effective_streams`, and it resets before the error propagates.
+        self.lane_cap.store(lanes.max(1), Ordering::Relaxed);
+        let waved = self.run_wave(&run.phys, batch, &mut run.results);
+        self.lane_cap.store(usize::MAX, Ordering::Relaxed);
+        waved?;
+        self.stats.lock().pipelines_run += batch.len() as u64;
+        run.completed += batch.len();
+        for &id in batch {
+            run.done[id] = true;
+        }
+        // Release dependency results (tables, hash tables, grants) as
+        // soon as their last consumer has finished.
+        for &id in batch {
+            for &d in &run.phys.pipelines[id].deps {
+                run.consumers[d] -= 1;
+                if run.consumers[d] == 0 {
+                    run.results.remove(&d);
                 }
             }
         }
-        Ok(results
-            .remove(&(n - 1))
-            .expect("root pipeline completed")
-            .table)
+        Ok(())
     }
 
     /// Run one wave: prepare each batched pipeline serially, dispatch all
@@ -196,7 +260,7 @@ impl SiriusEngine {
             preps.push(self.prepare(phys, &phys.pipelines[id], results)?);
         }
 
-        let streams = self.workers().max(1);
+        let streams = self.effective_streams();
         let with_tasks = preps.iter().filter(|p| !p.chunks.is_empty()).count();
         let width = (streams / with_tasks.max(1)).max(1);
         let wave_t0 = self.wave_start();
@@ -902,7 +966,7 @@ impl SiriusEngine {
         ops: &Arc<Vec<MorselOp>>,
         chunks: Vec<Table>,
     ) -> Result<Vec<Table>> {
-        let streams = self.workers().max(1);
+        let streams = self.effective_streams();
         let overhead = self.task_overhead();
         let wave_start = self.wave_start();
         let op_stats = self.op_stats.clone();
@@ -982,7 +1046,13 @@ impl SiriusEngine {
         if tasks.is_empty() {
             return Vec::new();
         }
-        let streams = self.workers().max(1);
+        // Size the per-stream counters by the lanes this query may *use*
+        // (the lane-capped width), not the global pool: when several
+        // queries interleave on one stream pool, each query's
+        // `worker_utilization` is measured against its own slice, so a
+        // perfectly balanced width-2 query on an 8-stream pool reports
+        // 1.0, not 0.25.
+        let streams = self.effective_streams();
         {
             let mut s = self.stats.lock();
             s.tasks += tasks.len() as u64;

@@ -163,7 +163,15 @@ impl LedgerState {
     }
 }
 
-fn attribute_overlap(streams: &[TimeBreakdown]) -> TimeBreakdown {
+/// Fold a set of concurrently-running lanes into their wall-clock
+/// contribution: `max(lane totals)`, attributed across categories in
+/// proportion to each category's share of the summed lane work, with the
+/// rounding remainder pinned to the largest category so the result totals
+/// *exactly* the longest lane. The stream sync uses this within one
+/// ledger; the multi-query server (`sirius-serve`) uses it *across*
+/// per-query ledgers, treating each query's wave delta as one lane of a
+/// shared device.
+pub fn attribute_overlap(streams: &[TimeBreakdown]) -> TimeBreakdown {
     let max: u64 = streams
         .iter()
         .map(|s| s.nanos.iter().sum())

@@ -39,7 +39,7 @@ pub mod trends;
 
 pub use cost::{CostModel, WorkProfile};
 pub use fault::{FaultAction, FaultInjector, FaultKind, FaultPlan, FaultSite, FaultSpec};
-pub use ledger::{replay, CostCategory, CostLedger, TimeBreakdown};
+pub use ledger::{attribute_overlap, replay, CostCategory, CostLedger, TimeBreakdown};
 pub use link::{Link, LinkSpec};
 pub use sirius_trace::{TraceConfig, TraceSink};
 pub use spec::{DeviceKind, DeviceSpec};

@@ -1,0 +1,121 @@
+//! Latency/throughput summaries of a serving run, on the simulated clock.
+
+use crate::server::ServeOutcome;
+use std::time::Duration;
+
+/// Interpolation-free percentile (nearest-rank) over an unsorted sample.
+/// `q` in `[0, 1]`; returns `Duration::ZERO` on an empty sample.
+pub fn percentile(samples: &[Duration], q: f64) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize)
+        .saturating_sub(1)
+        .min(sorted.len() - 1);
+    sorted[rank]
+}
+
+/// One row of the concurrency sweep: the serving metrics of a trace
+/// replayed at a fixed in-flight cap.
+#[derive(Debug, Clone)]
+pub struct ConcurrencyReport {
+    /// The in-flight cap this row was measured at.
+    pub concurrency: usize,
+    /// Queries that completed (successfully or with an error).
+    pub completed: usize,
+    /// Arrivals rejected by queue backpressure.
+    pub rejected: usize,
+    /// Completed queries per simulated second.
+    pub qps: f64,
+    /// Median end-to-end latency (queue wait + execution).
+    pub p50: Duration,
+    /// 99th-percentile end-to-end latency.
+    pub p99: Duration,
+    /// Mean end-to-end latency.
+    pub mean: Duration,
+    /// Simulated time to drain the whole trace.
+    pub makespan: Duration,
+    /// Server waves in which nothing could be scheduled despite work in
+    /// flight (always 0 unless admission deadlocks).
+    pub deadlocks: u64,
+}
+
+impl ConcurrencyReport {
+    /// Summarize `outcome` as measured at `concurrency`.
+    pub fn from_outcome(concurrency: usize, outcome: &ServeOutcome) -> Self {
+        let latencies: Vec<Duration> = outcome.queries.iter().map(|q| q.latency).collect();
+        let makespan = outcome.makespan;
+        let qps = if makespan.is_zero() {
+            0.0
+        } else {
+            outcome.queries.len() as f64 / makespan.as_secs_f64()
+        };
+        let mean = if latencies.is_empty() {
+            Duration::ZERO
+        } else {
+            latencies.iter().sum::<Duration>() / latencies.len() as u32
+        };
+        ConcurrencyReport {
+            concurrency,
+            completed: outcome.queries.len(),
+            rejected: outcome.rejected.len(),
+            qps,
+            p50: percentile(&latencies, 0.50),
+            p99: percentile(&latencies, 0.99),
+            mean,
+            makespan,
+            deadlocks: outcome.deadlocks,
+        }
+    }
+
+    /// One formatted table row (pairs with [`Self::header`]).
+    pub fn row(&self) -> String {
+        format!(
+            "{:>11} {:>9} {:>8} {:>9.1} {:>11.3} {:>11.3} {:>11.3} {:>10.3}",
+            self.concurrency,
+            self.completed,
+            self.rejected,
+            self.qps,
+            self.p50.as_secs_f64() * 1e3,
+            self.p99.as_secs_f64() * 1e3,
+            self.mean.as_secs_f64() * 1e3,
+            self.makespan.as_secs_f64(),
+        )
+    }
+
+    /// Header for [`Self::row`].
+    pub fn header() -> String {
+        format!(
+            "{:>11} {:>9} {:>8} {:>9} {:>11} {:>11} {:>11} {:>10}",
+            "concurrency",
+            "completed",
+            "rejected",
+            "qps",
+            "p50(ms)",
+            "p99(ms)",
+            "mean(ms)",
+            "mksp(s)"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let ms: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&ms, 0.50), Duration::from_millis(50));
+        assert_eq!(percentile(&ms, 0.99), Duration::from_millis(99));
+        assert_eq!(percentile(&ms, 1.0), Duration::from_millis(100));
+        assert_eq!(percentile(&ms, 0.0), Duration::from_millis(1));
+        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
+        assert_eq!(
+            percentile(&[Duration::from_millis(7)], 0.99),
+            Duration::from_millis(7)
+        );
+    }
+}

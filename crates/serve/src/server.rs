@@ -1,0 +1,899 @@
+//! The server-level query scheduler.
+//!
+//! [`SiriusServer::replay`] is a discrete-event simulation over the same
+//! simulated clock the engine charges kernels on. The server repeatedly:
+//!
+//! 1. **Admits** arrivals whose (simulated) arrival instant has passed
+//!    into a bounded wait queue, rejecting overflow (backpressure), then
+//!    moves queued queries into execution while fewer than
+//!    `max_in_flight` are running — each as a fresh
+//!    [`SiriusEngine::query_view`] sharing the stream pool, table cache,
+//!    grant broker, and spill tiers with every other in-flight query.
+//! 2. **Selects** up to one in-flight query per device stream for the
+//!    next *server wave* — priority first, then weighted round-robin
+//!    between tenants — and advances each by one dependency wave of the
+//!    core scheduler ([`SiriusEngine::step`]) on an equal slice of the
+//!    stream pool.
+//! 3. **Advances the clock** by the wave's overlapped cost: each query
+//!    charged its wave onto its own ledger, and the server folds those
+//!    per-query deltas with [`attribute_overlap`] — wall time is the
+//!    *longest* participant, exactly how the stream sync folds lanes
+//!    within one query.
+//!
+//! Every scheduling decision orders by `(priority desc, weighted-fair
+//! share, arrival/admission, id)` — total and deterministic, so a given
+//! arrival trace always produces the same admission order, the same wave
+//! composition, and the same per-query counters.
+
+use sirius_columnar::Table;
+use sirius_core::{QueryReport, QueryRun, SiriusEngine, SiriusError};
+use sirius_hw::{attribute_overlap, TimeBreakdown, TraceConfig};
+use sirius_plan::Rel;
+use sirius_spill::{GrantBroker, SpillStats};
+use sirius_trace::metrics::MetricsRegistry;
+use sirius_trace::TraceEvent;
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Admission-control and fairness knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Queries executing at once (admission cap); clamped to ≥ 1.
+    pub max_in_flight: usize,
+    /// Wait-queue depth; arrivals beyond it are rejected (backpressure).
+    pub queue_depth: usize,
+    /// Per-tenant weighted-round-robin weights, indexed by tenant id.
+    /// Missing entries (and zeros) count as weight 1.
+    pub tenant_weights: Vec<u32>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_in_flight: 4,
+            queue_depth: 64,
+            tenant_weights: Vec::new(),
+        }
+    }
+}
+
+/// One query submitted to the server.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// Caller-assigned id, echoed in [`ServedQuery`] and the admission
+    /// order. Ties in every scheduling decision break on this, so ids
+    /// should be unique.
+    pub id: u64,
+    /// Tenant id (indexes [`ServeConfig::tenant_weights`]).
+    pub tenant: usize,
+    /// Scheduling priority; a higher-priority query always enters a wave
+    /// before a lower-priority one.
+    pub priority: u8,
+    /// Simulated arrival instant.
+    pub arrival: Duration,
+    /// The logical plan to execute.
+    pub plan: Rel,
+    /// Per-query working-set budget: grants above it are denied, steering
+    /// this query (only) onto its spill paths. `None` = uncapped.
+    pub memory_budget: Option<u64>,
+    /// Record a per-query kernel trace (replayable against the query's
+    /// own ledger).
+    pub trace: bool,
+}
+
+impl QueryRequest {
+    /// A default-priority, uncapped, untraced request.
+    pub fn new(id: u64, tenant: usize, arrival: Duration, plan: Rel) -> Self {
+        QueryRequest {
+            id,
+            tenant,
+            priority: 0,
+            arrival,
+            plan,
+            memory_budget: None,
+            trace: false,
+        }
+    }
+}
+
+/// A completed (or failed) query with its isolated telemetry.
+#[derive(Debug)]
+pub struct ServedQuery {
+    /// The request's id.
+    pub id: u64,
+    /// The request's tenant.
+    pub tenant: usize,
+    /// The request's priority.
+    pub priority: u8,
+    /// The result table, or the error that ended the query.
+    pub result: Result<Table, SiriusError>,
+    /// Per-query execution report (this query's ledger, morsel counters,
+    /// and spill deltas only — nothing from interleaved queries).
+    pub report: QueryReport,
+    /// Simulated arrival instant (from the request).
+    pub arrival: Duration,
+    /// Simulated instant the query left the wait queue.
+    pub admitted: Duration,
+    /// Simulated completion instant.
+    pub completed: Duration,
+    /// End-to-end latency: `completed - arrival` (queue wait included).
+    pub latency: Duration,
+    /// Time spent waiting for admission: `admitted - arrival`.
+    pub queue_wait: Duration,
+    /// This query's kernel events (empty unless the request asked for a
+    /// trace); replays to exactly `report.breakdown`.
+    pub events: Vec<TraceEvent>,
+}
+
+/// Everything a [`SiriusServer::replay`] run produced.
+#[derive(Debug, Default)]
+pub struct ServeOutcome {
+    /// Completed queries, in completion order.
+    pub queries: Vec<ServedQuery>,
+    /// Ids rejected at arrival because the wait queue was full.
+    pub rejected: Vec<u64>,
+    /// Ids in the order they were admitted into execution.
+    pub admission_order: Vec<u64>,
+    /// Server waves run.
+    pub waves: u64,
+    /// Waves where work was in flight but nothing could be scheduled
+    /// (always 0 unless the scheduler deadlocks).
+    pub deadlocks: u64,
+    /// Simulated time from the first arrival to the last completion.
+    pub makespan: Duration,
+    /// High watermark of the wait queue.
+    pub max_queue_depth: usize,
+    /// High watermark of concurrently executing queries.
+    pub peak_in_flight: usize,
+    /// The server's overlap-folded cost breakdown: per-wave, the longest
+    /// participant's time, attributed across categories.
+    pub breakdown: TimeBreakdown,
+}
+
+/// One in-flight query: its engine view, stepped run, and accumulating
+/// per-query attribution state.
+struct Active {
+    id: u64,
+    tenant: usize,
+    priority: u8,
+    arrival: Duration,
+    admitted: Duration,
+    engine: SiriusEngine,
+    run: QueryRun,
+    error: Option<SiriusError>,
+    /// Ledger snapshot at the end of this query's previous wave; the next
+    /// wave's delta starts here so admission-time charges (pipeline
+    /// dispatch overhead) are not lost between waves.
+    last: TimeBreakdown,
+    /// This query's spill deltas, accumulated wave by wave from the
+    /// shared manager (waves within a server step run sequentially on the
+    /// host, so the deltas attribute exactly).
+    spill: SpillStats,
+}
+
+/// The multi-query serving frontend over one [`SiriusEngine`].
+pub struct SiriusServer {
+    base: SiriusEngine,
+    config: ServeConfig,
+    metrics: Option<MetricsRegistry>,
+}
+
+impl SiriusServer {
+    /// Server over `base` (whose caches, broker, spill tiers, and worker
+    /// pool all in-flight queries share).
+    pub fn new(base: SiriusEngine, config: ServeConfig) -> Self {
+        SiriusServer {
+            base,
+            config,
+            metrics: None,
+        }
+    }
+
+    /// Publish serving pressure into `metrics`: queue-depth / in-flight
+    /// gauges, admission counters, and the shared grant broker's
+    /// granted/denied totals.
+    pub fn with_metrics(self, metrics: MetricsRegistry) -> Self {
+        metrics.describe("sirius_serve_queue_depth", "Queries waiting for admission");
+        metrics.describe("sirius_serve_in_flight", "Queries admitted and executing");
+        metrics.describe(
+            "sirius_serve_queue_depth_peak",
+            "High watermark of the admission queue",
+        );
+        metrics.describe(
+            "sirius_serve_admitted_total",
+            "Queries admitted into execution",
+        );
+        metrics.describe(
+            "sirius_serve_rejected_total",
+            "Arrivals rejected by queue backpressure",
+        );
+        metrics.describe("sirius_serve_completed_total", "Queries completed");
+        metrics.describe(
+            "sirius_grants_granted_total",
+            "Working-set grants satisfied by the shared broker",
+        );
+        metrics.describe(
+            "sirius_grants_denied_total",
+            "Working-set grants denied by the shared broker (spill signals)",
+        );
+        SiriusServer {
+            metrics: Some(metrics),
+            ..self
+        }
+    }
+
+    /// The shared base engine.
+    pub fn engine(&self) -> &SiriusEngine {
+        &self.base
+    }
+
+    /// The active admission/fairness configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Replay an arrival trace to completion on the simulated clock.
+    /// Deterministic: the same requests (ids, arrivals, plans) always
+    /// yield the same admission order, wave composition, and counters.
+    pub fn replay(&self, mut requests: Vec<QueryRequest>) -> ServeOutcome {
+        requests.sort_by_key(|r| (r.arrival, r.id));
+        let mut pending: VecDeque<QueryRequest> = requests.into();
+        let slots = self.base.workers().max(1);
+        let max_in_flight = self.config.max_in_flight.max(1);
+        let queue_depth = self.config.queue_depth.max(1);
+
+        let mut out = ServeOutcome::default();
+        let mut now = Duration::ZERO;
+        let mut queue: VecDeque<QueryRequest> = VecDeque::new();
+        let mut inflight: Vec<Active> = Vec::new();
+        // Waves served per tenant — the weighted-round-robin state.
+        let mut served: Vec<u64> = Vec::new();
+        let broker = self.base.buffer_manager().grant_broker().clone();
+        let mut published = (broker.granted(), broker.denied());
+
+        loop {
+            // 1. Enqueue arrivals due by `now`; reject past the depth cap.
+            while pending.front().is_some_and(|r| r.arrival <= now) {
+                let r = pending.pop_front().expect("checked front");
+                if queue.len() < queue_depth {
+                    queue.push_back(r);
+                } else {
+                    self.counter_inc("sirius_serve_rejected_total");
+                    out.rejected.push(r.id);
+                }
+            }
+            out.max_queue_depth = out.max_queue_depth.max(queue.len());
+
+            // 2. Admit while slots are free, best-first per the policy.
+            while inflight.len() < max_in_flight && !queue.is_empty() {
+                let pick = self.pick_admission(&queue, &served);
+                let r = queue.remove(pick).expect("picked index in range");
+                if served.len() <= r.tenant {
+                    served.resize(r.tenant + 1, 0);
+                }
+                out.admission_order.push(r.id);
+                self.counter_inc("sirius_serve_admitted_total");
+                match self.admit(r, now) {
+                    Ok(active) => inflight.push(active),
+                    // `begin` failed (validation, unsupported feature,
+                    // injected fault): the query completes immediately
+                    // with its error and never occupies a slot.
+                    Err(done) => {
+                        self.counter_inc("sirius_serve_completed_total");
+                        out.queries.push(*done);
+                    }
+                }
+            }
+            out.peak_in_flight = out.peak_in_flight.max(inflight.len());
+            self.publish_gauges(queue.len(), inflight.len());
+
+            // 3. Nothing running: jump to the next arrival or finish.
+            if inflight.is_empty() {
+                match pending.front() {
+                    Some(r) => {
+                        now = now.max(r.arrival);
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+
+            // 4. Wave selection: up to one query per stream, picked one
+            //    at a time so the round-robin counters interleave tenants
+            //    *within* a wave too.
+            let k = slots.min(inflight.len());
+            let mut selected: Vec<usize> = Vec::with_capacity(k);
+            for _ in 0..k {
+                match self.pick_wave(&inflight, &selected, &served) {
+                    Some(i) => {
+                        let t = inflight[i].tenant;
+                        if served.len() <= t {
+                            served.resize(t + 1, 0);
+                        }
+                        served[t] += 1;
+                        selected.push(i);
+                    }
+                    None => break,
+                }
+            }
+            if selected.is_empty() {
+                // Work in flight but nothing schedulable — count the
+                // deadlock and bail instead of spinning forever.
+                out.deadlocks += 1;
+                break;
+            }
+
+            // 5. Advance each selected query one dependency wave on an
+            //    equal slice of the stream pool, collecting per-query
+            //    ledger deltas.
+            let width = (slots / selected.len()).max(1);
+            let mut deltas: Vec<TimeBreakdown> = Vec::with_capacity(selected.len());
+            for &i in &selected {
+                let a = &mut inflight[i];
+                let spill_before = a.engine.spill_stats();
+                if a.error.is_none() {
+                    if let Err(e) = a.engine.step(&mut a.run, width) {
+                        a.error = Some(e);
+                    }
+                }
+                accumulate_spill(&mut a.spill, &a.engine.spill_stats().since(&spill_before));
+                let cur = a.engine.device().breakdown();
+                deltas.push(cur.since(&a.last));
+                a.last = cur;
+            }
+            // 6. The wave's wall-clock cost is its longest participant:
+            //    queries overlapped on the device, so the server clock
+            //    advances by the overlap fold, not the sum.
+            let wave = attribute_overlap(&deltas);
+            now += wave.total();
+            out.breakdown = out.breakdown.merge(&wave);
+            out.waves += 1;
+
+            // 7. Retire finished queries in in-flight order.
+            let mut i = 0;
+            while i < inflight.len() {
+                if inflight[i].error.is_some() || inflight[i].run.is_done() {
+                    let a = inflight.remove(i);
+                    self.counter_inc("sirius_serve_completed_total");
+                    out.queries.push(self.finish(a, now));
+                } else {
+                    i += 1;
+                }
+            }
+            self.publish_broker(&broker, &mut published);
+        }
+
+        out.makespan = now;
+        self.publish_gauges(queue.len(), inflight.len());
+        self.publish_broker(&broker, &mut published);
+        out
+    }
+
+    /// Admission policy over the wait queue: priority desc, then the
+    /// tenant with the smallest weighted share of served waves, then
+    /// arrival, then id. Returns the index to admit.
+    fn pick_admission(&self, queue: &VecDeque<QueryRequest>, served: &[u64]) -> usize {
+        let mut best = 0usize;
+        for i in 1..queue.len() {
+            let (a, b) = (&queue[i], &queue[best]);
+            if self.orders_before(
+                (a.priority, a.tenant, a.arrival, a.id),
+                (b.priority, b.tenant, b.arrival, b.id),
+                served,
+            ) {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Wave policy over in-flight queries (same ordering, keyed on
+    /// admission instants). Returns the next unselected index, if any.
+    fn pick_wave(&self, inflight: &[Active], selected: &[usize], served: &[u64]) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, a) in inflight.iter().enumerate() {
+            if selected.contains(&i) {
+                continue;
+            }
+            best = Some(match best {
+                None => i,
+                Some(j) => {
+                    let b = &inflight[j];
+                    if self.orders_before(
+                        (a.priority, a.tenant, a.admitted, a.id),
+                        (b.priority, b.tenant, b.admitted, b.id),
+                        served,
+                    ) {
+                        i
+                    } else {
+                        j
+                    }
+                }
+            });
+        }
+        best
+    }
+
+    /// The total scheduling order: priority desc, then weighted fair
+    /// share (`served/weight`, compared by cross-multiplication so it
+    /// stays in integers), then the instant key, then id.
+    fn orders_before(
+        &self,
+        a: (u8, usize, Duration, u64),
+        b: (u8, usize, Duration, u64),
+        served: &[u64],
+    ) -> bool {
+        let (ap, at, ai, aid) = a;
+        let (bp, bt, bi, bid) = b;
+        if ap != bp {
+            return ap > bp;
+        }
+        let (sa, sb) = (
+            served.get(at).copied().unwrap_or(0) as u128,
+            served.get(bt).copied().unwrap_or(0) as u128,
+        );
+        let (wa, wb) = (self.weight(at) as u128, self.weight(bt) as u128);
+        // sa/wa < sb/wb ⇔ sa·wb < sb·wa
+        if sa * wb != sb * wa {
+            return sa * wb < sb * wa;
+        }
+        if ai != bi {
+            return ai < bi;
+        }
+        aid < bid
+    }
+
+    fn weight(&self, tenant: usize) -> u32 {
+        self.config
+            .tenant_weights
+            .get(tenant)
+            .copied()
+            .unwrap_or(1)
+            .max(1)
+    }
+
+    /// Build the per-query engine view and start the run. A failed
+    /// `begin` returns the completed-with-error record instead.
+    fn admit(&self, r: QueryRequest, now: Duration) -> Result<Active, Box<ServedQuery>> {
+        let mut view = self.base.query_view();
+        if r.trace {
+            view = view.with_trace(TraceConfig::On);
+        }
+        if let Some(budget) = r.memory_budget {
+            view.buffer_manager().set_grant_cap(budget);
+        }
+        match view.begin(&r.plan) {
+            Ok(run) => Ok(Active {
+                id: r.id,
+                tenant: r.tenant,
+                priority: r.priority,
+                arrival: r.arrival,
+                admitted: now,
+                engine: view,
+                run,
+                error: None,
+                last: TimeBreakdown::default(),
+                spill: SpillStats::default(),
+            }),
+            Err(e) => Err(Box::new(ServedQuery {
+                id: r.id,
+                tenant: r.tenant,
+                priority: r.priority,
+                result: Err(e),
+                report: QueryReport {
+                    engine: "sirius".into(),
+                    rows: 0,
+                    elapsed: Duration::ZERO,
+                    breakdown: TimeBreakdown::default(),
+                    pipelines: 0,
+                    morsels: 0,
+                    tasks: 0,
+                    workers: self.base.workers(),
+                    worker_utilization: 0.0,
+                    spilled_pinned_bytes: 0,
+                    spilled_disk_bytes: 0,
+                    spill_partitions: 0,
+                    spill_depth: 0,
+                    pool_high_watermark: 0,
+                    pool_fragmentation: 0.0,
+                    fallback_reason: None,
+                    recovery: Default::default(),
+                },
+                arrival: r.arrival,
+                admitted: now,
+                completed: now,
+                latency: now.saturating_sub(r.arrival),
+                queue_wait: now.saturating_sub(r.arrival),
+                events: Vec::new(),
+            })),
+        }
+    }
+
+    /// Assemble the completed query's record from its isolated telemetry.
+    fn finish(&self, a: Active, now: Duration) -> ServedQuery {
+        let breakdown = a.engine.device().breakdown();
+        let stats = a.engine.morsel_stats();
+        let pool = a.engine.buffer_manager().regions().processing().stats();
+        let pipelines = a.run.pipelines();
+        let (result, rows) = match a.error {
+            Some(e) => (Err(e), 0),
+            None => {
+                let t = a.run.into_table().expect("done run has its root result");
+                let rows = t.num_rows();
+                (Ok(t), rows)
+            }
+        };
+        let report = QueryReport {
+            engine: "sirius".into(),
+            rows,
+            elapsed: breakdown.total(),
+            breakdown,
+            pipelines,
+            morsels: stats.morsels,
+            tasks: stats.tasks,
+            workers: self.base.workers(),
+            worker_utilization: stats.worker_utilization(),
+            spilled_pinned_bytes: a.spill.bytes_to_pinned,
+            spilled_disk_bytes: a.spill.bytes_to_disk,
+            spill_partitions: a.spill.partitions,
+            spill_depth: a.spill.max_depth,
+            pool_high_watermark: pool.high_watermark,
+            pool_fragmentation: pool.fragmentation(),
+            fallback_reason: None,
+            recovery: Default::default(),
+        };
+        ServedQuery {
+            id: a.id,
+            tenant: a.tenant,
+            priority: a.priority,
+            result,
+            report,
+            arrival: a.arrival,
+            admitted: a.admitted,
+            completed: now,
+            latency: now.saturating_sub(a.arrival),
+            queue_wait: a.admitted.saturating_sub(a.arrival),
+            events: a.engine.trace().events(),
+        }
+    }
+
+    fn counter_inc(&self, name: &str) {
+        if let Some(m) = &self.metrics {
+            m.counter_inc(name, &[]);
+        }
+    }
+
+    fn publish_gauges(&self, queue_len: usize, inflight_len: usize) {
+        if let Some(m) = &self.metrics {
+            m.gauge_set("sirius_serve_queue_depth", &[], queue_len as f64);
+            m.gauge_set("sirius_serve_in_flight", &[], inflight_len as f64);
+            m.gauge_max("sirius_serve_queue_depth_peak", &[], queue_len as f64);
+        }
+    }
+
+    fn publish_broker(&self, broker: &GrantBroker, published: &mut (u64, u64)) {
+        if let Some(m) = &self.metrics {
+            let (g, d) = (broker.granted(), broker.denied());
+            m.counter_add(
+                "sirius_grants_granted_total",
+                &[],
+                g.saturating_sub(published.0),
+            );
+            m.counter_add(
+                "sirius_grants_denied_total",
+                &[],
+                d.saturating_sub(published.1),
+            );
+            *published = (g, d);
+        }
+    }
+}
+
+/// Add a spill-delta onto a per-query accumulator. `max_depth` is a
+/// lifetime maximum on the shared manager, so it only attributes to this
+/// query when the query actually spilled in the window.
+fn accumulate_spill(acc: &mut SpillStats, delta: &SpillStats) {
+    acc.bytes_to_pinned += delta.bytes_to_pinned;
+    acc.bytes_to_disk += delta.bytes_to_disk;
+    acc.bytes_read_back += delta.bytes_read_back;
+    acc.partitions += delta.partitions;
+    acc.failed_writes += delta.failed_writes;
+    if delta.partitions > 0 {
+        acc.max_depth = acc.max_depth.max(delta.max_depth);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirius_columnar::{Array, DataType, Field, Schema};
+    use sirius_hw::{catalog, Link};
+    use sirius_plan::builder::PlanBuilder;
+    use sirius_plan::expr::{self, AggExpr, SortExpr};
+    use sirius_plan::AggFunc;
+
+    fn data(rows: i64) -> Table {
+        Table::new(
+            Schema::new(vec![
+                Field::new("k", DataType::Int64),
+                Field::new("v", DataType::Float64),
+            ]),
+            vec![
+                Array::from_i64((0..rows).collect::<Vec<_>>()),
+                Array::from_f64((0..rows).map(|i| i as f64).collect::<Vec<_>>()),
+            ],
+        )
+    }
+
+    fn base(workers: usize, rows: i64) -> SiriusEngine {
+        let e = SiriusEngine::with_link(
+            catalog::gh200_gpu(),
+            Link::new(catalog::nvlink_c2c()),
+            workers,
+        );
+        e.load_table("t", &data(rows));
+        e.device().reset();
+        e
+    }
+
+    fn scan_plan() -> Rel {
+        PlanBuilder::scan(
+            "t",
+            Schema::new(vec![
+                Field::new("k", DataType::Int64),
+                Field::new("v", DataType::Float64),
+            ]),
+        )
+        .filter(expr::gt(expr::col(0), expr::lit_i64(-1)))
+        .build()
+    }
+
+    fn agg_plan() -> Rel {
+        PlanBuilder::scan(
+            "t",
+            Schema::new(vec![
+                Field::new("k", DataType::Int64),
+                Field::new("v", DataType::Float64),
+            ]),
+        )
+        .aggregate(
+            vec![],
+            vec![AggExpr {
+                func: AggFunc::Sum,
+                input: Some(expr::col(1)),
+                name: "s".into(),
+            }],
+        )
+        .build()
+    }
+
+    #[test]
+    fn concurrent_results_match_direct_execution() {
+        let server = SiriusServer::new(base(4, 64), ServeConfig::default());
+        let reqs: Vec<QueryRequest> = (0..6)
+            .map(|i| {
+                let plan = if i % 2 == 0 { scan_plan() } else { agg_plan() };
+                QueryRequest::new(i, (i % 2) as usize, Duration::ZERO, plan)
+            })
+            .collect();
+        let outcome = server.replay(reqs);
+        assert_eq!(outcome.queries.len(), 6);
+        assert_eq!(outcome.deadlocks, 0);
+        let reference = base(4, 64);
+        for q in &outcome.queries {
+            let plan = if q.id % 2 == 0 {
+                scan_plan()
+            } else {
+                agg_plan()
+            };
+            let expect = reference.execute(&plan).unwrap();
+            assert_eq!(q.result.as_ref().unwrap(), &expect, "query {}", q.id);
+            assert!(q.report.elapsed > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn admission_cap_and_backpressure() {
+        let metrics = MetricsRegistry::new();
+        let server = SiriusServer::new(
+            base(4, 32),
+            ServeConfig {
+                max_in_flight: 1,
+                queue_depth: 2,
+                tenant_weights: Vec::new(),
+            },
+        )
+        .with_metrics(metrics.clone());
+        let reqs: Vec<QueryRequest> = (0..8)
+            .map(|i| QueryRequest::new(i, 0, Duration::ZERO, agg_plan()))
+            .collect();
+        let outcome = server.replay(reqs);
+        // All 8 arrive at t=0: two queue, the rest bounce.
+        assert_eq!(outcome.rejected.len(), 6);
+        assert_eq!(outcome.queries.len(), 2);
+        assert_eq!(outcome.peak_in_flight, 1);
+        assert!(outcome.max_queue_depth <= 2);
+        assert_eq!(outcome.deadlocks, 0);
+        assert_eq!(metrics.counter_value("sirius_serve_rejected_total", &[]), 6);
+        assert_eq!(
+            metrics.counter_value("sirius_serve_completed_total", &[]),
+            2
+        );
+        assert_eq!(metrics.counter_value("sirius_serve_admitted_total", &[]), 2);
+        assert_eq!(
+            metrics.gauge_value("sirius_serve_queue_depth", &[]),
+            Some(0.0)
+        );
+        assert!(
+            metrics
+                .gauge_value("sirius_serve_queue_depth_peak", &[])
+                .unwrap()
+                >= 1.0
+        );
+        assert!(metrics.counter_value("sirius_grants_granted_total", &[]) > 0);
+    }
+
+    #[test]
+    fn priority_orders_the_single_lane() {
+        // One worker ⇒ one query per wave: the high-priority late arrival
+        // still finishes before the low-priority crowd.
+        let server = SiriusServer::new(
+            base(1, 32),
+            ServeConfig {
+                max_in_flight: 8,
+                ..Default::default()
+            },
+        );
+        let mut reqs: Vec<QueryRequest> = (0..4)
+            .map(|i| QueryRequest::new(i, 0, Duration::ZERO, agg_plan()))
+            .collect();
+        let mut vip = QueryRequest::new(99, 1, Duration::ZERO, scan_plan());
+        vip.priority = 3;
+        reqs.push(vip);
+        let outcome = server.replay(reqs);
+        assert_eq!(outcome.queries[0].id, 99, "priority 3 completes first");
+        assert_eq!(outcome.deadlocks, 0);
+    }
+
+    #[test]
+    fn weighted_round_robin_shares_waves() {
+        // Tenant 0 weight 3, tenant 1 weight 1, one wave slot: completions
+        // interleave ~3:1.
+        let server = SiriusServer::new(
+            base(1, 16),
+            ServeConfig {
+                max_in_flight: 16,
+                queue_depth: 32,
+                tenant_weights: vec![3, 1],
+            },
+        );
+        let mut reqs = Vec::new();
+        for i in 0..8 {
+            reqs.push(QueryRequest::new(i, 0, Duration::ZERO, scan_plan()));
+        }
+        for i in 8..16 {
+            reqs.push(QueryRequest::new(i, 1, Duration::ZERO, scan_plan()));
+        }
+        let outcome = server.replay(reqs);
+        assert_eq!(outcome.queries.len(), 16);
+        let first8: Vec<usize> = outcome.queries[..8].iter().map(|q| q.tenant).collect();
+        let t0 = first8.iter().filter(|&&t| t == 0).count();
+        assert_eq!(t0, 6, "weight 3:1 → 6 of the first 8 waves: {first8:?}");
+    }
+
+    #[test]
+    fn per_query_utilization_measures_own_lanes() {
+        // Two queries share an 8-stream pool (width 4 each); each query's
+        // 4 balanced morsels fill its own slice, so each reports 1.0 —
+        // the pre-fix accounting measured against all 8 streams and
+        // reported 0.5.
+        let e = SiriusEngine::with_link(catalog::gh200_gpu(), Link::new(catalog::nvlink_c2c()), 8)
+            .with_morsel_rows(16);
+        e.load_table("t", &data(64));
+        e.device().reset();
+        let server = SiriusServer::new(e, ServeConfig::default());
+        let mk = |id| QueryRequest::new(id, 0, Duration::ZERO, scan_plan());
+        let outcome = server.replay(vec![mk(0), mk(1)]);
+        assert_eq!(outcome.queries.len(), 2);
+        for q in &outcome.queries {
+            assert_eq!(q.report.morsels, 4);
+            assert!(
+                (q.report.worker_utilization - 1.0).abs() < 1e-9,
+                "query {} utilization {} on its own lane slice",
+                q.id,
+                q.report.worker_utilization
+            );
+        }
+    }
+
+    #[test]
+    fn traced_queries_replay_their_own_ledgers() {
+        let server = SiriusServer::new(base(4, 48), ServeConfig::default());
+        let reqs: Vec<QueryRequest> = (0..4)
+            .map(|i| {
+                let mut r = QueryRequest::new(i, 0, Duration::ZERO, agg_plan());
+                r.trace = true;
+                r
+            })
+            .collect();
+        let outcome = server.replay(reqs);
+        assert_eq!(outcome.queries.len(), 4);
+        for q in &outcome.queries {
+            assert!(!q.events.is_empty(), "traced query records events");
+            let replayed = sirius_hw::ledger::replay(&q.events);
+            assert_eq!(
+                replayed, q.report.breakdown,
+                "query {}'s events replay to its own breakdown",
+                q.id
+            );
+        }
+    }
+
+    #[test]
+    fn overlapped_waves_beat_serial_sum() {
+        // The server clock advances by the longest wave participant, so
+        // the makespan of 4 equal queries at concurrency 4 undercuts the
+        // sum of their individual elapsed times.
+        let server = SiriusServer::new(base(4, 4096), ServeConfig::default());
+        let reqs: Vec<QueryRequest> = (0..4)
+            .map(|i| QueryRequest::new(i, 0, Duration::ZERO, agg_plan()))
+            .collect();
+        let outcome = server.replay(reqs);
+        let sum: Duration = outcome.queries.iter().map(|q| q.report.elapsed).sum();
+        assert!(
+            outcome.makespan < sum,
+            "overlap: makespan {:?} < serial sum {:?}",
+            outcome.makespan,
+            sum
+        );
+        assert_eq!(outcome.breakdown.total(), outcome.makespan);
+    }
+
+    #[test]
+    fn memory_budget_steers_one_query_to_spill() {
+        let e = base(4, 100_000);
+        let server = SiriusServer::new(e, ServeConfig::default());
+        let group_plan = PlanBuilder::scan(
+            "t",
+            Schema::new(vec![
+                Field::new("k", DataType::Int64),
+                Field::new("v", DataType::Float64),
+            ]),
+        )
+        .aggregate(
+            vec![expr::col(0)],
+            vec![AggExpr {
+                func: AggFunc::Sum,
+                input: Some(expr::col(1)),
+                name: "s".into(),
+            }],
+        )
+        .sort(vec![SortExpr {
+            expr: expr::col(0),
+            ascending: true,
+        }])
+        .build();
+        let mut capped = QueryRequest::new(0, 0, Duration::ZERO, group_plan.clone());
+        capped.memory_budget = Some(64 << 10);
+        let free = QueryRequest::new(1, 1, Duration::ZERO, group_plan);
+        let outcome = server.replay(vec![capped, free]);
+        let by_id = |id: u64| outcome.queries.iter().find(|q| q.id == id).unwrap();
+        let (capped, free) = (by_id(0), by_id(1));
+        // Same rows either way; only the capped query spilled.
+        assert_eq!(
+            capped.result.as_ref().unwrap(),
+            free.result.as_ref().unwrap()
+        );
+        assert!(
+            capped.report.spilled_pinned_bytes + capped.report.spilled_disk_bytes > 0,
+            "budgeted query spills: {:?}",
+            capped.report
+        );
+        assert_eq!(
+            free.report.spilled_pinned_bytes + free.report.spilled_disk_bytes,
+            0,
+            "uncapped query does not: {:?}",
+            free.report
+        );
+    }
+}

@@ -109,6 +109,16 @@ impl MetricsRegistry {
             .unwrap_or(0)
     }
 
+    /// Current value of a gauge (`None` if never set — unlike counters,
+    /// gauges have no meaningful zero).
+    pub fn gauge_value(&self, name: &str, label_pairs: &[(&str, &str)]) -> Option<f64> {
+        self.inner
+            .lock()
+            .gauges
+            .get(&(name.to_string(), labels(label_pairs)))
+            .copied()
+    }
+
     /// Set a gauge to `v`.
     pub fn gauge_set(&self, name: &str, label_pairs: &[(&str, &str)], v: f64) {
         self.inner
