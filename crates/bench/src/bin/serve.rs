@@ -82,6 +82,7 @@ fn main() {
                 // drain throughput, not rejection behavior.
                 queue_depth: ARRIVALS,
                 tenant_weights: vec![2, 1],
+                ..Default::default()
             },
         );
         let requests: Vec<QueryRequest> = trace
@@ -91,6 +92,7 @@ fn main() {
                 tenant: a.tenant,
                 priority: a.priority,
                 arrival: a.arrival,
+                deadline: None,
                 plan: plans[a.query_index].clone(),
                 memory_budget: None,
                 trace: false,

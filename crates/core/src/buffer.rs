@@ -204,13 +204,34 @@ impl BufferManager {
     /// Ask the grant broker for an operator working set. A denial is the
     /// executor's signal to spill rather than fail (§3.4). Requests above
     /// this query's [grant cap](Self::set_grant_cap) are denied without
-    /// consulting the shared pool.
+    /// consulting the shared pool; both cap denials and injected denial
+    /// storms are recorded on the broker's denied counter so the serving
+    /// layer's pressure signal sees every spill steer, not just genuine
+    /// pool exhaustion.
     pub fn request_grant(&self, bytes: u64) -> Result<MemoryGrant> {
         let cap = self.grant_cap.load(Ordering::Relaxed);
         if bytes > cap {
+            self.broker.note_denial();
             return Err(SiriusError::OutOfMemory(format!(
                 "working set of {bytes} B exceeds this query's {cap} B memory budget"
             )));
+        }
+        {
+            let (fault, node) = match self.fault.lock() {
+                Ok(g) => g.clone(),
+                Err(p) => p.into_inner().clone(),
+            };
+            if fault
+                .fire(sirius_hw::FaultSite::GrantRequest { node })
+                .is_some()
+            {
+                // A storm denial is indistinguishable from pool exhaustion
+                // to the caller: the operator spills, results stay exact.
+                self.broker.note_denial();
+                return Err(SiriusError::OutOfMemory(format!(
+                    "injected grant denial storm on node {node} ({bytes} B refused)"
+                )));
+            }
         }
         self.broker
             .request(bytes)
@@ -229,6 +250,13 @@ impl BufferManager {
     /// The memory-grant broker (counters introspection).
     pub fn grant_broker(&self) -> &GrantBroker {
         &self.broker
+    }
+
+    /// The shared spill-tier manager (temp-reap introspection: its
+    /// [`SpillManager::tier_usage`] must return to zero once every
+    /// query's tickets drop — including failed and cancelled queries).
+    pub fn spill_manager(&self) -> &SpillManager {
+        &self.spill
     }
 
     /// Replace the spill-tier capacities (engine builder).

@@ -216,6 +216,14 @@ impl SiriusEngine {
         self.bufmgr.spill_stats()
     }
 
+    /// The attached fault injector (disabled unless
+    /// [`with_fault`](Self::with_fault) armed one). Shared by every
+    /// [`query_view`](Self::query_view), so injected-fault counts span all
+    /// served queries.
+    pub fn fault_injector(&self) -> &sirius_hw::FaultInjector {
+        &self.fault
+    }
+
     /// The active morsel configuration.
     pub fn morsel_config(&self) -> MorselConfig {
         self.morsel
@@ -919,5 +927,109 @@ mod tests {
             overlap_time < serial_time,
             "concurrent build waves {overlap_time:?} should beat serialized {serial_time:?}"
         );
+    }
+
+    // -- engine-local fault sites and cancellation -------------------------
+
+    /// A mid-query wave fault kills the run between dependency waves with a
+    /// retryable error, and the retry (a fresh run) succeeds once the
+    /// fault budget is spent — with zero leaked grants either way.
+    #[test]
+    fn wave_fault_fails_mid_query_and_retry_recovers() {
+        use sirius_hw::{FaultInjector, FaultPlan};
+        let e = engine_with_data().with_fault(
+            FaultInjector::new(FaultPlan::new(0).transient_wave(0, 1, 1)),
+            0,
+        );
+        // Two pipelines (join build + probe) ⇒ two waves; the fault fires
+        // on the second dispatch, after the build wave banked its grant.
+        let plan = scan()
+            .join(
+                scan(),
+                JoinKind::Inner,
+                vec![expr::col(1)],
+                vec![expr::col(1)],
+                None,
+            )
+            .build();
+        let broker = e.buffer_manager().grant_broker().clone();
+        let mut run = e.begin(&plan).unwrap();
+        e.step(&mut run, usize::MAX).unwrap();
+        assert!(broker.outstanding() > 0, "build wave holds its grant");
+        let err = e.step(&mut run, usize::MAX).unwrap_err();
+        assert!(matches!(err, SiriusError::TransientDevice(_)));
+        assert!(err.is_retryable());
+        assert_eq!(run.abort(), 1, "abort releases the held build result");
+        drop(run);
+        assert_eq!(broker.outstanding(), 0, "no leaked grants after abort");
+        // Fault budget spent: the retry completes and matches fault-free.
+        let retry = e.execute(&plan).unwrap();
+        assert_eq!(retry.num_rows(), 8);
+        assert_eq!(broker.outstanding(), 0);
+    }
+
+    /// A grant denial storm steers the victim onto its spill path — the
+    /// result is exact, nothing fails, and pressure is visible on the
+    /// broker's denied counter.
+    #[test]
+    fn grant_storm_spills_instead_of_failing() {
+        use sirius_hw::{FaultInjector, FaultPlan};
+        let baseline = engine_with_data();
+        let plan = scan()
+            .aggregate(
+                vec![expr::col(1)],
+                vec![AggExpr {
+                    func: AggFunc::Sum,
+                    input: Some(expr::col(2)),
+                    name: "s".into(),
+                }],
+            )
+            .build();
+        let expect = baseline.execute(&plan).unwrap();
+        // One injected denial: the breaker-level grant is refused and the
+        // aggregate takes its partitioned spill path, staying exact.
+        let e = engine_with_data().with_fault(
+            FaultInjector::new(FaultPlan::new(0).grant_storm(0, 0, 1)),
+            0,
+        );
+        let got = e.execute(&plan).unwrap();
+        assert_eq!(got, expect, "storm-denied aggregation still exact");
+        let broker = e.buffer_manager().grant_broker();
+        assert!(broker.denied() > 0, "storm denials count as pressure");
+        assert_eq!(broker.outstanding(), 0);
+        // A sustained storm also refuses the post-partition grants, so the
+        // query fails out-of-memory — but still releases everything.
+        let e2 = engine_with_data().with_fault(
+            FaultInjector::new(FaultPlan::new(0).grant_storm(0, 0, 16)),
+            0,
+        );
+        let err = e2.execute(&plan).unwrap_err();
+        assert!(matches!(err, SiriusError::OutOfMemory(_)));
+        assert_eq!(e2.buffer_manager().grant_broker().outstanding(), 0);
+    }
+
+    /// An aborted run is inert: further steps are no-ops, `into_table`
+    /// yields nothing, and every held result was released eagerly.
+    #[test]
+    fn aborted_run_unwinds_cleanly() {
+        let e = engine_with_data();
+        let plan = scan()
+            .join(
+                scan(),
+                JoinKind::Inner,
+                vec![expr::col(1)],
+                vec![expr::col(1)],
+                None,
+            )
+            .build();
+        let mut run = e.begin(&plan).unwrap();
+        e.step(&mut run, usize::MAX).unwrap();
+        assert!(!run.is_done());
+        run.abort();
+        assert!(run.is_aborted());
+        assert!(!run.is_done());
+        e.step(&mut run, usize::MAX).unwrap(); // no-op, no panic
+        assert_eq!(e.buffer_manager().grant_broker().outstanding(), 0);
+        assert!(run.into_table().is_none());
     }
 }

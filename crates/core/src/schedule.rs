@@ -155,6 +155,7 @@ pub struct QueryRun {
     consumers: Vec<usize>,
     done: Vec<bool>,
     completed: usize,
+    aborted: bool,
 }
 
 impl QueryRun {
@@ -172,12 +173,33 @@ impl QueryRun {
             consumers,
             done: vec![false; n],
             completed: 0,
+            aborted: false,
         }
     }
 
     /// Every pipeline in the DAG has completed.
     pub fn is_done(&self) -> bool {
-        self.completed == self.phys.pipelines.len()
+        !self.aborted && self.completed == self.phys.pipelines.len()
+    }
+
+    /// Abort a partially-stepped run: release every materialized pipeline
+    /// result it still holds — tables, hash tables, and the RAII memory
+    /// grants pinning them in the processing region — and mark the run
+    /// dead. Returns the number of held results released. After an abort,
+    /// [`SiriusEngine::step`] is a no-op and [`Self::into_table`] yields
+    /// `None`: the cancellation path a serving deadline takes mid-flight.
+    /// (Dropping the run releases the same state; `abort` makes the
+    /// unwind explicit and lets the caller keep the run for reporting.)
+    pub fn abort(&mut self) -> usize {
+        self.aborted = true;
+        let held = self.results.len();
+        self.results.clear();
+        held
+    }
+
+    /// Whether [`Self::abort`] was called.
+    pub fn is_aborted(&self) -> bool {
+        self.aborted
     }
 
     /// Total pipelines in the compiled DAG.
@@ -209,8 +231,22 @@ impl SiriusEngine {
     /// under [`Scheduling::Serialized`] exactly one. No-op once the run
     /// is done.
     pub fn step(&self, run: &mut QueryRun, lanes: usize) -> Result<()> {
-        if run.is_done() {
+        if run.is_done() || run.is_aborted() {
             return Ok(());
+        }
+        // Mid-query transient device faults fire here, *between* waves:
+        // the run has already done work and may hold grants, so the error
+        // path exercises the full unwind (callers abort or drop the run;
+        // either way every RAII reservation releases).
+        if self
+            .fault
+            .fire(sirius_hw::FaultSite::WaveDispatch { node: self.node_id })
+            .is_some()
+        {
+            return Err(crate::SiriusError::TransientDevice(format!(
+                "injected device failure during a morsel wave on node {}",
+                self.node_id
+            )));
         }
         let n = run.phys.pipelines.len();
         let ready: Vec<usize> = (0..n)

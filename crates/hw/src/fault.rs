@@ -68,6 +68,22 @@ pub enum FaultKind {
         /// Rank whose spill tier fails.
         node: usize,
     },
+    /// A morsel wave on `node` fails mid-query (ECC scrub, stream reset):
+    /// the engine-local analogue of [`FaultKind::TransientDevice`], firing
+    /// *between* dependency waves rather than at query launch so a served
+    /// query dies after it has already done work and holds grants.
+    TransientWave {
+        /// Rank whose device hiccups mid-wave.
+        node: usize,
+    },
+    /// The grant broker on `node` denies working-set requests it would
+    /// normally satisfy — a denial storm. Recoverable without retry: a
+    /// denial is the executor's spill signal, so the victim degrades onto
+    /// its out-of-core paths and still returns exact results.
+    GrantStorm {
+        /// Rank whose broker storms.
+        node: usize,
+    },
 }
 
 /// A well-known hook point where faults can fire. Ranks are *original*
@@ -99,6 +115,17 @@ pub enum FaultSite {
     /// A write into the spill tier on `node`.
     SpillWrite {
         /// Original rank performing the spill write.
+        node: usize,
+    },
+    /// A dependency wave of an in-flight query is about to dispatch on
+    /// `node`'s device (polled by the stepped executor between waves).
+    WaveDispatch {
+        /// Original rank dispatching the wave.
+        node: usize,
+    },
+    /// A working-set grant request against `node`'s broker.
+    GrantRequest {
+        /// Original rank requesting the grant.
         node: usize,
     },
 }
@@ -147,6 +174,8 @@ impl FaultSpec {
                 *node == n
             }
             (FaultKind::SpillIo { node }, FaultSite::SpillWrite { node: n }) => *node == n,
+            (FaultKind::TransientWave { node }, FaultSite::WaveDispatch { node: n }) => *node == n,
+            (FaultKind::GrantStorm { node }, FaultSite::GrantRequest { node: n }) => *node == n,
             _ => false,
         }
     }
@@ -220,6 +249,18 @@ impl FaultPlan {
         self.with(FaultKind::SpillIo { node }, after, times)
     }
 
+    /// Inject `times` mid-query wave failures on `node` after skipping
+    /// `after` dispatched waves.
+    pub fn transient_wave(self, node: usize, after: u64, times: u64) -> Self {
+        self.with(FaultKind::TransientWave { node }, after, times)
+    }
+
+    /// Deny `times` working-set grant requests on `node` after skipping
+    /// `after` (a broker denial storm — victims spill, they don't fail).
+    pub fn grant_storm(self, node: usize, after: u64, times: u64) -> Self {
+        self.with(FaultKind::GrantStorm { node }, after, times)
+    }
+
     /// Generate a deterministic *recoverable* chaos plan for a `world`-node
     /// cluster: one to three faults drawn from the transient kinds plus at
     /// most one mid-fragment crash, never killing node 0 (the coordinator's
@@ -257,6 +298,32 @@ impl FaultPlan {
                     plan = plan.transient_device(node, rng.next() % 2, 1 + rng.next() % 2);
                 }
             }
+        }
+        plan
+    }
+
+    /// Generate a deterministic *engine-local* chaos plan for a single
+    /// node: one to three faults drawn from the recoverable single-node
+    /// kinds — a transient launch failure, a mid-query wave failure, a
+    /// spill I/O error, or a grant denial storm — all with bounded firing
+    /// windows, so a server retrying with backoff (or spilling through
+    /// the storm) always converges. The same `seed` always yields the
+    /// same plan. Faults target stable node id `node`.
+    pub fn seeded_chaos_local(seed: u64, node: usize) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0x0010_CA1C_4A05_u64);
+        let mut plan = FaultPlan::new(seed);
+        let n_faults = 1 + (rng.next() % 3) as usize;
+        for _ in 0..n_faults {
+            let after = rng.next() % 3;
+            let times = 1 + rng.next() % 2;
+            plan = match rng.next() % 4 {
+                0 => plan.transient_device(node, after, times),
+                1 => plan.transient_wave(node, after, times),
+                2 => plan.spill_io(node, after, times),
+                // Storms get a bigger budget: each denial only steers one
+                // operator onto its spill path.
+                _ => plan.grant_storm(node, after, 2 + rng.next() % 4),
+            };
         }
         plan
     }
@@ -363,7 +430,9 @@ impl FaultInjector {
                 FaultKind::CrashBeforeFragment { node: n }
                 | FaultKind::CrashMidFragment { node: n }
                 | FaultKind::TransientDevice { node: n }
-                | FaultKind::SpillIo { node: n } => Some(n),
+                | FaultKind::SpillIo { node: n }
+                | FaultKind::TransientWave { node: n }
+                | FaultKind::GrantStorm { node: n } => Some(n),
                 _ => None,
             };
             if target == Some(node) {
@@ -458,6 +527,78 @@ mod tests {
             assert!(crashes.len() <= 1, "at most one crash per chaos plan");
             assert!(!crashes.contains(&0), "node 0 never crashes");
         }
+    }
+
+    #[test]
+    fn engine_local_sites_fire_their_kinds() {
+        let inj = FaultInjector::new(
+            FaultPlan::new(0)
+                .transient_wave(0, 0, 1)
+                .grant_storm(0, 1, 2),
+        );
+        assert_eq!(
+            inj.fire(FaultSite::WaveDispatch { node: 0 }),
+            Some(FaultAction::Fail)
+        );
+        assert_eq!(inj.fire(FaultSite::WaveDispatch { node: 0 }), None);
+        // Wrong node never matches.
+        assert_eq!(inj.fire(FaultSite::GrantRequest { node: 1 }), None);
+        assert_eq!(inj.fire(FaultSite::GrantRequest { node: 0 }), None); // after = 1
+        assert_eq!(
+            inj.fire(FaultSite::GrantRequest { node: 0 }),
+            Some(FaultAction::Fail)
+        );
+        assert_eq!(
+            inj.fire(FaultSite::GrantRequest { node: 0 }),
+            Some(FaultAction::Fail)
+        );
+        assert_eq!(inj.fire(FaultSite::GrantRequest { node: 0 }), None);
+        assert_eq!(inj.injected_count(), 3);
+    }
+
+    #[test]
+    fn seeded_chaos_local_is_deterministic_and_bounded() {
+        for seed in 0..64u64 {
+            let a = FaultPlan::seeded_chaos_local(seed, 0);
+            let b = FaultPlan::seeded_chaos_local(seed, 0);
+            assert_eq!(a, b);
+            assert!(!a.specs.is_empty() && a.specs.len() <= 3);
+            for s in &a.specs {
+                // Every engine-local fault is recoverable and targets the
+                // requested node with a finite firing budget.
+                match s.kind {
+                    FaultKind::TransientDevice { node }
+                    | FaultKind::TransientWave { node }
+                    | FaultKind::SpillIo { node }
+                    | FaultKind::GrantStorm { node } => assert_eq!(node, 0),
+                    ref k => panic!("non-local fault in local chaos plan: {k:?}"),
+                }
+                assert!(s.times < u64::MAX, "bounded firing window");
+            }
+        }
+        // Node id is threaded through, not hard-coded.
+        let on_node_3 = FaultPlan::seeded_chaos_local(7, 3);
+        for s in &on_node_3.specs {
+            match s.kind {
+                FaultKind::TransientDevice { node }
+                | FaultKind::TransientWave { node }
+                | FaultKind::SpillIo { node }
+                | FaultKind::GrantStorm { node } => assert_eq!(node, 3),
+                ref k => panic!("non-local fault: {k:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn disarm_node_silences_engine_local_specs() {
+        let inj = FaultInjector::new(
+            FaultPlan::new(0)
+                .transient_wave(1, 0, 5)
+                .grant_storm(1, 0, 5),
+        );
+        inj.disarm_node(1);
+        assert_eq!(inj.fire(FaultSite::WaveDispatch { node: 1 }), None);
+        assert_eq!(inj.fire(FaultSite::GrantRequest { node: 1 }), None);
     }
 
     #[test]

@@ -26,6 +26,13 @@
 //!   device ledger with its own morsel counters and trace sink
 //!   ([`sirius_core::SiriusEngine::query_view`]), so reports, spans, and
 //!   ledger deltas never bleed between interleaved queries.
+//! * **Resilience** — requests may carry deadlines on the simulated
+//!   server clock (overdue queries cancel mid-flight through
+//!   [`sirius_core::QueryRun::abort`]); retryable wave failures go back
+//!   through admission with exponential backoff; and when broker
+//!   pressure crosses [`ServeConfig::shed_pressure`], the server sheds
+//!   low-priority waiting queries and narrows new admissions. Every
+//!   request ends in exactly one typed [`QueryDisposition`].
 //! * **Workloads and reports** ([`workload`], [`report`]) — seeded
 //!   open-loop Poisson arrival traces and p50/p99/QPS summaries on the
 //!   simulated clock, fully deterministic for a given seed.
@@ -37,5 +44,8 @@ pub mod server;
 pub mod workload;
 
 pub use report::{percentile, ConcurrencyReport};
-pub use server::{QueryRequest, ServeConfig, ServeOutcome, ServedQuery, SiriusServer};
+pub use server::{
+    DispositionCounts, QueryDisposition, QueryRequest, ServeConfig, ServeOutcome, ServedQuery,
+    SiriusServer,
+};
 pub use workload::{poisson_trace, ArrivalSpec, QueryArrival, TenantSpec};

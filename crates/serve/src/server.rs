@@ -20,6 +20,30 @@
 //!    *longest* participant, exactly how the stream sync folds lanes
 //!    within one query.
 //!
+//! # Resilience
+//!
+//! Between waves the server also enforces the resilience policy:
+//!
+//! * **Deadlines** — a request may carry an absolute deadline on the
+//!   server clock. Overdue queries are cancelled before their next wave
+//!   (a zero deadline cancels before the first), the run unwinds through
+//!   [`QueryRun::abort`], and every grant and spill temp it held is
+//!   released.
+//! * **Retry with backoff** — a wave that fails with a *retryable* error
+//!   ([`SiriusError::is_retryable`]: transient device faults, spill I/O,
+//!   exchange timeouts) sends the query back through the admission queue
+//!   after an exponential backoff on the server clock, up to
+//!   [`ServeConfig::max_retries`] times. A retry that could not start
+//!   before the query's deadline is not attempted.
+//! * **Load shedding** — when broker pressure (the denied-grant rate
+//!   over the last wave, or processing-pool occupancy) crosses
+//!   [`ServeConfig::shed_pressure`], the server sheds low-priority
+//!   waiting queries with a typed [`QueryDisposition::Shed`] rejection
+//!   and halves the lane slice for new admissions until pressure drops.
+//!
+//! Every request is accounted exactly once across
+//! completed/failed/cancelled/shed/rejected ([`ServeOutcome::dispositions`]).
+//!
 //! Every scheduling decision orders by `(priority desc, weighted-fair
 //! share, arrival/admission, id)` — total and deterministic, so a given
 //! arrival trace always produces the same admission order, the same wave
@@ -35,7 +59,7 @@ use sirius_trace::TraceEvent;
 use std::collections::VecDeque;
 use std::time::Duration;
 
-/// Admission-control and fairness knobs.
+/// Admission-control, fairness, and resilience knobs.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Queries executing at once (admission cap); clamped to ≥ 1.
@@ -45,6 +69,18 @@ pub struct ServeConfig {
     /// Per-tenant weighted-round-robin weights, indexed by tenant id.
     /// Missing entries (and zeros) count as weight 1.
     pub tenant_weights: Vec<u32>,
+    /// Retries granted to a query whose wave failed with a retryable
+    /// error before it is reported failed.
+    pub max_retries: u32,
+    /// Base backoff before a retry re-enters admission; doubles with
+    /// each attempt (`backoff · 2^retries` on the server clock).
+    pub retry_backoff: Duration,
+    /// Broker-pressure threshold in `[0, 1]` above which the server
+    /// sheds waiting queries and halves the lane slice of new
+    /// admissions. Pressure is the larger of the denied-grant rate over
+    /// the last wave and processing-pool occupancy. `f64::INFINITY`
+    /// disables shedding.
+    pub shed_pressure: f64,
 }
 
 impl Default for ServeConfig {
@@ -53,6 +89,9 @@ impl Default for ServeConfig {
             max_in_flight: 4,
             queue_depth: 64,
             tenant_weights: Vec::new(),
+            max_retries: 2,
+            retry_backoff: Duration::from_micros(100),
+            shed_pressure: 0.85,
         }
     }
 }
@@ -71,6 +110,11 @@ pub struct QueryRequest {
     pub priority: u8,
     /// Simulated arrival instant.
     pub arrival: Duration,
+    /// Absolute deadline on the simulated server clock. Once it passes,
+    /// the query is cancelled before its next wave (or before first
+    /// admission); `Duration::ZERO` cancels before any work happens.
+    /// `None` = no deadline.
+    pub deadline: Option<Duration>,
     /// The logical plan to execute.
     pub plan: Rel,
     /// Per-query working-set budget: grants above it are denied, steering
@@ -82,13 +126,14 @@ pub struct QueryRequest {
 }
 
 impl QueryRequest {
-    /// A default-priority, uncapped, untraced request.
+    /// A default-priority, uncapped, untraced request with no deadline.
     pub fn new(id: u64, tenant: usize, arrival: Duration, plan: Rel) -> Self {
         QueryRequest {
             id,
             tenant,
             priority: 0,
             arrival,
+            deadline: None,
             plan,
             memory_budget: None,
             trace: false,
@@ -96,7 +141,58 @@ impl QueryRequest {
     }
 }
 
-/// A completed (or failed) query with its isolated telemetry.
+/// How a request left the server. Every request gets exactly one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryDisposition {
+    /// Ran to completion; its result table is in [`ServedQuery::result`].
+    Completed,
+    /// Ended with a non-retryable error (or exhausted its retries).
+    Failed,
+    /// Cancelled by its deadline — before admission or mid-flight.
+    Cancelled,
+    /// Dropped from the wait queue by load shedding under broker pressure.
+    Shed,
+    /// Bounced at arrival by queue backpressure.
+    Rejected,
+}
+
+impl QueryDisposition {
+    /// Stable lowercase label (metric label values, report rows).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            QueryDisposition::Completed => "completed",
+            QueryDisposition::Failed => "failed",
+            QueryDisposition::Cancelled => "cancelled",
+            QueryDisposition::Shed => "shed",
+            QueryDisposition::Rejected => "rejected",
+        }
+    }
+}
+
+/// Per-disposition request accounting; sums to the number of requests.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DispositionCounts {
+    /// Queries that completed with a result.
+    pub completed: usize,
+    /// Queries that ended in error.
+    pub failed: usize,
+    /// Queries cancelled by their deadline.
+    pub cancelled: usize,
+    /// Queries shed under broker pressure.
+    pub shed: usize,
+    /// Arrivals rejected by queue backpressure.
+    pub rejected: usize,
+}
+
+impl DispositionCounts {
+    /// Total requests accounted.
+    pub fn total(&self) -> usize {
+        self.completed + self.failed + self.cancelled + self.shed + self.rejected
+    }
+}
+
+/// A finished query (completed, failed, or cancelled) with its isolated
+/// telemetry.
 #[derive(Debug)]
 pub struct ServedQuery {
     /// The request's id.
@@ -105,6 +201,10 @@ pub struct ServedQuery {
     pub tenant: usize,
     /// The request's priority.
     pub priority: u8,
+    /// How the query ended.
+    pub disposition: QueryDisposition,
+    /// Retries consumed before this terminal state.
+    pub retries: u32,
     /// The result table, or the error that ended the query.
     pub result: Result<Table, SiriusError>,
     /// Per-query execution report (this query's ledger, morsel counters,
@@ -112,7 +212,7 @@ pub struct ServedQuery {
     pub report: QueryReport,
     /// Simulated arrival instant (from the request).
     pub arrival: Duration,
-    /// Simulated instant the query left the wait queue.
+    /// Simulated instant the query last left the wait queue.
     pub admitted: Duration,
     /// Simulated completion instant.
     pub completed: Duration,
@@ -128,11 +228,15 @@ pub struct ServedQuery {
 /// Everything a [`SiriusServer::replay`] run produced.
 #[derive(Debug, Default)]
 pub struct ServeOutcome {
-    /// Completed queries, in completion order.
+    /// Finished queries (completed, failed, and cancelled), in
+    /// completion order.
     pub queries: Vec<ServedQuery>,
     /// Ids rejected at arrival because the wait queue was full.
     pub rejected: Vec<u64>,
-    /// Ids in the order they were admitted into execution.
+    /// Ids shed from the wait queue under broker pressure.
+    pub shed: Vec<u64>,
+    /// Ids in the order they were admitted into execution; a retried
+    /// query appears once per admission.
     pub admission_order: Vec<u64>,
     /// Server waves run.
     pub waves: u64,
@@ -150,17 +254,48 @@ pub struct ServeOutcome {
     pub breakdown: TimeBreakdown,
 }
 
+impl ServeOutcome {
+    /// Account every request exactly once across the five dispositions.
+    pub fn dispositions(&self) -> DispositionCounts {
+        let mut c = DispositionCounts {
+            shed: self.shed.len(),
+            rejected: self.rejected.len(),
+            ..Default::default()
+        };
+        for q in &self.queries {
+            match q.disposition {
+                QueryDisposition::Completed => c.completed += 1,
+                QueryDisposition::Failed => c.failed += 1,
+                QueryDisposition::Cancelled => c.cancelled += 1,
+                // Shed/rejected requests never enter `queries`.
+                QueryDisposition::Shed | QueryDisposition::Rejected => {}
+            }
+        }
+        c
+    }
+}
+
+/// A queued request: fresh arrivals start with zero retries and are
+/// immediately eligible; retried queries wait out their backoff.
+struct Waiting {
+    req: QueryRequest,
+    retries: u32,
+    /// Earliest server instant this entry may be admitted (backoff gate).
+    not_before: Duration,
+}
+
 /// One in-flight query: its engine view, stepped run, and accumulating
 /// per-query attribution state.
 struct Active {
-    id: u64,
-    tenant: usize,
-    priority: u8,
-    arrival: Duration,
+    req: QueryRequest,
+    retries: u32,
     admitted: Duration,
     engine: SiriusEngine,
     run: QueryRun,
     error: Option<SiriusError>,
+    /// Widest lane slice this admission may use (halved when admitted
+    /// under pressure).
+    lane_limit: usize,
     /// Ledger snapshot at the end of this query's previous wave; the next
     /// wave's delta starts here so admission-time charges (pipeline
     /// dispatch overhead) are not lost between waves.
@@ -190,8 +325,8 @@ impl SiriusServer {
     }
 
     /// Publish serving pressure into `metrics`: queue-depth / in-flight
-    /// gauges, admission counters, and the shared grant broker's
-    /// granted/denied totals.
+    /// gauges, admission + resilience counters, broker pressure, and the
+    /// shared grant broker's granted/denied totals.
     pub fn with_metrics(self, metrics: MetricsRegistry) -> Self {
         metrics.describe("sirius_serve_queue_depth", "Queries waiting for admission");
         metrics.describe("sirius_serve_in_flight", "Queries admitted and executing");
@@ -208,6 +343,34 @@ impl SiriusServer {
             "Arrivals rejected by queue backpressure",
         );
         metrics.describe("sirius_serve_completed_total", "Queries completed");
+        metrics.describe(
+            "sirius_serve_failed_total",
+            "Queries that ended in a non-retryable error",
+        );
+        metrics.describe(
+            "sirius_serve_cancelled_total",
+            "Queries cancelled by their deadline",
+        );
+        metrics.describe(
+            "sirius_serve_shed_total",
+            "Waiting queries shed under broker pressure",
+        );
+        metrics.describe(
+            "sirius_serve_retries_total",
+            "Wave failures sent back through admission with backoff",
+        );
+        metrics.describe(
+            "sirius_serve_disposition_total",
+            "Terminal request dispositions, labeled by kind",
+        );
+        metrics.describe(
+            "sirius_serve_backoff_depth",
+            "Queued retries still waiting out their backoff",
+        );
+        metrics.describe(
+            "sirius_broker_pressure",
+            "max(denied-grant rate last wave, processing-pool occupancy)",
+        );
         metrics.describe(
             "sirius_grants_granted_total",
             "Working-set grants satisfied by the shared broker",
@@ -244,61 +407,184 @@ impl SiriusServer {
 
         let mut out = ServeOutcome::default();
         let mut now = Duration::ZERO;
-        let mut queue: VecDeque<QueryRequest> = VecDeque::new();
+        let mut queue: VecDeque<Waiting> = VecDeque::new();
         let mut inflight: Vec<Active> = Vec::new();
         // Waves served per tenant — the weighted-round-robin state.
         let mut served: Vec<u64> = Vec::new();
         let broker = self.base.buffer_manager().grant_broker().clone();
         let mut published = (broker.granted(), broker.denied());
+        // Broker counters at the previous wave boundary — the window the
+        // denied-grant rate (shedding pressure) is measured over.
+        let mut window = published;
 
         loop {
             // 1. Enqueue arrivals due by `now`; reject past the depth cap.
             while pending.front().is_some_and(|r| r.arrival <= now) {
                 let r = pending.pop_front().expect("checked front");
                 if queue.len() < queue_depth {
-                    queue.push_back(r);
+                    queue.push_back(Waiting {
+                        not_before: r.arrival,
+                        retries: 0,
+                        req: r,
+                    });
                 } else {
                     self.counter_inc("sirius_serve_rejected_total");
+                    self.disposition_inc(QueryDisposition::Rejected);
                     out.rejected.push(r.id);
                 }
             }
             out.max_queue_depth = out.max_queue_depth.max(queue.len());
 
-            // 2. Admit while slots are free, best-first per the policy.
-            while inflight.len() < max_in_flight && !queue.is_empty() {
-                let pick = self.pick_admission(&queue, &served);
-                let r = queue.remove(pick).expect("picked index in range");
-                if served.len() <= r.tenant {
-                    served.resize(r.tenant + 1, 0);
+            // 2. Cancel overdue work before it costs anything more: a
+            //    waiting query whose deadline passed never admits (a zero
+            //    deadline cancels before its first wave); an in-flight
+            //    one aborts its run, releasing every held result — and
+            //    with them its grants — before the next wave dispatches.
+            let mut i = 0;
+            while i < queue.len() {
+                if queue[i].req.deadline.is_some_and(|d| d <= now) {
+                    let w = queue.remove(i).expect("index in range");
+                    self.counter_inc("sirius_serve_cancelled_total");
+                    self.disposition_inc(QueryDisposition::Cancelled);
+                    out.queries.push(self.finish_unadmitted(
+                        w,
+                        now,
+                        QueryDisposition::Cancelled,
+                        SiriusError::Cancelled("deadline passed before admission".into()),
+                    ));
+                } else {
+                    i += 1;
                 }
-                out.admission_order.push(r.id);
+            }
+            let mut i = 0;
+            while i < inflight.len() {
+                if inflight[i].req.deadline.is_some_and(|d| d <= now) {
+                    let mut a = inflight.remove(i);
+                    a.run.abort();
+                    a.error = Some(SiriusError::Cancelled(format!(
+                        "deadline {:?} passed at {now:?} on the server clock",
+                        a.req.deadline.expect("checked deadline"),
+                    )));
+                    self.counter_inc("sirius_serve_cancelled_total");
+                    self.disposition_inc(QueryDisposition::Cancelled);
+                    out.queries
+                        .push(self.finish(a, now, QueryDisposition::Cancelled));
+                } else {
+                    i += 1;
+                }
+            }
+
+            // 3. Measure broker pressure over the last wave and shed if
+            //    it crossed the threshold: waiting queries below the best
+            //    waiting priority are dropped (the later-arriving half
+            //    when the queue is uniform), and admissions made under
+            //    pressure run on half their lane slice.
+            let (g, d) = (broker.granted(), broker.denied());
+            let (dg, dd) = (g - window.0, d - window.1);
+            window = (g, d);
+            let denial_rate = if dg + dd > 0 {
+                dd as f64 / (dg + dd) as f64
+            } else {
+                0.0
+            };
+            let occupancy = if broker.capacity() > 0 {
+                broker.pool().used() as f64 / broker.capacity() as f64
+            } else {
+                0.0
+            };
+            let pressure = denial_rate.max(occupancy);
+            self.gauge_set("sirius_broker_pressure", pressure);
+            let degraded = pressure > self.config.shed_pressure;
+            if degraded && !queue.is_empty() {
+                let top = queue
+                    .iter()
+                    .map(|w| w.req.priority)
+                    .max()
+                    .expect("non-empty queue");
+                let mut victims: Vec<usize> = if queue.iter().any(|w| w.req.priority < top) {
+                    (0..queue.len())
+                        .filter(|&i| queue[i].req.priority < top)
+                        .collect()
+                } else {
+                    let mut idx: Vec<usize> = (0..queue.len()).collect();
+                    idx.sort_by_key(|&i| (queue[i].req.arrival, queue[i].req.id));
+                    idx.split_off(queue.len().div_ceil(2))
+                };
+                victims.sort_unstable();
+                for &i in &victims {
+                    self.counter_inc("sirius_serve_shed_total");
+                    self.disposition_inc(QueryDisposition::Shed);
+                    out.shed.push(queue[i].req.id);
+                }
+                for &i in victims.iter().rev() {
+                    queue.remove(i);
+                }
+            }
+
+            // 4. Admit eligible entries (backoffs still pending are not)
+            //    while slots are free, best-first per the policy.
+            while inflight.len() < max_in_flight {
+                let Some(pick) = self.pick_admission(&queue, &served, now) else {
+                    break;
+                };
+                let w = queue.remove(pick).expect("picked index in range");
+                if served.len() <= w.req.tenant {
+                    served.resize(w.req.tenant + 1, 0);
+                }
+                out.admission_order.push(w.req.id);
                 self.counter_inc("sirius_serve_admitted_total");
-                match self.admit(r, now) {
+                let lane_limit = if degraded { (slots / 2).max(1) } else { slots };
+                match self.admit(w, now, lane_limit) {
                     Ok(active) => inflight.push(active),
                     // `begin` failed (validation, unsupported feature,
-                    // injected fault): the query completes immediately
-                    // with its error and never occupies a slot.
-                    Err(done) => {
-                        self.counter_inc("sirius_serve_completed_total");
-                        out.queries.push(*done);
+                    // injected fault): retry if the error allows it,
+                    // otherwise the query completes immediately with its
+                    // error and never occupies a slot.
+                    Err((w, e)) => {
+                        if self.should_retry(&e, w.retries, w.req.deadline, now) {
+                            self.counter_inc("sirius_serve_retries_total");
+                            queue.push_back(Waiting {
+                                not_before: self.backoff_until(w.retries, now),
+                                retries: w.retries + 1,
+                                req: w.req,
+                            });
+                        } else {
+                            self.counter_inc("sirius_serve_failed_total");
+                            self.disposition_inc(QueryDisposition::Failed);
+                            out.queries.push(self.finish_unadmitted(
+                                w,
+                                now,
+                                QueryDisposition::Failed,
+                                e,
+                            ));
+                        }
                     }
                 }
             }
             out.peak_in_flight = out.peak_in_flight.max(inflight.len());
-            self.publish_gauges(queue.len(), inflight.len());
+            self.publish_gauges(&queue, inflight.len(), now);
 
-            // 3. Nothing running: jump to the next arrival or finish.
+            // 5. Nothing running: jump to the next arrival or the next
+            //    retry's backoff expiry, or finish.
             if inflight.is_empty() {
-                match pending.front() {
-                    Some(r) => {
-                        now = now.max(r.arrival);
+                let next_arrival = pending.front().map(|r| r.arrival);
+                let next_ready = queue.iter().map(|w| w.not_before).min();
+                match (next_arrival, next_ready) {
+                    (None, None) => break,
+                    (a, r) => {
+                        let target = match (a, r) {
+                            (Some(a), Some(r)) => a.min(r),
+                            (Some(a), None) => a,
+                            (None, Some(r)) => r,
+                            (None, None) => unreachable!("handled above"),
+                        };
+                        now = now.max(target);
                         continue;
                     }
-                    None => break,
                 }
             }
 
-            // 4. Wave selection: up to one query per stream, picked one
+            // 6. Wave selection: up to one query per stream, picked one
             //    at a time so the round-robin counters interleave tenants
             //    *within* a wave too.
             let k = slots.min(inflight.len());
@@ -306,7 +592,7 @@ impl SiriusServer {
             for _ in 0..k {
                 match self.pick_wave(&inflight, &selected, &served) {
                     Some(i) => {
-                        let t = inflight[i].tenant;
+                        let t = inflight[i].req.tenant;
                         if served.len() <= t {
                             served.resize(t + 1, 0);
                         }
@@ -323,16 +609,17 @@ impl SiriusServer {
                 break;
             }
 
-            // 5. Advance each selected query one dependency wave on an
-            //    equal slice of the stream pool, collecting per-query
-            //    ledger deltas.
+            // 7. Advance each selected query one dependency wave on an
+            //    equal slice of the stream pool (narrowed by its
+            //    admission-time lane limit), collecting per-query ledger
+            //    deltas.
             let width = (slots / selected.len()).max(1);
             let mut deltas: Vec<TimeBreakdown> = Vec::with_capacity(selected.len());
             for &i in &selected {
                 let a = &mut inflight[i];
                 let spill_before = a.engine.spill_stats();
                 if a.error.is_none() {
-                    if let Err(e) = a.engine.step(&mut a.run, width) {
+                    if let Err(e) = a.engine.step(&mut a.run, width.min(a.lane_limit)) {
                         a.error = Some(e);
                     }
                 }
@@ -341,7 +628,7 @@ impl SiriusServer {
                 deltas.push(cur.since(&a.last));
                 a.last = cur;
             }
-            // 6. The wave's wall-clock cost is its longest participant:
+            // 8. The wave's wall-clock cost is its longest participant:
             //    queries overlapped on the device, so the server clock
             //    advances by the overlap fold, not the sum.
             let wave = attribute_overlap(&deltas);
@@ -349,40 +636,105 @@ impl SiriusServer {
             out.breakdown = out.breakdown.merge(&wave);
             out.waves += 1;
 
-            // 7. Retire finished queries in in-flight order.
+            // 9. Retire finished queries in in-flight order; a retryable
+            //    wave failure goes back through admission with backoff
+            //    instead (unless its retry could not start in time).
             let mut i = 0;
             while i < inflight.len() {
-                if inflight[i].error.is_some() || inflight[i].run.is_done() {
-                    let a = inflight.remove(i);
-                    self.counter_inc("sirius_serve_completed_total");
-                    out.queries.push(self.finish(a, now));
-                } else {
+                let done = inflight[i].run.is_done();
+                if inflight[i].error.is_none() && !done {
                     i += 1;
+                    continue;
+                }
+                let mut a = inflight.remove(i);
+                match a.error.take() {
+                    Some(e) => {
+                        if self.should_retry(&e, a.retries, a.req.deadline, now) {
+                            a.run.abort();
+                            self.counter_inc("sirius_serve_retries_total");
+                            queue.push_back(Waiting {
+                                not_before: self.backoff_until(a.retries, now),
+                                retries: a.retries + 1,
+                                req: a.req,
+                            });
+                        } else {
+                            a.run.abort();
+                            a.error = Some(e);
+                            self.counter_inc("sirius_serve_failed_total");
+                            self.disposition_inc(QueryDisposition::Failed);
+                            out.queries
+                                .push(self.finish(a, now, QueryDisposition::Failed));
+                        }
+                    }
+                    None => {
+                        self.counter_inc("sirius_serve_completed_total");
+                        self.disposition_inc(QueryDisposition::Completed);
+                        out.queries
+                            .push(self.finish(a, now, QueryDisposition::Completed));
+                    }
                 }
             }
             self.publish_broker(&broker, &mut published);
         }
 
         out.makespan = now;
-        self.publish_gauges(queue.len(), inflight.len());
+        self.publish_gauges(&queue, inflight.len(), now);
         self.publish_broker(&broker, &mut published);
         out
     }
 
+    /// Whether a failed wave (or failed begin) earns another trip
+    /// through admission: the error must be transient, retries must
+    /// remain, and the backed-off restart must land before the deadline.
+    fn should_retry(
+        &self,
+        e: &SiriusError,
+        retries: u32,
+        deadline: Option<Duration>,
+        now: Duration,
+    ) -> bool {
+        e.is_retryable()
+            && retries < self.config.max_retries
+            && deadline.is_none_or(|d| self.backoff_until(retries, now) < d)
+    }
+
+    /// Exponential backoff: the instant attempt `retries + 1` becomes
+    /// eligible for re-admission.
+    fn backoff_until(&self, retries: u32, now: Duration) -> Duration {
+        now + self.config.retry_backoff * (1u32 << retries.min(16))
+    }
+
     /// Admission policy over the wait queue: priority desc, then the
     /// tenant with the smallest weighted share of served waves, then
-    /// arrival, then id. Returns the index to admit.
-    fn pick_admission(&self, queue: &VecDeque<QueryRequest>, served: &[u64]) -> usize {
-        let mut best = 0usize;
-        for i in 1..queue.len() {
-            let (a, b) = (&queue[i], &queue[best]);
-            if self.orders_before(
-                (a.priority, a.tenant, a.arrival, a.id),
-                (b.priority, b.tenant, b.arrival, b.id),
-                served,
-            ) {
-                best = i;
+    /// arrival, then id. Entries still backing off are ineligible.
+    /// Returns the index to admit, if any entry is eligible.
+    fn pick_admission(
+        &self,
+        queue: &VecDeque<Waiting>,
+        served: &[u64],
+        now: Duration,
+    ) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for i in 0..queue.len() {
+            if queue[i].not_before > now {
+                continue;
             }
+            let a = &queue[i].req;
+            best = Some(match best {
+                None => i,
+                Some(j) => {
+                    let b = &queue[j].req;
+                    if self.orders_before(
+                        (a.priority, a.tenant, a.arrival, a.id),
+                        (b.priority, b.tenant, b.arrival, b.id),
+                        served,
+                    ) {
+                        i
+                    } else {
+                        j
+                    }
+                }
+            });
         }
         best
     }
@@ -400,8 +752,8 @@ impl SiriusServer {
                 Some(j) => {
                     let b = &inflight[j];
                     if self.orders_before(
-                        (a.priority, a.tenant, a.admitted, a.id),
-                        (b.priority, b.tenant, b.admitted, b.id),
+                        (a.req.priority, a.req.tenant, a.admitted, a.req.id),
+                        (b.req.priority, b.req.tenant, b.admitted, b.req.id),
                         served,
                     ) {
                         i
@@ -453,64 +805,91 @@ impl SiriusServer {
     }
 
     /// Build the per-query engine view and start the run. A failed
-    /// `begin` returns the completed-with-error record instead.
-    fn admit(&self, r: QueryRequest, now: Duration) -> Result<Active, Box<ServedQuery>> {
+    /// `begin` hands the entry back with its error so the caller can
+    /// decide between retry and failure. (The error arm carries the
+    /// whole `Waiting` entry by design — it is immediately re-queued or
+    /// retired, never stored.)
+    #[allow(clippy::result_large_err)]
+    fn admit(
+        &self,
+        w: Waiting,
+        now: Duration,
+        lane_limit: usize,
+    ) -> Result<Active, (Waiting, SiriusError)> {
         let mut view = self.base.query_view();
-        if r.trace {
+        if w.req.trace {
             view = view.with_trace(TraceConfig::On);
         }
-        if let Some(budget) = r.memory_budget {
+        if let Some(budget) = w.req.memory_budget {
             view.buffer_manager().set_grant_cap(budget);
         }
-        match view.begin(&r.plan) {
+        match view.begin(&w.req.plan) {
             Ok(run) => Ok(Active {
-                id: r.id,
-                tenant: r.tenant,
-                priority: r.priority,
-                arrival: r.arrival,
+                retries: w.retries,
                 admitted: now,
                 engine: view,
                 run,
                 error: None,
+                lane_limit,
                 last: TimeBreakdown::default(),
                 spill: SpillStats::default(),
+                req: w.req,
             }),
-            Err(e) => Err(Box::new(ServedQuery {
-                id: r.id,
-                tenant: r.tenant,
-                priority: r.priority,
-                result: Err(e),
-                report: QueryReport {
-                    engine: "sirius".into(),
-                    rows: 0,
-                    elapsed: Duration::ZERO,
-                    breakdown: TimeBreakdown::default(),
-                    pipelines: 0,
-                    morsels: 0,
-                    tasks: 0,
-                    workers: self.base.workers(),
-                    worker_utilization: 0.0,
-                    spilled_pinned_bytes: 0,
-                    spilled_disk_bytes: 0,
-                    spill_partitions: 0,
-                    spill_depth: 0,
-                    pool_high_watermark: 0,
-                    pool_fragmentation: 0.0,
-                    fallback_reason: None,
-                    recovery: Default::default(),
-                },
-                arrival: r.arrival,
-                admitted: now,
-                completed: now,
-                latency: now.saturating_sub(r.arrival),
-                queue_wait: now.saturating_sub(r.arrival),
-                events: Vec::new(),
-            })),
+            Err(e) => Err((w, e)),
         }
     }
 
-    /// Assemble the completed query's record from its isolated telemetry.
-    fn finish(&self, a: Active, now: Duration) -> ServedQuery {
+    /// An all-zero report for queries that never ran a wave.
+    fn empty_report(&self) -> QueryReport {
+        QueryReport {
+            engine: "sirius".into(),
+            rows: 0,
+            elapsed: Duration::ZERO,
+            breakdown: TimeBreakdown::default(),
+            pipelines: 0,
+            morsels: 0,
+            tasks: 0,
+            workers: self.base.workers(),
+            worker_utilization: 0.0,
+            spilled_pinned_bytes: 0,
+            spilled_disk_bytes: 0,
+            spill_partitions: 0,
+            spill_depth: 0,
+            pool_high_watermark: 0,
+            pool_fragmentation: 0.0,
+            fallback_reason: None,
+            recovery: Default::default(),
+        }
+    }
+
+    /// Terminal record for a query that never held a slot (deadline
+    /// cancellation in the queue, or a non-retryable `begin` failure).
+    fn finish_unadmitted(
+        &self,
+        w: Waiting,
+        now: Duration,
+        disposition: QueryDisposition,
+        error: SiriusError,
+    ) -> ServedQuery {
+        ServedQuery {
+            id: w.req.id,
+            tenant: w.req.tenant,
+            priority: w.req.priority,
+            disposition,
+            retries: w.retries,
+            result: Err(error),
+            report: self.empty_report(),
+            arrival: w.req.arrival,
+            admitted: now,
+            completed: now,
+            latency: now.saturating_sub(w.req.arrival),
+            queue_wait: now.saturating_sub(w.req.arrival),
+            events: Vec::new(),
+        }
+    }
+
+    /// Assemble the finished query's record from its isolated telemetry.
+    fn finish(&self, a: Active, now: Duration, disposition: QueryDisposition) -> ServedQuery {
         let breakdown = a.engine.device().breakdown();
         let stats = a.engine.morsel_stats();
         let pool = a.engine.buffer_manager().regions().processing().stats();
@@ -543,16 +922,18 @@ impl SiriusServer {
             recovery: Default::default(),
         };
         ServedQuery {
-            id: a.id,
-            tenant: a.tenant,
-            priority: a.priority,
+            id: a.req.id,
+            tenant: a.req.tenant,
+            priority: a.req.priority,
+            disposition,
+            retries: a.retries,
             result,
             report,
-            arrival: a.arrival,
+            arrival: a.req.arrival,
             admitted: a.admitted,
             completed: now,
-            latency: now.saturating_sub(a.arrival),
-            queue_wait: a.admitted.saturating_sub(a.arrival),
+            latency: now.saturating_sub(a.req.arrival),
+            queue_wait: a.admitted.saturating_sub(a.req.arrival),
             events: a.engine.trace().events(),
         }
     }
@@ -563,11 +944,28 @@ impl SiriusServer {
         }
     }
 
-    fn publish_gauges(&self, queue_len: usize, inflight_len: usize) {
+    fn disposition_inc(&self, d: QueryDisposition) {
         if let Some(m) = &self.metrics {
-            m.gauge_set("sirius_serve_queue_depth", &[], queue_len as f64);
+            m.counter_inc(
+                "sirius_serve_disposition_total",
+                &[("disposition", d.as_str())],
+            );
+        }
+    }
+
+    fn gauge_set(&self, name: &str, v: f64) {
+        if let Some(m) = &self.metrics {
+            m.gauge_set(name, &[], v);
+        }
+    }
+
+    fn publish_gauges(&self, queue: &VecDeque<Waiting>, inflight_len: usize, now: Duration) {
+        if let Some(m) = &self.metrics {
+            m.gauge_set("sirius_serve_queue_depth", &[], queue.len() as f64);
             m.gauge_set("sirius_serve_in_flight", &[], inflight_len as f64);
-            m.gauge_max("sirius_serve_queue_depth_peak", &[], queue_len as f64);
+            m.gauge_max("sirius_serve_queue_depth_peak", &[], queue.len() as f64);
+            let backing_off = queue.iter().filter(|w| w.not_before > now).count();
+            m.gauge_set("sirius_serve_backoff_depth", &[], backing_off as f64);
         }
     }
 
@@ -607,7 +1005,7 @@ fn accumulate_spill(acc: &mut SpillStats, delta: &SpillStats) {
 mod tests {
     use super::*;
     use sirius_columnar::{Array, DataType, Field, Schema};
-    use sirius_hw::{catalog, Link};
+    use sirius_hw::{catalog, FaultInjector, FaultPlan, Link};
     use sirius_plan::builder::PlanBuilder;
     use sirius_plan::expr::{self, AggExpr, SortExpr};
     use sirius_plan::AggFunc;
@@ -688,8 +1086,13 @@ mod tests {
             };
             let expect = reference.execute(&plan).unwrap();
             assert_eq!(q.result.as_ref().unwrap(), &expect, "query {}", q.id);
+            assert_eq!(q.disposition, QueryDisposition::Completed);
+            assert_eq!(q.retries, 0);
             assert!(q.report.elapsed > Duration::ZERO);
         }
+        let counts = outcome.dispositions();
+        assert_eq!(counts.completed, 6);
+        assert_eq!(counts.total(), 6);
     }
 
     #[test]
@@ -700,7 +1103,7 @@ mod tests {
             ServeConfig {
                 max_in_flight: 1,
                 queue_depth: 2,
-                tenant_weights: Vec::new(),
+                ..Default::default()
             },
         )
         .with_metrics(metrics.clone());
@@ -714,12 +1117,27 @@ mod tests {
         assert_eq!(outcome.peak_in_flight, 1);
         assert!(outcome.max_queue_depth <= 2);
         assert_eq!(outcome.deadlocks, 0);
+        assert_eq!(outcome.dispositions().total(), 8, "every request accounted");
         assert_eq!(metrics.counter_value("sirius_serve_rejected_total", &[]), 6);
         assert_eq!(
             metrics.counter_value("sirius_serve_completed_total", &[]),
             2
         );
         assert_eq!(metrics.counter_value("sirius_serve_admitted_total", &[]), 2);
+        assert_eq!(
+            metrics.counter_value(
+                "sirius_serve_disposition_total",
+                &[("disposition", "rejected")]
+            ),
+            6
+        );
+        assert_eq!(
+            metrics.counter_value(
+                "sirius_serve_disposition_total",
+                &[("disposition", "completed")]
+            ),
+            2
+        );
         assert_eq!(
             metrics.gauge_value("sirius_serve_queue_depth", &[]),
             Some(0.0)
@@ -765,6 +1183,7 @@ mod tests {
                 max_in_flight: 16,
                 queue_depth: 32,
                 tenant_weights: vec![3, 1],
+                ..Default::default()
             },
         );
         let mut reqs = Vec::new();
@@ -895,5 +1314,262 @@ mod tests {
             "uncapped query does not: {:?}",
             free.report
         );
+    }
+
+    // -- resilience --------------------------------------------------------
+
+    #[test]
+    fn zero_deadline_cancels_before_first_wave() {
+        let metrics = MetricsRegistry::new();
+        let server =
+            SiriusServer::new(base(4, 64), ServeConfig::default()).with_metrics(metrics.clone());
+        let mut doomed = QueryRequest::new(0, 0, Duration::ZERO, agg_plan());
+        doomed.deadline = Some(Duration::ZERO);
+        let fine = QueryRequest::new(1, 0, Duration::ZERO, agg_plan());
+        let outcome = server.replay(vec![doomed, fine]);
+        let cancelled = outcome.queries.iter().find(|q| q.id == 0).unwrap();
+        assert_eq!(cancelled.disposition, QueryDisposition::Cancelled);
+        assert!(matches!(cancelled.result, Err(SiriusError::Cancelled(_))));
+        assert_eq!(cancelled.report.morsels, 0, "no wave ever ran");
+        assert!(
+            !outcome.admission_order.contains(&0),
+            "cancelled before admission"
+        );
+        let ok = outcome.queries.iter().find(|q| q.id == 1).unwrap();
+        assert_eq!(ok.disposition, QueryDisposition::Completed);
+        let counts = outcome.dispositions();
+        assert_eq!((counts.completed, counts.cancelled), (1, 1));
+        assert_eq!(counts.total(), 2);
+        assert_eq!(
+            metrics.counter_value("sirius_serve_cancelled_total", &[]),
+            1
+        );
+        assert_eq!(
+            server
+                .engine()
+                .buffer_manager()
+                .grant_broker()
+                .outstanding(),
+            0
+        );
+    }
+
+    #[test]
+    fn deadline_mid_flight_aborts_and_releases_grants() {
+        // A deadline far too tight for the grouped sort-aggregate cancels
+        // it after its first wave; the untimed twin completes exactly.
+        let e = base(2, 50_000);
+        let server = SiriusServer::new(e, ServeConfig::default());
+        let plan = PlanBuilder::scan(
+            "t",
+            Schema::new(vec![
+                Field::new("k", DataType::Int64),
+                Field::new("v", DataType::Float64),
+            ]),
+        )
+        .aggregate(
+            vec![expr::col(0)],
+            vec![AggExpr {
+                func: AggFunc::Sum,
+                input: Some(expr::col(1)),
+                name: "s".into(),
+            }],
+        )
+        .sort(vec![SortExpr {
+            expr: expr::col(0),
+            ascending: true,
+        }])
+        .build();
+        let mut timed = QueryRequest::new(0, 0, Duration::ZERO, plan.clone());
+        timed.deadline = Some(Duration::from_nanos(1));
+        let free = QueryRequest::new(1, 1, Duration::ZERO, plan);
+        let outcome = server.replay(vec![timed, free]);
+        let timed = outcome.queries.iter().find(|q| q.id == 0).unwrap();
+        assert_eq!(timed.disposition, QueryDisposition::Cancelled);
+        assert!(timed.report.morsels > 0, "it ran at least one wave");
+        let free = outcome.queries.iter().find(|q| q.id == 1).unwrap();
+        assert_eq!(free.disposition, QueryDisposition::Completed);
+        assert_eq!(
+            server
+                .engine()
+                .buffer_manager()
+                .grant_broker()
+                .outstanding(),
+            0,
+            "aborted run released every grant"
+        );
+    }
+
+    #[test]
+    fn retryable_wave_fault_retries_and_recovers() {
+        let metrics = MetricsRegistry::new();
+        let e = base(4, 64).with_fault(
+            FaultInjector::new(FaultPlan::new(0).transient_wave(0, 0, 1)),
+            0,
+        );
+        let server = SiriusServer::new(e, ServeConfig::default()).with_metrics(metrics.clone());
+        let outcome = server.replay(vec![QueryRequest::new(0, 0, Duration::ZERO, agg_plan())]);
+        assert_eq!(outcome.queries.len(), 1);
+        let q = &outcome.queries[0];
+        assert_eq!(q.disposition, QueryDisposition::Completed, "{:?}", q.result);
+        assert_eq!(q.retries, 1, "one transient fault, one retry");
+        let expect = base(4, 64).execute(&agg_plan()).unwrap();
+        assert_eq!(q.result.as_ref().unwrap(), &expect);
+        assert_eq!(metrics.counter_value("sirius_serve_retries_total", &[]), 1);
+        assert_eq!(
+            outcome.admission_order,
+            vec![0, 0],
+            "re-admitted through the queue"
+        );
+        assert!(
+            q.queue_wait >= server.config().retry_backoff,
+            "backoff shows up as queue wait"
+        );
+    }
+
+    #[test]
+    fn retries_exhaust_into_failed_disposition() {
+        let metrics = MetricsRegistry::new();
+        // More transient faults than max_retries + 1 attempts can absorb.
+        let e = base(4, 64).with_fault(
+            FaultInjector::new(FaultPlan::new(0).transient_wave(0, 0, 8)),
+            0,
+        );
+        let server = SiriusServer::new(
+            e,
+            ServeConfig {
+                max_retries: 2,
+                ..Default::default()
+            },
+        )
+        .with_metrics(metrics.clone());
+        let outcome = server.replay(vec![QueryRequest::new(0, 0, Duration::ZERO, agg_plan())]);
+        let q = &outcome.queries[0];
+        assert_eq!(q.disposition, QueryDisposition::Failed);
+        assert_eq!(q.retries, 2, "both retries consumed");
+        assert!(matches!(q.result, Err(SiriusError::TransientDevice(_))));
+        assert_eq!(metrics.counter_value("sirius_serve_retries_total", &[]), 2);
+        assert_eq!(metrics.counter_value("sirius_serve_failed_total", &[]), 1);
+        assert_eq!(outcome.dispositions().failed, 1);
+        assert_eq!(
+            server
+                .engine()
+                .buffer_manager()
+                .grant_broker()
+                .outstanding(),
+            0
+        );
+    }
+
+    #[test]
+    fn retry_past_deadline_is_not_attempted() {
+        // The fault fires on the first wave; the backed-off retry would
+        // start after the deadline, so the query fails with its original
+        // transient error instead of retrying (and is never cancelled).
+        let e = base(4, 64).with_fault(
+            FaultInjector::new(FaultPlan::new(0).transient_wave(0, 0, 1)),
+            0,
+        );
+        let server = SiriusServer::new(
+            e,
+            ServeConfig {
+                retry_backoff: Duration::from_secs(1),
+                ..Default::default()
+            },
+        );
+        let mut req = QueryRequest::new(0, 0, Duration::ZERO, agg_plan());
+        req.deadline = Some(Duration::from_millis(1));
+        let outcome = server.replay(vec![req]);
+        let q = &outcome.queries[0];
+        assert_eq!(q.disposition, QueryDisposition::Failed);
+        assert_eq!(q.retries, 0, "retry would outlive the deadline");
+        assert!(matches!(q.result, Err(SiriusError::TransientDevice(_))));
+        assert_eq!(outcome.admission_order, vec![0], "admitted exactly once");
+    }
+
+    #[test]
+    fn pressure_sheds_low_priority_waiting_queries() {
+        let metrics = MetricsRegistry::new();
+        // Threshold 0: any denial during a wave counts as pressure. The
+        // budget-capped grouped aggregate admits first (priority 6) and
+        // its denied grants shed the waiting low-priority crowd while
+        // the priority-5 VIP stays queued.
+        let e = base(1, 50_000);
+        let server = SiriusServer::new(
+            e,
+            ServeConfig {
+                max_in_flight: 1,
+                shed_pressure: 0.0,
+                ..Default::default()
+            },
+        )
+        .with_metrics(metrics.clone());
+        let group_plan = PlanBuilder::scan(
+            "t",
+            Schema::new(vec![
+                Field::new("k", DataType::Int64),
+                Field::new("v", DataType::Float64),
+            ]),
+        )
+        .aggregate(
+            vec![expr::col(0)],
+            vec![AggExpr {
+                func: AggFunc::Sum,
+                input: Some(expr::col(1)),
+                name: "s".into(),
+            }],
+        )
+        .sort(vec![SortExpr {
+            expr: expr::col(0),
+            ascending: true,
+        }])
+        .build();
+        let mut capped = QueryRequest::new(0, 0, Duration::ZERO, group_plan.clone());
+        capped.memory_budget = Some(64 << 10);
+        capped.priority = 6;
+        let mut reqs = vec![capped];
+        for i in 1..4 {
+            reqs.push(QueryRequest::new(i, 0, Duration::ZERO, scan_plan()));
+        }
+        let mut vip = QueryRequest::new(9, 0, Duration::ZERO, scan_plan());
+        vip.priority = 5;
+        reqs.push(vip);
+        let outcome = server.replay(reqs);
+        assert!(
+            !outcome.shed.is_empty(),
+            "pressure threshold 0 sheds waiting queries"
+        );
+        assert!(
+            !outcome.shed.contains(&9),
+            "the high-priority query is never shed: {:?}",
+            outcome.shed
+        );
+        let vip = outcome.queries.iter().find(|q| q.id == 9).unwrap();
+        assert_eq!(vip.disposition, QueryDisposition::Completed);
+        assert_eq!(outcome.dispositions().total(), 5, "exact accounting");
+        assert_eq!(
+            metrics.counter_value("sirius_serve_shed_total", &[]),
+            outcome.shed.len() as u64
+        );
+        assert!(metrics.gauge_value("sirius_broker_pressure", &[]).is_some());
+    }
+
+    #[test]
+    fn infinite_shed_threshold_disables_shedding() {
+        let e = base(1, 50_000);
+        let server = SiriusServer::new(
+            e,
+            ServeConfig {
+                max_in_flight: 1,
+                shed_pressure: f64::INFINITY,
+                ..Default::default()
+            },
+        );
+        let reqs: Vec<QueryRequest> = (0..5)
+            .map(|i| QueryRequest::new(i, 0, Duration::ZERO, scan_plan()))
+            .collect();
+        let outcome = server.replay(reqs);
+        assert!(outcome.shed.is_empty());
+        assert_eq!(outcome.dispositions().completed, 5);
     }
 }

@@ -42,6 +42,7 @@ fn main() {
             max_in_flight: 2,
             queue_depth: 8,
             tenant_weights: vec![2, 1],
+            ..Default::default()
         },
     )
     .with_metrics(metrics.clone());

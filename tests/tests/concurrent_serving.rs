@@ -11,7 +11,7 @@ use proptest::prelude::*;
 use sirius_columnar::Table;
 use sirius_core::SiriusEngine;
 use sirius_duckdb::DuckDb;
-use sirius_hw::{catalog as hw, Link, TimeBreakdown};
+use sirius_hw::{catalog as hw, FaultInjector, FaultPlan, Link, TimeBreakdown};
 use sirius_integration::assert_tables_equivalent;
 use sirius_plan::Rel;
 use sirius_serve::{
@@ -79,6 +79,18 @@ fn server(fix: &Fixture, config: ServeConfig) -> SiriusServer {
     SiriusServer::new(engine(&fix.data), config)
 }
 
+/// Grant-leak detection: after a replay drains, no query — completed or
+/// otherwise — may still hold device-memory grants.
+fn assert_leak_free(srv: &SiriusServer) {
+    let broker = srv.engine().buffer_manager().grant_broker();
+    assert_eq!(broker.outstanding(), 0, "grants leaked after replay");
+    assert_eq!(
+        broker.outstanding_bytes(),
+        0,
+        "grant bytes leaked after replay"
+    );
+}
+
 /// Check one served outcome against the serialized baselines; `plan_of`
 /// maps a request id back to its index in `fix.plans`.
 fn assert_serialized_equivalent(
@@ -123,6 +135,7 @@ fn all_queries_concurrently_match_serialized_execution() {
             max_in_flight: 4,
             queue_depth: fix.plans.len(),
             tenant_weights: vec![3, 2, 1],
+            ..Default::default()
         },
     );
     let requests: Vec<QueryRequest> = fix
@@ -134,6 +147,7 @@ fn all_queries_concurrently_match_serialized_execution() {
             tenant: i % 3,
             priority: (i % 4) as u8,
             arrival: Duration::ZERO,
+            deadline: None,
             plan: plan.clone(),
             memory_budget: if i % 3 == 0 { Some(64 << 20) } else { None },
             trace: i % 2 == 0,
@@ -149,6 +163,7 @@ fn all_queries_concurrently_match_serialized_execution() {
         "sanity: traced queries present"
     );
     assert_serialized_equivalent(fix, &outcome, |id| id as usize);
+    assert_leak_free(&srv);
 }
 
 /// Tight per-query budgets steer queries onto their spill paths without
@@ -166,6 +181,7 @@ fn budgeted_queries_spill_but_still_match() {
             tenant: i % 2,
             priority: 0,
             arrival: Duration::ZERO,
+            deadline: None,
             plan: plan.clone(),
             memory_budget: Some(1 << 20),
             trace: false,
@@ -180,6 +196,7 @@ fn budgeted_queries_spill_but_still_match() {
         .map(|q| q.report.spilled_pinned_bytes + q.report.spilled_disk_bytes)
         .sum();
     assert!(spilled > 0, "1 MiB budgets must force some spilling");
+    assert_leak_free(&srv);
 }
 
 /// The same seed reproduces the same admission order and the same
@@ -201,6 +218,7 @@ fn same_seed_reproduces_admission_order_and_counters() {
                 max_in_flight: 4,
                 queue_depth: 16,
                 tenant_weights: vec![2, 1],
+                ..Default::default()
             },
         );
         let requests: Vec<QueryRequest> = trace
@@ -210,12 +228,15 @@ fn same_seed_reproduces_admission_order_and_counters() {
                 tenant: a.tenant,
                 priority: a.priority,
                 arrival: a.arrival,
+                deadline: None,
                 plan: fix.plans[a.query_index].1.clone(),
                 memory_budget: (a.query_index % 3 == 0).then_some(32 << 20),
                 trace: a.id % 2 == 0,
             })
             .collect();
-        srv.replay(requests)
+        let outcome = srv.replay(requests);
+        assert_leak_free(&srv);
+        outcome
     };
     let (a, b) = (run(), run());
     assert_eq!(a.admission_order, b.admission_order);
@@ -263,6 +284,7 @@ fn backpressure_bounds_queue_and_rejects_overflow() {
             max_in_flight: 2,
             queue_depth: 3,
             tenant_weights: Vec::new(),
+            ..Default::default()
         },
     );
     let requests: Vec<QueryRequest> = (0..16)
@@ -271,6 +293,7 @@ fn backpressure_bounds_queue_and_rejects_overflow() {
             tenant: 0,
             priority: 0,
             arrival: Duration::ZERO,
+            deadline: None,
             plan: fix.plans[(i as usize) % fix.plans.len()].1.clone(),
             memory_budget: None,
             trace: false,
@@ -286,6 +309,7 @@ fn backpressure_bounds_queue_and_rejects_overflow() {
     assert!(outcome.peak_in_flight <= 2);
     assert_eq!(outcome.deadlocks, 0);
     assert_serialized_equivalent(fix, &outcome, |id| (id as usize) % fix.plans.len());
+    assert_leak_free(&srv);
 }
 
 proptest! {
@@ -308,6 +332,7 @@ proptest! {
                 max_in_flight,
                 queue_depth,
                 tenant_weights: vec![3, 1, 2],
+                ..Default::default()
             },
         );
         let plan_idx: Vec<usize> = picks.iter().map(|p| p.0).collect();
@@ -321,6 +346,7 @@ proptest! {
                 // Stagger arrivals a little so admission interleaves with
                 // execution rather than forming one initial batch.
                 arrival: Duration::from_micros(3 * i as u64),
+                deadline: None,
                 plan: fix.plans[qi].1.clone(),
                 memory_budget: [None, Some(4 << 20), Some(32 << 20), Some(256 << 20)][budget],
                 trace: traced,
@@ -331,5 +357,106 @@ proptest! {
         prop_assert_eq!(outcome.queries.len() + outcome.rejected.len(), picks.len());
         prop_assert!(outcome.peak_in_flight <= max_in_flight);
         assert_serialized_equivalent(fix, &outcome, |id| plan_idx[id as usize]);
+        assert_leak_free(&srv);
     }
+}
+
+/// Resilience telemetry is observable in Prometheus form: a replay that
+/// retries a transient wave fault, cancels an expired deadline, and
+/// sheds under broker pressure publishes each event to its counter, and
+/// the per-disposition ledger reconciles exactly against the outcome.
+#[test]
+fn resilience_metrics_are_published() {
+    let fix = fixture();
+    let metrics = sirius_trace::metrics::MetricsRegistry::new();
+    // One transient device fault on the second wave: the victim is the
+    // first admitted query, which retries and completes.
+    let eng = engine(&fix.data).with_fault(
+        FaultInjector::new(FaultPlan::new(99).transient_wave(0, 1, 1)),
+        0,
+    );
+    let srv = SiriusServer::new(
+        eng,
+        ServeConfig {
+            max_in_flight: 1,
+            queue_depth: 16,
+            tenant_weights: vec![1],
+            // Any broker pressure at all sheds the low-priority tail.
+            shed_pressure: 0.0,
+            ..Default::default()
+        },
+    )
+    .with_metrics(metrics.clone());
+
+    let mut requests = Vec::new();
+    // Request 0: a grouped aggregate on a 64 KiB budget — its grant-cap
+    // denials raise broker pressure while the rest of the trace waits.
+    requests.push(QueryRequest {
+        id: 0,
+        tenant: 0,
+        priority: 7,
+        arrival: Duration::ZERO,
+        deadline: None,
+        plan: fix.plans[0].1.clone(), // Q1: grouped aggregate
+        memory_budget: Some(64 << 10),
+        trace: false,
+    });
+    // Request 1: already past its deadline when it arrives — cancelled.
+    requests.push(QueryRequest {
+        id: 1,
+        tenant: 0,
+        priority: 0,
+        arrival: Duration::ZERO,
+        deadline: Some(Duration::ZERO),
+        plan: fix.plans[5].1.clone(), // Q6
+        memory_budget: None,
+        trace: false,
+    });
+    // Requests 2..6: low-priority scans that queue behind request 0 and
+    // get shed once its denials push pressure over the (zero) threshold.
+    for i in 2..6u64 {
+        requests.push(QueryRequest {
+            id: i,
+            tenant: 0,
+            priority: 0,
+            arrival: Duration::ZERO,
+            deadline: None,
+            plan: fix.plans[5].1.clone(),
+            memory_budget: None,
+            trace: false,
+        });
+    }
+    let outcome = srv.replay(requests);
+    assert_leak_free(&srv);
+
+    let counts = outcome.dispositions();
+    assert_eq!(counts.total(), 6, "every request accounted exactly once");
+    assert!(counts.completed >= 1, "the retried query completes");
+    assert_eq!(counts.cancelled, 1, "the zero-deadline request cancels");
+    assert!(counts.shed >= 1, "pressure sheds the low-priority tail");
+
+    let c = |name: &str| metrics.counter_value(name, &[]);
+    assert!(c("sirius_serve_retries_total") >= 1, "retry counted");
+    assert_eq!(c("sirius_serve_cancelled_total"), counts.cancelled as u64);
+    assert_eq!(c("sirius_serve_shed_total"), counts.shed as u64);
+    // Per-disposition completions reconcile against the outcome.
+    for (label, n) in [
+        ("completed", counts.completed),
+        ("failed", counts.failed),
+        ("cancelled", counts.cancelled),
+        ("shed", counts.shed),
+        ("rejected", counts.rejected),
+    ] {
+        assert_eq!(
+            metrics.counter_value("sirius_serve_disposition_total", &[("disposition", label)]),
+            n as u64,
+            "disposition counter {label}"
+        );
+    }
+    // The pressure gauge and backoff-depth gauge were published.
+    assert!(metrics.gauge_value("sirius_broker_pressure", &[]).is_some());
+    assert!(metrics
+        .gauge_value("sirius_serve_backoff_depth", &[])
+        .is_some());
+    assert!(metrics.render().contains("sirius_serve_disposition_total"));
 }

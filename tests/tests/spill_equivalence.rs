@@ -96,6 +96,11 @@ proptest! {
                 &out,
                 expected,
             );
+            // However deep the spill recursion went, every memory grant
+            // the query took was dropped by the time it returned.
+            let broker = e.buffer_manager().grant_broker();
+            prop_assert_eq!(broker.outstanding(), 0, "Q{} leaked grants", id);
+            prop_assert_eq!(broker.outstanding_bytes(), 0, "Q{} leaked bytes", id);
         }
         if factor <= 0.125 {
             prop_assert!(
