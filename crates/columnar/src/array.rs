@@ -1,6 +1,7 @@
 //! Typed arrays and the dynamically-typed [`Array`] enum.
 
 use crate::bitmap::Bitmap;
+use crate::dict_array::DictionaryArray;
 use crate::scalar::Scalar;
 use crate::schema::DataType;
 use crate::string_array::StringArray;
@@ -233,6 +234,9 @@ pub enum Array {
     Float64(PrimitiveArray<f64>),
     /// UTF-8 string column.
     Utf8(StringArray),
+    /// Dictionary-encoded UTF-8 string column (logical type is still
+    /// [`DataType::Utf8`]; the encoding is a physical-layer detail).
+    Dict(DictionaryArray),
     /// Date column (days since epoch).
     Date32(PrimitiveArray<i32>),
 }
@@ -335,14 +339,15 @@ impl Array {
 
     // -- metadata ------------------------------------------------------------
 
-    /// Logical type of the column.
+    /// Logical type of the column. Dictionary-encoded strings report
+    /// [`DataType::Utf8`]: the encoding is invisible to schemas and plans.
     pub fn data_type(&self) -> DataType {
         match self {
             Array::Bool(_) => DataType::Bool,
             Array::Int32(_) => DataType::Int32,
             Array::Int64(_) => DataType::Int64,
             Array::Float64(_) => DataType::Float64,
-            Array::Utf8(_) => DataType::Utf8,
+            Array::Utf8(_) | Array::Dict(_) => DataType::Utf8,
             Array::Date32(_) => DataType::Date32,
         }
     }
@@ -355,6 +360,7 @@ impl Array {
             Array::Int64(a) => a.len(),
             Array::Float64(a) => a.len(),
             Array::Utf8(a) => a.len(),
+            Array::Dict(a) => a.len(),
         }
     }
 
@@ -371,6 +377,7 @@ impl Array {
             Array::Int64(a) => a.is_valid(i),
             Array::Float64(a) => a.is_valid(i),
             Array::Utf8(a) => a.is_valid(i),
+            Array::Dict(a) => a.is_valid(i),
         }
     }
 
@@ -379,7 +386,9 @@ impl Array {
         (0..self.len()).filter(|&i| !self.is_valid(i)).count()
     }
 
-    /// Heap bytes held by this column's buffers.
+    /// Heap bytes held by this column's buffers. For dictionary-encoded
+    /// columns this is the moved representation — codes plus validity —
+    /// excluding the shared dictionary (see [`DictionaryArray::byte_size`]).
     pub fn byte_size(&self) -> usize {
         match self {
             Array::Bool(a) => a.byte_size(),
@@ -387,6 +396,17 @@ impl Array {
             Array::Int64(a) => a.byte_size(),
             Array::Float64(a) => a.byte_size(),
             Array::Utf8(a) => a.byte_size(),
+            Array::Dict(a) => a.byte_size(),
+        }
+    }
+
+    /// Bytes of the shared dictionary behind this column (0 unless
+    /// dictionary-encoded). Charged only by operators that genuinely read
+    /// payload bytes, and by the wire the first time a dictionary ships.
+    pub fn dict_byte_size(&self) -> usize {
+        match self {
+            Array::Dict(a) => a.dict_byte_size(),
+            _ => 0,
         }
     }
 
@@ -403,15 +423,20 @@ impl Array {
                 .value(i)
                 .map(|s| Scalar::Utf8(s.to_string()))
                 .unwrap_or(Scalar::Null),
+            Array::Dict(a) => a
+                .value(i)
+                .map(|s| Scalar::Utf8(s.to_string()))
+                .unwrap_or(Scalar::Null),
             Array::Date32(a) => a.value(i).map(Scalar::Date32).unwrap_or(Scalar::Null),
         }
     }
 
     /// String value at `i` (convenience for tests), `None` if not a string
-    /// column or null.
+    /// column or null. Transparent over dictionary encoding.
     pub fn utf8_value(&self, i: usize) -> Option<&str> {
         match self {
             Array::Utf8(a) => a.value(i),
+            Array::Dict(a) => a.value(i),
             _ => None,
         }
     }
@@ -470,14 +495,53 @@ impl Array {
         }
     }
 
-    /// Borrow as string array.
+    /// Borrow as a decoded string array. Errs on dictionary-encoded
+    /// columns — call [`Array::decoded`] first if payload bytes are needed.
     pub fn as_utf8(&self) -> Result<&StringArray> {
         match self {
             Array::Utf8(a) => Ok(a),
+            Array::Dict(_) => Err(ColumnarError::TypeMismatch {
+                expected: "decoded utf8".into(),
+                actual: "dictionary-encoded utf8".into(),
+            }),
             other => Err(ColumnarError::TypeMismatch {
                 expected: "utf8".into(),
                 actual: other.data_type().to_string(),
             }),
+        }
+    }
+
+    /// Borrow as a dictionary-encoded string array.
+    pub fn as_dict(&self) -> Result<&DictionaryArray> {
+        match self {
+            Array::Dict(a) => Ok(a),
+            other => Err(ColumnarError::TypeMismatch {
+                expected: "dictionary-encoded utf8".into(),
+                actual: other.data_type().to_string(),
+            }),
+        }
+    }
+
+    /// True if this column is dictionary-encoded.
+    pub fn is_dict(&self) -> bool {
+        matches!(self, Array::Dict(_))
+    }
+
+    /// Dictionary-encode string columns (no-op for non-strings and
+    /// already-encoded columns; clones share buffers).
+    pub fn dict_encode(&self) -> Array {
+        match self {
+            Array::Utf8(a) => Array::Dict(DictionaryArray::encode(a)),
+            other => other.clone(),
+        }
+    }
+
+    /// Decode dictionary-encoded columns to plain strings (no-op
+    /// otherwise; clones share buffers).
+    pub fn decoded(&self) -> Array {
+        match self {
+            Array::Dict(a) => Array::Utf8(a.decode()),
+            other => other.clone(),
         }
     }
 
@@ -494,7 +558,8 @@ impl Array {
 
     // -- data movement -------------------------------------------------------
 
-    /// Gather elements at `indices` into a new column.
+    /// Gather elements at `indices` into a new column. Dictionary-encoded
+    /// columns gather codes only; the dictionary stays shared.
     pub fn gather(&self, indices: &[usize]) -> Array {
         match self {
             Array::Bool(a) => Array::Bool(a.gather(indices)),
@@ -502,17 +567,24 @@ impl Array {
             Array::Int64(a) => Array::Int64(a.gather(indices)),
             Array::Float64(a) => Array::Float64(a.gather(indices)),
             Array::Utf8(a) => Array::Utf8(a.gather(indices)),
+            Array::Dict(a) => Array::Dict(a.gather(indices)),
             Array::Date32(a) => Array::Date32(a.gather(indices)),
         }
     }
 
     /// Gather with optional indices: `None` produces a null (outer joins).
     pub fn gather_opt(&self, indices: &[Option<usize>]) -> Array {
-        let scalars: Vec<Scalar> = indices
-            .iter()
-            .map(|ix| ix.map(|i| self.scalar(i)).unwrap_or(Scalar::Null))
-            .collect();
-        Array::from_scalars(&scalars, self.data_type())
+        match self {
+            Array::Utf8(a) => Array::Utf8(a.gather_opt(indices)),
+            Array::Dict(a) => Array::Dict(a.gather_opt(indices)),
+            _ => {
+                let scalars: Vec<Scalar> = indices
+                    .iter()
+                    .map(|ix| ix.map(|i| self.scalar(i)).unwrap_or(Scalar::Null))
+                    .collect();
+                Array::from_scalars(&scalars, self.data_type())
+            }
+        }
     }
 
     /// Keep elements where `selection` is set.
@@ -555,13 +627,41 @@ impl Array {
                     .map(|a| a.as_f64().expect("f64"))
                     .collect::<Vec<_>>(),
             )),
-            Array::Utf8(_) => Array::Utf8(StringArray::concat(
-                &arrays
-                    .iter()
-                    .map(|a| a.as_utf8().expect("utf8"))
-                    .collect::<Vec<_>>(),
-            )),
+            Array::Utf8(_) | Array::Dict(_) => Array::concat_strings(arrays),
         }
+    }
+
+    /// Concatenate string columns that may mix plain and dictionary-encoded
+    /// inputs. All-encoded inputs stay encoded (codes-only when they share
+    /// one dictionary); any plain input forces a decoded bulk concat.
+    fn concat_strings(arrays: &[&Array]) -> Array {
+        if arrays.iter().all(|a| a.is_dict()) {
+            let dicts: Vec<&DictionaryArray> =
+                arrays.iter().map(|a| a.as_dict().expect("dict")).collect();
+            return Array::Dict(DictionaryArray::concat(&dicts));
+        }
+        // Mixed or all-plain: decode encoded inputs, then bulk concat.
+        let decoded: Vec<StringArray> = arrays
+            .iter()
+            .filter_map(|a| match a {
+                Array::Dict(d) => Some(d.decode()),
+                _ => None,
+            })
+            .collect();
+        let mut di = 0;
+        let parts: Vec<&StringArray> = arrays
+            .iter()
+            .map(|a| match a {
+                Array::Utf8(s) => s,
+                Array::Dict(_) => {
+                    let s = &decoded[di];
+                    di += 1;
+                    s
+                }
+                _ => panic!("concat_strings on non-string column"),
+            })
+            .collect();
+        Array::Utf8(StringArray::concat(&parts))
     }
 }
 

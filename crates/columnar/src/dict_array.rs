@@ -1,0 +1,401 @@
+//! Dictionary-encoded UTF-8 string arrays: an `i32` code per row pointing
+//! into a shared dictionary of unique non-null values.
+//!
+//! This is the encoded execution format from the paper's §4.2 argument:
+//! operators that only move or compare string columns touch 4-byte codes
+//! instead of payload bytes, and the dictionary rides along as a shared
+//! `Arc` that gather/filter/concat never copy. Nulls live in the codes'
+//! validity bitmap — the dictionary itself holds no nulls.
+//!
+//! `byte_size()` deliberately counts only the codes (plus validity): that is
+//! what kernels stream when they move an encoded column. The dictionary's
+//! payload is reported separately by [`DictionaryArray::dict_byte_size`] and
+//! is charged only by operators that genuinely read it (materialization,
+//! `LIKE`, the one-time group-by dictionary sort) and by the wire the first
+//! time it ships over a link.
+
+use crate::bitmap::Bitmap;
+use crate::string_array::StringArray;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Immutable dictionary-encoded string array.
+#[derive(Debug, Clone)]
+pub struct DictionaryArray {
+    codes: Arc<Vec<i32>>,
+    validity: Option<Bitmap>,
+    values: Arc<StringArray>,
+}
+
+impl DictionaryArray {
+    /// Build from raw parts. Null slots may carry any in-range code (it is
+    /// masked by the validity bitmap); all codes must index into `values`.
+    pub fn from_parts(codes: Vec<i32>, validity: Option<Bitmap>, values: Arc<StringArray>) -> Self {
+        debug_assert!(
+            codes.iter().all(|&c| c == 0 || (c as usize) < values.len()),
+            "dictionary code out of range"
+        );
+        let validity = validity.filter(|v| v.count_set() < v.len());
+        Self {
+            codes: Arc::new(codes),
+            validity,
+            values,
+        }
+    }
+
+    /// Encode a decoded string array: dictionary entries are the unique
+    /// non-null values in first-appearance order.
+    pub fn encode(src: &StringArray) -> DictionaryArray {
+        let mut seen: HashMap<&str, i32> = HashMap::new();
+        let mut uniques: Vec<&str> = Vec::new();
+        let mut codes = Vec::with_capacity(src.len());
+        let mut bits = Vec::with_capacity(src.len());
+        for i in 0..src.len() {
+            match src.value(i) {
+                Some(s) => {
+                    let next = uniques.len() as i32;
+                    let code = *seen.entry(s).or_insert_with(|| {
+                        uniques.push(s);
+                        next
+                    });
+                    codes.push(code);
+                    bits.push(true);
+                }
+                None => {
+                    codes.push(0);
+                    bits.push(false);
+                }
+            }
+        }
+        let validity = if bits.iter().all(|b| *b) {
+            None
+        } else {
+            Some(Bitmap::from_iter(bits))
+        };
+        DictionaryArray {
+            codes: Arc::new(codes),
+            validity,
+            values: Arc::new(StringArray::from_strings(uniques)),
+        }
+    }
+
+    /// Decode to a plain string array (bulk payload copy via the
+    /// dictionary's gather path).
+    pub fn decode(&self) -> StringArray {
+        let indices: Vec<Option<usize>> = (0..self.len())
+            .map(|i| self.is_valid(i).then(|| self.codes[i] as usize))
+            .collect();
+        self.values.gather_opt(&indices)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// True if element `i` is non-null.
+    pub fn is_valid(&self, i: usize) -> bool {
+        self.validity.as_ref().map(|v| v.get(i)).unwrap_or(true)
+    }
+
+    /// Element `i` as `&str` borrowed from the dictionary, `None` if null.
+    pub fn value(&self, i: usize) -> Option<&str> {
+        if self.is_valid(i) {
+            self.values.value(self.codes[i] as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Dictionary code of element `i`, `None` if null.
+    pub fn code(&self, i: usize) -> Option<i32> {
+        if self.is_valid(i) {
+            Some(self.codes[i])
+        } else {
+            None
+        }
+    }
+
+    /// The raw code buffer (null slots hold an arbitrary in-range code).
+    pub fn codes(&self) -> &[i32] {
+        &self.codes
+    }
+
+    /// The validity bitmap, if any element is null.
+    pub fn validity(&self) -> Option<&Bitmap> {
+        self.validity.as_ref()
+    }
+
+    /// The shared dictionary of unique non-null values.
+    pub fn values(&self) -> &Arc<StringArray> {
+        &self.values
+    }
+
+    /// Identity of the shared dictionary buffer — used to ship each
+    /// dictionary at most once per network link.
+    pub fn dict_ptr(&self) -> usize {
+        Arc::as_ptr(&self.values) as usize
+    }
+
+    /// Iterate elements as `Option<&str>`.
+    pub fn iter(&self) -> impl Iterator<Item = Option<&str>> + '_ {
+        (0..self.len()).map(move |i| self.value(i))
+    }
+
+    /// Heap bytes moved when this column moves: codes plus validity. The
+    /// shared dictionary is excluded — see the module docs.
+    pub fn byte_size(&self) -> usize {
+        self.codes.len() * 4 + self.validity.as_ref().map(|v| v.byte_size()).unwrap_or(0)
+    }
+
+    /// Heap bytes of the shared dictionary itself.
+    pub fn dict_byte_size(&self) -> usize {
+        self.values.byte_size()
+    }
+
+    /// Gather elements at `indices`: codes and validity move, the
+    /// dictionary is shared untouched.
+    pub fn gather(&self, indices: &[usize]) -> DictionaryArray {
+        let codes: Vec<i32> = indices.iter().map(|&i| self.codes[i]).collect();
+        let validity = self
+            .validity
+            .as_ref()
+            .map(|v| v.gather(indices))
+            .filter(|v| v.count_set() < v.len());
+        DictionaryArray {
+            codes: Arc::new(codes),
+            validity,
+            values: Arc::clone(&self.values),
+        }
+    }
+
+    /// Gather with optional indices: `None` produces a null.
+    pub fn gather_opt(&self, indices: &[Option<usize>]) -> DictionaryArray {
+        let mut codes = Vec::with_capacity(indices.len());
+        let mut bits = Vec::with_capacity(indices.len());
+        for &ix in indices {
+            match ix {
+                Some(i) if self.is_valid(i) => {
+                    codes.push(self.codes[i]);
+                    bits.push(true);
+                }
+                _ => {
+                    codes.push(0);
+                    bits.push(false);
+                }
+            }
+        }
+        let validity = if bits.iter().all(|b| *b) {
+            None
+        } else {
+            Some(Bitmap::from_iter(bits))
+        };
+        DictionaryArray {
+            codes: Arc::new(codes),
+            validity,
+            values: Arc::clone(&self.values),
+        }
+    }
+
+    /// Concatenate encoded arrays. When every input shares one dictionary
+    /// `Arc` (the common case: morsels of one generated column), only codes
+    /// are copied. Otherwise dictionaries are merged in first-appearance
+    /// order and codes remapped.
+    pub fn concat(arrays: &[&DictionaryArray]) -> DictionaryArray {
+        assert!(!arrays.is_empty(), "concat of zero arrays");
+        if arrays.len() == 1 {
+            return arrays[0].clone();
+        }
+        let n: usize = arrays.iter().map(|a| a.len()).sum();
+        let shared = arrays
+            .iter()
+            .all(|a| Arc::ptr_eq(&a.values, &arrays[0].values));
+        let any_null = arrays.iter().any(|a| a.validity.is_some());
+        let mut bits = if any_null {
+            Vec::with_capacity(n)
+        } else {
+            Vec::new()
+        };
+        let mut codes = Vec::with_capacity(n);
+        if shared {
+            for a in arrays {
+                codes.extend_from_slice(&a.codes);
+                if any_null {
+                    bits.extend((0..a.len()).map(|i| a.is_valid(i)));
+                }
+            }
+            let validity = if any_null {
+                Some(Bitmap::from_iter(bits)).filter(|v| v.count_set() < v.len())
+            } else {
+                None
+            };
+            return DictionaryArray {
+                codes: Arc::new(codes),
+                validity,
+                values: Arc::clone(&arrays[0].values),
+            };
+        }
+        // Merge dictionaries: first-appearance order across inputs.
+        let mut seen: HashMap<&str, i32> = HashMap::new();
+        let mut uniques: Vec<&str> = Vec::new();
+        let mut remaps: Vec<Vec<i32>> = Vec::with_capacity(arrays.len());
+        for a in arrays {
+            let mut remap = Vec::with_capacity(a.values.len());
+            for d in 0..a.values.len() {
+                let s = a.values.value(d).expect("dictionary entries are non-null");
+                let next = uniques.len() as i32;
+                let code = *seen.entry(s).or_insert_with(|| {
+                    uniques.push(s);
+                    next
+                });
+                remap.push(code);
+            }
+            remaps.push(remap);
+        }
+        for (a, remap) in arrays.iter().zip(&remaps) {
+            for i in 0..a.len() {
+                if a.is_valid(i) {
+                    codes.push(remap[a.codes[i] as usize]);
+                    if any_null {
+                        bits.push(true);
+                    }
+                } else {
+                    codes.push(0);
+                    if any_null {
+                        bits.push(false);
+                    }
+                }
+            }
+        }
+        let validity = if any_null {
+            Some(Bitmap::from_iter(bits)).filter(|v| v.count_set() < v.len())
+        } else {
+            None
+        };
+        DictionaryArray {
+            codes: Arc::new(codes),
+            validity,
+            values: Arc::new(StringArray::from_strings(uniques)),
+        }
+    }
+
+    /// Lexicographic rank of each dictionary entry: `ranks[code]` orders the
+    /// same as the decoded strings. One sort over the (small) dictionary
+    /// buys order-correct comparisons on codes for the whole column.
+    pub fn value_ranks(&self) -> Vec<i32> {
+        let mut order: Vec<usize> = (0..self.values.len()).collect();
+        order.sort_by_key(|&d| {
+            self.values
+                .value(d)
+                .expect("dictionary entries are non-null")
+        });
+        let mut ranks = vec![0i32; self.values.len()];
+        for (rank, &d) in order.iter().enumerate() {
+            ranks[d] = rank as i32;
+        }
+        ranks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let src = StringArray::from_options([
+            Some("b"),
+            None,
+            Some("a"),
+            Some("b"),
+            Some(""),
+            Some("naïve✓"),
+        ]);
+        let d = DictionaryArray::encode(&src);
+        assert_eq!(d.len(), 6);
+        // Four unique non-null values, first-appearance order.
+        assert_eq!(d.values().len(), 4);
+        assert_eq!(d.value(0), Some("b"));
+        assert_eq!(d.value(1), None);
+        assert_eq!(d.code(0), d.code(3));
+        let back = d.decode();
+        assert_eq!(
+            back.iter().collect::<Vec<_>>(),
+            src.iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn byte_size_counts_codes_only() {
+        let src = StringArray::from_strings(["aaaaaaaaaa", "bbbbbbbbbb", "aaaaaaaaaa"]);
+        let d = DictionaryArray::encode(&src);
+        assert_eq!(d.byte_size(), 3 * 4);
+        assert_eq!(d.dict_byte_size(), d.values().byte_size());
+        let nullable = DictionaryArray::encode(&StringArray::from_options([Some("x"), None]));
+        assert_eq!(
+            nullable.byte_size(),
+            2 * 4 + nullable.validity().unwrap().byte_size()
+        );
+    }
+
+    #[test]
+    fn gather_shares_dictionary() {
+        let d = DictionaryArray::encode(&StringArray::from_options([Some("x"), None, Some("y")]));
+        let g = d.gather(&[2, 1, 0, 2]);
+        assert!(Arc::ptr_eq(g.values(), d.values()));
+        assert_eq!(
+            g.iter().collect::<Vec<_>>(),
+            vec![Some("y"), None, Some("x"), Some("y")]
+        );
+        let go = d.gather_opt(&[Some(0), None, Some(1)]);
+        assert!(Arc::ptr_eq(go.values(), d.values()));
+        assert_eq!(go.iter().collect::<Vec<_>>(), vec![Some("x"), None, None]);
+    }
+
+    #[test]
+    fn concat_same_dictionary_is_codes_only() {
+        let d = DictionaryArray::encode(&StringArray::from_strings(["p", "q", "p"]));
+        let g = d.gather(&[2, 0]);
+        let c = DictionaryArray::concat(&[&d, &g]);
+        assert!(Arc::ptr_eq(c.values(), d.values()));
+        assert_eq!(
+            c.iter().collect::<Vec<_>>(),
+            vec![Some("p"), Some("q"), Some("p"), Some("p"), Some("p")]
+        );
+    }
+
+    #[test]
+    fn concat_merges_distinct_dictionaries() {
+        let a = DictionaryArray::encode(&StringArray::from_options([Some("x"), Some("y")]));
+        let b = DictionaryArray::encode(&StringArray::from_options([Some("y"), None, Some("z")]));
+        let c = DictionaryArray::concat(&[&a, &b]);
+        assert_eq!(c.values().len(), 3);
+        assert_eq!(
+            c.iter().collect::<Vec<_>>(),
+            vec![Some("x"), Some("y"), Some("y"), None, Some("z")]
+        );
+    }
+
+    #[test]
+    fn value_ranks_order_like_strings() {
+        let d = DictionaryArray::encode(&StringArray::from_strings(["mango", "apple", "pear"]));
+        let ranks = d.value_ranks();
+        // apple < mango < pear.
+        assert_eq!(ranks, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn all_null_and_empty() {
+        let d = DictionaryArray::encode(&StringArray::from_options::<_, &str>([None, None]));
+        assert_eq!(d.values().len(), 0);
+        assert_eq!(d.decode().iter().collect::<Vec<_>>(), vec![None, None]);
+        let e = DictionaryArray::encode(&StringArray::from_strings::<[&str; 0], _>([]));
+        assert_eq!(e.len(), 0);
+        assert!(e.decode().is_empty());
+    }
+}

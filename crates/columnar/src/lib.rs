@@ -34,6 +34,7 @@
 
 pub mod array;
 pub mod bitmap;
+pub mod dict_array;
 pub mod pretty;
 pub mod scalar;
 pub mod schema;
@@ -42,6 +43,7 @@ pub mod table;
 
 pub use array::{Array, BoolArray, PrimitiveArray};
 pub use bitmap::Bitmap;
+pub use dict_array::DictionaryArray;
 pub use scalar::Scalar;
 pub use schema::{DataType, Field, Schema};
 pub use string_array::StringArray;

@@ -12,6 +12,29 @@ pub struct StringArray {
     validity: Option<Bitmap>,
 }
 
+/// Test-only instrumentation counting per-value UTF-8 decodes, so
+/// regression tests can prove bulk paths never touch `value()`.
+#[cfg(test)]
+pub(crate) mod instrument {
+    use std::cell::Cell;
+
+    thread_local! {
+        static UTF8_DECODES: Cell<usize> = const { Cell::new(0) };
+    }
+
+    pub(crate) fn note_decode() {
+        UTF8_DECODES.with(|c| c.set(c.get() + 1));
+    }
+
+    pub(crate) fn reset() {
+        UTF8_DECODES.with(|c| c.set(0));
+    }
+
+    pub(crate) fn decodes() -> usize {
+        UTF8_DECODES.with(|c| c.get())
+    }
+}
+
 impl StringArray {
     /// Build from owned strings (all valid).
     pub fn from_strings<I, S>(iter: I) -> Self
@@ -83,6 +106,8 @@ impl StringArray {
         if !self.is_valid(i) {
             return None;
         }
+        #[cfg(test)]
+        instrument::note_decode();
         let start = self.offsets[i] as usize;
         let end = self.offsets[i + 1] as usize;
         // SAFETY-free: buffers were built from &str, so always valid UTF-8.
@@ -94,9 +119,71 @@ impl StringArray {
         self.validity.as_ref()
     }
 
-    /// Gather elements at `indices` into a new array.
+    /// Byte range of element `i` in the payload buffer.
+    fn byte_range(&self, i: usize) -> (usize, usize) {
+        (self.offsets[i] as usize, self.offsets[i + 1] as usize)
+    }
+
+    /// Gather elements at `indices` into a new array. Bulk-copies payload
+    /// byte ranges and gathers the validity bitmap; never decodes values.
     pub fn gather(&self, indices: &[usize]) -> StringArray {
-        StringArray::from_options(indices.iter().map(|&i| self.value(i)))
+        let payload: usize = indices
+            .iter()
+            .map(|&i| {
+                let (s, e) = self.byte_range(i);
+                e - s
+            })
+            .sum();
+        let mut offsets = Vec::with_capacity(indices.len() + 1);
+        offsets.push(0i32);
+        let mut data = Vec::with_capacity(payload);
+        for &i in indices {
+            if self.is_valid(i) {
+                let (s, e) = self.byte_range(i);
+                data.extend_from_slice(&self.data[s..e]);
+            }
+            offsets.push(i32::try_from(data.len()).expect("string buffer < 2 GiB"));
+        }
+        let validity = self
+            .validity
+            .as_ref()
+            .map(|v| v.gather(indices))
+            .filter(|v| v.count_set() < v.len());
+        StringArray {
+            offsets: Arc::new(offsets),
+            data: Arc::new(data),
+            validity,
+        }
+    }
+
+    /// Gather with optional indices: `None` produces a null. Bulk-copies
+    /// payload bytes like [`StringArray::gather`].
+    pub fn gather_opt(&self, indices: &[Option<usize>]) -> StringArray {
+        let mut offsets = Vec::with_capacity(indices.len() + 1);
+        offsets.push(0i32);
+        let mut data = Vec::new();
+        let mut bits = Vec::with_capacity(indices.len());
+        for &ix in indices {
+            match ix {
+                Some(i) if self.is_valid(i) => {
+                    let (s, e) = self.byte_range(i);
+                    data.extend_from_slice(&self.data[s..e]);
+                    bits.push(true);
+                }
+                _ => bits.push(false),
+            }
+            offsets.push(i32::try_from(data.len()).expect("string buffer < 2 GiB"));
+        }
+        let validity = if bits.iter().all(|b| *b) {
+            None
+        } else {
+            Some(Bitmap::from_iter(bits))
+        };
+        StringArray {
+            offsets: Arc::new(offsets),
+            data: Arc::new(data),
+            validity,
+        }
     }
 
     /// Iterate elements as `Option<&str>`.
@@ -111,9 +198,45 @@ impl StringArray {
             + self.validity.as_ref().map(|v| v.byte_size()).unwrap_or(0)
     }
 
-    /// Concatenate several arrays.
+    /// Concatenate several arrays. A single input is returned zero-copy;
+    /// otherwise payload and offset buffers are bulk-copied (offsets are
+    /// rebased by each array's payload base) — no per-value decoding.
     pub fn concat(arrays: &[&StringArray]) -> StringArray {
-        StringArray::from_options(arrays.iter().flat_map(|a| a.iter()))
+        if arrays.len() == 1 {
+            return arrays[0].clone();
+        }
+        let n: usize = arrays.iter().map(|a| a.len()).sum();
+        let payload: usize = arrays.iter().map(|a| a.data.len()).sum();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0i32);
+        let mut data = Vec::with_capacity(payload);
+        let any_null = arrays.iter().any(|a| a.validity.is_some());
+        let mut bits = if any_null {
+            Vec::with_capacity(n)
+        } else {
+            Vec::new()
+        };
+        for a in arrays {
+            let base = i32::try_from(data.len()).expect("string buffer < 2 GiB");
+            data.extend_from_slice(&a.data);
+            offsets.extend(a.offsets[1..].iter().map(|&o| o + base));
+            if any_null {
+                match &a.validity {
+                    Some(v) => bits.extend((0..a.len()).map(|i| v.get(i))),
+                    None => bits.extend(std::iter::repeat_n(true, a.len())),
+                }
+            }
+        }
+        i32::try_from(data.len()).expect("string buffer < 2 GiB");
+        StringArray {
+            offsets: Arc::new(offsets),
+            data: Arc::new(data),
+            validity: if any_null {
+                Some(Bitmap::from_iter(bits))
+            } else {
+                None
+            },
+        }
     }
 }
 
@@ -173,6 +296,65 @@ mod tests {
         assert!(Arc::ptr_eq(&a.data, &b.data));
     }
 
+    #[test]
+    fn concat_of_large_arrays_does_not_revalidate_per_value() {
+        let a = StringArray::from_strings((0..5000).map(|i| format!("left-{i}")));
+        let b = StringArray::from_options(
+            (0..5000).map(|i| (i % 7 != 0).then(|| format!("right-{i}"))),
+        );
+        instrument::reset();
+        let c = StringArray::concat(&[&a, &b]);
+        assert_eq!(
+            instrument::decodes(),
+            0,
+            "bulk concat must not decode values one at a time"
+        );
+        assert_eq!(c.len(), 10_000);
+        assert_eq!(c.value(0), Some("left-0"));
+        assert_eq!(c.value(5000), None);
+        assert_eq!(c.value(5001), Some("right-1"));
+        assert_eq!(c.value(9999), Some("right-4999"));
+    }
+
+    #[test]
+    fn gather_is_bulk_and_singleton_concat_is_zero_copy() {
+        let a = StringArray::from_options([Some("x"), None, Some("naïve"), Some("")]);
+        instrument::reset();
+        let g = a.gather(&[3, 2, 1, 0, 2]);
+        assert_eq!(instrument::decodes(), 0, "bulk gather must not decode");
+        assert_eq!(
+            g.iter().collect::<Vec<_>>(),
+            vec![Some(""), Some("naïve"), None, Some("x"), Some("naïve")]
+        );
+        let c = StringArray::concat(&[&a]);
+        assert!(
+            Arc::ptr_eq(&c.data, &a.data),
+            "singleton concat shares buffers"
+        );
+    }
+
+    #[test]
+    fn gather_opt_is_bulk() {
+        let a = StringArray::from_strings(["a", "bb", "ccc"]);
+        instrument::reset();
+        let g = a.gather_opt(&[Some(2), None, Some(0)]);
+        assert_eq!(instrument::decodes(), 0);
+        assert_eq!(
+            g.iter().collect::<Vec<_>>(),
+            vec![Some("ccc"), None, Some("a")]
+        );
+        assert_eq!(g.byte_size(), 4 * 4 + 4 + g.validity().unwrap().byte_size());
+    }
+
+    #[test]
+    fn byte_size_matches_heap_bytes_exactly() {
+        let a = StringArray::from_strings(["ab", "", "cdef"]);
+        // offsets: 4 × i32, payload: 6 bytes, no validity.
+        assert_eq!(a.byte_size(), 4 * 4 + 6);
+        let b = StringArray::from_options([Some("ab"), None]);
+        assert_eq!(b.byte_size(), 3 * 4 + 2 + b.validity().unwrap().byte_size());
+    }
+
     proptest! {
         #[test]
         fn prop_round_trip(strings in proptest::collection::vec(".{0,12}", 0..50)) {
@@ -180,6 +362,30 @@ mod tests {
             prop_assert_eq!(a.len(), strings.len());
             for (i, s) in strings.iter().enumerate() {
                 prop_assert_eq!(a.value(i), Some(s.as_str()));
+            }
+        }
+
+        #[test]
+        fn prop_bulk_gather_concat_match_per_value(
+            strings in proptest::collection::vec(
+                proptest::option::of(".{0,6}"), 1..40),
+            idx_seed in proptest::collection::vec(any::<usize>(), 0..40),
+        ) {
+            let a = StringArray::from_options(
+                strings.iter().map(|s| s.as_deref()));
+            let indices: Vec<usize> =
+                idx_seed.iter().map(|i| i % strings.len()).collect();
+            let g = a.gather(&indices);
+            for (out, &src) in indices.iter().enumerate() {
+                prop_assert_eq!(g.value(out), strings[src].as_deref());
+            }
+            let c = StringArray::concat(&[&a, &g]);
+            prop_assert_eq!(c.len(), a.len() + g.len());
+            for i in 0..a.len() {
+                prop_assert_eq!(c.value(i), a.value(i));
+            }
+            for i in 0..g.len() {
+                prop_assert_eq!(c.value(a.len() + i), g.value(i));
             }
         }
     }

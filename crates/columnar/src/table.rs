@@ -176,6 +176,36 @@ impl Table {
         }
     }
 
+    /// True if any column is dictionary-encoded.
+    pub fn has_dict_columns(&self) -> bool {
+        self.columns.iter().any(|c| c.is_dict())
+    }
+
+    /// Total bytes of shared dictionaries behind encoded columns (0 for
+    /// plain tables). Together with [`Table::byte_size`] this is what a
+    /// fresh wire transfer of the table ships.
+    pub fn dict_byte_size(&self) -> usize {
+        self.columns.iter().map(|c| c.dict_byte_size()).sum()
+    }
+
+    /// Dictionary-encode every string column (no-op columns are shared).
+    pub fn encode_strings(&self) -> Table {
+        Table {
+            schema: Arc::clone(&self.schema),
+            columns: self.columns.iter().map(|c| c.dict_encode()).collect(),
+            num_rows: self.num_rows,
+        }
+    }
+
+    /// Decode every dictionary-encoded column to plain strings.
+    pub fn decode_strings(&self) -> Table {
+        Table {
+            schema: Arc::clone(&self.schema),
+            columns: self.columns.iter().map(|c| c.decoded()).collect(),
+            num_rows: self.num_rows,
+        }
+    }
+
     /// Rows as scalar tuples, sorted — canonical form for unordered result
     /// comparison in tests.
     pub fn canonical_rows(&self) -> Vec<Vec<Scalar>> {

@@ -61,6 +61,11 @@ pub struct SiriusEngine {
     /// Data-path fusion knob: collapse each pipeline's streaming runs into
     /// single-pass segments (on by default).
     pub(crate) fusion: physical::FusionConfig,
+    /// When true, result sinks keep string columns dictionary-encoded
+    /// instead of materializing them. Distributed node engines set this so
+    /// fragments ship encoded over the exchange; the coordinator decodes
+    /// the final table once.
+    pub(crate) encoded_results: bool,
     /// Stream-lane cap for the wave in flight (set around each
     /// [`Self::step`], `usize::MAX` otherwise): when a server interleaves
     /// several queries onto one stream pool, each query's wave dispatches
@@ -109,6 +114,7 @@ impl SiriusEngine {
             trace: TraceSink::off(),
             op_stats: None,
             fusion: physical::FusionConfig::default(),
+            encoded_results: false,
             lane_cap: AtomicUsize::new(usize::MAX),
         }
     }
@@ -136,6 +142,7 @@ impl SiriusEngine {
             trace: TraceSink::off(),
             op_stats: None,
             fusion: self.fusion.clone(),
+            encoded_results: self.encoded_results,
             lane_cap: AtomicUsize::new(usize::MAX),
         }
     }
@@ -151,6 +158,15 @@ impl SiriusEngine {
     /// The active data-path fusion configuration.
     pub fn fusion_config(&self) -> &physical::FusionConfig {
         &self.fusion
+    }
+
+    /// Keep result-sink string columns dictionary-encoded instead of
+    /// materializing them (default: materialize). Distributed node engines
+    /// run with this on so exchange ships codes; the coordinator decodes
+    /// the final table exactly once.
+    pub fn with_encoded_results(mut self, encoded: bool) -> Self {
+        self.encoded_results = encoded;
+        self
     }
 
     /// Enable (or disable) kernel/operator tracing. When on, every ledger

@@ -51,6 +51,21 @@ pub use physical::FusionConfig;
 pub use schedule::{QueryRun, Scheduling};
 pub use sirius_spill::{SpillConfig, SpillStats};
 
+/// Decode any dictionary-encoded columns of a gathered result table,
+/// charging the decode kernel to `device` under the `Project` category.
+/// Distributed coordinators call this once after collecting results from
+/// node engines that ran with
+/// [`SiriusEngine::with_encoded_results`](engine::SiriusEngine::with_encoded_results) —
+/// strings cross the wire as codes and become payload bytes only here.
+pub fn materialize_result(
+    device: &sirius_hw::Device,
+    t: &sirius_columnar::Table,
+) -> Result<sirius_columnar::Table> {
+    let ctx = sirius_cudf::GpuContext::new(device.clone(), sirius_hw::CostCategory::Project);
+    sirius_cudf::materialize::materialize_strings(&ctx, t)
+        .map_err(|e| SiriusError::Kernel(e.to_string()))
+}
+
 /// Errors from the GPU engine. `Fallback`-class errors route the query back
 /// to the host database (§3.2.2's graceful fallback).
 #[derive(Debug, Clone)]

@@ -834,10 +834,23 @@ impl SiriusEngine {
     /// Apply a non-aggregate sink to the pipeline's materialized rows.
     fn apply_sink(&self, pipe: &Pipeline, t: Table) -> Result<PipeResult> {
         match &pipe.sink {
+            // Late materialization: strings travel dictionary-encoded
+            // through every operator and decode only here, at the result
+            // sink. Exchange sinks stay encoded (codes ship over the wire;
+            // the coordinator's own result sink decodes), as do engines
+            // configured for encoded results (distributed fragments).
+            Sink::Result => {
+                if self.encoded_results || !t.has_dict_columns() {
+                    return Ok(PipeResult::table(t));
+                }
+                let ctx = self.ctx(CostCategory::Project);
+                let out = sirius_cudf::materialize::materialize_strings(&ctx, &t)?;
+                Ok(PipeResult::table(out))
+            }
             // Single-node: the exchange layer is bypassed entirely
             // (§3.2.4); the distributed executor in `sirius-doris`
             // fragments plans at Exchange sinks before they reach here.
-            Sink::Result | Sink::Exchange { .. } => Ok(PipeResult::table(t)),
+            Sink::Exchange { .. } => Ok(PipeResult::table(t)),
             Sink::JoinBuild { keys, node } => {
                 // Hash table lives in the processing region until the last
                 // probe pipeline is done.

@@ -258,6 +258,34 @@ pub fn like(
     num_rows: usize,
 ) -> Result<Array> {
     let pat: Vec<char> = pattern.chars().collect();
+    // Dictionary fast path: match the pattern once per unique dictionary
+    // entry, then map each row through its 4-byte code. The charge reads
+    // the dictionary payload once plus the codes, instead of every row's
+    // decoded bytes.
+    if let Datum::Column(Array::Dict(d)) = input {
+        let dict_hits: Vec<bool> = (0..d.values().len())
+            .map(|e| {
+                let s = d
+                    .values()
+                    .value(e)
+                    .expect("dictionary entries are non-null");
+                like_match(&s.chars().collect::<Vec<_>>(), &pat)
+            })
+            .collect();
+        let out: Vec<Scalar> = (0..num_rows)
+            .map(|i| match d.code(i) {
+                Some(c) => Scalar::Bool(dict_hits[c as usize] != negated),
+                None => Scalar::Null,
+            })
+            .collect();
+        ctx.charge_named(
+            "binary.like",
+            &WorkProfile::scan(d.dict_byte_size() as u64 + d.byte_size() as u64)
+                .with_flops((d.values().len() * pattern.len().max(1) + num_rows) as u64)
+                .with_rows(num_rows as u64),
+        );
+        return Ok(Array::from_scalars(&out, DataType::Bool));
+    }
     let mut out = Vec::with_capacity(num_rows);
     for i in 0..num_rows {
         let v = input.value(i);

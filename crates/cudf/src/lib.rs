@@ -27,6 +27,7 @@ pub mod fused;
 pub mod groupby;
 pub mod hash;
 pub mod join;
+pub mod materialize;
 pub mod partition;
 pub mod reduce;
 pub mod sort;

@@ -409,6 +409,19 @@ impl DorisCluster {
             .collect()
     }
 
+    /// Snapshot of cumulative per-link interconnect traffic as
+    /// `((src, dst), bytes, messages)` triples, keyed by stable node id.
+    /// Dictionary-encoded exchanges ship each dictionary once per link and
+    /// codes thereafter, which these counters make visible.
+    pub fn link_traffic(&self) -> Vec<((usize, usize), u64, u64)> {
+        let state = self.state.read();
+        state
+            .nodes
+            .first()
+            .map(|n| n.lock().exchange.link_traffic().snapshot())
+            .unwrap_or_default()
+    }
+
     /// Roll one query's recovery counters into the coordinator registry.
     fn note_query_metrics(&self, recovery: &RecoveryStats) {
         let m = &self.metrics;
@@ -768,6 +781,26 @@ impl DorisCluster {
             recovery.temps_reaped += reaped_total;
             return Err((id, e, attempt_time(&before)));
         }
+        // Late materialization: node engines return result strings as
+        // dictionary codes; decode once here, on the result node's device,
+        // *before* the per-node snapshot so the decode kernel is charged to
+        // this attempt.
+        let table = match table {
+            Some(t) if t.has_dict_columns() => {
+                let device = state.nodes[0].lock().device.clone();
+                match sirius_core::materialize_result(&device, &t) {
+                    Ok(decoded) => Some(decoded),
+                    Err(e) => {
+                        return Err((
+                            state.assignment.first().copied().unwrap_or(0),
+                            e,
+                            attempt_time(&before),
+                        ))
+                    }
+                }
+            }
+            other => other,
+        };
         let per_node: Vec<TimeBreakdown> = state
             .nodes
             .iter()
@@ -821,6 +854,14 @@ impl DorisCluster {
                 node: 0,
                 message: format!("cpu fallback failed: {e}"),
             })?;
+        // Base tables may carry dictionary-encoded strings; the fallback
+        // result must be decoded like any other coordinator result.
+        let table = sirius_core::materialize_result(engine.device(), &table).map_err(|e| {
+            DorisError::Node {
+                node: 0,
+                message: format!("cpu fallback failed: {e}"),
+            }
+        })?;
         let coordinator = Duration::from_millis(35) + extra;
         Ok(QueryOutcome {
             table,
@@ -901,11 +942,15 @@ fn build_node_set(
                     (Some(engine), None, device)
                 }
                 NodeEngineKind::SiriusGpu => {
+                    // Node fragments keep result strings dictionary-encoded:
+                    // codes cross the wire, and the coordinator materializes
+                    // payload bytes once after gathering (late materialization).
                     let engine = SiriusEngine::with_link(
                         hw::a100_40gb(),
                         Link::new(hw::pcie4_a100_attach()),
                         2,
                     )
+                    .with_encoded_results(true)
                     .with_fault(fault.clone(), id);
                     let device = engine.device().clone();
                     (None, Some(engine), device)

@@ -2,7 +2,7 @@
 
 use crate::{NcclError, Result};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use sirius_columnar::Table;
+use sirius_columnar::{Array, StringArray, Table};
 use sirius_hw::{FaultAction, FaultInjector, FaultSite, Link, LinkSpec};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -124,6 +124,12 @@ pub struct Communicator {
     ids: Vec<usize>,
     /// Shared per-link traffic counters (stable-id keyed).
     traffic: LinkTraffic,
+    /// Dictionaries already shipped per `(stable peer id, dictionary)`
+    /// link: the serialized form of an encoded column is its codes plus
+    /// the dictionary *once* — later batches reusing the same dictionary
+    /// ship codes only. Holding the `Arc` pins the identity so a freed
+    /// allocation can never alias a shipped dictionary.
+    shipped_dicts: parking_lot::Mutex<HashMap<(usize, usize), Arc<StringArray>>>,
 }
 
 /// Factory for a set of connected communicators.
@@ -155,6 +161,7 @@ impl NcclCluster {
                 fault: FaultInjector::disabled(),
                 ids: (0..world).collect(),
                 traffic: traffic.clone(),
+                shipped_dicts: parking_lot::Mutex::new(HashMap::new()),
             })
             .collect()
     }
@@ -234,7 +241,23 @@ impl Communicator {
                 None => {}
             }
         }
-        let bytes = table.byte_size() as u64;
+        // Serialized size: what actually ships. `byte_size()` of an encoded
+        // column is already its codes; add each dictionary's payload only
+        // the first time it crosses this link.
+        let mut bytes = table.byte_size() as u64;
+        if peer != self.rank {
+            let mut shipped = self.shipped_dicts.lock();
+            for c in table.columns() {
+                if let Array::Dict(d) = c {
+                    shipped
+                        .entry((self.ids[peer], d.dict_ptr()))
+                        .or_insert_with(|| {
+                            bytes += d.dict_byte_size() as u64;
+                            Arc::clone(d.values())
+                        });
+                }
+            }
+        }
         self.senders[peer]
             .send(Message {
                 src: self.rank,
@@ -413,6 +436,47 @@ mod tests {
         assert_eq!(traffic.total_messages(), 3);
         traffic.clear();
         assert_eq!(traffic.total_bytes(), 0);
+    }
+
+    #[test]
+    fn dictionary_ships_once_per_link() {
+        let mut comms = NcclCluster::new(3, catalog::infiniband_4xndr());
+        let c2 = comms.pop().unwrap();
+        let c1 = comms.pop().unwrap();
+        let c0 = comms.pop().unwrap();
+        let enc = Table::new(
+            Schema::new(vec![Field::new("s", DataType::Utf8)]),
+            vec![Array::from_strs(["alpha", "beta", "alpha"]).dict_encode()],
+        );
+        let codes = enc.byte_size() as u64;
+        let dict = enc.column(0).dict_byte_size() as u64;
+        assert!(dict > 0);
+        let (r1, r2) = (
+            std::thread::spawn({
+                let mut c1 = c1;
+                move || {
+                    c1.recv(0, 1).unwrap();
+                    c1.recv(0, 2).unwrap();
+                }
+            }),
+            std::thread::spawn({
+                let mut c2 = c2;
+                move || {
+                    c2.recv(0, 3).unwrap();
+                }
+            }),
+        );
+        // Two batches to rank 1 (same dictionary), one to rank 2.
+        c0.send(1, 1, enc.clone()).unwrap();
+        c0.send(1, 2, enc.clone()).unwrap();
+        c0.send(2, 3, enc.clone()).unwrap();
+        r1.join().unwrap();
+        r2.join().unwrap();
+        assert_eq!(
+            c0.traffic().snapshot(),
+            vec![((0, 1), codes + dict + codes, 2), ((0, 2), codes + dict, 1),],
+            "dictionary bytes count once per link, codes per batch"
+        );
     }
 
     #[test]

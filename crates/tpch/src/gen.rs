@@ -29,12 +29,26 @@ impl TpchData {
     pub fn total_bytes(&self) -> u64 {
         self.tables.iter().map(|(_, t)| t.byte_size() as u64).sum()
     }
+
+    /// A copy with every string column decoded to plain payload bytes —
+    /// the ablation baseline for measuring what dictionary encoding saves.
+    pub fn decoded(&self) -> TpchData {
+        TpchData {
+            tables: self
+                .tables
+                .iter()
+                .map(|(n, t)| (n.clone(), t.decode_strings()))
+                .collect(),
+            scale_factor: self.scale_factor,
+        }
+    }
 }
 
 /// The generator. Deterministic for a given `(scale_factor, seed)`.
 pub struct TpchGenerator {
     sf: f64,
     seed: u64,
+    dictionary: bool,
 }
 
 const START_DATE: (i32, u32, u32) = (1992, 1, 1);
@@ -46,12 +60,21 @@ impl TpchGenerator {
         Self {
             sf: scale_factor,
             seed: 0x5151_u64,
+            dictionary: true,
         }
     }
 
     /// Override the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Toggle dictionary encoding of string columns (default on). The
+    /// decoded form is the ablation baseline; values are identical either
+    /// way, only the physical layout differs.
+    pub fn with_dictionary(mut self, dictionary: bool) -> Self {
+        self.dictionary = dictionary;
         self
     }
 
@@ -436,6 +459,15 @@ impl TpchGenerator {
             ));
         }
 
+        // Strings ship dictionary-encoded by default: operators run on
+        // 4-byte codes and the engine materializes payload bytes only at
+        // the result sink (late materialization).
+        if self.dictionary {
+            for (_, t) in &mut tables {
+                *t = t.encode_strings();
+            }
+        }
+
         TpchData {
             tables,
             scale_factor: self.sf,
@@ -576,6 +608,24 @@ mod tests {
             .filter(|&i| parts.column(1).utf8_value(i).unwrap().starts_with("forest"))
             .count();
         assert!(forest > 0, "Q20's forest-prefixed parts must exist");
+    }
+
+    #[test]
+    fn strings_are_dictionary_encoded_by_default() {
+        let enc = tiny();
+        assert!(
+            enc.tables().iter().any(|(_, t)| t.has_dict_columns()),
+            "default generation must emit encoded string columns"
+        );
+        let plain = TpchGenerator::new(0.002).with_dictionary(false).generate();
+        assert!(plain.tables().iter().all(|(_, t)| !t.has_dict_columns()));
+        // Same values, different physical layout; and encoded is smaller.
+        for ((ne, te), (np, tp)) in enc.tables().iter().zip(plain.tables().iter()) {
+            assert_eq!(ne, np);
+            assert_eq!(&te.decode_strings(), tp, "{ne} values differ");
+        }
+        assert!(enc.total_bytes() < plain.total_bytes());
+        assert_eq!(enc.decoded().total_bytes(), plain.total_bytes());
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Round-trip properties for the string data path. Arbitrary string columns
+//! — empty strings, multi-byte UTF-8, any null pattern — must survive
+//! dictionary encode → gather → shuffle over a real communicator cluster →
+//! decode with values intact, and `byte_size` must stay exactly the sum of
+//! the heap bytes the array owns at every step.
+
+use proptest::prelude::*;
+use sirius_columnar::{Array, DataType, DictionaryArray, Field, Schema, StringArray, Table};
+use sirius_hw::catalog;
+use sirius_nccl::NcclCluster;
+
+/// Exact heap accounting for a plain string array, rebuilt from the values
+/// themselves: live payload + offsets + validity words. An array whose
+/// `byte_size` exceeds this is carrying dead payload (e.g. a gather that
+/// kept unreferenced bytes).
+fn utf8_heap_bytes(a: &StringArray) -> usize {
+    let payload: usize = a.iter().map(|s| s.map_or(0, str::len)).sum();
+    let validity = a.validity().map_or(0, |v| v.byte_size());
+    payload + (a.len() + 1) * std::mem::size_of::<i32>() + validity
+}
+
+fn dict_heap_bytes(d: &DictionaryArray) -> usize {
+    let validity = d.validity().map_or(0, |v| v.byte_size());
+    d.len() * std::mem::size_of::<i32>() + validity
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn encode_gather_exchange_decode_round_trip(
+        strings in proptest::collection::vec(
+            proptest::option::of(".{0,8}"), 1..48),
+        idx_seed in proptest::collection::vec(any::<usize>(), 1..48),
+    ) {
+        let plain = StringArray::from_options(strings.iter().map(|s| s.as_deref()));
+        prop_assert_eq!(plain.byte_size(), utf8_heap_bytes(&plain));
+
+        // Encode: values identical, codes-only accounting.
+        let dict = DictionaryArray::encode(&plain);
+        prop_assert_eq!(dict.byte_size(), dict_heap_bytes(&dict));
+        for (i, s) in strings.iter().enumerate() {
+            prop_assert_eq!(dict.value(i), s.as_deref());
+        }
+
+        // Gather through the Array layer: encoding preserved, dictionary
+        // shared, bytes still exact.
+        let indices: Vec<usize> = idx_seed.iter().map(|i| i % strings.len()).collect();
+        let gathered = Array::Dict(dict.clone()).gather(&indices);
+        let g = gathered.as_dict().expect("gather must preserve encoding");
+        prop_assert!(std::sync::Arc::ptr_eq(g.values(), dict.values()));
+        prop_assert_eq!(g.byte_size(), dict_heap_bytes(g));
+
+        // Shuffle the gathered column across a 2-rank cluster: rank 0 keeps
+        // even rows and ships odd rows to rank 1.
+        let table = Table::new(
+            Schema::new(vec![Field::new("s", DataType::Utf8)]),
+            vec![gathered.clone()],
+        );
+        let evens: Vec<usize> = (0..indices.len()).step_by(2).collect();
+        let odds: Vec<usize> = (1..indices.len()).step_by(2).collect();
+        let parts0 = vec![table.gather(&evens), table.gather(&odds)];
+        // Rank 1 contributes encoded empties so the concat of received
+        // parts exercises the all-dictionary merge path.
+        let empty = || {
+            Table::new(
+                table.schema().clone(),
+                vec![Array::from_strs([] as [&str; 0]).dict_encode()],
+            )
+        };
+        let parts1 = vec![empty(), empty()];
+        let mut comms = NcclCluster::new(2, catalog::infiniband_4xndr());
+        let mut c1 = comms.pop().unwrap();
+        let mut c0 = comms.pop().unwrap();
+        let h = std::thread::spawn(move || c1.shuffle(parts1).map(|(t, _)| t));
+        let (kept, _) = c0.shuffle(parts0).expect("rank0 shuffle");
+        let shipped = h.join().unwrap().expect("rank1 shuffle");
+
+        // Values survive the wire, and the shipped half is still encoded.
+        prop_assert!(shipped.num_rows() == 0 || shipped.has_dict_columns());
+        let mut rebuilt: Vec<Option<String>> = Vec::new();
+        for row in 0..kept.num_rows() {
+            rebuilt.push(kept.column(0).utf8_value(row).map(str::to_string));
+        }
+        let mut shipped_vals: Vec<Option<String>> = Vec::new();
+        for row in 0..shipped.num_rows() {
+            shipped_vals.push(shipped.column(0).utf8_value(row).map(str::to_string));
+        }
+        let expected_kept: Vec<Option<String>> = evens
+            .iter()
+            .map(|&r| strings[indices[r]].clone())
+            .collect();
+        let expected_shipped: Vec<Option<String>> = odds
+            .iter()
+            .map(|&r| strings[indices[r]].clone())
+            .collect();
+        prop_assert_eq!(rebuilt, expected_kept);
+        prop_assert_eq!(shipped_vals, expected_shipped);
+
+        // Decode closes the loop exactly.
+        let decoded = g.decode();
+        prop_assert_eq!(decoded.byte_size(), utf8_heap_bytes(&decoded));
+        for (row, &src) in indices.iter().enumerate() {
+            prop_assert_eq!(decoded.value(row), strings[src].as_deref());
+        }
+    }
+
+    #[test]
+    fn concat_of_mixed_encodings_is_lossless(
+        a in proptest::collection::vec(proptest::option::of(".{0,6}"), 0..24),
+        b in proptest::collection::vec(proptest::option::of(".{0,6}"), 0..24),
+    ) {
+        let plain = Array::Utf8(StringArray::from_options(a.iter().map(|s| s.as_deref())));
+        let dict = Array::Utf8(StringArray::from_options(b.iter().map(|s| s.as_deref())))
+            .dict_encode();
+        let cat = Array::concat(&[&plain, &dict]);
+        prop_assert_eq!(cat.len(), a.len() + b.len());
+        for (i, s) in a.iter().chain(b.iter()).enumerate() {
+            prop_assert_eq!(cat.utf8_value(i), s.as_deref());
+        }
+    }
+}
