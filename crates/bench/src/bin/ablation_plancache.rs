@@ -1,0 +1,170 @@
+//! Plan-cache and feedback ablation (experiment A11).
+//!
+//! Two claims, both asserted:
+//!
+//! 1. **Cache hits skip planning.** Resolving all 22 TPC-H queries a
+//!    second time through the caching planner must be strictly faster
+//!    (host wall clock) than the first pass that parses, binds,
+//!    optimizes, and compiles each one — and must execute zero
+//!    additional planning phases.
+//! 2. **Feedback beats estimates on Q3.** After one completed run feeds
+//!    observed cardinalities back, the re-optimized Q3 plan (the build
+//!    side flips onto the genuinely smaller input) must move strictly
+//!    fewer ledger kernel bytes than the estimate-only plan. The
+//!    ClickHouse FROM-order Q3 baseline is printed for context.
+//!
+//! Run with `--sf <value>` to change the scale factor.
+
+use sirius_bench::{sf_from_args, MorselLab};
+use sirius_clickhouse::ClickHouse;
+use sirius_core::{CompiledQuery, SiriusEngine};
+use sirius_hw::TraceConfig;
+use sirius_serve::CachingPlanner;
+use sirius_sql::JoinOrderPolicy;
+use sirius_tpch::queries;
+use sirius_trace::EventKind;
+use std::time::Instant;
+
+const WORKERS: usize = 4;
+const MORSEL_ROWS: usize = 32_768;
+const HIT_PASSES: usize = 5;
+
+/// Execute a compiled query and return (ledger kernel bytes, simulated
+/// ms, per-run operator stats for feedback).
+fn measure(
+    engine: &SiriusEngine,
+    compiled: &CompiledQuery,
+) -> (
+    u64,
+    f64,
+    std::collections::HashMap<u32, sirius_core::OpStats>,
+) {
+    engine.device().reset();
+    engine.trace().clear();
+    engine.clear_operator_stats();
+    let mut run = engine.begin_compiled(compiled).expect("begin_compiled");
+    while !run.is_done() {
+        engine.step(&mut run, usize::MAX).expect("step");
+    }
+    let stats = engine.run_operator_stats(&run);
+    run.into_table().expect("completed run");
+    let bytes = engine
+        .trace()
+        .events()
+        .iter()
+        .filter(|e| e.kind == EventKind::Kernel)
+        .map(|e| e.bytes)
+        .sum();
+    (bytes, engine.device().elapsed().as_secs_f64() * 1e3, stats)
+}
+
+fn main() {
+    let sf = sf_from_args();
+    eprintln!("generating TPC-H at SF {sf}...");
+    let lab = MorselLab::new(sf);
+    let engine = lab.engine(WORKERS, MORSEL_ROWS).with_trace(TraceConfig::On);
+    println!("Plan-cache ablation at SF {sf} ({WORKERS} workers)");
+
+    // --- 1. Cache hits skip planning -------------------------------
+    let planner = CachingPlanner::new(
+        lab.duck.binder_catalog().clone(),
+        JoinOrderPolicy::Optimized,
+    )
+    .with_adaptive(false);
+    let all = queries::all();
+    let t0 = Instant::now();
+    for (id, sql) in &all {
+        planner
+            .resolve(sql, &engine)
+            .unwrap_or_else(|e| panic!("Q{id}: {e}"));
+    }
+    let cold = t0.elapsed();
+    let phases_after_cold = planner.planning_phases();
+    let t1 = Instant::now();
+    for _ in 0..HIT_PASSES {
+        for (id, sql) in &all {
+            planner
+                .resolve(sql, &engine)
+                .unwrap_or_else(|e| panic!("Q{id}: {e}"));
+        }
+    }
+    let warm = t1.elapsed() / HIT_PASSES as u32;
+    let stats = planner.cache_stats();
+    println!(
+        "planning all 22 queries: cold {:.3}ms, cached pass {:.3}ms ({:.1}x); \
+         {} planning phases, {} hits, {} misses",
+        cold.as_secs_f64() * 1e3,
+        warm.as_secs_f64() * 1e3,
+        cold.as_secs_f64() / warm.as_secs_f64().max(1e-12),
+        planner.planning_phases(),
+        stats.hits,
+        stats.misses,
+    );
+    assert_eq!(
+        phases_after_cold,
+        planner.planning_phases(),
+        "cache hits must execute zero additional planning phases"
+    );
+    assert!(
+        warm < cold,
+        "cached resolution must be strictly faster than planning \
+         ({warm:?} vs {cold:?})"
+    );
+
+    // --- 2. Feedback beats estimates on Q3 -------------------------
+    let adaptive = CachingPlanner::new(
+        lab.duck.binder_catalog().clone(),
+        JoinOrderPolicy::Optimized,
+    );
+    let first = adaptive.resolve(queries::Q3, &engine).expect("Q3 plan");
+    let (est_bytes, est_ms, stats) = measure(&engine, &first.compiled);
+    adaptive.observe(first.shape, first.compiled.root(), &stats);
+    let second = adaptive.resolve(queries::Q3, &engine).expect("Q3 re-plan");
+    let (fb_bytes, fb_ms, _) = measure(&engine, &second.compiled);
+
+    // ClickHouse keeps FROM order — the no-optimizer baseline.
+    let mut ch = ClickHouse::new();
+    for (name, table) in lab.data.tables() {
+        ch.create_table(name.clone(), table.clone());
+    }
+    let ch_plan = ch.plan(queries::Q3).expect("ClickHouse Q3");
+    let ch_compiled = engine.compile_query(&ch_plan).expect("compile");
+    let (ch_bytes, ch_ms, _) = measure(&engine, &ch_compiled);
+
+    println!("\nQ3 ledger kernel bytes by planning mode:");
+    println!("{:>24} {:>14} {:>10}", "mode", "bytes", "sim ms");
+    println!(
+        "{:>24} {:>14} {:>10.3}",
+        "ClickHouse FROM-order", ch_bytes, ch_ms
+    );
+    println!(
+        "{:>24} {:>14} {:>10.3}",
+        "estimates (cold cache)", est_bytes, est_ms
+    );
+    println!(
+        "{:>24} {:>14} {:>10.3}",
+        "feedback (one cycle)", fb_bytes, fb_ms
+    );
+    assert!(
+        adaptive.cache_stats().replans >= 1,
+        "one feedback cycle must re-optimize Q3 (replans = {})",
+        adaptive.cache_stats().replans
+    );
+    assert_ne!(
+        first.compiled.fingerprint(),
+        second.compiled.fingerprint(),
+        "feedback must change the Q3 plan"
+    );
+    assert!(
+        fb_bytes < est_bytes,
+        "feedback plan must move strictly fewer ledger bytes than the \
+         estimate-only plan ({fb_bytes} vs {est_bytes})"
+    );
+    println!(
+        "\nexpected shape: estimates under-count the filtered orders side, so the \
+         estimate-only plan builds the hash table on the larger input; one run of \
+         actuals flips the build side and the materialized build bytes shrink \
+         ({est_bytes} -> {fb_bytes} here, {:.2}x)",
+        est_bytes as f64 / fb_bytes.max(1) as f64
+    );
+}

@@ -101,6 +101,7 @@ fn run(lab: &MorselLab, plans: &[Rel], seed: u64, rate: u32, shedding: bool) -> 
             plan: plans[i % plans.len()].clone(),
             memory_budget: Some(BUDGET),
             trace: false,
+            sql: None,
         })
         .collect();
     let outcome = srv.replay(requests);

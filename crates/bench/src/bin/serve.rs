@@ -96,6 +96,7 @@ fn main() {
                 plan: plans[a.query_index].clone(),
                 memory_budget: None,
                 trace: false,
+                sql: None,
             })
             .collect();
         let outcome = server.replay(requests);

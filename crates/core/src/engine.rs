@@ -187,6 +187,21 @@ impl SiriusEngine {
         self
     }
 
+    /// Enable per-operator runtime stats *without* the kernel trace sink.
+    /// Feedback-driven serving wants actual cardinalities from every
+    /// completed run, but retaining full kernel event streams per request
+    /// would change what untraced queries report and cost memory; this
+    /// turns on only the per-node counters behind
+    /// [`operator_stats`](Self::operator_stats) /
+    /// [`run_operator_stats`](Self::run_operator_stats).
+    /// [`with_trace`](Self::with_trace) implies it.
+    pub fn with_operator_stats(mut self) -> Self {
+        if self.op_stats.is_none() {
+            self.op_stats = Some(Arc::new(Mutex::new(HashMap::new())));
+        }
+        self
+    }
+
     /// Restrict the supported feature set (used to exercise host fallback
     /// and to mirror the paper's limited distributed SQL coverage).
     pub fn with_features(mut self, features: FeatureSet) -> Self {
@@ -300,13 +315,22 @@ impl SiriusEngine {
 
     /// `EXPLAIN ANALYZE`: the plan annotated with each operator's actual
     /// rows, bytes, simulated time, and spill partitions from the last
-    /// traced execution. The plan is normalized first so the rendered ids
-    /// line up with the executed (compiled) operator ids. Requires
-    /// [`with_trace`](Self::with_trace); untraced engines render every node
-    /// as data-free.
+    /// traced execution. The plan is routed through the same
+    /// [`compile_query`](Self::compile_query) path execution uses and
+    /// rendered from the compiled [`CompiledQuery::root`](crate::CompiledQuery::root), so the
+    /// rendered operator ids are *by construction* the executed ids —
+    /// they can never drift from the DAG. Requires
+    /// [`with_trace`](Self::with_trace); untraced engines render every
+    /// node as data-free.
     pub fn explain_analyze(&self, plan: &Rel) -> String {
-        let normalized = sirius_plan::normalize::normalize(plan);
-        explain::render(&normalized, &self.operator_stats())
+        match self.compile_query(plan) {
+            Ok(compiled) => compiled.explain_analyze(&self.operator_stats()),
+            // Uncompilable plans still render something useful.
+            Err(_) => {
+                let normalized = sirius_plan::normalize::normalize(plan);
+                explain::render(&normalized, &self.operator_stats())
+            }
+        }
     }
 
     /// The simulated device (time ledger).
@@ -348,6 +372,8 @@ impl SiriusEngine {
     /// `begin` + step-to-completion; a multi-query server instead
     /// round-robins `step` across many in-flight runs.
     pub fn begin(&self, plan: &Rel) -> Result<QueryRun> {
+        // Validation errors must win over injected faults (the original
+        // ordering): an unrunnable plan never consumes a fault injection.
         sirius_plan::validate::validate(plan)?;
         if let Some(feature) = self.features.first_unsupported(plan) {
             return Err(SiriusError::Unsupported(feature));
@@ -362,11 +388,52 @@ impl SiriusEngine {
                 self.node_id
             )));
         }
+        let compiled = self.compile_query(plan)?;
+        self.start_compiled(&compiled)
+    }
+
+    /// Compile a plan into a shareable, cache-resident [`CompiledQuery`](crate::CompiledQuery):
+    /// validate, compile the pipeline DAG, fuse, and fingerprint the
+    /// normalized tree. Pure planning — nothing is charged to the device
+    /// ledger, so a cached artifact started later with
+    /// [`begin_compiled`](Self::begin_compiled) costs exactly what a
+    /// fresh `begin` charges.
+    pub fn compile_query(&self, plan: &Rel) -> Result<Arc<crate::plan_cache::CompiledQuery>> {
+        sirius_plan::validate::validate(plan)?;
+        if let Some(feature) = self.features.first_unsupported(plan) {
+            return Err(SiriusError::Unsupported(feature));
+        }
         let mut phys = physical::compile(plan)?;
         // Data-path fusion: collapse each pipeline's streaming runs into
         // single-pass segments. A post-compile rewrite, so `decompose`,
         // `pipeline_count`, and operator ids are identical either way.
         physical::fuse(&mut phys, &self.fusion);
+        let fingerprint = sirius_plan::fingerprint::fingerprint(&phys.root);
+        Ok(Arc::new(crate::plan_cache::CompiledQuery {
+            fingerprint,
+            phys,
+        }))
+    }
+
+    /// Start a run from an already-compiled query, skipping
+    /// parse/validate/compile entirely — the plan-cache hit path. Charges
+    /// the same per-pipeline dispatch overhead `begin` does, so cached
+    /// and fresh execution are ledger-identical.
+    pub fn begin_compiled(&self, compiled: &crate::plan_cache::CompiledQuery) -> Result<QueryRun> {
+        if self
+            .fault
+            .fire(sirius_hw::FaultSite::DeviceLaunch { node: self.node_id })
+            .is_some()
+        {
+            return Err(SiriusError::TransientDevice(format!(
+                "injected kernel-launch failure on node {}",
+                self.node_id
+            )));
+        }
+        self.start_compiled(compiled)
+    }
+
+    fn start_compiled(&self, compiled: &crate::plan_cache::CompiledQuery) -> Result<QueryRun> {
         // Each pipeline costs one dispatch round trip at the device's own
         // launch overhead on the serial lane; per-morsel task dispatches
         // are charged on the tasks' streams as the pipelines run.
@@ -376,10 +443,19 @@ impl SiriusEngine {
                 self.device
                     .spec()
                     .launch_overhead_ns
-                    .saturating_mul(phys.pipelines.len() as u64),
+                    .saturating_mul(compiled.phys.pipelines.len() as u64),
             ),
         );
-        Ok(QueryRun::new(phys))
+        Ok(QueryRun::new(compiled.phys.clone(), self.operator_stats()))
+    }
+
+    /// Per-run operator stats: the engine's accumulated counters minus
+    /// the snapshot taken when `run` began. This is what feedback should
+    /// read — scoped to one run, so earlier queries on the same engine
+    /// (or the same query's previous executions) can't pollute the
+    /// observed cardinalities.
+    pub fn run_operator_stats(&self, run: &QueryRun) -> HashMap<u32, OpStats> {
+        run.stats_since(&self.operator_stats())
     }
 
     /// Number of pipelines the plan compiles into (the executed DAG's size).

@@ -43,6 +43,20 @@ impl OpStats {
         self.busy += busy;
         self.invocations += 1;
     }
+
+    /// Counters accumulated since `base` (the snapshot idiom
+    /// `MorselStats`/`SpillStats` use): pair a snapshot taken at
+    /// `begin` with one at completion for per-run numbers, so one run's
+    /// feedback never includes a previous query's rows.
+    pub fn since(&self, base: &OpStats) -> OpStats {
+        OpStats {
+            rows_out: self.rows_out.saturating_sub(base.rows_out),
+            bytes_out: self.bytes_out.saturating_sub(base.bytes_out),
+            busy: self.busy.saturating_sub(base.busy),
+            invocations: self.invocations.saturating_sub(base.invocations),
+            spill_partitions: self.spill_partitions.saturating_sub(base.spill_partitions),
+        }
+    }
 }
 
 /// Pre-order subtree size, the step between a node's id and its next

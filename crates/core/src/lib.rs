@@ -40,6 +40,7 @@ mod morsel;
 mod oom;
 pub mod physical;
 pub mod pipeline;
+pub mod plan_cache;
 pub mod schedule;
 
 pub use buffer::BufferManager;
@@ -48,6 +49,7 @@ pub use engine::{MorselConfig, SiriusEngine};
 pub use explain::OpStats;
 pub use metrics::{MorselStats, QueryReport, RecoveryStats};
 pub use physical::FusionConfig;
+pub use plan_cache::{CompiledQuery, FeedbackStore, PlanCache, PlanCacheStats, ShapeFeedback};
 pub use schedule::{QueryRun, Scheduling};
 pub use sirius_spill::{SpillConfig, SpillStats};
 

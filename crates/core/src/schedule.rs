@@ -156,10 +156,17 @@ pub struct QueryRun {
     done: Vec<bool>,
     completed: usize,
     aborted: bool,
+    /// Engine operator-stats snapshot taken at `begin`, so this run's
+    /// stats ([`SiriusEngine::run_operator_stats`]) are a clean delta —
+    /// never polluted by earlier queries on the same engine.
+    stats_base: HashMap<u32, crate::explain::OpStats>,
 }
 
 impl QueryRun {
-    pub(crate) fn new(phys: PhysicalPlan) -> Self {
+    pub(crate) fn new(
+        phys: PhysicalPlan,
+        stats_base: HashMap<u32, crate::explain::OpStats>,
+    ) -> Self {
         let n = phys.pipelines.len();
         let mut consumers = vec![0usize; n];
         for p in &phys.pipelines {
@@ -174,7 +181,26 @@ impl QueryRun {
             done: vec![false; n],
             completed: 0,
             aborted: false,
+            stats_base,
         }
+    }
+
+    /// Delta of `now` over the baseline captured at `begin`, keeping
+    /// only operators that actually ran during this query.
+    pub(crate) fn stats_since(
+        &self,
+        now: &HashMap<u32, crate::explain::OpStats>,
+    ) -> HashMap<u32, crate::explain::OpStats> {
+        now.iter()
+            .map(|(id, s)| {
+                let delta = match self.stats_base.get(id) {
+                    Some(base) => s.since(base),
+                    None => s.clone(),
+                };
+                (*id, delta)
+            })
+            .filter(|(_, d)| d.invocations > 0 || d.rows_out > 0 || d.spill_partitions > 0)
+            .collect()
     }
 
     /// Every pipeline in the DAG has completed.

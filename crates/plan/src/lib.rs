@@ -32,6 +32,7 @@
 
 pub mod builder;
 pub mod expr;
+pub mod fingerprint;
 pub mod json;
 pub mod normalize;
 pub mod rel;
@@ -39,6 +40,7 @@ pub mod validate;
 pub mod visit;
 
 pub use expr::{AggExpr, AggFunc, BinOp, Expr, SortExpr, UnOp};
+pub use fingerprint::{fingerprint, PlanFingerprint};
 pub use rel::{ExchangeKind, JoinKind, Rel};
 
 /// Errors from plan construction, inference, or validation.

@@ -39,10 +39,12 @@
 
 #![warn(missing_docs)]
 
+pub mod planner;
 pub mod report;
 pub mod server;
 pub mod workload;
 
+pub use planner::{CachingPlanner, ResolvedPlan};
 pub use report::{percentile, ConcurrencyReport};
 pub use server::{
     DispositionCounts, QueryDisposition, QueryRequest, ServeConfig, ServeOutcome, ServedQuery,

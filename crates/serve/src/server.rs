@@ -49,6 +49,7 @@
 //! arrival trace always produces the same admission order, the same wave
 //! composition, and the same per-query counters.
 
+use crate::planner::CachingPlanner;
 use sirius_columnar::Table;
 use sirius_core::{QueryReport, QueryRun, SiriusEngine, SiriusError};
 use sirius_hw::{attribute_overlap, TimeBreakdown, TraceConfig};
@@ -57,6 +58,7 @@ use sirius_spill::{GrantBroker, SpillStats};
 use sirius_trace::metrics::MetricsRegistry;
 use sirius_trace::TraceEvent;
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Admission-control, fairness, and resilience knobs.
@@ -123,6 +125,12 @@ pub struct QueryRequest {
     /// Record a per-query kernel trace (replayable against the query's
     /// own ledger).
     pub trace: bool,
+    /// SQL text for the server's caching planner
+    /// ([`SiriusServer::with_planner`]): when both are present the
+    /// admission resolves this text through the shared plan cache —
+    /// repeated shapes skip parse/bind/optimize entirely — and `plan` is
+    /// ignored. `None` (or no planner) executes `plan` as-is.
+    pub sql: Option<String>,
 }
 
 impl QueryRequest {
@@ -137,7 +145,35 @@ impl QueryRequest {
             plan,
             memory_budget: None,
             trace: false,
+            sql: None,
         }
+    }
+
+    /// A request carrying only SQL text, resolved by the server's
+    /// caching planner at admission. On a server without a planner the
+    /// placeholder plan fails at `begin`, so such requests end
+    /// [`QueryDisposition::Failed`] rather than silently running the
+    /// wrong thing.
+    pub fn from_sql(id: u64, tenant: usize, arrival: Duration, sql: impl Into<String>) -> Self {
+        let placeholder = Rel::Read {
+            table: "<sql-only request>".into(),
+            schema: sirius_columnar::Schema::new(vec![sirius_columnar::Field::new(
+                "<unresolved>",
+                sirius_columnar::DataType::Int64,
+            )]),
+            projection: None,
+        };
+        QueryRequest {
+            sql: Some(sql.into()),
+            ..QueryRequest::new(id, tenant, arrival, placeholder)
+        }
+    }
+
+    /// Attach SQL text to an existing request (planner-resolved when the
+    /// server has one; the carried plan remains the fallback).
+    pub fn with_sql(mut self, sql: impl Into<String>) -> Self {
+        self.sql = Some(sql.into());
+        self
     }
 }
 
@@ -304,6 +340,11 @@ struct Active {
     /// shared manager (waves within a server step run sequentially on the
     /// host, so the deltas attribute exactly).
     spill: SpillStats,
+    /// Planner resolution, when this admission went through the plan
+    /// cache: the canonical fingerprint shape (feedback key) and the
+    /// compiled artifact whose `root()` carries the executed operator
+    /// ids. Completed runs record their actual cardinalities under it.
+    planned: Option<(u64, Arc<sirius_core::CompiledQuery>)>,
 }
 
 /// The multi-query serving frontend over one [`SiriusEngine`].
@@ -311,6 +352,7 @@ pub struct SiriusServer {
     base: SiriusEngine,
     config: ServeConfig,
     metrics: Option<MetricsRegistry>,
+    planner: Option<CachingPlanner>,
 }
 
 impl SiriusServer {
@@ -321,7 +363,25 @@ impl SiriusServer {
             base,
             config,
             metrics: None,
+            planner: None,
         }
+    }
+
+    /// Resolve SQL-carrying requests through `planner`'s shared plan
+    /// cache at admission: a repeated shape skips parse/bind/optimize
+    /// entirely and starts from the cached [`sirius_core::CompiledQuery`];
+    /// each completed run feeds its observed cardinalities back so the
+    /// next plan of the same shape can be re-optimized with actuals. The
+    /// cache and feedback store are shared across tenants, while the
+    /// recorded stats stay scoped to each query's own run.
+    pub fn with_planner(mut self, planner: CachingPlanner) -> Self {
+        self.planner = Some(planner);
+        self
+    }
+
+    /// The caching planner, if one was attached.
+    pub fn planner(&self) -> Option<&CachingPlanner> {
+        self.planner.as_ref()
     }
 
     /// Publish serving pressure into `metrics`: queue-depth / in-flight
@@ -378,6 +438,30 @@ impl SiriusServer {
         metrics.describe(
             "sirius_grants_denied_total",
             "Working-set grants denied by the shared broker (spill signals)",
+        );
+        metrics.describe(
+            "sirius_serve_plan_cache_hits_total",
+            "Admissions served a compiled plan straight from the plan cache",
+        );
+        metrics.describe(
+            "sirius_serve_plan_cache_misses_total",
+            "Plan-cache lookups that had to plan and compile",
+        );
+        metrics.describe(
+            "sirius_serve_plan_cache_evictions_total",
+            "Compiled plans evicted by the cache's LRU policy",
+        );
+        metrics.describe(
+            "sirius_serve_plan_replans_total",
+            "Cached plans replaced by a feedback-driven re-optimization",
+        );
+        metrics.describe(
+            "sirius_serve_planning_phases_total",
+            "Admissions that executed a planning phase (cache hits excluded)",
+        );
+        metrics.describe(
+            "sirius_serve_cached_plans",
+            "Compiled plans currently resident in the plan cache",
         );
         SiriusServer {
             metrics: Some(metrics),
@@ -667,6 +751,18 @@ impl SiriusServer {
                         }
                     }
                     None => {
+                        // Feed actual cardinalities back to the planner
+                        // before the run is consumed: only this run's
+                        // stats deltas, keyed under the shape's canonical
+                        // fingerprint, from the executed plan's own
+                        // operator ids.
+                        if let (Some(p), Some((shape, compiled))) = (&self.planner, &a.planned) {
+                            p.observe(
+                                *shape,
+                                compiled.root(),
+                                &a.engine.run_operator_stats(&a.run),
+                            );
+                        }
                         self.counter_inc("sirius_serve_completed_total");
                         self.disposition_inc(QueryDisposition::Completed);
                         out.queries
@@ -675,11 +771,13 @@ impl SiriusServer {
                 }
             }
             self.publish_broker(&broker, &mut published);
+            self.publish_planner();
         }
 
         out.makespan = now;
         self.publish_gauges(&queue, inflight.len(), now);
         self.publish_broker(&broker, &mut published);
+        self.publish_planner();
         out
     }
 
@@ -820,10 +918,32 @@ impl SiriusServer {
         if w.req.trace {
             view = view.with_trace(TraceConfig::On);
         }
+        // Plan-cache path: resolve the SQL text through the shared
+        // planner. The steady state (repeated shape, no new feedback)
+        // performs zero parse/bind/optimize work here. Adaptive planners
+        // need per-operator counters from the run to record feedback —
+        // enabled without the trace sink so untraced requests still
+        // report no events.
+        let planned = match (&self.planner, &w.req.sql) {
+            (Some(p), Some(sql)) => {
+                if p.adaptive() {
+                    view = view.with_operator_stats();
+                }
+                match p.resolve(sql, &self.base) {
+                    Ok(r) => Some((r.shape, r.compiled)),
+                    Err(e) => return Err((w, e)),
+                }
+            }
+            _ => None,
+        };
         if let Some(budget) = w.req.memory_budget {
             view.buffer_manager().set_grant_cap(budget);
         }
-        match view.begin(&w.req.plan) {
+        let begun = match &planned {
+            Some((_, compiled)) => view.begin_compiled(compiled),
+            None => view.begin(&w.req.plan),
+        };
+        match begun {
             Ok(run) => Ok(Active {
                 retries: w.retries,
                 admitted: now,
@@ -833,6 +953,7 @@ impl SiriusServer {
                 lane_limit,
                 last: TimeBreakdown::default(),
                 spill: SpillStats::default(),
+                planned,
                 req: w.req,
             }),
             Err(e) => Err((w, e)),
@@ -966,6 +1087,12 @@ impl SiriusServer {
             m.gauge_max("sirius_serve_queue_depth_peak", &[], queue.len() as f64);
             let backing_off = queue.iter().filter(|w| w.not_before > now).count();
             m.gauge_set("sirius_serve_backoff_depth", &[], backing_off as f64);
+        }
+    }
+
+    fn publish_planner(&self) {
+        if let (Some(m), Some(p)) = (&self.metrics, &self.planner) {
+            p.publish(m);
         }
     }
 
@@ -1571,5 +1698,106 @@ mod tests {
         let outcome = server.replay(reqs);
         assert!(outcome.shed.is_empty());
         assert_eq!(outcome.dispositions().completed, 5);
+    }
+
+    fn sql_catalog() -> sirius_sql::BinderCatalog {
+        let mut cat = sirius_sql::BinderCatalog::new();
+        cat.add_table(
+            "t",
+            Schema::new(vec![
+                Field::new("k", DataType::Int64),
+                Field::new("v", DataType::Float64),
+            ]),
+            64,
+        );
+        cat
+    }
+
+    #[test]
+    fn planner_caches_repeated_sql_and_skips_planning() {
+        let metrics = MetricsRegistry::new();
+        let planner = CachingPlanner::new(sql_catalog(), sirius_sql::JoinOrderPolicy::Optimized)
+            .with_adaptive(false);
+        let server = SiriusServer::new(base(4, 64), ServeConfig::default())
+            .with_metrics(metrics.clone())
+            .with_planner(planner);
+        let sql = "SELECT k, v FROM t WHERE k > -1";
+        let reqs: Vec<QueryRequest> = (0..5)
+            .map(|i| QueryRequest::from_sql(i, 0, Duration::from_micros(i), sql))
+            .collect();
+        let outcome = server.replay(reqs);
+        assert_eq!(outcome.dispositions().completed, 5);
+        // The result matches executing the same SQL directly.
+        let reference = base(4, 64);
+        let plan =
+            sirius_sql::plan_sql(sql, &sql_catalog(), sirius_sql::JoinOrderPolicy::Optimized)
+                .unwrap();
+        let expect = reference.execute(&plan).unwrap();
+        for q in &outcome.queries {
+            assert_eq!(q.result.as_ref().unwrap(), &expect, "query {}", q.id);
+        }
+        // One planning phase total: every later admission of the shape
+        // was a pure cache hit with zero parse/bind/optimize work.
+        let p = server.planner().unwrap();
+        assert_eq!(p.planning_phases(), 1);
+        let stats = p.cache_stats();
+        assert_eq!(stats.hits, 4);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+        // Plan-cache counters surface in Prometheus.
+        assert_eq!(
+            metrics.counter_value("sirius_serve_plan_cache_hits_total", &[]),
+            4
+        );
+        assert_eq!(
+            metrics.counter_value("sirius_serve_plan_cache_misses_total", &[]),
+            1
+        );
+        assert_eq!(
+            metrics.counter_value("sirius_serve_planning_phases_total", &[]),
+            1
+        );
+        assert_eq!(
+            metrics.gauge_value("sirius_serve_cached_plans", &[]),
+            Some(1.0)
+        );
+        let rendered = metrics.render();
+        assert!(rendered.contains("sirius_serve_plan_cache_hits_total"));
+        assert!(rendered.contains("sirius_serve_cached_plans"));
+    }
+
+    #[test]
+    fn adaptive_planner_records_feedback_once_per_shape() {
+        let planner = CachingPlanner::new(sql_catalog(), sirius_sql::JoinOrderPolicy::Optimized);
+        let server = SiriusServer::new(base(4, 64), ServeConfig::default()).with_planner(planner);
+        let sql = "SELECT k, v FROM t WHERE k > -1";
+        let reqs: Vec<QueryRequest> = (0..6)
+            .map(|i| QueryRequest::from_sql(i, 0, Duration::from_micros(i), sql))
+            .collect();
+        let outcome = server.replay(reqs);
+        assert_eq!(outcome.dispositions().completed, 6);
+        let p = server.planner().unwrap();
+        // Feedback was recorded (per-run stats flowed back)...
+        assert_eq!(p.feedback().shapes(), 1);
+        // ...and triggered at most one re-optimization: the first plan
+        // (estimates), one re-plan when observations first landed, then
+        // the observations repeat unchanged and every admission is a
+        // pure cache hit again.
+        assert_eq!(p.planning_phases(), 2);
+        assert!(p.cache_stats().hits >= 4);
+    }
+
+    #[test]
+    fn sql_request_without_planner_fails_typed() {
+        let server = SiriusServer::new(base(4, 64), ServeConfig::default());
+        let outcome = server.replay(vec![QueryRequest::from_sql(
+            0,
+            0,
+            Duration::ZERO,
+            "SELECT k FROM t",
+        )]);
+        // No planner: the placeholder plan cannot execute, so the
+        // request ends Failed instead of silently running something else.
+        assert_eq!(outcome.dispositions().failed, 1);
     }
 }

@@ -13,6 +13,8 @@
 //!   cross join + expression rewrite (Q11 HAVING, Q15, Q22).
 
 use crate::ast::*;
+use crate::optimizer::join_order::{JoinOrderer, JoinRelation};
+use crate::optimizer::stats::{CatalogStatistics, Statistics};
 use crate::{Result, SqlError};
 use sirius_columnar::scalar::{date32_add_months, parse_date32};
 use sirius_columnar::{Scalar, Schema};
@@ -60,11 +62,24 @@ pub enum JoinOrderPolicy {
     FromOrder,
 }
 
-/// Bind a parsed query into a plan.
+/// Bind a parsed query into a plan using catalog estimates only.
 pub fn bind(query: &Query, catalog: &BinderCatalog, policy: JoinOrderPolicy) -> Result<Rel> {
+    bind_with_stats(query, catalog, policy, &CatalogStatistics::new(catalog))
+}
+
+/// Bind a parsed query into a plan, with join ordering and build-side
+/// selection driven by an explicit [`Statistics`] source (e.g. a feedback
+/// store serving observed cardinalities for this plan shape).
+pub fn bind_with_stats(
+    query: &Query,
+    catalog: &BinderCatalog,
+    policy: JoinOrderPolicy,
+    stats: &dyn Statistics,
+) -> Result<Rel> {
     let ctx = BindCtx {
         catalog,
         policy,
+        stats,
         ctes: HashMap::new(),
     };
     let (plan, _) = bind_query(query, &ctx, None)?;
@@ -75,15 +90,12 @@ pub fn bind(query: &Query, catalog: &BinderCatalog, policy: JoinOrderPolicy) -> 
 struct BindCtx<'a> {
     catalog: &'a BinderCatalog,
     policy: JoinOrderPolicy,
+    stats: &'a dyn Statistics,
     ctes: HashMap<String, (Rel, u64)>,
 }
 
 /// A bound FROM unit: plan + estimated cardinality.
-struct Relation {
-    plan: Rel,
-    schema: Schema,
-    estimate: f64,
-}
+type Relation = JoinRelation;
 
 fn err(msg: impl Into<String>) -> SqlError {
     SqlError::Bind(msg.into())
@@ -189,7 +201,7 @@ fn bind_select_query(
                             )),
                             predicate: local,
                         };
-                        r.estimate *= 0.35;
+                        r.estimate *= ctx.stats.pushdown_selectivity();
                     }
                     _ => {
                         // Derive implied per-relation filters from multi-table
@@ -206,7 +218,7 @@ fn bind_select_query(
                                     input: Box::new(std::mem::replace(&mut r.plan, placeholder())),
                                     predicate: local,
                                 };
-                                r.estimate *= 0.5;
+                                r.estimate *= ctx.stats.implied_or_selectivity();
                             }
                         }
                         edge_conjuncts.push((bound, rels));
@@ -218,7 +230,7 @@ fn bind_select_query(
 
     // ----- join-order + tree construction -------------------------------------
     let (mut plan, final_map, mut plan_schema) =
-        build_join_tree(relations, &orig_offsets, edge_conjuncts, ctx.policy)?;
+        JoinOrderer::new(ctx.policy, ctx.stats).build(relations, &orig_offsets, edge_conjuncts)?;
     let _ = final_map;
 
     // ----- subquery conjuncts ---------------------------------------------------
@@ -527,6 +539,7 @@ fn bind_table_ref(t: &TableRef, ctx: &BindCtx<'_>) -> Result<Relation> {
                     .map(|f| f.renamed(format!("{binding}.{}", f.name)))
                     .collect(),
             );
+            let estimate = ctx.stats.base_rows(name).unwrap_or(*rows as f64);
             Ok(Relation {
                 plan: Rel::Read {
                     table: name.clone(),
@@ -534,7 +547,7 @@ fn bind_table_ref(t: &TableRef, ctx: &BindCtx<'_>) -> Result<Relation> {
                     projection: None,
                 },
                 schema: qualified,
-                estimate: *rows as f64,
+                estimate,
             })
         }
         TableRef::Derived { query, alias } => {
@@ -548,173 +561,6 @@ fn bind_table_ref(t: &TableRef, ctx: &BindCtx<'_>) -> Result<Relation> {
             })
         }
     }
-}
-
-// ---------------------------------------------------------------------------
-// Join tree construction
-// ---------------------------------------------------------------------------
-
-/// Greedy left-deep join-tree builder. Returns the plan, the map from
-/// original-product ordinals to final ordinals, and the final schema.
-fn build_join_tree(
-    mut relations: Vec<Relation>,
-    orig_offsets: &[usize],
-    mut edges: Vec<(Expr, Vec<usize>)>,
-    policy: JoinOrderPolicy,
-) -> Result<(Rel, Vec<usize>, Schema)> {
-    let n = relations.len();
-    let widths: Vec<usize> = relations.iter().map(|r| r.schema.len()).collect();
-    let total: usize = widths.iter().sum();
-    let mut final_map = vec![usize::MAX; total];
-
-    let connected = |edges: &[(Expr, Vec<usize>)], joined: &[usize], cand: usize| {
-        edges.iter().any(|(_, rels)| {
-            rels.contains(&cand) && rels.iter().all(|r| *r == cand || joined.contains(r))
-        })
-    };
-
-    // Pick the starting relation.
-    let mut remaining: Vec<usize> = (0..n).collect();
-    let start = match policy {
-        JoinOrderPolicy::Optimized => remaining
-            .iter()
-            .copied()
-            .min_by(|&a, &b| relations[a].estimate.total_cmp(&relations[b].estimate))
-            .expect("non-empty FROM"),
-        JoinOrderPolicy::FromOrder => 0,
-    };
-    remaining.retain(|&r| r != start);
-    let mut joined = vec![start];
-    let mut plan = std::mem::replace(&mut relations[start].plan, placeholder());
-    let mut schema = relations[start].schema.clone();
-    for c in 0..widths[start] {
-        final_map[orig_offsets[start] + c] = c;
-    }
-
-    while !remaining.is_empty() {
-        // Choose the next relation.
-        let next = match policy {
-            JoinOrderPolicy::Optimized => {
-                let conn: Vec<usize> = remaining
-                    .iter()
-                    .copied()
-                    .filter(|&r| connected(&edges, &joined, r))
-                    .collect();
-                let pool = if conn.is_empty() {
-                    remaining.clone()
-                } else {
-                    conn
-                };
-                pool.into_iter()
-                    .min_by(|&a, &b| relations[a].estimate.total_cmp(&relations[b].estimate))
-                    .expect("pool non-empty")
-            }
-            JoinOrderPolicy::FromOrder => remaining
-                .iter()
-                .copied()
-                .find(|&r| connected(&edges, &joined, r))
-                .unwrap_or(remaining[0]),
-        };
-        remaining.retain(|&r| r != next);
-
-        let left_width = schema.len();
-        // Assign final ordinals for `next`.
-        for c in 0..widths[next] {
-            final_map[orig_offsets[next] + c] = left_width + c;
-        }
-
-        // Partition applicable edges into keys and residuals.
-        let mut lk = Vec::new();
-        let mut rk = Vec::new();
-        let mut residual = Vec::new();
-        let mut rest = Vec::new();
-        for (e, rels) in edges {
-            let applicable =
-                rels.contains(&next) && rels.iter().all(|r| *r == next || joined.contains(r));
-            if !applicable {
-                rest.push((e, rels));
-                continue;
-            }
-            let in_next = |x: &Expr| {
-                let mut refs = Vec::new();
-                x.referenced_columns(&mut refs);
-                !refs.is_empty()
-                    && refs
-                        .iter()
-                        .all(|&r| r >= orig_offsets[next] && r < orig_offsets[next] + widths[next])
-            };
-            let in_joined = |x: &Expr| {
-                let mut refs = Vec::new();
-                x.referenced_columns(&mut refs);
-                !refs.is_empty() && refs.iter().all(|&r| final_map[r] < left_width)
-            };
-            if let Expr::Binary {
-                op: BinOp::Eq,
-                left,
-                right,
-            } = &e
-            {
-                if in_joined(left) && in_next(right) {
-                    lk.push(left.remap_columns(&|i| final_map[i]));
-                    rk.push(right.remap_columns(&|i| i - orig_offsets[next]));
-                    continue;
-                }
-                if in_next(left) && in_joined(right) {
-                    lk.push(right.remap_columns(&|i| final_map[i]));
-                    rk.push(left.remap_columns(&|i| i - orig_offsets[next]));
-                    continue;
-                }
-            }
-            residual.push(e.remap_columns(&|i| final_map[i]));
-        }
-        edges = rest;
-
-        schema = schema.join(&relations[next].schema);
-        let right_plan = std::mem::replace(&mut relations[next].plan, placeholder());
-        plan = if lk.is_empty() {
-            Rel::Join {
-                left: Box::new(plan),
-                right: Box::new(right_plan),
-                kind: JoinKind::Cross,
-                left_keys: vec![],
-                right_keys: vec![],
-                residual: if residual.is_empty() {
-                    None
-                } else {
-                    Some(expr::and_all(residual))
-                },
-            }
-        } else {
-            Rel::Join {
-                left: Box::new(plan),
-                right: Box::new(right_plan),
-                kind: JoinKind::Inner,
-                left_keys: lk,
-                right_keys: rk,
-                residual: if residual.is_empty() {
-                    None
-                } else {
-                    Some(expr::and_all(residual))
-                },
-            }
-        };
-        joined.push(next);
-    }
-
-    // Any edges never consumed (e.g. three-relation predicates) become a
-    // final filter.
-    if !edges.is_empty() {
-        let conj: Vec<Expr> = edges
-            .into_iter()
-            .map(|(e, _)| e.remap_columns(&|i| final_map[i]))
-            .collect();
-        plan = Rel::Filter {
-            input: Box::new(plan),
-            predicate: expr::and_all(conj),
-        };
-    }
-
-    Ok((plan, final_map, schema))
 }
 
 // ---------------------------------------------------------------------------
@@ -1333,7 +1179,7 @@ fn decorrelate_exists(
     }
     let _ = n2;
     let (inner_plan, inner_map, _inner_final) =
-        build_join_tree(relations2, &orig_offsets, edges, ctx.policy)?;
+        JoinOrderer::new(ctx.policy, ctx.stats).build(relations2, &orig_offsets, edges)?;
 
     // Correlated conjuncts: equality → keys; everything else → residual.
     let outer_width = schema.len();
@@ -1632,7 +1478,7 @@ fn join_scalar_subquery(
                 }
             }
         }
-        build_join_tree(relations2, &offs, edges, ctx.policy)?
+        JoinOrderer::new(ctx.policy, ctx.stats).build(relations2, &offs, edges)?
     };
     let _ = inner_final;
 

@@ -41,6 +41,7 @@ pub mod optimizer;
 pub mod parser;
 
 pub use binder::{BinderCatalog, JoinOrderPolicy};
+pub use optimizer::stats::{CatalogStatistics, Statistics};
 
 use sirius_plan::Rel;
 
@@ -81,9 +82,21 @@ pub type Result<T> = std::result::Result<T, SqlError>;
 
 /// Parse, bind, decorrelate, and optimize a SQL query into a plan.
 pub fn plan_sql(sql: &str, catalog: &BinderCatalog, policy: JoinOrderPolicy) -> Result<Rel> {
+    plan_sql_with_stats(sql, catalog, policy, &CatalogStatistics::new(catalog))
+}
+
+/// Like [`plan_sql`], but with join ordering and build-side selection
+/// driven by an explicit [`Statistics`] source — the entry point for
+/// adaptive re-optimization from runtime feedback.
+pub fn plan_sql_with_stats(
+    sql: &str,
+    catalog: &BinderCatalog,
+    policy: JoinOrderPolicy,
+    stats: &dyn Statistics,
+) -> Result<Rel> {
     let tokens = lexer::tokenize(sql)?;
     let query = parser::parse_query(&tokens)?;
-    let plan = binder::bind(&query, catalog, policy)?;
+    let plan = binder::bind_with_stats(&query, catalog, policy, stats)?;
     let plan = optimizer::optimize(plan)?;
     sirius_plan::validate::validate(&plan)?;
     Ok(plan)

@@ -1,11 +1,24 @@
 //! Logical optimization passes.
 //!
-//! The binder already pushes single-table predicates into their scans and
-//! orders joins, so the main pass here is **projection pruning**: computing
-//! the columns each operator actually needs and pushing column selections
+//! The optimizer owns the planning decisions that used to be hard-wired
+//! into `bind`:
+//!
+//! - [`join_order`] — greedy join enumeration and build-side selection,
+//!   driven by the [`stats::Statistics`] trait so runtime feedback
+//!   (actual cardinalities from a previous run of the same plan shape)
+//!   can override catalog estimates.
+//! - [`stats`] — the statistics abstraction: catalog row counts +
+//!   selectivity constants by default, observed actuals when a feedback
+//!   store has seen the shape before.
+//!
+//! The pass in this module is **projection pruning**: computing the
+//! columns each operator actually needs and pushing column selections
 //! into `Read` nodes. This is what keeps simulated scan traffic honest —
 //! TPC-H tables are wide, and the paper's filter-vs-join time split
 //! (Figure 5) depends on engines reading only the referenced columns.
+
+pub mod join_order;
+pub mod stats;
 
 use crate::{Result, SqlError};
 use sirius_plan::expr::{self, SortExpr};

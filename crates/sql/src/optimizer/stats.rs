@@ -1,0 +1,88 @@
+//! The statistics abstraction behind join ordering.
+//!
+//! The binder used to read row counts straight off [`BinderCatalog`] and
+//! bake selectivity constants into `bind`. [`Statistics`] lifts both
+//! behind a trait so the same greedy orderer can run from catalog
+//! estimates (the default, [`CatalogStatistics`] — bit-for-bit the old
+//! behavior) or from *observed actuals* recorded by a feedback store
+//! after a prior execution of the same plan shape (adaptive
+//! re-optimization, the serving layer's plan-cache payoff).
+
+use crate::binder::BinderCatalog;
+use std::collections::BTreeSet;
+
+/// Cardinality and selectivity source for the optimizer.
+///
+/// `actual_rows` keys on the *set of base tables* under a join subtree:
+/// that identity is stable under join reordering, so observations made
+/// on one plan of a shape transfer to any re-enumeration of the same
+/// shape. Implementations return `None` whenever they have nothing
+/// better than the estimate — the orderer then falls back to
+/// `base_rows`-seeded estimates and its decisions stay exactly the
+/// estimate-only ones.
+pub trait Statistics {
+    /// Base-table row count, `None` if the table is unknown.
+    fn base_rows(&self, table: &str) -> Option<f64>;
+
+    /// Selectivity applied per single-relation WHERE conjunct pushed
+    /// into a scan.
+    fn pushdown_selectivity(&self) -> f64 {
+        0.35
+    }
+
+    /// Selectivity applied per implied filter derived from a
+    /// multi-relation OR (the Q7/Q19 pattern).
+    fn implied_or_selectivity(&self) -> f64 {
+        0.5
+    }
+
+    /// Observed output cardinality of the join subtree covering exactly
+    /// `tables`, from a previous run of the same plan shape. The default
+    /// has no feedback.
+    fn actual_rows(&self, tables: &BTreeSet<String>) -> Option<f64> {
+        let _ = tables;
+        None
+    }
+}
+
+/// Estimate-only statistics straight off the binder catalog — the
+/// default source, reproducing the historical planner behavior exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct CatalogStatistics<'a> {
+    catalog: &'a BinderCatalog,
+}
+
+impl<'a> CatalogStatistics<'a> {
+    /// Statistics over `catalog` row counts.
+    pub fn new(catalog: &'a BinderCatalog) -> Self {
+        CatalogStatistics { catalog }
+    }
+}
+
+impl Statistics for CatalogStatistics<'_> {
+    fn base_rows(&self, table: &str) -> Option<f64> {
+        self.catalog.get(table).map(|(_, rows)| *rows as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirius_columnar::{DataType, Field, Schema};
+
+    #[test]
+    fn catalog_statistics_serve_row_counts() {
+        let mut cat = BinderCatalog::new();
+        cat.add_table(
+            "t",
+            Schema::new(vec![Field::new("x", DataType::Int64)]),
+            123,
+        );
+        let stats = CatalogStatistics::new(&cat);
+        assert_eq!(stats.base_rows("t"), Some(123.0));
+        assert_eq!(stats.base_rows("missing"), None);
+        assert_eq!(stats.actual_rows(&BTreeSet::from(["t".to_string()])), None);
+        assert_eq!(stats.pushdown_selectivity(), 0.35);
+        assert_eq!(stats.implied_or_selectivity(), 0.5);
+    }
+}

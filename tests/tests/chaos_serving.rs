@@ -220,6 +220,7 @@ proptest! {
                     // cancellation interleaves with the chaos.
                     deadline: (doomed && i == 0).then_some(Duration::from_nanos(1)),
                     plan: fix.plans[qi].1.clone(),
+                    sql: None,
                     memory_budget: budgeted.then_some(8 << 20),
                     trace: false,
                 })

@@ -149,6 +149,7 @@ fn all_queries_concurrently_match_serialized_execution() {
             arrival: Duration::ZERO,
             deadline: None,
             plan: plan.clone(),
+            sql: None,
             memory_budget: if i % 3 == 0 { Some(64 << 20) } else { None },
             trace: i % 2 == 0,
         })
@@ -183,6 +184,7 @@ fn budgeted_queries_spill_but_still_match() {
             arrival: Duration::ZERO,
             deadline: None,
             plan: plan.clone(),
+            sql: None,
             memory_budget: Some(1 << 20),
             trace: false,
         })
@@ -230,6 +232,7 @@ fn same_seed_reproduces_admission_order_and_counters() {
                 arrival: a.arrival,
                 deadline: None,
                 plan: fix.plans[a.query_index].1.clone(),
+                sql: None,
                 memory_budget: (a.query_index % 3 == 0).then_some(32 << 20),
                 trace: a.id % 2 == 0,
             })
@@ -295,6 +298,7 @@ fn backpressure_bounds_queue_and_rejects_overflow() {
             arrival: Duration::ZERO,
             deadline: None,
             plan: fix.plans[(i as usize) % fix.plans.len()].1.clone(),
+            sql: None,
             memory_budget: None,
             trace: false,
         })
@@ -348,6 +352,7 @@ proptest! {
                 arrival: Duration::from_micros(3 * i as u64),
                 deadline: None,
                 plan: fix.plans[qi].1.clone(),
+                sql: None,
                 memory_budget: [None, Some(4 << 20), Some(32 << 20), Some(256 << 20)][budget],
                 trace: traced,
             })
@@ -398,6 +403,7 @@ fn resilience_metrics_are_published() {
         arrival: Duration::ZERO,
         deadline: None,
         plan: fix.plans[0].1.clone(), // Q1: grouped aggregate
+        sql: None,
         memory_budget: Some(64 << 10),
         trace: false,
     });
@@ -409,6 +415,7 @@ fn resilience_metrics_are_published() {
         arrival: Duration::ZERO,
         deadline: Some(Duration::ZERO),
         plan: fix.plans[5].1.clone(), // Q6
+        sql: None,
         memory_budget: None,
         trace: false,
     });
@@ -422,6 +429,7 @@ fn resilience_metrics_are_published() {
             arrival: Duration::ZERO,
             deadline: None,
             plan: fix.plans[5].1.clone(),
+            sql: None,
             memory_budget: None,
             trace: false,
         });
